@@ -1,0 +1,97 @@
+//! Criterion benchmarks for the MNA transient engine — segment-count and
+//! integration-method ablations for the Fig. 7 / Tables 5–6 flow.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hotwire_circuit::netlist::Circuit;
+use hotwire_circuit::rcline::{LineParams, RcLine};
+use hotwire_circuit::repeater::{simulate_repeater, RepeaterSimOptions};
+use hotwire_circuit::sources::SourceWaveform;
+use hotwire_circuit::transient::{simulate, Integration, TransientOptions};
+use hotwire_tech::presets;
+use hotwire_units::{CapacitancePerLength, Length, ResistancePerLength};
+
+fn line_circuit(n: usize) -> (Circuit, f64) {
+    let mut c = Circuit::new();
+    let drv = c.node();
+    c.voltage_source(
+        drv,
+        Circuit::GROUND,
+        SourceWaveform::pulse(0.0, 1.0, 0.0, 2.0e-11, 2.0e-11, 6.0e-10, 1.33e-9),
+    );
+    let params = LineParams {
+        r: ResistancePerLength::new(12.0e3),
+        c: CapacitancePerLength::new(2.1e-10),
+    };
+    RcLine::build(&mut c, drv, params, Length::from_millimeters(5.0), n).unwrap();
+    (c, 2.66e-9)
+}
+
+fn bench_segments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transient_rc_segments");
+    group.sample_size(10);
+    for n in [10usize, 40, 100] {
+        let (circ, t_stop) = line_circuit(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &circ, |b, circ| {
+            b.iter(|| {
+                black_box(
+                    simulate(
+                        circ,
+                        t_stop,
+                        TransientOptions {
+                            dt: Some(t_stop / 1000.0),
+                            ..TransientOptions::default()
+                        },
+                    )
+                    .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_integration_methods(c: &mut Criterion) {
+    let (circ, t_stop) = line_circuit(40);
+    let mut group = c.benchmark_group("transient_integration_ablation");
+    group.sample_size(10);
+    for (name, method) in [
+        ("trapezoidal", Integration::Trapezoidal),
+        ("backward_euler", Integration::BackwardEuler),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    simulate(
+                        &circ,
+                        t_stop,
+                        TransientOptions {
+                            dt: Some(t_stop / 1000.0),
+                            integration: method,
+                            ..TransientOptions::default()
+                        },
+                    )
+                    .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_repeater_report(c: &mut Criterion) {
+    let tech = presets::ntrs_250nm();
+    let mut group = c.benchmark_group("fig7_repeater");
+    group.sample_size(10);
+    group.bench_function("simulation_m6", |b| {
+        b.iter(|| black_box(simulate_repeater(&tech, 5, RepeaterSimOptions::default()).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_segments,
+    bench_integration_methods,
+    bench_full_repeater_report
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmarks for the finite-volume cross-section solver —
+//! including the direct-vs-SOR linear-solver ablation called out in
+//! DESIGN.md.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hotwire_thermal::grid2d::{MeshControl, SingleWireStructure, SolveOptions};
+use hotwire_units::Length;
+
+fn um(v: f64) -> Length {
+    Length::from_micrometers(v)
+}
+
+fn bench_mesh_density(c: &mut Criterion) {
+    let sw = SingleWireStructure::all_oxide(um(0.35), um(0.55), um(1.2));
+    let mut group = c.benchmark_group("grid2d_fig5_cell_size");
+    group.sample_size(10);
+    for cell_um in [0.15, 0.08, 0.05] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cell_um),
+            &cell_um,
+            |b, &cell| {
+                let control = MeshControl::resolving(um(cell), 1);
+                b.iter(|| {
+                    black_box(
+                        sw.solve(um(6.0), control, SolveOptions::default())
+                            .unwrap()
+                            .rise_per_line_power(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_direct_vs_sor(c: &mut Criterion) {
+    let sw = SingleWireStructure::all_oxide(um(1.0), um(0.55), um(1.2));
+    let control = MeshControl::resolving(um(0.12), 1);
+    let mut group = c.benchmark_group("grid2d_linear_solver_ablation");
+    group.sample_size(10);
+    group.bench_function("direct_cholesky", |b| {
+        b.iter(|| {
+            black_box(
+                sw.solve(um(4.0), control, SolveOptions::default())
+                    .unwrap()
+                    .rise_per_line_power(),
+            )
+        });
+    });
+    group.bench_function("sor", |b| {
+        b.iter(|| {
+            black_box(
+                sw.solve(um(4.0), control, SolveOptions::sor())
+                    .unwrap()
+                    .rise_per_line_power(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mesh_density, bench_direct_vs_sor);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion benchmarks for the self-consistent solver (the inner loop of
+//! every design-rule table — Figs. 2–3, Tables 2–4).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hotwire_core::sweep::{duty_cycle_sweep, log_spaced};
+use hotwire_core::SelfConsistentProblem;
+use hotwire_tech::{Dielectric, Metal};
+use hotwire_thermal::impedance::{InsulatorStack, LineGeometry, QUASI_1D_PHI};
+use hotwire_units::{CurrentDensity, Length};
+
+fn problem(r: f64) -> SelfConsistentProblem {
+    let um = Length::from_micrometers;
+    SelfConsistentProblem::builder()
+        .metal(Metal::copper().with_design_rule_j0(CurrentDensity::from_amps_per_cm2(6.0e5)))
+        .line(LineGeometry::new(um(3.0), um(0.5), um(1000.0)).unwrap())
+        .stack(InsulatorStack::single(um(3.0), &Dielectric::oxide()))
+        .phi(QUASI_1D_PHI)
+        .duty_cycle(r)
+        .build()
+        .unwrap()
+}
+
+fn bench_single_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("self_consistent_solve");
+    for r in [1.0, 0.1, 1.0e-4] {
+        let p = problem(r);
+        group.bench_with_input(BenchmarkId::from_parameter(r), &p, |b, p| {
+            b.iter(|| black_box(p.solve().unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig2_sweep(c: &mut Criterion) {
+    let p = problem(0.1);
+    let rs = log_spaced(1.0e-4, 1.0, 17);
+    c.bench_function("fig2_duty_cycle_sweep_17pts", |b| {
+        b.iter(|| black_box(duty_cycle_sweep(&p, &rs).unwrap()));
+    });
+}
+
+/// A randomized-workload bench: 64 solves over a pre-generated population
+/// of line geometries and duty cycles, the shape of a full-chip EM scan.
+fn bench_random_geometry_scan(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(0xD0C5_1999);
+    let um = Length::from_micrometers;
+    let population: Vec<SelfConsistentProblem> = (0..64)
+        .map(|_| {
+            SelfConsistentProblem::builder()
+                .metal(Metal::copper().with_design_rule_j0(
+                    CurrentDensity::from_amps_per_cm2(rng.gen_range(3.0e5..2.0e6)),
+                ))
+                .line(
+                    LineGeometry::new(
+                        um(rng.gen_range(0.3..4.0)),
+                        um(rng.gen_range(0.3..1.5)),
+                        um(1000.0),
+                    )
+                    .expect("generated geometry is positive"),
+                )
+                .stack(InsulatorStack::single(
+                    um(rng.gen_range(0.5..6.0)),
+                    &Dielectric::oxide(),
+                ))
+                .phi(QUASI_1D_PHI)
+                .duty_cycle(rng.gen_range(1.0e-3..1.0))
+                .build()
+                .expect("generated problem is valid")
+        })
+        .collect();
+    c.bench_function("random_geometry_scan_64", |b| {
+        b.iter(|| {
+            let mut melt_limited = 0usize;
+            for p in &population {
+                match p.solve() {
+                    Ok(sol) => {
+                        black_box(sol);
+                    }
+                    Err(_) => melt_limited += 1,
+                }
+            }
+            black_box(melt_limited)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_single_solve,
+    bench_fig2_sweep,
+    bench_random_geometry_scan
+);
+criterion_main!(benches);

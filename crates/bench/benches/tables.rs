@@ -1,0 +1,79 @@
+//! Criterion benchmarks for whole-table generation (Tables 2–4) and the
+//! φ = 0.88 vs φ = 2.45 design-rule ablation called out in DESIGN.md.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hotwire_core::rules::{DesignRuleSpec, DesignRuleTable};
+use hotwire_tech::presets;
+use hotwire_thermal::impedance::{QUASI_1D_PHI, QUASI_2D_PHI};
+use hotwire_thermal::transient::TransientLine;
+use hotwire_units::{Celsius, CurrentDensity, Length, Seconds};
+
+fn bench_table_generation(c: &mut Criterion) {
+    let tech = presets::ntrs_250nm();
+    let mut group = c.benchmark_group("table_generation");
+    group.sample_size(20);
+    group.bench_function("table2_0_25um_full_grid", |b| {
+        b.iter(|| {
+            let spec = DesignRuleSpec::paper_defaults(
+                &tech,
+                2,
+                CurrentDensity::from_amps_per_cm2(6.0e5),
+            );
+            black_box(DesignRuleTable::generate(&spec).unwrap())
+        });
+    });
+    group.finish();
+}
+
+fn bench_phi_ablation(c: &mut Criterion) {
+    let tech = presets::ntrs_100nm();
+    let mut group = c.benchmark_group("phi_ablation_table");
+    group.sample_size(20);
+    for (name, phi) in [("phi_0.88", QUASI_1D_PHI), ("phi_2.45", QUASI_2D_PHI)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let spec = DesignRuleSpec {
+                    phi,
+                    ..DesignRuleSpec::paper_defaults(
+                        &tech,
+                        2,
+                        CurrentDensity::from_amps_per_cm2(1.8e6),
+                    )
+                };
+                black_box(DesignRuleTable::generate(&spec).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_esd_critical_density(c: &mut Criterion) {
+    let um = Length::from_micrometers;
+    let line = hotwire_thermal::impedance::LineGeometry::new(um(3.0), um(0.55), um(100.0)).unwrap();
+    let stack = hotwire_thermal::impedance::InsulatorStack::single(
+        um(1.2),
+        &hotwire_tech::Dielectric::oxide(),
+    );
+    let model = TransientLine::new(
+        hotwire_tech::Metal::alcu(),
+        line,
+        &stack,
+        QUASI_2D_PHI,
+        Celsius::new(25.0).to_kelvin(),
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("esd");
+    group.sample_size(10);
+    group.bench_function("critical_density_150ns", |b| {
+        b.iter(|| black_box(model.critical_density(Seconds::from_nanos(150.0), 1e-3).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table_generation,
+    bench_phi_ablation,
+    bench_esd_critical_density
+);
+criterion_main!(benches);

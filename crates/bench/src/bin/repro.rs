@@ -1,0 +1,83 @@
+//! Regenerates every table and figure of the DAC'99 paper.
+//!
+//! ```text
+//! cargo run --release -p hotwire-bench --bin repro -- --experiment all
+//! cargo run --release -p hotwire-bench --bin repro -- --experiment fig2
+//! cargo run --release -p hotwire-bench --bin repro -- --list
+//! ```
+
+use std::process::ExitCode;
+
+use hotwire_bench::experiments;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut selected: Vec<String> = Vec::new();
+    let mut csv_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--csv" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--csv needs a directory");
+                    return ExitCode::FAILURE;
+                }
+                csv_dir = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--experiment" | "-e" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--experiment needs a value");
+                    return ExitCode::FAILURE;
+                }
+                selected.push(args[i + 1].clone());
+                i += 2;
+            }
+            "--list" | "-l" => {
+                for id in experiments::ALL {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--experiment <id|all>]... [--csv <dir>] [--list]\n\
+                     regenerates the tables and figures of Banerjee et al., DAC 1999;\n\
+                     --csv additionally writes the figure data series as CSV files\n\
+                     known experiments: {}",
+                    experiments::ALL.join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(dir) = &csv_dir {
+        match hotwire_bench::csv_export::write_all(std::path::Path::new(dir)) {
+            Ok(files) => println!("wrote {} to {dir}\n", files.join(", ")),
+            Err(e) => {
+                eprintln!("csv export failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if selected.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+    }
+    if selected.is_empty() || selected.iter().any(|s| s == "all") {
+        selected = experiments::ALL.iter().map(|s| (*s).to_owned()).collect();
+    }
+    for (k, id) in selected.iter().enumerate() {
+        if k > 0 {
+            println!("\n{}\n", "=".repeat(78));
+        }
+        if let Err(e) = experiments::run(id) {
+            eprintln!("experiment `{id}` failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,142 @@
+//! CSV export of the figure series, for re-plotting with any external
+//! tool (`repro --csv <dir>`).
+
+use std::io::Write as _;
+use std::path::Path;
+
+use hotwire_circuit::repeater::{simulate_repeater, RepeaterSimOptions};
+use hotwire_core::sweep::{duty_cycle_sweep, j0_sweep, log_spaced};
+use hotwire_tech::presets;
+use hotwire_units::CurrentDensity;
+
+/// Writes every figure's data series as CSV files into `dir` (created if
+/// missing). Returns the file names written.
+///
+/// # Errors
+///
+/// Returns a human-readable message on solver or I/O failure.
+pub fn write_all(dir: &Path) -> Result<Vec<String>, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let mut written = Vec::new();
+    written.push(write_fig2(dir)?);
+    written.push(write_fig3(dir)?);
+    written.push(write_fig5(dir)?);
+    written.extend(write_fig7(dir)?);
+    Ok(written)
+}
+
+fn create(dir: &Path, name: &str) -> Result<std::fs::File, String> {
+    std::fs::File::create(dir.join(name))
+        .map_err(|e| format!("cannot create {name}: {e}"))
+}
+
+fn write_fig2(dir: &Path) -> Result<String, String> {
+    let problem = crate::experiments::fig2::fig2_problem().map_err(|e| e.to_string())?;
+    let rs = log_spaced(1.0e-4, 1.0, 33);
+    let points = duty_cycle_sweep(&problem, &rs).map_err(|e| e.to_string())?;
+    let mut f = create(dir, "fig2.csv")?;
+    writeln!(f, "r,metal_temperature_c,j_peak_ma_cm2,em_only_peak_ma_cm2")
+        .map_err(|e| e.to_string())?;
+    for p in points {
+        writeln!(
+            f,
+            "{:.6e},{:.4},{:.5},{:.5}",
+            p.duty_cycle,
+            p.solution.metal_temperature.to_celsius().value(),
+            p.solution.j_peak.to_mega_amps_per_cm2(),
+            p.em_only_peak.to_mega_amps_per_cm2()
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    Ok("fig2.csv".to_owned())
+}
+
+fn write_fig3(dir: &Path) -> Result<String, String> {
+    let problem = crate::experiments::fig2::fig2_problem().map_err(|e| e.to_string())?;
+    let j0s: Vec<CurrentDensity> = [0.6, 1.2, 1.8, 2.4]
+        .iter()
+        .map(|&v| CurrentDensity::from_mega_amps_per_cm2(v))
+        .collect();
+    let rs = log_spaced(1.0e-4, 1.0, 33);
+    let series = j0_sweep(&problem, &j0s, &rs).map_err(|e| e.to_string())?;
+    let mut f = create(dir, "fig3.csv")?;
+    let mut header = String::from("r");
+    for s in &series {
+        header.push_str(&format!(
+            ",t_m_c_j0_{0:.1},j_peak_ma_cm2_j0_{0:.1}",
+            s.j0.to_mega_amps_per_cm2()
+        ));
+    }
+    writeln!(f, "{header}").map_err(|e| e.to_string())?;
+    for (i, &r) in rs.iter().enumerate() {
+        let mut row = format!("{r:.6e}");
+        for s in &series {
+            row.push_str(&format!(
+                ",{:.4},{:.5}",
+                s.points[i].solution.metal_temperature.to_celsius().value(),
+                s.points[i].solution.j_peak.to_mega_amps_per_cm2()
+            ));
+        }
+        writeln!(f, "{row}").map_err(|e| e.to_string())?;
+    }
+    Ok("fig3.csv".to_owned())
+}
+
+fn write_fig5(dir: &Path) -> Result<String, String> {
+    let (rows, phi) = crate::experiments::fig5::series().map_err(|e| e.to_string())?;
+    let mut f = create(dir, "fig5.csv")?;
+    writeln!(f, "# extracted phi at narrowest width: {phi:.3}").map_err(|e| e.to_string())?;
+    writeln!(f, "width_um,theta_oxide_k_per_w,theta_hsq_k_per_w").map_err(|e| e.to_string())?;
+    for (w, a, b) in rows {
+        writeln!(f, "{w:.3},{a:.3},{b:.3}").map_err(|e| e.to_string())?;
+    }
+    Ok("fig5.csv".to_owned())
+}
+
+fn write_fig7(dir: &Path) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for (tag, tech) in [
+        ("0.25um", presets::ntrs_250nm()),
+        ("0.1um", presets::ntrs_100nm()),
+    ] {
+        let top = tech.layers().len() - 1;
+        let report = simulate_repeater(&tech, top, RepeaterSimOptions::default())
+            .map_err(|e| e.to_string())?;
+        let name = format!("fig7_{tag}.csv");
+        let mut f = create(dir, &name)?;
+        writeln!(f, "time_s,current_density_ma_cm2").map_err(|e| e.to_string())?;
+        for (t, j) in report
+            .waveform
+            .times()
+            .iter()
+            .zip(report.waveform.densities())
+        {
+            writeln!(f, "{:.6e},{:.5}", t.value(), j.to_mega_amps_per_cm2())
+                .map_err(|e| e.to_string())?;
+        }
+        names.push(name);
+    }
+    Ok(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_all_series() {
+        let dir = std::env::temp_dir().join(format!("hotwire-csv-{}", std::process::id()));
+        let written = write_all(&dir).unwrap();
+        assert!(written.contains(&"fig2.csv".to_owned()));
+        assert!(written.contains(&"fig5.csv".to_owned()));
+        assert_eq!(written.len(), 5);
+        // fig2 has a header plus 33 rows
+        let fig2 = std::fs::read_to_string(dir.join("fig2.csv")).unwrap();
+        assert_eq!(fig2.lines().count(), 34);
+        assert!(fig2.starts_with("r,metal_temperature_c"));
+        // fig7 waveforms are non-trivial
+        let fig7 = std::fs::read_to_string(dir.join("fig7_0.25um.csv")).unwrap();
+        assert!(fig7.lines().count() > 100);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,66 @@
+//! §6 — thermal effects under ESD conditions: regenerate the critical
+//! current density vs pulse width curve and compare with the paper's
+//! quoted 60 MA/cm² open-circuit threshold for AlCu at ESD time scales.
+
+use hotwire_tech::{Dielectric, Metal};
+use hotwire_thermal::impedance::{InsulatorStack, LineGeometry, QUASI_2D_PHI};
+use hotwire_thermal::transient::TransientLine;
+use hotwire_thermal::ThermalError;
+use hotwire_units::{Celsius, Length, Seconds};
+
+use crate::render_table;
+
+/// Prints j_crit(t_pulse) for AlCu and Cu.
+///
+/// # Errors
+///
+/// Propagates transient-solver errors.
+pub fn run() -> Result<(), ThermalError> {
+    println!("§6 — critical current density vs pulse width (open-circuit melt)\n");
+    let um = Length::from_micrometers;
+    let line = LineGeometry::new(um(3.0), um(0.55), um(100.0))?;
+    let stack = InsulatorStack::single(um(1.2), &Dielectric::oxide());
+    let ambient = Celsius::new(25.0).to_kelvin();
+
+    let header = vec![
+        "pulse width [ns]".to_owned(),
+        "AlCu j_crit [MA/cm²]".to_owned(),
+        "Cu j_crit [MA/cm²]".to_owned(),
+        "AlCu adiabatic bound".to_owned(),
+    ];
+    let mut rows = Vec::new();
+    let alcu = TransientLine::new(Metal::alcu(), line, &stack, QUASI_2D_PHI, ambient)?;
+    let cu = TransientLine::new(Metal::copper(), line, &stack, QUASI_2D_PHI, ambient)?;
+    let mut j_at_150 = 0.0;
+    for ns in [25.0, 50.0, 100.0, 150.0, 200.0, 500.0] {
+        let width = Seconds::from_nanos(ns);
+        let j_al = alcu.critical_density(width, 1e-3)?;
+        let j_cu = cu.critical_density(width, 1e-3)?;
+        let j_ad = alcu.adiabatic_critical_density(width);
+        if (ns - 150.0).abs() < 1e-9 {
+            j_at_150 = j_al.to_mega_amps_per_cm2();
+        }
+        rows.push(vec![
+            format!("{ns:.0}"),
+            format!("{:.1}", j_al.to_mega_amps_per_cm2()),
+            format!("{:.1}", j_cu.to_mega_amps_per_cm2()),
+            format!("{:.1}", j_ad.to_mega_amps_per_cm2()),
+        ]);
+    }
+    print!("{}", render_table(&header, &rows));
+    println!(
+        "\npaper (ref. [8]): AlCu open-circuit threshold ≈ 60 MA/cm² at ESD time \
+         scales (< 200 ns); measured here at 150 ns: {j_at_150:.0} MA/cm².\n\
+         shape checks: j_crit ∝ t⁻¹ᐟ² in the adiabatic regime, flattening \
+         toward the heat-sunk limit for long pulses; Cu above AlCu throughout."
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn esd_runs() {
+        super::run().unwrap();
+    }
+}

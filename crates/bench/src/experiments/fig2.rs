@@ -1,0 +1,90 @@
+//! Fig. 2 — self-consistent T_m and j_peak vs duty cycle for Cu at
+//! j₀ = 0.6 MA/cm² (t_ox = 3 µm, t_m = 0.5 µm, W_m = 3 µm, quasi-1-D
+//! spreading), with the EM-only `j₀/r` dotted reference.
+
+use hotwire_core::sweep::{duty_cycle_sweep, log_spaced};
+use hotwire_core::{CoreError, SelfConsistentProblem};
+use hotwire_tech::{Dielectric, Metal};
+use hotwire_thermal::impedance::{InsulatorStack, LineGeometry, QUASI_1D_PHI};
+use hotwire_units::{CurrentDensity, Length};
+
+use crate::render_table;
+
+/// The Fig. 2 problem instance (also reused by Fig. 3).
+///
+/// # Errors
+///
+/// Propagates builder errors (cannot occur for these static values).
+pub fn fig2_problem() -> Result<SelfConsistentProblem, CoreError> {
+    let um = Length::from_micrometers;
+    SelfConsistentProblem::builder()
+        .metal(Metal::copper().with_design_rule_j0(CurrentDensity::from_amps_per_cm2(6.0e5)))
+        .line(LineGeometry::new(um(3.0), um(0.5), um(1000.0))?)
+        .stack(InsulatorStack::single(um(3.0), &Dielectric::oxide()))
+        .phi(QUASI_1D_PHI)
+        .duty_cycle(0.1)
+        .build()
+}
+
+/// Prints the Fig. 2 series.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn run() -> Result<(), CoreError> {
+    println!("Figure 2 — self-consistent solutions for T_m and j_peak vs duty cycle");
+    println!("Cu, j0 = 0.6 MA/cm², t_ox = 3 µm, t_m = 0.5 µm, W_m = 3 µm, φ = 0.88\n");
+    let problem = fig2_problem()?;
+    let rs = log_spaced(1.0e-4, 1.0, 17);
+    let points = duty_cycle_sweep(&problem, &rs)?;
+    let header = vec![
+        "r".to_owned(),
+        "T_m [°C]".to_owned(),
+        "j_peak,sc [MA/cm²]".to_owned(),
+        "j0/r EM-only [MA/cm²]".to_owned(),
+        "sc/EM-only".to_owned(),
+    ];
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.2e}", p.duty_cycle),
+                format!("{:.1}", p.solution.metal_temperature.to_celsius().value()),
+                format!("{:.3}", p.solution.j_peak.to_mega_amps_per_cm2()),
+                format!("{:.3}", p.em_only_peak.to_mega_amps_per_cm2()),
+                format!("{:.3}", p.peak_penalty()),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&header, &rows));
+
+    // The paper's quantitative callout at r = 1e-2.
+    let p2 = problem.with_duty_cycle(1.0e-2)?;
+    let s2 = p2.solve()?;
+    let ratio = p2.em_only_peak() / s2.j_peak;
+    println!(
+        "\nshape check: at r = 1e-2, EM-only/self-consistent = {ratio:.2} \
+         (paper: \"nearly 2 times smaller\"), lifetime penalty ≈ {:.1}× \
+         (paper: \"nearly three times\")",
+        ratio * ratio
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_runs() {
+        run().unwrap();
+    }
+
+    #[test]
+    fn headline_ratio_near_two() {
+        let p = fig2_problem().unwrap().with_duty_cycle(1.0e-2).unwrap();
+        let s = p.solve().unwrap();
+        let ratio = p.em_only_peak() / s.j_peak;
+        assert!(ratio > 1.4 && ratio < 2.4, "ratio = {ratio}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Fig. 3 — dependence of the self-consistent T_m and j_peak on the EM
+//! design-rule density j₀, showing j₀'s diminishing effectiveness at
+//! small duty cycles.
+
+use hotwire_core::sweep::{j0_sweep, log_spaced};
+use hotwire_core::CoreError;
+use hotwire_units::CurrentDensity;
+
+use crate::render_table;
+
+/// Prints the Fig. 3 series.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn run() -> Result<(), CoreError> {
+    println!("Figure 3 — T_m and j_peak vs duty cycle for several j0 (Cu, same line as Fig. 2)\n");
+    let problem = super::fig2::fig2_problem()?;
+    let j0s: Vec<CurrentDensity> = [0.6, 1.2, 1.8, 2.4]
+        .iter()
+        .map(|&v| CurrentDensity::from_mega_amps_per_cm2(v))
+        .collect();
+    let rs = log_spaced(1.0e-4, 1.0, 9);
+    let series = j0_sweep(&problem, &j0s, &rs)?;
+
+    let mut header = vec!["r".to_owned()];
+    for s in &series {
+        header.push(format!("T_m@j0={:.1} [°C]", s.j0.to_mega_amps_per_cm2()));
+    }
+    for s in &series {
+        header.push(format!("jpk@j0={:.1} [MA/cm²]", s.j0.to_mega_amps_per_cm2()));
+    }
+    let rows: Vec<Vec<String>> = (0..rs.len())
+        .map(|i| {
+            let mut row = vec![format!("{:.2e}", rs[i])];
+            for s in &series {
+                row.push(format!(
+                    "{:.1}",
+                    s.points[i].solution.metal_temperature.to_celsius().value()
+                ));
+            }
+            for s in &series {
+                row.push(format!(
+                    "{:.2}",
+                    s.points[i].solution.j_peak.to_mega_amps_per_cm2()
+                ));
+            }
+            row
+        })
+        .collect();
+    print!("{}", render_table(&header, &rows));
+
+    // Shape check: 4× j0 buys much less than 4× j_peak at r = 1e-4.
+    let gain_small_r = series[3].points[0].solution.j_peak.value()
+        / series[0].points[0].solution.j_peak.value();
+    let gain_large_r = series[3].points[rs.len() - 1].solution.j_peak.value()
+        / series[0].points[rs.len() - 1].solution.j_peak.value();
+    println!(
+        "\nshape check: 4× j0 buys {gain_small_r:.2}× j_peak at r = 1e-4 vs \
+         {gain_large_r:.2}× at r = 1 (paper: j0 \"increasingly ineffective\" as r falls)"
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig3_runs() {
+        super::run().unwrap();
+    }
+}

@@ -1,0 +1,109 @@
+//! Fig. 7 — current waveforms in the top-layer metal lines of the
+//! 0.25 µm and 0.1 µm technologies, from transient simulation of the
+//! optimally buffered stage.
+
+use hotwire_circuit::repeater::{simulate_repeater, RepeaterSimOptions};
+use hotwire_circuit::CircuitError;
+use hotwire_tech::presets;
+
+/// Prints ASCII renderings of the two current waveforms plus their
+/// statistics.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run() -> Result<(), CircuitError> {
+    println!("Figure 7 — repeater-output current waveforms, top metal layer\n");
+    for tech in [presets::ntrs_250nm(), presets::ntrs_100nm()] {
+        let top = tech.layers().len() - 1;
+        let report = simulate_repeater(&tech, top, RepeaterSimOptions::default())?;
+        println!(
+            "{} / {} — one clock period ({:.2} ns), current density in the first wire segment:",
+            tech.name(),
+            tech.top_layer().name(),
+            tech.clock().period().to_nanos()
+        );
+        print!("{}", ascii_waveform(&report.waveform, 64, 12));
+        println!(
+            "j_peak = {:.2} MA/cm², j_rms = {:.2} MA/cm², r_eff = {:.3}, slew = {:.3}\n",
+            report.j_peak().to_mega_amps_per_cm2(),
+            report.j_rms().to_mega_amps_per_cm2(),
+            report.effective_duty_cycle,
+            report.relative_slew
+        );
+    }
+    println!(
+        "shape check: one positive and one negative current excursion per period \
+         (charge/discharge through the repeater), same relative shape across \
+         technologies; the paper reports r_eff = 0.12 ± 0.01 with the key claim \
+         being its invariance across layers and nodes."
+    );
+    Ok(())
+}
+
+/// Renders a sampled waveform as a `width`×`height` ASCII plot.
+#[must_use]
+pub fn ascii_waveform(w: &hotwire_em::SampledWaveform, width: usize, height: usize) -> String {
+    let times = w.times();
+    let densities = w.densities();
+    let t0 = times[0].value();
+    let t1 = times[times.len() - 1].value();
+    let peak = densities
+        .iter()
+        .map(|d| d.value().abs())
+        .fold(1e-300, f64::max);
+    // resample to the plot width
+    let mut cols = vec![0.0_f64; width];
+    for (t, d) in times.iter().zip(densities) {
+        #[allow(
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss,
+            clippy::cast_precision_loss
+        )]
+        let col = (((t.value() - t0) / (t1 - t0)) * (width as f64 - 1.0)).round() as usize;
+        let v = d.value() / peak;
+        if v.abs() > cols[col].abs() {
+            cols[col] = v;
+        }
+    }
+    let mut out = String::new();
+    #[allow(clippy::cast_precision_loss)]
+    for row in 0..height {
+        let level = 1.0 - 2.0 * (row as f64 + 0.5) / height as f64; // +1 → −1
+        let mut line = String::with_capacity(width + 2);
+        for &v in &cols {
+            let half = 1.0 / height as f64;
+            let ch = if (v - level).abs() < half {
+                '*'
+            } else if level.abs() <= half {
+                '-'
+            } else {
+                ' '
+            };
+            line.push(ch);
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotwire_units::{CurrentDensity, Seconds};
+
+    #[test]
+    fn ascii_plot_marks_peak_and_axis() {
+        let w = hotwire_em::SampledWaveform::from_fn(Seconds::new(1.0e-9), 64, |t| {
+            CurrentDensity::new(
+                1.0e10 * (2.0 * std::f64::consts::PI * t.value() / 1.0e-9).sin(),
+            )
+        })
+        .unwrap();
+        let plot = ascii_waveform(&w, 32, 8);
+        assert!(plot.contains('*'));
+        assert!(plot.contains('-'));
+        assert_eq!(plot.lines().count(), 8);
+    }
+}

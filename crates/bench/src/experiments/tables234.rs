@@ -1,0 +1,133 @@
+//! Tables 2, 3, 4 — maximum allowed peak current densities from the
+//! self-consistent approach for the NTRS 0.25 µm (M5–M6) and 0.1 µm
+//! (M7–M8) nodes, across dielectrics, for signal (r = 0.1) and power
+//! (r = 1.0) lines.
+//!
+//! * Table 2: Cu, j₀ = 6×10⁵ A/cm²
+//! * Table 3: Cu, j₀ = 1.8×10⁶ A/cm² ("more realistic for Cu EM")
+//! * Table 4: AlCu, j₀ = 6×10⁵ A/cm²
+
+use hotwire_core::rules::{DesignRuleSpec, DesignRuleTable};
+use hotwire_core::CoreError;
+use hotwire_tech::{presets, Technology};
+use hotwire_units::CurrentDensity;
+
+fn run_pair(
+    title: &str,
+    techs: [Technology; 2],
+    j0: CurrentDensity,
+) -> Result<[DesignRuleTable; 2], CoreError> {
+    println!("{title}\n");
+    let mut out = Vec::new();
+    for tech in techs {
+        println!("--- {} ---", tech.name());
+        let spec = DesignRuleSpec::paper_defaults(&tech, 2, j0);
+        let table = DesignRuleTable::generate(&spec)?;
+        println!("{table}");
+        out.push(table);
+    }
+    Ok(out.try_into().expect("two tables generated"))
+}
+
+fn shape_checks(tables: &[DesignRuleTable; 2]) {
+    // The orderings the paper reads off these tables:
+    for table in tables {
+        let sig = "Signal Lines (r = 0.1)";
+        let pow = "Power Lines (r = 1.0)";
+        let layers: Vec<String> = {
+            let mut v: Vec<String> = table.entries.iter().map(|e| e.layer.clone()).collect();
+            v.dedup();
+            v.sort();
+            v.dedup();
+            v
+        };
+        for layer in &layers {
+            let ox = table.j_peak_ma_cm2(sig, layer, "oxide").unwrap();
+            let hsq = table.j_peak_ma_cm2(sig, layer, "HSQ").unwrap();
+            let poly = table.j_peak_ma_cm2(sig, layer, "polyimide").unwrap();
+            assert!(ox > hsq && hsq > poly, "dielectric ordering at {layer}");
+            let p_ox = table.j_peak_ma_cm2(pow, layer, "oxide").unwrap();
+            assert!(ox > p_ox, "signal lines allow more than power lines");
+        }
+    }
+    println!(
+        "shape checks passed: oxide > HSQ > polyimide, upper level < lower level, \
+         signal (r = 0.1) > power (r = 1.0) in every block."
+    );
+}
+
+/// Table 2.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn run_table2() -> Result<(), CoreError> {
+    let j0 = CurrentDensity::from_amps_per_cm2(6.0e5);
+    let tables = run_pair(
+        "Table 2 — max allowed j_peak [MA/cm²], Cu, j0 = 6e5 A/cm²",
+        [presets::ntrs_250nm(), presets::ntrs_100nm()],
+        j0,
+    )?;
+    shape_checks(&tables);
+    Ok(())
+}
+
+/// Table 3.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn run_table3() -> Result<(), CoreError> {
+    let j0 = CurrentDensity::from_amps_per_cm2(1.8e6);
+    let tables = run_pair(
+        "Table 3 — max allowed j_peak [MA/cm²], Cu, j0 = 1.8e6 A/cm² (realistic Cu EM)",
+        [presets::ntrs_250nm(), presets::ntrs_100nm()],
+        j0,
+    )?;
+    shape_checks(&tables);
+    // Table 3 vs Table 2: 3× j0 helps, sub-linearly where heating bites.
+    let j0_small = CurrentDensity::from_amps_per_cm2(6.0e5);
+    let t250 = presets::ntrs_250nm();
+    let t2 = DesignRuleTable::generate(&DesignRuleSpec::paper_defaults(&t250, 2, j0_small))?;
+    let sig = "Signal Lines (r = 0.1)";
+    let gain = tables[0].j_peak_ma_cm2(sig, "M6", "oxide").unwrap()
+        / t2.j_peak_ma_cm2(sig, "M6", "oxide").unwrap();
+    println!("shape check: 3× j0 yields {gain:.2}× j_peak on M6 signal lines (< 3 once heating matters).");
+    Ok(())
+}
+
+/// Table 4.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn run_table4() -> Result<(), CoreError> {
+    let j0 = CurrentDensity::from_amps_per_cm2(6.0e5);
+    let tables = run_pair(
+        "Table 4 — max allowed j_peak [MA/cm²], AlCu, j0 = 6e5 A/cm²",
+        [presets::ntrs_250nm_alcu(), presets::ntrs_100nm_alcu()],
+        j0,
+    )?;
+    shape_checks(&tables);
+    // AlCu < Cu at the same j0 wherever self-heating matters.
+    let t250 = presets::ntrs_250nm();
+    let cu = DesignRuleTable::generate(&DesignRuleSpec::paper_defaults(&t250, 2, j0))?;
+    let sig = "Signal Lines (r = 0.1)";
+    let j_cu = cu.j_peak_ma_cm2(sig, "M6", "oxide").unwrap();
+    let j_al = tables[0].j_peak_ma_cm2(sig, "M6", "oxide").unwrap();
+    assert!(j_al < j_cu);
+    println!(
+        "shape check: AlCu M6 signal {j_al:.2} < Cu {j_cu:.2} MA/cm² (higher ρ ⇒ more self-heating)."
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tables_run() {
+        super::run_table2().unwrap();
+        super::run_table3().unwrap();
+        super::run_table4().unwrap();
+    }
+}

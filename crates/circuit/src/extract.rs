@@ -1,0 +1,211 @@
+//! Closed-form per-layer interconnect parasitic extraction — the
+//! replacement for the paper's SPACE3D 3-D capacitance extraction \[24\].
+//!
+//! The repeater optimum of eqs. (16)–(17) consumes two scalars per metal
+//! layer: resistance and capacitance per unit length. Resistance follows
+//! directly from the sheet resistance. Capacitance uses the classic
+//! Sakurai–Tamaru closed forms (accurate to ~6 % against field solvers in
+//! their stated range):
+//!
+//! * line over a plane: `C_g/ε = 1.15·(W/h) + 2.80·(t/h)^0.222`
+//! * lateral coupling to each neighbour:
+//!   `C_c/ε = [0.03·(W/h) + 0.83·(t/h) − 0.07·(t/h)^0.222]·(s/h)^−1.34`
+//!
+//! The ground term sees the *inter-level* dielectric, the coupling term
+//! the *intra-level* (gap-fill) dielectric — which is how low-k gap fill
+//! buys delay at the cost of the thermal path (the paper's central
+//! tension).
+
+use hotwire_tech::Technology;
+use hotwire_units::{consts::VACUUM_PERMITTIVITY_F_PER_M, CapacitancePerLength, ResistancePerLength};
+use serde::{Deserialize, Serialize};
+
+use crate::rcline::LineParams;
+use crate::CircuitError;
+
+/// Extracted per-unit-length parasitics of one metal layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExtractedLayer {
+    /// Resistance per length at the chip reference temperature.
+    pub r: ResistancePerLength,
+    /// Capacitance to the plane below.
+    pub c_ground: CapacitancePerLength,
+    /// Coupling capacitance to *one* neighbouring line.
+    pub c_coupling: CapacitancePerLength,
+}
+
+impl ExtractedLayer {
+    /// Total switching capacitance per length: ground + both neighbours
+    /// (worst-case Miller factor 1, the value delay optimization uses).
+    #[must_use]
+    pub fn c_total(&self) -> CapacitancePerLength {
+        self.c_ground + self.c_coupling * 2.0
+    }
+
+    /// The fraction of the total capacitance contributed by lateral
+    /// coupling — "a significant fraction of c" in DSM, per the paper.
+    #[must_use]
+    pub fn coupling_fraction(&self) -> f64 {
+        (self.c_coupling * 2.0) / self.c_total()
+    }
+
+    /// As [`LineParams`] for circuit construction.
+    #[must_use]
+    pub fn line_params(&self) -> LineParams {
+        LineParams {
+            r: self.r,
+            c: self.c_total(),
+        }
+    }
+}
+
+/// Extracts a layer's parasitics at its minimum width and pitch.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidDevice`] for an out-of-range layer
+/// index.
+pub fn extract_layer(tech: &Technology, layer_index: usize) -> Result<ExtractedLayer, CircuitError> {
+    let layer = tech
+        .layer_at(layer_index)
+        .map_err(|e| CircuitError::InvalidDevice {
+            message: e.to_string(),
+        })?;
+    let w = layer.width().value();
+    let t = layer.thickness().value();
+    let h = layer.ild_below().value();
+    let s = layer.spacing().value();
+
+    let rho = tech.metal().resistivity(tech.reference_temperature());
+    let r = ResistancePerLength::new(rho.value() / (w * t));
+
+    let eps_inter =
+        VACUUM_PERMITTIVITY_F_PER_M * tech.inter_level_dielectric().relative_permittivity();
+    let eps_intra =
+        VACUUM_PERMITTIVITY_F_PER_M * tech.intra_level_dielectric().relative_permittivity();
+
+    let c_ground = CapacitancePerLength::new(eps_inter * sakurai_ground(w / h, t / h));
+    let c_coupling =
+        CapacitancePerLength::new(eps_intra * sakurai_coupling(w / h, t / h, s / h));
+    Ok(ExtractedLayer {
+        r,
+        c_ground,
+        c_coupling,
+    })
+}
+
+/// Convenience: a layer's [`LineParams`] in one call.
+///
+/// # Errors
+///
+/// Same as [`extract_layer`].
+pub fn line_params(tech: &Technology, layer_index: usize) -> Result<LineParams, CircuitError> {
+    Ok(extract_layer(tech, layer_index)?.line_params())
+}
+
+/// Sakurai–Tamaru single-line-over-plane form, normalized by ε.
+#[must_use]
+pub fn sakurai_ground(w_over_h: f64, t_over_h: f64) -> f64 {
+    1.15 * w_over_h + 2.80 * t_over_h.powf(0.222)
+}
+
+/// Sakurai lateral-coupling form (per neighbour), normalized by ε.
+/// Clamped at zero for very wide spacings where the fit goes negative.
+#[must_use]
+pub fn sakurai_coupling(w_over_h: f64, t_over_h: f64, s_over_h: f64) -> f64 {
+    let c = (0.03 * w_over_h + 0.83 * t_over_h - 0.07 * t_over_h.powf(0.222))
+        * s_over_h.powf(-1.34);
+    c.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotwire_tech::{presets, Dielectric};
+
+    #[test]
+    fn magnitudes_are_physical() {
+        // Top-level global wiring: total c in the 120–350 pF/m window,
+        // r in the kΩ–tens-of-kΩ per meter range.
+        let tech = presets::ntrs_250nm();
+        let top = extract_layer(&tech, 5).unwrap();
+        let c = top.c_total().to_pf_per_cm() * 100.0; // pF/m
+        assert!((120.0..350.0).contains(&c), "c = {c} pF/m");
+        let r = top.r.value();
+        assert!((5.0e3..50.0e3).contains(&r), "r = {r} Ω/m");
+    }
+
+    #[test]
+    fn lower_layers_are_more_resistive() {
+        let tech = presets::ntrs_100nm();
+        let m1 = extract_layer(&tech, 0).unwrap();
+        let m8 = extract_layer(&tech, 7).unwrap();
+        assert!(m1.r.value() > 10.0 * m8.r.value());
+    }
+
+    #[test]
+    fn lowk_reduces_capacitance() {
+        let cu = presets::ntrs_250nm();
+        let lowk = cu
+            .clone()
+            .with_inter_level_dielectric(Dielectric::lowk2())
+            .with_intra_level_dielectric(Dielectric::lowk2());
+        let c_ox = extract_layer(&cu, 5).unwrap().c_total();
+        let c_lk = extract_layer(&lowk, 5).unwrap().c_total();
+        let ratio = c_lk / c_ox;
+        assert!((ratio - 0.5).abs() < 0.01, "ε_r 2.0/4.0 ⇒ ratio {ratio}");
+    }
+
+    #[test]
+    fn coupling_is_significant_in_dsm() {
+        // "a significant fraction of c would be contributed by coupling
+        // capacitances" — for dense minimum-pitch DSM layers.
+        let tech = presets::ntrs_100nm();
+        let m2 = extract_layer(&tech, 1).unwrap();
+        assert!(
+            m2.coupling_fraction() > 0.3,
+            "coupling fraction = {}",
+            m2.coupling_fraction()
+        );
+    }
+
+    #[test]
+    fn coupling_decays_with_spacing() {
+        let c1 = sakurai_coupling(1.0, 1.0, 1.0);
+        let c2 = sakurai_coupling(1.0, 1.0, 2.0);
+        let c4 = sakurai_coupling(1.0, 1.0, 4.0);
+        assert!(c1 > c2 && c2 > c4);
+        // power-law with exponent −1.34
+        assert!(((c1 / c2) - 2.0_f64.powf(1.34)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ground_term_grows_with_width() {
+        assert!(sakurai_ground(4.0, 1.0) > sakurai_ground(1.0, 1.0));
+        // plate asymptote: ΔC/Δ(W/h) → 1.15
+        let d = sakurai_ground(10.0, 1.0) - sakurai_ground(9.0, 1.0);
+        assert!((d - 1.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coupling_never_negative() {
+        assert_eq!(sakurai_coupling(0.1, 0.01, 50.0).max(0.0), sakurai_coupling(0.1, 0.01, 50.0));
+        assert!(sakurai_coupling(0.1, 0.001, 100.0) >= 0.0);
+    }
+
+    #[test]
+    fn out_of_range_layer_rejected() {
+        let tech = presets::ntrs_250nm();
+        assert!(extract_layer(&tech, 11).is_err());
+        assert!(line_params(&tech, 11).is_err());
+    }
+
+    #[test]
+    fn line_params_round_trip() {
+        let tech = presets::ntrs_250nm();
+        let e = extract_layer(&tech, 5).unwrap();
+        let p = line_params(&tech, 5).unwrap();
+        assert_eq!(p.r, e.r);
+        assert_eq!(p.c, e.c_total());
+    }
+}

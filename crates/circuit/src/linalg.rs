@@ -1,0 +1,244 @@
+//! Minimal dense linear algebra: LU factorization with partial pivoting.
+//!
+//! MNA systems at our scale (a few hundred unknowns: ≤ ~100 RC segments
+//! plus a handful of transistors and sources) are solved faster by a dense
+//! LU than by anything sparse once cache effects are counted, and the code
+//! stays fully deterministic.
+
+use crate::CircuitError;
+
+/// A dense row-major square-capable matrix of `f64`.
+///
+/// ```
+/// use hotwire_circuit::linalg::Matrix;
+///
+/// let mut m = Matrix::zeros(2, 2);
+/// m[(0, 0)] = 2.0;
+/// m[(1, 1)] = 4.0;
+/// let x = m.solve(&[2.0, 8.0])?;
+/// assert_eq!(x, vec![1.0, 2.0]);
+/// # Ok::<(), hotwire_circuit::CircuitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Sets every entry to zero (reuse between Newton iterations without
+    /// reallocating).
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Adds `v` to entry `(r, c)` — the natural MNA stamping primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Solves `A·x = b` by LU with partial pivoting, leaving `self`
+    /// untouched (the factorization works on a copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::Singular`] when a pivot underflows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, CircuitError> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x: Vec<f64> = b.to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for col in 0..n {
+            // pivot
+            let mut p = col;
+            let mut max = a[perm[col] * n + col].abs();
+            for (r, &pr) in perm.iter().enumerate().skip(col + 1) {
+                let v = a[pr * n + col].abs();
+                if v > max {
+                    max = v;
+                    p = r;
+                }
+            }
+            if max < 1e-300 {
+                return Err(CircuitError::Singular { row: col });
+            }
+            perm.swap(col, p);
+            let prow = perm[col];
+            let pivot = a[prow * n + col];
+            for &r in &perm[col + 1..] {
+                let factor = a[r * n + col] / pivot;
+                if factor != 0.0 {
+                    a[r * n + col] = factor;
+                    for c in col + 1..n {
+                        a[r * n + c] -= factor * a[prow * n + c];
+                    }
+                }
+            }
+        }
+        // forward: apply L (stored factors) to permuted rhs
+        let mut y = vec![0.0; n];
+        for (i, &pr) in perm.iter().enumerate() {
+            let mut sum = x[pr];
+            for (j, yj) in y.iter().enumerate().take(i) {
+                sum -= a[pr * n + j] * yj;
+            }
+            y[i] = sum;
+        }
+        // back substitution
+        for i in (0..n).rev() {
+            let pr = perm[i];
+            let mut sum = y[i];
+            for j in i + 1..n {
+                sum -= a[pr * n + j] * x[j];
+            }
+            x[i] = sum / a[pr * n + i];
+        }
+        Ok(x)
+    }
+
+    /// Matrix–vector product `A·v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch.
+    #[must_use]
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols);
+        (0..self.rows)
+            .map(|r| {
+                let row = &self.data[r * self.cols..(r + 1) * self.cols];
+                row.iter().zip(v).map(|(a, b)| a * b).sum()
+            })
+            .collect()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve() {
+        let mut m = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            m[(i, i)] = 1.0;
+        }
+        let x = m.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [[0, 1], [1, 0]] · x = [2, 3] ⇒ x = [3, 2]
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 1)] = 1.0;
+        m[(1, 0)] = 1.0;
+        let x = m.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_system_round_trip() {
+        // Fixed pseudo-random matrix: verify A·solve(A, b) = b.
+        let n = 12;
+        let mut m = Matrix::zeros(n, n);
+        let mut seed = 0x1234_5678_u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            #[allow(clippy::cast_precision_loss)]
+            let v = ((seed >> 33) as f64) / f64::from(1u32 << 31);
+            v - 0.5
+        };
+        for r in 0..n {
+            for c in 0..n {
+                m[(r, c)] = next();
+            }
+            m[(r, r)] += 4.0; // diagonally dominant ⇒ well-conditioned
+        }
+        let b: Vec<f64> = (0..n).map(|i| f64::from(u32::try_from(i).unwrap())).collect();
+        let x = m.solve(&b).unwrap();
+        let back = m.mul_vec(&x);
+        for (bi, bb) in b.iter().zip(&back) {
+            assert!((bi - bb).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 0)] = 1.0;
+        m[(0, 1)] = 2.0;
+        m[(1, 0)] = 2.0;
+        m[(1, 1)] = 4.0;
+        assert!(matches!(
+            m.solve(&[1.0, 2.0]),
+            Err(CircuitError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn add_stamps() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add(0, 0, 1.5);
+        m.add(0, 0, 0.5);
+        assert_eq!(m[(0, 0)], 2.0);
+        m.clear();
+        assert_eq!(m[(0, 0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn add_out_of_bounds_panics() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add(2, 0, 1.0);
+    }
+}

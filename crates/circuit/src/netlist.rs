@@ -1,0 +1,569 @@
+//! Circuit construction: nodes, passive devices, sources, MOSFETs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sources::SourceWaveform;
+use crate::CircuitError;
+
+/// A node handle returned by [`Circuit::node`]. Node 0 is ground.
+pub type NodeId = usize;
+
+/// Level-1 (Shichman–Hodges) MOSFET parameters.
+///
+/// `I_D = 0` for `v_gs < v_t`;
+/// `k·[(v_gs−v_t)·v_ds − v_ds²/2]·(1+λ·v_ds)` in triode;
+/// `k/2·(v_gs−v_t)²·(1+λ·v_ds)` in saturation. `k` already folds in W/L.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MosParams {
+    /// Threshold voltage (positive for both polarities; the stamp handles
+    /// sign).
+    pub vt: f64,
+    /// Transconductance factor k = k'·W/L in A/V².
+    pub k: f64,
+    /// Channel-length modulation λ in 1/V.
+    pub lambda: f64,
+}
+
+impl MosParams {
+    /// Derives parameters so that the device's effective switching
+    /// resistance when discharging a capacitor across `vdd` matches a
+    /// target `r_eff` (using the standard `R_eff ≈ 3·V_dd/(4·I_dsat)`
+    /// approximation).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `vdd ≤ vt` or inputs are non-positive.
+    #[must_use]
+    pub fn from_effective_resistance(r_eff: f64, vdd: f64, vt: f64) -> Self {
+        debug_assert!(r_eff > 0.0 && vdd > vt && vt > 0.0);
+        let idsat = 3.0 * vdd / (4.0 * r_eff);
+        let k = 2.0 * idsat / ((vdd - vt) * (vdd - vt));
+        Self {
+            vt,
+            k,
+            lambda: 0.05,
+        }
+    }
+
+    /// Scales the device width by `s` (multiplies k).
+    #[must_use]
+    pub fn scaled(mut self, s: f64) -> Self {
+        self.k *= s;
+        self
+    }
+
+    /// Saturation current at `v_gs = vdd` (ignoring λ).
+    #[must_use]
+    pub fn idsat(&self, vdd: f64) -> f64 {
+        if vdd <= self.vt {
+            0.0
+        } else {
+            0.5 * self.k * (vdd - self.vt) * (vdd - self.vt)
+        }
+    }
+}
+
+/// Transistor polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MosPolarity {
+    /// N-channel: conducts for `v_gs > v_t`, pulls the drain low.
+    Nmos,
+    /// P-channel: conducts for `v_sg > v_t`, pulls the drain high.
+    Pmos,
+}
+
+/// One circuit element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Device {
+    /// Linear resistor between two nodes.
+    Resistor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance in ohms.
+        ohms: f64,
+    },
+    /// Linear capacitor between two nodes.
+    Capacitor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance in farads.
+        farads: f64,
+    },
+    /// Independent voltage source from `plus` to `minus` (adds an MNA
+    /// branch unknown).
+    VoltageSource {
+        /// Positive terminal.
+        plus: NodeId,
+        /// Negative terminal.
+        minus: NodeId,
+        /// The source waveform, volts.
+        waveform: SourceWaveform,
+    },
+    /// Independent current source injecting into `into` (out of `from`).
+    CurrentSource {
+        /// The node current flows out of.
+        from: NodeId,
+        /// The node current flows into.
+        into: NodeId,
+        /// The source waveform, amperes.
+        waveform: SourceWaveform,
+    },
+    /// Level-1 MOSFET.
+    Mosfet {
+        /// Drain terminal.
+        d: NodeId,
+        /// Gate terminal.
+        g: NodeId,
+        /// Source terminal.
+        s: NodeId,
+        /// Device parameters.
+        params: MosParams,
+        /// N- or P-channel.
+        polarity: MosPolarity,
+    },
+}
+
+/// A circuit under construction.
+///
+/// Node 0 ([`Circuit::GROUND`]) always exists. Devices may be added in any
+/// order; validation happens at add time (node existence, positive
+/// element values).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Circuit {
+    next_node: usize,
+    devices: Vec<Device>,
+}
+
+impl Circuit {
+    /// The ground node (reference, 0 V).
+    pub const GROUND: NodeId = 0;
+
+    /// Creates an empty circuit (ground only).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            next_node: 1,
+            devices: Vec::new(),
+        }
+    }
+
+    /// Allocates a new node.
+    pub fn node(&mut self) -> NodeId {
+        let id = self.next_node;
+        self.next_node += 1;
+        id
+    }
+
+    /// Allocates `n` new nodes.
+    pub fn nodes(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.node()).collect()
+    }
+
+    /// Number of non-ground nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.next_node - 1
+    }
+
+    /// The devices added so far.
+    #[must_use]
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    fn check_node(&self, n: NodeId) -> Result<(), CircuitError> {
+        if n < self.next_node {
+            Ok(())
+        } else {
+            Err(CircuitError::UnknownNode { node: n })
+        }
+    }
+
+    /// Adds a resistor. Returns the device index (usable with the
+    /// current-probe helpers in [`crate::transient`]).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes and non-positive resistance.
+    pub fn try_resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> Result<usize, CircuitError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if !(ohms > 0.0) || !ohms.is_finite() {
+            return Err(CircuitError::InvalidDevice {
+                message: format!("resistance must be positive, got {ohms}"),
+            });
+        }
+        self.devices.push(Device::Resistor { a, b, ohms });
+        Ok(self.devices.len() - 1)
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid nodes or non-positive resistance; use
+    /// [`Circuit::try_resistor`] for fallible construction.
+    pub fn resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> usize {
+        self.try_resistor(a, b, ohms).expect("valid resistor")
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes and negative capacitance.
+    pub fn try_capacitor(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        farads: f64,
+    ) -> Result<usize, CircuitError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if !(farads >= 0.0) || !farads.is_finite() {
+            return Err(CircuitError::InvalidDevice {
+                message: format!("capacitance must be non-negative, got {farads}"),
+            });
+        }
+        self.devices.push(Device::Capacitor { a, b, farads });
+        Ok(self.devices.len() - 1)
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid nodes or negative capacitance.
+    pub fn capacitor(&mut self, a: NodeId, b: NodeId, farads: f64) -> usize {
+        self.try_capacitor(a, b, farads).expect("valid capacitor")
+    }
+
+    /// Adds an independent voltage source.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid nodes.
+    pub fn voltage_source(
+        &mut self,
+        plus: NodeId,
+        minus: NodeId,
+        waveform: SourceWaveform,
+    ) -> usize {
+        self.check_node(plus).expect("valid plus node");
+        self.check_node(minus).expect("valid minus node");
+        self.devices.push(Device::VoltageSource {
+            plus,
+            minus,
+            waveform,
+        });
+        self.devices.len() - 1
+    }
+
+    /// Adds an independent current source (`from` → `into`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid nodes.
+    pub fn current_source(
+        &mut self,
+        from: NodeId,
+        into: NodeId,
+        waveform: SourceWaveform,
+    ) -> usize {
+        self.check_node(from).expect("valid from node");
+        self.check_node(into).expect("valid into node");
+        self.devices.push(Device::CurrentSource {
+            from,
+            into,
+            waveform,
+        });
+        self.devices.len() - 1
+    }
+
+    /// Adds a MOSFET.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes and non-positive k / vt.
+    pub fn try_mosfet(
+        &mut self,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        params: MosParams,
+        polarity: MosPolarity,
+    ) -> Result<usize, CircuitError> {
+        self.check_node(d)?;
+        self.check_node(g)?;
+        self.check_node(s)?;
+        if !(params.k > 0.0) || !(params.vt > 0.0) || !(params.lambda >= 0.0) {
+            return Err(CircuitError::InvalidDevice {
+                message: "MOSFET needs k > 0, vt > 0, λ ≥ 0".to_owned(),
+            });
+        }
+        self.devices.push(Device::Mosfet {
+            d,
+            g,
+            s,
+            params,
+            polarity,
+        });
+        Ok(self.devices.len() - 1)
+    }
+
+    /// Adds a MOSFET.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid nodes or parameters.
+    pub fn mosfet(
+        &mut self,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        params: MosParams,
+        polarity: MosPolarity,
+    ) -> usize {
+        self.try_mosfet(d, g, s, params, polarity)
+            .expect("valid MOSFET")
+    }
+
+    /// Adds a CMOS inverter: input gate node, output drain node, between
+    /// `vdd_node` and ground. The PMOS is made `pn_ratio`× wider than the
+    /// NMOS. Returns `(nmos_index, pmos_index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid nodes or parameters.
+    pub fn inverter(
+        &mut self,
+        input: NodeId,
+        output: NodeId,
+        vdd_node: NodeId,
+        nmos: MosParams,
+        pn_ratio: f64,
+    ) -> (usize, usize) {
+        let n = self.mosfet(output, input, Self::GROUND, nmos, MosPolarity::Nmos);
+        let p = self.mosfet(
+            output,
+            input,
+            vdd_node,
+            nmos.scaled(pn_ratio),
+            MosPolarity::Pmos,
+        );
+        (n, p)
+    }
+}
+
+/// The drain current and small-signal conductances of a level-1 MOSFET at
+/// a bias point — used by the Newton loop and exposed for tests
+/// (C-INTERMEDIATE).
+///
+/// Returns `(i_d, g_m, g_ds)` with the convention that `i_d` flows
+/// drain→source for NMOS (source→drain for PMOS the sign flips inside the
+/// stamp).
+#[must_use]
+pub fn mos_current(params: MosParams, polarity: MosPolarity, vd: f64, vg: f64, vs: f64) -> (f64, f64, f64) {
+    // Map PMOS onto the NMOS equations by mirroring voltages.
+    let (vgs, vds) = match polarity {
+        MosPolarity::Nmos => (vg - vs, vd - vs),
+        MosPolarity::Pmos => (vs - vg, vs - vd),
+    };
+    // Handle source/drain swap (vds < 0) by symmetry: conduction is
+    // symmetric for the level-1 model.
+    let (vgs_eff, vds_eff, flip) = if vds >= 0.0 {
+        (vgs, vds, false)
+    } else {
+        (vgs - vds, -vds, true)
+    };
+    let vov = vgs_eff - params.vt;
+    let (mut id, mut gm, mut gds) = if vov <= 0.0 {
+        (0.0, 0.0, 0.0)
+    } else if vds_eff < vov {
+        // triode
+        let id = params.k * (vov * vds_eff - 0.5 * vds_eff * vds_eff)
+            * (1.0 + params.lambda * vds_eff);
+        let gm = params.k * vds_eff * (1.0 + params.lambda * vds_eff);
+        let gds = params.k * (vov - vds_eff) * (1.0 + params.lambda * vds_eff)
+            + params.k * (vov * vds_eff - 0.5 * vds_eff * vds_eff) * params.lambda;
+        (id, gm, gds)
+    } else {
+        // saturation
+        let id = 0.5 * params.k * vov * vov * (1.0 + params.lambda * vds_eff);
+        let gm = params.k * vov * (1.0 + params.lambda * vds_eff);
+        let gds = 0.5 * params.k * vov * vov * params.lambda;
+        (id, gm, gds)
+    };
+    if flip {
+        id = -id;
+        // For the flipped device, what we call gm/gds still linearize the
+        // current w.r.t. the original vgs/vds; the MNA stamp treats the
+        // returned values as ∂I/∂vgs and ∂I/∂vds of the *reported* current.
+        // ∂I/∂vgs = -gm(vgs'), ∂I/∂vds = gm(vgs') + gds(vds') by the chain
+        // rule through vgs' = vgs − vds, vds' = −vds.
+        let gm_f = -gm;
+        let gds_f = gm + gds;
+        gm = gm_f;
+        gds = gds_f;
+    }
+    (id, gm, gds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> MosParams {
+        MosParams {
+            vt: 0.5,
+            k: 1.0e-3,
+            lambda: 0.0,
+        }
+    }
+
+    #[test]
+    fn node_allocation() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        let b = c.node();
+        assert_eq!(a, 1);
+        assert_eq!(b, 2);
+        assert_eq!(c.node_count(), 2);
+        let more = c.nodes(3);
+        assert_eq!(more, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn device_validation() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        assert!(c.try_resistor(a, 99, 1.0).is_err());
+        assert!(c.try_resistor(a, Circuit::GROUND, 0.0).is_err());
+        assert!(c.try_capacitor(a, Circuit::GROUND, -1.0).is_err());
+        assert!(c.try_capacitor(a, Circuit::GROUND, 0.0).is_ok());
+        assert!(c
+            .try_mosfet(a, a, Circuit::GROUND, MosParams { vt: 0.0, k: 1.0, lambda: 0.0 }, MosPolarity::Nmos)
+            .is_err());
+    }
+
+    #[test]
+    fn mos_cutoff() {
+        let (id, gm, gds) = mos_current(params(), MosPolarity::Nmos, 1.0, 0.2, 0.0);
+        assert_eq!(id, 0.0);
+        assert_eq!(gm, 0.0);
+        assert_eq!(gds, 0.0);
+    }
+
+    #[test]
+    fn mos_saturation_value() {
+        // vgs = 1.5, vt = 0.5 ⇒ vov = 1; vds = 2 > vov ⇒ saturation
+        let (id, gm, _) = mos_current(params(), MosPolarity::Nmos, 2.0, 1.5, 0.0);
+        assert!((id - 0.5e-3).abs() < 1e-12);
+        assert!((gm - 1.0e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mos_triode_value() {
+        // vov = 1, vds = 0.5 ⇒ triode: k(1·0.5 − 0.125) = 0.375 mA
+        let (id, _, gds) = mos_current(params(), MosPolarity::Nmos, 0.5, 1.5, 0.0);
+        assert!((id - 0.375e-3).abs() < 1e-12);
+        assert!((gds - 0.5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mos_continuity_at_saturation_edge() {
+        let p = params();
+        let (id_t, _, _) = mos_current(p, MosPolarity::Nmos, 0.9999999, 1.5, 0.0);
+        let (id_s, _, _) = mos_current(p, MosPolarity::Nmos, 1.0000001, 1.5, 0.0);
+        assert!((id_t - id_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos() {
+        // PMOS with source at 2.5 V, gate at 0 ⇒ vsg = 2.5, strongly on.
+        let (id_p, _, _) = mos_current(params(), MosPolarity::Pmos, 0.0, 0.0, 2.5);
+        let (id_n, _, _) = mos_current(params(), MosPolarity::Nmos, 2.5, 2.5, 0.0);
+        assert!((id_p - id_n).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reverse_conduction_is_antisymmetric() {
+        // Swap drain/source at the same gate potential: current flips sign
+        // (λ = 0 keeps it exact).
+        let p = params();
+        let (fwd, _, _) = mos_current(p, MosPolarity::Nmos, 0.3, 1.5, 0.0);
+        let (rev, _, _) = mos_current(p, MosPolarity::Nmos, 0.0, 1.5, 0.3);
+        assert!((fwd + rev).abs() < 1e-12, "fwd {fwd} rev {rev}");
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let p = MosParams {
+            vt: 0.5,
+            k: 2.0e-3,
+            lambda: 0.05,
+        };
+        for &(vd, vg, vs) in &[
+            (1.3, 1.2, 0.0),
+            (0.2, 1.8, 0.0),
+            (2.0, 2.4, 0.0),
+            (0.1, 1.0, 0.4),
+            // reverse-conduction bias points (vds < 0)
+            (0.0, 1.5, 0.6),
+            (0.2, 2.0, 0.9),
+        ] {
+            let h = 1e-7;
+            let (id, gm, gds) = mos_current(p, MosPolarity::Nmos, vd, vg, vs);
+            let (id_g, _, _) = mos_current(p, MosPolarity::Nmos, vd, vg + h, vs);
+            let (id_d, _, _) = mos_current(p, MosPolarity::Nmos, vd + h, vg, vs);
+            let gm_fd = (id_g - id) / h;
+            let gds_fd = (id_d - id) / h;
+            assert!(
+                (gm - gm_fd).abs() < 1e-5 * p.k.max(id.abs() / 0.1),
+                "gm {gm} vs fd {gm_fd} at ({vd},{vg},{vs})"
+            );
+            assert!(
+                (gds - gds_fd).abs() < 1e-5 * p.k.max(id.abs() / 0.1),
+                "gds {gds} vs fd {gds_fd} at ({vd},{vg},{vs})"
+            );
+        }
+    }
+
+    #[test]
+    fn effective_resistance_calibration() {
+        let p = MosParams::from_effective_resistance(10.0e3, 2.5, 0.5);
+        let idsat = p.idsat(2.5);
+        let r_eff = 3.0 * 2.5 / (4.0 * idsat);
+        assert!((r_eff - 10.0e3).abs() / 10.0e3 < 1e-9);
+        let wide = p.scaled(4.0);
+        assert!((wide.idsat(2.5) - 4.0 * idsat).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverter_adds_two_devices() {
+        let mut c = Circuit::new();
+        let vdd = c.node();
+        let a = c.node();
+        let y = c.node();
+        let (n, p) = c.inverter(a, y, vdd, params(), 2.0);
+        assert_eq!(c.devices().len(), 2);
+        assert!(matches!(
+            c.devices()[n],
+            Device::Mosfet {
+                polarity: MosPolarity::Nmos,
+                ..
+            }
+        ));
+        assert!(matches!(
+            c.devices()[p],
+            Device::Mosfet {
+                polarity: MosPolarity::Pmos,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,458 @@
+//! A SPICE-flavoured netlist parser.
+//!
+//! The transient engine is usually driven programmatically (see
+//! [`crate::repeater`]), but interoperability with hand-written decks is
+//! part of being a usable circuit tool. The dialect is a compact subset
+//! of SPICE:
+//!
+//! ```text
+//! * comment lines start with '*' (or '#'); continuation is not needed
+//! VDD vdd 0 DC 2.5
+//! VIN in  0 PULSE(0 2.5 0 0.1n 0.1n 2n 4n)
+//! R1  in  mid 1k
+//! C1  mid 0   10f
+//! I1  0   mid DC 1u
+//! M1  out in  0   NMOS VT=0.5 K=1m LAMBDA=0.05
+//! M2  out in  vdd PMOS VT=0.5 K=2m
+//! .end
+//! ```
+//!
+//! * Node `0` (also `gnd`/`GND`) is ground; all other node names are
+//!   free-form identifiers allocated on first use.
+//! * Values accept the SPICE magnitude suffixes
+//!   `f p n u m k meg g t` (case-insensitive).
+//! * Device kinds are selected by the first letter of the element name:
+//!   `R`, `C`, `V`, `I`, `M`.
+//!
+//! ```
+//! use hotwire_circuit::parser::parse_netlist;
+//! use hotwire_circuit::transient::{simulate, TransientOptions};
+//!
+//! let deck = "\
+//! * rc divider
+//! V1 in 0 DC 1.0
+//! R1 in out 1k
+//! C1 out 0 1n
+//! ";
+//! let parsed = parse_netlist(deck)?;
+//! let out = parsed.node("out").expect("declared in the deck");
+//! let result = simulate(&parsed.circuit, 10.0e-6, TransientOptions::default())?;
+//! assert!((result.voltage(out).last().unwrap() - 1.0).abs() < 1e-2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::HashMap;
+
+use crate::netlist::{Circuit, MosParams, MosPolarity, NodeId};
+use crate::sources::SourceWaveform;
+use crate::CircuitError;
+
+/// The result of parsing a netlist: the circuit plus name → node and
+/// name → device-index maps for probing.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedCircuit {
+    /// The assembled circuit.
+    pub circuit: Circuit,
+    nodes: HashMap<String, NodeId>,
+    devices: HashMap<String, usize>,
+}
+
+impl ParsedCircuit {
+    /// Resolves a node name from the deck (ground aliases return
+    /// [`Circuit::GROUND`]).
+    #[must_use]
+    pub fn node(&self, name: &str) -> Option<NodeId> {
+        if is_ground(name) {
+            return Some(Circuit::GROUND);
+        }
+        self.nodes.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Resolves an element name (e.g. `"R1"`) to its device index, usable
+    /// with the current probes of [`crate::transient::TransientResult`].
+    #[must_use]
+    pub fn device(&self, name: &str) -> Option<usize> {
+        self.devices.get(&name.to_ascii_uppercase()).copied()
+    }
+
+    /// All declared node names (lowercased), sorted.
+    #[must_use]
+    pub fn node_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.nodes.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+fn is_ground(name: &str) -> bool {
+    matches!(name.to_ascii_lowercase().as_str(), "0" | "gnd")
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> CircuitError {
+    CircuitError::InvalidDevice {
+        message: format!("netlist line {line}: {}", message.into()),
+    }
+}
+
+/// Parses a SPICE magnitude-suffixed value (`1k`, `10f`, `2.5`, `1meg`).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidDevice`] for unparseable tokens.
+pub fn parse_value(token: &str) -> Result<f64, CircuitError> {
+    let t = token.trim().to_ascii_lowercase();
+    let (mult, digits) = if let Some(stripped) = t.strip_suffix("meg") {
+        (1.0e6, stripped)
+    } else if let Some(stripped) = t.strip_suffix('f') {
+        (1.0e-15, stripped)
+    } else if let Some(stripped) = t.strip_suffix('p') {
+        (1.0e-12, stripped)
+    } else if let Some(stripped) = t.strip_suffix('n') {
+        (1.0e-9, stripped)
+    } else if let Some(stripped) = t.strip_suffix('u') {
+        (1.0e-6, stripped)
+    } else if let Some(stripped) = t.strip_suffix('m') {
+        (1.0e-3, stripped)
+    } else if let Some(stripped) = t.strip_suffix('k') {
+        (1.0e3, stripped)
+    } else if let Some(stripped) = t.strip_suffix('g') {
+        (1.0e9, stripped)
+    } else if let Some(stripped) = t.strip_suffix('t') {
+        (1.0e12, stripped)
+    } else {
+        (1.0, t.as_str())
+    };
+    digits
+        .parse::<f64>()
+        .map(|v| v * mult)
+        .map_err(|_| CircuitError::InvalidDevice {
+            message: format!("`{token}` is not a numeric value"),
+        })
+}
+
+/// Parses a whole deck into a [`ParsedCircuit`].
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidDevice`] with a line number for any
+/// malformed element.
+pub fn parse_netlist(text: &str) -> Result<ParsedCircuit, CircuitError> {
+    let mut parsed = ParsedCircuit {
+        circuit: Circuit::new(),
+        ..ParsedCircuit::default()
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('*') || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('.') {
+            // dot-commands: only .end is meaningful in this subset
+            if line.to_ascii_lowercase().starts_with(".end") {
+                break;
+            }
+            continue;
+        }
+        // Normalize PULSE(...) style argument lists into whitespace tokens.
+        let normalized = line.replace(['(', ')', ','], " ");
+        let tokens: Vec<&str> = normalized.split_whitespace().collect();
+        let name = tokens[0].to_ascii_uppercase();
+        let kind = name.chars().next().expect("non-empty token");
+        let device_index = match kind {
+            'R' => parse_resistor(&mut parsed, lineno, &tokens)?,
+            'C' => parse_capacitor(&mut parsed, lineno, &tokens)?,
+            'V' => parse_source(&mut parsed, lineno, &tokens, true)?,
+            'I' => parse_source(&mut parsed, lineno, &tokens, false)?,
+            'M' => parse_mosfet(&mut parsed, lineno, &tokens)?,
+            other => {
+                return Err(parse_err(
+                    lineno,
+                    format!("unsupported element type `{other}` (supported: R C V I M)"),
+                ))
+            }
+        };
+        if parsed.devices.insert(name.clone(), device_index).is_some() {
+            return Err(parse_err(lineno, format!("duplicate element name `{name}`")));
+        }
+    }
+    Ok(parsed)
+}
+
+fn resolve_node(parsed: &mut ParsedCircuit, name: &str) -> NodeId {
+    if is_ground(name) {
+        return Circuit::GROUND;
+    }
+    let key = name.to_ascii_lowercase();
+    if let Some(&id) = parsed.nodes.get(&key) {
+        return id;
+    }
+    let id = parsed.circuit.node();
+    parsed.nodes.insert(key, id);
+    id
+}
+
+fn parse_resistor(
+    parsed: &mut ParsedCircuit,
+    lineno: usize,
+    tokens: &[&str],
+) -> Result<usize, CircuitError> {
+    if tokens.len() != 4 {
+        return Err(parse_err(lineno, "expected `Rname n1 n2 value`"));
+    }
+    let a = resolve_node(parsed, tokens[1]);
+    let b = resolve_node(parsed, tokens[2]);
+    let ohms = parse_value(tokens[3]).map_err(|e| parse_err(lineno, e.to_string()))?;
+    parsed
+        .circuit
+        .try_resistor(a, b, ohms)
+        .map_err(|e| parse_err(lineno, e.to_string()))
+}
+
+fn parse_capacitor(
+    parsed: &mut ParsedCircuit,
+    lineno: usize,
+    tokens: &[&str],
+) -> Result<usize, CircuitError> {
+    if tokens.len() != 4 {
+        return Err(parse_err(lineno, "expected `Cname n1 n2 value`"));
+    }
+    let a = resolve_node(parsed, tokens[1]);
+    let b = resolve_node(parsed, tokens[2]);
+    let farads = parse_value(tokens[3]).map_err(|e| parse_err(lineno, e.to_string()))?;
+    parsed
+        .circuit
+        .try_capacitor(a, b, farads)
+        .map_err(|e| parse_err(lineno, e.to_string()))
+}
+
+fn parse_source(
+    parsed: &mut ParsedCircuit,
+    lineno: usize,
+    tokens: &[&str],
+    voltage: bool,
+) -> Result<usize, CircuitError> {
+    if tokens.len() < 4 {
+        return Err(parse_err(
+            lineno,
+            "expected `Vname n+ n- DC v` or `Vname n+ n- PULSE(v0 v1 td tr tf pw per)`",
+        ));
+    }
+    let plus = resolve_node(parsed, tokens[1]);
+    let minus = resolve_node(parsed, tokens[2]);
+    let spec = tokens[3].to_ascii_uppercase();
+    let waveform = match spec.as_str() {
+        "DC" => {
+            if tokens.len() != 5 {
+                return Err(parse_err(lineno, "DC source needs one value"));
+            }
+            SourceWaveform::dc(parse_value(tokens[4]).map_err(|e| parse_err(lineno, e.to_string()))?)
+        }
+        "PULSE" => {
+            if tokens.len() != 11 {
+                return Err(parse_err(
+                    lineno,
+                    "PULSE needs 7 values: v0 v1 td tr tf pw per",
+                ));
+            }
+            let mut v = [0.0; 7];
+            for (slot, tok) in v.iter_mut().zip(&tokens[4..11]) {
+                *slot = parse_value(tok).map_err(|e| parse_err(lineno, e.to_string()))?;
+            }
+            SourceWaveform::pulse(v[0], v[1], v[2], v[3], v[4], v[5], v[6])
+        }
+        _ => {
+            // bare value shorthand: `V1 a 0 2.5`
+            if tokens.len() != 4 {
+                return Err(parse_err(lineno, format!("unknown source spec `{spec}`")));
+            }
+            SourceWaveform::dc(
+                parse_value(tokens[3]).map_err(|e| parse_err(lineno, e.to_string()))?,
+            )
+        }
+    };
+    Ok(if voltage {
+        parsed.circuit.voltage_source(plus, minus, waveform)
+    } else {
+        // SPICE convention: current flows from n+ through the source to n−
+        parsed.circuit.current_source(plus, minus, waveform)
+    })
+}
+
+fn parse_mosfet(
+    parsed: &mut ParsedCircuit,
+    lineno: usize,
+    tokens: &[&str],
+) -> Result<usize, CircuitError> {
+    if tokens.len() < 5 {
+        return Err(parse_err(
+            lineno,
+            "expected `Mname d g s NMOS|PMOS [VT=..] [K=..] [LAMBDA=..]`",
+        ));
+    }
+    let d = resolve_node(parsed, tokens[1]);
+    let g = resolve_node(parsed, tokens[2]);
+    let s = resolve_node(parsed, tokens[3]);
+    let polarity = match tokens[4].to_ascii_uppercase().as_str() {
+        "NMOS" => MosPolarity::Nmos,
+        "PMOS" => MosPolarity::Pmos,
+        other => return Err(parse_err(lineno, format!("unknown model `{other}`"))),
+    };
+    let mut params = MosParams {
+        vt: 0.5,
+        k: 1.0e-3,
+        lambda: 0.0,
+    };
+    for tok in &tokens[5..] {
+        let Some((key, val)) = tok.split_once('=') else {
+            return Err(parse_err(lineno, format!("expected KEY=value, got `{tok}`")));
+        };
+        let v = parse_value(val).map_err(|e| parse_err(lineno, e.to_string()))?;
+        match key.to_ascii_uppercase().as_str() {
+            "VT" => params.vt = v,
+            "K" => params.k = v,
+            "LAMBDA" => params.lambda = v,
+            other => return Err(parse_err(lineno, format!("unknown parameter `{other}`"))),
+        }
+    }
+    parsed
+        .circuit
+        .try_mosfet(d, g, s, params, polarity)
+        .map_err(|e| parse_err(lineno, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transient::{simulate, TransientOptions};
+
+    #[test]
+    fn value_suffixes() {
+        let close = |tok: &str, expect: f64| {
+            let v = parse_value(tok).unwrap();
+            assert!(
+                (v - expect).abs() <= 1e-12 * expect.abs(),
+                "{tok}: {v} vs {expect}"
+            );
+        };
+        close("1k", 1.0e3);
+        close("10f", 1.0e-14);
+        close("2.5", 2.5);
+        close("1meg", 1.0e6);
+        close("0.1N", 1.0e-10);
+        close("3u", 3.0e-6);
+        close("2m", 2.0e-3);
+        close("1g", 1.0e9);
+        close("1t", 1.0e12);
+        assert!(parse_value("abc").is_err());
+        assert!(parse_value("1x").is_err());
+    }
+
+    #[test]
+    fn rc_deck_simulates() {
+        let deck = "\
+* rc filter
+V1 in 0 DC 1.0
+R1 in out 1k
+C1 out gnd 1n
+.end
+ignored after end
+";
+        let p = parse_netlist(deck).unwrap();
+        assert_eq!(p.circuit.devices().len(), 3);
+        let out = p.node("out").unwrap();
+        let r = simulate(&p.circuit, 1.0e-5, TransientOptions::default()).unwrap();
+        assert!((r.voltage(out).last().unwrap() - 1.0).abs() < 1e-2);
+        // current probe through the named resistor
+        let i = r.resistor_current(&p.circuit, p.device("r1").unwrap());
+        assert!(i[1] > 0.5e-3);
+    }
+
+    #[test]
+    fn pulse_source_and_case_insensitivity() {
+        let deck = "vin A 0 pulse(0 2.5 1n 0.2n 0.2n 3n 8n)\nr1 a 0 1K\n";
+        let p = parse_netlist(deck).unwrap();
+        // `A` and `a` are the same node
+        assert_eq!(p.circuit.node_count(), 1);
+        let r = simulate(
+            &p.circuit,
+            4.0e-9,
+            TransientOptions {
+                dt: Some(2.0e-11),
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        let v = r.voltage(p.node("a").unwrap());
+        let k = r.times.iter().position(|&t| t > 2.0e-9).unwrap();
+        assert!((v[k] - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverter_deck() {
+        let deck = "\
+VDD vdd 0 DC 2.5
+VIN in 0 PULSE(0 2.5 1n 0.1n 0.1n 4n 10n)
+M1 out in 0 NMOS VT=0.5 K=1m
+M2 out in vdd PMOS VT=0.5 K=2m LAMBDA=0.05
+CL out 0 20f
+";
+        let p = parse_netlist(deck).unwrap();
+        let out = p.node("out").unwrap();
+        let r = simulate(
+            &p.circuit,
+            10.0e-9,
+            TransientOptions {
+                dt: Some(5.0e-12),
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        let k_pre = r.times.iter().position(|&t| t > 0.9e-9).unwrap();
+        assert!(r.voltage_at(out, k_pre) > 2.2);
+        let k_mid = r.times.iter().position(|&t| t > 3.0e-9).unwrap();
+        assert!(r.voltage_at(out, k_mid) < 0.3);
+    }
+
+    #[test]
+    fn current_source_direction() {
+        // SPICE: current flows n+ → (through source) → n−, i.e. out of n−
+        // into the external circuit. `I1 0 x 1m` pushes 1 mA into node x.
+        let deck = "I1 0 x DC 1m\nR1 x 0 2k\n";
+        let p = parse_netlist(deck).unwrap();
+        let r = simulate(&p.circuit, 1.0e-6, TransientOptions::default()).unwrap();
+        let v = r.voltage_at(p.node("x").unwrap(), 5);
+        assert!((v - 2.0).abs() < 1e-6, "v = {v}");
+    }
+
+    #[test]
+    fn error_reporting_with_line_numbers() {
+        for (deck, needle) in [
+            ("R1 a b\n", "line 1"),
+            ("R1 a b 1x\n", "not a numeric"),
+            ("X1 a b 1k\n", "unsupported element"),
+            ("V1 a 0 PULSE(1 2 3)\n", "PULSE needs 7"),
+            ("M1 a b c QMOS\n", "unknown model"),
+            ("M1 a b c NMOS FOO=1\n", "unknown parameter"),
+            ("M1 a b c NMOS VT\n", "KEY=value"),
+            ("R1 a 0 1k\nR1 a 0 1k\n", "duplicate element"),
+            ("V1 a 0 AC 1\n", "unknown source spec"),
+        ] {
+            let err = parse_netlist(deck).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "deck {deck:?}: got `{err}`, wanted `{needle}`"
+            );
+        }
+    }
+
+    #[test]
+    fn node_names_listing() {
+        let p = parse_netlist("R1 alpha beta 1k\nR2 beta 0 1k\n").unwrap();
+        assert_eq!(p.node_names(), vec!["alpha".to_owned(), "beta".to_owned()]);
+        assert_eq!(p.node("0"), Some(Circuit::GROUND));
+        assert_eq!(p.node("GND"), Some(Circuit::GROUND));
+        assert_eq!(p.node("missing"), None);
+        assert_eq!(p.device("zz"), None);
+    }
+}

@@ -1,0 +1,235 @@
+//! Distributed RC transmission lines as N-segment π-ladders.
+
+use hotwire_units::{CapacitancePerLength, Length, ResistancePerLength};
+use serde::{Deserialize, Serialize};
+
+use crate::netlist::{Circuit, NodeId};
+use crate::CircuitError;
+
+/// Per-unit-length electrical parameters of a wire.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LineParams {
+    /// Resistance per length, Ω/m.
+    pub r: ResistancePerLength,
+    /// Capacitance per length (to ground + coupling), F/m.
+    pub c: CapacitancePerLength,
+}
+
+impl LineParams {
+    /// The distributed RC delay constant `0.38·r·c·l²` of an unbuffered
+    /// line of length `l` (Sakurai's coefficient for 50 % delay).
+    #[must_use]
+    pub fn elmore_delay(&self, length: Length) -> f64 {
+        0.38 * self.r.value() * self.c.value() * length.value() * length.value()
+    }
+
+    /// Total line resistance.
+    #[must_use]
+    pub fn total_resistance(&self, length: Length) -> f64 {
+        self.r.value() * length.value()
+    }
+
+    /// Total line capacitance.
+    #[must_use]
+    pub fn total_capacitance(&self, length: Length) -> f64 {
+        self.c.value() * length.value()
+    }
+}
+
+/// Handles into an RC line instantiated inside a [`Circuit`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RcLine {
+    /// Node at the driven (near) end.
+    pub input: NodeId,
+    /// Node at the far end.
+    pub output: NodeId,
+    /// All segment-boundary nodes, input first, output last.
+    pub taps: Vec<NodeId>,
+    /// Device indices of the segment resistors, near to far — probe these
+    /// for the current waveform along the line.
+    pub segment_resistors: Vec<usize>,
+}
+
+impl RcLine {
+    /// Builds an `n`-segment π-ladder between `input` and a new far-end
+    /// node: each segment is R/n with C/(2n) to ground at both ends
+    /// (adjacent halves merge, giving the classic π distribution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidDevice`] when `n = 0` or the line
+    /// length is non-positive.
+    pub fn build(
+        circuit: &mut Circuit,
+        input: NodeId,
+        params: LineParams,
+        length: Length,
+        n: usize,
+    ) -> Result<Self, CircuitError> {
+        if n == 0 {
+            return Err(CircuitError::InvalidDevice {
+                message: "RC line needs at least one segment".to_owned(),
+            });
+        }
+        if !(length.value() > 0.0) {
+            return Err(CircuitError::InvalidDevice {
+                message: "RC line length must be positive".to_owned(),
+            });
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let seg_r = params.total_resistance(length) / n as f64;
+        #[allow(clippy::cast_precision_loss)]
+        let seg_c = params.total_capacitance(length) / n as f64;
+
+        let mut taps = vec![input];
+        let mut segment_resistors = Vec::with_capacity(n);
+        // half-capacitor at the near end
+        circuit.try_capacitor(input, Circuit::GROUND, seg_c / 2.0)?;
+        let mut prev = input;
+        for k in 0..n {
+            let next = circuit.node();
+            segment_resistors.push(circuit.try_resistor(prev, next, seg_r)?);
+            // interior nodes get a full segment capacitance, the far end a half
+            let c_here = if k == n - 1 { seg_c / 2.0 } else { seg_c };
+            circuit.try_capacitor(next, Circuit::GROUND, c_here)?;
+            taps.push(next);
+            prev = next;
+        }
+        Ok(Self {
+            input,
+            output: prev,
+            taps,
+            segment_resistors,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::SourceWaveform;
+    use crate::transient::{simulate, TransientOptions};
+
+    fn params() -> LineParams {
+        LineParams {
+            r: ResistancePerLength::new(15.0e3), // 15 kΩ/m
+            c: CapacitancePerLength::new(2.0e-10), // 200 pF/m
+        }
+    }
+
+    #[test]
+    fn totals_scale_with_length() {
+        let p = params();
+        let l = Length::from_millimeters(5.0);
+        assert!((p.total_resistance(l) - 75.0).abs() < 1e-9);
+        assert!((p.total_capacitance(l) - 1.0e-12).abs() < 1e-24);
+        assert!(p.elmore_delay(l) > 0.0);
+    }
+
+    #[test]
+    fn build_validation() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        assert!(RcLine::build(&mut c, a, params(), Length::from_millimeters(1.0), 0).is_err());
+        assert!(RcLine::build(&mut c, a, params(), Length::ZERO, 4).is_err());
+        let line = RcLine::build(&mut c, a, params(), Length::from_millimeters(1.0), 4).unwrap();
+        assert_eq!(line.taps.len(), 5);
+        assert_eq!(line.segment_resistors.len(), 4);
+        assert_eq!(line.input, a);
+        assert_eq!(*line.taps.last().unwrap(), line.output);
+    }
+
+    #[test]
+    fn step_response_delay_matches_distributed_theory() {
+        // Drive a 5 mm line with an ideal step; 50 % delay at the far end of
+        // a distributed RC line is ≈ 0.38·R·C (Sakurai). A 32-segment ladder
+        // should reproduce it within a few percent.
+        let p = params();
+        let l = Length::from_millimeters(5.0);
+        let mut c = Circuit::new();
+        let drv = c.node();
+        c.voltage_source(drv, Circuit::GROUND, SourceWaveform::dc(1.0));
+        let line = RcLine::build(&mut c, drv, p, l, 32).unwrap();
+        let t_expected = p.elmore_delay(l);
+        let result = simulate(
+            &c,
+            6.0 * t_expected,
+            TransientOptions {
+                dt: Some(t_expected / 400.0),
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        let v_out = result.voltage(line.output);
+        let k50 = v_out.iter().position(|&v| v >= 0.5).expect("reaches 50 %");
+        let t50 = result.times[k50];
+        assert!(
+            (t50 - t_expected).abs() / t_expected < 0.08,
+            "t50 = {t50:.3e} vs 0.38·R·C = {t_expected:.3e}"
+        );
+    }
+
+    #[test]
+    fn more_segments_converge() {
+        // The far-end 50 % delay should converge as segments increase.
+        let p = params();
+        let l = Length::from_millimeters(3.0);
+        let mut t50s = Vec::new();
+        for n in [2, 8, 32] {
+            let mut c = Circuit::new();
+            let drv = c.node();
+            c.voltage_source(drv, Circuit::GROUND, SourceWaveform::dc(1.0));
+            let line = RcLine::build(&mut c, drv, p, l, n).unwrap();
+            let t_ref = p.elmore_delay(l);
+            let result = simulate(
+                &c,
+                8.0 * t_ref,
+                TransientOptions {
+                    dt: Some(t_ref / 500.0),
+                    ..TransientOptions::default()
+                },
+            )
+            .unwrap();
+            let v_out = result.voltage(line.output);
+            let k50 = v_out.iter().position(|&v| v >= 0.5).unwrap();
+            t50s.push(result.times[k50]);
+        }
+        let d_coarse = (t50s[0] - t50s[2]).abs();
+        let d_fine = (t50s[1] - t50s[2]).abs();
+        assert!(
+            d_fine < d_coarse,
+            "refinement must reduce discretization error: {t50s:?}"
+        );
+    }
+
+    #[test]
+    fn near_end_current_exceeds_far_end_current_during_charging() {
+        // The paper: "the maximum RMS current occurs close to the repeater
+        // output" — charge injected near the driver feeds the whole line.
+        let p = params();
+        let l = Length::from_millimeters(5.0);
+        let mut c = Circuit::new();
+        let drv = c.node();
+        c.voltage_source(drv, Circuit::GROUND, SourceWaveform::dc(1.0));
+        let line = RcLine::build(&mut c, drv, p, l, 16).unwrap();
+        let t_ref = p.elmore_delay(l);
+        let result = simulate(
+            &c,
+            6.0 * t_ref,
+            TransientOptions {
+                dt: Some(t_ref / 300.0),
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        let i_near = result.resistor_current(&c, line.segment_resistors[0]);
+        let i_far = result.resistor_current(&c, *line.segment_resistors.last().unwrap());
+        let rms = |v: &[f64]| (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt();
+        assert!(
+            rms(&i_near) > 1.5 * rms(&i_far),
+            "near RMS {} vs far RMS {}",
+            rms(&i_near),
+            rms(&i_far)
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Independent source waveforms (DC, pulse, piece-wise linear).
+
+use serde::{Deserialize, Serialize};
+
+/// A time-dependent source value (volts for V-sources, amperes for
+/// I-sources).
+///
+/// ```
+/// use hotwire_circuit::sources::SourceWaveform;
+///
+/// // A SPICE-style PULSE(0 2.5 1n 0.2n 0.2n 3n 8n):
+/// let p = SourceWaveform::pulse(0.0, 2.5, 1.0e-9, 0.2e-9, 0.2e-9, 3.0e-9, 8.0e-9);
+/// assert_eq!(p.at(0.0), 0.0);
+/// assert_eq!(p.at(2.0e-9), 2.5);          // on plateau
+/// assert!((p.at(1.1e-9) - 1.25).abs() < 1e-9); // mid-rise
+/// assert_eq!(p.at(6.0e-9), 0.0);          // back low after the fall
+/// assert_eq!(p.at(11.0e-9), 2.5);         // high again in the next period
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SourceWaveform {
+    /// A constant value.
+    Dc(f64),
+    /// A periodic trapezoidal pulse (SPICE `PULSE`).
+    Pulse {
+        /// Initial (low) value.
+        v0: f64,
+        /// Pulsed (high) value.
+        v1: f64,
+        /// Delay before the first rise.
+        delay: f64,
+        /// Rise time.
+        rise: f64,
+        /// Fall time.
+        fall: f64,
+        /// High plateau width.
+        width: f64,
+        /// Repetition period (0 = single pulse).
+        period: f64,
+    },
+    /// Piece-wise linear samples `(t, v)`; constant extrapolation outside.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl SourceWaveform {
+    /// A constant source.
+    #[must_use]
+    pub fn dc(value: f64) -> Self {
+        SourceWaveform::Dc(value)
+    }
+
+    /// A periodic trapezoidal pulse (SPICE `PULSE` semantics).
+    #[must_use]
+    pub fn pulse(
+        v0: f64,
+        v1: f64,
+        delay: f64,
+        rise: f64,
+        fall: f64,
+        width: f64,
+        period: f64,
+    ) -> Self {
+        SourceWaveform::Pulse {
+            v0,
+            v1,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        }
+    }
+
+    /// A 50 %-duty clock with the given period, rails and edge time.
+    #[must_use]
+    pub fn clock(v0: f64, v1: f64, period: f64, edge: f64) -> Self {
+        Self::pulse(v0, v1, 0.0, edge, edge, period / 2.0 - edge, period)
+    }
+
+    /// The source value at time `t`.
+    #[must_use]
+    pub fn at(&self, t: f64) -> f64 {
+        match self {
+            SourceWaveform::Dc(v) => *v,
+            SourceWaveform::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                let mut tau = t - delay;
+                if tau < 0.0 {
+                    return *v0;
+                }
+                if *period > 0.0 {
+                    tau %= period;
+                }
+                if tau < *rise {
+                    if *rise == 0.0 {
+                        return *v1;
+                    }
+                    v0 + (v1 - v0) * tau / rise
+                } else if tau < rise + width {
+                    *v1
+                } else if tau < rise + width + fall {
+                    if *fall == 0.0 {
+                        return *v0;
+                    }
+                    v1 + (v0 - v1) * (tau - rise - width) / fall
+                } else {
+                    *v0
+                }
+            }
+            SourceWaveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for w in points.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    if t <= t1 {
+                        if t1 == t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points.last().expect("non-empty").1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let s = SourceWaveform::dc(2.5);
+        assert_eq!(s.at(0.0), 2.5);
+        assert_eq!(s.at(1.0), 2.5);
+    }
+
+    #[test]
+    fn pulse_periodicity() {
+        let p = SourceWaveform::pulse(0.0, 1.0, 0.0, 0.1, 0.1, 0.3, 1.0);
+        assert!((p.at(0.05) - 0.5).abs() < 1e-12); // rising
+        assert_eq!(p.at(0.2), 1.0); // plateau
+        assert!((p.at(0.45) - 0.5).abs() < 1e-12); // falling
+        assert_eq!(p.at(0.9), 0.0); // low
+        assert!((p.at(1.05) - 0.5).abs() < 1e-12); // second period rising
+    }
+
+    #[test]
+    fn pulse_zero_edges() {
+        let p = SourceWaveform::pulse(0.0, 1.0, 0.0, 0.0, 0.0, 0.5, 1.0);
+        assert_eq!(p.at(0.0), 1.0);
+        assert_eq!(p.at(0.25), 1.0);
+        assert_eq!(p.at(0.75), 0.0);
+    }
+
+    #[test]
+    fn clock_has_half_duty() {
+        let c = SourceWaveform::clock(0.0, 1.0, 2.0, 0.1);
+        assert_eq!(c.at(0.5), 1.0);
+        assert_eq!(c.at(1.5), 0.0);
+    }
+
+    #[test]
+    fn pwl_interpolation_and_extrapolation() {
+        let s = SourceWaveform::Pwl(vec![(1.0, 0.0), (2.0, 2.0), (3.0, 1.0)]);
+        assert_eq!(s.at(0.0), 0.0); // before first point
+        assert!((s.at(1.5) - 1.0).abs() < 1e-12);
+        assert!((s.at(2.5) - 1.5).abs() < 1e-12);
+        assert_eq!(s.at(5.0), 1.0); // after last point
+        assert_eq!(SourceWaveform::Pwl(vec![]).at(1.0), 0.0);
+    }
+}

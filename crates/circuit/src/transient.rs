@@ -1,0 +1,649 @@
+//! MNA assembly and transient simulation.
+//!
+//! Modified nodal analysis with one unknown per non-ground node plus one
+//! branch current per voltage source. Capacitors use charge-conserving
+//! companion models (backward Euler or trapezoidal); MOSFETs are
+//! linearized and iterated with Newton's method (with a small `g_min` from
+//! every node to ground for robustness).
+
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::Matrix;
+use crate::netlist::{mos_current, Circuit, Device, MosPolarity, NodeId};
+use crate::CircuitError;
+
+/// Integration method for the capacitor companion models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Integration {
+    /// Backward Euler — L-stable, first order, slightly lossy.
+    BackwardEuler,
+    /// Trapezoidal — second order, the SPICE default.
+    Trapezoidal,
+}
+
+/// Options for [`simulate`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransientOptions {
+    /// Fixed time step; when `None`, `t_stop/2000` is used.
+    pub dt: Option<f64>,
+    /// Integration method (default trapezoidal).
+    pub integration: Integration,
+    /// Newton convergence tolerance on node voltages (V).
+    pub vtol: f64,
+    /// Maximum Newton iterations per step.
+    pub max_newton: usize,
+    /// Leakage conductance from every node to ground (S).
+    pub gmin: f64,
+}
+
+impl Default for TransientOptions {
+    fn default() -> Self {
+        Self {
+            dt: None,
+            integration: Integration::Trapezoidal,
+            vtol: 1e-6,
+            max_newton: 100,
+            gmin: 1e-12,
+        }
+    }
+}
+
+/// The result of a transient run: node voltages over time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransientResult {
+    /// Sample times, starting at 0.
+    pub times: Vec<f64>,
+    /// `voltages[step][node-1]` — voltages of non-ground nodes.
+    voltages: Vec<Vec<f64>>,
+    node_count: usize,
+}
+
+impl TransientResult {
+    /// The voltage waveform of a node (ground returns all zeros).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a node id that was never allocated.
+    #[must_use]
+    pub fn voltage(&self, node: NodeId) -> Vec<f64> {
+        if node == Circuit::GROUND {
+            return vec![0.0; self.times.len()];
+        }
+        assert!(node <= self.node_count, "unknown node {node}");
+        self.voltages.iter().map(|v| v[node - 1]).collect()
+    }
+
+    /// Voltage of `node` at step `k`.
+    #[must_use]
+    pub fn voltage_at(&self, node: NodeId, k: usize) -> f64 {
+        if node == Circuit::GROUND {
+            0.0
+        } else {
+            self.voltages[k][node - 1]
+        }
+    }
+
+    /// The current through a resistor device (positive `a`→`b`) at every
+    /// step.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `device` is not a resistor of this circuit.
+    #[must_use]
+    pub fn resistor_current(&self, circuit: &Circuit, device: usize) -> Vec<f64> {
+        match circuit.devices()[device] {
+            Device::Resistor { a, b, ohms } => (0..self.times.len())
+                .map(|k| (self.voltage_at(a, k) - self.voltage_at(b, k)) / ohms)
+                .collect(),
+            _ => panic!("device {device} is not a resistor"),
+        }
+    }
+
+    /// The drain current (d→s convention) of a MOSFET device at every
+    /// step, re-evaluated from the solved voltages.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `device` is not a MOSFET of this circuit.
+    #[must_use]
+    pub fn mosfet_current(&self, circuit: &Circuit, device: usize) -> Vec<f64> {
+        match circuit.devices()[device] {
+            Device::Mosfet {
+                d,
+                g,
+                s,
+                params,
+                polarity,
+            } => (0..self.times.len())
+                .map(|k| {
+                    let (id, _, _) = mos_current(
+                        params,
+                        polarity,
+                        self.voltage_at(d, k),
+                        self.voltage_at(g, k),
+                        self.voltage_at(s, k),
+                    );
+                    match polarity {
+                        MosPolarity::Nmos => id,
+                        MosPolarity::Pmos => -id,
+                    }
+                })
+                .collect(),
+            _ => panic!("device {device} is not a MOSFET"),
+        }
+    }
+}
+
+struct System {
+    n_nodes: usize,
+    n_branches: usize,
+    g: Matrix,
+    rhs: Vec<f64>,
+}
+
+impl System {
+    fn new(n_nodes: usize, n_branches: usize) -> Self {
+        let n = n_nodes + n_branches;
+        Self {
+            n_nodes,
+            n_branches,
+            g: Matrix::zeros(n, n),
+            rhs: vec![0.0; n],
+        }
+    }
+
+    fn size(&self) -> usize {
+        self.n_nodes + self.n_branches
+    }
+
+    fn clear(&mut self) {
+        self.g.clear();
+        self.rhs.fill(0.0);
+    }
+
+    fn stamp_conductance(&mut self, a: NodeId, b: NodeId, g: f64) {
+        if a > 0 {
+            self.g.add(a - 1, a - 1, g);
+        }
+        if b > 0 {
+            self.g.add(b - 1, b - 1, g);
+        }
+        if a > 0 && b > 0 {
+            self.g.add(a - 1, b - 1, -g);
+            self.g.add(b - 1, a - 1, -g);
+        }
+    }
+
+    /// Stamps a current `i` flowing out of node `a` into node `b`.
+    fn stamp_current(&mut self, a: NodeId, b: NodeId, i: f64) {
+        if a > 0 {
+            self.rhs[a - 1] -= i;
+        }
+        if b > 0 {
+            self.rhs[b - 1] += i;
+        }
+    }
+}
+
+/// Runs a fixed-step transient simulation from an all-zero initial state.
+///
+/// Startup transients decay naturally; callers analyzing periodic steady
+/// state should simulate ≥ 2 periods and discard the first (see
+/// [`crate::repeater`]).
+///
+/// # Errors
+///
+/// * [`CircuitError::InvalidOptions`] for non-positive `t_stop`/`dt`.
+/// * [`CircuitError::Singular`] for a structurally defective circuit.
+/// * [`CircuitError::NewtonDiverged`] when the nonlinear iteration fails.
+pub fn simulate(
+    circuit: &Circuit,
+    t_stop: f64,
+    options: TransientOptions,
+) -> Result<TransientResult, CircuitError> {
+    if !(t_stop > 0.0) {
+        return Err(CircuitError::InvalidOptions {
+            message: format!("t_stop must be positive, got {t_stop}"),
+        });
+    }
+    let dt = options.dt.unwrap_or(t_stop / 2000.0);
+    if !(dt > 0.0) || dt > t_stop {
+        return Err(CircuitError::InvalidOptions {
+            message: format!("dt must be in (0, t_stop], got {dt}"),
+        });
+    }
+
+    let n_nodes = circuit.node_count();
+    let branch_of: Vec<Option<usize>> = {
+        let mut next = 0;
+        circuit
+            .devices()
+            .iter()
+            .map(|d| {
+                if matches!(d, Device::VoltageSource { .. }) {
+                    let b = next;
+                    next += 1;
+                    Some(b)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    };
+    let n_branches = branch_of.iter().flatten().count();
+    let mut sys = System::new(n_nodes, n_branches);
+
+    // State: node voltages + capacitor currents (for trapezoidal).
+    let mut v = vec![0.0_f64; sys.size()];
+    let cap_count = circuit
+        .devices()
+        .iter()
+        .filter(|d| matches!(d, Device::Capacitor { .. }))
+        .count();
+    let mut cap_i_prev = vec![0.0_f64; cap_count];
+
+    #[allow(
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss,
+        clippy::cast_precision_loss
+    )]
+    let steps = (t_stop / dt).round().max(1.0) as usize;
+    let mut times = Vec::with_capacity(steps + 1);
+    let mut voltages = Vec::with_capacity(steps + 1);
+    times.push(0.0);
+    voltages.push(v[..n_nodes].to_vec());
+
+    for step in 1..=steps {
+        #[allow(clippy::cast_precision_loss)]
+        let t = dt * step as f64;
+        let v_prev = v.clone();
+        // Newton loop
+        let mut converged = false;
+        for _ in 0..options.max_newton {
+            sys.clear();
+            // gmin
+            for n in 1..=n_nodes {
+                sys.stamp_conductance(n, Circuit::GROUND, options.gmin);
+            }
+            let mut cap_idx = 0;
+            for (di, dev) in circuit.devices().iter().enumerate() {
+                match dev {
+                    Device::Resistor { a, b, ohms } => {
+                        sys.stamp_conductance(*a, *b, 1.0 / ohms);
+                    }
+                    Device::Capacitor { a, b, farads } => {
+                        let c = *farads;
+                        let va_p = node_v(&v_prev, *a);
+                        let vb_p = node_v(&v_prev, *b);
+                        let v_c_prev = va_p - vb_p;
+                        match options.integration {
+                            Integration::BackwardEuler => {
+                                let geq = c / dt;
+                                sys.stamp_conductance(*a, *b, geq);
+                                // i = geq·(v − v_prev): equivalent source
+                                sys.stamp_current(*b, *a, geq * v_c_prev);
+                            }
+                            Integration::Trapezoidal => {
+                                let geq = 2.0 * c / dt;
+                                sys.stamp_conductance(*a, *b, geq);
+                                sys.stamp_current(*b, *a, geq * v_c_prev + cap_i_prev[cap_idx]);
+                            }
+                        }
+                        cap_idx += 1;
+                    }
+                    Device::VoltageSource {
+                        plus,
+                        minus,
+                        waveform,
+                    } => {
+                        let br = sys.n_nodes
+                            + branch_of[di].expect("voltage source has a branch");
+                        if *plus > 0 {
+                            sys.g.add(plus - 1, br, 1.0);
+                            sys.g.add(br, plus - 1, 1.0);
+                        }
+                        if *minus > 0 {
+                            sys.g.add(minus - 1, br, -1.0);
+                            sys.g.add(br, minus - 1, -1.0);
+                        }
+                        sys.rhs[br] = waveform.at(t);
+                    }
+                    Device::CurrentSource {
+                        from,
+                        into,
+                        waveform,
+                    } => {
+                        sys.stamp_current(*from, *into, waveform.at(t));
+                    }
+                    Device::Mosfet {
+                        d,
+                        g,
+                        s,
+                        params,
+                        polarity,
+                    } => {
+                        let vd = node_v(&v, *d);
+                        let vg = node_v(&v, *g);
+                        let vs = node_v(&v, *s);
+                        let (id_mapped, gm, gds) = mos_current(*params, *polarity, vd, vg, vs);
+                        // i_ds: channel current flowing d → s.
+                        let i_ds = match polarity {
+                            MosPolarity::Nmos => id_mapped,
+                            MosPolarity::Pmos => -id_mapped,
+                        };
+                        // Uniform partials (see netlist::mos_current docs):
+                        // ∂i_ds/∂vg = gm, ∂i_ds/∂vd = gds, ∂i_ds/∂vs = −(gm+gds)
+                        let stamp = |sys: &mut System, row: NodeId, sign: f64| {
+                            if row == 0 {
+                                return;
+                            }
+                            let r = row - 1;
+                            if *g > 0 {
+                                sys.g.add(r, g - 1, sign * gm);
+                            }
+                            if *d > 0 {
+                                sys.g.add(r, d - 1, sign * gds);
+                            }
+                            if *s > 0 {
+                                sys.g.add(r, s - 1, -sign * (gm + gds));
+                            }
+                            let ieq = i_ds - gm * vg - gds * vd + (gm + gds) * vs;
+                            sys.rhs[r] -= sign * ieq;
+                        };
+                        stamp(&mut sys, *d, 1.0);
+                        stamp(&mut sys, *s, -1.0);
+                    }
+                }
+            }
+            let new_v = sys.g.solve(&sys.rhs)?;
+            let mut max_dv = 0.0_f64;
+            for (old, new) in v[..n_nodes].iter().zip(&new_v[..n_nodes]) {
+                max_dv = max_dv.max((old - new).abs());
+            }
+            // Damped update to help large swings converge.
+            let limit = 1.0; // volts per Newton step
+            for (slot, new) in v.iter_mut().zip(&new_v) {
+                let dv = new - *slot;
+                *slot += dv.clamp(-limit, limit);
+            }
+            if max_dv < options.vtol {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(CircuitError::NewtonDiverged {
+                at_seconds: t,
+                iterations: options.max_newton,
+            });
+        }
+        // Update trapezoidal capacitor-current state.
+        if options.integration == Integration::Trapezoidal {
+            let mut cap_idx = 0;
+            for dev in circuit.devices() {
+                if let Device::Capacitor { a, b, farads } = dev {
+                    let geq = 2.0 * farads / dt;
+                    let v_now = node_v(&v, *a) - node_v(&v, *b);
+                    let v_old = node_v(&v_prev, *a) - node_v(&v_prev, *b);
+                    cap_i_prev[cap_idx] = geq * (v_now - v_old) - cap_i_prev[cap_idx];
+                    cap_idx += 1;
+                }
+            }
+        }
+        times.push(t);
+        voltages.push(v[..n_nodes].to_vec());
+    }
+
+    Ok(TransientResult {
+        times,
+        voltages,
+        node_count: n_nodes,
+    })
+}
+
+fn node_v(v: &[f64], n: NodeId) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        v[n - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::MosParams;
+    use crate::sources::SourceWaveform;
+
+    fn rc_circuit() -> (Circuit, NodeId, NodeId, usize) {
+        let mut c = Circuit::new();
+        let vin = c.node();
+        let vout = c.node();
+        c.voltage_source(vin, Circuit::GROUND, SourceWaveform::dc(1.0));
+        let r = c.resistor(vin, vout, 1.0e3);
+        c.capacitor(vout, Circuit::GROUND, 1.0e-9);
+        (c, vin, vout, r)
+    }
+
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        let (c, _, vout, _) = rc_circuit();
+        let tau = 1.0e-6;
+        let result = simulate(
+            &c,
+            5.0 * tau,
+            TransientOptions {
+                dt: Some(tau / 200.0),
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        let dt = result.times[1] - result.times[0];
+        for (t, v) in result.times.iter().zip(result.voltage(vout)) {
+            // Skip the first couple of steps: the trapezoidal rule smears a
+            // t = 0 source discontinuity over one step.
+            if *t < 3.0 * dt {
+                continue;
+            }
+            let expected = 1.0 - (-t / tau).exp();
+            assert!(
+                (v - expected).abs() < 3e-3,
+                "t = {t:.2e}: {v} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_euler_also_converges_to_rail() {
+        let (c, _, vout, _) = rc_circuit();
+        let result = simulate(
+            &c,
+            1.0e-5,
+            TransientOptions {
+                dt: Some(5.0e-9),
+                integration: Integration::BackwardEuler,
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        assert!((result.voltage(vout).last().unwrap() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn resistor_current_decays() {
+        let (c, _, _, r) = rc_circuit();
+        let result = simulate(&c, 1.0e-5, TransientOptions::default()).unwrap();
+        let i = result.resistor_current(&c, r);
+        // initial surge ≈ V/R, final ≈ 0
+        assert!(i[1] > 0.8e-3);
+        assert!(i.last().unwrap().abs() < 1e-5);
+    }
+
+    #[test]
+    fn voltage_divider_dc() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        let b = c.node();
+        c.voltage_source(a, Circuit::GROUND, SourceWaveform::dc(3.0));
+        c.resistor(a, b, 1.0e3);
+        c.resistor(b, Circuit::GROUND, 2.0e3);
+        let result = simulate(&c, 1.0e-6, TransientOptions::default()).unwrap();
+        assert!((result.voltage_at(b, 10) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        c.current_source(Circuit::GROUND, a, SourceWaveform::dc(1.0e-3));
+        c.resistor(a, Circuit::GROUND, 2.0e3);
+        let result = simulate(&c, 1.0e-6, TransientOptions::default()).unwrap();
+        assert!((result.voltage_at(a, 5) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn floating_node_is_singular() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        let b = c.node();
+        let _unused = b;
+        c.voltage_source(a, Circuit::GROUND, SourceWaveform::dc(1.0));
+        // node b floats entirely — but gmin rescues it, so to force a true
+        // singularity we need a voltage-source loop:
+        let mut c2 = Circuit::new();
+        let x = c2.node();
+        c2.voltage_source(x, Circuit::GROUND, SourceWaveform::dc(1.0));
+        c2.voltage_source(x, Circuit::GROUND, SourceWaveform::dc(2.0));
+        assert!(matches!(
+            simulate(&c2, 1.0e-6, TransientOptions::default()),
+            Err(CircuitError::Singular { .. })
+        ));
+        // the gmin-rescued circuit still solves:
+        assert!(simulate(&c, 1.0e-6, TransientOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        let (c, _, _, _) = rc_circuit();
+        assert!(simulate(&c, 0.0, TransientOptions::default()).is_err());
+        assert!(simulate(
+            &c,
+            1.0,
+            TransientOptions {
+                dt: Some(2.0),
+                ..TransientOptions::default()
+            }
+        )
+        .is_err());
+    }
+
+    fn inverter_circuit(vdd: f64) -> (Circuit, NodeId, NodeId) {
+        let mut c = Circuit::new();
+        let vdd_n = c.node();
+        let vin = c.node();
+        let vout = c.node();
+        c.voltage_source(vdd_n, Circuit::GROUND, SourceWaveform::dc(vdd));
+        c.voltage_source(
+            vin,
+            Circuit::GROUND,
+            SourceWaveform::pulse(0.0, vdd, 1.0e-9, 0.1e-9, 0.1e-9, 4.0e-9, 10.0e-9),
+        );
+        let nmos = MosParams::from_effective_resistance(10.0e3, vdd, 0.5);
+        c.inverter(vin, vout, vdd_n, nmos, 2.0);
+        c.capacitor(vout, Circuit::GROUND, 20.0e-15);
+        (c, vin, vout)
+    }
+
+    #[test]
+    fn cmos_inverter_inverts() {
+        let vdd = 2.5;
+        let (c, vin, vout) = inverter_circuit(vdd);
+        let result = simulate(
+            &c,
+            10.0e-9,
+            TransientOptions {
+                dt: Some(5.0e-12),
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        // Before the input rises: output should be pulled high.
+        let k_pre = result
+            .times
+            .iter()
+            .position(|&t| t > 0.9e-9)
+            .unwrap();
+        assert!(
+            result.voltage_at(vout, k_pre) > 0.9 * vdd,
+            "output high before input edge: {}",
+            result.voltage_at(vout, k_pre)
+        );
+        // While input is high: output low.
+        let k_mid = result.times.iter().position(|&t| t > 3.0e-9).unwrap();
+        assert!(result.voltage_at(vin, k_mid) > 0.9 * vdd);
+        assert!(
+            result.voltage_at(vout, k_mid) < 0.1 * vdd,
+            "output low while input high: {}",
+            result.voltage_at(vout, k_mid)
+        );
+    }
+
+    #[test]
+    fn inverter_output_charges_through_pmos() {
+        let vdd = 2.5;
+        let (c, _, vout) = inverter_circuit(vdd);
+        // PMOS is device index 3 (vsrc, vsrc, nmos, pmos)
+        let result = simulate(
+            &c,
+            10.0e-9,
+            TransientOptions {
+                dt: Some(5.0e-12),
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        let ip = result.mosfet_current(&c, 3);
+        // PMOS current charges the load after the input falls (t > 5.2 ns):
+        let k = result.times.iter().position(|&t| t > 5.25e-9).unwrap();
+        assert!(
+            ip[k].abs() > 1e-5,
+            "PMOS must conduct during the output rise, i = {}",
+            ip[k]
+        );
+        let _ = vout;
+    }
+
+    #[test]
+    fn energy_conservation_rc_discharge() {
+        // Charge a cap through a resistor and verify dissipated + stored
+        // energy ≈ delivered energy (trapezoidal should be ~exact).
+        let (c, vin, vout, r) = {
+            let (c, a, b, r) = rc_circuit();
+            (c, a, b, r)
+        };
+        let result = simulate(
+            &c,
+            2.0e-5,
+            TransientOptions {
+                dt: Some(1.0e-8),
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        let i = result.resistor_current(&c, r);
+        let dt = result.times[1] - result.times[0];
+        let mut delivered = 0.0;
+        let mut dissipated = 0.0;
+        for k in 1..i.len() {
+            let im = 0.5 * (i[k] + i[k - 1]);
+            delivered += result.voltage_at(vin, k) * im * dt;
+            dissipated += im * im * 1.0e3 * dt;
+        }
+        let v_end = *result.voltage(vout).last().unwrap();
+        let stored = 0.5 * 1.0e-9 * v_end * v_end;
+        assert!(
+            (delivered - dissipated - stored).abs() / delivered < 0.01,
+            "delivered {delivered:.3e} vs dissipated {dissipated:.3e} + stored {stored:.3e}"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type for the self-consistent design-rule engine.
+
+use hotwire_em::EmError;
+use hotwire_thermal::ThermalError;
+
+/// Errors produced by the self-consistent solver and table generators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A builder field was missing or inconsistent.
+    Incomplete {
+        /// The missing/offending field.
+        field: &'static str,
+    },
+    /// A duty cycle outside (0, 1].
+    InvalidDutyCycle {
+        /// The offending value.
+        value: f64,
+    },
+    /// The EM-allowed current would heat the line past its melting point —
+    /// eq. (13) has no solution below melt. The design is limited by
+    /// thermal failure, not electromigration.
+    MeltLimited {
+        /// The metal melting point, K.
+        melting_point: f64,
+    },
+    /// The root finder failed to bracket or converge (should not occur for
+    /// physical inputs).
+    SolveFailed {
+        /// Description of the failure.
+        message: String,
+    },
+    /// Error from the thermal substrate.
+    Thermal(ThermalError),
+    /// Error from the electromigration substrate.
+    Em(EmError),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Incomplete { field } => {
+                write!(f, "self-consistent problem is missing `{field}`")
+            }
+            CoreError::InvalidDutyCycle { value } => {
+                write!(f, "duty cycle must be in (0, 1], got {value}")
+            }
+            CoreError::MeltLimited { melting_point } => write!(
+                f,
+                "no self-consistent solution below the melting point ({melting_point} K); the line is melt-limited"
+            ),
+            CoreError::SolveFailed { message } => write!(f, "solve failed: {message}"),
+            CoreError::Thermal(e) => write!(f, "thermal model: {e}"),
+            CoreError::Em(e) => write!(f, "electromigration model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Thermal(e) => Some(e),
+            CoreError::Em(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ThermalError> for CoreError {
+    fn from(e: ThermalError) -> Self {
+        CoreError::Thermal(e)
+    }
+}
+
+impl From<EmError> for CoreError {
+    fn from(e: EmError) -> Self {
+        CoreError::Em(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = CoreError::Incomplete { field: "line" };
+        assert_eq!(e.to_string(), "self-consistent problem is missing `line`");
+        let e: CoreError = ThermalError::InvalidInput {
+            message: "x".into(),
+        }
+        .into();
+        assert!(e.source().is_some());
+        let e = CoreError::InvalidDutyCycle { value: 0.0 };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("(0, 1]"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,66 @@
+//! The paper's primary contribution: **self-consistent electromigration +
+//! self-heating design rules** for deep sub-micron interconnects
+//! (Banerjee, Mehrotra, Sangiovanni-Vincentelli & Hu, DAC 1999).
+//!
+//! The central object is [`SelfConsistentProblem`], which solves the
+//! paper's eq. (13)
+//!
+//! ```text
+//! r·(T_m − T_ref)·k·W_eff / (ρ(T_m)·t_m·W_m·b)  =  j₀²·exp[(Q/k_B)(1/T_m − 1/T_ref)]
+//! ```
+//!
+//! for the unique metal temperature `T_m` at which the line *simultaneously*
+//! (a) meets its EM lifetime goal at the average current density it carries
+//! and (b) sits at the steady self-heating temperature that current
+//! produces. The corresponding maximum allowed peak / RMS / average current
+//! densities follow from the duty-cycle identities (eqs. 4–5).
+//!
+//! On top of the solver:
+//!
+//! * [`sweep`] regenerates the paper's Fig. 2 and Fig. 3 (solutions vs
+//!   duty cycle and vs j₀),
+//! * [`rules`] generates Table 2/3/4-style design-rule grids for whole
+//!   technologies and the Table 7 array-coupling comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use hotwire_core::SelfConsistentProblem;
+//! use hotwire_tech::{Dielectric, Metal};
+//! use hotwire_thermal::impedance::{InsulatorStack, LineGeometry, QUASI_1D_PHI};
+//! use hotwire_units::{Celsius, CurrentDensity, Length};
+//!
+//! // The paper's Fig. 2 configuration.
+//! let um = Length::from_micrometers;
+//! let problem = SelfConsistentProblem::builder()
+//!     .metal(Metal::copper().with_design_rule_j0(
+//!         CurrentDensity::from_amps_per_cm2(6.0e5),
+//!     ))
+//!     .line(LineGeometry::new(um(3.0), um(0.5), um(1000.0))?)
+//!     .stack(InsulatorStack::single(um(3.0), &Dielectric::oxide()))
+//!     .phi(QUASI_1D_PHI)
+//!     .duty_cycle(0.01)
+//!     .build()?;
+//! let sol = problem.solve()?;
+//! // At r = 10⁻² the self-consistent j_peak is ≈ 2× below the EM-only j₀/r:
+//! let em_only = problem.em_only_peak();
+//! let ratio = sol.j_peak.value() / em_only.value();
+//! assert!(ratio > 0.4 && ratio < 0.8, "ratio = {ratio}");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// `!(x > 0.0)` is used deliberately throughout validation code: unlike
+// `x <= 0.0` it also rejects NaN, which must never enter a solver.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+mod error;
+mod problem;
+pub mod rules;
+pub mod short_line;
+pub mod signoff;
+pub mod sweep;
+
+pub use error::CoreError;
+pub use problem::{SelfConsistentProblem, SelfConsistentProblemBuilder, SelfConsistentSolution};

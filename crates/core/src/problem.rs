@@ -1,0 +1,546 @@
+//! The self-consistent problem and its solver (eq. 13).
+
+use hotwire_em::BlackModel;
+use hotwire_tech::Metal;
+use hotwire_thermal::impedance::{self_heating_constant, InsulatorStack, LineGeometry};
+use hotwire_units::{Celsius, CurrentDensity, Kelvin, TemperatureDelta};
+use serde::{Deserialize, Serialize};
+
+use crate::CoreError;
+
+/// A fully specified instance of the paper's eq. (13): one line, one
+/// conduction path, one duty cycle, one EM reliability anchor.
+///
+/// Build with [`SelfConsistentProblem::builder`]; see the crate-level
+/// example.
+#[derive(Debug, Clone)]
+pub struct SelfConsistentProblem {
+    metal: Metal,
+    black: BlackModel,
+    line: LineGeometry,
+    duty_cycle: f64,
+    reference_temperature: Kelvin,
+    /// ΔT = j_rms²·ρ(T)·κ; κ comes from the quasi-2-D closed form unless
+    /// overridden by a numerically extracted array-coupling constant.
+    heating_constant: f64,
+}
+
+/// The solution of eq. (13): the self-consistent metal temperature and the
+/// maximum allowed current densities at it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelfConsistentSolution {
+    /// The self-consistent metal temperature `T_m`.
+    pub metal_temperature: Kelvin,
+    /// Self-heating rise `T_m − T_ref`.
+    pub temperature_rise: TemperatureDelta,
+    /// Maximum allowed peak current density.
+    pub j_peak: CurrentDensity,
+    /// Maximum allowed RMS current density (the self-heating driver).
+    pub j_rms: CurrentDensity,
+    /// Maximum allowed average current density (the EM driver).
+    pub j_avg: CurrentDensity,
+}
+
+impl SelfConsistentProblem {
+    /// Starts a builder.
+    #[must_use]
+    pub fn builder() -> SelfConsistentProblemBuilder {
+        SelfConsistentProblemBuilder::default()
+    }
+
+    /// The line geometry.
+    #[must_use]
+    pub fn line(&self) -> LineGeometry {
+        self.line
+    }
+
+    /// The conductor metal.
+    #[must_use]
+    pub fn metal(&self) -> &Metal {
+        &self.metal
+    }
+
+    /// The duty cycle `r`.
+    #[must_use]
+    pub fn duty_cycle(&self) -> f64 {
+        self.duty_cycle
+    }
+
+    /// The chip reference temperature `T_ref`.
+    #[must_use]
+    pub fn reference_temperature(&self) -> Kelvin {
+        self.reference_temperature
+    }
+
+    /// The Black's-law model in force (anchored at `T_ref`).
+    #[must_use]
+    pub fn black_model(&self) -> &BlackModel {
+        &self.black
+    }
+
+    /// The volumetric heating constant κ in `ΔT = j_rms²·ρ(T_m)·κ`
+    /// (units m³·K/W).
+    #[must_use]
+    pub fn heating_constant(&self) -> f64 {
+        self.heating_constant
+    }
+
+    /// The EM-only peak density `j₀/r` — what a designer who ignores
+    /// self-heating would allow (the upper dotted line of Fig. 2).
+    #[must_use]
+    pub fn em_only_peak(&self) -> CurrentDensity {
+        self.black.params().design_rule_j0 / self.duty_cycle
+    }
+
+    /// Left-hand side of eq. (13) at a trial temperature:
+    /// `r·j_rms²(T) = r·(T − T_ref)/(ρ(T)·κ)`.
+    fn lhs(&self, t: Kelvin) -> f64 {
+        let dt = t.value() - self.reference_temperature.value();
+        let rho = self.metal.resistivity(t).value();
+        self.duty_cycle * dt / (rho * self.heating_constant)
+    }
+
+    /// Solves eq. (13) by bisection on `g(T) = LHS(T) − RHS(T)` over
+    /// `(T_ref, T_melt)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::MeltLimited`] when the EM-allowed current would melt
+    ///   the line before the heat balance closes (no root below melt).
+    /// * [`CoreError::SolveFailed`] if the bracket is malformed (should
+    ///   not occur for physical inputs).
+    pub fn solve(&self) -> Result<SelfConsistentSolution, CoreError> {
+        let t_ref = self.reference_temperature.value();
+        let t_melt = self.metal.melting_point().value();
+        let g = |t: f64| self.lhs(Kelvin::new(t)) - self.black.self_consistent_rhs(Kelvin::new(t));
+
+        let mut lo = t_ref + 1e-9;
+        let mut hi = t_melt;
+        let g_lo = g(lo);
+        let g_hi = g(hi);
+        if g_lo > 0.0 {
+            // Already balanced essentially at T_ref (vanishing heating).
+            hi = lo;
+        } else if g_hi < 0.0 {
+            return Err(CoreError::MeltLimited {
+                melting_point: t_melt,
+            });
+        } else {
+            for _ in 0..200 {
+                let mid = 0.5 * (lo + hi);
+                if g(mid) < 0.0 {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+                if hi - lo < 1e-9 {
+                    break;
+                }
+            }
+        }
+        let t_m = Kelvin::new(0.5 * (lo + hi));
+        if !t_m.is_finite() {
+            return Err(CoreError::SolveFailed {
+                message: "bisection produced a non-finite temperature".to_owned(),
+            });
+        }
+        let dt = t_m.value() - t_ref;
+        let rho = self.metal.resistivity(t_m).value();
+        let j_rms = CurrentDensity::new((dt.max(0.0) / (rho * self.heating_constant)).sqrt());
+        // At the degenerate zero-heating corner, fall back to the EM bound.
+        let j_rms = if dt <= 1e-12 {
+            self.black.allowed_average_density(t_m) / self.duty_cycle.sqrt()
+        } else {
+            j_rms
+        };
+        let j_peak = j_rms / self.duty_cycle.sqrt();
+        let j_avg = j_peak * self.duty_cycle;
+        Ok(SelfConsistentSolution {
+            metal_temperature: t_m,
+            temperature_rise: TemperatureDelta::new(t_m.value() - t_ref),
+            j_peak,
+            j_rms,
+            j_avg,
+        })
+    }
+
+    /// Returns a copy with a different duty cycle (used by the sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidDutyCycle`] unless `0 < r ≤ 1`.
+    pub fn with_duty_cycle(&self, r: f64) -> Result<Self, CoreError> {
+        if !(r > 0.0 && r <= 1.0) {
+            return Err(CoreError::InvalidDutyCycle { value: r });
+        }
+        let mut p = self.clone();
+        p.duty_cycle = r;
+        Ok(p)
+    }
+
+    /// Returns a copy with a different design-rule density j₀ (the Fig. 3
+    /// sweep).
+    #[must_use]
+    pub fn with_design_rule_j0(&self, j0: CurrentDensity) -> Self {
+        let mut p = self.clone();
+        p.metal = p.metal.with_design_rule_j0(j0);
+        p.black = p.black.with_design_rule_j0(j0);
+        p
+    }
+
+    /// Returns a copy whose heating constant is replaced by a numerically
+    /// extracted value — the hook for the 3-D array coupling of eq. (18)
+    /// (`ΔT = κ·j_rms²·ρ`, κ from the finite-volume array solver).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SolveFailed`] for a non-positive κ.
+    pub fn with_heating_constant(&self, kappa: f64) -> Result<Self, CoreError> {
+        if !(kappa > 0.0) || !kappa.is_finite() {
+            return Err(CoreError::SolveFailed {
+                message: format!("heating constant must be positive, got {kappa}"),
+            });
+        }
+        let mut p = self.clone();
+        p.heating_constant = kappa;
+        Ok(p)
+    }
+}
+
+/// Builder for [`SelfConsistentProblem`] (C-BUILDER).
+#[derive(Debug, Clone, Default)]
+pub struct SelfConsistentProblemBuilder {
+    metal: Option<Metal>,
+    line: Option<LineGeometry>,
+    stack: Option<InsulatorStack>,
+    phi: Option<f64>,
+    duty_cycle: Option<f64>,
+    reference_temperature: Option<Kelvin>,
+    heating_constant: Option<f64>,
+}
+
+impl SelfConsistentProblemBuilder {
+    /// Sets the conductor metal (including its EM parameters / j₀).
+    #[must_use]
+    pub fn metal(mut self, metal: Metal) -> Self {
+        self.metal = Some(metal);
+        self
+    }
+
+    /// Sets the line geometry.
+    #[must_use]
+    pub fn line(mut self, line: LineGeometry) -> Self {
+        self.line = Some(line);
+        self
+    }
+
+    /// Sets the insulator stack between the line and the substrate.
+    #[must_use]
+    pub fn stack(mut self, stack: InsulatorStack) -> Self {
+        self.stack = Some(stack);
+        self
+    }
+
+    /// Sets the heat-spreading parameter φ (eq. 14). Defaults to the
+    /// quasi-2-D value 2.45 when a stack is given.
+    #[must_use]
+    pub fn phi(mut self, phi: f64) -> Self {
+        self.phi = Some(phi);
+        self
+    }
+
+    /// Sets the duty cycle `r`.
+    #[must_use]
+    pub fn duty_cycle(mut self, r: f64) -> Self {
+        self.duty_cycle = Some(r);
+        self
+    }
+
+    /// Sets the chip reference temperature (default 100 °C).
+    #[must_use]
+    pub fn reference_temperature(mut self, t: Kelvin) -> Self {
+        self.reference_temperature = Some(t);
+        self
+    }
+
+    /// Bypasses the closed-form conduction model with an explicit heating
+    /// constant κ (`ΔT = κ·j_rms²·ρ`), e.g. extracted from the
+    /// finite-volume array solver. When set, `stack`/`phi` are not
+    /// required.
+    #[must_use]
+    pub fn heating_constant(mut self, kappa: f64) -> Self {
+        self.heating_constant = Some(kappa);
+        self
+    }
+
+    /// Finalizes the problem.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Incomplete`] for missing metal/line/conduction-path.
+    /// * [`CoreError::InvalidDutyCycle`] for `r ∉ (0, 1]`.
+    /// * Propagates thermal-model errors from the κ computation.
+    pub fn build(self) -> Result<SelfConsistentProblem, CoreError> {
+        let metal = self.metal.ok_or(CoreError::Incomplete { field: "metal" })?;
+        let line = self.line.ok_or(CoreError::Incomplete { field: "line" })?;
+        let duty_cycle = self
+            .duty_cycle
+            .ok_or(CoreError::Incomplete { field: "duty_cycle" })?;
+        if !(duty_cycle > 0.0 && duty_cycle <= 1.0) {
+            return Err(CoreError::InvalidDutyCycle { value: duty_cycle });
+        }
+        let reference_temperature = self
+            .reference_temperature
+            .unwrap_or_else(|| Celsius::new(100.0).to_kelvin());
+        let heating_constant = match self.heating_constant {
+            Some(k) => {
+                if !(k > 0.0) || !k.is_finite() {
+                    return Err(CoreError::SolveFailed {
+                        message: format!("heating constant must be positive, got {k}"),
+                    });
+                }
+                k
+            }
+            None => {
+                let stack = self.stack.ok_or(CoreError::Incomplete { field: "stack" })?;
+                let phi = self
+                    .phi
+                    .unwrap_or(hotwire_thermal::impedance::QUASI_2D_PHI);
+                self_heating_constant(line, &stack, phi)?
+            }
+        };
+        let black = BlackModel::new(metal.em(), reference_temperature, hotwire_em::TEN_YEARS)?;
+        Ok(SelfConsistentProblem {
+            metal,
+            black,
+            line,
+            duty_cycle,
+            reference_temperature,
+            heating_constant,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotwire_tech::Dielectric;
+    use hotwire_units::Length;
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    /// The paper's Fig. 2 configuration: Cu, j₀ = 0.6 MA/cm²,
+    /// t_ox = 3 µm, t_m = 0.5 µm, W_m = 3 µm, quasi-1-D spreading.
+    fn fig2_problem(r: f64) -> SelfConsistentProblem {
+        SelfConsistentProblem::builder()
+            .metal(
+                Metal::copper()
+                    .with_design_rule_j0(CurrentDensity::from_amps_per_cm2(6.0e5)),
+            )
+            .line(LineGeometry::new(um(3.0), um(0.5), um(1000.0)).unwrap())
+            .stack(InsulatorStack::single(um(3.0), &Dielectric::oxide()))
+            .phi(hotwire_thermal::impedance::QUASI_1D_PHI)
+            .duty_cycle(r)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dc_case_reduces_to_design_rule() {
+        // At r = 1 and j₀ = 0.6 MA/cm², self-heating is negligible and the
+        // solution collapses onto the EM design rule.
+        let sol = fig2_problem(1.0).solve().unwrap();
+        assert!(
+            (sol.j_peak.to_mega_amps_per_cm2() - 0.6).abs() < 0.01,
+            "j_peak = {}",
+            sol.j_peak.to_mega_amps_per_cm2()
+        );
+        assert!(sol.temperature_rise.value() < 1.0);
+        assert_eq!(sol.j_peak, sol.j_rms);
+        assert_eq!(sol.j_peak, sol.j_avg);
+    }
+
+    #[test]
+    fn paper_headline_factor_of_two_at_r_equals_1e_minus_2() {
+        // "At r = 10⁻², the self-consistent j_peak is nearly 2 times smaller
+        // than the j_peak obtained from EM constraint only."
+        let p = fig2_problem(1e-2);
+        let sol = p.solve().unwrap();
+        let ratio = p.em_only_peak().value() / sol.j_peak.value();
+        assert!(
+            ratio > 1.4 && ratio < 2.4,
+            "EM-only/self-consistent = {ratio:.2}"
+        );
+        // ...which per eq. (6) costs ~(ratio)² ≈ 3× in lifetime:
+        let lifetime_penalty = ratio * ratio;
+        assert!(lifetime_penalty > 2.0 && lifetime_penalty < 5.5);
+    }
+
+    #[test]
+    fn temperature_and_peak_rise_as_duty_cycle_falls() {
+        let mut prev_t = 0.0;
+        let mut prev_jpeak = 0.0;
+        for r in [1.0, 0.1, 0.01, 1e-3, 1e-4] {
+            let sol = fig2_problem(r).solve().unwrap();
+            assert!(
+                sol.metal_temperature.value() >= prev_t - 1e-9,
+                "T_m must rise as r falls"
+            );
+            assert!(
+                sol.j_peak.value() > prev_jpeak,
+                "j_peak must rise as r falls"
+            );
+            prev_t = sol.metal_temperature.value();
+            prev_jpeak = sol.j_peak.value();
+        }
+        // Fig. 2's right edge: T_m climbs to the ~460–520 K range at r = 1e-4.
+        assert!(
+            prev_t > 430.0 && prev_t < 540.0,
+            "T_m(r=1e-4) = {prev_t} K"
+        );
+    }
+
+    #[test]
+    fn solution_satisfies_both_constraints() {
+        // Verify the fixed point: the returned j actually (a) produces the
+        // returned temperature through the heating model and (b) meets the
+        // EM bound at that temperature.
+        let p = fig2_problem(0.01);
+        let sol = p.solve().unwrap();
+        // (a) heating balance
+        let rho = p.metal().resistivity(sol.metal_temperature).value();
+        let dt = sol.j_rms.value().powi(2) * rho * p.heating_constant();
+        assert!(
+            (dt - sol.temperature_rise.value()).abs() < 0.01,
+            "heating balance: {dt} vs {}",
+            sol.temperature_rise.value()
+        );
+        // (b) EM bound
+        let allowed = p.black_model().allowed_average_density(sol.metal_temperature);
+        assert!(
+            (sol.j_avg.value() - allowed.value()).abs() / allowed.value() < 1e-3,
+            "EM bound: {} vs {}",
+            sol.j_avg.value(),
+            allowed.value()
+        );
+    }
+
+    #[test]
+    fn higher_j0_gives_higher_temperature_and_peak() {
+        let base = fig2_problem(0.1);
+        let hot = base.with_design_rule_j0(CurrentDensity::from_amps_per_cm2(1.8e6));
+        let s_base = base.solve().unwrap();
+        let s_hot = hot.solve().unwrap();
+        assert!(s_hot.metal_temperature > s_base.metal_temperature);
+        assert!(s_hot.j_peak > s_base.j_peak);
+        // Diminishing returns: 3× j₀ gives < 3× j_peak once heating bites.
+        let gain = s_hot.j_peak.value() / s_base.j_peak.value();
+        assert!(gain < 3.0, "gain = {gain}");
+        assert!(gain > 1.2, "gain = {gain}");
+    }
+
+    #[test]
+    fn worse_conduction_path_lowers_peak() {
+        let oxide = fig2_problem(0.1);
+        let poly = SelfConsistentProblem::builder()
+            .metal(
+                Metal::copper()
+                    .with_design_rule_j0(CurrentDensity::from_amps_per_cm2(6.0e5)),
+            )
+            .line(LineGeometry::new(um(3.0), um(0.5), um(1000.0)).unwrap())
+            .stack(InsulatorStack::single(um(3.0), &Dielectric::polyimide()))
+            .phi(hotwire_thermal::impedance::QUASI_1D_PHI)
+            .duty_cycle(0.1)
+            .build()
+            .unwrap();
+        let s_ox = oxide.solve().unwrap();
+        let s_poly = poly.solve().unwrap();
+        assert!(s_poly.j_peak < s_ox.j_peak);
+        assert!(s_poly.metal_temperature > s_ox.metal_temperature);
+    }
+
+    #[test]
+    fn heating_constant_override_matches_closed_form() {
+        let p = fig2_problem(0.01);
+        let q = p.with_heating_constant(p.heating_constant()).unwrap();
+        let a = p.solve().unwrap();
+        let b = q.solve().unwrap();
+        assert!((a.j_peak.value() - b.j_peak.value()).abs() < 1.0);
+        // Doubling κ (worse cooling) must lower j_peak.
+        let worse = p.with_heating_constant(2.0 * p.heating_constant()).unwrap();
+        assert!(worse.solve().unwrap().j_peak < a.j_peak);
+    }
+
+    #[test]
+    fn builder_validation() {
+        let b = SelfConsistentProblem::builder().duty_cycle(0.1);
+        assert!(matches!(
+            b.clone().build(),
+            Err(CoreError::Incomplete { field: "metal" })
+        ));
+        let b = b.metal(Metal::copper());
+        assert!(matches!(
+            b.clone().build(),
+            Err(CoreError::Incomplete { field: "line" })
+        ));
+        let b = b.line(LineGeometry::new(um(1.0), um(0.5), um(100.0)).unwrap());
+        assert!(matches!(
+            b.clone().build(),
+            Err(CoreError::Incomplete { field: "stack" })
+        ));
+        let b = b.stack(InsulatorStack::single(um(1.0), &Dielectric::oxide()));
+        assert!(b.clone().build().is_ok());
+        assert!(matches!(
+            b.clone().duty_cycle(0.0).build(),
+            Err(CoreError::InvalidDutyCycle { .. })
+        ));
+        assert!(b.clone().heating_constant(-1.0).build().is_err());
+    }
+
+    #[test]
+    fn with_duty_cycle_validates() {
+        let p = fig2_problem(0.1);
+        assert!(p.with_duty_cycle(1.5).is_err());
+        assert!(p.with_duty_cycle(0.5).is_ok());
+    }
+
+    #[test]
+    fn melt_limited_detected_for_absurd_j0() {
+        // An enormous j₀ with a terrible conduction path cannot balance
+        // below the melting point.
+        let p = SelfConsistentProblem::builder()
+            .metal(
+                Metal::copper()
+                    .with_design_rule_j0(CurrentDensity::from_mega_amps_per_cm2(5.0e4)),
+            )
+            .line(LineGeometry::new(um(3.0), um(0.5), um(1000.0)).unwrap())
+            .stack(InsulatorStack::single(um(10.0), &Dielectric::polyimide()))
+            .phi(0.88)
+            .duty_cycle(1.0)
+            .build()
+            .unwrap();
+        assert!(matches!(p.solve(), Err(CoreError::MeltLimited { .. })));
+    }
+
+    #[test]
+    fn default_phi_is_quasi_2d() {
+        let p = SelfConsistentProblem::builder()
+            .metal(Metal::copper())
+            .line(LineGeometry::new(um(1.0), um(0.5), um(100.0)).unwrap())
+            .stack(InsulatorStack::single(um(1.0), &Dielectric::oxide()))
+            .duty_cycle(0.1)
+            .build()
+            .unwrap();
+        let explicit = SelfConsistentProblem::builder()
+            .metal(Metal::copper())
+            .line(LineGeometry::new(um(1.0), um(0.5), um(100.0)).unwrap())
+            .stack(InsulatorStack::single(um(1.0), &Dielectric::oxide()))
+            .phi(hotwire_thermal::impedance::QUASI_2D_PHI)
+            .duty_cycle(0.1)
+            .build()
+            .unwrap();
+        assert!((p.heating_constant() - explicit.heating_constant()).abs() < 1e-20);
+    }
+}

@@ -1,0 +1,182 @@
+//! Thermally-short-line corrections — the caveat of the paper's §3.2.
+//!
+//! The baseline analysis assumes *thermally long* lines (`L ≫ λ`), whose
+//! interior sits at the full self-heating plateau: the worst case, and
+//! the right rule for global wiring. Inter-block wires of length
+//! comparable to the healing length λ are cooled by their end vias and
+//! run measurably cooler, so the same reliability goal admits a higher
+//! current density. This module quantifies that relaxation by folding the
+//! fin-model average-temperature correction into the self-consistent
+//! heating constant.
+
+use hotwire_thermal::fin::{healing_length, FinProfile};
+use hotwire_thermal::impedance::InsulatorStack;
+use hotwire_units::{Length, TemperatureDelta};
+
+use crate::{CoreError, SelfConsistentProblem, SelfConsistentSolution};
+
+/// The result of a short-line-corrected solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShortLineSolution {
+    /// The corrected self-consistent solution.
+    pub solution: SelfConsistentSolution,
+    /// The healing length λ of the line.
+    pub healing_length: Length,
+    /// The applied correction factor `⟨ΔT⟩/ΔT∞ ∈ (0, 1]`.
+    pub correction: f64,
+    /// Whether the line qualifies as thermally long (`L > 5λ`), in which
+    /// case the correction is negligible and the baseline rule applies.
+    pub thermally_long: bool,
+}
+
+/// Solves the self-consistent problem with the via-cooled (fin)
+/// correction for a line of finite length.
+///
+/// The EM-limiting temperature of a short line is taken as the
+/// *length-averaged* rise (void nucleation integrates damage along the
+/// line); the effective heating constant becomes `κ·c(L/λ)` with
+/// `c = 1 − tanh(L/2λ)/(L/2λ)`.
+///
+/// # Errors
+///
+/// Propagates fin-model and solver errors.
+///
+/// # Examples
+///
+/// ```
+/// use hotwire_core::short_line::solve_with_fin_correction;
+/// use hotwire_core::SelfConsistentProblem;
+/// use hotwire_tech::{Dielectric, Metal};
+/// use hotwire_thermal::impedance::{InsulatorStack, LineGeometry};
+/// use hotwire_units::Length;
+///
+/// let um = Length::from_micrometers;
+/// let stack = InsulatorStack::single(um(3.0), &Dielectric::oxide());
+/// // A 20 µm inter-block wire (λ-scale; λ ≈ 8 µm here) at a harsh duty
+/// // cycle:
+/// let problem = SelfConsistentProblem::builder()
+///     .metal(Metal::copper())
+///     .line(LineGeometry::new(um(1.0), um(0.5), um(20.0))?)
+///     .stack(stack.clone())
+///     .duty_cycle(0.01)
+///     .build()?;
+/// let long = problem.solve()?;
+/// let short = solve_with_fin_correction(&problem, &stack)?;
+/// assert!(!short.thermally_long);
+/// // Via cooling buys extra current headroom:
+/// assert!(short.solution.j_peak > long.j_peak);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn solve_with_fin_correction(
+    problem: &SelfConsistentProblem,
+    stack: &InsulatorStack,
+) -> Result<ShortLineSolution, CoreError> {
+    // φ is already folded into the problem's heating constant; λ needs the
+    // stack. Recover the spreading-consistent λ from the same stack with
+    // the problem's implicit φ by matching the heating constant:
+    // κ = t_m·W·Σ(t/k)/W_eff  ⇒  W_eff = t_m·W·Σ(t/k)/κ.
+    let line = problem.line();
+    let series = stack.series_resistance_thickness();
+    if stack.is_empty() || series <= 0.0 {
+        return Err(CoreError::SolveFailed {
+            message: "short-line correction needs a non-empty insulator stack".to_owned(),
+        });
+    }
+    let weff = line.cross_section().value() * series / problem.heating_constant();
+    let phi = (Length::new(weff) - line.width()) / stack.total_thickness();
+    let lambda = healing_length(problem.metal(), line, stack, phi.max(0.0))?;
+
+    // The correction factor only depends on L/λ; use a unit plateau.
+    let profile = FinProfile::new(TemperatureDelta::new(1.0), lambda, line.length())?;
+    let correction = profile.short_line_correction();
+    let thermally_long = profile.is_thermally_long(5.0);
+
+    let corrected = problem.with_heating_constant(problem.heating_constant() * correction)?;
+    Ok(ShortLineSolution {
+        solution: corrected.solve()?,
+        healing_length: lambda,
+        correction,
+        thermally_long,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotwire_tech::{Dielectric, Metal};
+    use hotwire_thermal::impedance::LineGeometry;
+    use hotwire_units::CurrentDensity;
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    fn problem(length_um: f64) -> (SelfConsistentProblem, InsulatorStack) {
+        let stack = InsulatorStack::single(um(3.0), &Dielectric::oxide());
+        let p = SelfConsistentProblem::builder()
+            .metal(
+                Metal::copper()
+                    .with_design_rule_j0(CurrentDensity::from_amps_per_cm2(6.0e5)),
+            )
+            .line(LineGeometry::new(um(1.0), um(0.5), um(length_um)).unwrap())
+            .stack(stack.clone())
+            .phi(2.45)
+            .duty_cycle(0.01)
+            .build()
+            .unwrap();
+        (p, stack)
+    }
+
+    #[test]
+    fn long_line_correction_is_negligible() {
+        let (p, stack) = problem(5000.0);
+        let base = p.solve().unwrap();
+        let corrected = solve_with_fin_correction(&p, &stack).unwrap();
+        assert!(corrected.thermally_long);
+        assert!(corrected.correction > 0.95);
+        let rel = (corrected.solution.j_peak.value() - base.j_peak.value()) / base.j_peak.value();
+        assert!(rel < 0.05, "long lines keep the baseline rule (Δ = {rel})");
+    }
+
+    #[test]
+    fn short_line_gains_headroom() {
+        let (p, stack) = problem(15.0);
+        let base = p.solve().unwrap();
+        let corrected = solve_with_fin_correction(&p, &stack).unwrap();
+        assert!(!corrected.thermally_long);
+        assert!(corrected.correction < 0.7, "c = {}", corrected.correction);
+        assert!(corrected.solution.j_peak > base.j_peak);
+        assert!(corrected.solution.metal_temperature <= base.metal_temperature);
+    }
+
+    #[test]
+    fn correction_monotone_in_length() {
+        let mut prev_gain = f64::INFINITY;
+        for l in [10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0] {
+            let (p, stack) = problem(l);
+            let base = p.solve().unwrap();
+            let corrected = solve_with_fin_correction(&p, &stack).unwrap();
+            let gain = corrected.solution.j_peak.value() / base.j_peak.value();
+            assert!(gain >= 1.0 - 1e-9);
+            assert!(
+                gain <= prev_gain + 1e-9,
+                "shorter lines gain more: L = {l} µm gain {gain} vs prev {prev_gain}"
+            );
+            prev_gain = gain;
+        }
+    }
+
+    #[test]
+    fn healing_length_in_physical_range() {
+        let (p, stack) = problem(100.0);
+        let s = solve_with_fin_correction(&p, &stack).unwrap();
+        let lam = s.healing_length.to_micrometers();
+        assert!((5.0..400.0).contains(&lam), "λ = {lam} µm");
+    }
+
+    #[test]
+    fn empty_stack_rejected() {
+        let (p, _) = problem(100.0);
+        assert!(solve_with_fin_correction(&p, &InsulatorStack::new()).is_err());
+    }
+}

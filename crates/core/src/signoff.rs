@@ -1,0 +1,314 @@
+//! Whole-netlist current-density sign-off: the composite rule a physical
+//! design flow applies per net.
+//!
+//! For every net the flow knows (layer, drawn width, routed length, duty
+//! cycle and the peak current density it actually carries), the sign-off
+//! combines, in order of applicability:
+//!
+//! 1. the **self-consistent** thermally-aware rule of eq. (13) (the
+//!    paper's contribution),
+//! 2. the **thermally-short** fin relaxation for nets of λ scale
+//!    ([`crate::short_line`], the paper's §3.2 caveat),
+//! 3. the **Blech immortality** floor for very short jogs
+//!    ([`hotwire_em::blech`]).
+//!
+//! The verdict reports which rule governed, so a violation message tells
+//! the designer what physics to negotiate with.
+
+use hotwire_em::blech::BlechModel;
+use hotwire_tech::{Dielectric, Technology};
+use hotwire_thermal::impedance::LineGeometry;
+use hotwire_units::{CurrentDensity, Length};
+use serde::{Deserialize, Serialize};
+
+use crate::rules::layer_stack;
+use crate::short_line::solve_with_fin_correction;
+use crate::{CoreError, SelfConsistentProblem};
+
+/// One net as the router sees it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetSpec {
+    /// Net name (for reporting).
+    pub name: String,
+    /// The metal layer the net is routed on.
+    pub layer: String,
+    /// Drawn width.
+    pub width: Length,
+    /// Routed length.
+    pub length: Length,
+    /// Duty cycle of its current waveform (use
+    /// [`hotwire_em::CurrentStats::effective_duty_cycle`] for measured
+    /// waveforms).
+    pub duty_cycle: f64,
+    /// The peak current density the net actually carries.
+    pub j_peak: CurrentDensity,
+}
+
+/// Which physics set the binding limit for a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GoverningRule {
+    /// The thermally-long self-consistent rule (eq. 13).
+    SelfConsistent,
+    /// The fin-corrected (via-cooled) short-line rule.
+    ThermallyShort,
+    /// The Blech immortality floor (the net cannot fail by EM at all).
+    BlechImmortal,
+}
+
+/// The per-net verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetVerdict {
+    /// The net this verdict is for.
+    pub net: String,
+    /// The binding allowed peak density after all relaxations.
+    pub allowed_j_peak: CurrentDensity,
+    /// Which rule produced that limit.
+    pub governing: GoverningRule,
+    /// Utilization `j_peak/allowed` (> 1 = violation).
+    pub utilization: f64,
+    /// The self-consistent metal temperature at the *allowed* density.
+    pub metal_temperature: hotwire_units::Kelvin,
+}
+
+impl NetVerdict {
+    /// `true` when the net meets its rule.
+    #[must_use]
+    pub fn passes(&self) -> bool {
+        self.utilization <= 1.0
+    }
+}
+
+/// Sign-off configuration.
+#[derive(Debug, Clone)]
+pub struct SignoffConfig {
+    /// Intra-level (gap-fill) dielectric of the process.
+    pub intra_dielectric: Dielectric,
+    /// EM design-rule density j₀ at the reference temperature.
+    pub j0: CurrentDensity,
+    /// Heat-spreading parameter φ.
+    pub phi: f64,
+    /// Blech critical product (None disables the immortality relaxation).
+    pub blech: Option<BlechModel>,
+}
+
+impl SignoffConfig {
+    /// The paper-faithful defaults for a Cu process: oxide gap fill,
+    /// j₀ = 6×10⁵ A/cm², φ = 2.45, Cu Blech product.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        Self {
+            intra_dielectric: Dielectric::oxide(),
+            j0: CurrentDensity::from_amps_per_cm2(6.0e5),
+            phi: hotwire_thermal::impedance::QUASI_2D_PHI,
+            blech: Some(BlechModel::copper()),
+        }
+    }
+}
+
+/// Signs off a list of nets against a technology.
+///
+/// # Errors
+///
+/// Propagates solver errors; unknown layers or invalid net geometry are
+/// reported per the underlying builders.
+pub fn signoff(
+    tech: &Technology,
+    config: &SignoffConfig,
+    nets: &[NetSpec],
+) -> Result<Vec<NetVerdict>, CoreError> {
+    nets.iter().map(|net| check_net(tech, config, net)).collect()
+}
+
+fn check_net(
+    tech: &Technology,
+    config: &SignoffConfig,
+    net: &NetSpec,
+) -> Result<NetVerdict, CoreError> {
+    let layer = tech.layer(&net.layer).ok_or_else(|| CoreError::SolveFailed {
+        message: format!("net `{}`: unknown layer `{}`", net.name, net.layer),
+    })?;
+    let stack = layer_stack(tech, layer.index(), &config.intra_dielectric)?;
+    let line = LineGeometry::new(net.width, layer.thickness(), net.length)?;
+    let problem = SelfConsistentProblem::builder()
+        .metal(tech.metal().clone().with_design_rule_j0(config.j0))
+        .line(line)
+        .stack(stack.clone())
+        .phi(config.phi)
+        .duty_cycle(net.duty_cycle)
+        .reference_temperature(tech.reference_temperature())
+        .build()?;
+
+    // Baseline (thermally long) and fin-corrected limits.
+    let base = problem.solve()?;
+    let short = solve_with_fin_correction(&problem, &stack)?;
+    let (mut allowed, mut governing, mut t_m) = if short.thermally_long {
+        (
+            base.j_peak,
+            GoverningRule::SelfConsistent,
+            base.metal_temperature,
+        )
+    } else {
+        (
+            short.solution.j_peak,
+            GoverningRule::ThermallyShort,
+            short.solution.metal_temperature,
+        )
+    };
+    // Blech immortality floor (works on the average density: j_avg = r·j_peak).
+    if let Some(blech) = &config.blech {
+        let blech_peak = blech.immortality_density(net.length) / net.duty_cycle;
+        if blech_peak > allowed {
+            allowed = blech_peak;
+            governing = GoverningRule::BlechImmortal;
+            // an immortal net does not wear out; its temperature is set by
+            // the heating at the *carried* density, not a wearout balance —
+            // report the reference temperature as "no EM-limited T".
+            t_m = tech.reference_temperature();
+        }
+    }
+    Ok(NetVerdict {
+        net: net.name.clone(),
+        allowed_j_peak: allowed,
+        governing,
+        utilization: net.j_peak / allowed,
+        metal_temperature: t_m,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotwire_tech::presets;
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    fn ma(v: f64) -> CurrentDensity {
+        CurrentDensity::from_mega_amps_per_cm2(v)
+    }
+
+    fn nets() -> Vec<NetSpec> {
+        vec![
+            NetSpec {
+                name: "global_bus".into(),
+                layer: "M6".into(),
+                width: um(1.2),
+                length: um(4000.0),
+                duty_cycle: 0.1,
+                j_peak: ma(3.0),
+            },
+            NetSpec {
+                name: "block_stub".into(),
+                layer: "M3".into(),
+                width: um(0.4),
+                length: um(20.0),
+                duty_cycle: 0.1,
+                j_peak: ma(3.0),
+            },
+            NetSpec {
+                name: "via_jog".into(),
+                layer: "M2".into(),
+                width: um(0.4),
+                length: um(3.0),
+                duty_cycle: 0.3,
+                j_peak: ma(8.0),
+            },
+            NetSpec {
+                name: "hot_power_strap".into(),
+                layer: "M6".into(),
+                width: um(2.4),
+                length: um(5000.0),
+                duty_cycle: 1.0,
+                j_peak: ma(2.0),
+            },
+        ]
+    }
+
+    #[test]
+    fn composite_rule_selects_the_right_physics() {
+        let tech = presets::ntrs_250nm();
+        let verdicts = signoff(&tech, &SignoffConfig::paper_defaults(), &nets()).unwrap();
+        let by_name = |n: &str| verdicts.iter().find(|v| v.net == n).unwrap();
+
+        // Long global bus: plain self-consistent rule, passing.
+        let bus = by_name("global_bus");
+        assert_eq!(bus.governing, GoverningRule::SelfConsistent);
+        assert!(bus.passes(), "utilization {}", bus.utilization);
+
+        // A 3 µm jog at high current: immortal by Blech.
+        let jog = by_name("via_jog");
+        assert_eq!(jog.governing, GoverningRule::BlechImmortal);
+        assert!(jog.passes());
+
+        // A power strap at 2 MA/cm² with r = 1: violates the unipolar rule.
+        let strap = by_name("hot_power_strap");
+        assert_eq!(strap.governing, GoverningRule::SelfConsistent);
+        assert!(!strap.passes(), "utilization {}", strap.utilization);
+    }
+
+    #[test]
+    fn short_stub_gets_at_least_the_long_line_allowance() {
+        let tech = presets::ntrs_250nm();
+        let config = SignoffConfig {
+            blech: None, // isolate the fin effect
+            ..SignoffConfig::paper_defaults()
+        };
+        let mut long_stub = nets()[1].clone();
+        long_stub.length = um(5000.0);
+        let short = &signoff(&tech, &config, &nets()[1..2]).unwrap()[0];
+        let long = &signoff(&tech, &config, std::slice::from_ref(&long_stub)).unwrap()[0];
+        assert!(short.allowed_j_peak >= long.allowed_j_peak);
+        assert_eq!(long.governing, GoverningRule::SelfConsistent);
+    }
+
+    #[test]
+    fn disabling_blech_removes_the_immortality_floor() {
+        let tech = presets::ntrs_250nm();
+        let with = signoff(&tech, &SignoffConfig::paper_defaults(), &nets()[2..3]).unwrap();
+        let without = signoff(
+            &tech,
+            &SignoffConfig {
+                blech: None,
+                ..SignoffConfig::paper_defaults()
+            },
+            &nets()[2..3],
+        )
+        .unwrap();
+        assert!(with[0].allowed_j_peak > without[0].allowed_j_peak);
+        assert_ne!(without[0].governing, GoverningRule::BlechImmortal);
+    }
+
+    #[test]
+    fn unknown_layer_reports_the_net() {
+        let tech = presets::ntrs_250nm();
+        let mut bad = nets();
+        bad[0].layer = "M99".into();
+        let err = signoff(&tech, &SignoffConfig::paper_defaults(), &bad).unwrap_err();
+        assert!(err.to_string().contains("global_bus"));
+    }
+
+    #[test]
+    fn lowk_config_tightens_every_thermal_verdict() {
+        let tech = presets::ntrs_250nm();
+        let ox = signoff(&tech, &SignoffConfig::paper_defaults(), &nets()).unwrap();
+        let poly = signoff(
+            &tech,
+            &SignoffConfig {
+                intra_dielectric: Dielectric::polyimide(),
+                ..SignoffConfig::paper_defaults()
+            },
+            &nets(),
+        )
+        .unwrap();
+        for (a, b) in ox.iter().zip(&poly) {
+            if b.governing != GoverningRule::BlechImmortal {
+                assert!(
+                    b.allowed_j_peak <= a.allowed_j_peak,
+                    "{}: low-k cannot relax a thermal rule",
+                    a.net
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Parameter sweeps over the self-consistent solution — the generators
+//! behind the paper's Fig. 2 (duty-cycle sweep) and Fig. 3 (j₀ sweep).
+
+use hotwire_units::CurrentDensity;
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreError, SelfConsistentProblem, SelfConsistentSolution};
+
+/// One point of a duty-cycle sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The duty cycle of this point.
+    pub duty_cycle: f64,
+    /// The self-consistent solution.
+    pub solution: SelfConsistentSolution,
+    /// The EM-only reference `j₀/r` (Fig. 2's upper dotted line: what a
+    /// design ignoring self-heating would allow).
+    pub em_only_peak: CurrentDensity,
+}
+
+impl SweepPoint {
+    /// The self-heating penalty `j_peak(self-consistent)/j_peak(EM only)`
+    /// ∈ (0, 1] — monotonically decreasing in `1/r` per the paper.
+    #[must_use]
+    pub fn peak_penalty(&self) -> f64 {
+        self.solution.j_peak / self.em_only_peak
+    }
+}
+
+/// Solves the problem across a set of duty cycles (Fig. 2).
+///
+/// # Errors
+///
+/// Propagates solver errors ([`CoreError::MeltLimited`] etc.) and
+/// [`CoreError::InvalidDutyCycle`] for out-of-range entries.
+pub fn duty_cycle_sweep(
+    problem: &SelfConsistentProblem,
+    duty_cycles: &[f64],
+) -> Result<Vec<SweepPoint>, CoreError> {
+    duty_cycles
+        .iter()
+        .map(|&r| {
+            let p = problem.with_duty_cycle(r)?;
+            Ok(SweepPoint {
+                duty_cycle: r,
+                solution: p.solve()?,
+                em_only_peak: p.em_only_peak(),
+            })
+        })
+        .collect()
+}
+
+/// Logarithmically spaced duty cycles over `[lo, hi]` — the paper's
+/// Fig. 2/3 x-axis (10⁻⁴ … 1).
+///
+/// # Panics
+///
+/// Panics in debug builds when `points < 2` or the bounds are
+/// non-positive/reversed.
+#[must_use]
+pub fn log_spaced(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    debug_assert!(points >= 2);
+    debug_assert!(lo > 0.0 && hi > lo);
+    let l0 = lo.ln();
+    let l1 = hi.ln();
+    #[allow(clippy::cast_precision_loss)]
+    (0..points)
+        .map(|i| (l0 + (l1 - l0) * (i as f64) / (points as f64 - 1.0)).exp())
+        .collect()
+}
+
+/// One series of a j₀ sweep: the duty-cycle sweep at a given design-rule
+/// density (Fig. 3 plots several of these).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct J0Series {
+    /// The design-rule density of this series.
+    pub j0: CurrentDensity,
+    /// The duty-cycle sweep at this j₀.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Sweeps both j₀ and the duty cycle (Fig. 3).
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn j0_sweep(
+    problem: &SelfConsistentProblem,
+    j0_values: &[CurrentDensity],
+    duty_cycles: &[f64],
+) -> Result<Vec<J0Series>, CoreError> {
+    j0_values
+        .iter()
+        .map(|&j0| {
+            let p = problem.with_design_rule_j0(j0);
+            Ok(J0Series {
+                j0,
+                points: duty_cycle_sweep(&p, duty_cycles)?,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotwire_tech::{Dielectric, Metal};
+    use hotwire_thermal::impedance::{InsulatorStack, LineGeometry, QUASI_1D_PHI};
+    use hotwire_units::Length;
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    fn fig2_problem() -> SelfConsistentProblem {
+        SelfConsistentProblem::builder()
+            .metal(
+                Metal::copper()
+                    .with_design_rule_j0(CurrentDensity::from_amps_per_cm2(6.0e5)),
+            )
+            .line(LineGeometry::new(um(3.0), um(0.5), um(1000.0)).unwrap())
+            .stack(InsulatorStack::single(um(3.0), &Dielectric::oxide()))
+            .phi(QUASI_1D_PHI)
+            .duty_cycle(0.1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn log_spacing_endpoints_and_monotone() {
+        let rs = log_spaced(1e-4, 1.0, 9);
+        assert_eq!(rs.len(), 9);
+        assert!((rs[0] - 1e-4).abs() < 1e-12);
+        assert!((rs[8] - 1.0).abs() < 1e-12);
+        for w in rs.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // log-uniform: constant ratio
+        let ratio = rs[1] / rs[0];
+        for w in rs.windows(2) {
+            assert!((w[1] / w[0] - ratio).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig2_shape_penalty_decreases_with_duty_cycle() {
+        let rs = log_spaced(1e-4, 1.0, 13);
+        let points = duty_cycle_sweep(&fig2_problem(), &rs).unwrap();
+        // The penalty j_peak,sc/j_peak,EM-only decreases monotonically as r
+        // decreases (paper's second observation on Fig. 2).
+        for w in points.windows(2) {
+            assert!(
+                w[0].peak_penalty() <= w[1].peak_penalty() + 1e-9,
+                "penalty must shrink with r: {} then {}",
+                w[0].peak_penalty(),
+                w[1].peak_penalty()
+            );
+        }
+        // And equals ~1 at r = 1 (no self-heating at j₀).
+        let last = points.last().unwrap();
+        assert!((last.peak_penalty() - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn fig3_shape_j0_becomes_ineffective_at_small_r() {
+        // "j₀ becomes increasingly ineffective in increasing j_peak as the
+        // duty cycle r decreases."
+        let j0s = [
+            CurrentDensity::from_amps_per_cm2(6.0e5),
+            CurrentDensity::from_amps_per_cm2(1.8e6),
+        ];
+        let rs = [1e-4, 1e-1];
+        let series = j0_sweep(&fig2_problem(), &j0s, &rs).unwrap();
+        let gain_small_r = series[1].points[0].solution.j_peak.value()
+            / series[0].points[0].solution.j_peak.value();
+        let gain_large_r = series[1].points[1].solution.j_peak.value()
+            / series[0].points[1].solution.j_peak.value();
+        assert!(
+            gain_small_r < gain_large_r,
+            "3× j₀ must buy less at r = 1e-4 ({gain_small_r:.2}×) than at r = 0.1 ({gain_large_r:.2}×)"
+        );
+        // Temperatures increase with j₀ everywhere.
+        for (a, b) in series[0].points.iter().zip(&series[1].points) {
+            assert!(b.solution.metal_temperature > a.solution.metal_temperature);
+        }
+    }
+
+    #[test]
+    fn sweep_propagates_bad_duty_cycle() {
+        assert!(duty_cycle_sweep(&fig2_problem(), &[0.1, -1.0]).is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! Black's equation and the lifetime algebra the self-consistent design
+//! rules are built on.
+
+use hotwire_tech::{ElectromigrationParams, Metal};
+use hotwire_units::{CurrentDensity, Kelvin, Seconds};
+use serde::{Deserialize, Serialize};
+
+use crate::EmError;
+
+/// Black's electromigration lifetime model
+/// `TTF = A · j⁻ⁿ · exp(Q/(k_B·T))` (paper eq. 6, Black \[6\]).
+///
+/// The geometry/microstructure prefactor `A` cancels in every comparison
+/// the design-rule machinery makes, so the model is normalized such that
+/// `ttf(j₀, T_anchor) = lifetime_goal` (10 years at 100 °C by default) —
+/// exactly how accelerated test data anchor `j₀` in practice.
+///
+/// ```
+/// use hotwire_em::BlackModel;
+/// use hotwire_tech::Metal;
+/// use hotwire_units::{Celsius, CurrentDensity};
+///
+/// let black = BlackModel::for_metal(&Metal::alcu());
+/// let t_ref = Celsius::new(100.0).to_kelvin();
+/// let j0 = Metal::alcu().em().design_rule_j0;
+/// // The anchor condition meets the lifetime goal exactly:
+/// let ttf = black.ttf(j0, t_ref);
+/// assert!((ttf.value() - black.lifetime_goal().value()).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlackModel {
+    params: ElectromigrationParams,
+    anchor_temperature: Kelvin,
+    lifetime_goal: Seconds,
+}
+
+/// Ten years, the paper's reliability goal, in seconds.
+pub const TEN_YEARS: Seconds = Seconds::new(10.0 * 365.25 * 24.0 * 3600.0);
+
+impl BlackModel {
+    /// Builds a model from explicit EM parameters, anchored so that the
+    /// design-rule density `params.design_rule_j0` at `anchor_temperature`
+    /// yields exactly `lifetime_goal`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmError::InvalidParameter`] when the exponent or
+    /// activation energy is non-positive.
+    pub fn new(
+        params: ElectromigrationParams,
+        anchor_temperature: Kelvin,
+        lifetime_goal: Seconds,
+    ) -> Result<Self, EmError> {
+        if !(params.current_exponent > 0.0) {
+            return Err(EmError::InvalidParameter {
+                message: format!(
+                    "current exponent must be positive, got {}",
+                    params.current_exponent
+                ),
+            });
+        }
+        if !(params.activation_energy.value() > 0.0) {
+            return Err(EmError::InvalidParameter {
+                message: format!(
+                    "activation energy must be positive, got {}",
+                    params.activation_energy
+                ),
+            });
+        }
+        if !(params.design_rule_j0.value() > 0.0) {
+            return Err(EmError::InvalidParameter {
+                message: "design-rule j0 must be positive".to_owned(),
+            });
+        }
+        Ok(Self {
+            params,
+            anchor_temperature,
+            lifetime_goal,
+        })
+    }
+
+    /// Model for a metal's built-in EM parameters, anchored at 100 °C /
+    /// 10 years (the paper's goal).
+    ///
+    /// # Panics
+    ///
+    /// Never panics for the built-in metals, whose parameters are valid by
+    /// construction.
+    #[must_use]
+    pub fn for_metal(metal: &Metal) -> Self {
+        Self::new(
+            metal.em(),
+            hotwire_units::Celsius::new(100.0).to_kelvin(),
+            TEN_YEARS,
+        )
+        .expect("built-in metal parameters are valid")
+    }
+
+    /// The underlying EM parameters.
+    #[must_use]
+    pub fn params(&self) -> ElectromigrationParams {
+        self.params
+    }
+
+    /// The lifetime achieved at the anchor condition (j₀, T_anchor).
+    #[must_use]
+    pub fn lifetime_goal(&self) -> Seconds {
+        self.lifetime_goal
+    }
+
+    /// The anchor (reference) temperature.
+    #[must_use]
+    pub fn anchor_temperature(&self) -> Kelvin {
+        self.anchor_temperature
+    }
+
+    /// Time-to-fail at an average current density and metal temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds for non-positive `j` — query
+    /// [`BlackModel::lifetime_ratio`] with explicit conditions instead of
+    /// feeding degenerate stress.
+    #[must_use]
+    pub fn ttf(&self, j_avg: CurrentDensity, temperature: Kelvin) -> Seconds {
+        debug_assert!(j_avg.value() > 0.0, "TTF of zero stress is unbounded");
+        self.lifetime_goal * self.lifetime_ratio(
+            j_avg,
+            temperature,
+            self.params.design_rule_j0,
+            self.anchor_temperature,
+        )
+    }
+
+    /// The lifetime ratio `TTF(j_a, T_a) / TTF(j_b, T_b)` — prefactor-free:
+    ///
+    /// `ratio = (j_b/j_a)ⁿ · exp[(Q/k_B)·(1/T_a − 1/T_b)]`
+    #[must_use]
+    pub fn lifetime_ratio(
+        &self,
+        j_a: CurrentDensity,
+        t_a: Kelvin,
+        j_b: CurrentDensity,
+        t_b: Kelvin,
+    ) -> f64 {
+        let q_over_kb =
+            self.params.activation_energy.value() / hotwire_units::consts::BOLTZMANN_EV_PER_K;
+        let density_term = (j_b / j_a).powf(self.params.current_exponent);
+        let arrhenius = (q_over_kb * (1.0 / t_a.value() - 1.0 / t_b.value())).exp();
+        density_term * arrhenius
+    }
+
+    /// The maximum average current density that still meets the lifetime
+    /// goal at metal temperature `T_m` (eq. 12 solved for j):
+    ///
+    /// `j_allowed = j₀ · exp[(Q/(n·k_B))·(1/T_m − 1/T_ref)]`
+    ///
+    /// Hotter than the anchor ⇒ the allowed density shrinks.
+    #[must_use]
+    pub fn allowed_average_density(&self, metal_temperature: Kelvin) -> CurrentDensity {
+        let q_over_kb =
+            self.params.activation_energy.value() / hotwire_units::consts::BOLTZMANN_EV_PER_K;
+        let exponent = (q_over_kb / self.params.current_exponent)
+            * (1.0 / metal_temperature.value() - 1.0 / self.anchor_temperature.value());
+        self.params.design_rule_j0 * exponent.exp()
+    }
+
+    /// The right-hand side of the paper's self-consistent eq. (13):
+    /// `j₀² · exp[(Q/k_B)·(1/T_m − 1/T_ref)]`, i.e. the square of the
+    /// allowed average density for `n = 2`.
+    ///
+    /// Exposed separately (C-INTERMEDIATE) because the self-consistent
+    /// solver in `hotwire-core` iterates on it directly; units are
+    /// (A/m²)².
+    #[must_use]
+    pub fn self_consistent_rhs(&self, metal_temperature: Kelvin) -> f64 {
+        let j = self.allowed_average_density(metal_temperature).value();
+        let n = self.params.current_exponent;
+        // For general n, the "squared allowed density" generalizes to j².
+        // (j_allowed already folds the 1/n into the exponent.)
+        let _ = n;
+        j * j
+    }
+
+    /// Returns a copy anchored to a different design-rule density (the
+    /// paper's j₀ sweep, Fig. 3 / Table 3).
+    #[must_use]
+    pub fn with_design_rule_j0(mut self, j0: CurrentDensity) -> Self {
+        self.params.design_rule_j0 = j0;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotwire_units::Celsius;
+
+    fn ma(v: f64) -> CurrentDensity {
+        CurrentDensity::from_mega_amps_per_cm2(v)
+    }
+
+    fn t_c(v: f64) -> Kelvin {
+        Celsius::new(v).to_kelvin()
+    }
+
+    #[test]
+    fn anchor_condition_meets_goal() {
+        let b = BlackModel::for_metal(&Metal::copper());
+        let ttf = b.ttf(b.params().design_rule_j0, t_c(100.0));
+        assert!((ttf / TEN_YEARS - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn doubling_current_quarters_lifetime() {
+        // n = 2 ⇒ TTF ∝ j⁻²
+        let b = BlackModel::for_metal(&Metal::copper());
+        let r = b.lifetime_ratio(ma(2.0), t_c(100.0), ma(1.0), t_c(100.0));
+        assert!((r - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heating_shortens_life_exponentially() {
+        let b = BlackModel::for_metal(&Metal::alcu());
+        let r1 = b.lifetime_ratio(ma(1.0), t_c(110.0), ma(1.0), t_c(100.0));
+        let r2 = b.lifetime_ratio(ma(1.0), t_c(150.0), ma(1.0), t_c(100.0));
+        assert!(r1 < 1.0);
+        assert!(r2 < r1);
+        // Known magnitude: Q = 0.7 eV, 100→150 °C cuts lifetime ~12×.
+        assert!(r2 < 0.15 && r2 > 0.02, "r2 = {r2}");
+    }
+
+    #[test]
+    fn allowed_density_shrinks_with_temperature() {
+        let b = BlackModel::for_metal(&Metal::copper());
+        let j100 = b.allowed_average_density(t_c(100.0));
+        let j150 = b.allowed_average_density(t_c(150.0));
+        assert!((j100.value() - b.params().design_rule_j0.value()).abs() < 1e-3);
+        assert!(j150 < j100);
+        // ...and the allowed density at T still meets the goal at T:
+        let ttf = b.ttf(j150, t_c(150.0));
+        assert!((ttf / TEN_YEARS - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_consistent_rhs_is_squared_allowed_density() {
+        let b = BlackModel::for_metal(&Metal::copper());
+        let t = t_c(132.0);
+        let j = b.allowed_average_density(t).value();
+        assert!((b.self_consistent_rhs(t) - j * j).abs() / (j * j) < 1e-12);
+    }
+
+    #[test]
+    fn rhs_monotonically_decreasing_in_temperature() {
+        let b = BlackModel::for_metal(&Metal::copper());
+        let mut prev = f64::INFINITY;
+        for i in 0..50 {
+            let t = Kelvin::new(373.15 + 5.0 * f64::from(i));
+            let rhs = b.self_consistent_rhs(t);
+            assert!(rhs < prev, "RHS must decrease with T");
+            prev = rhs;
+        }
+    }
+
+    #[test]
+    fn with_design_rule_j0_scales_rhs_quadratically() {
+        let b = BlackModel::for_metal(&Metal::copper()).with_design_rule_j0(ma(0.6));
+        let b3 = b.clone().with_design_rule_j0(ma(1.8));
+        let t = t_c(120.0);
+        let ratio = b3.self_consistent_rhs(t) / b.self_consistent_rhs(t);
+        assert!((ratio - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let mut p = ElectromigrationParams::alcu();
+        p.current_exponent = 0.0;
+        assert!(BlackModel::new(p, t_c(100.0), TEN_YEARS).is_err());
+        let mut p = ElectromigrationParams::alcu();
+        p.activation_energy = hotwire_units::ElectronVolts::new(-0.1);
+        assert!(BlackModel::new(p, t_c(100.0), TEN_YEARS).is_err());
+        let mut p = ElectromigrationParams::alcu();
+        p.design_rule_j0 = CurrentDensity::ZERO;
+        assert!(BlackModel::new(p, t_c(100.0), TEN_YEARS).is_err());
+    }
+
+    #[test]
+    fn lifetime_ratio_symmetry() {
+        let b = BlackModel::for_metal(&Metal::copper());
+        let r = b.lifetime_ratio(ma(1.3), t_c(140.0), ma(0.8), t_c(100.0));
+        let r_inv = b.lifetime_ratio(ma(0.8), t_c(100.0), ma(1.3), t_c(140.0));
+        assert!((r * r_inv - 1.0).abs() < 1e-12);
+    }
+}

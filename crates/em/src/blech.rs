@@ -1,0 +1,193 @@
+//! Blech short-length electromigration immunity.
+//!
+//! Below a critical current-density × length product, the mechanical
+//! back-stress that builds up at a line's blocking boundaries exactly
+//! cancels the electron-wind force and mass transport stops: the line is
+//! *immortal* (Blech, 1976). This complements the paper's thermally-short
+//! treatment — both effects relax the rules for short wires, through
+//! entirely different physics — and is the standard extension any modern
+//! EM sign-off applies on top of Black's law.
+//!
+//! Typical critical products: 1000–3000 A/cm for AlCu between tungsten
+//! studs, 1500–4000 A/cm for damascene Cu, at normal operating
+//! temperatures.
+
+use hotwire_units::{CurrentDensity, Length};
+use serde::{Deserialize, Serialize};
+
+use crate::EmError;
+
+/// The Blech immortality criterion `j·L < (j·L)_crit`.
+///
+/// ```
+/// use hotwire_em::blech::BlechModel;
+/// use hotwire_units::{CurrentDensity, Length};
+///
+/// let blech = BlechModel::alcu();
+/// let j = CurrentDensity::from_mega_amps_per_cm2(2.0);
+/// // A 5 µm jog at 2 MA/cm²: j·L = 1000 A/cm < 2000 A/cm ⇒ immortal.
+/// assert!(blech.is_immortal(j, Length::from_micrometers(5.0)));
+/// // The same density over 100 µm is mortal.
+/// assert!(!blech.is_immortal(j, Length::from_micrometers(100.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlechModel {
+    /// Critical product in A/m (SI): 1 A/cm = 100 A/m… careful:
+    /// j[A/m²]·L[m] has units A/m; 1000 A/cm = 10⁵ A/m.
+    critical_product: f64,
+}
+
+impl BlechModel {
+    /// Builds a model from a critical product quoted in the customary
+    /// A/cm units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmError::InvalidParameter`] for a non-positive product.
+    pub fn from_amps_per_cm(jl_crit: f64) -> Result<Self, EmError> {
+        if !(jl_crit > 0.0) || !jl_crit.is_finite() {
+            return Err(EmError::InvalidParameter {
+                message: format!("critical jL product must be positive, got {jl_crit}"),
+            });
+        }
+        Ok(Self {
+            critical_product: jl_crit * 100.0, // A/cm → A/m
+        })
+    }
+
+    /// Typical AlCu between tungsten studs: (j·L)_crit = 2000 A/cm.
+    ///
+    /// # Panics
+    ///
+    /// Never panics (the constant is valid).
+    #[must_use]
+    pub fn alcu() -> Self {
+        Self::from_amps_per_cm(2000.0).expect("static constant")
+    }
+
+    /// Typical damascene Cu: (j·L)_crit = 3000 A/cm.
+    ///
+    /// # Panics
+    ///
+    /// Never panics (the constant is valid).
+    #[must_use]
+    pub fn copper() -> Self {
+        Self::from_amps_per_cm(3000.0).expect("static constant")
+    }
+
+    /// The critical product in A/cm.
+    #[must_use]
+    pub fn critical_product_amps_per_cm(&self) -> f64 {
+        self.critical_product / 100.0
+    }
+
+    /// `true` when a line of the given length at the given (average)
+    /// density sits below the Blech product — no net mass transport.
+    #[must_use]
+    pub fn is_immortal(&self, j_avg: CurrentDensity, length: Length) -> bool {
+        j_avg.value() * length.value() < self.critical_product
+    }
+
+    /// The longest immortal line at a given density:
+    /// `L_crit = (j·L)_crit / j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds for non-positive densities.
+    #[must_use]
+    pub fn critical_length(&self, j_avg: CurrentDensity) -> Length {
+        debug_assert!(j_avg.value() > 0.0);
+        Length::new(self.critical_product / j_avg.value())
+    }
+
+    /// The highest density at which a line of the given length is still
+    /// immortal: `j_crit = (j·L)_crit / L`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds for non-positive lengths.
+    #[must_use]
+    pub fn immortality_density(&self, length: Length) -> CurrentDensity {
+        debug_assert!(length.value() > 0.0);
+        CurrentDensity::new(self.critical_product / length.value())
+    }
+
+    /// The combined allowed average density for a line: the larger of the
+    /// wearout rule (Black-based, e.g. from the self-consistent solve) and
+    /// the Blech immortality bound — a short line may exceed the wearout
+    /// rule outright because it cannot fail by EM at all below the Blech
+    /// product.
+    #[must_use]
+    pub fn combined_allowed_density(
+        &self,
+        wearout_rule: CurrentDensity,
+        length: Length,
+    ) -> CurrentDensity {
+        wearout_rule.max(self.immortality_density(length))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ma(v: f64) -> CurrentDensity {
+        CurrentDensity::from_mega_amps_per_cm2(v)
+    }
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    #[test]
+    fn unit_bookkeeping() {
+        // 2000 A/cm at 2 MA/cm² ⇒ L_crit = 1000 µm × 1e-2? Check directly:
+        // j = 2e10 A/m², (jL)crit = 2e5 A/m ⇒ L = 1e-5 m = 10 µm.
+        let b = BlechModel::alcu();
+        assert!((b.critical_product_amps_per_cm() - 2000.0).abs() < 1e-9);
+        let l = b.critical_length(ma(2.0));
+        assert!((l.to_micrometers() - 10.0).abs() < 1e-9, "L = {l}");
+    }
+
+    #[test]
+    fn immortality_boundary_is_sharp() {
+        let b = BlechModel::alcu();
+        let j = ma(1.0);
+        let l_crit = b.critical_length(j);
+        assert!(b.is_immortal(j, l_crit * 0.999));
+        assert!(!b.is_immortal(j, l_crit * 1.001));
+        // dual formulation agrees
+        let j_crit = b.immortality_density(l_crit);
+        assert!((j_crit.value() - j.value()).abs() / j.value() < 1e-12);
+    }
+
+    #[test]
+    fn copper_product_exceeds_alcu() {
+        assert!(
+            BlechModel::copper().critical_product_amps_per_cm()
+                > BlechModel::alcu().critical_product_amps_per_cm()
+        );
+    }
+
+    #[test]
+    fn combined_rule_helps_only_short_lines() {
+        let b = BlechModel::copper();
+        let wearout = ma(1.5);
+        // long global line: Blech bound is tiny, wearout rule governs
+        let long = b.combined_allowed_density(wearout, um(2000.0));
+        assert_eq!(long, wearout);
+        // 10 µm jog: Blech allows 3000 A/cm / 10 µm = 3 MA/cm² > wearout
+        let short = b.combined_allowed_density(wearout, um(10.0));
+        assert!((short.to_mega_amps_per_cm2() - 3.0).abs() < 1e-9);
+        // 1 µm via jog: 30 MA/cm², an order above wearout
+        let tiny = b.combined_allowed_density(wearout, um(1.0));
+        assert!((tiny.to_mega_amps_per_cm2() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(BlechModel::from_amps_per_cm(0.0).is_err());
+        assert!(BlechModel::from_amps_per_cm(-5.0).is_err());
+        assert!(BlechModel::from_amps_per_cm(f64::NAN).is_err());
+    }
+}

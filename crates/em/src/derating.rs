@@ -1,0 +1,225 @@
+//! Electromigration derating models.
+//!
+//! Two second-order effects the paper calls out qualitatively:
+//!
+//! * **Bipolar (signal-line) EM immunity** — §4.1: "these lines are known
+//!   to have much higher EM immunity, hence the self-consistent values …
+//!   are lower bounds". Following Liew, Cheung & Hu \[7\], damage driven by
+//!   forward current is partially *healed* by the reverse half-cycle;
+//!   [`bipolar_effective_density`] reduces a bipolar waveform to the
+//!   equivalent DC density that Black's law should see.
+//! * **Latent ESD damage** — §6 / ref. \[9\]: a line that melted and
+//!   resolidified under a short high-current pulse survives, but its EM
+//!   lifetime degrades. [`latent_damage_factor`] maps the peak transient
+//!   temperature to a multiplicative lifetime derating.
+
+use hotwire_units::{CurrentDensity, Kelvin};
+
+use crate::{EmError, SampledWaveform};
+
+/// Reduces a (possibly bipolar) waveform to the equivalent unidirectional
+/// average current density for Black's law.
+///
+/// The model is the *sweepback* form of Liew et al. \[7\]: with `j⁺` the
+/// average forward density and `j⁻` the average reverse density (both
+/// ≥ 0), the damage-effective density interpolates between the
+/// conservative rectified average and the perfectly healed net average:
+///
+/// `j_eff = (1 − η)·(j⁺ + j⁻) + η·|j⁺ − j⁻|`
+///
+/// where `η ∈ [0, 1]` is the healing (recovery) efficiency of reverse
+/// current. `η = 0` reproduces the conservative rectified average; `η = 1`
+/// is perfect healing (pure symmetric AC stress does no EM damage).
+///
+/// # Errors
+///
+/// Returns [`EmError::InvalidParameter`] when `recovery_efficiency` is
+/// outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use hotwire_em::{derating::bipolar_effective_density, SampledWaveform};
+/// use hotwire_units::{CurrentDensity, Seconds};
+///
+/// // Symmetric square wave: equal forward and reverse charge.
+/// let w = SampledWaveform::from_fn(Seconds::from_nanos(2.0), 512, |t| {
+///     let j = CurrentDensity::from_mega_amps_per_cm2(1.0);
+///     if t.value() < 1.0e-9 { j } else { -j }
+/// })?;
+/// let conservative = bipolar_effective_density(&w, 0.0)?;
+/// let perfect = bipolar_effective_density(&w, 1.0)?;
+/// assert!(conservative.to_mega_amps_per_cm2() > 0.9);
+/// assert!(perfect.to_mega_amps_per_cm2() < 0.05);
+/// # Ok::<(), hotwire_em::EmError>(())
+/// ```
+pub fn bipolar_effective_density(
+    waveform: &SampledWaveform,
+    recovery_efficiency: f64,
+) -> Result<CurrentDensity, EmError> {
+    if !(0.0..=1.0).contains(&recovery_efficiency) {
+        return Err(EmError::InvalidParameter {
+            message: format!(
+                "recovery efficiency must be in [0, 1], got {recovery_efficiency}"
+            ),
+        });
+    }
+    let times = waveform.times();
+    let densities = waveform.densities();
+    let mut forward = 0.0_f64;
+    let mut reverse = 0.0_f64;
+    for k in 1..times.len() {
+        let dt = times[k].value() - times[k - 1].value();
+        let a = densities[k - 1].value();
+        let b = densities[k].value();
+        // Split the trapezoid into its positive and negative parts. When a
+        // segment crosses zero, split at the crossing.
+        if a >= 0.0 && b >= 0.0 {
+            forward += 0.5 * (a + b) * dt;
+        } else if a <= 0.0 && b <= 0.0 {
+            reverse += 0.5 * (-a - b) * dt;
+        } else {
+            // linear crossing at fraction f = a / (a - b)
+            let f = a / (a - b);
+            let area_first = 0.5 * a * f * dt;
+            let area_second = 0.5 * b * (1.0 - f) * dt;
+            if a > 0.0 {
+                forward += area_first;
+                reverse += -area_second;
+            } else {
+                reverse += -area_first;
+                forward += area_second;
+            }
+        }
+    }
+    let period = waveform.period().value();
+    let j_fwd = forward / period;
+    let j_rev = reverse / period;
+    let rectified = j_fwd + j_rev;
+    let healed = (j_fwd - j_rev).abs();
+    Ok(CurrentDensity::new(
+        (1.0 - recovery_efficiency) * rectified + recovery_efficiency * healed,
+    ))
+}
+
+/// Multiplicative EM-lifetime derating for a line whose peak transient
+/// temperature approached or exceeded the melting point (latent ESD
+/// damage, ref. \[9\]).
+///
+/// * Below `0.8·T_melt` (absolute) the microstructure is unaffected:
+///   factor 1.
+/// * Between `0.8·T_melt` and `T_melt` the factor falls linearly to the
+///   resolidification floor (default 0.3, the lifetime degradation scale
+///   reported for resolidified AlCu lines).
+/// * At or above `T_melt` (the line melted and resolidified): the floor.
+///
+/// # Examples
+///
+/// ```
+/// use hotwire_em::derating::latent_damage_factor;
+/// use hotwire_units::Kelvin;
+///
+/// let melt = Kelvin::new(933.5); // AlCu
+/// assert_eq!(latent_damage_factor(Kelvin::new(400.0), melt, 0.3), 1.0);
+/// assert_eq!(latent_damage_factor(Kelvin::new(1000.0), melt, 0.3), 0.3);
+/// let partial = latent_damage_factor(Kelvin::new(850.0), melt, 0.3);
+/// assert!(partial > 0.3 && partial < 1.0);
+/// ```
+#[must_use]
+pub fn latent_damage_factor(
+    peak_temperature: Kelvin,
+    melting_point: Kelvin,
+    resolidified_floor: f64,
+) -> f64 {
+    let onset = 0.8 * melting_point.value();
+    let t = peak_temperature.value();
+    if t <= onset {
+        1.0
+    } else if t >= melting_point.value() {
+        resolidified_floor
+    } else {
+        let frac = (t - onset) / (melting_point.value() - onset);
+        1.0 - frac * (1.0 - resolidified_floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotwire_units::Seconds;
+
+    fn ma(v: f64) -> CurrentDensity {
+        CurrentDensity::from_mega_amps_per_cm2(v)
+    }
+
+    #[test]
+    fn unipolar_waveform_unaffected_by_recovery() {
+        let w = SampledWaveform::from_fn(Seconds::from_nanos(2.0), 256, |t| {
+            if t.value() < 0.5e-9 {
+                ma(2.0)
+            } else {
+                CurrentDensity::ZERO
+            }
+        })
+        .unwrap();
+        let j0 = bipolar_effective_density(&w, 0.0).unwrap();
+        let j1 = bipolar_effective_density(&w, 1.0).unwrap();
+        assert!((j0.value() - j1.value()).abs() / j0.value() < 1e-9);
+        // ≈ r·j_peak = 0.25·2 MA/cm²
+        assert!((j0.to_mega_amps_per_cm2() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn recovery_efficiency_interpolates() {
+        let w = SampledWaveform::from_fn(Seconds::from_nanos(2.0), 2048, |t| {
+            if t.value() < 1.0e-9 {
+                ma(1.0)
+            } else {
+                -ma(0.5)
+            }
+        })
+        .unwrap();
+        // forward avg 0.5, reverse avg 0.25 → rectified 0.75, healed 0.25
+        let j_zero = bipolar_effective_density(&w, 0.0).unwrap();
+        assert!((j_zero.to_mega_amps_per_cm2() - 0.75).abs() < 0.01);
+        let j_half = bipolar_effective_density(&w, 0.5).unwrap();
+        assert!((j_half.to_mega_amps_per_cm2() - 0.5).abs() < 0.01);
+        let j_full = bipolar_effective_density(&w, 1.0).unwrap();
+        assert!((j_full.to_mega_amps_per_cm2() - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_crossing_segments_split_exactly() {
+        // Triangle from +1 to -1 over the period: forward and reverse areas
+        // are equal (0.25 each of the peak).
+        let w = SampledWaveform::new(
+            vec![Seconds::new(0.0), Seconds::new(1.0)],
+            vec![ma(1.0), -ma(1.0)],
+        )
+        .unwrap();
+        let j = bipolar_effective_density(&w, 0.0).unwrap();
+        assert!((j.to_mega_amps_per_cm2() - 0.5).abs() < 1e-9);
+        let j_healed = bipolar_effective_density(&w, 1.0).unwrap();
+        assert!(j_healed.to_mega_amps_per_cm2() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_recovery_rejected() {
+        let w = SampledWaveform::from_fn(Seconds::new(1.0), 4, |_| ma(1.0)).unwrap();
+        assert!(bipolar_effective_density(&w, -0.1).is_err());
+        assert!(bipolar_effective_density(&w, 1.1).is_err());
+    }
+
+    #[test]
+    fn latent_damage_monotone_in_temperature() {
+        let melt = Kelvin::new(1357.8);
+        let mut prev = 1.0;
+        for i in 0..30 {
+            let t = Kelvin::new(900.0 + 20.0 * f64::from(i));
+            let f = latent_damage_factor(t, melt, 0.3);
+            assert!(f <= prev + 1e-12);
+            assert!((0.3..=1.0).contains(&f));
+            prev = f;
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for electromigration analysis.
+
+/// Errors produced by waveform construction and EM model evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmError {
+    /// A duty cycle outside the half-open interval (0, 1].
+    InvalidDutyCycle {
+        /// The offending value.
+        value: f64,
+    },
+    /// A current density that must be positive was zero or negative.
+    NonPositiveDensity {
+        /// The offending value in A/m².
+        value: f64,
+    },
+    /// A sampled waveform had fewer than two samples or a non-increasing
+    /// time axis.
+    InvalidSamples {
+        /// Description of the defect.
+        message: String,
+    },
+    /// A model parameter (exponent, activation energy) was non-physical.
+    InvalidParameter {
+        /// Description of the defect.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for EmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmError::InvalidDutyCycle { value } => {
+                write!(f, "duty cycle must be in (0, 1], got {value}")
+            }
+            EmError::NonPositiveDensity { value } => {
+                write!(f, "current density must be positive, got {value} A/m²")
+            }
+            EmError::InvalidSamples { message } => write!(f, "invalid waveform samples: {message}"),
+            EmError::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            EmError::InvalidDutyCycle { value: 1.5 }.to_string(),
+            "duty cycle must be in (0, 1], got 1.5"
+        );
+        assert_eq!(
+            EmError::NonPositiveDensity { value: -3.0 }.to_string(),
+            "current density must be positive, got -3 A/m²"
+        );
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EmError>();
+    }
+}

@@ -1,0 +1,50 @@
+//! Electromigration analysis: current waveform statistics and Black's
+//! equation.
+//!
+//! The paper's design-rule machinery needs three things from this crate:
+//!
+//! 1. **Current-density statistics** of a waveform — peak, average and RMS
+//!    densities and the (effective) duty cycle that links them
+//!    (`j_avg = r·j_peak`, `j_rms = √r·j_peak` for unipolar pulses,
+//!    eqs. 4–5; `r_eff = (I_avg/I_rms)²` for arbitrary waveforms per
+//!    Hunter \[18\]). See [`UnipolarPulse`] and [`SampledWaveform`].
+//! 2. **Black's equation** `TTF = A·j⁻ⁿ·exp(Q/(k_B·T))` and the lifetime
+//!    *ratio* between two stress conditions, which is all the
+//!    self-consistent equation consumes. See [`BlackModel`].
+//! 3. **Derating hooks** for bipolar (signal-line) EM immunity and
+//!    post-ESD latent damage. See [`derating`].
+//!
+//! # Examples
+//!
+//! ```
+//! use hotwire_em::{BlackModel, UnipolarPulse};
+//! use hotwire_tech::Metal;
+//! use hotwire_units::{Celsius, CurrentDensity};
+//!
+//! let pulse = UnipolarPulse::new(CurrentDensity::from_mega_amps_per_cm2(2.0), 0.1)?;
+//! assert!((pulse.average().to_mega_amps_per_cm2() - 0.2).abs() < 1e-12);
+//!
+//! let black = BlackModel::for_metal(&Metal::copper());
+//! let t_ref = Celsius::new(100.0).to_kelvin();
+//! // Hotter metal at the same stress lives shorter:
+//! let hot = Celsius::new(150.0).to_kelvin();
+//! assert!(black.lifetime_ratio(pulse.average(), hot, pulse.average(), t_ref) < 1.0);
+//! # Ok::<(), hotwire_em::EmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// `!(x > 0.0)` is used deliberately throughout validation code: unlike
+// `x <= 0.0` it also rejects NaN, which must never enter a solver.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+mod black;
+pub mod blech;
+pub mod derating;
+mod error;
+pub mod lifetime;
+mod waveform;
+
+pub use black::{BlackModel, TEN_YEARS};
+pub use error::EmError;
+pub use waveform::{CurrentStats, SampledWaveform, UnipolarPulse};

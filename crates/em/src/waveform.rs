@@ -1,0 +1,578 @@
+//! Current waveforms and their peak / average / RMS statistics.
+
+use hotwire_units::{CurrentDensity, Seconds};
+use serde::{Deserialize, Serialize};
+
+use crate::EmError;
+
+/// The three current-density figures of merit plus the effective duty
+/// cycle that links them.
+///
+/// For any waveform `r_eff = (j_avg/j_rms)²` (Hunter \[18\]); for an ideal
+/// unipolar rectangular pulse train this reduces to the geometric duty
+/// cycle `t_on/T` and the identities `j_avg = r·j_peak`,
+/// `j_rms = √r·j_peak` (paper eqs. 4–5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurrentStats {
+    /// Peak current density (maximum |j| over the period).
+    pub peak: CurrentDensity,
+    /// Rectified average current density (mean of |j|) — the EM driver.
+    pub average: CurrentDensity,
+    /// RMS current density — the self-heating driver.
+    pub rms: CurrentDensity,
+}
+
+impl CurrentStats {
+    /// Effective duty cycle `r_eff = (j_avg/j_rms)²`.
+    ///
+    /// Equal to the geometric duty cycle for rectangular unipolar pulses
+    /// and in `(0, 1]` for every non-trivial waveform (by Cauchy–Schwarz).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the RMS density is zero (an identically
+    /// zero waveform has no meaningful duty cycle).
+    #[must_use]
+    pub fn effective_duty_cycle(&self) -> f64 {
+        debug_assert!(self.rms.value() > 0.0, "zero waveform has no duty cycle");
+        let ratio = self.average / self.rms;
+        ratio * ratio
+    }
+
+    /// Verifies the universal ordering `j_avg ≤ j_rms ≤ j_peak`.
+    ///
+    /// Mainly used by tests and debug assertions; tolerates tiny
+    /// floating-point violations.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        let tol = 1.0 + 1e-9;
+        self.average.value() <= self.rms.value() * tol
+            && self.rms.value() <= self.peak.value() * tol
+    }
+}
+
+/// An ideal rectangular unipolar pulse train — the waveform of the paper's
+/// illustrative analysis (its Fig. 1).
+///
+/// Characterized by the peak current density and the duty cycle
+/// `r = t_on / T`. Power (supply) lines correspond to `r = 1`, optimally
+/// buffered global signal lines to `r ≈ 0.1` (paper §4).
+///
+/// ```
+/// use hotwire_em::UnipolarPulse;
+/// use hotwire_units::CurrentDensity;
+///
+/// let p = UnipolarPulse::new(CurrentDensity::from_mega_amps_per_cm2(4.0), 0.25)?;
+/// assert!((p.average().to_mega_amps_per_cm2() - 1.0).abs() < 1e-12); // r·j_peak
+/// assert!((p.rms().to_mega_amps_per_cm2() - 2.0).abs() < 1e-12);     // √r·j_peak
+/// assert!((p.stats().effective_duty_cycle() - 0.25).abs() < 1e-12);
+/// # Ok::<(), hotwire_em::EmError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnipolarPulse {
+    peak: CurrentDensity,
+    duty_cycle: f64,
+}
+
+impl UnipolarPulse {
+    /// Creates a pulse train from its peak density and duty cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmError::InvalidDutyCycle`] unless `0 < duty_cycle ≤ 1`
+    /// and [`EmError::NonPositiveDensity`] unless `peak > 0`.
+    pub fn new(peak: CurrentDensity, duty_cycle: f64) -> Result<Self, EmError> {
+        if !(duty_cycle > 0.0 && duty_cycle <= 1.0) {
+            return Err(EmError::InvalidDutyCycle { value: duty_cycle });
+        }
+        if !(peak.value() > 0.0) || !peak.is_finite() {
+            return Err(EmError::NonPositiveDensity {
+                value: peak.value(),
+            });
+        }
+        Ok(Self { peak, duty_cycle })
+    }
+
+    /// Recovers the pulse description from a *measured* average density and
+    /// duty cycle (`j_peak = j_avg / r`, eq. 4 inverted).
+    ///
+    /// # Errors
+    ///
+    /// Same domain checks as [`UnipolarPulse::new`].
+    pub fn from_average(average: CurrentDensity, duty_cycle: f64) -> Result<Self, EmError> {
+        if !(duty_cycle > 0.0 && duty_cycle <= 1.0) {
+            return Err(EmError::InvalidDutyCycle { value: duty_cycle });
+        }
+        Self::new(average / duty_cycle, duty_cycle)
+    }
+
+    /// Recovers the pulse description from a *measured* RMS density and
+    /// duty cycle (`j_peak = j_rms / √r`, eq. 5 inverted).
+    ///
+    /// # Errors
+    ///
+    /// Same domain checks as [`UnipolarPulse::new`].
+    pub fn from_rms(rms: CurrentDensity, duty_cycle: f64) -> Result<Self, EmError> {
+        if !(duty_cycle > 0.0 && duty_cycle <= 1.0) {
+            return Err(EmError::InvalidDutyCycle { value: duty_cycle });
+        }
+        Self::new(rms / duty_cycle.sqrt(), duty_cycle)
+    }
+
+    /// Peak current density.
+    #[must_use]
+    pub fn peak(&self) -> CurrentDensity {
+        self.peak
+    }
+
+    /// Duty cycle `r = t_on/T`.
+    #[must_use]
+    pub fn duty_cycle(&self) -> f64 {
+        self.duty_cycle
+    }
+
+    /// Average current density `j_avg = r·j_peak` (eq. 4).
+    #[must_use]
+    pub fn average(&self) -> CurrentDensity {
+        self.peak * self.duty_cycle
+    }
+
+    /// RMS current density `j_rms = √r·j_peak` (eq. 5).
+    #[must_use]
+    pub fn rms(&self) -> CurrentDensity {
+        self.peak * self.duty_cycle.sqrt()
+    }
+
+    /// All three statistics at once.
+    #[must_use]
+    pub fn stats(&self) -> CurrentStats {
+        CurrentStats {
+            peak: self.peak(),
+            average: self.average(),
+            rms: self.rms(),
+        }
+    }
+}
+
+/// An arbitrary sampled current-density waveform j(t) over one period.
+///
+/// Samples are connected by straight lines (trapezoidal integration), the
+/// standard treatment for SPICE transient output. The time axis must be
+/// strictly increasing; the waveform is treated as one full period of a
+/// periodic signal, so statistics are normalized by `t_last − t_first`.
+///
+/// ```
+/// use hotwire_em::SampledWaveform;
+/// use hotwire_units::{CurrentDensity, Seconds};
+///
+/// // A triangle pulse occupying the first half of a 2 ns period.
+/// let w = SampledWaveform::new(
+///     vec![0.0, 0.5e-9, 1.0e-9, 2.0e-9].into_iter().map(Seconds::new).collect(),
+///     vec![0.0, 2.0e10, 0.0, 0.0].into_iter().map(CurrentDensity::new).collect(),
+/// )?;
+/// let stats = w.stats();
+/// assert!(stats.is_consistent());
+/// assert!(stats.effective_duty_cycle() < 0.5);
+/// # Ok::<(), hotwire_em::EmError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampledWaveform {
+    times: Vec<Seconds>,
+    densities: Vec<CurrentDensity>,
+}
+
+impl SampledWaveform {
+    /// Creates a waveform from parallel time/density sample vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmError::InvalidSamples`] when fewer than two samples are
+    /// given, the vectors disagree in length, the time axis is not strictly
+    /// increasing, or any value is non-finite.
+    pub fn new(times: Vec<Seconds>, densities: Vec<CurrentDensity>) -> Result<Self, EmError> {
+        if times.len() != densities.len() {
+            return Err(EmError::InvalidSamples {
+                message: format!(
+                    "length mismatch: {} times vs {} densities",
+                    times.len(),
+                    densities.len()
+                ),
+            });
+        }
+        if times.len() < 2 {
+            return Err(EmError::InvalidSamples {
+                message: "need at least two samples".to_owned(),
+            });
+        }
+        for w in times.windows(2) {
+            if !(w[1].value() > w[0].value()) {
+                return Err(EmError::InvalidSamples {
+                    message: "time axis must be strictly increasing".to_owned(),
+                });
+            }
+        }
+        if times.iter().any(|t| !t.is_finite())
+            || densities.iter().any(|j| !j.is_finite())
+        {
+            return Err(EmError::InvalidSamples {
+                message: "samples must be finite".to_owned(),
+            });
+        }
+        Ok(Self { times, densities })
+    }
+
+    /// Builds a waveform by sampling a closure at uniform steps over
+    /// `[0, period]` (inclusive of both endpoints).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmError::InvalidSamples`] when `steps < 2`, the period is
+    /// non-positive, or the closure produces non-finite values.
+    pub fn from_fn(
+        period: Seconds,
+        steps: usize,
+        mut f: impl FnMut(Seconds) -> CurrentDensity,
+    ) -> Result<Self, EmError> {
+        if steps < 2 {
+            return Err(EmError::InvalidSamples {
+                message: "need at least two steps".to_owned(),
+            });
+        }
+        if !(period.value() > 0.0) {
+            return Err(EmError::InvalidSamples {
+                message: "period must be positive".to_owned(),
+            });
+        }
+        let n = steps;
+        let mut times = Vec::with_capacity(n + 1);
+        let mut densities = Vec::with_capacity(n + 1);
+        for i in 0..=n {
+            #[allow(clippy::cast_precision_loss)]
+            let t = Seconds::new(period.value() * (i as f64) / (n as f64));
+            times.push(t);
+            densities.push(f(t));
+        }
+        Self::new(times, densities)
+    }
+
+    /// Builds the wire-current waveform of a driver pushing a binary data
+    /// pattern down a line: every transition of `bits` produces one
+    /// triangular current pulse of width `transition_fraction` of the bit
+    /// period — positive for a rising edge (charging the line), negative
+    /// for a falling edge. This links switching *activity* to the
+    /// effective duty cycle the thermal analysis sees (the paper's §4
+    /// remark that reduced-activity lines have slightly higher r_eff per
+    /// transition but fewer transitions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmError::InvalidSamples`] for fewer than 2 bits, a
+    /// non-positive bit period or peak, or `transition_fraction`
+    /// outside (0, 1].
+    pub fn from_bit_stream(
+        bit_period: Seconds,
+        bits: &[bool],
+        transition_fraction: f64,
+        peak: CurrentDensity,
+        samples_per_bit: usize,
+    ) -> Result<Self, EmError> {
+        if bits.len() < 2 {
+            return Err(EmError::InvalidSamples {
+                message: "need at least two bits".to_owned(),
+            });
+        }
+        if !(bit_period.value() > 0.0) || !(peak.value() > 0.0) {
+            return Err(EmError::InvalidSamples {
+                message: "bit period and peak must be positive".to_owned(),
+            });
+        }
+        if !(transition_fraction > 0.0 && transition_fraction <= 1.0) {
+            return Err(EmError::InvalidSamples {
+                message: format!(
+                    "transition fraction must be in (0, 1], got {transition_fraction}"
+                ),
+            });
+        }
+        if samples_per_bit < 8 {
+            return Err(EmError::InvalidSamples {
+                message: "need at least 8 samples per bit".to_owned(),
+            });
+        }
+        let t_bit = bit_period.value();
+        let width = transition_fraction * t_bit;
+        let total = Seconds::new(t_bit * bits.len() as f64);
+        Self::from_fn(total, bits.len() * samples_per_bit, |t| {
+            // Which bit boundary precedes t, and is there a transition?
+            #[allow(
+                clippy::cast_possible_truncation,
+                clippy::cast_sign_loss,
+                clippy::cast_precision_loss
+            )]
+            let k = ((t.value() / t_bit).floor() as usize).min(bits.len() - 1);
+            if k == 0 || bits[k] == bits[k - 1] {
+                return CurrentDensity::ZERO;
+            }
+            #[allow(clippy::cast_precision_loss)]
+            let tau = t.value() - (k as f64) * t_bit;
+            if tau >= width {
+                return CurrentDensity::ZERO;
+            }
+            // triangular pulse, apex at width/2
+            let shape = if tau < width / 2.0 {
+                2.0 * tau / width
+            } else {
+                2.0 * (1.0 - tau / width)
+            };
+            let sign = if bits[k] { 1.0 } else { -1.0 };
+            peak * (sign * shape)
+        })
+    }
+
+    /// The sample times.
+    #[must_use]
+    pub fn times(&self) -> &[Seconds] {
+        &self.times
+    }
+
+    /// The sampled current densities.
+    #[must_use]
+    pub fn densities(&self) -> &[CurrentDensity] {
+        &self.densities
+    }
+
+    /// The waveform period `t_last − t_first`.
+    #[must_use]
+    pub fn period(&self) -> Seconds {
+        *self.times.last().expect("≥2 samples") - self.times[0]
+    }
+
+    /// Peak, rectified-average and RMS current densities by trapezoidal
+    /// integration over the period.
+    #[must_use]
+    pub fn stats(&self) -> CurrentStats {
+        let mut peak: f64 = 0.0;
+        let mut avg_abs = 0.0_f64;
+        let mut mean_sq = 0.0_f64;
+        for k in 1..self.times.len() {
+            let dt = self.times[k].value() - self.times[k - 1].value();
+            let a = self.densities[k - 1].value();
+            let b = self.densities[k].value();
+            peak = peak.max(a.abs()).max(b.abs());
+            // exact integral of |linear interpolant|: split at the zero
+            // crossing when the segment changes sign (a plain trapezoid of
+            // endpoint magnitudes would overestimate and could violate
+            // Cauchy–Schwarz against the exact mean square below)
+            if a * b < 0.0 {
+                avg_abs += 0.5 * dt * (a * a + b * b) / (a.abs() + b.abs());
+            } else {
+                avg_abs += 0.5 * (a.abs() + b.abs()) * dt;
+            }
+            // exact integral of the square of the linear interpolant
+            mean_sq += dt * (a * a + a * b + b * b) / 3.0;
+        }
+        let period = self.period().value();
+        CurrentStats {
+            peak: CurrentDensity::new(peak),
+            average: CurrentDensity::new(avg_abs / period),
+            rms: CurrentDensity::new((mean_sq / period).sqrt()),
+        }
+    }
+
+    /// `true` when the waveform changes sign — a bipolar (signal-line)
+    /// current, which enjoys enhanced EM immunity (paper §4.1).
+    #[must_use]
+    pub fn is_bipolar(&self) -> bool {
+        let has_pos = self.densities.iter().any(|j| j.value() > 0.0);
+        let has_neg = self.densities.iter().any(|j| j.value() < 0.0);
+        has_pos && has_neg
+    }
+
+    /// Scales every sample by a constant factor (e.g. to convert a current
+    /// waveform in amperes to a density waveform, divide by the
+    /// cross-section first and scale here).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            times: self.times.clone(),
+            densities: self.densities.iter().map(|j| *j * factor).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ma(v: f64) -> CurrentDensity {
+        CurrentDensity::from_mega_amps_per_cm2(v)
+    }
+
+    #[test]
+    fn unipolar_identities() {
+        let p = UnipolarPulse::new(ma(1.0), 0.01).unwrap();
+        assert!((p.average().to_mega_amps_per_cm2() - 0.01).abs() < 1e-14);
+        assert!((p.rms().to_mega_amps_per_cm2() - 0.1).abs() < 1e-12);
+        // eq. (6): j_avg² = r · j_rms²
+        let lhs = p.average().value().powi(2);
+        let rhs = 0.01 * p.rms().value().powi(2);
+        assert!((lhs - rhs).abs() / rhs < 1e-12);
+    }
+
+    #[test]
+    fn unipolar_rejects_bad_inputs() {
+        assert!(UnipolarPulse::new(ma(1.0), 0.0).is_err());
+        assert!(UnipolarPulse::new(ma(1.0), 1.0001).is_err());
+        assert!(UnipolarPulse::new(ma(1.0), f64::NAN).is_err());
+        assert!(UnipolarPulse::new(ma(0.0), 0.5).is_err());
+        assert!(UnipolarPulse::new(ma(-1.0), 0.5).is_err());
+    }
+
+    #[test]
+    fn from_average_and_from_rms_invert() {
+        let p = UnipolarPulse::new(ma(4.0), 0.25).unwrap();
+        let q = UnipolarPulse::from_average(p.average(), 0.25).unwrap();
+        assert!((q.peak().value() - p.peak().value()).abs() < 1e-3);
+        let s = UnipolarPulse::from_rms(p.rms(), 0.25).unwrap();
+        assert!((s.peak().value() - p.peak().value()).abs() < 1e-3);
+        assert!(UnipolarPulse::from_average(ma(1.0), 0.0).is_err());
+        assert!(UnipolarPulse::from_rms(ma(1.0), 2.0).is_err());
+    }
+
+    #[test]
+    fn dc_waveform_has_unit_duty_cycle() {
+        let p = UnipolarPulse::new(ma(2.0), 1.0).unwrap();
+        let s = p.stats();
+        assert!((s.effective_duty_cycle() - 1.0).abs() < 1e-12);
+        assert_eq!(s.peak, s.average);
+        assert_eq!(s.peak, s.rms);
+    }
+
+    #[test]
+    fn sampled_rectangular_pulse_matches_ideal() {
+        // Approximate an r = 0.25 rectangular pulse with dense samples.
+        let period = Seconds::from_nanos(4.0);
+        let w = SampledWaveform::from_fn(period, 4000, |t| {
+            if t.value() < 1.0e-9 {
+                ma(2.0)
+            } else {
+                CurrentDensity::ZERO
+            }
+        })
+        .unwrap();
+        let s = w.stats();
+        let ideal = UnipolarPulse::new(ma(2.0), 0.25).unwrap().stats();
+        assert!((s.peak.value() - ideal.peak.value()).abs() / ideal.peak.value() < 1e-9);
+        assert!((s.average.value() - ideal.average.value()).abs() / ideal.average.value() < 1e-2);
+        assert!((s.rms.value() - ideal.rms.value()).abs() / ideal.rms.value() < 1e-2);
+        assert!((s.effective_duty_cycle() - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn sampled_sine_rms_is_amplitude_over_sqrt2() {
+        let period = Seconds::from_nanos(1.0);
+        let w = SampledWaveform::from_fn(period, 10_000, |t| {
+            ma(1.0) * (2.0 * std::f64::consts::PI * t.value() / period.value()).sin()
+        })
+        .unwrap();
+        let s = w.stats();
+        assert!((s.rms.to_mega_amps_per_cm2() - 1.0 / 2.0_f64.sqrt()).abs() < 1e-4);
+        // rectified sine average = 2/π × amplitude
+        assert!((s.average.to_mega_amps_per_cm2() - 2.0 / std::f64::consts::PI).abs() < 1e-4);
+        assert!(w.is_bipolar());
+        assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn sampled_validation() {
+        let t = |v: &[f64]| v.iter().copied().map(Seconds::new).collect::<Vec<_>>();
+        let j = |v: &[f64]| {
+            v.iter()
+                .copied()
+                .map(CurrentDensity::new)
+                .collect::<Vec<_>>()
+        };
+        assert!(SampledWaveform::new(t(&[0.0]), j(&[1.0])).is_err());
+        assert!(SampledWaveform::new(t(&[0.0, 1.0]), j(&[1.0])).is_err());
+        assert!(SampledWaveform::new(t(&[0.0, 0.0]), j(&[1.0, 1.0])).is_err());
+        assert!(SampledWaveform::new(t(&[1.0, 0.0]), j(&[1.0, 1.0])).is_err());
+        assert!(SampledWaveform::new(t(&[0.0, 1.0]), j(&[1.0, f64::NAN])).is_err());
+        assert!(SampledWaveform::new(t(&[0.0, 1.0]), j(&[1.0, 1.0])).is_ok());
+    }
+
+    #[test]
+    fn from_fn_validation() {
+        assert!(SampledWaveform::from_fn(Seconds::new(1.0), 1, |_| ma(1.0)).is_err());
+        assert!(SampledWaveform::from_fn(Seconds::new(0.0), 10, |_| ma(1.0)).is_err());
+    }
+
+    #[test]
+    fn scaled_scales_densities_only() {
+        let w = SampledWaveform::from_fn(Seconds::new(1.0), 4, |_| ma(1.0)).unwrap();
+        let w2 = w.scaled(3.0);
+        assert_eq!(w2.times(), w.times());
+        assert!((w2.stats().peak.to_mega_amps_per_cm2() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bit_stream_activity_drives_duty_cycle() {
+        let period = Seconds::from_nanos(1.0);
+        let peak = ma(2.0);
+        // Full activity: toggles every bit.
+        let busy: Vec<bool> = (0..32).map(|k| k % 2 == 0).collect();
+        // Sparse: one toggle pair in 32 bits.
+        let mut idle = vec![false; 32];
+        idle[16] = true;
+        let w_busy =
+            SampledWaveform::from_bit_stream(period, &busy, 0.3, peak, 64).unwrap();
+        let w_idle =
+            SampledWaveform::from_bit_stream(period, &idle, 0.3, peak, 64).unwrap();
+        let r_busy = w_busy.stats().effective_duty_cycle();
+        let r_idle = w_idle.stats().effective_duty_cycle();
+        assert!(
+            r_busy > 3.0 * r_idle,
+            "activity must raise the duty cycle: busy {r_busy} vs idle {r_idle}"
+        );
+        assert!(w_busy.is_bipolar());
+        // RMS (the heating driver) is much higher for the busy line.
+        assert!(w_busy.stats().rms.value() > 2.0 * w_idle.stats().rms.value());
+        // Peak matches the requested amplitude (within sampling).
+        assert!((w_busy.stats().peak.value() - peak.value()).abs() / peak.value() < 0.05);
+    }
+
+    #[test]
+    fn bit_stream_validation() {
+        let period = Seconds::from_nanos(1.0);
+        let j = ma(1.0);
+        assert!(SampledWaveform::from_bit_stream(period, &[true], 0.3, j, 64).is_err());
+        assert!(SampledWaveform::from_bit_stream(Seconds::ZERO, &[true, false], 0.3, j, 64)
+            .is_err());
+        assert!(
+            SampledWaveform::from_bit_stream(period, &[true, false], 0.0, j, 64).is_err()
+        );
+        assert!(
+            SampledWaveform::from_bit_stream(period, &[true, false], 1.5, j, 64).is_err()
+        );
+        assert!(SampledWaveform::from_bit_stream(period, &[true, false], 0.3, j, 4).is_err());
+        assert!(SampledWaveform::from_bit_stream(
+            period,
+            &[true, false],
+            0.3,
+            CurrentDensity::ZERO,
+            64
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn unipolar_is_not_bipolar() {
+        let w = SampledWaveform::from_fn(Seconds::new(1.0), 16, |t| {
+            if t.value() < 0.5 {
+                ma(1.0)
+            } else {
+                CurrentDensity::ZERO
+            }
+        })
+        .unwrap();
+        assert!(!w.is_bipolar());
+    }
+}

@@ -1,0 +1,51 @@
+//! Thermal failure of interconnects under ESD-scale current pulses —
+//! the paper's §6 and its refs. \[8\], \[9\], \[25\]–\[27\].
+//!
+//! ESD is a high-current (> 1 A), short-time-scale (< 200 ns) event. The
+//! self-consistent design rules of `hotwire-core` protect against wearout;
+//! interconnects in ESD protection circuits and I/O buffers must
+//! additionally survive these single pulses without melting open — and
+//! preferably without the melt-and-resolidify *latent damage* that
+//! degrades EM lifetime.
+//!
+//! This crate provides the standard stress models ([`EsdStress`]: human
+//! body, machine, charged device, TLP), drives the transient Joule-heating
+//! solver from `hotwire-thermal`, classifies the outcome
+//! ([`EsdVerdict`]), and inverts the analysis into the width design rule
+//! of ref. \[8\] ([`minimum_width`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use hotwire_esd::{check_robustness, EsdStress, EsdVerdict};
+//! use hotwire_tech::{Dielectric, Metal};
+//! use hotwire_thermal::impedance::{InsulatorStack, LineGeometry, QUASI_2D_PHI};
+//! use hotwire_units::{Celsius, Length};
+//!
+//! let um = Length::from_micrometers;
+//! // A wide I/O bus line easily survives a 2 kV human-body discharge…
+//! let line = LineGeometry::new(um(20.0), um(0.55), um(100.0))?;
+//! let stack = InsulatorStack::single(um(1.2), &Dielectric::oxide());
+//! let verdict = check_robustness(
+//!     &Metal::alcu(),
+//!     line,
+//!     &stack,
+//!     QUASI_2D_PHI,
+//!     Celsius::new(25.0).to_kelvin(),
+//!     &EsdStress::human_body(2000.0),
+//! )?;
+//! assert_eq!(verdict.outcome, hotwire_esd::EsdOutcome::Pass);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// `!(x > 0.0)` is used deliberately throughout validation code: unlike
+// `x <= 0.0` it also rejects NaN, which must never enter a solver.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+mod robustness;
+mod stress;
+
+pub use robustness::{check_robustness, minimum_width, EsdOutcome, EsdVerdict};
+pub use stress::EsdStress;

@@ -1,0 +1,251 @@
+//! Standard ESD stress current waveforms.
+
+use hotwire_units::{Current, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// An ESD stress event, parameterized the way test standards do.
+///
+/// All models reduce to a current waveform `i(t)` delivered into the
+/// interconnect under test.
+///
+/// ```
+/// use hotwire_esd::EsdStress;
+///
+/// let hbm = EsdStress::human_body(2000.0);
+/// // HBM: I_peak = V / 1.5 kΩ ≈ 1.33 A
+/// assert!((hbm.peak_current().value() - 1.333).abs() < 0.01);
+/// // …and the event is over within a few hundred ns.
+/// assert!(hbm.duration().to_nanos() < 1000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EsdStress {
+    /// Human-body model (MIL-STD-883 / JS-001): 100 pF through 1.5 kΩ.
+    /// Double-exponential with ≈ 5 ns rise and 150 ns decay.
+    HumanBody {
+        /// Precharge voltage, volts.
+        voltage: f64,
+    },
+    /// Machine model (JS-002 heritage): 200 pF, ≈ 0.75 µH, ~13 MHz damped
+    /// oscillation.
+    Machine {
+        /// Precharge voltage, volts.
+        voltage: f64,
+    },
+    /// Charged-device model: very fast (~1 ns) single-lobe discharge.
+    ChargedDevice {
+        /// Peak current, amperes (CDM is usually specified by peak
+        /// current for a given package).
+        peak: f64,
+    },
+    /// Transmission-line pulse: the rectangular lab stress used to
+    /// characterize failure thresholds (ref. \[8\] used 100–200 ns TLP).
+    Tlp {
+        /// Pulse amplitude, amperes.
+        current: f64,
+        /// Pulse width, seconds.
+        width: f64,
+    },
+}
+
+impl EsdStress {
+    /// A human-body discharge from the given precharge voltage.
+    #[must_use]
+    pub fn human_body(voltage: f64) -> Self {
+        EsdStress::HumanBody { voltage }
+    }
+
+    /// A machine-model discharge from the given precharge voltage.
+    #[must_use]
+    pub fn machine(voltage: f64) -> Self {
+        EsdStress::Machine { voltage }
+    }
+
+    /// A charged-device discharge with the given peak current.
+    #[must_use]
+    pub fn charged_device(peak: f64) -> Self {
+        EsdStress::ChargedDevice { peak }
+    }
+
+    /// A rectangular transmission-line pulse.
+    #[must_use]
+    pub fn tlp(current: f64, width: Seconds) -> Self {
+        EsdStress::Tlp {
+            current,
+            width: width.value(),
+        }
+    }
+
+    /// Peak current of the event.
+    #[must_use]
+    pub fn peak_current(&self) -> Current {
+        match self {
+            EsdStress::HumanBody { voltage } => Current::new(voltage / 1500.0),
+            EsdStress::Machine { voltage } => {
+                // I_peak ≈ V·√(C/L) damped slightly by the first quarter-wave
+                Current::new(voltage * (200.0e-12_f64 / 0.75e-6).sqrt() * 0.9)
+            }
+            EsdStress::ChargedDevice { peak } => Current::new(*peak),
+            EsdStress::Tlp { current, .. } => Current::new(*current),
+        }
+    }
+
+    /// The current at time `t` after the start of the event.
+    #[must_use]
+    pub fn current_at(&self, t: Seconds) -> Current {
+        let t = t.value();
+        if t < 0.0 {
+            return Current::ZERO;
+        }
+        match self {
+            EsdStress::HumanBody { voltage } => {
+                let tau_d = 150.0e-9_f64;
+                let tau_r = 5.0e-9_f64;
+                let t_peak = (tau_d / tau_r).ln() * tau_r * tau_d / (tau_d - tau_r);
+                let norm = (-t_peak / tau_d).exp() - (-t_peak / tau_r).exp();
+                let ip = voltage / 1500.0;
+                Current::new(ip * ((-t / tau_d).exp() - (-t / tau_r).exp()) / norm)
+            }
+            EsdStress::Machine { voltage } => {
+                let l = 0.75e-6_f64;
+                let c = 200.0e-12_f64;
+                let omega = 1.0 / (l * c).sqrt();
+                let tau = 60.0e-9;
+                let ip = voltage * (c / l).sqrt();
+                Current::new(ip * (-t / tau).exp() * (omega * t).sin())
+            }
+            EsdStress::ChargedDevice { peak } => {
+                // Single half-sine lobe of 1 ns.
+                let width = 1.0e-9;
+                if t < width {
+                    Current::new(peak * (std::f64::consts::PI * t / width).sin())
+                } else {
+                    Current::ZERO
+                }
+            }
+            EsdStress::Tlp { current, width } => {
+                if t <= *width {
+                    Current::new(*current)
+                } else {
+                    Current::ZERO
+                }
+            }
+        }
+    }
+
+    /// Samples the stress into a [`hotwire_em::SampledWaveform`] of
+    /// current *density* for a given conductor cross-section, so the
+    /// event can be analyzed with the same statistics machinery as
+    /// operational waveforms (peak/average/RMS, effective duty cycle).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hotwire_em::EmError`] for `samples < 2` or a
+    /// non-positive cross-section (propagated from the waveform
+    /// constructor).
+    pub fn to_density_waveform(
+        &self,
+        cross_section: hotwire_units::Area,
+        samples: usize,
+    ) -> Result<hotwire_em::SampledWaveform, hotwire_em::EmError> {
+        let area = cross_section.value();
+        hotwire_em::SampledWaveform::from_fn(self.duration(), samples, |t| {
+            hotwire_units::CurrentDensity::new(self.current_at(t).value() / area)
+        })
+    }
+
+    /// A conservative event duration (after which the current is
+    /// negligible) — the simulation window used by the robustness check.
+    #[must_use]
+    pub fn duration(&self) -> Seconds {
+        match self {
+            EsdStress::HumanBody { .. } => Seconds::from_nanos(600.0),
+            EsdStress::Machine { .. } => Seconds::from_nanos(400.0),
+            EsdStress::ChargedDevice { .. } => Seconds::from_nanos(5.0),
+            EsdStress::Tlp { width, .. } => Seconds::new(2.0 * width),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbm_peak_normalization() {
+        let s = EsdStress::human_body(2000.0);
+        // Scan for the actual waveform maximum — must equal V/1.5 kΩ.
+        let mut max = 0.0_f64;
+        for k in 0..5000 {
+            let t = Seconds::from_nanos(0.1 * f64::from(k));
+            max = max.max(s.current_at(t).value());
+        }
+        assert!((max - 2000.0 / 1500.0).abs() < 1e-3, "max = {max}");
+    }
+
+    #[test]
+    fn hbm_decays_within_duration() {
+        let s = EsdStress::human_body(2000.0);
+        let end = s.current_at(s.duration());
+        assert!(end.value() < 0.03 * s.peak_current().value());
+        assert_eq!(s.current_at(Seconds::new(-1.0e-9)), Current::ZERO);
+    }
+
+    #[test]
+    fn machine_model_oscillates() {
+        let s = EsdStress::machine(200.0);
+        let mut saw_negative = false;
+        let mut saw_positive = false;
+        for k in 0..400 {
+            let i = s.current_at(Seconds::from_nanos(f64::from(k))).value();
+            saw_positive |= i > 0.01;
+            saw_negative |= i < -0.01;
+        }
+        assert!(saw_positive && saw_negative, "MM must ring bipolar");
+    }
+
+    #[test]
+    fn cdm_is_fast_single_lobe() {
+        let s = EsdStress::charged_device(5.0);
+        let mid = s.current_at(Seconds::from_nanos(0.5));
+        assert!((mid.value() - 5.0).abs() < 1e-9, "peak at mid-lobe");
+        assert_eq!(s.current_at(Seconds::from_nanos(1.5)), Current::ZERO);
+        assert!(s.duration().to_nanos() <= 10.0);
+    }
+
+    #[test]
+    fn tlp_is_rectangular() {
+        let s = EsdStress::tlp(2.0, Seconds::from_nanos(100.0));
+        assert_eq!(s.current_at(Seconds::from_nanos(50.0)).value(), 2.0);
+        assert_eq!(s.current_at(Seconds::from_nanos(150.0)).value(), 0.0);
+        assert_eq!(s.peak_current().value(), 2.0);
+        assert!((s.duration().to_nanos() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_waveform_statistics() {
+        use hotwire_units::Area;
+        let s = EsdStress::human_body(2000.0);
+        let area = Area::from_um2(1.65); // 3 × 0.55 µm line
+        let w = s.to_density_waveform(area, 4000).unwrap();
+        let stats = w.stats();
+        assert!(stats.is_consistent());
+        // peak density = I_peak / A, within sampling resolution
+        let expected = s.peak_current().value() / area.value();
+        assert!(
+            (stats.peak.value() - expected).abs() / expected < 0.01,
+            "{} vs {expected}",
+            stats.peak.value()
+        );
+        // HBM is a one-shot decaying pulse: low effective duty cycle over
+        // its observation window
+        assert!(stats.effective_duty_cycle() < 0.6);
+        assert!(s.to_density_waveform(area, 1).is_err());
+    }
+
+    #[test]
+    fn higher_voltage_scales_current() {
+        let a = EsdStress::human_body(1000.0).peak_current();
+        let b = EsdStress::human_body(4000.0).peak_current();
+        assert!((b.value() / a.value() - 4.0).abs() < 1e-12);
+    }
+}

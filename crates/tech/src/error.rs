@@ -1,0 +1,85 @@
+//! Error type for technology construction and parsing.
+
+/// Errors produced while building or parsing a [`crate::Technology`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TechError {
+    /// A referenced metal layer name does not exist in the stack.
+    UnknownLayer {
+        /// The layer name that failed to resolve.
+        name: String,
+    },
+    /// A layer index is out of range for the stack.
+    LayerIndexOutOfRange {
+        /// The requested 0-based index.
+        index: usize,
+        /// The number of layers in the stack.
+        len: usize,
+    },
+    /// A builder field was missing or a geometry value non-physical.
+    InvalidGeometry {
+        /// Description of the offending field.
+        what: String,
+    },
+    /// The technology has no metal layers.
+    EmptyStack,
+    /// A tech-file line failed to parse.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A material name in a tech file is not a built-in and was not defined
+    /// in the file.
+    UnknownMaterial {
+        /// The unresolved material name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for TechError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TechError::UnknownLayer { name } => write!(f, "unknown metal layer `{name}`"),
+            TechError::LayerIndexOutOfRange { index, len } => {
+                write!(f, "layer index {index} out of range for {len}-level stack")
+            }
+            TechError::InvalidGeometry { what } => write!(f, "invalid geometry: {what}"),
+            TechError::EmptyStack => write!(f, "technology has no metal layers"),
+            TechError::Parse { line, message } => {
+                write!(f, "tech file parse error at line {line}: {message}")
+            }
+            TechError::UnknownMaterial { name } => write!(f, "unknown material `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for TechError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            TechError::UnknownLayer { name: "M9".into() }.to_string(),
+            "unknown metal layer `M9`"
+        );
+        assert_eq!(
+            TechError::LayerIndexOutOfRange { index: 8, len: 6 }.to_string(),
+            "layer index 8 out of range for 6-level stack"
+        );
+        assert_eq!(TechError::EmptyStack.to_string(), "technology has no metal layers");
+        assert_eq!(
+            TechError::Parse { line: 3, message: "bad token".into() }.to_string(),
+            "tech file parse error at line 3: bad token"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TechError>();
+    }
+}

@@ -1,0 +1,579 @@
+//! A line-oriented text format for technology files.
+//!
+//! The format deliberately looks like the tabular appendix of the paper:
+//! one directive per line, `#` comments, key/value pairs in stable units
+//! (µm for geometry, GHz for clock, fF for device capacitances). It needs
+//! no third-party parser and round-trips exactly.
+//!
+//! ```text
+//! # hotwire technology file
+//! technology ntrs-0.25um-cu
+//! feature_size_um 0.25
+//! vdd 2.5
+//! clock_ghz 0.75
+//! tref_c 100
+//! metal Cu
+//! dielectric inter oxide
+//! dielectric intra HSQ
+//! driver r0_ohm 9400 cg_ff 2.2 cp_ff 2.0
+//! layer M1 w_um 0.35 pitch_um 0.70 t_um 0.55 ild_um 1.20
+//! layer M2 w_um 0.40 pitch_um 0.85 t_um 0.65 ild_um 0.65
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use hotwire_tech::{format, presets};
+//!
+//! let text = format::serialize(&presets::ntrs_250nm());
+//! let parsed = format::parse(&text)?;
+//! assert_eq!(parsed, presets::ntrs_250nm());
+//! # Ok::<(), hotwire_tech::TechError>(())
+//! ```
+
+use std::collections::HashMap;
+
+use hotwire_units::{Capacitance, Celsius, Frequency, Length, Resistance, Voltage};
+
+use crate::{Dielectric, DriverParams, Metal, TechError, Technology, TechnologyBuilder};
+
+/// Formats a number with 12 significant digits, trimming trailing zeros.
+///
+/// Unit conversions (µm ↔ m) perturb the last one or two bits of a value;
+/// rounding to 12 significant digits absorbs that noise so that
+/// `serialize ∘ parse` is a fixed point while preserving far more precision
+/// than any physical input carries.
+fn fmt_num(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_owned();
+    }
+    let formatted = format!("{v:.*e}", 11);
+    // `{:e}` gives e.g. "3.50000000000e-1"; re-parse to collapse to the
+    // shortest decimal for that rounded value.
+    let rounded: f64 = formatted.parse().expect("formatting a finite f64");
+    let s = format!("{rounded}");
+    s
+}
+
+/// Serializes a technology to the text format.
+#[must_use]
+pub fn serialize(tech: &Technology) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# hotwire technology file");
+    let _ = writeln!(out, "technology {}", tech.name());
+    let _ = writeln!(
+        out,
+        "feature_size_um {}",
+        fmt_num(tech.feature_size().to_micrometers())
+    );
+    let _ = writeln!(out, "vdd {}", fmt_num(tech.vdd().value()));
+    let _ = writeln!(out, "clock_ghz {}", fmt_num(tech.clock().to_gigahertz()));
+    let _ = writeln!(
+        out,
+        "tref_c {}",
+        fmt_num(tech.reference_temperature().to_celsius().value())
+    );
+    let m = tech.metal();
+    if Metal::builtin(m.name()).as_ref() == Some(m) {
+        let _ = writeln!(out, "metal {}", m.name());
+    } else {
+        let _ = writeln!(
+            out,
+            "metal custom {} rho_uohm_cm {} at_c {} tcr {} kth {} density {} cp {} melt_k {} lf {} q_ev {} n {} j0_a_cm2 {}",
+            m.name(),
+            fmt_num(m.resistivity_ref().to_micro_ohm_cm()),
+            fmt_num(m.resistivity_ref_temperature().to_celsius().value()),
+            fmt_num(m.temperature_coefficient()),
+            fmt_num(m.thermal_conductivity().value()),
+            fmt_num(m.mass_density().value()),
+            fmt_num(m.specific_heat().value()),
+            fmt_num(m.melting_point().value()),
+            fmt_num(m.latent_heat_fusion()),
+            fmt_num(m.em().activation_energy.value()),
+            fmt_num(m.em().current_exponent),
+            fmt_num(m.em().design_rule_j0.to_amps_per_cm2()),
+        );
+    }
+    for (slot, d) in [
+        ("inter", tech.inter_level_dielectric()),
+        ("intra", tech.intra_level_dielectric()),
+    ] {
+        if Dielectric::builtin(d.name()).as_ref() == Some(d) {
+            let _ = writeln!(out, "dielectric {slot} {}", d.name());
+        } else {
+            let _ = writeln!(
+                out,
+                "dielectric {slot} custom {} er {} kth {}",
+                d.name(),
+                fmt_num(d.relative_permittivity()),
+                fmt_num(d.thermal_conductivity().value())
+            );
+        }
+    }
+    let drv = tech.driver();
+    let _ = writeln!(
+        out,
+        "driver r0_ohm {} cg_ff {} cp_ff {}",
+        fmt_num(drv.r0.value()),
+        fmt_num(drv.cg.to_femtofarads()),
+        fmt_num(drv.cp.to_femtofarads())
+    );
+    for l in tech.layers() {
+        let _ = writeln!(
+            out,
+            "layer {} w_um {} pitch_um {} t_um {} ild_um {}",
+            l.name(),
+            fmt_num(l.width().to_micrometers()),
+            fmt_num(l.pitch().to_micrometers()),
+            fmt_num(l.thickness().to_micrometers()),
+            fmt_num(l.ild_below().to_micrometers())
+        );
+    }
+    out
+}
+
+/// Parses a technology from the text format.
+///
+/// # Errors
+///
+/// Returns [`TechError::Parse`] with a 1-based line number for malformed
+/// lines, [`TechError::UnknownMaterial`] for unresolvable material names,
+/// and propagates geometry errors from the builder.
+pub fn parse(text: &str) -> Result<Technology, TechError> {
+    let mut name: Option<String> = None;
+    let mut feature_size: Option<Length> = None;
+    let mut vdd: Option<Voltage> = None;
+    let mut clock: Option<Frequency> = None;
+    let mut tref: Option<Celsius> = None;
+    let mut metal: Option<Metal> = None;
+    let mut inter: Option<Dielectric> = None;
+    let mut intra: Option<Dielectric> = None;
+    let mut driver: Option<DriverParams> = None;
+    let mut layers: Vec<(String, Length, Length, Length, Length)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let directive = tokens.next().expect("non-empty line has a first token");
+        let rest: Vec<&str> = tokens.collect();
+        match directive {
+            "technology" => {
+                name = Some(expect_one(lineno, &rest, "technology <name>")?.to_owned());
+            }
+            "feature_size_um" => {
+                feature_size = Some(Length::from_micrometers(parse_f64(
+                    lineno,
+                    expect_one(lineno, &rest, "feature_size_um <value>")?,
+                )?));
+            }
+            "vdd" => {
+                vdd = Some(Voltage::new(parse_f64(
+                    lineno,
+                    expect_one(lineno, &rest, "vdd <volts>")?,
+                )?));
+            }
+            "clock_ghz" => {
+                clock = Some(Frequency::from_gigahertz(parse_f64(
+                    lineno,
+                    expect_one(lineno, &rest, "clock_ghz <value>")?,
+                )?));
+            }
+            "tref_c" => {
+                tref = Some(Celsius::new(parse_f64(
+                    lineno,
+                    expect_one(lineno, &rest, "tref_c <celsius>")?,
+                )?));
+            }
+            "metal" => {
+                metal = Some(parse_metal(lineno, &rest)?);
+            }
+            "dielectric" => {
+                let (slot, d) = parse_dielectric(lineno, &rest)?;
+                match slot {
+                    DielectricSlot::Inter => inter = Some(d),
+                    DielectricSlot::Intra => intra = Some(d),
+                }
+            }
+            "driver" => {
+                let kv = parse_kv(lineno, &rest)?;
+                driver = Some(DriverParams::new(
+                    Resistance::new(get_kv(lineno, &kv, "r0_ohm")?),
+                    Capacitance::from_femtofarads(get_kv(lineno, &kv, "cg_ff")?),
+                    Capacitance::from_femtofarads(get_kv(lineno, &kv, "cp_ff")?),
+                ));
+            }
+            "layer" => {
+                if rest.is_empty() {
+                    return Err(parse_err(lineno, "layer requires a name"));
+                }
+                let lname = rest[0].to_owned();
+                let kv = parse_kv(lineno, &rest[1..])?;
+                layers.push((
+                    lname,
+                    Length::from_micrometers(get_kv(lineno, &kv, "w_um")?),
+                    Length::from_micrometers(get_kv(lineno, &kv, "pitch_um")?),
+                    Length::from_micrometers(get_kv(lineno, &kv, "t_um")?),
+                    Length::from_micrometers(get_kv(lineno, &kv, "ild_um")?),
+                ));
+            }
+            other => {
+                return Err(parse_err(lineno, &format!("unknown directive `{other}`")));
+            }
+        }
+    }
+
+    let name = name.ok_or_else(|| parse_err(0, "missing `technology` directive"))?;
+    let feature_size =
+        feature_size.ok_or_else(|| parse_err(0, "missing `feature_size_um` directive"))?;
+    let mut b = TechnologyBuilder::new(name, feature_size);
+    if let Some(v) = vdd {
+        b = b.vdd(v);
+    }
+    if let Some(c) = clock {
+        b = b.clock(c);
+    }
+    if let Some(t) = tref {
+        b = b.reference_temperature(t.to_kelvin());
+    }
+    if let Some(m) = metal {
+        b = b.metal(m);
+    }
+    let inter = inter.unwrap_or_else(Dielectric::oxide);
+    let intra = intra.unwrap_or_else(|| inter.clone());
+    b = b.dielectrics(inter, intra);
+    if let Some(d) = driver {
+        b = b.driver(d);
+    }
+    for (lname, w, p, t, ild) in layers {
+        b = b.layer(lname, w, p, t, ild)?;
+    }
+    b.build()
+}
+
+enum DielectricSlot {
+    Inter,
+    Intra,
+}
+
+fn parse_err(line: usize, message: &str) -> TechError {
+    TechError::Parse {
+        line,
+        message: message.to_owned(),
+    }
+}
+
+fn expect_one<'a>(line: usize, rest: &[&'a str], usage: &str) -> Result<&'a str, TechError> {
+    if rest.len() == 1 {
+        Ok(rest[0])
+    } else {
+        Err(parse_err(line, &format!("expected `{usage}`")))
+    }
+}
+
+fn parse_f64(line: usize, token: &str) -> Result<f64, TechError> {
+    token
+        .parse::<f64>()
+        .map_err(|_| parse_err(line, &format!("`{token}` is not a number")))
+}
+
+fn parse_kv(line: usize, rest: &[&str]) -> Result<HashMap<String, f64>, TechError> {
+    if !rest.len().is_multiple_of(2) {
+        return Err(parse_err(line, "expected key value pairs"));
+    }
+    let mut map = HashMap::new();
+    for pair in rest.chunks_exact(2) {
+        map.insert(pair[0].to_owned(), parse_f64(line, pair[1])?);
+    }
+    Ok(map)
+}
+
+fn get_kv(line: usize, kv: &HashMap<String, f64>, key: &str) -> Result<f64, TechError> {
+    kv.get(key)
+        .copied()
+        .ok_or_else(|| parse_err(line, &format!("missing `{key}`")))
+}
+
+fn parse_metal(line: usize, rest: &[&str]) -> Result<Metal, TechError> {
+    match rest {
+        [name] => Metal::builtin(name).ok_or_else(|| TechError::UnknownMaterial {
+            name: (*name).to_owned(),
+        }),
+        ["custom", name, kv @ ..] => {
+            let kv = parse_kv(line, kv)?;
+            Ok(Metal::new(
+                *name,
+                hotwire_units::Resistivity::from_micro_ohm_cm(get_kv(line, &kv, "rho_uohm_cm")?),
+                Celsius::new(get_kv(line, &kv, "at_c")?).to_kelvin(),
+                get_kv(line, &kv, "tcr")?,
+                hotwire_units::ThermalConductivity::new(get_kv(line, &kv, "kth")?),
+                hotwire_units::Density::new(get_kv(line, &kv, "density")?),
+                hotwire_units::SpecificHeat::new(get_kv(line, &kv, "cp")?),
+                hotwire_units::Kelvin::new(get_kv(line, &kv, "melt_k")?),
+                get_kv(line, &kv, "lf")?,
+                crate::ElectromigrationParams {
+                    activation_energy: hotwire_units::ElectronVolts::new(get_kv(
+                        line, &kv, "q_ev",
+                    )?),
+                    current_exponent: get_kv(line, &kv, "n")?,
+                    design_rule_j0: hotwire_units::CurrentDensity::from_amps_per_cm2(get_kv(
+                        line,
+                        &kv,
+                        "j0_a_cm2",
+                    )?),
+                },
+            ))
+        }
+        _ => Err(parse_err(
+            line,
+            "expected `metal <builtin>` or `metal custom <name> <k v>...`",
+        )),
+    }
+}
+
+fn parse_dielectric(line: usize, rest: &[&str]) -> Result<(DielectricSlot, Dielectric), TechError> {
+    let slot = match rest.first() {
+        Some(&"inter") => DielectricSlot::Inter,
+        Some(&"intra") => DielectricSlot::Intra,
+        _ => {
+            return Err(parse_err(
+                line,
+                "expected `dielectric inter|intra <name>`",
+            ))
+        }
+    };
+    let d = match &rest[1..] {
+        [name] => Dielectric::builtin(name).ok_or_else(|| TechError::UnknownMaterial {
+            name: (*name).to_owned(),
+        })?,
+        ["custom", name, kv @ ..] => {
+            let kv = parse_kv(line, kv)?;
+            Dielectric::new(
+                *name,
+                get_kv(line, &kv, "er")?,
+                hotwire_units::ThermalConductivity::new(get_kv(line, &kv, "kth")?),
+            )
+        }
+        _ => {
+            return Err(parse_err(
+                line,
+                "expected `dielectric inter|intra <builtin>` or `... custom <name> er <v> kth <v>`",
+            ))
+        }
+    };
+    Ok((slot, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    /// Asserts that two technologies agree to within floating-point
+    /// noise introduced by the µm ↔ m unit conversion of the text format.
+    fn assert_tech_close(a: &Technology, b: &Technology) {
+        fn close(x: f64, y: f64) {
+            let scale = x.abs().max(y.abs()).max(1e-300);
+            assert!((x - y).abs() / scale < 1e-12, "{x} vs {y}");
+        }
+        assert_eq!(a.name(), b.name());
+        close(a.feature_size().value(), b.feature_size().value());
+        close(a.vdd().value(), b.vdd().value());
+        close(a.clock().value(), b.clock().value());
+        close(
+            a.reference_temperature().value(),
+            b.reference_temperature().value(),
+        );
+        assert_eq!(a.metal().name(), b.metal().name());
+        close(
+            a.metal().resistivity_ref().value(),
+            b.metal().resistivity_ref().value(),
+        );
+        assert_eq!(
+            a.intra_level_dielectric().name(),
+            b.intra_level_dielectric().name()
+        );
+        assert_eq!(a.layers().len(), b.layers().len());
+        for (la, lb) in a.layers().iter().zip(b.layers()) {
+            assert_eq!(la.name(), lb.name());
+            close(la.width().value(), lb.width().value());
+            close(la.pitch().value(), lb.pitch().value());
+            close(la.thickness().value(), lb.thickness().value());
+            close(la.ild_below().value(), lb.ild_below().value());
+        }
+    }
+
+    #[test]
+    fn round_trip_all_presets() {
+        for tech in presets::all() {
+            let text = serialize(&tech);
+            let parsed = parse(&text).unwrap_or_else(|e| panic!("{}: {e}", tech.name()));
+            assert_tech_close(&parsed, &tech);
+            // After one cycle the decimal representation is a fixed point:
+            let text2 = serialize(&parsed);
+            let parsed2 = parse(&text2).unwrap();
+            assert_eq!(serialize(&parsed2), text2, "format is not idempotent");
+        }
+    }
+
+    #[test]
+    fn round_trip_custom_materials() {
+        let tech = presets::ntrs_250nm()
+            .with_metal(
+                Metal::copper().with_design_rule_j0(
+                    hotwire_units::CurrentDensity::from_amps_per_cm2(6.0e5),
+                ),
+            )
+            .with_intra_level_dielectric(Dielectric::new(
+                "xerogel",
+                1.8,
+                hotwire_units::ThermalConductivity::new(0.2),
+            ));
+        let text = serialize(&tech);
+        // the modified Cu no longer matches the builtin → serialized as custom
+        assert!(text.contains("metal custom Cu"));
+        assert!(text.contains("dielectric intra custom xerogel"));
+        let parsed = parse(&text).unwrap();
+        assert_tech_close(&parsed, &tech);
+        assert!(
+            (parsed.metal().em().design_rule_j0.to_amps_per_cm2() - 6.0e5).abs() < 1.0
+        );
+        assert!((parsed.intra_level_dielectric().relative_permittivity() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# header\ntechnology t # trailing\nfeature_size_um 0.25\nmetal Cu\nlayer M1 w_um 1 pitch_um 2 t_um 1 ild_um 1\n";
+        let tech = parse(text).unwrap();
+        assert_eq!(tech.name(), "t");
+        assert_eq!(tech.layers().len(), 1);
+    }
+
+    #[test]
+    fn unknown_directive_reports_line() {
+        let text = "technology t\nfeature_size_um 0.25\nbogus 1\n";
+        match parse(text) {
+            Err(TechError::Parse { line: 3, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_material_is_reported() {
+        let text = "technology t\nfeature_size_um 0.25\nmetal unobtainium\nlayer M1 w_um 1 pitch_um 2 t_um 1 ild_um 1\n";
+        match parse(text) {
+            Err(TechError::UnknownMaterial { name }) => assert_eq!(name, "unobtainium"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_required_directive() {
+        assert!(matches!(
+            parse("feature_size_um 0.25\n"),
+            Err(TechError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse("technology t\n"),
+            Err(TechError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_layer_key_reports_line() {
+        let text = "technology t\nfeature_size_um 0.25\nlayer M1 w_um 1 pitch_um 2 t_um 1\n";
+        match parse(text) {
+            Err(TechError::Parse { line: 3, message }) => {
+                assert!(message.contains("ild_um"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_number_reports_token() {
+        let text = "technology t\nfeature_size_um abc\n";
+        match parse(text) {
+            Err(TechError::Parse { line: 2, message }) => {
+                assert!(message.contains("abc"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn intra_defaults_to_inter() {
+        let text = "technology t\nfeature_size_um 0.25\ndielectric inter HSQ\nlayer M1 w_um 1 pitch_um 2 t_um 1 ild_um 1\n";
+        let tech = parse(text).unwrap();
+        assert_eq!(tech.intra_level_dielectric().name(), "HSQ");
+    }
+
+    #[test]
+    fn geometry_errors_propagate() {
+        let text =
+            "technology t\nfeature_size_um 0.25\nlayer M1 w_um 2 pitch_um 1 t_um 1 ild_um 1\n";
+        assert!(matches!(
+            parse(text),
+            Err(TechError::InvalidGeometry { .. })
+        ));
+    }
+}
+
+/// Reads and parses a technology file from disk.
+///
+/// # Errors
+///
+/// I/O failures are reported as [`TechError::Parse`] at line 0 with the
+/// underlying message; parse failures as usual.
+pub fn read_file(path: impl AsRef<std::path::Path>) -> Result<Technology, TechError> {
+    let text = std::fs::read_to_string(path.as_ref()).map_err(|e| TechError::Parse {
+        line: 0,
+        message: format!("cannot read {}: {e}", path.as_ref().display()),
+    })?;
+    parse(&text)
+}
+
+/// Serializes a technology to a file on disk.
+///
+/// # Errors
+///
+/// I/O failures are reported as [`TechError::Parse`] at line 0 with the
+/// underlying message.
+pub fn write_file(
+    tech: &Technology,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), TechError> {
+    std::fs::write(path.as_ref(), serialize(tech)).map_err(|e| TechError::Parse {
+        line: 0,
+        message: format!("cannot write {}: {e}", path.as_ref().display()),
+    })
+}
+
+#[cfg(test)]
+mod file_tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("hotwire-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ntrs.tech");
+        let tech = presets::ntrs_100nm();
+        write_file(&tech, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back.name(), tech.name());
+        assert_eq!(back.layers().len(), tech.layers().len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_reports_path() {
+        let err = read_file("/nonexistent/dir/x.tech").unwrap_err();
+        assert!(err.to_string().contains("x.tech"));
+    }
+}

@@ -1,0 +1,228 @@
+//! A single metallization level.
+
+use hotwire_units::{Area, Length, Resistivity, SheetResistance};
+use serde::{Deserialize, Serialize};
+
+use crate::TechError;
+
+/// One metallization level of a technology.
+///
+/// Geometry follows the paper's symbols: `W_m` (minimum drawn line width),
+/// pitch (line + space), `t_m` (metal thickness) and the inter-level
+/// dielectric (ILD) thickness *below* this level. The cumulative dielectric
+/// thickness `b` down to the substrate is a property of the assembled
+/// [`crate::Technology`], not of a single layer.
+///
+/// ```
+/// use hotwire_tech::MetalLayer;
+/// use hotwire_units::Length;
+///
+/// let m6 = MetalLayer::new(
+///     "M6",
+///     5,
+///     Length::from_micrometers(1.2),
+///     Length::from_micrometers(2.4),
+///     Length::from_micrometers(1.2),
+///     Length::from_micrometers(0.9),
+/// )?;
+/// assert!((m6.cross_section().to_um2() - 1.44).abs() < 1e-12);
+/// # Ok::<(), hotwire_tech::TechError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetalLayer {
+    name: String,
+    index: usize,
+    width: Length,
+    pitch: Length,
+    thickness: Length,
+    ild_below: Length,
+}
+
+impl MetalLayer {
+    /// Builds a layer.
+    ///
+    /// * `index` — 0-based position in the stack (0 = M1, closest to the
+    ///   substrate).
+    /// * `width` — minimum drawn line width `W_m`.
+    /// * `pitch` — line width + spacing to the neighbouring line.
+    /// * `thickness` — metal thickness `t_m`.
+    /// * `ild_below` — dielectric thickness between this level and the one
+    ///   below (or the substrate for M1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::InvalidGeometry`] when any dimension is
+    /// non-positive or the pitch is smaller than the width.
+    pub fn new(
+        name: impl Into<String>,
+        index: usize,
+        width: Length,
+        pitch: Length,
+        thickness: Length,
+        ild_below: Length,
+    ) -> Result<Self, TechError> {
+        let name = name.into();
+        for (what, v) in [
+            ("width", width),
+            ("pitch", pitch),
+            ("thickness", thickness),
+            ("ild_below", ild_below),
+        ] {
+            if !(v.value() > 0.0) || !v.is_finite() {
+                return Err(TechError::InvalidGeometry {
+                    what: format!("layer `{name}` {what} must be positive, got {v}"),
+                });
+            }
+        }
+        if pitch < width {
+            return Err(TechError::InvalidGeometry {
+                what: format!(
+                    "layer `{name}` pitch {pitch} is smaller than width {width}"
+                ),
+            });
+        }
+        Ok(Self {
+            name,
+            index,
+            width,
+            pitch,
+            thickness,
+            ild_below,
+        })
+    }
+
+    /// The layer name (e.g. `"M6"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// 0-based position in the stack (0 = closest to the substrate).
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Minimum drawn line width `W_m`.
+    #[must_use]
+    pub fn width(&self) -> Length {
+        self.width
+    }
+
+    /// Wiring pitch (width + space).
+    #[must_use]
+    pub fn pitch(&self) -> Length {
+        self.pitch
+    }
+
+    /// Line-to-line spacing (pitch − width).
+    #[must_use]
+    pub fn spacing(&self) -> Length {
+        self.pitch - self.width
+    }
+
+    /// Metal thickness `t_m`.
+    #[must_use]
+    pub fn thickness(&self) -> Length {
+        self.thickness
+    }
+
+    /// ILD thickness between this level and the one below.
+    #[must_use]
+    pub fn ild_below(&self) -> Length {
+        self.ild_below
+    }
+
+    /// Aspect ratio `t_m / W_m`.
+    #[must_use]
+    pub fn aspect_ratio(&self) -> f64 {
+        self.thickness / self.width
+    }
+
+    /// Conductor cross-section `A = W_m · t_m` at minimum width.
+    #[must_use]
+    pub fn cross_section(&self) -> Area {
+        self.width * self.thickness
+    }
+
+    /// Cross-section for an arbitrary drawn width at this level's thickness.
+    #[must_use]
+    pub fn cross_section_at_width(&self, width: Length) -> Area {
+        width * self.thickness
+    }
+
+    /// Sheet resistance of this level for a metal of resistivity ρ.
+    #[must_use]
+    pub fn sheet_resistance(&self, rho: Resistivity) -> SheetResistance {
+        rho.sheet_resistance(self.thickness)
+    }
+
+    /// Returns a copy of this layer renamed/re-indexed (used when assembling
+    /// custom stacks from templates).
+    #[must_use]
+    pub fn with_position(mut self, name: impl Into<String>, index: usize) -> Self {
+        self.name = name.into();
+        self.index = index;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    fn layer() -> MetalLayer {
+        MetalLayer::new("M1", 0, um(0.35), um(0.70), um(0.55), um(1.2)).unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let l = layer();
+        assert_eq!(l.name(), "M1");
+        assert_eq!(l.index(), 0);
+        assert!((l.spacing().to_micrometers() - 0.35).abs() < 1e-12);
+        assert!((l.aspect_ratio() - 0.55 / 0.35).abs() < 1e-12);
+        assert!((l.cross_section().to_um2() - 0.1925).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_positive_dimensions() {
+        assert!(MetalLayer::new("M1", 0, um(0.0), um(0.7), um(0.5), um(1.0)).is_err());
+        assert!(MetalLayer::new("M1", 0, um(0.35), um(0.7), um(-0.5), um(1.0)).is_err());
+        assert!(MetalLayer::new("M1", 0, um(0.35), um(0.7), um(0.5), um(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn rejects_pitch_smaller_than_width() {
+        let err = MetalLayer::new("M1", 0, um(0.7), um(0.35), um(0.5), um(1.0)).unwrap_err();
+        assert!(matches!(err, TechError::InvalidGeometry { .. }));
+    }
+
+    #[test]
+    fn sheet_resistance_of_thin_copper() {
+        // 0.1 µm node fragment of Table 8: M1 sheet ρ ≈ 0.085 Ω/□ for
+        // ~0.2 µm thick Cu at ~1.7 µΩ·cm.
+        let l = MetalLayer::new("M1", 0, um(0.13), um(0.26), um(0.20), um(0.32)).unwrap();
+        let rs = l.sheet_resistance(Resistivity::from_micro_ohm_cm(1.7));
+        assert!((rs.value() - 0.085).abs() < 0.001);
+    }
+
+    #[test]
+    fn with_position_renames() {
+        let l = layer().with_position("M3", 2);
+        assert_eq!(l.name(), "M3");
+        assert_eq!(l.index(), 2);
+        assert!((l.width().to_micrometers() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_section_at_width() {
+        let l = layer();
+        let a = l.cross_section_at_width(um(3.0));
+        assert!((a.to_um2() - 1.65).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,39 @@
+//! Interconnect technology descriptions.
+//!
+//! This crate models everything the DAC'99 thermal/EM analysis needs to know
+//! about a process: conductor and dielectric **materials**
+//! ([`Metal`], [`Dielectric`]), per-level **geometry** ([`MetalLayer`]), and
+//! the assembled **technology** ([`Technology`]) with supply/clock/device
+//! parameters. Reconstructions of the paper's NTRS 0.25 µm and 0.1 µm
+//! technology files (its Table 8) ship as [`presets`], and a line-oriented
+//! text format ([`mod@format`]) lets users bring their own.
+//!
+//! # Examples
+//!
+//! ```
+//! use hotwire_tech::presets;
+//!
+//! let tech = presets::ntrs_250nm();
+//! let m6 = tech.layer("M6").expect("0.25 µm preset has six levels");
+//! // Total underlying dielectric thickness b for the top level, eq. (8)'s t_ox:
+//! let b = tech.underlying_dielectric_thickness(m6.index());
+//! assert!(b.to_micrometers() > 3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// `!(x > 0.0)` is used deliberately throughout validation code: unlike
+// `x <= 0.0` it also rejects NaN, which must never enter a solver.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+mod error;
+pub mod format;
+mod layer;
+pub mod materials;
+pub mod presets;
+mod technology;
+
+pub use error::TechError;
+pub use layer::MetalLayer;
+pub use materials::{Dielectric, ElectromigrationParams, Metal};
+pub use technology::{DriverParams, Technology, TechnologyBuilder};

@@ -1,0 +1,222 @@
+//! NTRS-style technology presets — the reconstruction of the paper's
+//! Table 8.
+//!
+//! The scanned Table 8 is only partially legible; the values below honour
+//! every readable fragment (M1 sheet resistance ≈ 0.085 Ω/□ at the 0.1 µm
+//! node, ILD thicknesses 650 nm / 320 nm, metal thicknesses 0.9 µm /
+//! 0.55 µm on the global levels) and fill the remainder from the public
+//! NTRS-97 roadmap for the 250 nm and 100 nm generations. Every constant is
+//! an *input* to the analysis: swap in your own numbers through
+//! [`crate::TechnologyBuilder`] or a tech file ([`crate::format`]).
+
+use hotwire_units::{Capacitance, Frequency, Length, Resistance, Voltage};
+
+use crate::{Dielectric, DriverParams, Metal, Technology, TechnologyBuilder};
+
+fn um(v: f64) -> Length {
+    Length::from_micrometers(v)
+}
+
+/// The paper's 0.25 µm Cu/oxide technology: six metallization levels,
+/// V_dd = 2.5 V, 750 MHz across-chip clock.
+///
+/// Level-1 geometry (W = 0.35 µm, t_ox = 1.2 µm) matches the test
+/// structures of the paper's Fig. 5.
+///
+/// # Panics
+///
+/// Never panics in practice — the preset geometry is statically valid; the
+/// internal `expect`s guard against regressions in the constants.
+#[must_use]
+pub fn ntrs_250nm() -> Technology {
+    TechnologyBuilder::new("ntrs-0.25um-cu", um(0.25))
+        .vdd(Voltage::new(2.5))
+        .clock(Frequency::from_megahertz(750.0))
+        .metal(Metal::copper())
+        .dielectrics(Dielectric::oxide(), Dielectric::oxide())
+        .driver(DriverParams::new(
+            Resistance::new(9.4e3),
+            Capacitance::from_femtofarads(2.2),
+            Capacitance::from_femtofarads(2.0),
+        ))
+        .layer("M1", um(0.35), um(0.70), um(0.55), um(1.20))
+        .expect("static M1 geometry")
+        .layer("M2", um(0.40), um(0.85), um(0.65), um(0.65))
+        .expect("static M2 geometry")
+        .layer("M3", um(0.40), um(0.85), um(0.65), um(0.65))
+        .expect("static M3 geometry")
+        .layer("M4", um(0.50), um(1.10), um(0.90), um(0.65))
+        .expect("static M4 geometry")
+        .layer("M5", um(0.80), um(1.70), um(0.90), um(0.65))
+        .expect("static M5 geometry")
+        .layer("M6", um(1.20), um(2.40), um(1.20), um(0.90))
+        .expect("static M6 geometry")
+        .build()
+        .expect("static stack is non-empty")
+}
+
+/// The paper's 0.1 µm Cu technology: eight metallization levels,
+/// V_dd = 1.2 V, 1.8 GHz across-chip clock.
+///
+/// Honoured Table 8 fragments: M1 sheet ρ ≈ 0.085 Ω/□
+/// (t_m = 0.20 µm Cu), M1 ILD 320 nm (vs 650 nm at 0.25 µm).
+///
+/// # Panics
+///
+/// Never panics in practice — the preset geometry is statically valid.
+#[must_use]
+pub fn ntrs_100nm() -> Technology {
+    TechnologyBuilder::new("ntrs-0.1um-cu", um(0.10))
+        .vdd(Voltage::new(1.2))
+        .clock(Frequency::from_gigahertz(1.8))
+        .metal(Metal::copper())
+        .dielectrics(Dielectric::oxide(), Dielectric::oxide())
+        .driver(DriverParams::new(
+            Resistance::new(17.0e3),
+            Capacitance::from_femtofarads(0.45),
+            Capacitance::from_femtofarads(0.40),
+        ))
+        .layer("M1", um(0.13), um(0.26), um(0.20), um(0.32))
+        .expect("static M1 geometry")
+        .layer("M2", um(0.15), um(0.30), um(0.25), um(0.32))
+        .expect("static M2 geometry")
+        .layer("M3", um(0.15), um(0.30), um(0.25), um(0.32))
+        .expect("static M3 geometry")
+        .layer("M4", um(0.20), um(0.40), um(0.35), um(0.40))
+        .expect("static M4 geometry")
+        .layer("M5", um(0.28), um(0.56), um(0.45), um(0.45))
+        .expect("static M5 geometry")
+        .layer("M6", um(0.40), um(0.80), um(0.65), um(0.55))
+        .expect("static M6 geometry")
+        .layer("M7", um(0.80), um(1.60), um(1.00), um(0.80))
+        .expect("static M7 geometry")
+        .layer("M8", um(1.20), um(2.40), um(1.20), um(1.00))
+        .expect("static M8 geometry")
+        .build()
+        .expect("static stack is non-empty")
+}
+
+/// The 0.25 µm node with AlCu interconnect — the configuration of the
+/// paper's Table 4 and of the Fig. 5 thermal-impedance test structures.
+#[must_use]
+pub fn ntrs_250nm_alcu() -> Technology {
+    let mut t = ntrs_250nm().with_metal(Metal::alcu());
+    // AlCu preset keeps the same geometry; rename for clarity.
+    t = rename(t, "ntrs-0.25um-alcu");
+    t
+}
+
+/// The 0.1 µm node with AlCu interconnect (Table 4, lower block).
+#[must_use]
+pub fn ntrs_100nm_alcu() -> Technology {
+    rename(ntrs_100nm().with_metal(Metal::alcu()), "ntrs-0.1um-alcu")
+}
+
+/// All four presets used across the paper's tables.
+#[must_use]
+pub fn all() -> Vec<Technology> {
+    vec![
+        ntrs_250nm(),
+        ntrs_100nm(),
+        ntrs_250nm_alcu(),
+        ntrs_100nm_alcu(),
+    ]
+}
+
+fn rename(t: Technology, name: &str) -> Technology {
+    // Round-trip through the builder to change the name without exposing a
+    // public setter for it.
+    let mut b = TechnologyBuilder::new(name, t.feature_size())
+        .vdd(t.vdd())
+        .clock(t.clock())
+        .reference_temperature(t.reference_temperature())
+        .metal(t.metal().clone())
+        .dielectrics(
+            t.inter_level_dielectric().clone(),
+            t.intra_level_dielectric().clone(),
+        )
+        .driver(t.driver());
+    for layer in t.layers() {
+        b = b.push_layer(layer.clone());
+    }
+    b.build().expect("source technology was valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_level_counts() {
+        assert_eq!(ntrs_250nm().layers().len(), 6);
+        assert_eq!(ntrs_100nm().layers().len(), 8);
+    }
+
+    #[test]
+    fn m1_sheet_resistance_fragment_honoured() {
+        // Table 8 fragment: sheet ρ ≈ 0.085 Ω/□ for 0.1 µm M1.
+        let t = ntrs_100nm();
+        let m1 = t.layer("M1").unwrap();
+        let rho = t.metal().resistivity(t.reference_temperature());
+        let rs = m1.sheet_resistance(rho);
+        assert!(
+            (rs.value() - 0.085).abs() < 0.005,
+            "M1 sheet resistance {rs} deviates from the Table 8 fragment"
+        );
+    }
+
+    #[test]
+    fn fig5_geometry_honoured() {
+        // Fig. 5 test structures: level-1, W down to 0.35 µm, t_ox = 1.2 µm.
+        let t = ntrs_250nm();
+        let m1 = t.layer("M1").unwrap();
+        assert!((m1.width().to_micrometers() - 0.35).abs() < 1e-12);
+        assert!((m1.ild_below().to_micrometers() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_levels_are_global_fat_wires() {
+        for t in [ntrs_250nm(), ntrs_100nm()] {
+            let top = t.top_layer();
+            let m1 = t.layer_at(0).unwrap();
+            assert!(top.width() > m1.width());
+            assert!(top.thickness() > m1.thickness());
+        }
+    }
+
+    #[test]
+    fn scaling_shrinks_lower_levels() {
+        let t250 = ntrs_250nm();
+        let t100 = ntrs_100nm();
+        assert!(t100.layer_at(0).unwrap().width() < t250.layer_at(0).unwrap().width());
+        assert!(t100.vdd() < t250.vdd());
+        assert!(t100.clock() > t250.clock());
+    }
+
+    #[test]
+    fn upper_levels_sit_high_above_substrate() {
+        // The premise of the paper's §3.2: top levels are far from the heat
+        // sink. At 0.1 µm the M8 underlying stack should exceed 4 µm.
+        let t = ntrs_100nm();
+        let b = t.underlying_dielectric_thickness(7);
+        assert!(b.to_micrometers() > 4.0, "b = {b}");
+    }
+
+    #[test]
+    fn alcu_variants_share_geometry() {
+        let cu = ntrs_250nm();
+        let al = ntrs_250nm_alcu();
+        assert_eq!(al.metal().name(), "AlCu");
+        assert_eq!(al.layers(), cu.layers());
+        assert_eq!(al.name(), "ntrs-0.25um-alcu");
+    }
+
+    #[test]
+    fn all_presets_have_unique_names() {
+        let names: Vec<String> = all().iter().map(|t| t.name().to_owned()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

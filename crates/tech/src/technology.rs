@@ -1,0 +1,539 @@
+//! The assembled technology: metal stack + materials + circuit parameters.
+
+use hotwire_units::{Capacitance, Celsius, Frequency, Kelvin, Length, Resistance, Voltage};
+use serde::{Deserialize, Serialize};
+
+use crate::{Dielectric, Metal, MetalLayer, TechError};
+
+/// Parameters of a minimum-sized driver (inverter) in this technology,
+/// consumed by the repeater-insertion optimum of eqs. (16)–(17):
+/// `l_opt = √(2·r₀·(c_g + c_p)/(r·c))`, `s_opt = √(r₀·c/(r·c_g))`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriverParams {
+    /// Effective switching resistance r₀ of the minimum-sized driver.
+    pub r0: Resistance,
+    /// Input (gate) capacitance c_g of the minimum-sized driver.
+    pub cg: Capacitance,
+    /// Output parasitic (junction) capacitance c_p of the minimum-sized
+    /// driver.
+    pub cp: Capacitance,
+}
+
+impl DriverParams {
+    /// Builds driver parameters from raw quantities.
+    #[must_use]
+    pub fn new(r0: Resistance, cg: Capacitance, cp: Capacitance) -> Self {
+        Self { r0, cg, cp }
+    }
+
+    /// Intrinsic delay scale `τ₀ = r₀·(c_g + c_p)` of a self-loaded minimum
+    /// inverter.
+    #[must_use]
+    pub fn intrinsic_delay_seconds(&self) -> f64 {
+        self.r0.value() * (self.cg.value() + self.cp.value())
+    }
+}
+
+/// A complete interconnect technology description.
+///
+/// Assembled with [`TechnologyBuilder`]; preset instances for the paper's
+/// NTRS 0.25 µm and 0.1 µm nodes live in [`crate::presets`].
+///
+/// ```
+/// use hotwire_tech::presets;
+///
+/// let tech = presets::ntrs_100nm();
+/// assert_eq!(tech.layers().len(), 8);
+/// assert_eq!(tech.top_layer().name(), "M8");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    name: String,
+    feature_size: Length,
+    vdd: Voltage,
+    clock: Frequency,
+    reference_temperature: Kelvin,
+    metal: Metal,
+    inter_level_dielectric: Dielectric,
+    intra_level_dielectric: Dielectric,
+    driver: DriverParams,
+    layers: Vec<MetalLayer>,
+}
+
+impl Technology {
+    /// The technology name (e.g. `"ntrs-0.25um-cu"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Minimum feature size of the node.
+    #[must_use]
+    pub fn feature_size(&self) -> Length {
+        self.feature_size
+    }
+
+    /// Supply voltage.
+    #[must_use]
+    pub fn vdd(&self) -> Voltage {
+        self.vdd
+    }
+
+    /// Across-chip clock frequency.
+    #[must_use]
+    pub fn clock(&self) -> Frequency {
+        self.clock
+    }
+
+    /// Chip (silicon junction) reference temperature T_ref — 100 °C in the
+    /// paper.
+    #[must_use]
+    pub fn reference_temperature(&self) -> Kelvin {
+        self.reference_temperature
+    }
+
+    /// The interconnect conductor material.
+    #[must_use]
+    pub fn metal(&self) -> &Metal {
+        &self.metal
+    }
+
+    /// Inter-level dielectric (between metallization levels).
+    #[must_use]
+    pub fn inter_level_dielectric(&self) -> &Dielectric {
+        &self.inter_level_dielectric
+    }
+
+    /// Intra-level (gap-fill) dielectric between lines of the same level —
+    /// the slot the paper fills with low-k candidates.
+    #[must_use]
+    pub fn intra_level_dielectric(&self) -> &Dielectric {
+        &self.intra_level_dielectric
+    }
+
+    /// Minimum-driver parameters.
+    #[must_use]
+    pub fn driver(&self) -> DriverParams {
+        self.driver
+    }
+
+    /// All metallization levels, bottom (M1) first.
+    #[must_use]
+    pub fn layers(&self) -> &[MetalLayer] {
+        &self.layers
+    }
+
+    /// Looks a layer up by name.
+    #[must_use]
+    pub fn layer(&self, name: &str) -> Option<&MetalLayer> {
+        self.layers.iter().find(|l| l.name() == name)
+    }
+
+    /// The layer at a 0-based stack index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::LayerIndexOutOfRange`] for indices past the top
+    /// level.
+    pub fn layer_at(&self, index: usize) -> Result<&MetalLayer, TechError> {
+        self.layers
+            .get(index)
+            .ok_or(TechError::LayerIndexOutOfRange {
+                index,
+                len: self.layers.len(),
+            })
+    }
+
+    /// The top (global-routing) metallization level.
+    #[must_use]
+    pub fn top_layer(&self) -> &MetalLayer {
+        self.layers.last().expect("builder guarantees ≥1 layer")
+    }
+
+    /// Total dielectric path `b` from the bottom of the given level down to
+    /// the substrate — the `t_ox`/`b_x` of eq. (8).
+    ///
+    /// Intermediate metal levels are *patterned* planes, not continuous heat
+    /// spreaders; following the paper's worst-case quasi-1-D treatment the
+    /// full vertical path (ILDs plus embedded lower metal thicknesses,
+    /// which are dielectric-filled between lines) counts as dielectric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range; use [`Technology::layer_at`]
+    /// first when the index is untrusted.
+    #[must_use]
+    pub fn underlying_dielectric_thickness(&self, index: usize) -> Length {
+        assert!(
+            index < self.layers.len(),
+            "layer index {index} out of range for {}-level stack",
+            self.layers.len()
+        );
+        let mut b = Length::ZERO;
+        for layer in &self.layers[..index] {
+            b += layer.ild_below();
+            b += layer.thickness();
+        }
+        b + self.layers[index].ild_below()
+    }
+
+    /// Height of the *top surface* of the given level above the substrate.
+    #[must_use]
+    pub fn level_top_height(&self, index: usize) -> Length {
+        self.underlying_dielectric_thickness(index) + self.layers[index].thickness()
+    }
+
+    /// Returns a copy using a different conductor metal (e.g. swap Cu for
+    /// AlCu to regenerate the paper's Table 4).
+    #[must_use]
+    pub fn with_metal(mut self, metal: Metal) -> Self {
+        self.metal = metal;
+        self
+    }
+
+    /// Returns a copy using a different intra-level (gap-fill) dielectric.
+    #[must_use]
+    pub fn with_intra_level_dielectric(mut self, dielectric: Dielectric) -> Self {
+        self.intra_level_dielectric = dielectric;
+        self
+    }
+
+    /// Returns a copy using a different inter-level dielectric.
+    #[must_use]
+    pub fn with_inter_level_dielectric(mut self, dielectric: Dielectric) -> Self {
+        self.inter_level_dielectric = dielectric;
+        self
+    }
+
+    /// Derives an ideally scaled node: all lateral and vertical geometry
+    /// shrinks by `factor` (< 1), the supply scales with it, and the
+    /// clock speeds up by `1/factor` — the constant-field scaling the
+    /// paper's introduction describes, under which current *density*
+    /// pressure grows. Device parameters scale as `r₀/1` (the driver
+    /// resistance of a minimum device is roughly scaling-invariant) and
+    /// `c_g, c_p × factor`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::InvalidGeometry`] unless `0 < factor ≤ 1`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hotwire_tech::presets;
+    ///
+    /// let t250 = presets::ntrs_250nm();
+    /// let t180 = t250.scaled(0.72, "scaled-0.18um")?;
+    /// assert!(t180.feature_size() < t250.feature_size());
+    /// assert!(t180.clock() > t250.clock());
+    /// # Ok::<(), hotwire_tech::TechError>(())
+    /// ```
+    pub fn scaled(&self, factor: f64, name: impl Into<String>) -> Result<Technology, TechError> {
+        if !(factor > 0.0 && factor <= 1.0) {
+            return Err(TechError::InvalidGeometry {
+                what: format!("scaling factor must be in (0, 1], got {factor}"),
+            });
+        }
+        let mut b = TechnologyBuilder::new(name, self.feature_size * factor)
+            .vdd(self.vdd * factor)
+            .clock(self.clock / factor)
+            .reference_temperature(self.reference_temperature)
+            .metal(self.metal.clone())
+            .dielectrics(
+                self.inter_level_dielectric.clone(),
+                self.intra_level_dielectric.clone(),
+            )
+            .driver(DriverParams::new(
+                self.driver.r0,
+                self.driver.cg * factor,
+                self.driver.cp * factor,
+            ));
+        for layer in &self.layers {
+            b = b.layer(
+                layer.name(),
+                layer.width() * factor,
+                layer.pitch() * factor,
+                layer.thickness() * factor,
+                layer.ild_below() * factor,
+            )?;
+        }
+        b.build()
+    }
+}
+
+/// Step-by-step construction of a [`Technology`] (C-BUILDER).
+///
+/// ```
+/// use hotwire_tech::{Dielectric, DriverParams, Metal, MetalLayer, TechnologyBuilder};
+/// use hotwire_units::{Capacitance, Celsius, Frequency, Length, Resistance, Voltage};
+///
+/// let um = Length::from_micrometers;
+/// let tech = TechnologyBuilder::new("demo", um(0.25))
+///     .vdd(Voltage::new(2.5))
+///     .clock(Frequency::from_megahertz(750.0))
+///     .metal(Metal::copper())
+///     .dielectrics(Dielectric::oxide(), Dielectric::oxide())
+///     .driver(DriverParams::new(
+///         Resistance::new(10.0e3),
+///         Capacitance::from_femtofarads(2.25),
+///         Capacitance::from_femtofarads(2.0),
+///     ))
+///     .layer("M1", um(0.35), um(0.70), um(0.55), um(1.2))?
+///     .layer("M2", um(0.40), um(0.85), um(0.65), um(0.65))?
+///     .build()?;
+/// assert_eq!(tech.layers().len(), 2);
+/// # Ok::<(), hotwire_tech::TechError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TechnologyBuilder {
+    name: String,
+    feature_size: Length,
+    vdd: Voltage,
+    clock: Frequency,
+    reference_temperature: Kelvin,
+    metal: Metal,
+    inter_level_dielectric: Dielectric,
+    intra_level_dielectric: Dielectric,
+    driver: DriverParams,
+    layers: Vec<MetalLayer>,
+}
+
+impl TechnologyBuilder {
+    /// Starts a builder with paper-default materials (Cu, oxide) and the
+    /// 100 °C reference temperature.
+    #[must_use]
+    pub fn new(name: impl Into<String>, feature_size: Length) -> Self {
+        Self {
+            name: name.into(),
+            feature_size,
+            vdd: Voltage::new(2.5),
+            clock: Frequency::from_megahertz(750.0),
+            reference_temperature: Celsius::new(100.0).to_kelvin(),
+            metal: Metal::copper(),
+            inter_level_dielectric: Dielectric::oxide(),
+            intra_level_dielectric: Dielectric::oxide(),
+            driver: DriverParams::new(
+                Resistance::new(10.0e3),
+                Capacitance::from_femtofarads(2.0),
+                Capacitance::from_femtofarads(2.0),
+            ),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Sets the supply voltage.
+    #[must_use]
+    pub fn vdd(mut self, vdd: Voltage) -> Self {
+        self.vdd = vdd;
+        self
+    }
+
+    /// Sets the clock frequency.
+    #[must_use]
+    pub fn clock(mut self, clock: Frequency) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Sets the chip reference temperature (default 100 °C).
+    #[must_use]
+    pub fn reference_temperature(mut self, t: Kelvin) -> Self {
+        self.reference_temperature = t;
+        self
+    }
+
+    /// Sets the conductor metal.
+    #[must_use]
+    pub fn metal(mut self, metal: Metal) -> Self {
+        self.metal = metal;
+        self
+    }
+
+    /// Sets inter-level and intra-level dielectrics.
+    #[must_use]
+    pub fn dielectrics(mut self, inter: Dielectric, intra: Dielectric) -> Self {
+        self.inter_level_dielectric = inter;
+        self.intra_level_dielectric = intra;
+        self
+    }
+
+    /// Sets the minimum-driver parameters.
+    #[must_use]
+    pub fn driver(mut self, driver: DriverParams) -> Self {
+        self.driver = driver;
+        self
+    }
+
+    /// Appends a metallization level (bottom-up order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TechError::InvalidGeometry`] from [`MetalLayer::new`].
+    pub fn layer(
+        mut self,
+        name: impl Into<String>,
+        width: Length,
+        pitch: Length,
+        thickness: Length,
+        ild_below: Length,
+    ) -> Result<Self, TechError> {
+        let index = self.layers.len();
+        self.layers
+            .push(MetalLayer::new(name, index, width, pitch, thickness, ild_below)?);
+        Ok(self)
+    }
+
+    /// Appends a pre-built layer, re-indexing it to its stack position.
+    #[must_use]
+    pub fn push_layer(mut self, layer: MetalLayer) -> Self {
+        let index = self.layers.len();
+        let name = layer.name().to_owned();
+        self.layers.push(layer.with_position(name, index));
+        self
+    }
+
+    /// Finalizes the technology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::EmptyStack`] when no layers were added.
+    pub fn build(self) -> Result<Technology, TechError> {
+        if self.layers.is_empty() {
+            return Err(TechError::EmptyStack);
+        }
+        Ok(Technology {
+            name: self.name,
+            feature_size: self.feature_size,
+            vdd: self.vdd,
+            clock: self.clock,
+            reference_temperature: self.reference_temperature,
+            metal: self.metal,
+            inter_level_dielectric: self.inter_level_dielectric,
+            intra_level_dielectric: self.intra_level_dielectric,
+            driver: self.driver,
+            layers: self.layers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    fn two_layer_tech() -> Technology {
+        TechnologyBuilder::new("t", um(0.25))
+            .layer("M1", um(0.35), um(0.70), um(0.55), um(1.2))
+            .unwrap()
+            .layer("M2", um(0.40), um(0.85), um(0.65), um(0.65))
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_stack_rejected() {
+        let err = TechnologyBuilder::new("t", um(0.25)).build().unwrap_err();
+        assert_eq!(err, TechError::EmptyStack);
+    }
+
+    #[test]
+    fn underlying_dielectric_accumulates() {
+        let t = two_layer_tech();
+        // M1: just its own ILD
+        assert!((t.underlying_dielectric_thickness(0).to_micrometers() - 1.2).abs() < 1e-12);
+        // M2: M1 ILD + M1 thickness + M2 ILD = 1.2 + 0.55 + 0.65 = 2.4
+        assert!((t.underlying_dielectric_thickness(1).to_micrometers() - 2.4).abs() < 1e-12);
+        // top of M2 = 2.4 + 0.65
+        assert!((t.level_top_height(1).to_micrometers() - 3.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn underlying_dielectric_panics_out_of_range() {
+        let t = two_layer_tech();
+        let _ = t.underlying_dielectric_thickness(5);
+    }
+
+    #[test]
+    fn layer_lookup() {
+        let t = two_layer_tech();
+        assert_eq!(t.layer("M2").unwrap().index(), 1);
+        assert!(t.layer("M9").is_none());
+        assert!(t.layer_at(1).is_ok());
+        assert!(matches!(
+            t.layer_at(7),
+            Err(TechError::LayerIndexOutOfRange { index: 7, len: 2 })
+        ));
+        assert_eq!(t.top_layer().name(), "M2");
+    }
+
+    #[test]
+    fn with_metal_swaps_conductor_only() {
+        let t = two_layer_tech().with_metal(Metal::alcu());
+        assert_eq!(t.metal().name(), "AlCu");
+        assert_eq!(t.layers().len(), 2);
+    }
+
+    #[test]
+    fn with_dielectric_swaps() {
+        let t = two_layer_tech().with_intra_level_dielectric(Dielectric::hsq());
+        assert_eq!(t.intra_level_dielectric().name(), "HSQ");
+        assert_eq!(t.inter_level_dielectric().name(), "oxide");
+        let t = t.with_inter_level_dielectric(Dielectric::polyimide());
+        assert_eq!(t.inter_level_dielectric().name(), "polyimide");
+    }
+
+    #[test]
+    fn scaled_node_shrinks_coherently() {
+        let t = two_layer_tech();
+        let s = t.scaled(0.5, "half").unwrap();
+        assert_eq!(s.name(), "half");
+        assert!((s.feature_size().value() - 0.5 * t.feature_size().value()).abs() < 1e-18);
+        assert!((s.vdd().value() - 0.5 * t.vdd().value()).abs() < 1e-12);
+        assert!((s.clock().value() - 2.0 * t.clock().value()).abs() < 1.0);
+        for (a, b) in s.layers().iter().zip(t.layers()) {
+            assert!((a.width().value() - 0.5 * b.width().value()).abs() < 1e-18);
+            assert!((a.thickness().value() - 0.5 * b.thickness().value()).abs() < 1e-18);
+        }
+        // cumulative thicknesses scale too
+        assert!(
+            (s.underlying_dielectric_thickness(1).value()
+                - 0.5 * t.underlying_dielectric_thickness(1).value())
+            .abs()
+                < 1e-18
+        );
+        assert!(t.scaled(0.0, "x").is_err());
+        assert!(t.scaled(1.5, "x").is_err());
+    }
+
+    #[test]
+    fn reference_temperature_default_is_100c() {
+        let t = two_layer_tech();
+        assert!((t.reference_temperature().value() - 373.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn driver_intrinsic_delay() {
+        let d = DriverParams::new(
+            Resistance::new(10.0e3),
+            Capacitance::from_femtofarads(2.0),
+            Capacitance::from_femtofarads(2.0),
+        );
+        assert!((d.intrinsic_delay_seconds() - 4.0e-11).abs() < 1e-20);
+    }
+
+    #[test]
+    fn push_layer_reindexes() {
+        let l = MetalLayer::new("MX", 42, um(0.5), um(1.0), um(0.5), um(0.5)).unwrap();
+        let t = TechnologyBuilder::new("t", um(0.25))
+            .push_layer(l)
+            .build()
+            .unwrap();
+        assert_eq!(t.layers()[0].index(), 0);
+        assert_eq!(t.layers()[0].name(), "MX");
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for thermal modelling.
+
+/// Errors produced by thermal model construction and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThermalError {
+    /// A geometric or material input was non-physical.
+    InvalidInput {
+        /// Description of the defect.
+        message: String,
+    },
+    /// Joule heating exceeds what the conduction path can remove at any
+    /// temperature — the linear ρ(T) feedback diverges (thermal runaway).
+    ThermalRunaway {
+        /// The dimensionless feedback gain `A·β` that reached ≥ 1.
+        gain: f64,
+    },
+    /// An iterative solver did not reach the residual target.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// The final relative residual.
+        residual: f64,
+    },
+    /// The transient solver reached the melting point (reported as an error
+    /// only by entry points that promise melt-free operation).
+    Melted {
+        /// Time at which the melt began, in seconds.
+        at_seconds: f64,
+    },
+}
+
+impl std::fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThermalError::InvalidInput { message } => write!(f, "invalid input: {message}"),
+            ThermalError::ThermalRunaway { gain } => {
+                write!(f, "thermal runaway: feedback gain {gain} ≥ 1")
+            }
+            ThermalError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "solver did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            ThermalError::Melted { at_seconds } => {
+                write!(f, "conductor melted at t = {at_seconds:.3e} s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThermalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ThermalError::ThermalRunaway { gain: 1.25 };
+        assert_eq!(e.to_string(), "thermal runaway: feedback gain 1.25 ≥ 1");
+        let e = ThermalError::NoConvergence {
+            iterations: 100,
+            residual: 2e-3,
+        };
+        assert!(e.to_string().contains("100 iterations"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ThermalError>();
+    }
+}

@@ -1,0 +1,377 @@
+//! The 1-D fin treatment of via-cooled line ends — Schafft \[21\] and the
+//! paper's *thermally long* vs *thermally short* distinction (§3.2).
+//!
+//! A line of length `L` heated uniformly and cooled (a) down through the
+//! insulator stack and (b) out through its end contacts obeys the fin
+//! equation
+//!
+//! `k_m·A·d²ΔT/dx² − g·ΔT + q' = 0`
+//!
+//! with `A = W_m·t_m`, `g = W_eff/Σ(tᵢ/kᵢ)` the per-length conductance to
+//! the substrate, and `q'` the per-length Joule heating. Its solutions
+//! depend exponentially on the characteristic **healing length**
+//! `λ = √(k_m·A/g)`, of order 10–200 µm for DSM geometries. Lines with
+//! `L ≫ λ` are *thermally long* (the paper's worst case: interior at the
+//! full ΔT∞); lines with `L ≈ λ` are *thermally short* and run cooler.
+
+use hotwire_tech::Metal;
+use hotwire_units::{Kelvin, Length, TemperatureDelta};
+use serde::{Deserialize, Serialize};
+
+use crate::impedance::{effective_width, InsulatorStack, LineGeometry};
+use crate::ThermalError;
+
+/// The healing (thermal characteristic) length
+/// `λ = √(k_m·W_m·t_m·Σ(tᵢ/kᵢ)/W_eff)`.
+///
+/// # Errors
+///
+/// Returns [`ThermalError::InvalidInput`] for an empty stack or invalid φ.
+///
+/// # Examples
+///
+/// ```
+/// use hotwire_tech::{Dielectric, Metal};
+/// use hotwire_thermal::fin::healing_length;
+/// use hotwire_thermal::impedance::{InsulatorStack, LineGeometry, QUASI_1D_PHI};
+/// use hotwire_units::Length;
+///
+/// let um = Length::from_micrometers;
+/// let line = LineGeometry::new(um(3.0), um(0.5), um(1000.0))?;
+/// let stack = InsulatorStack::single(um(3.0), &Dielectric::oxide());
+/// let lambda = healing_length(&Metal::copper(), line, &stack, QUASI_1D_PHI)?;
+/// // Paper: λ is of the order 25–200 µm.
+/// assert!(lambda.to_micrometers() > 10.0 && lambda.to_micrometers() < 200.0);
+/// # Ok::<(), hotwire_thermal::ThermalError>(())
+/// ```
+pub fn healing_length(
+    metal: &Metal,
+    line: LineGeometry,
+    stack: &InsulatorStack,
+    phi: f64,
+) -> Result<Length, ThermalError> {
+    if stack.is_empty() {
+        return Err(ThermalError::InvalidInput {
+            message: "insulator stack is empty".to_owned(),
+        });
+    }
+    if !(phi >= 0.0) || !phi.is_finite() {
+        return Err(ThermalError::InvalidInput {
+            message: format!("heat-spreading parameter must be ≥ 0, got {phi}"),
+        });
+    }
+    let weff = effective_width(line.width(), stack.total_thickness(), phi);
+    let g = weff.value() / stack.series_resistance_thickness(); // W/(m·K) per m
+    let k_a = metal.thermal_conductivity().value() * line.cross_section().value();
+    Ok(Length::new((k_a / g).sqrt()))
+}
+
+/// The analytic steady temperature profile of a uniformly heated line with
+/// both ends held at the reference temperature (ideal via cooling).
+///
+/// `ΔT(x) = ΔT∞·[1 − cosh((x − L/2)/λ)/cosh(L/(2λ))]`, `x ∈ [0, L]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FinProfile {
+    delta_t_inf: TemperatureDelta,
+    lambda: Length,
+    length: Length,
+}
+
+impl FinProfile {
+    /// Builds a profile from the interior (thermally long) rise `ΔT∞`, the
+    /// healing length λ and the line length `L`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidInput`] for non-positive λ or L.
+    pub fn new(
+        delta_t_inf: TemperatureDelta,
+        lambda: Length,
+        length: Length,
+    ) -> Result<Self, ThermalError> {
+        if !(lambda.value() > 0.0) || !(length.value() > 0.0) {
+            return Err(ThermalError::InvalidInput {
+                message: "healing length and line length must be positive".to_owned(),
+            });
+        }
+        Ok(Self {
+            delta_t_inf,
+            lambda,
+            length,
+        })
+    }
+
+    /// Builds the profile of a line carrying RMS current density `j_rms`.
+    ///
+    /// `ΔT∞` comes from [`crate::impedance::self_heating_rise`] (including
+    /// the ρ(T) feedback) and λ from [`healing_length`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates impedance-model errors and
+    /// [`ThermalError::ThermalRunaway`].
+    pub fn from_current(
+        j_rms: hotwire_units::CurrentDensity,
+        metal: &Metal,
+        reference_temperature: Kelvin,
+        line: LineGeometry,
+        stack: &InsulatorStack,
+        phi: f64,
+    ) -> Result<Self, ThermalError> {
+        let dt_inf =
+            crate::impedance::self_heating_rise(j_rms, metal, reference_temperature, line, stack, phi)?;
+        let lambda = healing_length(metal, line, stack, phi)?;
+        Self::new(dt_inf, lambda, line.length())
+    }
+
+    /// Interior (plateau) temperature rise `ΔT∞`.
+    #[must_use]
+    pub fn plateau(self) -> TemperatureDelta {
+        self.delta_t_inf
+    }
+
+    /// Healing length λ.
+    #[must_use]
+    pub fn healing_length(self) -> Length {
+        self.lambda
+    }
+
+    /// Line length `L`.
+    #[must_use]
+    pub fn length(self) -> Length {
+        self.length
+    }
+
+    /// Temperature rise at position `x ∈ [0, L]` along the line.
+    ///
+    /// Positions outside the line clamp to the ends (which are at rise 0).
+    #[must_use]
+    pub fn rise_at(self, x: Length) -> TemperatureDelta {
+        let l = self.length.value();
+        let x = x.value().clamp(0.0, l);
+        let lam = self.lambda.value();
+        let half = l / 2.0;
+        // cosh ratio computed stably for large arguments:
+        // cosh(u)/cosh(v) = exp(|u|−v)·(1+e^{−2|u|})/(1+e^{−2v}) for v ≥ |u|
+        let u = (x - half) / lam;
+        let v = half / lam;
+        let ratio = ((u.abs() - v).exp()) * (1.0 + (-2.0 * u.abs()).exp())
+            / (1.0 + (-2.0 * v).exp());
+        self.delta_t_inf * (1.0 - ratio)
+    }
+
+    /// Temperature rise at the line midpoint (the hottest point).
+    #[must_use]
+    pub fn midpoint_rise(self) -> TemperatureDelta {
+        self.rise_at(self.length / 2.0)
+    }
+
+    /// Length-averaged temperature rise
+    /// `⟨ΔT⟩ = ΔT∞·[1 − (2λ/L)·tanh(L/(2λ))]`.
+    #[must_use]
+    pub fn average_rise(self) -> TemperatureDelta {
+        self.delta_t_inf * self.short_line_correction()
+    }
+
+    /// The thermally-short correction factor `⟨ΔT⟩/ΔT∞ ∈ (0, 1)`:
+    /// → 1 for `L ≫ λ`, → 0 for `L ≪ λ`.
+    #[must_use]
+    pub fn short_line_correction(self) -> f64 {
+        let v = self.length.value() / (2.0 * self.lambda.value());
+        1.0 - v.tanh() / v
+    }
+
+    /// `true` when the line is *thermally long* — its length exceeds
+    /// `factor` healing lengths (the paper's `L ≫ λ`; a factor of 5 puts
+    /// the midpoint within 1 % of ΔT∞).
+    #[must_use]
+    pub fn is_thermally_long(self, factor: f64) -> bool {
+        self.length.value() > factor * self.lambda.value()
+    }
+}
+
+/// Finite-difference solution of the same fin equation — used to validate
+/// the closed form and available for profiles with non-ideal end cooling.
+///
+/// Solves `λ²·d²ΔT/dx² − ΔT + ΔT∞ = 0` on `n` interior nodes with the ends
+/// held at rise 0, by direct tridiagonal (Thomas) elimination. Returns the
+/// rises at `n + 2` uniformly spaced positions including both ends.
+///
+/// # Errors
+///
+/// Returns [`ThermalError::InvalidInput`] when `n < 1` or λ/L are
+/// non-positive.
+pub fn fin_profile_fd(
+    delta_t_inf: TemperatureDelta,
+    lambda: Length,
+    length: Length,
+    n: usize,
+) -> Result<Vec<TemperatureDelta>, ThermalError> {
+    if n < 1 {
+        return Err(ThermalError::InvalidInput {
+            message: "need at least one interior node".to_owned(),
+        });
+    }
+    if !(lambda.value() > 0.0) || !(length.value() > 0.0) {
+        return Err(ThermalError::InvalidInput {
+            message: "healing length and line length must be positive".to_owned(),
+        });
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let h = length.value() / (n as f64 + 1.0);
+    let lam2 = lambda.value() * lambda.value();
+    // Tridiagonal system: (2λ²/h² + 1)·T_i − λ²/h²·(T_{i−1} + T_{i+1}) = ΔT∞
+    let a = -lam2 / (h * h); // off-diagonal
+    let b = 2.0 * lam2 / (h * h) + 1.0; // diagonal
+    let rhs_val = delta_t_inf.value();
+
+    // Thomas algorithm
+    let mut c_prime = vec![0.0; n];
+    let mut d_prime = vec![0.0; n];
+    c_prime[0] = a / b;
+    d_prime[0] = rhs_val / b;
+    for i in 1..n {
+        let m = b - a * c_prime[i - 1];
+        c_prime[i] = a / m;
+        d_prime[i] = (rhs_val - a * d_prime[i - 1]) / m;
+    }
+    let mut t = vec![0.0; n];
+    t[n - 1] = d_prime[n - 1];
+    for i in (0..n - 1).rev() {
+        t[i] = d_prime[i] - c_prime[i] * t[i + 1];
+    }
+
+    let mut out = Vec::with_capacity(n + 2);
+    out.push(TemperatureDelta::ZERO);
+    out.extend(t.into_iter().map(TemperatureDelta::new));
+    out.push(TemperatureDelta::ZERO);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotwire_tech::Dielectric;
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    fn setup() -> (LineGeometry, InsulatorStack) {
+        (
+            LineGeometry::new(um(3.0), um(0.5), um(1000.0)).unwrap(),
+            InsulatorStack::single(um(3.0), &Dielectric::oxide()),
+        )
+    }
+
+    #[test]
+    fn healing_length_in_paper_range() {
+        let (line, stack) = setup();
+        let lam = healing_length(&Metal::copper(), line, &stack, 0.88).unwrap();
+        let lam_um = lam.to_micrometers();
+        assert!((10.0..200.0).contains(&lam_um), "λ = {lam_um} µm");
+    }
+
+    #[test]
+    fn lowk_shortens_healing_length() {
+        // Lower k_ins ⇒ weaker sink ⇒ larger λ, actually: g ∝ k ⇒ λ ∝ 1/√k.
+        let (line, _) = setup();
+        let ox = InsulatorStack::single(um(3.0), &Dielectric::oxide());
+        let poly = InsulatorStack::single(um(3.0), &Dielectric::polyimide());
+        let l_ox = healing_length(&Metal::copper(), line, &ox, 0.88).unwrap();
+        let l_poly = healing_length(&Metal::copper(), line, &poly, 0.88).unwrap();
+        assert!(l_poly > l_ox, "poorer sink ⇒ longer healing length");
+    }
+
+    #[test]
+    fn profile_ends_are_cold_and_middle_is_hot() {
+        let p = FinProfile::new(TemperatureDelta::new(50.0), um(50.0), um(1000.0)).unwrap();
+        assert!(p.rise_at(Length::ZERO).value().abs() < 1e-9);
+        assert!(p.rise_at(um(1000.0)).value().abs() < 1e-9);
+        let mid = p.midpoint_rise();
+        assert!((mid.value() - 50.0).abs() < 0.01, "mid = {mid}");
+        // monotone from end to middle
+        let quarter = p.rise_at(um(250.0));
+        let eighth = p.rise_at(um(125.0));
+        assert!(eighth < quarter);
+        assert!(quarter <= mid);
+    }
+
+    #[test]
+    fn thermally_short_line_runs_cool() {
+        let long = FinProfile::new(TemperatureDelta::new(50.0), um(50.0), um(1000.0)).unwrap();
+        let short = FinProfile::new(TemperatureDelta::new(50.0), um(50.0), um(60.0)).unwrap();
+        assert!(long.is_thermally_long(5.0));
+        assert!(!short.is_thermally_long(5.0));
+        assert!(short.midpoint_rise() < long.midpoint_rise() * 0.6);
+        assert!(short.short_line_correction() < long.short_line_correction());
+    }
+
+    #[test]
+    fn average_below_midpoint() {
+        let p = FinProfile::new(TemperatureDelta::new(40.0), um(80.0), um(500.0)).unwrap();
+        assert!(p.average_rise() < p.midpoint_rise());
+        assert!(p.average_rise().value() > 0.0);
+    }
+
+    #[test]
+    fn analytic_matches_finite_difference() {
+        let dt = TemperatureDelta::new(30.0);
+        let lam = um(60.0);
+        let len = um(400.0);
+        let p = FinProfile::new(dt, lam, len).unwrap();
+        let n = 399; // h = 1 µm
+        let fd = fin_profile_fd(dt, lam, len, n).unwrap();
+        #[allow(clippy::cast_precision_loss)]
+        for (i, fd_t) in fd.iter().enumerate() {
+            let x = Length::new(len.value() * (i as f64) / (n as f64 + 1.0));
+            let analytic = p.rise_at(x);
+            assert!(
+                (fd_t.value() - analytic.value()).abs() < 0.05,
+                "x = {x}: fd {fd_t} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn fd_average_matches_closed_form() {
+        let dt = TemperatureDelta::new(30.0);
+        let lam = um(60.0);
+        let len = um(400.0);
+        let p = FinProfile::new(dt, lam, len).unwrap();
+        let fd = fin_profile_fd(dt, lam, len, 999).unwrap();
+        #[allow(clippy::cast_precision_loss)]
+        let avg_fd: f64 = fd.iter().map(|t| t.value()).sum::<f64>() / fd.len() as f64;
+        assert!((avg_fd - p.average_rise().value()).abs() < 0.1);
+    }
+
+    #[test]
+    fn from_current_combines_models() {
+        let (line, stack) = setup();
+        let p = FinProfile::from_current(
+            hotwire_units::CurrentDensity::from_mega_amps_per_cm2(3.0),
+            &Metal::copper(),
+            hotwire_units::Celsius::new(100.0).to_kelvin(),
+            line,
+            &stack,
+            0.88,
+        )
+        .unwrap();
+        assert!(p.plateau().value() > 1.0);
+        assert!(p.is_thermally_long(5.0), "1 mm line is thermally long");
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(FinProfile::new(TemperatureDelta::new(1.0), um(0.0), um(1.0)).is_err());
+        assert!(FinProfile::new(TemperatureDelta::new(1.0), um(1.0), Length::ZERO).is_err());
+        assert!(fin_profile_fd(TemperatureDelta::new(1.0), um(1.0), um(1.0), 0).is_err());
+    }
+
+    #[test]
+    fn rise_at_clamps_outside_line() {
+        let p = FinProfile::new(TemperatureDelta::new(10.0), um(10.0), um(100.0)).unwrap();
+        assert_eq!(p.rise_at(um(-5.0)).value(), p.rise_at(Length::ZERO).value());
+        assert_eq!(p.rise_at(um(500.0)).value(), p.rise_at(um(100.0)).value());
+    }
+}

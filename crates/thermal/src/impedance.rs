@@ -1,0 +1,473 @@
+//! Closed-form steady-state thermal impedance and self-heating models —
+//! the paper's eqs. (8)–(10), (14) and (15).
+
+use hotwire_tech::{Dielectric, Metal};
+use hotwire_units::{
+    CurrentDensity, Kelvin, Length, TemperatureDelta, ThermalConductivity, ThermalImpedance,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::ThermalError;
+
+/// The classical quasi-1-D heat-spreading parameter φ = 0.88
+/// (Bilotti \[17\]; valid for `W_m/t_ox ≳ 0.4`, accurate to ≈ 3 %).
+pub const QUASI_1D_PHI: f64 = 0.88;
+
+/// The quasi-2-D heat-spreading parameter φ = 2.45 the paper extracts from
+/// 0.25 µm AlCu measurements at `W_m/t_ox ≈ 0.29` (its Fig. 5 / eq. 14).
+pub const QUASI_2D_PHI: f64 = 2.45;
+
+/// Effective heat-conduction width of a line (eq. 10 / eq. 14):
+/// `W_eff = W_m + φ·t_ox`.
+///
+/// `t_ox` is the *total* underlying dielectric thickness; φ captures how
+/// much of the lateral oxide participates in conducting heat down to the
+/// substrate.
+#[must_use]
+pub fn effective_width(width: Length, underlying_dielectric: Length, phi: f64) -> Length {
+    width + underlying_dielectric * phi
+}
+
+/// Inverts eq. (14) to extract φ from a measured (or simulated) effective
+/// width: `φ = (W_eff − W_m)/t_ox`.
+#[must_use]
+pub fn extract_phi(effective_width: Length, width: Length, underlying_dielectric: Length) -> f64 {
+    (effective_width - width) / underlying_dielectric
+}
+
+/// The cross-section geometry of one interconnect line.
+///
+/// ```
+/// use hotwire_thermal::impedance::LineGeometry;
+/// use hotwire_units::Length;
+///
+/// let line = LineGeometry::new(
+///     Length::from_micrometers(3.0),
+///     Length::from_micrometers(0.5),
+///     Length::from_micrometers(1000.0),
+/// )?;
+/// assert!((line.cross_section().to_um2() - 1.5).abs() < 1e-12);
+/// # Ok::<(), hotwire_thermal::ThermalError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LineGeometry {
+    width: Length,
+    thickness: Length,
+    length: Length,
+}
+
+impl LineGeometry {
+    /// Creates a line geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidInput`] when any dimension is
+    /// non-positive or non-finite.
+    pub fn new(width: Length, thickness: Length, length: Length) -> Result<Self, ThermalError> {
+        for (what, v) in [
+            ("width", width),
+            ("thickness", thickness),
+            ("length", length),
+        ] {
+            if !(v.value() > 0.0) || !v.is_finite() {
+                return Err(ThermalError::InvalidInput {
+                    message: format!("line {what} must be positive, got {v}"),
+                });
+            }
+        }
+        Ok(Self {
+            width,
+            thickness,
+            length,
+        })
+    }
+
+    /// Line width `W_m`.
+    #[must_use]
+    pub fn width(self) -> Length {
+        self.width
+    }
+
+    /// Metal thickness `t_m`.
+    #[must_use]
+    pub fn thickness(self) -> Length {
+        self.thickness
+    }
+
+    /// Line length `L`.
+    #[must_use]
+    pub fn length(self) -> Length {
+        self.length
+    }
+
+    /// Current-carrying cross-section `A = W_m·t_m`.
+    #[must_use]
+    pub fn cross_section(self) -> hotwire_units::Area {
+        self.width * self.thickness
+    }
+}
+
+/// A vertical stack of insulator slabs between the line and the substrate
+/// heat sink — eq. (15)'s generalization of the single-oxide `b/(k·W_eff)`
+/// term.
+///
+/// Layers are listed top-down or bottom-up (order does not matter for a
+/// series path).
+///
+/// ```
+/// use hotwire_tech::Dielectric;
+/// use hotwire_thermal::impedance::InsulatorStack;
+/// use hotwire_units::Length;
+///
+/// // 1 µm of HSQ gap fill over 2 µm of oxide:
+/// let stack = InsulatorStack::new()
+///     .with_layer(Length::from_micrometers(1.0), &Dielectric::hsq())
+///     .with_layer(Length::from_micrometers(2.0), &Dielectric::oxide());
+/// assert!((stack.total_thickness().to_micrometers() - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct InsulatorStack {
+    layers: Vec<(Length, ThermalConductivity)>,
+}
+
+impl InsulatorStack {
+    /// An empty stack.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A single-material stack — the paper's base case
+    /// (`b = t_ox`, `k = k_ox`).
+    #[must_use]
+    pub fn single(thickness: Length, dielectric: &Dielectric) -> Self {
+        Self::new().with_layer(thickness, dielectric)
+    }
+
+    /// Adds a slab of the given dielectric.
+    #[must_use]
+    pub fn with_layer(mut self, thickness: Length, dielectric: &Dielectric) -> Self {
+        self.layers
+            .push((thickness, dielectric.thermal_conductivity()));
+        self
+    }
+
+    /// Adds a slab with an explicit conductivity.
+    #[must_use]
+    pub fn with_raw_layer(mut self, thickness: Length, k: ThermalConductivity) -> Self {
+        self.layers.push((thickness, k));
+        self
+    }
+
+    /// Total stack thickness `b = Σ tᵢ`.
+    #[must_use]
+    pub fn total_thickness(&self) -> Length {
+        self.layers.iter().map(|(t, _)| *t).sum()
+    }
+
+    /// The series term `Σ tᵢ/kᵢ` in m²·K/W — eq. (15) without the `W_eff`
+    /// factor.
+    #[must_use]
+    pub fn series_resistance_thickness(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(|(t, k)| t.value() / k.value())
+            .sum()
+    }
+
+    /// The *effective* uniform conductivity `k_eff = b / Σ(tᵢ/kᵢ)` of the
+    /// stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on an empty stack.
+    #[must_use]
+    pub fn effective_conductivity(&self) -> ThermalConductivity {
+        debug_assert!(!self.layers.is_empty(), "empty insulator stack");
+        ThermalConductivity::new(
+            self.total_thickness().value() / self.series_resistance_thickness(),
+        )
+    }
+
+    /// `true` when no layers have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+/// Thermal impedance of a line to the substrate (eqs. 8/10/15):
+///
+/// `θ_int = Σ(tᵢ/kᵢ) / (W_eff · L)` with `W_eff = W_m + φ·b`.
+///
+/// # Errors
+///
+/// Returns [`ThermalError::InvalidInput`] for an empty insulator stack or
+/// a non-positive φ.
+///
+/// # Examples
+///
+/// ```
+/// use hotwire_tech::Dielectric;
+/// use hotwire_thermal::impedance::{thermal_impedance, InsulatorStack, LineGeometry, QUASI_1D_PHI};
+/// use hotwire_units::Length;
+///
+/// let um = Length::from_micrometers;
+/// let line = LineGeometry::new(um(3.0), um(0.5), um(1000.0))?;
+/// let stack = InsulatorStack::single(um(3.0), &Dielectric::oxide());
+/// let theta = thermal_impedance(line, &stack, QUASI_1D_PHI)?;
+/// // t_ox/(k·W_eff·L) = 3e-6/(1.15·5.64e-6·1e-3) ≈ 462.6 K/W
+/// assert!((theta.value() - 462.6).abs() < 1.0);
+/// # Ok::<(), hotwire_thermal::ThermalError>(())
+/// ```
+pub fn thermal_impedance(
+    line: LineGeometry,
+    stack: &InsulatorStack,
+    phi: f64,
+) -> Result<ThermalImpedance, ThermalError> {
+    if stack.is_empty() {
+        return Err(ThermalError::InvalidInput {
+            message: "insulator stack is empty".to_owned(),
+        });
+    }
+    if !(phi >= 0.0) || !phi.is_finite() {
+        return Err(ThermalError::InvalidInput {
+            message: format!("heat-spreading parameter must be ≥ 0, got {phi}"),
+        });
+    }
+    let weff = effective_width(line.width(), stack.total_thickness(), phi);
+    Ok(ThermalImpedance::new(
+        stack.series_resistance_thickness() / (weff.value() * line.length().value()),
+    ))
+}
+
+/// The self-heating "conductance" constant of eq. (9): the `ΔT` per unit
+/// `j_rms²·ρ` of a line, i.e.
+///
+/// `X = t_m · W_m · Σ(tᵢ/kᵢ) / W_eff`   (units m²·K/W per (W/m³) source)
+///
+/// so that `ΔT = j_rms² · ρ(T_m) · X`. Exposed for the self-consistent
+/// solver (C-INTERMEDIATE).
+///
+/// # Errors
+///
+/// Same domain as [`thermal_impedance`].
+pub fn self_heating_constant(
+    line: LineGeometry,
+    stack: &InsulatorStack,
+    phi: f64,
+) -> Result<f64, ThermalError> {
+    let theta = thermal_impedance(line, stack, phi)?;
+    // ΔT = P·θ with P = j²·ρ·(W·t·L): X = θ·W·t·L
+    Ok(theta.value() * line.cross_section().value() * line.length().value())
+}
+
+/// Solves eq. (9) for the steady self-heating temperature rise with the
+/// linear resistivity feedback `ρ(T) = ρ(T_ref)·(1 + β·ΔT)`:
+///
+/// `ΔT = j²·ρ(T_ref)·X / (1 − j²·ρ(T_ref)·X·β)`
+///
+/// where `X` is [`self_heating_constant`]. The reference temperature is
+/// the chip temperature at the bottom of the insulator stack.
+///
+/// # Errors
+///
+/// * [`ThermalError::ThermalRunaway`] when the feedback gain
+///   `j²·ρ·X·β ≥ 1` — physically, the line has no steady state and will
+///   heat until failure.
+/// * Propagates [`ThermalError::InvalidInput`] from the impedance model.
+///
+/// # Examples
+///
+/// ```
+/// use hotwire_tech::{Dielectric, Metal};
+/// use hotwire_thermal::impedance::{self_heating_rise, InsulatorStack, LineGeometry, QUASI_1D_PHI};
+/// use hotwire_units::{Celsius, CurrentDensity, Length};
+///
+/// let um = Length::from_micrometers;
+/// let line = LineGeometry::new(um(3.0), um(0.5), um(1000.0))?;
+/// let stack = InsulatorStack::single(um(3.0), &Dielectric::oxide());
+/// let rise = self_heating_rise(
+///     CurrentDensity::from_mega_amps_per_cm2(2.0),
+///     &Metal::copper(),
+///     Celsius::new(100.0).to_kelvin(),
+///     line,
+///     &stack,
+///     QUASI_1D_PHI,
+/// )?;
+/// assert!(rise.value() > 3.0 && rise.value() < 10.0, "rise = {rise}");
+/// # Ok::<(), hotwire_thermal::ThermalError>(())
+/// ```
+pub fn self_heating_rise(
+    j_rms: CurrentDensity,
+    metal: &Metal,
+    reference_temperature: Kelvin,
+    line: LineGeometry,
+    stack: &InsulatorStack,
+    phi: f64,
+) -> Result<TemperatureDelta, ThermalError> {
+    let x = self_heating_constant(line, stack, phi)?;
+    let rho_ref = metal.resistivity(reference_temperature).value();
+    let beta = metal.temperature_coefficient();
+    let a = j_rms.value() * j_rms.value() * rho_ref * x;
+    let gain = a * beta;
+    if gain >= 1.0 {
+        return Err(ThermalError::ThermalRunaway { gain });
+    }
+    Ok(TemperatureDelta::new(a / (1.0 - gain)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotwire_units::Celsius;
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    fn paper_line() -> LineGeometry {
+        // Fig. 2 parameters: W = 3 µm, t_m = 0.5 µm; length 1 mm.
+        LineGeometry::new(um(3.0), um(0.5), um(1000.0)).unwrap()
+    }
+
+    #[test]
+    fn effective_width_quasi_1d() {
+        let w = effective_width(um(3.0), um(3.0), QUASI_1D_PHI);
+        assert!((w.to_micrometers() - 5.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_extraction_inverts_effective_width() {
+        let weff = effective_width(um(0.35), um(1.2), QUASI_2D_PHI);
+        let phi = extract_phi(weff, um(0.35), um(1.2));
+        assert!((phi - QUASI_2D_PHI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(LineGeometry::new(um(0.0), um(0.5), um(10.0)).is_err());
+        assert!(LineGeometry::new(um(1.0), um(-0.5), um(10.0)).is_err());
+        assert!(LineGeometry::new(um(1.0), um(0.5), um(f64::INFINITY)).is_err());
+    }
+
+    #[test]
+    fn single_oxide_impedance_matches_closed_form() {
+        let stack = InsulatorStack::single(um(3.0), &Dielectric::oxide());
+        let theta = thermal_impedance(paper_line(), &stack, QUASI_1D_PHI).unwrap();
+        let weff = 5.64e-6;
+        let expected = 3.0e-6 / (1.15 * weff * 1.0e-3);
+        assert!((theta.value() - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn lowk_stack_raises_impedance() {
+        let oxide = InsulatorStack::single(um(3.0), &Dielectric::oxide());
+        let mixed = InsulatorStack::new()
+            .with_layer(um(1.0), &Dielectric::hsq())
+            .with_layer(um(2.0), &Dielectric::oxide());
+        let t_ox = thermal_impedance(paper_line(), &oxide, QUASI_1D_PHI).unwrap();
+        let t_mix = thermal_impedance(paper_line(), &mixed, QUASI_1D_PHI).unwrap();
+        assert!(t_mix > t_ox);
+        // effective conductivity between the constituents
+        let keff = mixed.effective_conductivity().value();
+        assert!(keff > 0.6 && keff < 1.15);
+    }
+
+    #[test]
+    fn series_stack_order_does_not_matter() {
+        let a = InsulatorStack::new()
+            .with_layer(um(1.0), &Dielectric::hsq())
+            .with_layer(um(2.0), &Dielectric::oxide());
+        let b = InsulatorStack::new()
+            .with_layer(um(2.0), &Dielectric::oxide())
+            .with_layer(um(1.0), &Dielectric::hsq());
+        assert!(
+            (a.series_resistance_thickness() - b.series_resistance_thickness()).abs() < 1e-18
+        );
+    }
+
+    #[test]
+    fn empty_stack_rejected() {
+        let err = thermal_impedance(paper_line(), &InsulatorStack::new(), 0.88).unwrap_err();
+        assert!(matches!(err, ThermalError::InvalidInput { .. }));
+        assert!(InsulatorStack::new().is_empty());
+    }
+
+    #[test]
+    fn negative_phi_rejected() {
+        let stack = InsulatorStack::single(um(3.0), &Dielectric::oxide());
+        assert!(thermal_impedance(paper_line(), &stack, -0.1).is_err());
+        assert!(thermal_impedance(paper_line(), &stack, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn wider_phi_lowers_impedance() {
+        let stack = InsulatorStack::single(um(1.2), &Dielectric::oxide());
+        let narrow = LineGeometry::new(um(0.35), um(0.55), um(1000.0)).unwrap();
+        let t1d = thermal_impedance(narrow, &stack, QUASI_1D_PHI).unwrap();
+        let t2d = thermal_impedance(narrow, &stack, QUASI_2D_PHI).unwrap();
+        assert!(t2d < t1d, "more spreading ⇒ lower θ");
+    }
+
+    #[test]
+    fn self_heating_small_at_design_current() {
+        // At j_rms = 0.6 MA/cm² (the design j₀ at r = 1) heating is < 1 K —
+        // the paper's premise that power lines barely self-heat.
+        let stack = InsulatorStack::single(um(3.0), &Dielectric::oxide());
+        let rise = self_heating_rise(
+            CurrentDensity::from_mega_amps_per_cm2(0.6),
+            &Metal::copper(),
+            Celsius::new(100.0).to_kelvin(),
+            paper_line(),
+            &stack,
+            QUASI_1D_PHI,
+        )
+        .unwrap();
+        assert!(rise.value() < 1.0, "rise = {rise}");
+        assert!(rise.value() > 0.1, "rise = {rise}");
+    }
+
+    #[test]
+    fn self_heating_feedback_exceeds_open_loop() {
+        // The ρ(T) feedback must amplify the open-loop estimate.
+        let stack = InsulatorStack::single(um(3.0), &Dielectric::oxide());
+        let metal = Metal::copper();
+        let t_ref = Celsius::new(100.0).to_kelvin();
+        let j = CurrentDensity::from_mega_amps_per_cm2(5.0);
+        let x = self_heating_constant(paper_line(), &stack, QUASI_1D_PHI).unwrap();
+        let open_loop = j.value().powi(2) * metal.resistivity(t_ref).value() * x;
+        let closed =
+            self_heating_rise(j, &metal, t_ref, paper_line(), &stack, QUASI_1D_PHI).unwrap();
+        assert!(closed.value() > open_loop);
+    }
+
+    #[test]
+    fn thermal_runaway_detected() {
+        let stack = InsulatorStack::single(um(3.0), &Dielectric::polyimide());
+        let err = self_heating_rise(
+            CurrentDensity::from_mega_amps_per_cm2(60.0),
+            &Metal::copper(),
+            Celsius::new(100.0).to_kelvin(),
+            paper_line(),
+            &stack,
+            QUASI_1D_PHI,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ThermalError::ThermalRunaway { gain } if gain >= 1.0));
+    }
+
+    #[test]
+    fn self_heating_constant_scales_with_geometry() {
+        let stack = InsulatorStack::single(um(3.0), &Dielectric::oxide());
+        let thin = LineGeometry::new(um(3.0), um(0.25), um(1000.0)).unwrap();
+        let x_thick = self_heating_constant(paper_line(), &stack, QUASI_1D_PHI).unwrap();
+        let x_thin = self_heating_constant(thin, &stack, QUASI_1D_PHI).unwrap();
+        // Thinner metal ⇒ less dissipating volume ⇒ smaller ΔT per j²ρ.
+        assert!(x_thin < x_thick);
+        // Independent of length (volume and θ⁻¹ both scale with L).
+        let short = LineGeometry::new(um(3.0), um(0.5), um(10.0)).unwrap();
+        let x_short = self_heating_constant(short, &stack, QUASI_1D_PHI).unwrap();
+        assert!((x_short - x_thick).abs() / x_thick < 1e-9);
+    }
+}

@@ -1,0 +1,526 @@
+//! Lumped transient Joule heating with melt detection — the engine behind
+//! the paper's §6 (thermal failure under short high-current pulses, ESD).
+//!
+//! On ESD time scales (< 200 ns) an interconnect heats almost
+//! adiabatically: the thermal time constant `τ = C_v·X` (with `X` the
+//! volumetric self-heating constant of the steady model) is microseconds,
+//! two orders above the pulse. The lumped energy balance per unit wire
+//! volume is
+//!
+//! `C_v·dT/dt = j(t)²·ρ(T) − (T − T_ref)/X`
+//!
+//! which recovers the steady eq. (9) solution as `t → ∞` and the
+//! Wunsch–Bell-like `j_crit ∝ t_p^{−1/2}` adiabatic regime for short
+//! pulses. When `T` reaches the melting point, additional energy goes into
+//! the latent heat of fusion (the temperature plateaus); complete melting
+//! is the open-circuit failure criterion of Banerjee et al. \[8\].
+
+use hotwire_tech::Metal;
+use hotwire_units::{CurrentDensity, Kelvin, Seconds};
+use serde::{Deserialize, Serialize};
+
+use crate::impedance::{self_heating_constant, InsulatorStack, LineGeometry};
+use crate::ThermalError;
+
+/// A line prepared for transient simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransientLine {
+    metal: Metal,
+    line: LineGeometry,
+    reference_temperature: Kelvin,
+    /// Volumetric self-heating constant X, K per (W/m³) — see
+    /// [`self_heating_constant`]; conduction loss = (T − T_ref)/X per m³.
+    x_constant: f64,
+}
+
+impl TransientLine {
+    /// Builds a transient model over the given steady conduction path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ThermalError::InvalidInput`] from the impedance model.
+    pub fn new(
+        metal: Metal,
+        line: LineGeometry,
+        stack: &InsulatorStack,
+        phi: f64,
+        reference_temperature: Kelvin,
+    ) -> Result<Self, ThermalError> {
+        let x = self_heating_constant(line, stack, phi)?;
+        // Normalize θ·V to the volumetric constant: ΔT = q·X with q in W/m³.
+        Ok(Self {
+            metal,
+            line,
+            reference_temperature,
+            x_constant: x,
+        })
+    }
+
+    /// Builds an *adiabatic* model (no conduction loss) — the conservative
+    /// short-pulse limit, and the model of ref. \[8\].
+    #[must_use]
+    pub fn adiabatic(metal: Metal, line: LineGeometry, reference_temperature: Kelvin) -> Self {
+        Self {
+            metal,
+            line,
+            reference_temperature,
+            x_constant: f64::INFINITY,
+        }
+    }
+
+    /// The line's metal.
+    #[must_use]
+    pub fn metal(&self) -> &Metal {
+        &self.metal
+    }
+
+    /// The line geometry.
+    #[must_use]
+    pub fn line(&self) -> LineGeometry {
+        self.line
+    }
+
+    /// The thermal time constant `τ = C_v·X` (seconds); infinite for an
+    /// adiabatic model.
+    #[must_use]
+    pub fn time_constant(&self) -> f64 {
+        self.metal.volumetric_heat_capacity().value() * self.x_constant
+    }
+
+    /// Simulates the temperature under a time-varying current density.
+    ///
+    /// Integration is Heun's method (explicit trapezoidal) with the fixed
+    /// step `dt`; the melt plateau is handled by a latent-heat reservoir.
+    /// The simulation stops early on complete melting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidInput`] for non-positive `duration`
+    /// or `dt`.
+    pub fn simulate(
+        &self,
+        mut j: impl FnMut(Seconds) -> CurrentDensity,
+        duration: Seconds,
+        dt: Seconds,
+    ) -> Result<TransientResult, ThermalError> {
+        if !(duration.value() > 0.0) || !(dt.value() > 0.0) {
+            return Err(ThermalError::InvalidInput {
+                message: "duration and dt must be positive".to_owned(),
+            });
+        }
+        let cv = self.metal.volumetric_heat_capacity().value();
+        let t_melt = self.metal.melting_point().value();
+        let latent_vol = self.metal.latent_heat_fusion() * self.metal.mass_density().value(); // J/m³
+        let t_ref = self.reference_temperature.value();
+        let h = dt.value();
+
+        let rate = |temp: f64, jv: f64| -> f64 {
+            let rho = self.metal.resistivity(Kelvin::new(temp)).value();
+            let heating = jv * jv * rho;
+            let loss = if self.x_constant.is_finite() {
+                (temp - t_ref) / self.x_constant
+            } else {
+                0.0
+            };
+            (heating - loss) / cv
+        };
+
+        let mut temp = t_ref;
+        let mut melt_energy = 0.0_f64; // J/m³ absorbed as latent heat
+        let mut time = 0.0_f64;
+        let mut times = vec![Seconds::new(0.0)];
+        let mut temps = vec![Kelvin::new(temp)];
+        let mut peak = temp;
+        let mut melted_at = None;
+        let mut melt_started_at = None;
+
+        while time < duration.value() {
+            let jv0 = j(Seconds::new(time)).value();
+            let jv1 = j(Seconds::new(time + h)).value();
+            if temp >= t_melt && melt_energy < latent_vol {
+                // Melt plateau: all net power goes into latent heat.
+                let rho = self.metal.resistivity(Kelvin::new(t_melt)).value();
+                let jv = 0.5 * (jv0 + jv1);
+                let loss = if self.x_constant.is_finite() {
+                    (t_melt - t_ref) / self.x_constant
+                } else {
+                    0.0
+                };
+                let net = jv * jv * rho - loss;
+                if melt_started_at.is_none() {
+                    melt_started_at = Some(time);
+                }
+                if net > 0.0 {
+                    melt_energy += net * h;
+                } else {
+                    // resolidifying
+                    melt_energy = (melt_energy + net * h).max(0.0);
+                    if melt_energy == 0.0 {
+                        temp = t_melt - 1e-9;
+                    }
+                }
+                if melt_energy >= latent_vol {
+                    melted_at = Some(time + h);
+                }
+            } else {
+                // Heun step on the sensible-heat ODE.
+                let k1 = rate(temp, jv0);
+                let k2 = rate(temp + h * k1, jv1);
+                temp += 0.5 * h * (k1 + k2);
+                if temp > t_melt {
+                    temp = t_melt;
+                }
+            }
+            time += h;
+            peak = peak.max(temp);
+            times.push(Seconds::new(time));
+            temps.push(Kelvin::new(temp));
+            if melted_at.is_some() {
+                break;
+            }
+        }
+
+        Ok(TransientResult {
+            times,
+            temperatures: temps,
+            peak_temperature: Kelvin::new(peak),
+            melt_fraction: (melt_energy / latent_vol).min(1.0),
+            melt_onset: melt_started_at.map(Seconds::new),
+            failed_at: melted_at.map(Seconds::new),
+        })
+    }
+
+    /// Simulates a rectangular pulse of amplitude `j` and width
+    /// `pulse_width`, following through to 2× the width so resolidification
+    /// is observable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates from [`TransientLine::simulate`].
+    pub fn simulate_square_pulse(
+        &self,
+        j: CurrentDensity,
+        pulse_width: Seconds,
+        steps: usize,
+    ) -> Result<TransientResult, ThermalError> {
+        if steps < 10 {
+            return Err(ThermalError::InvalidInput {
+                message: "need at least 10 steps".to_owned(),
+            });
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let dt = Seconds::new(pulse_width.value() / steps as f64);
+        let width = pulse_width.value();
+        self.simulate(
+            move |t| {
+                if t.value() <= width {
+                    j
+                } else {
+                    CurrentDensity::ZERO
+                }
+            },
+            Seconds::new(2.0 * width),
+            dt,
+        )
+    }
+
+    /// Closed-form adiabatic time for a constant density `j` to bring the
+    /// line from the reference temperature to *complete* melting
+    /// (sensible heat + latent heat):
+    ///
+    /// `t = C_v/(j²·ρ_ref·β)·ln(ρ(T_melt)/ρ(T_ref)) + ρ_m·L_f/(j²·ρ(T_melt))`
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds for non-positive `j`.
+    #[must_use]
+    pub fn adiabatic_time_to_melt(&self, j: CurrentDensity) -> Seconds {
+        debug_assert!(j.value() > 0.0);
+        let cv = self.metal.volumetric_heat_capacity().value();
+        let rho_ref = self.metal.resistivity(self.reference_temperature).value();
+        let rho_melt = self.metal.resistivity(self.metal.melting_point()).value();
+        let beta_eff = self.metal.temperature_coefficient()
+            * self.metal.resistivity_ref().value()
+            / rho_ref;
+        let j2 = j.value() * j.value();
+        let sensible = cv / (j2 * rho_ref * beta_eff) * (rho_melt / rho_ref).ln();
+        let latent_vol = self.metal.latent_heat_fusion() * self.metal.mass_density().value();
+        let latent = latent_vol / (j2 * rho_melt);
+        Seconds::new(sensible + latent)
+    }
+
+    /// Closed-form adiabatic critical current density for a square pulse of
+    /// the given width — the Wunsch–Bell-like `j_crit ∝ t_p^{−1/2}` law
+    /// (inverts [`TransientLine::adiabatic_time_to_melt`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds for a non-positive pulse width.
+    #[must_use]
+    pub fn adiabatic_critical_density(&self, pulse_width: Seconds) -> CurrentDensity {
+        debug_assert!(pulse_width.value() > 0.0);
+        // t ∝ 1/j² exactly, so j_crit = j_probe·√(t(j_probe)/t_p).
+        let probe = CurrentDensity::from_mega_amps_per_cm2(50.0);
+        let t_probe = self.adiabatic_time_to_melt(probe);
+        probe * (t_probe.value() / pulse_width.value()).sqrt()
+    }
+
+    /// Critical current density for a square pulse via bisection on the
+    /// full simulation (including conduction loss when the model has one).
+    ///
+    /// The failure criterion is complete melting before the end of the
+    /// observation window (2× the pulse).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors; returns
+    /// [`ThermalError::NoConvergence`] when the bracket cannot be
+    /// established within physical bounds.
+    pub fn critical_density(
+        &self,
+        pulse_width: Seconds,
+        relative_tolerance: f64,
+    ) -> Result<CurrentDensity, ThermalError> {
+        let fails = |j: CurrentDensity| -> Result<bool, ThermalError> {
+            Ok(self
+                .simulate_square_pulse(j, pulse_width, 4000)?
+                .failed_at
+                .is_some())
+        };
+        // Bracket: start from the adiabatic estimate.
+        let mut hi = self.adiabatic_critical_density(pulse_width) * 2.0;
+        let mut lo = hi * 0.05;
+        let mut grow = 0;
+        while !fails(hi)? {
+            lo = hi;
+            hi = hi * 2.0;
+            grow += 1;
+            if grow > 20 {
+                return Err(ThermalError::NoConvergence {
+                    iterations: grow,
+                    residual: f64::INFINITY,
+                });
+            }
+        }
+        while fails(lo)? {
+            hi = lo;
+            lo = lo * 0.5;
+            grow += 1;
+            if grow > 40 {
+                return Err(ThermalError::NoConvergence {
+                    iterations: grow,
+                    residual: f64::INFINITY,
+                });
+            }
+        }
+        // Bisection.
+        for _ in 0..60 {
+            if (hi.value() - lo.value()) / hi.value() < relative_tolerance {
+                break;
+            }
+            let mid = (lo + hi) * 0.5;
+            if fails(mid)? {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Ok((lo + hi) * 0.5)
+    }
+}
+
+/// The outcome of a transient simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransientResult {
+    /// Sample times.
+    pub times: Vec<Seconds>,
+    /// Temperatures at the sample times.
+    pub temperatures: Vec<Kelvin>,
+    /// Hottest temperature reached.
+    pub peak_temperature: Kelvin,
+    /// Fraction of the latent heat of fusion absorbed (1 = fully molten).
+    pub melt_fraction: f64,
+    /// When the melting point was first reached, if ever.
+    pub melt_onset: Option<Seconds>,
+    /// When complete melting (open-circuit failure) occurred, if ever.
+    pub failed_at: Option<Seconds>,
+}
+
+impl TransientResult {
+    /// `true` when the line fully melted (open-circuit failure).
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        self.failed_at.is_some()
+    }
+
+    /// `true` when the line partially melted and resolidified — the latent
+    /// EM damage condition of ref. \[9\].
+    #[must_use]
+    pub fn latent_damage(&self) -> bool {
+        !self.failed() && self.melt_onset.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotwire_tech::Dielectric;
+    use hotwire_units::{Celsius, Length};
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    fn alcu_line() -> TransientLine {
+        // A typical I/O bus line: 3 µm wide, 0.55 µm AlCu over 1.2 µm oxide.
+        let line = LineGeometry::new(um(3.0), um(0.55), um(100.0)).unwrap();
+        let stack = InsulatorStack::single(um(1.2), &Dielectric::oxide());
+        TransientLine::new(
+            hotwire_tech::Metal::alcu(),
+            line,
+            &stack,
+            crate::impedance::QUASI_2D_PHI,
+            Celsius::new(25.0).to_kelvin(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn esd_critical_density_near_sixty_ma_per_cm2() {
+        // §6: "the critical current density for causing open circuit metal
+        // failure in AlCu interconnects is 60 MA/cm²" at ESD time scales
+        // (< 200 ns). Check the 100–200 ns window lands in that decade.
+        let line = alcu_line();
+        let j100 = line
+            .critical_density(Seconds::from_nanos(100.0), 1e-3)
+            .unwrap();
+        let j = j100.to_mega_amps_per_cm2();
+        assert!((30.0..120.0).contains(&j), "j_crit(100 ns) = {j} MA/cm²");
+    }
+
+    #[test]
+    fn critical_density_follows_inverse_sqrt_width() {
+        let line = TransientLine::adiabatic(
+            hotwire_tech::Metal::alcu(),
+            LineGeometry::new(um(3.0), um(0.55), um(100.0)).unwrap(),
+            Celsius::new(25.0).to_kelvin(),
+        );
+        let j50 = line.adiabatic_critical_density(Seconds::from_nanos(50.0));
+        let j200 = line.adiabatic_critical_density(Seconds::from_nanos(200.0));
+        let ratio = j50.value() / j200.value();
+        assert!((ratio - 2.0).abs() < 1e-9, "adiabatic law is exactly t^-1/2");
+    }
+
+    #[test]
+    fn simulation_matches_adiabatic_closed_form() {
+        let line = TransientLine::adiabatic(
+            hotwire_tech::Metal::alcu(),
+            LineGeometry::new(um(3.0), um(0.55), um(100.0)).unwrap(),
+            Celsius::new(25.0).to_kelvin(),
+        );
+        let j = CurrentDensity::from_mega_amps_per_cm2(60.0);
+        let t_closed = line.adiabatic_time_to_melt(j);
+        let sim = line
+            .simulate_square_pulse(j, Seconds::new(t_closed.value() * 1.5), 20_000)
+            .unwrap();
+        let t_sim = sim.failed_at.expect("must melt").value();
+        assert!(
+            (t_sim - t_closed.value()).abs() / t_closed.value() < 0.02,
+            "simulated {t_sim:.3e} vs closed form {:.3e}",
+            t_closed.value()
+        );
+    }
+
+    #[test]
+    fn low_current_survives() {
+        let line = alcu_line();
+        let sim = line
+            .simulate_square_pulse(
+                CurrentDensity::from_mega_amps_per_cm2(5.0),
+                Seconds::from_nanos(200.0),
+                2000,
+            )
+            .unwrap();
+        assert!(!sim.failed());
+        assert!(!sim.latent_damage());
+        assert!(sim.peak_temperature.value() < 400.0);
+    }
+
+    #[test]
+    fn intermediate_current_causes_latent_damage() {
+        // Just below the open-circuit threshold the line reaches the melt
+        // plateau but resolidifies — latent damage.
+        let line = alcu_line();
+        let j_crit = line
+            .critical_density(Seconds::from_nanos(150.0), 1e-3)
+            .unwrap();
+        let sim = line
+            .simulate_square_pulse(j_crit * 0.98, Seconds::from_nanos(150.0), 6000)
+            .unwrap();
+        assert!(!sim.failed(), "0.98·j_crit must survive");
+        assert!(
+            sim.latent_damage(),
+            "just below threshold should touch the melt plateau (melt fraction {})",
+            sim.melt_fraction
+        );
+    }
+
+    #[test]
+    fn conduction_loss_raises_critical_density_for_long_pulses() {
+        // For pulses approaching the thermal time constant, the heat-sunk
+        // model must require more current than the adiabatic bound.
+        let line = alcu_line();
+        let tau = line.time_constant();
+        let long_pulse = Seconds::new(tau);
+        let j_adiabatic = line.adiabatic_critical_density(long_pulse);
+        let j_full = line.critical_density(long_pulse, 1e-3).unwrap();
+        assert!(
+            j_full.value() > 1.05 * j_adiabatic.value(),
+            "with loss {} vs adiabatic {}",
+            j_full.to_mega_amps_per_cm2(),
+            j_adiabatic.to_mega_amps_per_cm2()
+        );
+    }
+
+    #[test]
+    fn peak_temperature_monotone_in_current() {
+        let line = alcu_line();
+        let mut prev = 0.0;
+        for j in [5.0, 15.0, 30.0, 45.0] {
+            let sim = line
+                .simulate_square_pulse(
+                    CurrentDensity::from_mega_amps_per_cm2(j),
+                    Seconds::from_nanos(100.0),
+                    2000,
+                )
+                .unwrap();
+            assert!(sim.peak_temperature.value() > prev);
+            prev = sim.peak_temperature.value();
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let line = alcu_line();
+        assert!(line
+            .simulate(|_| CurrentDensity::ZERO, Seconds::new(0.0), Seconds::new(1e-9))
+            .is_err());
+        assert!(line
+            .simulate(|_| CurrentDensity::ZERO, Seconds::new(1e-6), Seconds::new(0.0))
+            .is_err());
+        assert!(line
+            .simulate_square_pulse(
+                CurrentDensity::from_mega_amps_per_cm2(1.0),
+                Seconds::from_nanos(100.0),
+                5
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn time_constant_is_microseconds() {
+        // The premise of the adiabatic ESD treatment.
+        let tau = alcu_line().time_constant();
+        assert!(tau > 1e-7 && tau < 1e-4, "τ = {tau:.3e} s");
+    }
+}

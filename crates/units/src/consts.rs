@@ -1,0 +1,29 @@
+//! Physical constants used throughout the workspace.
+
+/// Boltzmann constant in J/K.
+pub const BOLTZMANN_J_PER_K: f64 = 1.380_649e-23;
+
+/// Boltzmann constant in eV/K — the form used in Black's equation
+/// `TTF = A · j⁻ⁿ · exp(Q / (k_B · T))` when `Q` is quoted in eV.
+pub const BOLTZMANN_EV_PER_K: f64 = 8.617_333_262e-5;
+
+/// Elementary charge in coulombs.
+pub const ELEMENTARY_CHARGE_C: f64 = 1.602_176_634e-19;
+
+/// 0 °C expressed in Kelvin.
+pub const ZERO_CELSIUS_IN_KELVIN: f64 = 273.15;
+
+/// Vacuum permittivity ε₀ in F/m, used by the capacitance extractor.
+pub const VACUUM_PERMITTIVITY_F_PER_M: f64 = 8.854_187_812_8e-12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boltzmann_forms_are_consistent() {
+        // k_B[eV/K] = k_B[J/K] / q[C]
+        let derived = BOLTZMANN_J_PER_K / ELEMENTARY_CHARGE_C;
+        assert!((derived - BOLTZMANN_EV_PER_K).abs() / BOLTZMANN_EV_PER_K < 1e-9);
+    }
+}

@@ -1,0 +1,360 @@
+//! Electrical quantities: current, current density, resistivity, resistance,
+//! capacitance and voltage.
+
+use crate::length::{Area, Length};
+
+crate::quantity!(
+    /// Electric current. Canonical unit: ampere (A).
+    Current,
+    "A",
+    "current"
+);
+
+impl Current {
+    /// Creates a current from milliamperes.
+    #[must_use]
+    pub fn from_milliamps(ma: f64) -> Self {
+        Self::new(ma * 1e-3)
+    }
+
+    /// The magnitude in milliamperes.
+    #[must_use]
+    pub fn to_milliamps(self) -> f64 {
+        self.value() * 1e3
+    }
+}
+
+impl std::ops::Div<Area> for Current {
+    /// Current ÷ cross-section area = current density.
+    type Output = CurrentDensity;
+    fn div(self, rhs: Area) -> CurrentDensity {
+        CurrentDensity::new(self.value() / rhs.value())
+    }
+}
+
+crate::quantity!(
+    /// Current density. Canonical unit: A/m².
+    ///
+    /// The paper quotes current densities in A/cm² and MA/cm²; dedicated
+    /// constructors and accessors cover both.
+    ///
+    /// ```
+    /// use hotwire_units::CurrentDensity;
+    ///
+    /// let j0 = CurrentDensity::from_mega_amps_per_cm2(0.6);
+    /// assert!((j0.to_amps_per_cm2() - 6.0e5).abs() < 1e-6);
+    /// assert!((j0.value() - 6.0e9).abs() < 1e-2); // A/m²
+    /// ```
+    CurrentDensity,
+    "A/m²",
+    "current density"
+);
+
+impl CurrentDensity {
+    /// Creates a current density from A/cm².
+    #[must_use]
+    pub fn from_amps_per_cm2(j: f64) -> Self {
+        Self::new(j * 1e4)
+    }
+
+    /// Creates a current density from MA/cm² (= 10⁶ A/cm²).
+    #[must_use]
+    pub fn from_mega_amps_per_cm2(j: f64) -> Self {
+        Self::new(j * 1e10)
+    }
+
+    /// The magnitude in A/cm².
+    #[must_use]
+    pub fn to_amps_per_cm2(self) -> f64 {
+        self.value() * 1e-4
+    }
+
+    /// The magnitude in MA/cm².
+    #[must_use]
+    pub fn to_mega_amps_per_cm2(self) -> f64 {
+        self.value() * 1e-10
+    }
+}
+
+impl std::ops::Mul<Area> for CurrentDensity {
+    /// Current density × cross-section area = current.
+    type Output = Current;
+    fn mul(self, rhs: Area) -> Current {
+        Current::new(self.value() * rhs.value())
+    }
+}
+
+crate::quantity!(
+    /// Electrical resistivity ρ. Canonical unit: Ω·m.
+    ///
+    /// Metal resistivities are quoted in µΩ·cm in the paper
+    /// (Cu: 1.67 µΩ·cm at 100 °C).
+    ///
+    /// ```
+    /// use hotwire_units::Resistivity;
+    ///
+    /// let rho = Resistivity::from_micro_ohm_cm(1.67);
+    /// assert!((rho.value() - 1.67e-8).abs() < 1e-20);
+    /// ```
+    Resistivity,
+    "Ω·m",
+    "resistivity"
+);
+
+impl Resistivity {
+    /// Creates a resistivity from µΩ·cm.
+    #[must_use]
+    pub fn from_micro_ohm_cm(rho: f64) -> Self {
+        Self::new(rho * 1e-8)
+    }
+
+    /// Creates a resistivity from Ω·cm.
+    #[must_use]
+    pub fn from_ohm_cm(rho: f64) -> Self {
+        Self::new(rho * 1e-2)
+    }
+
+    /// The magnitude in µΩ·cm.
+    #[must_use]
+    pub fn to_micro_ohm_cm(self) -> f64 {
+        self.value() * 1e8
+    }
+
+    /// Resistance of a uniform bar: `R = ρ·L/A`.
+    ///
+    /// ```
+    /// use hotwire_units::{Area, Length, Resistivity};
+    ///
+    /// let rho = Resistivity::from_micro_ohm_cm(1.67);
+    /// let r = rho.bar_resistance(
+    ///     Length::from_micrometers(1000.0),
+    ///     Area::from_um2(1.5),
+    /// );
+    /// assert!((r.value() - 11.13).abs() / 11.13 < 1e-3);
+    /// ```
+    #[must_use]
+    pub fn bar_resistance(self, length: Length, cross_section: Area) -> Resistance {
+        Resistance::new(self.value() * length.value() / cross_section.value())
+    }
+
+    /// Sheet resistance of a film of this resistivity and the given
+    /// thickness: `ρ_s = ρ / t`.
+    #[must_use]
+    pub fn sheet_resistance(self, thickness: Length) -> SheetResistance {
+        SheetResistance::new(self.value() / thickness.value())
+    }
+}
+
+crate::quantity!(
+    /// Sheet resistance ρ_s. Canonical unit: Ω/□ (ohms per square).
+    SheetResistance,
+    "Ω/□",
+    "sheet resistance"
+);
+
+impl SheetResistance {
+    /// Resistance per unit length of a wire of the given width:
+    /// `r = ρ_s / W`.
+    #[must_use]
+    pub fn per_length(self, width: Length) -> ResistancePerLength {
+        ResistancePerLength::new(self.value() / width.value())
+    }
+
+    /// The film resistivity implied by this sheet resistance at the given
+    /// thickness: `ρ = ρ_s · t`.
+    #[must_use]
+    pub fn resistivity(self, thickness: Length) -> Resistivity {
+        Resistivity::new(self.value() * thickness.value())
+    }
+}
+
+crate::quantity!(
+    /// Lumped resistance. Canonical unit: ohm (Ω).
+    Resistance,
+    "Ω",
+    "resistance"
+);
+
+impl Resistance {
+    /// The corresponding conductance `G = 1/R`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the resistance is zero.
+    #[must_use]
+    pub fn to_conductance(self) -> Conductance {
+        debug_assert!(self.value() != 0.0, "zero resistance has no conductance");
+        Conductance::new(1.0 / self.value())
+    }
+}
+
+crate::quantity!(
+    /// Conductance. Canonical unit: siemens (S).
+    Conductance,
+    "S",
+    "conductance"
+);
+
+crate::quantity!(
+    /// Resistance per unit length of a wire. Canonical unit: Ω/m.
+    ResistancePerLength,
+    "Ω/m",
+    "resistance per length"
+);
+
+impl std::ops::Mul<Length> for ResistancePerLength {
+    /// r × L = total resistance.
+    type Output = Resistance;
+    fn mul(self, rhs: Length) -> Resistance {
+        Resistance::new(self.value() * rhs.value())
+    }
+}
+
+crate::quantity!(
+    /// Capacitance. Canonical unit: farad (F).
+    Capacitance,
+    "F",
+    "capacitance"
+);
+
+impl Capacitance {
+    /// Creates a capacitance from femtofarads.
+    #[must_use]
+    pub fn from_femtofarads(ff: f64) -> Self {
+        Self::new(ff * 1e-15)
+    }
+
+    /// Creates a capacitance from picofarads.
+    #[must_use]
+    pub fn from_picofarads(pf: f64) -> Self {
+        Self::new(pf * 1e-12)
+    }
+
+    /// The magnitude in femtofarads.
+    #[must_use]
+    pub fn to_femtofarads(self) -> f64 {
+        self.value() * 1e15
+    }
+}
+
+crate::quantity!(
+    /// Capacitance per unit length of a wire. Canonical unit: F/m.
+    CapacitancePerLength,
+    "F/m",
+    "capacitance per length"
+);
+
+impl CapacitancePerLength {
+    /// Creates from pF/cm (a common extraction output unit).
+    #[must_use]
+    pub fn from_pf_per_cm(c: f64) -> Self {
+        Self::new(c * 1e-10)
+    }
+
+    /// The magnitude in pF/cm.
+    #[must_use]
+    pub fn to_pf_per_cm(self) -> f64 {
+        self.value() * 1e10
+    }
+
+    /// The magnitude in aF/µm (attofarads per micrometer), another common
+    /// extraction unit (1 aF/µm = 1e-12 F/m).
+    #[must_use]
+    pub fn to_af_per_um(self) -> f64 {
+        self.value() * 1e12
+    }
+}
+
+impl std::ops::Mul<Length> for CapacitancePerLength {
+    /// c × L = total capacitance.
+    type Output = Capacitance;
+    fn mul(self, rhs: Length) -> Capacitance {
+        Capacitance::new(self.value() * rhs.value())
+    }
+}
+
+crate::quantity!(
+    /// Electric potential. Canonical unit: volt (V).
+    Voltage,
+    "V",
+    "voltage"
+);
+
+impl std::ops::Div<Resistance> for Voltage {
+    /// Ohm's law: V ÷ R = I.
+    type Output = Current;
+    fn div(self, rhs: Resistance) -> Current {
+        Current::new(self.value() / rhs.value())
+    }
+}
+
+impl std::ops::Mul<Resistance> for Current {
+    /// Ohm's law: I × R = V.
+    type Output = Voltage;
+    fn mul(self, rhs: Resistance) -> Voltage {
+        Voltage::new(self.value() * rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_density_unit_conversions() {
+        let j = CurrentDensity::from_amps_per_cm2(6.0e5);
+        assert!((j.to_mega_amps_per_cm2() - 0.6).abs() < 1e-12);
+        let j2 = CurrentDensity::from_mega_amps_per_cm2(60.0);
+        assert!((j2.to_amps_per_cm2() - 6.0e7).abs() < 1.0);
+    }
+
+    #[test]
+    fn current_from_density_and_area() {
+        // 1 MA/cm² through 1.5 µm² = 1e10 A/m² * 1.5e-12 m² = 15 mA
+        let j = CurrentDensity::from_mega_amps_per_cm2(1.0);
+        let a = Area::from_um2(1.5);
+        let i = j * a;
+        assert!((i.to_milliamps() - 15.0).abs() < 1e-9);
+        let j_back = i / a;
+        assert!((j_back.to_mega_amps_per_cm2() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resistivity_bar_and_sheet() {
+        let rho = Resistivity::from_micro_ohm_cm(2.2);
+        // Sheet resistance of a 0.5 µm film: 2.2e-8 / 0.5e-6 = 0.044 Ω/□
+        let rs = rho.sheet_resistance(Length::from_micrometers(0.5));
+        assert!((rs.value() - 0.044).abs() < 1e-12);
+        // Per-length of a 1 µm wide wire: 44 kΩ/m
+        let rl = rs.per_length(Length::from_micrometers(1.0));
+        assert!((rl.value() - 4.4e4).abs() < 1e-6);
+        // And back to resistivity
+        let rho2 = rs.resistivity(Length::from_micrometers(0.5));
+        assert!((rho2.to_micro_ohm_cm() - 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ohms_law() {
+        let v = Voltage::new(2.5);
+        let r = Resistance::new(500.0);
+        let i = v / r;
+        assert!((i.to_milliamps() - 5.0).abs() < 1e-12);
+        let v2 = i * r;
+        assert!((v2.value() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacitance_per_length() {
+        let c = CapacitancePerLength::from_pf_per_cm(2.0); // 2e-10 F/m
+        assert!((c.value() - 2e-10).abs() < 1e-22);
+        assert!((c.to_af_per_um() - 200.0).abs() < 1e-9);
+        let total = c * Length::from_millimeters(1.0);
+        assert!((total.to_femtofarads() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conductance_inverse() {
+        let g = Resistance::new(4.0).to_conductance();
+        assert!((g.value() - 0.25).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,112 @@
+//! Energies, including the electron-volt activation energies of Black's law.
+
+use crate::consts::ELEMENTARY_CHARGE_C;
+
+crate::quantity!(
+    /// Energy. Canonical unit: joule (J).
+    Energy,
+    "J",
+    "energy"
+);
+
+impl Energy {
+    /// Creates an energy from electron-volts.
+    #[must_use]
+    pub fn from_electron_volts(ev: f64) -> Self {
+        Self::new(ev * ELEMENTARY_CHARGE_C)
+    }
+
+    /// The magnitude in electron-volts.
+    #[must_use]
+    pub fn to_electron_volts(self) -> f64 {
+        self.value() / ELEMENTARY_CHARGE_C
+    }
+}
+
+/// An activation energy expressed in electron-volts. Canonical unit: eV.
+///
+/// Black's equation quotes `Q ≈ 0.7 eV` for grain-boundary diffusion in
+/// AlCu. This type keeps the eV magnitude explicit and pairs with
+/// [`crate::consts::BOLTZMANN_EV_PER_K`] in Arrhenius factors.
+///
+/// ```
+/// use hotwire_units::{consts::BOLTZMANN_EV_PER_K, ElectronVolts, Kelvin};
+///
+/// let q = ElectronVolts::new(0.7);
+/// let t = Kelvin::new(373.15);
+/// let exponent = q.value() / (BOLTZMANN_EV_PER_K * t.value());
+/// assert!((exponent - 21.77).abs() < 0.01);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct ElectronVolts(f64);
+
+impl ElectronVolts {
+    /// Creates an energy in electron-volts.
+    #[must_use]
+    pub const fn new(ev: f64) -> Self {
+        Self(ev)
+    }
+
+    /// Magnitude in electron-volts.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to joules.
+    #[must_use]
+    pub fn to_joules(self) -> Energy {
+        Energy::from_electron_volts(self.0)
+    }
+
+    /// The Arrhenius exponent `Q/(k_B·T)` at the given absolute temperature.
+    #[must_use]
+    pub fn arrhenius_exponent(self, temperature: crate::Kelvin) -> f64 {
+        self.0 / (crate::consts::BOLTZMANN_EV_PER_K * temperature.value())
+    }
+}
+
+impl std::fmt::Display for ElectronVolts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*} eV", prec, self.0)
+        } else {
+            write!(f, "{} eV", self.0)
+        }
+    }
+}
+
+impl From<ElectronVolts> for Energy {
+    fn from(ev: ElectronVolts) -> Self {
+        ev.to_joules()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kelvin;
+
+    #[test]
+    fn ev_joule_round_trip() {
+        let e = Energy::from_electron_volts(0.7);
+        assert!((e.to_electron_volts() - 0.7).abs() < 1e-12);
+        assert!((e.value() - 1.1215e-19).abs() < 1e-22);
+    }
+
+    #[test]
+    fn arrhenius_exponent_matches_manual() {
+        let q = ElectronVolts::new(0.7);
+        let t = Kelvin::new(373.15);
+        let manual = 0.7 / (crate::consts::BOLTZMANN_EV_PER_K * 373.15);
+        assert!((q.arrhenius_exponent(t) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{:.1}", ElectronVolts::new(0.7)), "0.7 eV");
+    }
+}

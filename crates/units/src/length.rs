@@ -1,0 +1,252 @@
+//! Lengths, areas and volumes.
+
+crate::quantity!(
+    /// A physical length. Canonical unit: meter (m).
+    ///
+    /// Interconnect geometry is most naturally quoted in micrometers; use
+    /// [`Length::from_micrometers`] / [`Length::to_micrometers`] or the
+    /// dedicated [`Micrometers`] edge type.
+    ///
+    /// ```
+    /// use hotwire_units::Length;
+    ///
+    /// let w = Length::from_micrometers(0.35);
+    /// assert!((w.value() - 3.5e-7).abs() < 1e-20);
+    /// assert!((w.to_micrometers() - 0.35).abs() < 1e-12);
+    /// ```
+    Length,
+    "m",
+    "length"
+);
+
+impl Length {
+    /// Creates a length from micrometers.
+    #[must_use]
+    pub fn from_micrometers(um: f64) -> Self {
+        Self::new(um * 1e-6)
+    }
+
+    /// Creates a length from nanometers.
+    #[must_use]
+    pub fn from_nanometers(nm: f64) -> Self {
+        Self::new(nm * 1e-9)
+    }
+
+    /// Creates a length from millimeters.
+    #[must_use]
+    pub fn from_millimeters(mm: f64) -> Self {
+        Self::new(mm * 1e-3)
+    }
+
+    /// The magnitude in micrometers.
+    #[must_use]
+    pub fn to_micrometers(self) -> f64 {
+        self.value() * 1e6
+    }
+
+    /// The magnitude in nanometers.
+    #[must_use]
+    pub fn to_nanometers(self) -> f64 {
+        self.value() * 1e9
+    }
+}
+
+impl std::ops::Mul for Length {
+    /// Length × length = area.
+    type Output = Area;
+    fn mul(self, rhs: Length) -> Area {
+        Area::new(self.value() * rhs.value())
+    }
+}
+
+impl std::ops::Mul<Area> for Length {
+    /// Length × area = volume.
+    type Output = Volume;
+    fn mul(self, rhs: Area) -> Volume {
+        Volume::new(self.value() * rhs.value())
+    }
+}
+
+crate::quantity!(
+    /// An area. Canonical unit: square meter (m²).
+    ///
+    /// Current-density cross sections in the paper are quoted in cm²; use
+    /// [`Area::from_cm2`] / [`Area::to_cm2`] at those edges.
+    Area,
+    "m²",
+    "area"
+);
+
+impl Area {
+    /// Creates an area from square centimeters.
+    #[must_use]
+    pub fn from_cm2(cm2: f64) -> Self {
+        Self::new(cm2 * 1e-4)
+    }
+
+    /// Creates an area from square micrometers.
+    #[must_use]
+    pub fn from_um2(um2: f64) -> Self {
+        Self::new(um2 * 1e-12)
+    }
+
+    /// The magnitude in square centimeters.
+    #[must_use]
+    pub fn to_cm2(self) -> f64 {
+        self.value() * 1e4
+    }
+
+    /// The magnitude in square micrometers.
+    #[must_use]
+    pub fn to_um2(self) -> f64 {
+        self.value() * 1e12
+    }
+}
+
+impl std::ops::Mul<Length> for Area {
+    /// Area × length = volume.
+    type Output = Volume;
+    fn mul(self, rhs: Length) -> Volume {
+        Volume::new(self.value() * rhs.value())
+    }
+}
+
+impl std::ops::Div<Length> for Area {
+    /// Area ÷ length = length.
+    type Output = Length;
+    fn div(self, rhs: Length) -> Length {
+        Length::new(self.value() / rhs.value())
+    }
+}
+
+crate::quantity!(
+    /// A volume. Canonical unit: cubic meter (m³).
+    Volume,
+    "m³",
+    "volume"
+);
+
+impl std::ops::Div<Area> for Volume {
+    /// Volume ÷ area = length.
+    type Output = Length;
+    fn div(self, rhs: Area) -> Length {
+        Length::new(self.value() / rhs.value())
+    }
+}
+
+impl std::ops::Div<Length> for Volume {
+    /// Volume ÷ length = area.
+    type Output = Area;
+    fn div(self, rhs: Length) -> Area {
+        Area::new(self.value() / rhs.value())
+    }
+}
+
+/// A length expressed in micrometers — the working unit of interconnect
+/// geometry. Canonical unit: µm.
+///
+/// This is an edge/display convenience; convert to [`Length`] for physics.
+///
+/// ```
+/// use hotwire_units::{Length, Micrometers};
+///
+/// let w = Micrometers::new(3.0);
+/// let m: Length = w.to_meters();
+/// assert!((m.value() - 3.0e-6).abs() < 1e-18);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct Micrometers(f64);
+
+impl Micrometers {
+    /// Creates a value in micrometers.
+    #[must_use]
+    pub const fn new(um: f64) -> Self {
+        Self(um)
+    }
+
+    /// Magnitude in micrometers.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to the canonical meter representation.
+    #[must_use]
+    pub fn to_meters(self) -> Length {
+        Length::from_micrometers(self.0)
+    }
+}
+
+impl std::fmt::Display for Micrometers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*} µm", prec, self.0)
+        } else {
+            write!(f, "{} µm", self.0)
+        }
+    }
+}
+
+impl From<Micrometers> for Length {
+    fn from(um: Micrometers) -> Self {
+        um.to_meters()
+    }
+}
+
+impl From<Length> for Micrometers {
+    fn from(l: Length) -> Self {
+        Micrometers::new(l.to_micrometers())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micrometer_round_trip() {
+        let l = Length::from_micrometers(0.25);
+        assert!((l.to_micrometers() - 0.25).abs() < 1e-12);
+        let um: Micrometers = l.into();
+        assert!((um.value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nanometers() {
+        let l = Length::from_nanometers(650.0);
+        assert!((l.to_micrometers() - 0.65).abs() < 1e-12);
+        assert!((l.to_nanometers() - 650.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_products() {
+        let w = Length::from_micrometers(3.0);
+        let t = Length::from_micrometers(0.5);
+        let a = w * t;
+        assert!((a.to_um2() - 1.5).abs() < 1e-12);
+        // 1.5 µm² = 1.5e-8 cm²
+        assert!((a.to_cm2() - 1.5e-8).abs() < 1e-20);
+    }
+
+    #[test]
+    fn volume_and_back() {
+        let a = Area::from_um2(2.0);
+        let l = Length::from_micrometers(10.0);
+        let v = a * l;
+        let l2 = v / a;
+        assert!((l2.to_micrometers() - 10.0).abs() < 1e-9);
+        let a2 = v / l;
+        assert!((a2.to_um2() - 2.0).abs() < 1e-9);
+        let v2 = l * a;
+        assert!((v2.value() - v.value()).abs() < 1e-30);
+    }
+
+    #[test]
+    fn length_sum() {
+        let total: Length = (0..4).map(|_| Length::from_micrometers(0.5)).sum();
+        assert!((total.to_micrometers() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,290 @@
+//! Typed physical quantities for interconnect thermal / electromigration
+//! analysis.
+//!
+//! Every quantity in the `hotwire` workspace is carried as a dedicated
+//! newtype over `f64` with an unambiguous canonical SI unit, so that a
+//! current density can never be confused with a resistivity, and a Celsius
+//! temperature can never silently enter an Arrhenius exponential (which needs
+//! Kelvin). Constructors and accessors are provided for the domain units the
+//! DAC'99 paper uses (µm, MA/cm², µΩ·cm, eV, …).
+//!
+//! # Examples
+//!
+//! ```
+//! use hotwire_units::{Celsius, CurrentDensity, Kelvin, Micrometers};
+//!
+//! let t_ref = Celsius::new(100.0).to_kelvin();
+//! assert!((t_ref.value() - 373.15).abs() < 1e-12);
+//!
+//! let j0 = CurrentDensity::from_amps_per_cm2(6.0e5);
+//! assert!((j0.to_mega_amps_per_cm2() - 0.6).abs() < 1e-12);
+//!
+//! let w = Micrometers::new(0.35);
+//! assert!((w.to_meters().value() - 0.35e-6).abs() < 1e-18);
+//! ```
+//!
+//! The canonical unit of each type is documented on the type itself; the
+//! `value()` accessor always returns the canonical-unit magnitude.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// `!(x > 0.0)` is used deliberately throughout validation code: unlike
+// `x <= 0.0` it also rejects NaN, which must never enter a solver.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod consts;
+mod electrical;
+mod energy;
+mod length;
+mod temperature;
+mod thermal;
+mod time;
+
+pub use electrical::{
+    Capacitance, CapacitancePerLength, Conductance, Current, CurrentDensity, Resistance,
+    ResistancePerLength, Resistivity, SheetResistance, Voltage,
+};
+pub use energy::{ElectronVolts, Energy};
+pub use length::{Area, Length, Micrometers, Volume};
+pub use temperature::{Celsius, Kelvin, TemperatureDelta};
+pub use thermal::{
+    Density, Power, PowerDensity, SpecificHeat, ThermalConductivity, ThermalImpedance,
+    VolumetricHeatCapacity,
+};
+pub use time::{Frequency, Seconds};
+
+/// Error returned when constructing a quantity from an out-of-domain value.
+///
+/// Most quantities in this crate are physically non-negative (lengths,
+/// conductivities, capacitances, absolute temperatures, …); the checked
+/// `try_new` constructors return this error instead of admitting NaN or a
+/// negative magnitude.
+///
+/// ```
+/// use hotwire_units::{Kelvin, QuantityError};
+///
+/// let err = Kelvin::try_new(-3.0).unwrap_err();
+/// assert!(matches!(err, QuantityError::Negative { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantityError {
+    /// The supplied magnitude was negative for a quantity that must be ≥ 0.
+    Negative {
+        /// Human-readable name of the quantity ("temperature", "length", …).
+        quantity: &'static str,
+        /// The offending value, in the quantity's canonical unit.
+        value: f64,
+    },
+    /// The supplied magnitude was NaN or infinite.
+    NotFinite {
+        /// Human-readable name of the quantity.
+        quantity: &'static str,
+    },
+}
+
+impl std::fmt::Display for QuantityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantityError::Negative { quantity, value } => {
+                write!(f, "{quantity} must be non-negative, got {value}")
+            }
+            QuantityError::NotFinite { quantity } => {
+                write!(f, "{quantity} must be a finite number")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantityError {}
+
+pub(crate) fn check_non_negative(
+    quantity: &'static str,
+    value: f64,
+) -> Result<f64, QuantityError> {
+    if !value.is_finite() {
+        return Err(QuantityError::NotFinite { quantity });
+    }
+    if value < 0.0 {
+        return Err(QuantityError::Negative { quantity, value });
+    }
+    Ok(value)
+}
+
+/// Declares a thin `f64` newtype with the standard quantity plumbing:
+/// constructors, `value()`, ordering helpers, arithmetic with itself and
+/// scalar scaling, `Display` with the canonical unit suffix, and serde.
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $unit:literal, $qname:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Zero of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates the quantity from its canonical-unit magnitude.
+            #[must_use]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Creates the quantity, rejecting negative or non-finite values.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`crate::QuantityError`] if `value` is negative, NaN
+            /// or infinite.
+            pub fn try_new(value: f64) -> Result<Self, $crate::QuantityError> {
+                $crate::check_non_negative($qname, value).map(Self)
+            }
+
+            /// The magnitude in the canonical unit ($unit).
+            #[must_use]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// The smaller of `self` and `other`.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// The larger of `self` and `other`.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// `true` when the magnitude is a finite number.
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+
+        impl std::ops::Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl std::ops::Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl std::ops::Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl std::ops::Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl std::ops::Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl std::ops::Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl std::ops::Div<$name> for $name {
+            /// Dividing two like quantities yields their dimensionless ratio.
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl std::ops::AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl std::ops::SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl std::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+pub(crate) use quantity;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantity_error_display() {
+        let e = QuantityError::Negative {
+            quantity: "length",
+            value: -1.0,
+        };
+        assert_eq!(e.to_string(), "length must be non-negative, got -1");
+        let e = QuantityError::NotFinite { quantity: "length" };
+        assert_eq!(e.to_string(), "length must be a finite number");
+    }
+
+    #[test]
+    fn check_non_negative_accepts_zero() {
+        assert_eq!(check_non_negative("x", 0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn check_non_negative_rejects_nan() {
+        assert!(check_non_negative("x", f64::NAN).is_err());
+        assert!(check_non_negative("x", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QuantityError>();
+    }
+}

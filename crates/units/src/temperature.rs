@@ -1,0 +1,222 @@
+//! Absolute temperatures and temperature differences.
+//!
+//! Kelvin is the canonical internal representation: every Arrhenius factor,
+//! conduction equation and material model in the workspace takes [`Kelvin`].
+//! [`Celsius`] exists for API edges (the paper quotes 100 °C as the chip
+//! reference temperature), and [`TemperatureDelta`] keeps temperature *rises*
+//! (ΔT of self-heating) from being confused with absolute temperatures.
+
+use crate::consts::ZERO_CELSIUS_IN_KELVIN;
+use crate::QuantityError;
+
+/// Absolute thermodynamic temperature. Canonical unit: kelvin (K).
+///
+/// ```
+/// use hotwire_units::{Celsius, Kelvin};
+///
+/// let t = Kelvin::new(373.15);
+/// assert!((t.to_celsius().value() - 100.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Kelvin(f64);
+
+impl Kelvin {
+    /// Absolute zero.
+    pub const ZERO: Self = Self(0.0);
+
+    /// Creates a temperature from a magnitude in kelvin.
+    #[must_use]
+    pub const fn new(kelvin: f64) -> Self {
+        Self(kelvin)
+    }
+
+    /// Creates a temperature, rejecting negative (sub-absolute-zero) or
+    /// non-finite values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantityError`] when `kelvin` is negative, NaN or infinite.
+    pub fn try_new(kelvin: f64) -> Result<Self, QuantityError> {
+        crate::check_non_negative("temperature", kelvin).map(Self)
+    }
+
+    /// Magnitude in kelvin.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to Celsius.
+    #[must_use]
+    pub fn to_celsius(self) -> Celsius {
+        Celsius::new(self.0 - ZERO_CELSIUS_IN_KELVIN)
+    }
+
+    /// The smaller of two temperatures.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// The larger of two temperatures.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// `true` when the magnitude is finite.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl std::fmt::Display for Kelvin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*} K", prec, self.0)
+        } else {
+            write!(f, "{} K", self.0)
+        }
+    }
+}
+
+/// Temperature expressed on the Celsius scale. Canonical unit: °C.
+///
+/// A convenience edge type: convert to [`Kelvin`] before doing physics.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Celsius(f64);
+
+impl Celsius {
+    /// Creates a temperature from a magnitude in degrees Celsius.
+    #[must_use]
+    pub const fn new(celsius: f64) -> Self {
+        Self(celsius)
+    }
+
+    /// Magnitude in degrees Celsius.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to the canonical Kelvin representation.
+    #[must_use]
+    pub fn to_kelvin(self) -> Kelvin {
+        Kelvin::new(self.0 + ZERO_CELSIUS_IN_KELVIN)
+    }
+}
+
+impl std::fmt::Display for Celsius {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*} °C", prec, self.0)
+        } else {
+            write!(f, "{} °C", self.0)
+        }
+    }
+}
+
+impl From<Celsius> for Kelvin {
+    fn from(c: Celsius) -> Self {
+        c.to_kelvin()
+    }
+}
+
+impl From<Kelvin> for Celsius {
+    fn from(k: Kelvin) -> Self {
+        k.to_celsius()
+    }
+}
+
+crate::quantity!(
+    /// A temperature difference ΔT. Canonical unit: kelvin (K).
+    ///
+    /// Identical in magnitude on the Kelvin and Celsius scales, so no scale
+    /// conversion exists — only arithmetic against absolute temperatures.
+    ///
+    /// ```
+    /// use hotwire_units::{Kelvin, TemperatureDelta};
+    ///
+    /// let t_ref = Kelvin::new(373.15);
+    /// let rise = TemperatureDelta::new(25.0);
+    /// assert_eq!((t_ref + rise).value(), 398.15);
+    /// ```
+    TemperatureDelta,
+    "K",
+    "temperature delta"
+);
+
+impl std::ops::Add<TemperatureDelta> for Kelvin {
+    type Output = Kelvin;
+    fn add(self, rhs: TemperatureDelta) -> Kelvin {
+        Kelvin::new(self.0 + rhs.value())
+    }
+}
+
+impl std::ops::Sub<TemperatureDelta> for Kelvin {
+    type Output = Kelvin;
+    fn sub(self, rhs: TemperatureDelta) -> Kelvin {
+        Kelvin::new(self.0 - rhs.value())
+    }
+}
+
+impl std::ops::Sub for Kelvin {
+    /// The difference of two absolute temperatures is a [`TemperatureDelta`].
+    type Output = TemperatureDelta;
+    fn sub(self, rhs: Kelvin) -> TemperatureDelta {
+        TemperatureDelta::new(self.0 - rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_kelvin_round_trip() {
+        let c = Celsius::new(100.0);
+        let k = c.to_kelvin();
+        assert!((k.value() - 373.15).abs() < 1e-12);
+        assert!((k.to_celsius().value() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_impls() {
+        let k: Kelvin = Celsius::new(0.0).into();
+        assert!((k.value() - 273.15).abs() < 1e-12);
+        let c: Celsius = Kelvin::new(273.15).into();
+        assert!(c.value().abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_arithmetic() {
+        let a = Kelvin::new(400.0);
+        let b = Kelvin::new(373.15);
+        let d = a - b;
+        assert!((d.value() - 26.85).abs() < 1e-12);
+        assert_eq!((b + d).value(), 400.0);
+        assert!((a - d).value() - 373.15 < 1e-12);
+    }
+
+    #[test]
+    fn try_new_rejects_sub_absolute_zero() {
+        assert!(Kelvin::try_new(-0.1).is_err());
+        assert!(Kelvin::try_new(0.0).is_ok());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{:.2}", Kelvin::new(373.154)), "373.15 K");
+        assert_eq!(format!("{:.1}", Celsius::new(99.96)), "100.0 °C");
+        assert_eq!(format!("{:.0}", TemperatureDelta::new(25.4)), "25 K");
+    }
+
+    #[test]
+    fn delta_ratio_is_dimensionless() {
+        let r = TemperatureDelta::new(50.0) / TemperatureDelta::new(25.0);
+        assert_eq!(r, 2.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Thermal quantities: conductivity, impedance, heat capacity, power.
+
+use crate::length::Volume;
+use crate::temperature::TemperatureDelta;
+
+crate::quantity!(
+    /// Thermal conductivity k. Canonical unit: W/(m·K).
+    ///
+    /// Table 1 of the paper: PETEOS oxide 1.15, HSQ 0.6, polyimide
+    /// 0.25 W/(m·K).
+    ThermalConductivity,
+    "W/(m·K)",
+    "thermal conductivity"
+);
+
+crate::quantity!(
+    /// Thermal impedance θ of a structure to its heat sink.
+    /// Canonical unit: K/W (equivalently °C/W).
+    ///
+    /// Eq. (8) of the paper: `ΔT_self-heating = I²_rms · R · θ_int`.
+    ThermalImpedance,
+    "K/W",
+    "thermal impedance"
+);
+
+impl ThermalImpedance {
+    /// Temperature rise produced by the given dissipated power:
+    /// `ΔT = P · θ`.
+    #[must_use]
+    pub fn temperature_rise(self, power: Power) -> TemperatureDelta {
+        TemperatureDelta::new(self.value() * power.value())
+    }
+}
+
+crate::quantity!(
+    /// Power. Canonical unit: watt (W).
+    Power,
+    "W",
+    "power"
+);
+
+impl Power {
+    /// Creates a power from milliwatts.
+    #[must_use]
+    pub fn from_milliwatts(mw: f64) -> Self {
+        Self::new(mw * 1e-3)
+    }
+
+    /// The magnitude in milliwatts.
+    #[must_use]
+    pub fn to_milliwatts(self) -> f64 {
+        self.value() * 1e3
+    }
+}
+
+impl std::ops::Mul<ThermalImpedance> for Power {
+    /// P × θ = ΔT.
+    type Output = TemperatureDelta;
+    fn mul(self, rhs: ThermalImpedance) -> TemperatureDelta {
+        rhs.temperature_rise(self)
+    }
+}
+
+crate::quantity!(
+    /// Volumetric power (heat-generation) density. Canonical unit: W/m³.
+    ///
+    /// Joule heating in a wire carrying current density j is `q = j²·ρ`.
+    PowerDensity,
+    "W/m³",
+    "power density"
+);
+
+impl std::ops::Mul<Volume> for PowerDensity {
+    /// q × V = P.
+    type Output = Power;
+    fn mul(self, rhs: Volume) -> Power {
+        Power::new(self.value() * rhs.value())
+    }
+}
+
+crate::quantity!(
+    /// Specific heat capacity c_p. Canonical unit: J/(kg·K).
+    SpecificHeat,
+    "J/(kg·K)",
+    "specific heat"
+);
+
+crate::quantity!(
+    /// Mass density. Canonical unit: kg/m³.
+    Density,
+    "kg/m³",
+    "density"
+);
+
+crate::quantity!(
+    /// Volumetric heat capacity C_v = ρ_mass·c_p. Canonical unit: J/(m³·K).
+    ///
+    /// Governs transient (ESD-time-scale) heating: in the adiabatic limit
+    /// `C_v · dT/dt = j²·ρ(T)`.
+    VolumetricHeatCapacity,
+    "J/(m³·K)",
+    "volumetric heat capacity"
+);
+
+impl std::ops::Mul<SpecificHeat> for Density {
+    /// ρ_mass × c_p = C_v.
+    type Output = VolumetricHeatCapacity;
+    fn mul(self, rhs: SpecificHeat) -> VolumetricHeatCapacity {
+        VolumetricHeatCapacity::new(self.value() * rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::length::{Area, Length};
+
+    #[test]
+    fn impedance_rise() {
+        let theta = ThermalImpedance::new(4.0e3); // 4000 K/W
+        let p = Power::from_milliwatts(10.0);
+        let dt = theta.temperature_rise(p);
+        assert!((dt.value() - 40.0).abs() < 1e-9);
+        let dt2 = p * theta;
+        assert!((dt2.value() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn volumetric_heat_capacity_of_copper() {
+        // Cu: 8960 kg/m³ × 385 J/(kg·K) ≈ 3.45e6 J/(m³·K)
+        let cv = Density::new(8960.0) * SpecificHeat::new(385.0);
+        assert!((cv.value() - 3.4496e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn power_density_times_volume() {
+        let q = PowerDensity::new(1.0e15); // typical ESD-level Joule heating
+        let v = Area::from_um2(1.0) * Length::from_micrometers(100.0); // 1e-16 m³
+        let p = q * v;
+        assert!((p.to_milliwatts() - 100.0).abs() < 1e-6);
+    }
+}

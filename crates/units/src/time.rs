@@ -1,0 +1,103 @@
+//! Time and frequency.
+
+crate::quantity!(
+    /// Time interval. Canonical unit: second (s).
+    ///
+    /// ESD events live at the 1–200 ns scale; clock periods at the ~ns
+    /// scale. Nanosecond/picosecond constructors cover both.
+    Seconds,
+    "s",
+    "time"
+);
+
+impl Seconds {
+    /// Creates a duration from nanoseconds.
+    #[must_use]
+    pub fn from_nanos(ns: f64) -> Self {
+        Self::new(ns * 1e-9)
+    }
+
+    /// Creates a duration from picoseconds.
+    #[must_use]
+    pub fn from_picos(ps: f64) -> Self {
+        Self::new(ps * 1e-12)
+    }
+
+    /// Creates a duration from microseconds.
+    #[must_use]
+    pub fn from_micros(us: f64) -> Self {
+        Self::new(us * 1e-6)
+    }
+
+    /// The magnitude in nanoseconds.
+    #[must_use]
+    pub fn to_nanos(self) -> f64 {
+        self.value() * 1e9
+    }
+
+    /// The magnitude in picoseconds.
+    #[must_use]
+    pub fn to_picos(self) -> f64 {
+        self.value() * 1e12
+    }
+}
+
+crate::quantity!(
+    /// Frequency. Canonical unit: hertz (Hz).
+    Frequency,
+    "Hz",
+    "frequency"
+);
+
+impl Frequency {
+    /// Creates a frequency from megahertz.
+    #[must_use]
+    pub fn from_megahertz(mhz: f64) -> Self {
+        Self::new(mhz * 1e6)
+    }
+
+    /// Creates a frequency from gigahertz.
+    #[must_use]
+    pub fn from_gigahertz(ghz: f64) -> Self {
+        Self::new(ghz * 1e9)
+    }
+
+    /// The magnitude in gigahertz.
+    #[must_use]
+    pub fn to_gigahertz(self) -> f64 {
+        self.value() * 1e-9
+    }
+
+    /// The period of one cycle: `T = 1/f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the frequency is zero.
+    #[must_use]
+    pub fn period(self) -> Seconds {
+        debug_assert!(self.value() != 0.0, "zero frequency has no period");
+        Seconds::new(1.0 / self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nanosecond_round_trip() {
+        let t = Seconds::from_nanos(150.0);
+        assert!((t.to_nanos() - 150.0).abs() < 1e-9);
+        assert!((t.value() - 1.5e-7).abs() < 1e-20);
+    }
+
+    #[test]
+    fn frequency_period() {
+        let f = Frequency::from_megahertz(750.0);
+        let t = f.period();
+        assert!((t.to_nanos() - 4.0 / 3.0).abs() < 1e-9);
+        let f2 = Frequency::from_gigahertz(2.0);
+        assert!((f2.period().to_picos() - 500.0).abs() < 1e-6);
+        assert!((f2.to_gigahertz() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,88 @@
+//! Audit the ESD robustness of an I/O pad ring's interconnect — the
+//! paper's §6 concern: self-consistent wearout rules do **not** cover the
+//! single-pulse thermal failure of lines in ESD protection circuits and
+//! I/O buffers, which must be sized separately.
+//!
+//! Run with: `cargo run --example esd_io_audit`
+
+use hotwire::esd::{check_robustness, minimum_width, EsdOutcome, EsdStress};
+use hotwire::tech::{presets, Dielectric, Metal};
+use hotwire::thermal::impedance::{InsulatorStack, LineGeometry, QUASI_2D_PHI};
+use hotwire::units::{Celsius, Length, Seconds};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let um = Length::from_micrometers;
+    let tech = presets::ntrs_250nm();
+    let m1 = tech.layer("M1").expect("preset has M1");
+    let stack = InsulatorStack::single(m1.ild_below(), &Dielectric::oxide());
+    let ambient = Celsius::new(25.0).to_kelvin();
+
+    // 1. Audit a candidate pad-ring bus at several widths under the
+    //    qualification stresses.
+    let stresses = [
+        ("HBM 2 kV", EsdStress::human_body(2000.0)),
+        ("HBM 4 kV", EsdStress::human_body(4000.0)),
+        ("MM 200 V", EsdStress::machine(200.0)),
+        ("CDM 5 A", EsdStress::charged_device(5.0)),
+        ("TLP 1.5 A / 150 ns", EsdStress::tlp(1.5, Seconds::from_nanos(150.0))),
+    ];
+    for metal in [Metal::alcu(), Metal::copper()] {
+        println!("=== {} I/O bus, t_m = {:.2} µm ===", metal.name(), m1.thickness().to_micrometers());
+        println!("{:<20}{:>10}{:>14}{:>16}{:>12}", "stress", "W [µm]", "T_peak [°C]", "j_peak [MA/cm²]", "outcome");
+        for (name, stress) in &stresses {
+            for w in [2.0, 5.0, 10.0] {
+                let line = LineGeometry::new(um(w), m1.thickness(), um(150.0))?;
+                let v = check_robustness(&metal, line, &stack, QUASI_2D_PHI, ambient, stress)?;
+                println!(
+                    "{:<20}{:>10.1}{:>14.0}{:>16.1}{:>12}",
+                    name,
+                    w,
+                    v.peak_temperature.to_celsius().value(),
+                    v.peak_density.to_mega_amps_per_cm2(),
+                    match v.outcome {
+                        EsdOutcome::Pass => "pass",
+                        EsdOutcome::LatentDamage => "LATENT",
+                        EsdOutcome::OpenCircuit => "OPEN",
+                    }
+                );
+            }
+        }
+        // 2. The design rule: minimum safe width per stress.
+        println!("\nminimum widths for {}:", metal.name());
+        for (name, stress) in &stresses {
+            let w_open = minimum_width(
+                &metal,
+                m1.thickness(),
+                um(150.0),
+                &stack,
+                QUASI_2D_PHI,
+                ambient,
+                stress,
+                false,
+            )?;
+            let w_pristine = minimum_width(
+                &metal,
+                m1.thickness(),
+                um(150.0),
+                &stack,
+                QUASI_2D_PHI,
+                ambient,
+                stress,
+                true,
+            )?;
+            println!(
+                "  {:<20} survive ≥ {:>6.2} µm   no latent damage ≥ {:>6.2} µm",
+                name,
+                w_open.to_micrometers(),
+                w_pristine.to_micrometers()
+            );
+        }
+        println!();
+    }
+    println!(
+        "Reading: the ~60 MA/cm² open-circuit threshold of the paper's ref. [8] \
+         emerges at ESD time scales; Cu buys real margin; and the latent-damage \
+         rule is always the wider one."
+    );
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Sign off a power-distribution grid against the paper's "Power Lines
+//! (r = 1.0)" design rules: solve the mesh for IR drop and per-strap
+//! current densities, check them against the self-consistent limit for
+//! the strap's metal level, and fix violations by adding pads.
+//!
+//! Run with: `cargo run --example power_grid_signoff`
+
+use hotwire::circuit::power_grid::{PowerGrid, PowerGridSpec};
+use hotwire::core::rules::{DesignRuleSpec, DesignRuleTable, DutyCycleCase};
+use hotwire::tech::{presets, Dielectric};
+use hotwire::units::{Current, CurrentDensity, Resistance};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = presets::ntrs_250nm();
+    let strap_layer = tech.layer("M6").expect("six-level preset");
+    // straps are drawn 4× minimum width for power delivery
+    let strap_width = strap_layer.width() * 4.0;
+    let cross_section = strap_layer.cross_section_at_width(strap_width);
+    let pitch = hotwire::units::Length::from_micrometers(100.0);
+    let rho = tech.metal().resistivity(tech.reference_temperature());
+    let segment_r = rho.bar_resistance(pitch, cross_section);
+
+    // The thermally-aware EM limit for M6 power straps with HSQ gap fill:
+    let table = DesignRuleTable::generate(&DesignRuleSpec {
+        dielectrics: vec![Dielectric::hsq()],
+        duty_cycles: vec![DutyCycleCase::power()],
+        ..DesignRuleSpec::paper_defaults(&tech, 1, tech.metal().em().design_rule_j0)
+    })?;
+    let j_limit = table
+        .entry("Power Lines (r = 1.0)", "M6", "HSQ")
+        .expect("generated above")
+        .solution
+        .j_peak;
+    println!(
+        "M6 power-strap EM limit (self-consistent, r = 1.0, HSQ): {:.2} MA/cm²",
+        j_limit.to_mega_amps_per_cm2()
+    );
+    println!(
+        "strap: {:.1} µm wide, segment R = {:.3} Ω per {:.0} µm of pitch\n",
+        strap_width.to_micrometers(),
+        segment_r.value(),
+        pitch.to_micrometers()
+    );
+
+    let base = PowerGridSpec {
+        rows: 9,
+        cols: 9,
+        segment_resistance: Resistance::new(segment_r.value()),
+        strap_cross_section: cross_section,
+        vdd: tech.vdd(),
+        sink_per_node: Current::from_milliamps(3.0),
+        pads: vec![(0, 0)],
+    };
+
+    for (label, pads) in [
+        ("1 corner pad", vec![(0, 0)]),
+        ("4 corner pads", vec![(0, 0), (0, 8), (8, 0), (8, 8)]),
+        (
+            "4 corners + center pad",
+            vec![(0, 0), (0, 8), (8, 0), (8, 8), (4, 4)],
+        ),
+    ] {
+        let spec = PowerGridSpec {
+            pads,
+            ..base.clone()
+        };
+        let report = PowerGrid::build(&spec)?.analyze()?;
+        let worst = report.worst_segment();
+        let violations = report.violations(j_limit);
+        println!(
+            "{label:<24} IR drop {:>6.1} mV @ {:?}   worst strap {:>6.2} MA/cm² \
+             ({:?}→{:?})   {:>2} EM violations → {}",
+            report.worst_ir_drop.value() * 1e3,
+            report.worst_node,
+            worst.density.to_mega_amps_per_cm2(),
+            worst.from,
+            worst.to,
+            violations.len(),
+            if report.meets_rule(j_limit) { "SIGN-OFF" } else { "FIX PADS" },
+        );
+        let _ = CurrentDensity::ZERO;
+    }
+
+    println!(
+        "\nReading: a starved grid violates the thermally-aware EM rule near its \
+         single pad; spreading the same demand across five pads passes with \
+         margin — exactly the trade the r = 1.0 blocks of Tables 2–4 exist to \
+         police."
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: the paper's core question for one wire.
+//!
+//! Given a global Cu signal line on the top metal of the NTRS 0.25 µm
+//! process, what is its self-consistent operating temperature and the
+//! maximum peak current density it may carry — and how wrong would a
+//! designer be who applied the EM rule alone?
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hotwire::core::{rules::layer_stack, SelfConsistentProblem};
+use hotwire::tech::{presets, Dielectric};
+use hotwire::thermal::impedance::LineGeometry;
+use hotwire::units::Length;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = presets::ntrs_250nm();
+    let layer = tech.layer("M6").expect("0.25 µm preset has six levels");
+    println!(
+        "Technology {} — layer {} (W = {:.2} µm, t_m = {:.2} µm)",
+        tech.name(),
+        layer.name(),
+        layer.width().to_micrometers(),
+        layer.thickness().to_micrometers()
+    );
+
+    let line = LineGeometry::new(
+        layer.width(),
+        layer.thickness(),
+        Length::from_micrometers(1000.0),
+    )?;
+
+    println!("\n{:<12}{:>10}{:>16}{:>18}{:>12}", "dielectric", "duty r", "T_m [°C]", "j_peak [MA/cm²]", "EM-only ×");
+    for dielectric in [Dielectric::oxide(), Dielectric::hsq(), Dielectric::polyimide()] {
+        for r in [1.0, 0.1, 0.01] {
+            let problem = SelfConsistentProblem::builder()
+                .metal(tech.metal().clone())
+                .line(line)
+                .stack(layer_stack(&tech, layer.index(), &dielectric)?)
+                .duty_cycle(r)
+                .reference_temperature(tech.reference_temperature())
+                .build()?;
+            let sol = problem.solve()?;
+            let penalty = problem.em_only_peak() / sol.j_peak;
+            println!(
+                "{:<12}{:>10.2}{:>16.1}{:>18.2}{:>12.2}",
+                dielectric.name(),
+                r,
+                sol.metal_temperature.to_celsius().value(),
+                sol.j_peak.to_mega_amps_per_cm2(),
+                penalty,
+            );
+        }
+    }
+
+    println!(
+        "\nReading: at low duty cycles the self-consistent rule is up to ~2× \
+         tighter than the naive EM rule, and low-k gap fill tightens it further — \
+         the paper's central result."
+    );
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Plan optimally buffered global interconnect and cross-check the
+//! resulting currents against the thermal/EM design rules — the paper's
+//! §4 workflow (`j_peak-delay` vs `j_peak-self-consistent`).
+//!
+//! Run with: `cargo run --example repeater_planning`
+
+use hotwire::circuit::repeater::{optimal_design, simulate_repeater, RepeaterSimOptions};
+use hotwire::core::rules::{layer_stack, DesignRuleSpec, DesignRuleTable};
+use hotwire::tech::{presets, Dielectric, Technology};
+use hotwire::units::CurrentDensity;
+
+fn check_technology(tech: &Technology, dielectric: &Dielectric) -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "=== {} with {} gap fill ===",
+        tech.name(),
+        dielectric.name()
+    );
+    let tech = tech.clone().with_intra_level_dielectric(dielectric.clone());
+    let spec = DesignRuleSpec {
+        dielectrics: vec![dielectric.clone()],
+        ..DesignRuleSpec::paper_defaults(&tech, 2, tech.metal().em().design_rule_j0)
+    };
+    let limits = DesignRuleTable::generate(&spec)?;
+
+    println!(
+        "{:<7}{:>12}{:>9}{:>12}{:>14}{:>16}{:>16}{:>9}",
+        "layer", "l_opt [mm]", "s_opt", "r_eff", "slew (10-90)", "j_peak [MA/cm²]", "limit [MA/cm²]", "verdict"
+    );
+    let n = tech.layers().len();
+    for index in [n - 2, n - 1] {
+        let layer = tech.layer_at(index)?;
+        let design = optimal_design(&tech, index)?;
+        let report = simulate_repeater(&tech, index, RepeaterSimOptions::default())?;
+        let j_delay = report.j_peak();
+        let j_limit = limits
+            .entry("Signal Lines (r = 0.1)", layer.name(), dielectric.name())
+            .expect("limit computed above")
+            .solution
+            .j_peak;
+        let ok = j_delay < j_limit;
+        println!(
+            "{:<7}{:>12.2}{:>9.0}{:>12.3}{:>14.3}{:>16.2}{:>16.2}{:>9}",
+            layer.name(),
+            design.l_opt.value() * 1.0e3,
+            design.s_opt,
+            report.effective_duty_cycle,
+            report.relative_slew,
+            j_delay.to_mega_amps_per_cm2(),
+            j_limit.to_mega_amps_per_cm2(),
+            if ok { "OK" } else { "HOT" },
+        );
+        // Keep the unused binding meaningfully used:
+        let _ = CurrentDensity::ZERO;
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for tech in [presets::ntrs_250nm(), presets::ntrs_100nm()] {
+        // standard oxide, then a low-k candidate: watch the margin shrink.
+        check_technology(&tech, &Dielectric::oxide())?;
+        check_technology(&tech, &Dielectric::polyimide())?;
+    }
+    // And the thermal sanity of the layer stack used (for the curious):
+    let tech = presets::ntrs_250nm();
+    let stack = layer_stack(&tech, 5, &Dielectric::oxide())?;
+    println!(
+        "(M6 conduction path: {:.2} µm of dielectric to the substrate)",
+        stack.total_thickness().to_micrometers()
+    );
+    println!(
+        "Reading: delay-optimal currents stay below the self-consistent limits \
+         for oxide, but the margin narrows with low-k — the paper's §4 conclusion."
+    );
+    Ok(())
+}

@@ -1,0 +1,445 @@
+//! The `hotwire` command-line tool: thermally-aware interconnect
+//! design-rule queries from the shell.
+//!
+//! ```text
+//! hotwire solve    --tech ntrs-250 --layer M6 --dielectric HSQ --r 0.1
+//! hotwire rules    --tech ntrs-100 --j0 1.8e6 --levels 2
+//! hotwire sweep    --tech ntrs-250 --layer M6 --points 17        # CSV
+//! hotwire repeater --tech ntrs-250 --layer M6
+//! hotwire esd      --stress hbm:2000 --width-um 3 --metal alcu
+//! hotwire techfile --tech ntrs-250                               # dump
+//! ```
+//!
+//! `--tech` accepts the built-in presets (`ntrs-250`, `ntrs-100`,
+//! `ntrs-250-alcu`, `ntrs-100-alcu`) or a path to a tech file.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use hotwire::circuit::repeater::{optimal_design, simulate_repeater, RepeaterSimOptions};
+use hotwire::core::rules::{layer_stack, DesignRuleSpec, DesignRuleTable};
+use hotwire::core::signoff::{signoff, NetSpec, SignoffConfig};
+use hotwire::core::sweep::{duty_cycle_sweep, log_spaced};
+use hotwire::core::SelfConsistentProblem;
+use hotwire::esd::{check_robustness, EsdStress};
+use hotwire::tech::{format as techformat, presets, Dielectric, Metal, Technology};
+use hotwire::thermal::impedance::{InsulatorStack, LineGeometry, QUASI_2D_PHI};
+use hotwire::units::{Celsius, CurrentDensity, Length, Seconds};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        print_help();
+        return Ok(());
+    };
+    let opts = parse_flags(&args[1..])?;
+    match command.as_str() {
+        "solve" => cmd_solve(&opts),
+        "rules" => cmd_rules(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "repeater" => cmd_repeater(&opts),
+        "esd" => cmd_esd(&opts),
+        "signoff" => cmd_signoff(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "techfile" => cmd_techfile(&opts),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `hotwire help`)")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "hotwire — self-consistent EM + self-heating interconnect design rules\n\
+         (reproduction of Banerjee et al., DAC 1999)\n\n\
+         usage: hotwire <command> [--flag value]...\n\n\
+         commands:\n\
+           solve     one self-consistent solve for a layer\n\
+                     --tech <preset|path> --layer <name> [--dielectric <name>]\n\
+                     [--r <duty>] [--j0 <A/cm²>] [--length-um <L>] [--phi <φ>]\n\
+           rules     a Tables 2-4 style design-rule grid\n\
+                     --tech <preset|path> [--j0 <A/cm²>] [--levels <n>]\n\
+           sweep     Fig. 2 duty-cycle sweep as CSV on stdout\n\
+                     --tech <preset|path> --layer <name> [--points <n>]\n\
+           repeater  eq. (16)/(17) buffer plan + simulated currents\n\
+                     --tech <preset|path> --layer <name>\n\
+           esd       single-pulse robustness of a line\n\
+                     --stress hbm:<V>|mm:<V>|cdm:<A>|tlp:<A>:<ns> --width-um <W>\n\
+                     [--thickness-um <t>] [--metal cu|alcu]\n\
+           signoff   composite rule check of a net list (CSV)\n\
+                     --tech <preset|path> --nets <csv>\n\
+                     (columns: name,layer,width_um,length_um,duty_cycle,j_peak_ma_cm2)\n\
+           simulate  transient-simulate a SPICE-subset netlist\n\
+                     --netlist <path> --tstop <seconds> [--dt <seconds>]\n\
+                     [--probe <node>[,<node>...]] (CSV on stdout)\n\
+           techfile  dump a technology as a tech file\n\
+                     --tech <preset|path>\n\n\
+         presets: ntrs-250, ntrs-100, ntrs-250-alcu, ntrs-100-alcu"
+    );
+}
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got `{}`", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        map.insert(key.to_owned(), value.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn flag<'a>(opts: &'a Flags, key: &str) -> Result<&'a str, String> {
+    opts.get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+fn flag_or<'a>(opts: &'a Flags, key: &str, default: &'a str) -> &'a str {
+    opts.get(key).map_or(default, String::as_str)
+}
+
+fn parse_f64(opts: &Flags, key: &str, default: f64) -> Result<f64, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<f64>()
+            .map_err(|_| format!("--{key}: `{v}` is not a number")),
+    }
+}
+
+fn load_tech(opts: &Flags) -> Result<Technology, String> {
+    let spec = flag(opts, "tech")?;
+    match spec {
+        "ntrs-250" | "ntrs-0.25um" => Ok(presets::ntrs_250nm()),
+        "ntrs-100" | "ntrs-0.1um" => Ok(presets::ntrs_100nm()),
+        "ntrs-250-alcu" => Ok(presets::ntrs_250nm_alcu()),
+        "ntrs-100-alcu" => Ok(presets::ntrs_100nm_alcu()),
+        path => techformat::read_file(path).map_err(|e| e.to_string()),
+    }
+}
+
+fn pick_dielectric(opts: &Flags) -> Result<Dielectric, String> {
+    let name = flag_or(opts, "dielectric", "oxide");
+    Dielectric::builtin(name).ok_or_else(|| format!("unknown dielectric `{name}`"))
+}
+
+fn build_problem(opts: &Flags, tech: &Technology) -> Result<(SelfConsistentProblem, String), String> {
+    let layer_name = flag(opts, "layer")?;
+    let layer = tech
+        .layer(layer_name)
+        .ok_or_else(|| format!("technology has no layer `{layer_name}`"))?;
+    let dielectric = pick_dielectric(opts)?;
+    let r = parse_f64(opts, "r", 0.1)?;
+    let length = Length::from_micrometers(parse_f64(opts, "length-um", 1000.0)?);
+    let phi = parse_f64(opts, "phi", QUASI_2D_PHI)?;
+    let mut metal = tech.metal().clone();
+    if let Some(j0) = opts.get("j0") {
+        let v = j0
+            .parse::<f64>()
+            .map_err(|_| format!("--j0: `{j0}` is not a number"))?;
+        metal = metal.with_design_rule_j0(CurrentDensity::from_amps_per_cm2(v));
+    }
+    let problem = SelfConsistentProblem::builder()
+        .metal(metal)
+        .line(
+            LineGeometry::new(layer.width(), layer.thickness(), length)
+                .map_err(|e| e.to_string())?,
+        )
+        .stack(layer_stack(tech, layer.index(), &dielectric).map_err(|e| e.to_string())?)
+        .phi(phi)
+        .duty_cycle(r)
+        .reference_temperature(tech.reference_temperature())
+        .build()
+        .map_err(|e| e.to_string())?;
+    Ok((problem, format!("{layer_name}/{}", dielectric.name())))
+}
+
+fn cmd_solve(opts: &Flags) -> Result<(), String> {
+    let tech = load_tech(opts)?;
+    let (problem, label) = build_problem(opts, &tech)?;
+    let sol = problem.solve().map_err(|e| e.to_string())?;
+    println!("{} {label} @ r = {}", tech.name(), problem.duty_cycle());
+    println!("  T_m      = {:.2}", sol.metal_temperature.to_celsius());
+    println!("  ΔT       = {:.2}", sol.temperature_rise);
+    println!(
+        "  j_peak   = {:.3} MA/cm²   (EM-only would allow {:.3})",
+        sol.j_peak.to_mega_amps_per_cm2(),
+        problem.em_only_peak().to_mega_amps_per_cm2()
+    );
+    println!("  j_rms    = {:.3} MA/cm²", sol.j_rms.to_mega_amps_per_cm2());
+    println!("  j_avg    = {:.3} MA/cm²", sol.j_avg.to_mega_amps_per_cm2());
+    Ok(())
+}
+
+fn cmd_rules(opts: &Flags) -> Result<(), String> {
+    let tech = load_tech(opts)?;
+    let j0 = CurrentDensity::from_amps_per_cm2(parse_f64(opts, "j0", 6.0e5)?);
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let levels = parse_f64(opts, "levels", 2.0)? as usize;
+    let spec = DesignRuleSpec::paper_defaults(&tech, levels, j0);
+    let table = DesignRuleTable::generate(&spec).map_err(|e| e.to_string())?;
+    println!(
+        "{} — max allowed j_peak [MA/cm²], j0 = {:.2e} A/cm²\n",
+        tech.name(),
+        j0.to_amps_per_cm2()
+    );
+    print!("{table}");
+    Ok(())
+}
+
+fn cmd_sweep(opts: &Flags) -> Result<(), String> {
+    let tech = load_tech(opts)?;
+    let (problem, _) = build_problem(opts, &tech)?;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let points = parse_f64(opts, "points", 17.0)? as usize;
+    let rs = log_spaced(1.0e-4, 1.0, points.max(2));
+    let sweep = duty_cycle_sweep(&problem, &rs).map_err(|e| e.to_string())?;
+    println!("r,metal_temperature_c,j_peak_ma_cm2,em_only_peak_ma_cm2");
+    for p in sweep {
+        println!(
+            "{:.6e},{:.3},{:.4},{:.4}",
+            p.duty_cycle,
+            p.solution.metal_temperature.to_celsius().value(),
+            p.solution.j_peak.to_mega_amps_per_cm2(),
+            p.em_only_peak.to_mega_amps_per_cm2()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_repeater(opts: &Flags) -> Result<(), String> {
+    let tech = load_tech(opts)?;
+    let layer_name = flag(opts, "layer")?;
+    let layer = tech
+        .layer(layer_name)
+        .ok_or_else(|| format!("technology has no layer `{layer_name}`"))?;
+    let design = optimal_design(&tech, layer.index()).map_err(|e| e.to_string())?;
+    println!("{} {layer_name} — delay-optimal buffering:", tech.name());
+    println!(
+        "  l_opt = {:.2} mm, s_opt = {:.0}×min, est. stage delay {:.1} ps",
+        design.l_opt.value() * 1e3,
+        design.s_opt,
+        design.stage_delay * 1e12
+    );
+    let report = simulate_repeater(&tech, layer.index(), RepeaterSimOptions::default())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "  simulated: j_peak {:.2} MA/cm², j_rms {:.2} MA/cm², r_eff {:.3}, slew {:.3}",
+        report.j_peak().to_mega_amps_per_cm2(),
+        report.j_rms().to_mega_amps_per_cm2(),
+        report.effective_duty_cycle,
+        report.relative_slew
+    );
+    Ok(())
+}
+
+fn parse_stress(spec: &str) -> Result<EsdStress, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| -> Result<f64, String> {
+        s.parse::<f64>()
+            .map_err(|_| format!("`{s}` is not a number in stress spec `{spec}`"))
+    };
+    match parts.as_slice() {
+        ["hbm", v] => Ok(EsdStress::human_body(num(v)?)),
+        ["mm", v] => Ok(EsdStress::machine(num(v)?)),
+        ["cdm", a] => Ok(EsdStress::charged_device(num(a)?)),
+        ["tlp", a, ns] => Ok(EsdStress::tlp(num(a)?, Seconds::from_nanos(num(ns)?))),
+        _ => Err(format!(
+            "bad stress `{spec}` (expected hbm:<V>, mm:<V>, cdm:<A>, tlp:<A>:<ns>)"
+        )),
+    }
+}
+
+fn cmd_esd(opts: &Flags) -> Result<(), String> {
+    let stress = parse_stress(flag(opts, "stress")?)?;
+    let width = Length::from_micrometers(parse_f64(opts, "width-um", 3.0)?);
+    let thickness = Length::from_micrometers(parse_f64(opts, "thickness-um", 0.55)?);
+    let metal_name = flag_or(opts, "metal", "alcu");
+    let metal =
+        Metal::builtin(metal_name).ok_or_else(|| format!("unknown metal `{metal_name}`"))?;
+    let line = LineGeometry::new(width, thickness, Length::from_micrometers(150.0))
+        .map_err(|e| e.to_string())?;
+    let stack = InsulatorStack::single(
+        Length::from_micrometers(parse_f64(opts, "tox-um", 1.2)?),
+        &Dielectric::oxide(),
+    );
+    let verdict = check_robustness(
+        &metal,
+        line,
+        &stack,
+        QUASI_2D_PHI,
+        Celsius::new(parse_f64(opts, "ambient-c", 25.0)?).to_kelvin(),
+        &stress,
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "{} line {:.2} × {:.2} µm under {stress:?}:",
+        metal.name(),
+        width.to_micrometers(),
+        thickness.to_micrometers()
+    );
+    println!(
+        "  outcome {:?}, peak {:.0} °C, j_peak {:.1} MA/cm², EM lifetime ×{:.2}",
+        verdict.outcome,
+        verdict.peak_temperature.to_celsius().value(),
+        verdict.peak_density.to_mega_amps_per_cm2(),
+        verdict.em_lifetime_factor
+    );
+    Ok(())
+}
+
+fn parse_nets_csv(text: &str) -> Result<Vec<NetSpec>, String> {
+    let mut nets = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || (idx == 0 && line.starts_with("name")) {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').map(str::trim).collect();
+        if cols.len() != 6 {
+            return Err(format!(
+                "nets csv line {}: expected 6 columns, got {}",
+                idx + 1,
+                cols.len()
+            ));
+        }
+        let num = |k: usize| -> Result<f64, String> {
+            cols[k]
+                .parse::<f64>()
+                .map_err(|_| format!("nets csv line {}: `{}` is not a number", idx + 1, cols[k]))
+        };
+        nets.push(NetSpec {
+            name: cols[0].to_owned(),
+            layer: cols[1].to_owned(),
+            width: Length::from_micrometers(num(2)?),
+            length: Length::from_micrometers(num(3)?),
+            duty_cycle: num(4)?,
+            j_peak: CurrentDensity::from_mega_amps_per_cm2(num(5)?),
+        });
+    }
+    if nets.is_empty() {
+        return Err("nets csv contains no nets".to_owned());
+    }
+    Ok(nets)
+}
+
+fn cmd_signoff(opts: &Flags) -> Result<(), String> {
+    let tech = load_tech(opts)?;
+    let path = flag(opts, "nets")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let nets = parse_nets_csv(&text)?;
+    let mut config = SignoffConfig {
+        intra_dielectric: pick_dielectric(opts)?,
+        ..SignoffConfig::paper_defaults()
+    };
+    if let Some(j0) = opts.get("j0") {
+        let v = j0
+            .parse::<f64>()
+            .map_err(|_| format!("--j0: `{j0}` is not a number"))?;
+        config.j0 = CurrentDensity::from_amps_per_cm2(v);
+    }
+    let verdicts = signoff(&tech, &config, &nets).map_err(|e| e.to_string())?;
+    println!(
+        "{:<16}{:>8}{:>18}{:>14}{:>18}{:>10}",
+        "net", "layer", "allowed [MA/cm²]", "utilization", "governing", "verdict"
+    );
+    let mut failures = 0usize;
+    for (v, n) in verdicts.iter().zip(&nets) {
+        if !v.passes() {
+            failures += 1;
+        }
+        println!(
+            "{:<16}{:>8}{:>18.2}{:>14.2}{:>18}{:>10}",
+            v.net,
+            n.layer,
+            v.allowed_j_peak.to_mega_amps_per_cm2(),
+            v.utilization,
+            match v.governing {
+                hotwire::core::signoff::GoverningRule::SelfConsistent => "self-consistent",
+                hotwire::core::signoff::GoverningRule::ThermallyShort => "thermally-short",
+                hotwire::core::signoff::GoverningRule::BlechImmortal => "Blech-immortal",
+            },
+            if v.passes() { "pass" } else { "VIOLATION" },
+        );
+    }
+    if failures > 0 {
+        Err(format!("{failures} net(s) violate their rules"))
+    } else {
+        println!("all {} nets pass", verdicts.len());
+        Ok(())
+    }
+}
+
+fn cmd_simulate(opts: &Flags) -> Result<(), String> {
+    let path = flag(opts, "netlist")?;
+    let deck =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let parsed =
+        hotwire::circuit::parser::parse_netlist(&deck).map_err(|e| e.to_string())?;
+    let t_stop = flag(opts, "tstop")?
+        .parse::<f64>()
+        .map_err(|_| "--tstop must be a number in seconds".to_owned())?;
+    let dt = match opts.get("dt") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<f64>()
+                .map_err(|_| "--dt must be a number in seconds".to_owned())?,
+        ),
+    };
+    let probes: Vec<String> = match opts.get("probe") {
+        Some(list) => list.split(',').map(|s| s.trim().to_owned()).collect(),
+        None => parsed.node_names(),
+    };
+    let mut probe_ids = Vec::new();
+    for name in &probes {
+        let id = parsed
+            .node(name)
+            .ok_or_else(|| format!("netlist has no node `{name}`"))?;
+        probe_ids.push(id);
+    }
+    let result = hotwire::circuit::transient::simulate(
+        &parsed.circuit,
+        t_stop,
+        hotwire::circuit::transient::TransientOptions {
+            dt,
+            ..hotwire::circuit::transient::TransientOptions::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    println!("time_s,{}", probes.join(","));
+    for (k, t) in result.times.iter().enumerate() {
+        let mut row = format!("{t:.6e}");
+        for &id in &probe_ids {
+            row.push_str(&format!(",{:.6e}", result.voltage_at(id, k)));
+        }
+        println!("{row}");
+    }
+    Ok(())
+}
+
+fn cmd_techfile(opts: &Flags) -> Result<(), String> {
+    let tech = load_tech(opts)?;
+    print!("{}", techformat::serialize(&tech));
+    Ok(())
+}

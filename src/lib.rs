@@ -1,0 +1,71 @@
+//! # hotwire
+//!
+//! Self-consistent electromigration + self-heating design rules for deep
+//! sub-micron VLSI interconnects — a from-scratch Rust reproduction of
+//! *K. Banerjee, A. Mehrotra, A. Sangiovanni-Vincentelli, C. Hu, "On
+//! Thermal Effects in Deep Sub-Micron VLSI Interconnects", DAC 1999*.
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! | Module | Crate | What it holds |
+//! |---|---|---|
+//! | [`units`] | `hotwire-units` | typed physical quantities |
+//! | [`tech`] | `hotwire-tech` | materials, metal stacks, NTRS presets, tech files |
+//! | [`em`] | `hotwire-em` | waveform statistics, Black's equation, deratings |
+//! | [`thermal`] | `hotwire-thermal` | θ models, fin solutions, 2-D finite volumes, transients |
+//! | [`core`] | `hotwire-core` | the self-consistent solver + design-rule tables |
+//! | [`circuit`] | `hotwire-circuit` | MNA transient simulation, extraction, repeaters |
+//! | [`esd`] | `hotwire-esd` | ESD stress models and robustness rules |
+//!
+//! # Quickstart
+//!
+//! How hot does an optimally utilized global Cu line run, and how much
+//! peak current may it legally carry?
+//!
+//! ```
+//! use hotwire::core::SelfConsistentProblem;
+//! use hotwire::tech::{presets, Dielectric};
+//! use hotwire::thermal::impedance::LineGeometry;
+//! use hotwire::units::{CurrentDensity, Length};
+//!
+//! let tech = presets::ntrs_250nm();
+//! let m6 = tech.layer("M6").expect("six-level stack");
+//! let problem = SelfConsistentProblem::builder()
+//!     .metal(tech.metal().clone())
+//!     .line(LineGeometry::new(
+//!         m6.width(),
+//!         m6.thickness(),
+//!         Length::from_micrometers(1000.0),
+//!     )?)
+//!     .stack(hotwire::core::rules::layer_stack(
+//!         &tech,
+//!         m6.index(),
+//!         &Dielectric::oxide(),
+//!     )?)
+//!     .duty_cycle(0.1)
+//!     .build()?;
+//! let sol = problem.solve()?;
+//! assert!(sol.j_peak > CurrentDensity::from_mega_amps_per_cm2(1.0));
+//! println!(
+//!     "M6 signal lines: T_m = {:.1}, j_peak ≤ {:.2} MA/cm²",
+//!     sol.metal_temperature.to_celsius(),
+//!     sol.j_peak.to_mega_amps_per_cm2()
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See the `examples/` directory for complete workflows (design-rule
+//! tables, repeater planning with a thermal cross-check, ESD robustness
+//! audits) and `hotwire-bench`'s `repro` binary for the regeneration of
+//! every table and figure in the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hotwire_circuit as circuit;
+pub use hotwire_core as core;
+pub use hotwire_em as em;
+pub use hotwire_esd as esd;
+pub use hotwire_tech as tech;
+pub use hotwire_thermal as thermal;
+pub use hotwire_units as units;

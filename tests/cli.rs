@@ -1,0 +1,217 @@
+//! End-to-end tests of the `hotwire` CLI binary.
+
+use std::process::Command;
+
+fn hotwire(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hotwire"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_lists_commands() {
+    let (ok, stdout, _) = hotwire(&["help"]);
+    assert!(ok);
+    for cmd in ["solve", "rules", "sweep", "repeater", "esd", "techfile"] {
+        assert!(stdout.contains(cmd), "help must mention {cmd}");
+    }
+    // no args behaves like help
+    let (ok, stdout, _) = hotwire(&[]);
+    assert!(ok);
+    assert!(stdout.contains("usage"));
+}
+
+#[test]
+fn solve_reports_the_operating_point() {
+    let (ok, stdout, _) = hotwire(&[
+        "solve", "--tech", "ntrs-250", "--layer", "M6", "--dielectric", "HSQ", "--r", "0.1",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("M6/HSQ"));
+    assert!(stdout.contains("j_peak"));
+    assert!(stdout.contains("T_m"));
+}
+
+#[test]
+fn rules_prints_both_blocks() {
+    let (ok, stdout, _) = hotwire(&["rules", "--tech", "ntrs-100", "--j0", "1.8e6"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("Signal Lines (r = 0.1)"));
+    assert!(stdout.contains("Power Lines (r = 1.0)"));
+    assert!(stdout.contains("M8"));
+}
+
+#[test]
+fn sweep_emits_csv() {
+    let (ok, stdout, _) = hotwire(&[
+        "sweep", "--tech", "ntrs-250", "--layer", "M6", "--points", "5",
+    ]);
+    assert!(ok);
+    let lines: Vec<&str> = stdout.trim().lines().collect();
+    assert_eq!(lines[0], "r,metal_temperature_c,j_peak_ma_cm2,em_only_peak_ma_cm2");
+    assert_eq!(lines.len(), 6, "header + 5 points");
+    for line in &lines[1..] {
+        assert_eq!(line.split(',').count(), 4);
+    }
+}
+
+#[test]
+fn esd_classifies_a_narrow_line_as_failing() {
+    let (ok, stdout, _) = hotwire(&[
+        "esd", "--stress", "hbm:2000", "--width-um", "0.5", "--metal", "alcu",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("OpenCircuit"), "{stdout}");
+    let (ok, stdout, _) = hotwire(&[
+        "esd", "--stress", "hbm:2000", "--width-um", "20", "--metal", "alcu",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("Pass"), "{stdout}");
+}
+
+#[test]
+fn techfile_round_trips_through_the_cli() {
+    let (ok, dump, _) = hotwire(&["techfile", "--tech", "ntrs-250"]);
+    assert!(ok);
+    assert!(dump.contains("technology ntrs-0.25um-cu"));
+    // Write it out and load it back through --tech <path>.
+    let dir = std::env::temp_dir().join(format!("hotwire-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("dump.tech");
+    std::fs::write(&path, &dump).unwrap();
+    let (ok, stdout, stderr) = hotwire(&[
+        "solve",
+        "--tech",
+        path.to_str().unwrap(),
+        "--layer",
+        "M6",
+        "--r",
+        "0.1",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("j_peak"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn errors_are_reported_with_nonzero_exit() {
+    let (ok, _, stderr) = hotwire(&["solve", "--tech", "ntrs-250"]);
+    assert!(!ok);
+    assert!(stderr.contains("--layer"));
+    let (ok, _, stderr) = hotwire(&["bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+    let (ok, _, stderr) = hotwire(&["esd", "--stress", "zap:9000"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad stress"));
+    let (ok, _, stderr) = hotwire(&["solve", "--tech", "no-such-preset.tech", "--layer", "M1"]);
+    assert!(!ok);
+    assert!(stderr.contains("no-such-preset"));
+}
+
+#[test]
+fn signoff_reports_violations_with_nonzero_exit() {
+    let dir = std::env::temp_dir().join(format!("hotwire-signoff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("nets.csv");
+    std::fs::write(
+        &path,
+        "name,layer,width_um,length_um,duty_cycle,j_peak_ma_cm2\n\
+         bus,M6,1.2,4000,0.1,3.0\n\
+         jog,M2,0.4,3,0.3,8.0\n\
+         strap,M6,2.4,5000,1.0,2.0\n",
+    )
+    .unwrap();
+    let (ok, stdout, stderr) = hotwire(&[
+        "signoff",
+        "--tech",
+        "ntrs-250",
+        "--nets",
+        path.to_str().unwrap(),
+    ]);
+    assert!(!ok, "the strap violates its rule");
+    assert!(stdout.contains("Blech-immortal"), "{stdout}");
+    assert!(stdout.contains("VIOLATION"), "{stdout}");
+    assert!(stderr.contains("violate"), "{stderr}");
+
+    // Drop the violating strap: now everything passes, exit 0.
+    std::fs::write(
+        &path,
+        "name,layer,width_um,length_um,duty_cycle,j_peak_ma_cm2\nbus,M6,1.2,4000,0.1,3.0\n",
+    )
+    .unwrap();
+    let (ok, stdout, _) = hotwire(&[
+        "signoff",
+        "--tech",
+        "ntrs-250",
+        "--nets",
+        path.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("all 1 nets pass"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn signoff_rejects_malformed_csv() {
+    let dir = std::env::temp_dir().join(format!("hotwire-badcsv-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.csv");
+    std::fs::write(&path, "name,layer\nbus,M6\n").unwrap();
+    let (ok, _, stderr) = hotwire(&[
+        "signoff",
+        "--tech",
+        "ntrs-250",
+        "--nets",
+        path.to_str().unwrap(),
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("6 columns"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn simulate_runs_a_netlist_deck() {
+    let dir = std::env::temp_dir().join(format!("hotwire-sim-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("deck.sp");
+    std::fs::write(
+        &path,
+        "V1 in 0 DC 1.0\nR1 in out 1k\nC1 out 0 1n\n",
+    )
+    .unwrap();
+    let (ok, stdout, stderr) = hotwire(&[
+        "simulate",
+        "--netlist",
+        path.to_str().unwrap(),
+        "--tstop",
+        "1e-5",
+        "--probe",
+        "out",
+    ]);
+    assert!(ok, "{stderr}");
+    let lines: Vec<&str> = stdout.trim().lines().collect();
+    assert_eq!(lines[0], "time_s,out");
+    // final sample settles to the rail
+    let last: f64 = lines.last().unwrap().split(',').nth(1).unwrap().parse().unwrap();
+    assert!((last - 1.0).abs() < 1e-2, "settled to {last}");
+    // unknown probe is an error
+    let (ok, _, stderr) = hotwire(&[
+        "simulate",
+        "--netlist",
+        path.to_str().unwrap(),
+        "--tstop",
+        "1e-6",
+        "--probe",
+        "missing",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("missing"));
+    std::fs::remove_dir_all(&dir).ok();
+}

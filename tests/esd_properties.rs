@@ -1,0 +1,122 @@
+//! Property-based tests on the ESD stress models and robustness rules.
+
+use hotwire::esd::{check_robustness, EsdOutcome, EsdStress};
+use hotwire::tech::{Dielectric, Metal};
+use hotwire::thermal::impedance::{InsulatorStack, LineGeometry};
+use hotwire::units::{Celsius, Kelvin, Length, Seconds};
+use proptest::prelude::*;
+
+fn um(v: f64) -> Length {
+    Length::from_micrometers(v)
+}
+
+fn ambient() -> Kelvin {
+    Celsius::new(25.0).to_kelvin()
+}
+
+fn stack() -> InsulatorStack {
+    InsulatorStack::single(um(1.2), &Dielectric::oxide())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Stress waveforms never exceed their declared peak current and are
+    /// negligible by the end of the declared duration.
+    #[test]
+    fn stress_envelopes_hold(voltage in 250.0_f64..8000.0) {
+        for stress in [
+            EsdStress::human_body(voltage),
+            EsdStress::machine(voltage / 10.0),
+            EsdStress::charged_device(voltage / 400.0),
+            EsdStress::tlp(voltage / 1500.0, Seconds::from_nanos(100.0)),
+        ] {
+            let peak = stress.peak_current().value();
+            prop_assert!(peak > 0.0);
+            let dur = stress.duration();
+            let mut observed: f64 = 0.0;
+            for k in 0..=400 {
+                let t = Seconds::new(dur.value() * f64::from(k) / 400.0);
+                observed = observed.max(stress.current_at(t).value().abs());
+            }
+            prop_assert!(observed <= peak * 1.0001, "{stress:?}: {observed} > {peak}");
+            let tail = stress.current_at(dur).value().abs();
+            prop_assert!(tail <= 0.05 * peak, "{stress:?}: tail {tail}");
+        }
+    }
+
+    /// Monotonicity of the verdict in stress voltage: if a line fails at
+    /// some HBM voltage it must also fail at a higher one.
+    #[test]
+    fn verdict_monotone_in_voltage(
+        w in 0.5_f64..6.0,
+        v_low in 500.0_f64..3000.0,
+        factor in 1.3_f64..3.0,
+    ) {
+        let line = LineGeometry::new(um(w), um(0.55), um(120.0)).unwrap();
+        let rank = |v: f64| -> Result<i32, TestCaseError> {
+            let verdict = check_robustness(
+                &Metal::alcu(),
+                line,
+                &stack(),
+                2.45,
+                ambient(),
+                &EsdStress::human_body(v),
+            )
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            Ok(match verdict.outcome {
+                EsdOutcome::Pass => 2,
+                EsdOutcome::LatentDamage => 1,
+                EsdOutcome::OpenCircuit => 0,
+            })
+        };
+        let lo = rank(v_low)?;
+        let hi = rank(v_low * factor)?;
+        prop_assert!(hi <= lo, "higher stress cannot improve the verdict");
+    }
+
+    /// Peak temperature never drops when the line narrows at fixed stress.
+    #[test]
+    fn narrower_is_hotter(
+        v in 500.0_f64..4000.0,
+        w_wide in 4.0_f64..12.0,
+        shrink in 0.2_f64..0.8,
+    ) {
+        let check = |w: f64| -> Result<f64, TestCaseError> {
+            let line = LineGeometry::new(um(w), um(0.55), um(120.0)).unwrap();
+            check_robustness(
+                &Metal::alcu(),
+                line,
+                &stack(),
+                2.45,
+                ambient(),
+                &EsdStress::human_body(v),
+            )
+            .map(|verdict| verdict.peak_temperature.value())
+            .map_err(|e| TestCaseError::fail(e.to_string()))
+        };
+        let wide = check(w_wide)?;
+        let narrow = check(w_wide * shrink)?;
+        prop_assert!(narrow >= wide - 1e-6, "narrow {narrow} vs wide {wide}");
+    }
+
+    /// The EM lifetime factor is 1 for cool events and in (0, 1] always.
+    #[test]
+    fn lifetime_factor_bounds(v in 100.0_f64..6000.0, w in 0.5_f64..10.0) {
+        let line = LineGeometry::new(um(w), um(0.55), um(120.0)).unwrap();
+        let verdict = check_robustness(
+            &Metal::alcu(),
+            line,
+            &stack(),
+            2.45,
+            ambient(),
+            &EsdStress::human_body(v),
+        )
+        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert!(verdict.em_lifetime_factor > 0.0);
+        prop_assert!(verdict.em_lifetime_factor <= 1.0);
+        if verdict.peak_temperature.value() < 0.8 * Metal::alcu().melting_point().value() {
+            prop_assert!((verdict.em_lifetime_factor - 1.0).abs() < 1e-12);
+        }
+    }
+}

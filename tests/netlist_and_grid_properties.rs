@@ -1,0 +1,102 @@
+//! Property-based tests on the SPICE-subset netlist parser and the
+//! power-grid analyzer.
+
+use hotwire::circuit::parser::{parse_netlist, parse_value};
+use hotwire::circuit::power_grid::{PowerGrid, PowerGridSpec};
+use hotwire::units::{Area, Current, Resistance, Voltage};
+use proptest::prelude::*;
+
+proptest! {
+    /// The netlist parser never panics on arbitrary input.
+    #[test]
+    fn parser_is_panic_free(input in "\\PC*") {
+        let _ = parse_netlist(&input);
+    }
+
+    /// Values round-trip through the suffix notation.
+    #[test]
+    fn value_suffix_round_trip(
+        mantissa in 0.001_f64..999.0,
+        suffix_idx in 0usize..9,
+    ) {
+        let (suffix, mult) = [
+            ("f", 1.0e-15), ("p", 1.0e-12), ("n", 1.0e-9), ("u", 1.0e-6),
+            ("m", 1.0e-3), ("k", 1.0e3), ("meg", 1.0e6), ("g", 1.0e9),
+            ("t", 1.0e12),
+        ][suffix_idx];
+        let token = format!("{mantissa}{suffix}");
+        let v = parse_value(&token).unwrap();
+        let expect = mantissa * mult;
+        prop_assert!((v - expect).abs() <= 1e-12 * expect.abs());
+    }
+
+    /// A generated RC ladder deck parses back to the same topology.
+    #[test]
+    fn generated_deck_parses(
+        r_values in proptest::collection::vec(1.0_f64..1.0e6, 1..12),
+    ) {
+        let mut deck = String::from("V1 n0 0 DC 1.0\n");
+        for (k, r) in r_values.iter().enumerate() {
+            deck.push_str(&format!("R{k} n{k} n{} {r}\n", k + 1));
+            deck.push_str(&format!("C{k} n{} 0 1p\n", k + 1));
+        }
+        let p = parse_netlist(&deck).unwrap();
+        // nodes: n0..n{N}; devices: 1 source + N R + N C
+        prop_assert_eq!(p.circuit.node_count(), r_values.len() + 1);
+        prop_assert_eq!(p.circuit.devices().len(), 1 + 2 * r_values.len());
+        for k in 0..r_values.len() {
+            let name = format!("R{k}");
+            prop_assert!(p.device(&name).is_some(), "missing device {}", name);
+        }
+    }
+
+    /// Power-grid invariants across random sizes and pad placements:
+    /// every node droops (no overshoot), the worst droop is positive, and
+    /// adding a pad never makes the worst droop worse.
+    #[test]
+    fn power_grid_droop_invariants(
+        rows in 2usize..7,
+        cols in 2usize..7,
+        seg_r in 0.05_f64..5.0,
+        sink_ma in 0.05_f64..2.0,
+        pad_r in 0usize..7,
+        pad_c in 0usize..7,
+    ) {
+        let pad = (pad_r.min(rows - 1), pad_c.min(cols - 1));
+        let spec = PowerGridSpec {
+            rows,
+            cols,
+            segment_resistance: Resistance::new(seg_r),
+            strap_cross_section: Area::from_um2(1.0),
+            vdd: Voltage::new(2.5),
+            sink_per_node: Current::from_milliamps(sink_ma),
+            pads: vec![pad],
+        };
+        let report = PowerGrid::build(&spec).unwrap().analyze().unwrap();
+        prop_assert!(report.worst_ir_drop.value() > 0.0);
+        // adding the opposite corner as a second pad helps (or ties)
+        let opposite = (rows - 1 - pad.0, cols - 1 - pad.1);
+        if opposite != pad {
+            let spec2 = PowerGridSpec {
+                pads: vec![pad, opposite],
+                ..spec
+            };
+            let report2 = PowerGrid::build(&spec2).unwrap().analyze().unwrap();
+            prop_assert!(
+                report2.worst_ir_drop.value() <= report.worst_ir_drop.value() + 1e-9,
+                "two pads {} vs one pad {}",
+                report2.worst_ir_drop.value(),
+                report.worst_ir_drop.value()
+            );
+        }
+        // superposition: densities scale linearly with the sink current
+        let spec3 = PowerGridSpec {
+            sink_per_node: Current::from_milliamps(2.0 * sink_ma),
+            ..spec
+        };
+        let report3 = PowerGrid::build(&spec3).unwrap().analyze().unwrap();
+        let a = report.worst_segment().density.value();
+        let b = report3.worst_segment().density.value();
+        prop_assert!((b - 2.0 * a).abs() <= 1e-6 * b.max(1e-12));
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests of the design-rule engine over randomly
+//! generated (but physical) technologies: the paper's orderings must be
+//! *theorems* of the model, not accidents of the NTRS presets.
+
+use hotwire::core::rules::{layer_stack, DesignRuleSpec, DesignRuleTable, DutyCycleCase};
+use hotwire::tech::{Dielectric, DriverParams, Metal, Technology, TechnologyBuilder};
+use hotwire::units::{Capacitance, CurrentDensity, Frequency, Length, Resistance, Voltage};
+use proptest::prelude::*;
+
+fn um(v: f64) -> Length {
+    Length::from_micrometers(v)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn random_tech(
+    n_layers: usize,
+    w0: f64,
+    growth: f64,
+    aspect: f64,
+    ild: f64,
+    use_alcu: bool,
+) -> Technology {
+    let mut b = TechnologyBuilder::new("randtech", um(0.25))
+        .vdd(Voltage::new(2.5))
+        .clock(Frequency::from_megahertz(750.0))
+        .metal(if use_alcu { Metal::alcu() } else { Metal::copper() })
+        .dielectrics(Dielectric::oxide(), Dielectric::oxide())
+        .driver(DriverParams::new(
+            Resistance::new(10.0e3),
+            Capacitance::from_femtofarads(2.0),
+            Capacitance::from_femtofarads(2.0),
+        ));
+    let mut w = w0;
+    for i in 0..n_layers {
+        b = b
+            .layer(
+                format!("M{}", i + 1),
+                um(w),
+                um(2.0 * w),
+                um(aspect * w),
+                um(ild),
+            )
+            .expect("generated geometry is positive");
+        w *= growth;
+    }
+    b.build().expect("at least one layer")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// For any physical stack: the dielectric ordering, the level
+    /// ordering, and the signal-vs-power ordering all hold in the
+    /// generated table.
+    #[test]
+    fn paper_orderings_are_theorems(
+        n_layers in 2usize..7,
+        w0 in 0.2_f64..0.6,
+        growth in 1.05_f64..1.6,
+        aspect in 0.8_f64..1.8,
+        ild in 0.4_f64..1.2,
+        use_alcu in any::<bool>(),
+        j0_ma in 0.3_f64..2.0,
+    ) {
+        let tech = random_tech(n_layers, w0, growth, aspect, ild, use_alcu);
+        let spec = DesignRuleSpec::paper_defaults(
+            &tech,
+            2.min(n_layers),
+            CurrentDensity::from_mega_amps_per_cm2(j0_ma),
+        );
+        let table = DesignRuleTable::generate(&spec).unwrap();
+        let sig = "Signal Lines (r = 0.1)";
+        let pow = "Power Lines (r = 1.0)";
+        let mut layers: Vec<String> =
+            table.entries.iter().map(|e| e.layer.clone()).collect();
+        layers.dedup();
+        layers.sort();
+        layers.dedup();
+        for layer in &layers {
+            let ox = table.j_peak_ma_cm2(sig, layer, "oxide").unwrap();
+            let hsq = table.j_peak_ma_cm2(sig, layer, "HSQ").unwrap();
+            let poly = table.j_peak_ma_cm2(sig, layer, "polyimide").unwrap();
+            prop_assert!(ox >= hsq && hsq >= poly, "{layer}: {ox} {hsq} {poly}");
+            let p_ox = table.j_peak_ma_cm2(pow, layer, "oxide").unwrap();
+            prop_assert!(ox >= p_ox, "{layer}: signal {ox} vs power {p_ox}");
+            // power rule never exceeds the EM design rule itself
+            prop_assert!(p_ox <= j0_ma * (1.0 + 1e-9), "{layer}: {p_ox} vs j0 {j0_ma}");
+        }
+        // upper level allows ≤ the level below it (same dielectric):
+        if layers.len() == 2 {
+            let lower = table.j_peak_ma_cm2(sig, &layers[0], "oxide").unwrap();
+            let upper = table.j_peak_ma_cm2(sig, &layers[1], "oxide").unwrap();
+            prop_assert!(upper <= lower * (1.0 + 1e-9));
+        }
+    }
+
+    /// The layer stack builder is consistent with the technology's own
+    /// cumulative-thickness bookkeeping for any generated stack.
+    #[test]
+    fn layer_stack_matches_cumulative_thickness(
+        n_layers in 1usize..8,
+        w0 in 0.2_f64..0.5,
+        ild in 0.3_f64..1.5,
+    ) {
+        let tech = random_tech(n_layers, w0, 1.2, 1.0, ild, false);
+        for i in 0..n_layers {
+            let stack = layer_stack(&tech, i, &Dielectric::hsq()).unwrap();
+            let b = tech.underlying_dielectric_thickness(i);
+            prop_assert!(
+                (stack.total_thickness().value() - b.value()).abs() < 1e-15,
+                "layer {i}"
+            );
+        }
+    }
+
+    /// Custom duty-cycle cases interpolate sensibly: a case between the
+    /// signal and power duty cycles lands between their allowed peaks.
+    #[test]
+    fn intermediate_duty_cycle_is_bracketed(
+        r_mid in 0.15_f64..0.9,
+        w0 in 0.3_f64..0.6,
+    ) {
+        let tech = random_tech(3, w0, 1.3, 1.2, 0.7, false);
+        let spec = DesignRuleSpec {
+            duty_cycles: vec![
+                DutyCycleCase::signal(),
+                DutyCycleCase { label: "mid".into(), r: r_mid },
+                DutyCycleCase::power(),
+            ],
+            dielectrics: vec![Dielectric::oxide()],
+            ..DesignRuleSpec::paper_defaults(
+                &tech,
+                1,
+                CurrentDensity::from_amps_per_cm2(6.0e5),
+            )
+        };
+        let table = DesignRuleTable::generate(&spec).unwrap();
+        let layer = tech.top_layer().name();
+        let hi = table
+            .j_peak_ma_cm2("Signal Lines (r = 0.1)", layer, "oxide")
+            .unwrap();
+        let mid = table.j_peak_ma_cm2("mid", layer, "oxide").unwrap();
+        let lo = table
+            .j_peak_ma_cm2("Power Lines (r = 1.0)", layer, "oxide")
+            .unwrap();
+        prop_assert!(lo <= mid * (1.0 + 1e-9) && mid <= hi * (1.0 + 1e-9),
+            "{lo} ≤ {mid} ≤ {hi} expected");
+    }
+}

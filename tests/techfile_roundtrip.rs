@@ -1,0 +1,112 @@
+//! Property-based round-trip tests of the technology text format.
+
+use hotwire::tech::{format, Dielectric, DriverParams, Metal, TechnologyBuilder};
+use hotwire::units::{Capacitance, Frequency, Length, Resistance, Voltage};
+use proptest::prelude::*;
+
+fn um(v: f64) -> Length {
+    Length::from_micrometers(v)
+}
+
+proptest! {
+    /// Any technology assembled from physical (positive, ordered) values
+    /// survives serialize → parse with all quantities preserved to
+    /// floating-point noise.
+    #[test]
+    fn random_technology_round_trips(
+        feature in 0.05_f64..0.5,
+        vdd in 0.8_f64..5.0,
+        clock_ghz in 0.1_f64..5.0,
+        n_layers in 1usize..9,
+        w0 in 0.1_f64..0.5,
+        growth in 1.0_f64..1.8,
+        spacing_factor in 1.0_f64..2.5,
+        aspect in 0.8_f64..2.0,
+        ild in 0.3_f64..1.5,
+        use_alcu in any::<bool>(),
+        intra_hsq in any::<bool>(),
+    ) {
+        let mut b = TechnologyBuilder::new("proptech", um(feature))
+            .vdd(Voltage::new(vdd))
+            .clock(Frequency::from_gigahertz(clock_ghz))
+            .metal(if use_alcu { Metal::alcu() } else { Metal::copper() })
+            .dielectrics(
+                Dielectric::oxide(),
+                if intra_hsq { Dielectric::hsq() } else { Dielectric::oxide() },
+            )
+            .driver(DriverParams::new(
+                Resistance::new(9.0e3),
+                Capacitance::from_femtofarads(2.0),
+                Capacitance::from_femtofarads(1.5),
+            ));
+        let mut w = w0;
+        for i in 0..n_layers {
+            b = b
+                .layer(
+                    format!("M{}", i + 1),
+                    um(w),
+                    um(w * spacing_factor),
+                    um(w * aspect),
+                    um(ild),
+                )
+                .unwrap();
+            w *= growth;
+        }
+        let tech = b.build().unwrap();
+        let text = format::serialize(&tech);
+        let parsed = format::parse(&text).unwrap();
+
+        prop_assert_eq!(parsed.name(), tech.name());
+        prop_assert_eq!(parsed.layers().len(), tech.layers().len());
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-11 * a.abs().max(b.abs()).max(1e-30);
+        prop_assert!(close(parsed.vdd().value(), tech.vdd().value()));
+        prop_assert!(close(parsed.clock().value(), tech.clock().value()));
+        prop_assert!(close(
+            parsed.feature_size().value(),
+            tech.feature_size().value()
+        ));
+        prop_assert_eq!(parsed.metal().name(), tech.metal().name());
+        prop_assert_eq!(
+            parsed.intra_level_dielectric().name(),
+            tech.intra_level_dielectric().name()
+        );
+        for (a, b) in parsed.layers().iter().zip(tech.layers()) {
+            prop_assert_eq!(a.name(), b.name());
+            prop_assert!(close(a.width().value(), b.width().value()));
+            prop_assert!(close(a.pitch().value(), b.pitch().value()));
+            prop_assert!(close(a.thickness().value(), b.thickness().value()));
+            prop_assert!(close(a.ild_below().value(), b.ild_below().value()));
+        }
+        // Derived quantities agree too — the parsed tech is usable as-is.
+        for i in 0..tech.layers().len() {
+            prop_assert!(close(
+                parsed.underlying_dielectric_thickness(i).value(),
+                tech.underlying_dielectric_thickness(i).value()
+            ));
+        }
+        // Second cycle is textually stable.
+        let text2 = format::serialize(&parsed);
+        prop_assert_eq!(format::serialize(&format::parse(&text2).unwrap()), text2);
+    }
+
+    /// The parser never panics on arbitrary input — it returns errors.
+    #[test]
+    fn parser_is_panic_free(input in "\\PC*") {
+        let _ = format::parse(&input);
+    }
+
+    /// Line-noise after a valid prefix is rejected with a line number, not
+    /// accepted silently.
+    #[test]
+    fn junk_directive_rejected(word in "[a-z]{3,12}") {
+        prop_assume!(![
+            "technology", "vdd", "metal", "dielectric", "driver", "layer",
+        ]
+        .contains(&word.as_str()));
+        let text = format!("technology t\nfeature_size_um 0.25\n{word} 1 2\n");
+        match format::parse(&text) {
+            Err(hotwire::tech::TechError::Parse { line, .. }) => prop_assert_eq!(line, 3),
+            other => return Err(TestCaseError::fail(format!("expected parse error, got {other:?}"))),
+        }
+    }
+}

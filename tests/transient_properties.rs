@@ -1,0 +1,154 @@
+//! Property-based tests on the transient (ESD-scale) thermal solver.
+
+use hotwire::tech::{Dielectric, Metal};
+use hotwire::thermal::impedance::{InsulatorStack, LineGeometry};
+use hotwire::thermal::transient::TransientLine;
+use hotwire::units::{Celsius, CurrentDensity, Length, Seconds};
+use proptest::prelude::*;
+
+fn um(v: f64) -> Length {
+    Length::from_micrometers(v)
+}
+
+fn line_model(metal: Metal, w_um: f64, tox_um: f64) -> TransientLine {
+    let line = LineGeometry::new(um(w_um), um(0.55), um(100.0)).unwrap();
+    let stack = InsulatorStack::single(um(tox_um), &Dielectric::oxide());
+    TransientLine::new(metal, line, &stack, 2.45, Celsius::new(25.0).to_kelvin()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Below the critical density the line survives; a factor above it,
+    /// it melts open — the threshold is a genuine separator.
+    #[test]
+    fn critical_density_separates_outcomes(
+        w in 0.5_f64..4.0,
+        width_ns in 20.0_f64..300.0,
+    ) {
+        let model = line_model(Metal::alcu(), w, 1.2);
+        let pulse = Seconds::from_nanos(width_ns);
+        let j_crit = model.critical_density(pulse, 1e-3).unwrap();
+        let below = model
+            .simulate_square_pulse(j_crit * 0.90, pulse, 3000)
+            .unwrap();
+        prop_assert!(!below.failed(), "0.90·j_crit must survive");
+        let above = model
+            .simulate_square_pulse(j_crit * 1.10, pulse, 3000)
+            .unwrap();
+        prop_assert!(above.failed(), "1.10·j_crit must melt open");
+    }
+
+    /// The critical density is monotone non-increasing in pulse width.
+    #[test]
+    fn critical_density_monotone_in_width(
+        w in 0.5_f64..4.0,
+        t1 in 20.0_f64..100.0,
+        factor in 1.5_f64..5.0,
+    ) {
+        let model = line_model(Metal::alcu(), w, 1.2);
+        let j_short = model
+            .critical_density(Seconds::from_nanos(t1), 1e-3)
+            .unwrap();
+        let j_long = model
+            .critical_density(Seconds::from_nanos(t1 * factor), 1e-3)
+            .unwrap();
+        prop_assert!(j_long.value() <= j_short.value() * (1.0 + 1e-6));
+        // and bounded below by the heat-sunk steady-state (never reaches 0)
+        prop_assert!(j_long.to_mega_amps_per_cm2() > 1.0);
+    }
+
+    /// Peak temperature is monotone in drive and never exceeds melt.
+    #[test]
+    fn peak_temperature_monotone_and_bounded(
+        w in 0.5_f64..4.0,
+        j1 in 5.0_f64..30.0,
+        step in 1.2_f64..3.0,
+    ) {
+        let model = line_model(Metal::alcu(), w, 1.2);
+        let pulse = Seconds::from_nanos(100.0);
+        let a = model
+            .simulate_square_pulse(CurrentDensity::from_mega_amps_per_cm2(j1), pulse, 2000)
+            .unwrap();
+        let b = model
+            .simulate_square_pulse(
+                CurrentDensity::from_mega_amps_per_cm2(j1 * step),
+                pulse,
+                2000,
+            )
+            .unwrap();
+        prop_assert!(b.peak_temperature.value() >= a.peak_temperature.value() - 1e-9);
+        let melt = Metal::alcu().melting_point().value();
+        prop_assert!(a.peak_temperature.value() <= melt + 1e-9);
+        prop_assert!(b.peak_temperature.value() <= melt + 1e-9);
+    }
+
+    /// The heat-sunk model always outlasts the adiabatic bound: its
+    /// time-to-melt is ≥ the closed-form adiabatic time.
+    #[test]
+    fn conduction_only_extends_life(j_ma in 40.0_f64..90.0) {
+        let adiabatic = TransientLine::adiabatic(
+            Metal::alcu(),
+            LineGeometry::new(um(2.0), um(0.55), um(100.0)).unwrap(),
+            Celsius::new(25.0).to_kelvin(),
+        );
+        let sunk = line_model(Metal::alcu(), 2.0, 1.2);
+        let j = CurrentDensity::from_mega_amps_per_cm2(j_ma);
+        let t_ad = adiabatic.adiabatic_time_to_melt(j);
+        let window = Seconds::new(t_ad.value() * 4.0);
+        let sim = sunk.simulate_square_pulse(j, window, 6000).unwrap();
+        if let Some(t_fail) = sim.failed_at {
+            prop_assert!(
+                t_fail.value() >= t_ad.value() * 0.98,
+                "heat-sunk melt at {:.3e} s earlier than adiabatic {:.3e} s",
+                t_fail.value(),
+                t_ad.value()
+            );
+        }
+    }
+
+    /// Melt fraction is within [0, 1] and latent damage implies a peak at
+    /// the melting point.
+    #[test]
+    fn melt_bookkeeping_consistent(j_ma in 10.0_f64..120.0) {
+        let model = line_model(Metal::alcu(), 1.5, 1.2);
+        let sim = model
+            .simulate_square_pulse(
+                CurrentDensity::from_mega_amps_per_cm2(j_ma),
+                Seconds::from_nanos(150.0),
+                3000,
+            )
+            .unwrap();
+        prop_assert!((0.0..=1.0).contains(&sim.melt_fraction));
+        if sim.latent_damage() {
+            let melt = Metal::alcu().melting_point().value();
+            prop_assert!((sim.peak_temperature.value() - melt).abs() < 1.0);
+            prop_assert!(sim.melt_fraction < 1.0);
+        }
+        if sim.failed() {
+            prop_assert!((sim.melt_fraction - 1.0).abs() < 1e-9);
+            prop_assert!(sim.melt_onset.is_some());
+        }
+    }
+}
+
+/// Refining the time step converges the failure time.
+#[test]
+fn time_step_refinement_converges() {
+    let model = TransientLine::adiabatic(
+        Metal::alcu(),
+        LineGeometry::new(um(2.0), um(0.55), um(100.0)).unwrap(),
+        Celsius::new(25.0).to_kelvin(),
+    );
+    let j = CurrentDensity::from_mega_amps_per_cm2(70.0);
+    let t_ref = model.adiabatic_time_to_melt(j);
+    let window = Seconds::new(t_ref.value() * 2.0);
+    let mut errors = Vec::new();
+    for steps in [200, 2000, 20000] {
+        let sim = model.simulate_square_pulse(j, window, steps).unwrap();
+        let t = sim.failed_at.expect("melts").value();
+        errors.push((t - t_ref.value()).abs() / t_ref.value());
+    }
+    assert!(errors[2] <= errors[0], "refinement reduces error: {errors:?}");
+    assert!(errors[2] < 0.02, "fine step within 2 %: {errors:?}");
+}

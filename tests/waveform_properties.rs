@@ -1,0 +1,106 @@
+//! Property-based tests on current-waveform statistics — the identities
+//! of the paper's §2.1 must hold for *every* waveform, not just the
+//! rectangular pulses used in its illustrative analysis.
+
+use hotwire::em::{SampledWaveform, UnipolarPulse};
+use hotwire::units::{CurrentDensity, Seconds};
+use proptest::prelude::*;
+
+proptest! {
+    /// j_avg = r·j_peak and j_rms = √r·j_peak (eqs. 4–5), and the derived
+    /// eq. (6) j_avg² = r·j_rms², for all valid pulses.
+    #[test]
+    fn unipolar_identities(
+        peak in 1.0e3_f64..1.0e12,
+        r in 1.0e-6_f64..1.0,
+    ) {
+        let p = UnipolarPulse::new(CurrentDensity::new(peak), r).unwrap();
+        prop_assert!((p.average().value() - r * peak).abs() <= 1e-9 * peak);
+        prop_assert!((p.rms().value() - r.sqrt() * peak).abs() <= 1e-9 * peak);
+        let lhs = p.average().value().powi(2);
+        let rhs = r * p.rms().value().powi(2);
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * rhs.max(1e-300));
+        prop_assert!((p.stats().effective_duty_cycle() - r).abs() < 1e-9);
+    }
+
+    /// For arbitrary sampled waveforms: j_avg ≤ j_rms ≤ j_peak
+    /// (Cauchy–Schwarz) and r_eff ∈ (0, 1].
+    #[test]
+    fn sampled_ordering_and_duty_cycle(
+        samples in proptest::collection::vec(-1.0e10_f64..1.0e10, 4..64),
+        dt in 1.0e-12_f64..1.0e-6,
+    ) {
+        // Skip the identically-zero waveform (no meaningful statistics).
+        prop_assume!(samples.iter().any(|&v| v.abs() > 1.0));
+        let times: Vec<Seconds> = (0..samples.len())
+            .map(|k| Seconds::new(dt * k as f64))
+            .collect();
+        let densities: Vec<CurrentDensity> =
+            samples.iter().map(|&v| CurrentDensity::new(v)).collect();
+        let w = SampledWaveform::new(times, densities).unwrap();
+        let s = w.stats();
+        prop_assert!(s.is_consistent(), "avg {} rms {} peak {}",
+            s.average.value(), s.rms.value(), s.peak.value());
+        let r = s.effective_duty_cycle();
+        prop_assert!(r > 0.0 && r <= 1.0 + 1e-9, "r_eff = {r}");
+    }
+
+    /// Scaling a waveform scales all statistics linearly and leaves the
+    /// effective duty cycle unchanged.
+    #[test]
+    fn scaling_invariance(
+        samples in proptest::collection::vec(-1.0e8_f64..1.0e8, 4..32),
+        factor in 0.01_f64..100.0,
+    ) {
+        prop_assume!(samples.iter().any(|&v| v.abs() > 1.0));
+        let times: Vec<Seconds> = (0..samples.len())
+            .map(|k| Seconds::new(1.0e-9 * k as f64))
+            .collect();
+        let densities: Vec<CurrentDensity> =
+            samples.iter().map(|&v| CurrentDensity::new(v)).collect();
+        let w = SampledWaveform::new(times, densities).unwrap();
+        let w2 = w.scaled(factor);
+        let (a, b) = (w.stats(), w2.stats());
+        prop_assert!((b.peak.value() - factor * a.peak.value()).abs() <= 1e-9 * b.peak.value());
+        prop_assert!((b.rms.value() - factor * a.rms.value()).abs() <= 1e-9 * b.rms.value());
+        prop_assert!(
+            (a.effective_duty_cycle() - b.effective_duty_cycle()).abs() < 1e-9
+        );
+    }
+
+    /// Densifying the sampling of a smooth waveform converges its
+    /// statistics (trapezoidal integration is consistent).
+    #[test]
+    fn refinement_converges(freq_cycles in 1.0_f64..4.0) {
+        let period = Seconds::new(1.0e-9);
+        let f = |t: Seconds| {
+            CurrentDensity::new(
+                1.0e10 * (2.0 * std::f64::consts::PI * freq_cycles * t.value() / period.value()).sin().max(0.0)
+            )
+        };
+        let coarse = SampledWaveform::from_fn(period, 300, f).unwrap().stats();
+        let fine = SampledWaveform::from_fn(period, 3000, f).unwrap().stats();
+        prop_assert!((coarse.rms.value() - fine.rms.value()).abs() < 0.02 * fine.rms.value());
+        prop_assert!((coarse.average.value() - fine.average.value()).abs() < 0.02 * fine.average.value());
+    }
+}
+
+/// The effective duty cycle of a rectangular pulse approaches the
+/// geometric one as sampling refines — the bridge between §2.1's ideal
+/// analysis and §4's SPICE waveforms.
+#[test]
+fn sampled_rect_pulse_duty_cycle_matches_geometric() {
+    for r in [0.05, 0.1, 0.25, 0.5] {
+        let period = Seconds::new(1.0e-9);
+        let w = SampledWaveform::from_fn(period, 20_000, |t| {
+            if t.value() < r * period.value() {
+                CurrentDensity::new(1.0e10)
+            } else {
+                CurrentDensity::ZERO
+            }
+        })
+        .unwrap();
+        let r_eff = w.stats().effective_duty_cycle();
+        assert!((r_eff - r).abs() < 0.01, "r = {r}: r_eff = {r_eff}");
+    }
+}
