@@ -2,6 +2,8 @@
 //! every design-rule table — Figs. 2–3, Tables 2–4).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hotwire_circuit::linalg::Matrix;
+use hotwire_circuit::sparse::SparseMatrix;
 use hotwire_core::sweep::{duty_cycle_sweep, log_spaced};
 use hotwire_core::SelfConsistentProblem;
 use hotwire_tech::{Dielectric, Metal};
@@ -49,9 +51,11 @@ fn bench_random_geometry_scan(c: &mut Criterion) {
     let population: Vec<SelfConsistentProblem> = (0..64)
         .map(|_| {
             SelfConsistentProblem::builder()
-                .metal(Metal::copper().with_design_rule_j0(
-                    CurrentDensity::from_amps_per_cm2(rng.gen_range(3.0e5..2.0e6)),
-                ))
+                .metal(
+                    Metal::copper().with_design_rule_j0(CurrentDensity::from_amps_per_cm2(
+                        rng.gen_range(3.0e5..2.0e6),
+                    )),
+                )
                 .line(
                     LineGeometry::new(
                         um(rng.gen_range(0.3..4.0)),
@@ -86,10 +90,114 @@ fn bench_random_geometry_scan(c: &mut Criterion) {
     });
 }
 
+/// Stamps an `n × n` grid Laplacian (the structure of every power-grid
+/// and RC-mesh MNA system) into both matrix representations.
+fn stamp_grid_laplacian(n: usize) -> (Matrix, SparseMatrix) {
+    let unknowns = n * n;
+    let mut dense = Matrix::zeros(unknowns, unknowns);
+    let mut sparse = SparseMatrix::zeros(unknowns);
+    let at = |r: usize, c: usize| r * n + c;
+    let mut couple = |a: usize, b: usize, g: f64| {
+        for (r, c, v) in [(a, a, g), (b, b, g), (a, b, -g), (b, a, -g)] {
+            dense.add(r, c, v);
+            sparse.add(r, c, v);
+        }
+    };
+    for r in 0..n {
+        for c in 0..n {
+            if c + 1 < n {
+                couple(at(r, c), at(r, c + 1), 2.0);
+            }
+            if r + 1 < n {
+                couple(at(r, c), at(r + 1, c), 2.0);
+            }
+        }
+    }
+    for i in 0..unknowns {
+        dense.add(i, i, 0.05);
+        sparse.add(i, i, 0.05);
+    }
+    (dense, sparse)
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn grid_rhs(unknowns: usize) -> Vec<f64> {
+    (0..unknowns).map(|i| ((i % 7) as f64) - 3.0).collect()
+}
+
+/// Dense vs sparse one-shot solve on grid-shaped MNA systems. The dense
+/// side is capped at 24×24 (576 unknowns) — it is O(n⁶) in the grid edge
+/// and already the clear loser there.
+fn bench_dense_vs_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mna_lu_solve");
+    group.sample_size(10);
+    for n in [10usize, 16, 24] {
+        let (dense, sparse) = stamp_grid_laplacian(n);
+        let b = grid_rhs(n * n);
+        group.bench_with_input(BenchmarkId::new("dense", n), &(), |bench, ()| {
+            bench.iter(|| black_box(dense.solve(&b).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("sparse", n), &(), |bench, ()| {
+            bench.iter(|| black_box(sparse.factor().unwrap().solve(&b)));
+        });
+    }
+    for n in [50usize, 100] {
+        let (_, sparse) = stamp_grid_laplacian(n);
+        let b = grid_rhs(n * n);
+        group.bench_with_input(BenchmarkId::new("sparse", n), &(), |bench, ()| {
+            bench.iter(|| black_box(sparse.factor().unwrap().solve(&b)));
+        });
+    }
+    group.finish();
+}
+
+/// What factorization reuse buys per timestep: a fresh symbolic+numeric
+/// factor, a numeric-only refactor on the stored pattern, and a pure
+/// re-solve against an existing factorization.
+fn bench_factor_reuse(c: &mut Criterion) {
+    let n = 32usize;
+    let (dense, sparse) = stamp_grid_laplacian(n);
+    let b = grid_rhs(n * n);
+    let mut group = c.benchmark_group("factor_reuse_32x32");
+    group.sample_size(10);
+    group.bench_function("fresh_factor_and_solve", |bench| {
+        bench.iter(|| black_box(sparse.factor().unwrap().solve(&b)));
+    });
+    group.bench_function("refactor_and_solve", |bench| {
+        let mut f = sparse.factor().unwrap();
+        let mut x = Vec::new();
+        bench.iter(|| {
+            f.refactor(&sparse).unwrap();
+            f.solve_into(&b, &mut x);
+            black_box(x.last().copied())
+        });
+    });
+    group.bench_function("solve_only", |bench| {
+        let f = sparse.factor().unwrap();
+        let mut x = Vec::new();
+        bench.iter(|| {
+            f.solve_into(&b, &mut x);
+            black_box(x.last().copied())
+        });
+    });
+    group.bench_function("dense_solve_factored_only", |bench| {
+        let mut lu = dense.clone();
+        lu.factor().unwrap();
+        let mut x = Vec::new();
+        bench.iter(|| {
+            lu.solve_factored_into(&b, &mut x);
+            black_box(x.last().copied())
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_single_solve,
     bench_fig2_sweep,
-    bench_random_geometry_scan
+    bench_random_geometry_scan,
+    bench_dense_vs_sparse,
+    bench_factor_reuse
 );
 criterion_main!(benches);

@@ -14,11 +14,8 @@ fn bench_table_generation(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("table2_0_25um_full_grid", |b| {
         b.iter(|| {
-            let spec = DesignRuleSpec::paper_defaults(
-                &tech,
-                2,
-                CurrentDensity::from_amps_per_cm2(6.0e5),
-            );
+            let spec =
+                DesignRuleSpec::paper_defaults(&tech, 2, CurrentDensity::from_amps_per_cm2(6.0e5));
             black_box(DesignRuleTable::generate(&spec).unwrap())
         });
     });
@@ -65,7 +62,13 @@ fn bench_esd_critical_density(c: &mut Criterion) {
     let mut group = c.benchmark_group("esd");
     group.sample_size(10);
     group.bench_function("critical_density_150ns", |b| {
-        b.iter(|| black_box(model.critical_density(Seconds::from_nanos(150.0), 1e-3).unwrap()));
+        b.iter(|| {
+            black_box(
+                model
+                    .critical_density(Seconds::from_nanos(150.0), 1e-3)
+                    .unwrap(),
+            )
+        });
     });
     group.finish();
 }

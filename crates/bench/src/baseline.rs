@@ -1,0 +1,196 @@
+//! The **seed solver path**, preserved verbatim for benchmarking.
+//!
+//! Before the sparse solver and the direct DC formulation landed,
+//! `PowerGrid::analyze` ran a one-step transient over the full MNA
+//! system (voltage-source branches included) with a dense LU that
+//! re-cloned and re-pivoted the matrix on every Newton iteration, and
+//! the damped Newton update (±1 V per iteration) needed several
+//! iterations just to walk the pad nodes up to `vdd`. This module
+//! replays that exact algorithm so `BENCH_solver.json` and the criterion
+//! benches can report an honest before/after on identical inputs —
+//! nothing in the production crates calls it.
+
+use hotwire_circuit::linalg::Matrix;
+use hotwire_circuit::netlist::Device;
+use hotwire_circuit::power_grid::PowerGrid;
+use hotwire_circuit::CircuitError;
+
+/// Result of the seed-path DC solve: per-node voltages (1-based node ids
+/// map to `v[node-1]`) and the Newton iteration count it needed.
+pub struct SeedDcSolution {
+    /// Node voltages, indexed by `node - 1`.
+    pub v: Vec<f64>,
+    /// Newton iterations consumed (each one a full dense clone+factor).
+    pub iterations: usize,
+}
+
+/// Replays the seed's DC solve on a power grid's circuit: full MNA with
+/// branch currents, gmin, dense LU per damped-Newton iteration — the
+/// cost profile `PowerGrid::analyze` had at the seed commit.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::Singular`] exactly where the seed would have.
+///
+/// # Panics
+///
+/// Panics if the Newton loop fails to converge within 100 iterations
+/// (cannot happen for the resistive grids this is benchmarked on).
+pub fn seed_dense_dc_solve(grid: &PowerGrid) -> Result<SeedDcSolution, CircuitError> {
+    let circuit = grid.circuit();
+    let n_nodes = circuit.node_count();
+    let branch_of: Vec<Option<usize>> = {
+        let mut next = 0;
+        circuit
+            .devices()
+            .iter()
+            .map(|d| {
+                if matches!(d, Device::VoltageSource { .. }) {
+                    let b = next;
+                    next += 1;
+                    Some(b)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    };
+    let n_branches = branch_of.iter().flatten().count();
+    let n = n_nodes + n_branches;
+    let gmin = 1e-12;
+    let vtol = 1e-6;
+    let t = 1.0e-9; // the seed's single "transient" step time
+
+    let mut g = Matrix::zeros(n, n);
+    let mut rhs = vec![0.0; n];
+    let mut v = vec![0.0_f64; n];
+    for iteration in 1..=100 {
+        // Seed behavior: full restamp + full dense clone/pivot per
+        // iteration.
+        g.clear();
+        rhs.fill(0.0);
+        for node in 1..=n_nodes {
+            g.add(node - 1, node - 1, gmin);
+        }
+        for (di, dev) in circuit.devices().iter().enumerate() {
+            match dev {
+                Device::Resistor { a, b, ohms } => {
+                    let cond = 1.0 / ohms;
+                    if *a > 0 {
+                        g.add(a - 1, a - 1, cond);
+                    }
+                    if *b > 0 {
+                        g.add(b - 1, b - 1, cond);
+                    }
+                    if *a > 0 && *b > 0 {
+                        g.add(a - 1, b - 1, -cond);
+                        g.add(b - 1, a - 1, -cond);
+                    }
+                }
+                Device::VoltageSource {
+                    plus,
+                    minus,
+                    waveform,
+                } => {
+                    let br = n_nodes + branch_of[di].expect("vsrc branch");
+                    if *plus > 0 {
+                        g.add(plus - 1, br, 1.0);
+                        g.add(br, plus - 1, 1.0);
+                    }
+                    if *minus > 0 {
+                        g.add(minus - 1, br, -1.0);
+                        g.add(br, minus - 1, -1.0);
+                    }
+                    rhs[br] = waveform.at(t);
+                }
+                Device::CurrentSource {
+                    from,
+                    into,
+                    waveform,
+                } => {
+                    let i = waveform.at(t);
+                    if *from > 0 {
+                        rhs[from - 1] -= i;
+                    }
+                    if *into > 0 {
+                        rhs[into - 1] += i;
+                    }
+                }
+                Device::Capacitor { .. } | Device::Mosfet { .. } => {
+                    unreachable!("power grids are resistive")
+                }
+            }
+        }
+        let new_v = g.solve(&rhs)?;
+        let mut max_dv = 0.0_f64;
+        for (old, new) in v[..n_nodes].iter().zip(&new_v[..n_nodes]) {
+            max_dv = max_dv.max((old - new).abs());
+        }
+        for (slot, new) in v.iter_mut().zip(&new_v) {
+            let dv = new - *slot;
+            *slot += dv.clamp(-1.0, 1.0); // the seed's damping
+        }
+        if max_dv < vtol {
+            return Ok(SeedDcSolution {
+                v,
+                iterations: iteration,
+            });
+        }
+    }
+    panic!("seed Newton loop failed to converge on a resistive grid");
+}
+
+/// Convenience: the seed path's worst IR drop, for equivalence checks
+/// against the new `analyze()` in benches and tests.
+///
+/// # Errors
+///
+/// Propagates [`seed_dense_dc_solve`] failures.
+pub fn seed_worst_ir_drop(grid: &PowerGrid, vdd: f64) -> Result<f64, CircuitError> {
+    let sol = seed_dense_dc_solve(grid)?;
+    let n_nodes = grid.circuit().node_count();
+    let mut worst = 0.0_f64;
+    for node in 1..=n_nodes {
+        worst = worst.max(vdd - sol.v[node - 1]);
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotwire_circuit::power_grid::{PowerGrid, PowerGridSpec};
+    use hotwire_units::{Area, Current, Resistance, Voltage};
+
+    fn grid(n: usize) -> PowerGrid {
+        PowerGrid::build(&PowerGridSpec {
+            rows: n,
+            cols: n,
+            segment_resistance: Resistance::new(0.5),
+            strap_cross_section: Area::from_um2(1.44),
+            vdd: Voltage::new(2.5),
+            sink_per_node: Current::from_milliamps(0.4),
+            pads: vec![(0, 0), (0, n - 1), (n - 1, 0), (n - 1, n - 1)],
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn seed_path_agrees_with_new_direct_solve() {
+        let g = grid(8);
+        let seed_drop = seed_worst_ir_drop(&g, 2.5).unwrap();
+        let new_drop = g.analyze().unwrap().worst_ir_drop.value();
+        assert!(
+            (seed_drop - new_drop).abs() < 1e-6,
+            "seed {seed_drop} vs direct {new_drop}"
+        );
+    }
+
+    #[test]
+    fn seed_newton_needs_multiple_dense_factorizations() {
+        // Documents why the seed path was slow: ~4 full dense LU runs for
+        // a single DC answer at vdd = 2.5 V (1 V damping per iteration).
+        let sol = seed_dense_dc_solve(&grid(6)).unwrap();
+        assert!(sol.iterations >= 3, "got {}", sol.iterations);
+    }
+}

@@ -3,17 +3,25 @@
 //! ```text
 //! cargo run --release -p hotwire-bench --bin repro -- --experiment all
 //! cargo run --release -p hotwire-bench --bin repro -- --experiment fig2
+//! cargo run --release -p hotwire-bench --bin repro -- --jobs 4
 //! cargo run --release -p hotwire-bench --bin repro -- --list
 //! ```
+//!
+//! With more than one experiment selected and `--jobs > 1` (the default
+//! follows the machine's parallelism), experiments run as child
+//! processes of this same binary and their captured output is printed
+//! **in selection order** — byte-identical to a serial run.
 
 use std::process::ExitCode;
 
 use hotwire_bench::experiments;
+use rayon::prelude::*;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut selected: Vec<String> = Vec::new();
     let mut csv_dir: Option<String> = None;
+    let mut jobs: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -33,6 +41,17 @@ fn main() -> ExitCode {
                 selected.push(args[i + 1].clone());
                 i += 2;
             }
+            "--jobs" | "-j" => {
+                jobs = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0);
+                if jobs.is_none() {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+                i += 2;
+            }
             "--list" | "-l" => {
                 for id in experiments::ALL {
                     println!("{id}");
@@ -41,9 +60,11 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--experiment <id|all>]... [--csv <dir>] [--list]\n\
+                    "usage: repro [--experiment <id|all>]... [--jobs <n>] [--csv <dir>] [--list]\n\
                      regenerates the tables and figures of Banerjee et al., DAC 1999;\n\
-                     --csv additionally writes the figure data series as CSV files\n\
+                     --csv additionally writes the figure data series as CSV files;\n\
+                     --jobs bounds experiment-level parallelism (default: machine cores,\n\
+                     output order is deterministic either way)\n\
                      known experiments: {}",
                     experiments::ALL.join(", ")
                 );
@@ -54,6 +75,11 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if let Some(n) = jobs {
+        // Bounds both the experiment fan-out here and the sweep-level
+        // rayon parallelism inside each experiment (children inherit it).
+        std::env::set_var("RAYON_NUM_THREADS", n.to_string());
     }
     if let Some(dir) = &csv_dir {
         match hotwire_bench::csv_export::write_all(std::path::Path::new(dir)) {
@@ -70,6 +96,9 @@ fn main() -> ExitCode {
     if selected.is_empty() || selected.iter().any(|s| s == "all") {
         selected = experiments::ALL.iter().map(|s| (*s).to_owned()).collect();
     }
+    if selected.len() > 1 && rayon::current_num_threads() > 1 {
+        return run_parallel(&selected);
+    }
     for (k, id) in selected.iter().enumerate() {
         if k > 0 {
             println!("\n{}\n", "=".repeat(78));
@@ -80,4 +109,45 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Runs each experiment as `repro --experiment <id>` child process and
+/// relays the captured output in selection order, so the bytes on stdout
+/// match a serial in-process run.
+fn run_parallel(selected: &[String]) -> ExitCode {
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot locate own executable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outputs: Vec<std::io::Result<std::process::Output>> = selected
+        .par_iter()
+        .map(|id| {
+            std::process::Command::new(&exe)
+                .args(["--experiment", id])
+                .output()
+        })
+        .collect();
+    let mut code = ExitCode::SUCCESS;
+    for (k, (id, out)) in selected.iter().zip(&outputs).enumerate() {
+        if k > 0 {
+            println!("\n{}\n", "=".repeat(78));
+        }
+        match out {
+            Ok(out) => {
+                print!("{}", String::from_utf8_lossy(&out.stdout));
+                eprint!("{}", String::from_utf8_lossy(&out.stderr));
+                if !out.status.success() {
+                    code = ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("experiment `{id}` failed to spawn: {e}");
+                code = ExitCode::FAILURE;
+            }
+        }
+    }
+    code
 }

@@ -1,0 +1,199 @@
+//! Measures the power-grid DC solve before/after the sparse solver and
+//! writes the machine-readable baseline `BENCH_solver.json`.
+//!
+//! ```text
+//! cargo run --release -p hotwire-bench --bin solver_baseline
+//! cargo run --release -p hotwire-bench --bin solver_baseline -- --out BENCH_solver.json
+//! ```
+//!
+//! "Seed" is the dense damped-Newton path replayed by
+//! [`hotwire_bench::baseline`]; "direct" is the current
+//! `PowerGrid::analyze`. The seed path is *measured* up to 30×30 and
+//! n⁶-extrapolated beyond (dense LU is cubic in the matrix dimension,
+//! and the matrix dimension is the squared grid edge) — each entry says
+//! which, so nobody mistakes a model for a measurement.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use hotwire_bench::baseline;
+use hotwire_circuit::power_grid::{PowerGrid, PowerGridSpec};
+use hotwire_units::{Area, Current, Resistance, Voltage};
+
+/// Largest grid edge where the seed path is timed rather than modeled.
+const SEED_MEASURE_CAP: usize = 30;
+
+/// Grid sizes reported in the baseline file.
+const SIZES: [usize; 5] = [10, 20, 50, 100, 200];
+
+fn power_grid(n: usize) -> PowerGrid {
+    PowerGrid::build(&PowerGridSpec {
+        rows: n,
+        cols: n,
+        segment_resistance: Resistance::new(0.5),
+        strap_cross_section: Area::from_um2(1.44),
+        vdd: Voltage::new(2.5),
+        sink_per_node: Current::from_milliamps(0.4),
+        pads: vec![(0, 0), (0, n - 1), (n - 1, 0), (n - 1, n - 1)],
+    })
+    .expect("valid grid spec")
+}
+
+/// Median wall time of `reps` runs of `f`, after one warmup run.
+fn median_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1.0e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+struct Row {
+    grid: usize,
+    unknowns: usize,
+    seed_ms: f64,
+    seed_source: &'static str,
+    direct_ms: f64,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_solver.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" | "-o" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+                out_path.clone_from(&args[i + 1]);
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: solver_baseline [--out <path>]\n\
+                     times the seed dense DC path vs the direct sparse path on\n\
+                     square power grids and writes a JSON baseline (default:\n\
+                     BENCH_solver.json in the current directory)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Sanity anchor: both paths must agree before we compare their cost.
+    {
+        let g = power_grid(10);
+        let seed = baseline::seed_worst_ir_drop(&g, 2.5).expect("seed path solves 10x10");
+        let direct = g
+            .analyze()
+            .expect("direct path solves 10x10")
+            .worst_ir_drop
+            .value();
+        assert!(
+            (seed - direct).abs() < 1e-6,
+            "seed ({seed}) and direct ({direct}) disagree; refusing to benchmark"
+        );
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // The extrapolation anchor: largest grid where the seed path is still
+    // cheap enough to time. Measured first and included in the file even
+    // though SIZES skips it, so the anchor is visible next to the model.
+    let anchor_ms = {
+        let n = SEED_MEASURE_CAP;
+        let grid = power_grid(n);
+        let seed_ms = median_ms(3, || {
+            let _ = baseline::seed_dense_dc_solve(&grid).expect("seed solve");
+        });
+        let direct_ms = median_ms(5, || {
+            let _ = grid.analyze().expect("direct solve");
+        });
+        eprintln!("{n:>4}x{n:<4} direct {direct_ms:>12.3} ms   seed {seed_ms:>14.1} ms (measured, anchor)");
+        rows.push(Row {
+            grid: n,
+            unknowns: n * n - 4,
+            seed_ms,
+            seed_source: "measured",
+            direct_ms,
+        });
+        seed_ms
+    };
+
+    for n in SIZES {
+        let grid = power_grid(n);
+        let unknowns = n * n - 4; // pad corners are eliminated
+        let reps = if n >= 100 { 3 } else { 5 };
+        let direct_ms = median_ms(reps, || {
+            let _ = grid.analyze().expect("direct solve");
+        });
+        let (seed_ms, seed_source) = if n <= SEED_MEASURE_CAP {
+            let ms = median_ms(3, || {
+                let _ = baseline::seed_dense_dc_solve(&grid).expect("seed solve");
+            });
+            (ms, "measured")
+        } else {
+            // Dense LU is O(d³) in the matrix dimension d ≈ n², so the
+            // seed cost scales as (n/anchor)⁶ from the measured anchor.
+            #[allow(clippy::cast_precision_loss)]
+            let scale = (n as f64 / SEED_MEASURE_CAP as f64).powi(6);
+            (anchor_ms * scale, "extrapolated_n6")
+        };
+        eprintln!(
+            "{n:>4}x{n:<4} direct {direct_ms:>12.3} ms   seed {seed_ms:>14.1} ms ({seed_source})"
+        );
+        rows.push(Row {
+            grid: n,
+            unknowns,
+            seed_ms,
+            seed_source,
+            direct_ms,
+        });
+    }
+    rows.sort_by_key(|r| r.grid);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"benchmark\": \"PowerGrid::analyze (DC IR-drop solve, square grid, 4 corner pads)\",\n",
+    );
+    json.push_str("  \"before\": \"seed path: dense MNA with vsrc branches, full clone+pivot LU per damped-Newton iteration (hotwire_bench::baseline replica)\",\n");
+    json.push_str("  \"after\": \"direct DC solve, pads eliminated, sparse LU above 128 unknowns, single factorization\",\n");
+    json.push_str("  \"machine\": \"container, 1 CPU core; medians of 3-5 runs after warmup\",\n");
+    json.push_str(&format!(
+        "  \"seed_measure_cap\": {SEED_MEASURE_CAP},\n  \"seed_extrapolation\": \"sizes above the cap scale the last measured seed time by (n/{SEED_MEASURE_CAP})^6 (dense LU is cubic in the n^2 matrix dimension); they are a model, not a measurement\",\n"
+    ));
+    json.push_str("  \"sizes\": [\n");
+    for (k, r) in rows.iter().enumerate() {
+        let speedup = r.seed_ms / r.direct_ms;
+        json.push_str(&format!(
+            "    {{\"grid\": \"{n}x{n}\", \"unknowns\": {u}, \"seed_ms\": {s:.3}, \"seed_source\": \"{src}\", \"direct_ms\": {d:.3}, \"speedup\": {sp:.1}}}{comma}\n",
+            n = r.grid,
+            u = r.unknowns,
+            s = r.seed_ms,
+            src = r.seed_source,
+            d = r.direct_ms,
+            sp = speedup,
+            comma = if k + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

@@ -26,8 +26,7 @@ pub fn write_all(dir: &Path) -> Result<Vec<String>, String> {
 }
 
 fn create(dir: &Path, name: &str) -> Result<std::fs::File, String> {
-    std::fs::File::create(dir.join(name))
-        .map_err(|e| format!("cannot create {name}: {e}"))
+    std::fs::File::create(dir.join(name)).map_err(|e| format!("cannot create {name}: {e}"))
 }
 
 fn write_fig2(dir: &Path) -> Result<String, String> {

@@ -90,20 +90,15 @@ fn short_line_and_blech() -> Result<(), CoreError> {
                     .with_design_rule_j0(CurrentDensity::from_amps_per_cm2(6.0e5)),
             )
             .line(
-                LineGeometry::new(
-                    m4.width(),
-                    m4.thickness(),
-                    Length::from_micrometers(l_um),
-                )
-                .map_err(CoreError::Thermal)?,
+                LineGeometry::new(m4.width(), m4.thickness(), Length::from_micrometers(l_um))
+                    .map_err(CoreError::Thermal)?,
             )
             .stack(stack.clone())
             .duty_cycle(0.1)
             .build()?;
         let base = problem.solve()?;
         let fin = solve_with_fin_correction(&problem, &stack)?;
-        let blech_floor =
-            blech.immortality_density(Length::from_micrometers(l_um));
+        let blech_floor = blech.immortality_density(Length::from_micrometers(l_um));
         // Blech works on the average density; express as the peak it implies.
         let blech_peak = blech_floor / 0.1;
         let governing = if blech_peak > fin.solution.j_peak {

@@ -28,7 +28,10 @@ pub fn run() -> Result<(), CoreError> {
         header.push(format!("T_m@j0={:.1} [°C]", s.j0.to_mega_amps_per_cm2()));
     }
     for s in &series {
-        header.push(format!("jpk@j0={:.1} [MA/cm²]", s.j0.to_mega_amps_per_cm2()));
+        header.push(format!(
+            "jpk@j0={:.1} [MA/cm²]",
+            s.j0.to_mega_amps_per_cm2()
+        ));
     }
     let rows: Vec<Vec<String>> = (0..rs.len())
         .map(|i| {
@@ -51,8 +54,8 @@ pub fn run() -> Result<(), CoreError> {
     print!("{}", render_table(&header, &rows));
 
     // Shape check: 4× j0 buys much less than 4× j_peak at r = 1e-4.
-    let gain_small_r = series[3].points[0].solution.j_peak.value()
-        / series[0].points[0].solution.j_peak.value();
+    let gain_small_r =
+        series[3].points[0].solution.j_peak.value() / series[0].points[0].solution.j_peak.value();
     let gain_large_r = series[3].points[rs.len() - 1].solution.j_peak.value()
         / series[0].points[rs.len() - 1].solution.j_peak.value();
     println!(

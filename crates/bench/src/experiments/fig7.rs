@@ -96,9 +96,7 @@ mod tests {
     #[test]
     fn ascii_plot_marks_peak_and_axis() {
         let w = hotwire_em::SampledWaveform::from_fn(Seconds::new(1.0e-9), 64, |t| {
-            CurrentDensity::new(
-                1.0e10 * (2.0 * std::f64::consts::PI * t.value() / 1.0e-9).sin(),
-            )
+            CurrentDensity::new(1.0e10 * (2.0 * std::f64::consts::PI * t.value() / 1.0e-9).sin())
         })
         .unwrap();
         let plot = ascii_waveform(&w, 32, 8);

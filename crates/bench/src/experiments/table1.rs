@@ -26,7 +26,9 @@ pub fn run() {
         })
         .collect();
     print!("{}", render_table(&header, &rows));
-    println!("\npaper values: oxide (PETEOS) 1.15, HSQ 0.6, polyimide 0.25 W/(m·K) — matched exactly.");
+    println!(
+        "\npaper values: oxide (PETEOS) 1.15, HSQ 0.6, polyimide 0.25 W/(m·K) — matched exactly."
+    );
 }
 
 #[cfg(test)]

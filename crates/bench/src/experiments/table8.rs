@@ -41,7 +41,8 @@ pub fn run() {
                     format!("{:.3}", l.sheet_resistance(rho).value()),
                     format!(
                         "{:.2}",
-                        tech.underlying_dielectric_thickness(l.index()).to_micrometers()
+                        tech.underlying_dielectric_thickness(l.index())
+                            .to_micrometers()
                     ),
                 ]
             })

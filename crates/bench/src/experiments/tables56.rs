@@ -34,8 +34,10 @@ pub fn run(which: usize) -> Result<(), CircuitError> {
     } else {
         "Table 6 — optimized buffers/interconnect, 0.1 µm Cu, ε_r = 2.0"
     };
-    println!("{label}\n(per layer, simulated at the across-chip clock of {:.2} GHz)\n",
-        tech.clock().to_gigahertz());
+    println!(
+        "{label}\n(per layer, simulated at the across-chip clock of {:.2} GHz)\n",
+        tech.clock().to_gigahertz()
+    );
     let header = vec![
         "layer".to_owned(),
         "r [kΩ/mm]".to_owned(),
@@ -51,9 +53,11 @@ pub fn run(which: usize) -> Result<(), CircuitError> {
     let n = tech.layers().len();
     // The top three layers carry the buffered global wiring.
     for index in (n.saturating_sub(3))..n {
-        let layer = tech.layer_at(index).map_err(|e| CircuitError::InvalidDevice {
-            message: e.to_string(),
-        })?;
+        let layer = tech
+            .layer_at(index)
+            .map_err(|e| CircuitError::InvalidDevice {
+                message: e.to_string(),
+            })?;
         let ext = extract_layer(&tech, index)?;
         let design = optimal_design(&tech, index)?;
         let report = simulate_repeater(&tech, index, RepeaterSimOptions::default())?;

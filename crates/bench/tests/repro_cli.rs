@@ -19,8 +19,8 @@ fn list_names_every_experiment() {
     let (ok, stdout, _) = repro(&["--list"]);
     assert!(ok);
     for id in [
-        "fig2", "fig3", "fig5", "fig7", "table1", "table2", "table3", "table4", "table5",
-        "table6", "table7", "table8", "esd", "ablation",
+        "fig2", "fig3", "fig5", "fig7", "table1", "table2", "table3", "table4", "table5", "table6",
+        "table7", "table8", "esd", "ablation",
     ] {
         assert!(stdout.lines().any(|l| l == id), "missing {id}");
     }

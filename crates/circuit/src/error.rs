@@ -60,8 +60,12 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(CircuitError::Singular { row: 3 }.to_string().contains("row 3"));
-        assert!(CircuitError::UnknownNode { node: 7 }.to_string().contains('7'));
+        assert!(CircuitError::Singular { row: 3 }
+            .to_string()
+            .contains("row 3"));
+        assert!(CircuitError::UnknownNode { node: 7 }
+            .to_string()
+            .contains('7'));
     }
 
     #[test]

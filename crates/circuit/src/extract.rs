@@ -17,7 +17,9 @@
 //! tension).
 
 use hotwire_tech::Technology;
-use hotwire_units::{consts::VACUUM_PERMITTIVITY_F_PER_M, CapacitancePerLength, ResistancePerLength};
+use hotwire_units::{
+    consts::VACUUM_PERMITTIVITY_F_PER_M, CapacitancePerLength, ResistancePerLength,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::rcline::LineParams;
@@ -65,7 +67,10 @@ impl ExtractedLayer {
 ///
 /// Returns [`CircuitError::InvalidDevice`] for an out-of-range layer
 /// index.
-pub fn extract_layer(tech: &Technology, layer_index: usize) -> Result<ExtractedLayer, CircuitError> {
+pub fn extract_layer(
+    tech: &Technology,
+    layer_index: usize,
+) -> Result<ExtractedLayer, CircuitError> {
     let layer = tech
         .layer_at(layer_index)
         .map_err(|e| CircuitError::InvalidDevice {
@@ -85,8 +90,7 @@ pub fn extract_layer(tech: &Technology, layer_index: usize) -> Result<ExtractedL
         VACUUM_PERMITTIVITY_F_PER_M * tech.intra_level_dielectric().relative_permittivity();
 
     let c_ground = CapacitancePerLength::new(eps_inter * sakurai_ground(w / h, t / h));
-    let c_coupling =
-        CapacitancePerLength::new(eps_intra * sakurai_coupling(w / h, t / h, s / h));
+    let c_coupling = CapacitancePerLength::new(eps_intra * sakurai_coupling(w / h, t / h, s / h));
     Ok(ExtractedLayer {
         r,
         c_ground,
@@ -113,8 +117,8 @@ pub fn sakurai_ground(w_over_h: f64, t_over_h: f64) -> f64 {
 /// Clamped at zero for very wide spacings where the fit goes negative.
 #[must_use]
 pub fn sakurai_coupling(w_over_h: f64, t_over_h: f64, s_over_h: f64) -> f64 {
-    let c = (0.03 * w_over_h + 0.83 * t_over_h - 0.07 * t_over_h.powf(0.222))
-        * s_over_h.powf(-1.34);
+    let c =
+        (0.03 * w_over_h + 0.83 * t_over_h - 0.07 * t_over_h.powf(0.222)) * s_over_h.powf(-1.34);
     c.max(0.0)
 }
 
@@ -189,7 +193,10 @@ mod tests {
 
     #[test]
     fn coupling_never_negative() {
-        assert_eq!(sakurai_coupling(0.1, 0.01, 50.0).max(0.0), sakurai_coupling(0.1, 0.01, 50.0));
+        assert_eq!(
+            sakurai_coupling(0.1, 0.01, 50.0).max(0.0),
+            sakurai_coupling(0.1, 0.01, 50.0)
+        );
         assert!(sakurai_coupling(0.1, 0.001, 100.0) >= 0.0);
     }
 

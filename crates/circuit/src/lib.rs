@@ -7,7 +7,9 @@
 //! densities and an effective duty cycle (its Tables 5–6). This crate
 //! rebuilds that flow from scratch:
 //!
-//! * [`linalg`] — dense LU with partial pivoting.
+//! * [`linalg`] — dense LU with partial pivoting; [`sparse`] — sparse
+//!   LU (Gilbert–Peierls) with factorization reuse; [`solver`] — the
+//!   automatic dense/sparse crossover both assembly paths stamp into.
 //! * [`netlist`] — R/C/V/I devices plus a level-1 MOSFET and a CMOS
 //!   inverter macro; [`sources`] provides DC/pulse/PWL waveforms.
 //! * [`transient`] — MNA assembly, Newton iteration, and
@@ -53,7 +55,9 @@ pub mod parser;
 pub mod power_grid;
 pub mod rcline;
 pub mod repeater;
+pub mod solver;
 pub mod sources;
+pub mod sparse;
 pub mod transient;
 
 pub use error::CircuitError;

@@ -1,9 +1,13 @@
 //! Minimal dense linear algebra: LU factorization with partial pivoting.
 //!
-//! MNA systems at our scale (a few hundred unknowns: ≤ ~100 RC segments
-//! plus a handful of transistors and sources) are solved faster by a dense
-//! LU than by anything sparse once cache effects are counted, and the code
-//! stays fully deterministic.
+//! MNA systems below the [`crate::solver`] crossover (a couple hundred
+//! unknowns: ≤ ~100 RC segments plus a handful of transistors and
+//! sources) are solved faster by a dense LU than by anything sparse once
+//! cache effects are counted, and the code stays fully deterministic.
+//! The factorization is split from the substitution
+//! ([`Matrix::factor`] / [`Matrix::solve_factored`]) so callers with a
+//! constant matrix — every timestep of a linear transient — factor once
+//! and only re-substitute.
 
 use crate::CircuitError;
 
@@ -19,11 +23,22 @@ use crate::CircuitError;
 /// assert_eq!(x, vec![1.0, 2.0]);
 /// # Ok::<(), hotwire_circuit::CircuitError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
+    /// Row permutation from [`Matrix::factor`]; empty while unfactored.
+    perm: Vec<usize>,
+}
+
+impl PartialEq for Matrix {
+    /// Compares shape and entries; whether either side is factored is
+    /// ignored (a factored matrix stores L·U in place of A, so equality
+    /// between factored and unfactored matrices is meaningless anyway).
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.data == other.data
+    }
 }
 
 impl Matrix {
@@ -34,6 +49,7 @@ impl Matrix {
             rows,
             cols,
             data: vec![0.0; rows * cols],
+            perm: Vec::new(),
         }
     }
 
@@ -49,40 +65,57 @@ impl Matrix {
         self.cols
     }
 
+    /// `true` once [`Matrix::factor`] has succeeded and no stamping has
+    /// invalidated the factors since.
+    #[must_use]
+    pub fn is_factored(&self) -> bool {
+        !self.perm.is_empty()
+    }
+
     /// Sets every entry to zero (reuse between Newton iterations without
-    /// reallocating).
+    /// reallocating). Drops any existing factorization.
     pub fn clear(&mut self) {
         self.data.fill(0.0);
+        self.perm.clear();
     }
 
     /// Adds `v` to entry `(r, c)` — the natural MNA stamping primitive.
+    /// Drops any existing factorization.
     ///
     /// # Panics
     ///
     /// Panics if the indices are out of bounds.
     pub fn add(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        self.perm.clear();
         self.data[r * self.cols + c] += v;
     }
 
-    /// Solves `A·x = b` by LU with partial pivoting, leaving `self`
-    /// untouched (the factorization works on a copy).
+    /// Factors the matrix in place (`A → L·U` with a row permutation),
+    /// enabling repeated [`Matrix::solve_factored`] calls at O(n²) each
+    /// instead of O(n³).
+    ///
+    /// The entries are overwritten by the factors; stamping via
+    /// [`Matrix::add`] or [`Matrix::clear`] afterwards invalidates the
+    /// factorization (writes through `IndexMut` do **not** detect this —
+    /// don't mix indexed writes with a live factorization).
     ///
     /// # Errors
     ///
-    /// Returns [`CircuitError::Singular`] when a pivot underflows.
+    /// Returns [`CircuitError::Singular`] when a pivot underflows; the
+    /// matrix contents are unspecified after a failure.
     ///
     /// # Panics
     ///
-    /// Panics if the matrix is not square or `b` has the wrong length.
-    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, CircuitError> {
-        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
-        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+    /// Panics if the matrix is not square.
+    pub fn factor(&mut self) -> Result<(), CircuitError> {
+        assert_eq!(self.rows, self.cols, "factor requires a square matrix");
         let n = self.rows;
-        let mut a = self.data.clone();
-        let mut x: Vec<f64> = b.to_vec();
+        let a = &mut self.data;
         let mut perm: Vec<usize> = (0..n).collect();
-
         for col in 0..n {
             // pivot
             let mut p = col;
@@ -110,35 +143,91 @@ impl Matrix {
                 }
             }
         }
+        self.perm = perm;
+        Ok(())
+    }
+
+    /// Solves `A·x = b` using the stored factors from [`Matrix::factor`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has not been factored or `b` has the wrong
+    /// length.
+    #[must_use]
+    pub fn solve_factored(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = Vec::new();
+        self.solve_factored_into(b, &mut x);
+        x
+    }
+
+    /// [`Matrix::solve_factored`] into a caller-provided buffer (resized
+    /// to `n`) — the allocation-free per-timestep path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has not been factored or `b` has the wrong
+    /// length.
+    pub fn solve_factored_into(&self, b: &[f64], x: &mut Vec<f64>) {
+        assert!(self.is_factored(), "call factor() before solve_factored");
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let n = self.rows;
+        let a = &self.data;
+        let perm = &self.perm;
+        x.clear();
+        x.resize(n, 0.0);
         // forward: apply L (stored factors) to permuted rhs
-        let mut y = vec![0.0; n];
-        for (i, &pr) in perm.iter().enumerate() {
-            let mut sum = x[pr];
-            for (j, yj) in y.iter().enumerate().take(i) {
-                sum -= a[pr * n + j] * yj;
+        for i in 0..n {
+            let pr = perm[i];
+            let mut sum = b[pr];
+            for (j, xj) in x.iter().enumerate().take(i) {
+                sum -= a[pr * n + j] * xj;
             }
-            y[i] = sum;
+            x[i] = sum;
         }
         // back substitution
         for i in (0..n).rev() {
             let pr = perm[i];
-            let mut sum = y[i];
+            let mut sum = x[i];
             for j in i + 1..n {
                 sum -= a[pr * n + j] * x[j];
             }
             x[i] = sum / a[pr * n + i];
         }
-        Ok(x)
+    }
+
+    /// Solves `A·x = b` by LU with partial pivoting, leaving `self`
+    /// untouched (thin wrapper: factors a copy, then substitutes). Use
+    /// [`Matrix::factor`] + [`Matrix::solve_factored`] when solving the
+    /// same matrix against many right-hand sides.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::Singular`] when a pivot underflows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, CircuitError> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        if self.is_factored() {
+            return Ok(self.solve_factored(b));
+        }
+        let mut lu = self.clone();
+        lu.factor()?;
+        Ok(lu.solve_factored(b))
     }
 
     /// Matrix–vector product `A·v`.
     ///
     /// # Panics
     ///
-    /// Panics on a length mismatch.
+    /// Panics on a length mismatch, or if the matrix is factored (the
+    /// entries no longer hold `A`).
     #[must_use]
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols);
+        assert!(!self.is_factored(), "mul_vec on a factored matrix");
         (0..self.rows)
             .map(|r| {
                 let row = &self.data[r * self.cols..(r + 1) * self.cols];
@@ -204,12 +293,58 @@ mod tests {
             }
             m[(r, r)] += 4.0; // diagonally dominant ⇒ well-conditioned
         }
-        let b: Vec<f64> = (0..n).map(|i| f64::from(u32::try_from(i).unwrap())).collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| f64::from(u32::try_from(i).unwrap()))
+            .collect();
         let x = m.solve(&b).unwrap();
         let back = m.mul_vec(&x);
         for (bi, bb) in b.iter().zip(&back) {
             assert!((bi - bb).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn factor_once_solve_many() {
+        let mut m = Matrix::zeros(3, 3);
+        m.add(0, 0, 4.0);
+        m.add(1, 1, 2.0);
+        m.add(2, 2, 8.0);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 1.0);
+        let reference_b1 = m.solve(&[1.0, 2.0, 3.0]).unwrap();
+        let reference_b2 = m.solve(&[-4.0, 0.5, 1.0]).unwrap();
+        m.factor().unwrap();
+        assert!(m.is_factored());
+        let mut x = Vec::new();
+        m.solve_factored_into(&[1.0, 2.0, 3.0], &mut x);
+        assert_eq!(x, reference_b1);
+        m.solve_factored_into(&[-4.0, 0.5, 1.0], &mut x);
+        assert_eq!(x, reference_b2);
+        // solve() on a factored matrix takes the fast path.
+        assert_eq!(m.solve(&[1.0, 2.0, 3.0]).unwrap(), reference_b1);
+    }
+
+    #[test]
+    fn stamping_invalidates_factorization() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add(0, 0, 1.0);
+        m.add(1, 1, 1.0);
+        m.factor().unwrap();
+        assert!(m.is_factored());
+        m.add(0, 0, 1.0);
+        assert!(!m.is_factored());
+        m.factor().unwrap();
+        m.clear();
+        assert!(!m.is_factored());
+    }
+
+    #[test]
+    #[should_panic(expected = "factor() before solve_factored")]
+    fn solve_factored_requires_factor() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add(0, 0, 1.0);
+        m.add(1, 1, 1.0);
+        let _ = m.solve_factored(&[1.0, 1.0]);
     }
 
     #[test]

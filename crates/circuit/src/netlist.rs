@@ -367,7 +367,13 @@ impl Circuit {
 /// drain→source for NMOS (source→drain for PMOS the sign flips inside the
 /// stamp).
 #[must_use]
-pub fn mos_current(params: MosParams, polarity: MosPolarity, vd: f64, vg: f64, vs: f64) -> (f64, f64, f64) {
+pub fn mos_current(
+    params: MosParams,
+    polarity: MosPolarity,
+    vd: f64,
+    vg: f64,
+    vs: f64,
+) -> (f64, f64, f64) {
     // Map PMOS onto the NMOS equations by mirroring voltages.
     let (vgs, vds) = match polarity {
         MosPolarity::Nmos => (vg - vs, vd - vs),
@@ -385,8 +391,8 @@ pub fn mos_current(params: MosParams, polarity: MosPolarity, vd: f64, vg: f64, v
         (0.0, 0.0, 0.0)
     } else if vds_eff < vov {
         // triode
-        let id = params.k * (vov * vds_eff - 0.5 * vds_eff * vds_eff)
-            * (1.0 + params.lambda * vds_eff);
+        let id =
+            params.k * (vov * vds_eff - 0.5 * vds_eff * vds_eff) * (1.0 + params.lambda * vds_eff);
         let gm = params.k * vds_eff * (1.0 + params.lambda * vds_eff);
         let gds = params.k * (vov - vds_eff) * (1.0 + params.lambda * vds_eff)
             + params.k * (vov * vds_eff - 0.5 * vds_eff * vds_eff) * params.lambda;
@@ -446,7 +452,17 @@ mod tests {
         assert!(c.try_capacitor(a, Circuit::GROUND, -1.0).is_err());
         assert!(c.try_capacitor(a, Circuit::GROUND, 0.0).is_ok());
         assert!(c
-            .try_mosfet(a, a, Circuit::GROUND, MosParams { vt: 0.0, k: 1.0, lambda: 0.0 }, MosPolarity::Nmos)
+            .try_mosfet(
+                a,
+                a,
+                Circuit::GROUND,
+                MosParams {
+                    vt: 0.0,
+                    k: 1.0,
+                    lambda: 0.0
+                },
+                MosPolarity::Nmos
+            )
             .is_err());
     }
 

@@ -173,7 +173,10 @@ pub fn parse_netlist(text: &str) -> Result<ParsedCircuit, CircuitError> {
             }
         };
         if parsed.devices.insert(name.clone(), device_index).is_some() {
-            return Err(parse_err(lineno, format!("duplicate element name `{name}`")));
+            return Err(parse_err(
+                lineno,
+                format!("duplicate element name `{name}`"),
+            ));
         }
     }
     Ok(parsed)
@@ -246,7 +249,9 @@ fn parse_source(
             if tokens.len() != 5 {
                 return Err(parse_err(lineno, "DC source needs one value"));
             }
-            SourceWaveform::dc(parse_value(tokens[4]).map_err(|e| parse_err(lineno, e.to_string()))?)
+            SourceWaveform::dc(
+                parse_value(tokens[4]).map_err(|e| parse_err(lineno, e.to_string()))?,
+            )
         }
         "PULSE" => {
             if tokens.len() != 11 {
@@ -305,7 +310,10 @@ fn parse_mosfet(
     };
     for tok in &tokens[5..] {
         let Some((key, val)) = tok.split_once('=') else {
-            return Err(parse_err(lineno, format!("expected KEY=value, got `{tok}`")));
+            return Err(parse_err(
+                lineno,
+                format!("expected KEY=value, got `{tok}`"),
+            ));
         };
         let v = parse_value(val).map_err(|e| parse_err(lineno, e.to_string()))?;
         match key.to_ascii_uppercase().as_str() {

@@ -33,6 +33,7 @@ use hotwire_units::{Area, Current, CurrentDensity, Resistance, Voltage};
 use serde::{Deserialize, Serialize};
 
 use crate::netlist::{Circuit, NodeId};
+use crate::solver::MnaMatrix;
 use crate::sources::SourceWaveform;
 use crate::transient::{simulate, TransientOptions};
 use crate::CircuitError;
@@ -152,7 +153,10 @@ impl PowerGrid {
         for &(r, c) in &spec.pads {
             if r >= spec.rows || c >= spec.cols {
                 return Err(CircuitError::InvalidDevice {
-                    message: format!("pad ({r}, {c}) outside the {}×{} grid", spec.rows, spec.cols),
+                    message: format!(
+                        "pad ({r}, {c}) outside the {}×{} grid",
+                        spec.rows, spec.cols
+                    ),
                 });
             }
         }
@@ -193,7 +197,11 @@ impl PowerGrid {
             }
         }
         for &(r, c) in &spec.pads {
-            circuit.voltage_source(at(r, c), Circuit::GROUND, SourceWaveform::dc(spec.vdd.value()));
+            circuit.voltage_source(
+                at(r, c),
+                Circuit::GROUND,
+                SourceWaveform::dc(spec.vdd.value()),
+            );
         }
         Ok(Self {
             spec: spec.clone(),
@@ -212,12 +220,93 @@ impl PowerGrid {
     /// Solves the DC operating point and reports droop and per-segment
     /// densities.
     ///
+    /// The solve is a **direct DC formulation**: pad intersections are
+    /// Dirichlet nodes held at `vdd` and eliminated from the system, so
+    /// only the free intersections are unknowns — no voltage-source
+    /// branches and no timestepping (the seed implementation ran a
+    /// one-step transient; that path survives as
+    /// [`PowerGrid::analyze_via_transient`] for cross-checking). The
+    /// reduced conductance matrix goes through the dense/sparse
+    /// [`MnaMatrix::auto`] crossover, so wide grids use the sparse LU.
+    ///
     /// # Errors
     ///
     /// Propagates solver failures (a grid with unreachable islands would
     /// be singular only without `g_min`; with it, islands simply droop to
     /// zero and show up as massive IR drop).
     pub fn analyze(&self) -> Result<PowerGridReport, CircuitError> {
+        let (rows, cols) = (self.spec.rows, self.spec.cols);
+        let n_cells = rows * cols;
+        let vdd = self.spec.vdd.value();
+        let g = 1.0 / self.spec.segment_resistance.value();
+        // Same node-to-ground leak the transient path uses, so islands
+        // droop identically instead of going singular.
+        let gmin = TransientOptions::default().gmin;
+
+        let mut is_pad = vec![false; n_cells];
+        for &(r, c) in &self.spec.pads {
+            is_pad[r * cols + c] = true;
+        }
+        let mut unknown_of = vec![usize::MAX; n_cells];
+        let mut n_unknowns = 0;
+        for (cell, u) in unknown_of.iter_mut().enumerate() {
+            if !is_pad[cell] {
+                *u = n_unknowns;
+                n_unknowns += 1;
+            }
+        }
+
+        let mut node_v = vec![vdd; n_cells];
+        if n_unknowns > 0 {
+            let mut m = MnaMatrix::auto(n_unknowns);
+            let mut rhs = vec![0.0; n_unknowns];
+            for &(_, from, to) in &self.segments {
+                let a = from.0 * cols + from.1;
+                let b = to.0 * cols + to.1;
+                match (is_pad[a], is_pad[b]) {
+                    (false, false) => {
+                        m.add(unknown_of[a], unknown_of[a], g);
+                        m.add(unknown_of[b], unknown_of[b], g);
+                        m.add(unknown_of[a], unknown_of[b], -g);
+                        m.add(unknown_of[b], unknown_of[a], -g);
+                    }
+                    (true, false) => {
+                        m.add(unknown_of[b], unknown_of[b], g);
+                        rhs[unknown_of[b]] += g * vdd;
+                    }
+                    (false, true) => {
+                        m.add(unknown_of[a], unknown_of[a], g);
+                        rhs[unknown_of[a]] += g * vdd;
+                    }
+                    (true, true) => {} // both ends pinned: carries no unknown
+                }
+            }
+            let sink = self.spec.sink_per_node.value();
+            for (cell, &u) in unknown_of.iter().enumerate() {
+                if !is_pad[cell] {
+                    m.add(u, u, gmin);
+                    rhs[u] -= sink;
+                }
+            }
+            let solution = m.solve(&rhs)?;
+            for (cell, &u) in unknown_of.iter().enumerate() {
+                if !is_pad[cell] {
+                    node_v[cell] = solution[u];
+                }
+            }
+        }
+        Ok(self.report_from_voltages(&node_v))
+    }
+
+    /// The seed's DC solve — one short transient step over the full MNA
+    /// system (voltage-source branches included). Retained as a
+    /// reference/regression path: it must agree with [`PowerGrid::analyze`]
+    /// to solver precision, and the criterion benches compare the two.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures exactly as [`PowerGrid::analyze`] does.
+    pub fn analyze_via_transient(&self) -> Result<PowerGridReport, CircuitError> {
         // Purely resistive: one short "transient" step is the DC solve.
         let result = simulate(
             &self.circuit,
@@ -228,37 +317,44 @@ impl PowerGrid {
             },
         )?;
         let last = result.times.len() - 1;
+        let mut node_v = vec![0.0; self.nodes.len()];
+        for (cell, &node) in self.nodes.iter().enumerate() {
+            node_v[cell] = result.voltage_at(node, last);
+        }
+        Ok(self.report_from_voltages(&node_v))
+    }
 
+    /// Builds the report from per-intersection voltages (row-major), with
+    /// every buffer hoisted — no per-segment allocation.
+    fn report_from_voltages(&self, node_v: &[f64]) -> PowerGridReport {
+        let cols = self.spec.cols;
+        let g = 1.0 / self.spec.segment_resistance.value();
         let mut worst_drop = 0.0_f64;
         let mut worst_node = (0, 0);
         for r in 0..self.spec.rows {
-            for c in 0..self.spec.cols {
-                let v = result.voltage_at(self.nodes[r * self.spec.cols + c], last);
-                let drop = self.spec.vdd.value() - v;
+            for c in 0..cols {
+                let drop = self.spec.vdd.value() - node_v[r * cols + c];
                 if drop > worst_drop {
                     worst_drop = drop;
                     worst_node = (r, c);
                 }
             }
         }
-        let segments = self
-            .segments
-            .iter()
-            .map(|&(d, from, to)| {
-                let i = result.resistor_current(&self.circuit, d)[last].abs();
-                SegmentLoad {
-                    from,
-                    to,
-                    current: Current::new(i),
-                    density: Current::new(i) / self.spec.strap_cross_section,
-                }
-            })
-            .collect();
-        Ok(PowerGridReport {
+        let mut segments = Vec::with_capacity(self.segments.len());
+        for &(_, from, to) in &self.segments {
+            let i = ((node_v[from.0 * cols + from.1] - node_v[to.0 * cols + to.1]) * g).abs();
+            segments.push(SegmentLoad {
+                from,
+                to,
+                current: Current::new(i),
+                density: Current::new(i) / self.spec.strap_cross_section,
+            });
+        }
+        PowerGridReport {
             worst_ir_drop: Voltage::new(worst_drop),
             worst_node,
             segments,
-        })
+        }
     }
 }
 
@@ -311,7 +407,10 @@ mod tests {
         s.sink_per_node = Current::from_milliamps(0.8);
         let g2 = PowerGrid::build(&s).unwrap().analyze().unwrap();
         let ratio = g2.worst_ir_drop.value() / g1.worst_ir_drop.value();
-        assert!((ratio - 2.0).abs() < 1e-6, "linear network: ratio = {ratio}");
+        assert!(
+            (ratio - 2.0).abs() < 1e-6,
+            "linear network: ratio = {ratio}"
+        );
     }
 
     #[test]
@@ -372,6 +471,42 @@ mod tests {
         }
         assert!(report.meets_rule(worst * 1.01));
         assert!(report.violations(worst * 1.01).is_empty());
+    }
+
+    #[test]
+    fn direct_dc_matches_transient_reference() {
+        for pads in [
+            vec![(0, 0)],
+            vec![(0, 0), (0, 4), (4, 0), (4, 4)],
+            vec![(2, 2)],
+        ] {
+            let mut s = spec();
+            s.pads = pads;
+            let grid = PowerGrid::build(&s).unwrap();
+            let direct = grid.analyze().unwrap();
+            let reference = grid.analyze_via_transient().unwrap();
+            assert_eq!(direct.worst_node, reference.worst_node);
+            assert!(
+                (direct.worst_ir_drop.value() - reference.worst_ir_drop.value()).abs() < 1e-9,
+                "worst drop {} vs {}",
+                direct.worst_ir_drop.value(),
+                reference.worst_ir_drop.value()
+            );
+            for (a, b) in direct.segments.iter().zip(&reference.segments) {
+                assert_eq!((a.from, a.to), (b.from, b.to));
+                assert!((a.current.value() - b.current.value()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_pads_are_harmless() {
+        let mut s = spec();
+        s.pads = vec![(0, 0), (0, 0), (4, 4)];
+        let dup = PowerGrid::build(&s).unwrap().analyze().unwrap();
+        s.pads = vec![(0, 0), (4, 4)];
+        let uniq = PowerGrid::build(&s).unwrap().analyze().unwrap();
+        assert!((dup.worst_ir_drop.value() - uniq.worst_ir_drop.value()).abs() < 1e-9);
     }
 
     #[test]

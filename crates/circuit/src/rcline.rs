@@ -112,7 +112,7 @@ mod tests {
 
     fn params() -> LineParams {
         LineParams {
-            r: ResistancePerLength::new(15.0e3), // 15 kΩ/m
+            r: ResistancePerLength::new(15.0e3),   // 15 kΩ/m
             c: CapacitancePerLength::new(2.0e-10), // 200 pF/m
         }
     }

@@ -47,7 +47,10 @@ pub struct RepeaterDesign {
 /// # Errors
 ///
 /// Propagates extraction errors; rejects degenerate driver parameters.
-pub fn optimal_design(tech: &Technology, layer_index: usize) -> Result<RepeaterDesign, CircuitError> {
+pub fn optimal_design(
+    tech: &Technology,
+    layer_index: usize,
+) -> Result<RepeaterDesign, CircuitError> {
     let params = extract_layer(tech, layer_index)?.line_params();
     let drv = tech.driver();
     let r0 = drv.r0.value();
@@ -67,7 +70,8 @@ pub fn optimal_design(tech: &Technology, layer_index: usize) -> Result<RepeaterD
     let r_line = r * l_opt;
     let c_gate = s_opt * cg;
     let c_par = s_opt * cp;
-    let stage_delay = 0.7 * r_d * (c_line + c_gate + c_par) + r_line * (0.4 * c_line + 0.7 * c_gate);
+    let stage_delay =
+        0.7 * r_d * (c_line + c_gate + c_par) + r_line * (0.4 * c_line + 0.7 * c_gate);
     Ok(RepeaterDesign {
         l_opt: Length::new(l_opt),
         s_opt,
@@ -312,9 +316,9 @@ mod tests {
         let d = optimal_design(&tech, 5).unwrap();
         let drv = tech.driver();
         let p = extract_layer(&tech, 5).unwrap().line_params();
-        let l_expected =
-            (2.0 * drv.r0.value() * (drv.cg.value() + drv.cp.value()) / (p.r.value() * p.c.value()))
-                .sqrt();
+        let l_expected = (2.0 * drv.r0.value() * (drv.cg.value() + drv.cp.value())
+            / (p.r.value() * p.c.value()))
+        .sqrt();
         let s_expected = (drv.r0.value() * p.c.value() / (p.r.value() * drv.cg.value())).sqrt();
         assert!((d.l_opt.value() - l_expected).abs() / l_expected < 1e-12);
         assert!((d.s_opt - s_expected).abs() / s_expected < 1e-12);
@@ -338,8 +342,8 @@ mod tests {
         assert!(d_lk.s_opt < d_ox.s_opt);
         // s_opt and c·l_opt fall by the same factor ⇒ RMS density ~constant
         let f_s = d_ox.s_opt / d_lk.s_opt;
-        let f_cl = (d_ox.line.c.value() * d_ox.l_opt.value())
-            / (d_lk.line.c.value() * d_lk.l_opt.value());
+        let f_cl =
+            (d_ox.line.c.value() * d_ox.l_opt.value()) / (d_lk.line.c.value() * d_lk.l_opt.value());
         assert!((f_s - f_cl).abs() / f_s < 1e-9);
     }
 
@@ -398,14 +402,8 @@ mod tests {
             tech.vdd(),
             0.5,
         );
-        let p_half = d.stage_dynamic_power(
-            half,
-            s_red,
-            tech.driver(),
-            tech.clock(),
-            tech.vdd(),
-            0.5,
-        );
+        let p_half =
+            d.stage_dynamic_power(half, s_red, tech.driver(), tech.clock(), tech.vdd(), 0.5);
         assert!((p_half.value() - 0.5 * p_full.value()).abs() / p_full.value() < 1e-9);
         // a global stage burns mW-scale power — sanity of magnitude
         assert!(p_full.to_milliwatts() > 0.1 && p_full.to_milliwatts() < 100.0);

@@ -5,11 +5,25 @@
 //! companion models (backward Euler or trapezoidal); MOSFETs are
 //! linearized and iterated with Newton's method (with a small `g_min` from
 //! every node to ground for robustness).
+//!
+//! Two solve strategies, picked automatically:
+//!
+//! * **Linear circuits** (no MOSFETs) with a fixed timestep have a
+//!   *constant* MNA matrix — only the right-hand side moves. The matrix
+//!   is stamped and factored **once** and every timestep is a pair of
+//!   triangular substitutions (no Newton loop, the step solve is exact).
+//! * **Nonlinear circuits** re-stamp and Newton-iterate per step; the
+//!   factorization object is retained across iterations so the sparse
+//!   backend reuses its pivot order and elimination schedules
+//!   ([`crate::solver::MnaFactorization::refactor`]).
+//!
+//! The matrix backend (dense vs sparse) follows the
+//! [`crate::solver::SPARSE_THRESHOLD`] crossover on the unknown count.
 
 use serde::{Deserialize, Serialize};
 
-use crate::linalg::Matrix;
 use crate::netlist::{mos_current, Circuit, Device, MosPolarity, NodeId};
+use crate::solver::{MnaFactorization, MnaMatrix};
 use crate::CircuitError;
 
 /// Integration method for the capacitor companion models.
@@ -137,7 +151,7 @@ impl TransientResult {
 struct System {
     n_nodes: usize,
     n_branches: usize,
-    g: Matrix,
+    g: MnaMatrix,
     rhs: Vec<f64>,
 }
 
@@ -147,7 +161,7 @@ impl System {
         Self {
             n_nodes,
             n_branches,
-            g: Matrix::zeros(n, n),
+            g: MnaMatrix::auto(n),
             rhs: vec![0.0; n],
         }
     }
@@ -181,6 +195,137 @@ impl System {
         }
         if b > 0 {
             self.rhs[b - 1] += i;
+        }
+    }
+}
+
+/// Everything fixed for the whole run: the circuit, branch mapping, and
+/// integration parameters.
+struct RunContext<'a> {
+    circuit: &'a Circuit,
+    branch_of: Vec<Option<usize>>,
+    dt: f64,
+    integration: Integration,
+    gmin: f64,
+}
+
+/// Stamps the **time-invariant matrix entries**: gmin leaks, resistor and
+/// capacitor-companion conductances, and voltage-source incidence. For a
+/// circuit without MOSFETs this is the entire matrix.
+fn stamp_static_matrix(sys: &mut System, ctx: &RunContext<'_>) {
+    for n in 1..=sys.n_nodes {
+        sys.stamp_conductance(n, Circuit::GROUND, ctx.gmin);
+    }
+    for (di, dev) in ctx.circuit.devices().iter().enumerate() {
+        match dev {
+            Device::Resistor { a, b, ohms } => {
+                sys.stamp_conductance(*a, *b, 1.0 / ohms);
+            }
+            Device::Capacitor { a, b, farads } => {
+                let geq = match ctx.integration {
+                    Integration::BackwardEuler => farads / ctx.dt,
+                    Integration::Trapezoidal => 2.0 * farads / ctx.dt,
+                };
+                sys.stamp_conductance(*a, *b, geq);
+            }
+            Device::VoltageSource { plus, minus, .. } => {
+                let br = sys.n_nodes + ctx.branch_of[di].expect("voltage source has a branch");
+                if *plus > 0 {
+                    sys.g.add(plus - 1, br, 1.0);
+                    sys.g.add(br, plus - 1, 1.0);
+                }
+                if *minus > 0 {
+                    sys.g.add(minus - 1, br, -1.0);
+                    sys.g.add(br, minus - 1, -1.0);
+                }
+            }
+            Device::CurrentSource { .. } | Device::Mosfet { .. } => {}
+        }
+    }
+}
+
+/// Rebuilds the **right-hand side** for time `t`: capacitor companion
+/// currents (from the previous step's state), source waveform values.
+/// Touches no matrix entries.
+fn stamp_rhs(sys: &mut System, ctx: &RunContext<'_>, t: f64, v_prev: &[f64], cap_i_prev: &[f64]) {
+    sys.rhs.fill(0.0);
+    let mut cap_idx = 0;
+    for (di, dev) in ctx.circuit.devices().iter().enumerate() {
+        match dev {
+            Device::Capacitor { a, b, farads } => {
+                let v_c_prev = node_v(v_prev, *a) - node_v(v_prev, *b);
+                match ctx.integration {
+                    Integration::BackwardEuler => {
+                        let geq = farads / ctx.dt;
+                        // i = geq·(v − v_prev): equivalent source
+                        sys.stamp_current(*b, *a, geq * v_c_prev);
+                    }
+                    Integration::Trapezoidal => {
+                        let geq = 2.0 * farads / ctx.dt;
+                        sys.stamp_current(*b, *a, geq * v_c_prev + cap_i_prev[cap_idx]);
+                    }
+                }
+                cap_idx += 1;
+            }
+            Device::VoltageSource { waveform, .. } => {
+                let br = sys.n_nodes + ctx.branch_of[di].expect("voltage source has a branch");
+                sys.rhs[br] = waveform.at(t);
+            }
+            Device::CurrentSource {
+                from,
+                into,
+                waveform,
+            } => {
+                sys.stamp_current(*from, *into, waveform.at(t));
+            }
+            Device::Resistor { .. } | Device::Mosfet { .. } => {}
+        }
+    }
+}
+
+/// Stamps the linearized MOSFET companion models around the operating
+/// point `v` (matrix **and** rhs) — the only stamps that change between
+/// Newton iterations.
+fn stamp_mosfets(sys: &mut System, ctx: &RunContext<'_>, v: &[f64]) {
+    for dev in ctx.circuit.devices() {
+        if let Device::Mosfet {
+            d,
+            g,
+            s,
+            params,
+            polarity,
+        } = dev
+        {
+            let vd = node_v(v, *d);
+            let vg = node_v(v, *g);
+            let vs = node_v(v, *s);
+            let (id_mapped, gm, gds) = mos_current(*params, *polarity, vd, vg, vs);
+            // i_ds: channel current flowing d → s.
+            let i_ds = match polarity {
+                MosPolarity::Nmos => id_mapped,
+                MosPolarity::Pmos => -id_mapped,
+            };
+            // Uniform partials (see netlist::mos_current docs):
+            // ∂i_ds/∂vg = gm, ∂i_ds/∂vd = gds, ∂i_ds/∂vs = −(gm+gds)
+            let stamp = |sys: &mut System, row: NodeId, sign: f64| {
+                if row == 0 {
+                    return;
+                }
+                let r = row - 1;
+                if *g > 0 {
+                    sys.g.add(r, g - 1, sign * gm);
+                }
+                if *d > 0 {
+                    sys.g.add(r, d - 1, sign * gds);
+                }
+                if *s > 0 {
+                    sys.g.add(r, s - 1, -sign * (gm + gds));
+                }
+                let ieq = i_ds - gm * vg - gds * vd + (gm + gds) * vs;
+                sys.rhs[r] -= sign * ieq;
+            };
+            stamp(sys, *d, 1.0);
+            stamp(sys, *s, -1.0);
         }
     }
 }
@@ -232,6 +377,17 @@ pub fn simulate(
     };
     let n_branches = branch_of.iter().flatten().count();
     let mut sys = System::new(n_nodes, n_branches);
+    let ctx = RunContext {
+        circuit,
+        branch_of,
+        dt,
+        integration: options.integration,
+        gmin: options.gmin,
+    };
+    let is_linear = !circuit
+        .devices()
+        .iter()
+        .any(|d| matches!(d, Device::Mosfet { .. }));
 
     // State: node voltages + capacitor currents (for trapezoidal).
     let mut v = vec![0.0_f64; sys.size()];
@@ -253,130 +409,68 @@ pub fn simulate(
     times.push(0.0);
     voltages.push(v[..n_nodes].to_vec());
 
+    // Linear circuits: the matrix never changes ⇒ stamp + factor ONCE.
+    let static_factors: Option<MnaFactorization> = if is_linear {
+        stamp_static_matrix(&mut sys, &ctx);
+        Some(sys.g.factor()?)
+    } else {
+        None
+    };
+    // Nonlinear circuits: the factorization object is kept across Newton
+    // iterations so the sparse backend can refactor without symbolic work.
+    let mut newton_factors: Option<MnaFactorization> = None;
+
+    let mut v_prev = v.clone();
+    let mut new_v: Vec<f64> = Vec::with_capacity(sys.size());
     for step in 1..=steps {
         #[allow(clippy::cast_precision_loss)]
         let t = dt * step as f64;
-        let v_prev = v.clone();
-        // Newton loop
-        let mut converged = false;
-        for _ in 0..options.max_newton {
-            sys.clear();
-            // gmin
-            for n in 1..=n_nodes {
-                sys.stamp_conductance(n, Circuit::GROUND, options.gmin);
-            }
-            let mut cap_idx = 0;
-            for (di, dev) in circuit.devices().iter().enumerate() {
-                match dev {
-                    Device::Resistor { a, b, ohms } => {
-                        sys.stamp_conductance(*a, *b, 1.0 / ohms);
-                    }
-                    Device::Capacitor { a, b, farads } => {
-                        let c = *farads;
-                        let va_p = node_v(&v_prev, *a);
-                        let vb_p = node_v(&v_prev, *b);
-                        let v_c_prev = va_p - vb_p;
-                        match options.integration {
-                            Integration::BackwardEuler => {
-                                let geq = c / dt;
-                                sys.stamp_conductance(*a, *b, geq);
-                                // i = geq·(v − v_prev): equivalent source
-                                sys.stamp_current(*b, *a, geq * v_c_prev);
-                            }
-                            Integration::Trapezoidal => {
-                                let geq = 2.0 * c / dt;
-                                sys.stamp_conductance(*a, *b, geq);
-                                sys.stamp_current(*b, *a, geq * v_c_prev + cap_i_prev[cap_idx]);
-                            }
-                        }
-                        cap_idx += 1;
-                    }
-                    Device::VoltageSource {
-                        plus,
-                        minus,
-                        waveform,
-                    } => {
-                        let br = sys.n_nodes
-                            + branch_of[di].expect("voltage source has a branch");
-                        if *plus > 0 {
-                            sys.g.add(plus - 1, br, 1.0);
-                            sys.g.add(br, plus - 1, 1.0);
-                        }
-                        if *minus > 0 {
-                            sys.g.add(minus - 1, br, -1.0);
-                            sys.g.add(br, minus - 1, -1.0);
-                        }
-                        sys.rhs[br] = waveform.at(t);
-                    }
-                    Device::CurrentSource {
-                        from,
-                        into,
-                        waveform,
-                    } => {
-                        sys.stamp_current(*from, *into, waveform.at(t));
-                    }
-                    Device::Mosfet {
-                        d,
-                        g,
-                        s,
-                        params,
-                        polarity,
-                    } => {
-                        let vd = node_v(&v, *d);
-                        let vg = node_v(&v, *g);
-                        let vs = node_v(&v, *s);
-                        let (id_mapped, gm, gds) = mos_current(*params, *polarity, vd, vg, vs);
-                        // i_ds: channel current flowing d → s.
-                        let i_ds = match polarity {
-                            MosPolarity::Nmos => id_mapped,
-                            MosPolarity::Pmos => -id_mapped,
-                        };
-                        // Uniform partials (see netlist::mos_current docs):
-                        // ∂i_ds/∂vg = gm, ∂i_ds/∂vd = gds, ∂i_ds/∂vs = −(gm+gds)
-                        let stamp = |sys: &mut System, row: NodeId, sign: f64| {
-                            if row == 0 {
-                                return;
-                            }
-                            let r = row - 1;
-                            if *g > 0 {
-                                sys.g.add(r, g - 1, sign * gm);
-                            }
-                            if *d > 0 {
-                                sys.g.add(r, d - 1, sign * gds);
-                            }
-                            if *s > 0 {
-                                sys.g.add(r, s - 1, -sign * (gm + gds));
-                            }
-                            let ieq = i_ds - gm * vg - gds * vd + (gm + gds) * vs;
-                            sys.rhs[r] -= sign * ieq;
-                        };
-                        stamp(&mut sys, *d, 1.0);
-                        stamp(&mut sys, *s, -1.0);
-                    }
+        v_prev.clone_from(&v);
+
+        if let Some(factors) = &static_factors {
+            // Linear fast path: new rhs, two triangular substitutions.
+            stamp_rhs(&mut sys, &ctx, t, &v_prev, &cap_i_prev);
+            factors.solve_into(&sys.rhs, &mut new_v);
+            std::mem::swap(&mut v, &mut new_v);
+        } else {
+            // Newton loop.
+            let mut converged = false;
+            for _ in 0..options.max_newton {
+                sys.clear();
+                stamp_static_matrix(&mut sys, &ctx);
+                stamp_rhs(&mut sys, &ctx, t, &v_prev, &cap_i_prev);
+                stamp_mosfets(&mut sys, &ctx, &v);
+                match &mut newton_factors {
+                    Some(f) => f.refactor(&sys.g)?,
+                    slot @ None => *slot = Some(sys.g.factor()?),
+                }
+                newton_factors
+                    .as_ref()
+                    .expect("factors were just computed")
+                    .solve_into(&sys.rhs, &mut new_v);
+                let mut max_dv = 0.0_f64;
+                for (old, new) in v[..n_nodes].iter().zip(&new_v[..n_nodes]) {
+                    max_dv = max_dv.max((old - new).abs());
+                }
+                // Damped update to help large swings converge.
+                let limit = 1.0; // volts per Newton step
+                for (slot, new) in v.iter_mut().zip(&new_v) {
+                    let dv = new - *slot;
+                    *slot += dv.clamp(-limit, limit);
+                }
+                if max_dv < options.vtol {
+                    converged = true;
+                    break;
                 }
             }
-            let new_v = sys.g.solve(&sys.rhs)?;
-            let mut max_dv = 0.0_f64;
-            for (old, new) in v[..n_nodes].iter().zip(&new_v[..n_nodes]) {
-                max_dv = max_dv.max((old - new).abs());
-            }
-            // Damped update to help large swings converge.
-            let limit = 1.0; // volts per Newton step
-            for (slot, new) in v.iter_mut().zip(&new_v) {
-                let dv = new - *slot;
-                *slot += dv.clamp(-limit, limit);
-            }
-            if max_dv < options.vtol {
-                converged = true;
-                break;
+            if !converged {
+                return Err(CircuitError::NewtonDiverged {
+                    at_seconds: t,
+                    iterations: options.max_newton,
+                });
             }
         }
-        if !converged {
-            return Err(CircuitError::NewtonDiverged {
-                at_seconds: t,
-                iterations: options.max_newton,
-            });
-        }
+
         // Update trapezoidal capacitor-current state.
         if options.integration == Integration::Trapezoidal {
             let mut cap_idx = 0;
@@ -568,11 +662,7 @@ mod tests {
         )
         .unwrap();
         // Before the input rises: output should be pulled high.
-        let k_pre = result
-            .times
-            .iter()
-            .position(|&t| t > 0.9e-9)
-            .unwrap();
+        let k_pre = result.times.iter().position(|&t| t > 0.9e-9).unwrap();
         assert!(
             result.voltage_at(vout, k_pre) > 0.9 * vdd,
             "output high before input edge: {}",
@@ -645,5 +735,31 @@ mod tests {
             (delivered - dissipated - stored).abs() / delivered < 0.01,
             "delivered {delivered:.3e} vs dissipated {dissipated:.3e} + stored {stored:.3e}"
         );
+    }
+
+    #[test]
+    fn linear_fast_path_matches_newton_path() {
+        // The same linear circuit forced down the Newton path (by adding a
+        // MOSFET whose gate/drain/source sit at ground, contributing ~0
+        // current) must produce the same waveform within vtol.
+        let (c, _, vout, _) = rc_circuit();
+        let mut c2 = c.clone();
+        let off = MosParams::from_effective_resistance(1.0e9, 1.0, 0.4);
+        c2.mosfet(
+            Circuit::GROUND,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            off,
+            MosPolarity::Nmos,
+        );
+        let opts = TransientOptions {
+            dt: Some(5.0e-8),
+            ..TransientOptions::default()
+        };
+        let fast = simulate(&c, 1.0e-5, opts).unwrap();
+        let newton = simulate(&c2, 1.0e-5, opts).unwrap();
+        for (a, b) in fast.voltage(vout).iter().zip(newton.voltage(vout)) {
+            assert!((a - b).abs() < 1e-5, "fast {a} vs newton {b}");
+        }
     }
 }

@@ -283,9 +283,9 @@ impl SelfConsistentProblemBuilder {
     pub fn build(self) -> Result<SelfConsistentProblem, CoreError> {
         let metal = self.metal.ok_or(CoreError::Incomplete { field: "metal" })?;
         let line = self.line.ok_or(CoreError::Incomplete { field: "line" })?;
-        let duty_cycle = self
-            .duty_cycle
-            .ok_or(CoreError::Incomplete { field: "duty_cycle" })?;
+        let duty_cycle = self.duty_cycle.ok_or(CoreError::Incomplete {
+            field: "duty_cycle",
+        })?;
         if !(duty_cycle > 0.0 && duty_cycle <= 1.0) {
             return Err(CoreError::InvalidDutyCycle { value: duty_cycle });
         }
@@ -303,9 +303,7 @@ impl SelfConsistentProblemBuilder {
             }
             None => {
                 let stack = self.stack.ok_or(CoreError::Incomplete { field: "stack" })?;
-                let phi = self
-                    .phi
-                    .unwrap_or(hotwire_thermal::impedance::QUASI_2D_PHI);
+                let phi = self.phi.unwrap_or(hotwire_thermal::impedance::QUASI_2D_PHI);
                 self_heating_constant(line, &stack, phi)?
             }
         };
@@ -335,10 +333,7 @@ mod tests {
     /// t_ox = 3 µm, t_m = 0.5 µm, W_m = 3 µm, quasi-1-D spreading.
     fn fig2_problem(r: f64) -> SelfConsistentProblem {
         SelfConsistentProblem::builder()
-            .metal(
-                Metal::copper()
-                    .with_design_rule_j0(CurrentDensity::from_amps_per_cm2(6.0e5)),
-            )
+            .metal(Metal::copper().with_design_rule_j0(CurrentDensity::from_amps_per_cm2(6.0e5)))
             .line(LineGeometry::new(um(3.0), um(0.5), um(1000.0)).unwrap())
             .stack(InsulatorStack::single(um(3.0), &Dielectric::oxide()))
             .phi(hotwire_thermal::impedance::QUASI_1D_PHI)
@@ -396,10 +391,7 @@ mod tests {
             prev_jpeak = sol.j_peak.value();
         }
         // Fig. 2's right edge: T_m climbs to the ~460–520 K range at r = 1e-4.
-        assert!(
-            prev_t > 430.0 && prev_t < 540.0,
-            "T_m(r=1e-4) = {prev_t} K"
-        );
+        assert!(prev_t > 430.0 && prev_t < 540.0, "T_m(r=1e-4) = {prev_t} K");
     }
 
     #[test]
@@ -418,7 +410,9 @@ mod tests {
             sol.temperature_rise.value()
         );
         // (b) EM bound
-        let allowed = p.black_model().allowed_average_density(sol.metal_temperature);
+        let allowed = p
+            .black_model()
+            .allowed_average_density(sol.metal_temperature);
         assert!(
             (sol.j_avg.value() - allowed.value()).abs() / allowed.value() < 1e-3,
             "EM bound: {} vs {}",
@@ -445,10 +439,7 @@ mod tests {
     fn worse_conduction_path_lowers_peak() {
         let oxide = fig2_problem(0.1);
         let poly = SelfConsistentProblem::builder()
-            .metal(
-                Metal::copper()
-                    .with_design_rule_j0(CurrentDensity::from_amps_per_cm2(6.0e5)),
-            )
+            .metal(Metal::copper().with_design_rule_j0(CurrentDensity::from_amps_per_cm2(6.0e5)))
             .line(LineGeometry::new(um(3.0), um(0.5), um(1000.0)).unwrap())
             .stack(InsulatorStack::single(um(3.0), &Dielectric::polyimide()))
             .phi(hotwire_thermal::impedance::QUASI_1D_PHI)
@@ -512,8 +503,7 @@ mod tests {
         // below the melting point.
         let p = SelfConsistentProblem::builder()
             .metal(
-                Metal::copper()
-                    .with_design_rule_j0(CurrentDensity::from_mega_amps_per_cm2(5.0e4)),
+                Metal::copper().with_design_rule_j0(CurrentDensity::from_mega_amps_per_cm2(5.0e4)),
             )
             .line(LineGeometry::new(um(3.0), um(0.5), um(1000.0)).unwrap())
             .stack(InsulatorStack::single(um(10.0), &Dielectric::polyimide()))

@@ -5,6 +5,7 @@
 use hotwire_tech::{Dielectric, Technology};
 use hotwire_thermal::impedance::{InsulatorStack, LineGeometry};
 use hotwire_units::{CurrentDensity, Kelvin, Length};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::{CoreError, SelfConsistentProblem, SelfConsistentSolution};
@@ -145,7 +146,11 @@ pub struct DesignRuleTable {
 }
 
 impl DesignRuleTable {
-    /// Generates the table for a spec.
+    /// Generates the table for a spec. The case × layer × dielectric
+    /// product is resolved up front (so unknown-layer errors surface
+    /// deterministically before any solving), then every cell solves in
+    /// parallel; entry order is the same (case, layer, dielectric)
+    /// nesting the serial loop produced.
     ///
     /// # Errors
     ///
@@ -154,35 +159,42 @@ impl DesignRuleTable {
     pub fn generate(spec: &DesignRuleSpec<'_>) -> Result<Self, CoreError> {
         let tech = spec.technology;
         let metal = tech.metal().clone().with_design_rule_j0(spec.j0);
-        let mut entries = Vec::new();
+        let mut cells = Vec::new();
         for case in &spec.duty_cycles {
             for layer_name in &spec.layers {
-                let layer = tech.layer(layer_name).ok_or_else(|| CoreError::SolveFailed {
-                    message: format!("unknown layer `{layer_name}`"),
-                })?;
+                let layer = tech
+                    .layer(layer_name)
+                    .ok_or_else(|| CoreError::SolveFailed {
+                        message: format!("unknown layer `{layer_name}`"),
+                    })?;
                 for dielectric in &spec.dielectrics {
-                    let stack = layer_stack(tech, layer.index(), dielectric)?;
-                    let line =
-                        LineGeometry::new(layer.width(), layer.thickness(), spec.line_length)?;
-                    let problem = SelfConsistentProblem::builder()
-                        .metal(metal.clone())
-                        .line(line)
-                        .stack(stack)
-                        .phi(spec.phi)
-                        .duty_cycle(case.r)
-                        .reference_temperature(tech.reference_temperature())
-                        .build()?;
-                    entries.push(DesignRuleEntry {
-                        technology: tech.name().to_owned(),
-                        layer: layer_name.clone(),
-                        dielectric: dielectric.name().to_owned(),
-                        case: case.label.clone(),
-                        r: case.r,
-                        solution: problem.solve()?,
-                    });
+                    cells.push((case, layer_name, layer, dielectric));
                 }
             }
         }
+        let entries = cells
+            .par_iter()
+            .map(|&(case, layer_name, layer, dielectric)| {
+                let stack = layer_stack(tech, layer.index(), dielectric)?;
+                let line = LineGeometry::new(layer.width(), layer.thickness(), spec.line_length)?;
+                let problem = SelfConsistentProblem::builder()
+                    .metal(metal.clone())
+                    .line(line)
+                    .stack(stack)
+                    .phi(spec.phi)
+                    .duty_cycle(case.r)
+                    .reference_temperature(tech.reference_temperature())
+                    .build()?;
+                Ok(DesignRuleEntry {
+                    technology: tech.name().to_owned(),
+                    layer: layer_name.clone(),
+                    dielectric: dielectric.name().to_owned(),
+                    case: case.label.clone(),
+                    r: case.r,
+                    solution: problem.solve()?,
+                })
+            })
+            .collect::<Result<Vec<_>, CoreError>>()?;
         Ok(Self { entries })
     }
 
@@ -335,11 +347,8 @@ mod tests {
 
     fn table_250nm(j0_a_cm2: f64) -> DesignRuleTable {
         let tech = presets::ntrs_250nm();
-        let spec = DesignRuleSpec::paper_defaults(
-            &tech,
-            2,
-            CurrentDensity::from_amps_per_cm2(j0_a_cm2),
-        );
+        let spec =
+            DesignRuleSpec::paper_defaults(&tech, 2, CurrentDensity::from_amps_per_cm2(j0_a_cm2));
         DesignRuleTable::generate(&spec).unwrap()
     }
 
@@ -376,9 +385,7 @@ mod tests {
         let t = table_250nm(6.0e5);
         for layer in ["M5", "M6"] {
             for d in ["oxide", "HSQ", "polyimide"] {
-                let sig = t
-                    .j_peak_ma_cm2("Signal Lines (r = 0.1)", layer, d)
-                    .unwrap();
+                let sig = t.j_peak_ma_cm2("Signal Lines (r = 0.1)", layer, d).unwrap();
                 let pow = t.j_peak_ma_cm2("Power Lines (r = 1.0)", layer, d).unwrap();
                 assert!(sig > pow, "{layer}/{d}: signal {sig} vs power {pow}");
             }

@@ -114,10 +114,7 @@ mod tests {
     fn problem(length_um: f64) -> (SelfConsistentProblem, InsulatorStack) {
         let stack = InsulatorStack::single(um(3.0), &Dielectric::oxide());
         let p = SelfConsistentProblem::builder()
-            .metal(
-                Metal::copper()
-                    .with_design_rule_j0(CurrentDensity::from_amps_per_cm2(6.0e5)),
-            )
+            .metal(Metal::copper().with_design_rule_j0(CurrentDensity::from_amps_per_cm2(6.0e5)))
             .line(LineGeometry::new(um(1.0), um(0.5), um(length_um)).unwrap())
             .stack(stack.clone())
             .phi(2.45)

@@ -116,7 +116,9 @@ pub fn signoff(
     config: &SignoffConfig,
     nets: &[NetSpec],
 ) -> Result<Vec<NetVerdict>, CoreError> {
-    nets.iter().map(|net| check_net(tech, config, net)).collect()
+    nets.iter()
+        .map(|net| check_net(tech, config, net))
+        .collect()
 }
 
 fn check_net(
@@ -124,9 +126,11 @@ fn check_net(
     config: &SignoffConfig,
     net: &NetSpec,
 ) -> Result<NetVerdict, CoreError> {
-    let layer = tech.layer(&net.layer).ok_or_else(|| CoreError::SolveFailed {
-        message: format!("net `{}`: unknown layer `{}`", net.name, net.layer),
-    })?;
+    let layer = tech
+        .layer(&net.layer)
+        .ok_or_else(|| CoreError::SolveFailed {
+            message: format!("net `{}`: unknown layer `{}`", net.name, net.layer),
+        })?;
     let stack = layer_stack(tech, layer.index(), &config.intra_dielectric)?;
     let line = LineGeometry::new(net.width, layer.thickness(), net.length)?;
     let problem = SelfConsistentProblem::builder()

@@ -1,7 +1,15 @@
 //! Parameter sweeps over the self-consistent solution — the generators
 //! behind the paper's Fig. 2 (duty-cycle sweep) and Fig. 3 (j₀ sweep).
+//!
+//! Every sweep point is an independent fixed-point solve, so the sweeps
+//! fan out across threads (`rayon`). Results are collected **in input
+//! order** and each point's arithmetic is untouched, so parallel output
+//! is bit-identical to the serial variants kept alongside
+//! ([`duty_cycle_sweep_serial`]) — verified by the determinism tests in
+//! `tests/parallel_determinism.rs`.
 
 use hotwire_units::CurrentDensity;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::{CoreError, SelfConsistentProblem, SelfConsistentSolution};
@@ -27,7 +35,18 @@ impl SweepPoint {
     }
 }
 
-/// Solves the problem across a set of duty cycles (Fig. 2).
+fn solve_point(problem: &SelfConsistentProblem, r: f64) -> Result<SweepPoint, CoreError> {
+    let p = problem.with_duty_cycle(r)?;
+    Ok(SweepPoint {
+        duty_cycle: r,
+        solution: p.solve()?,
+        em_only_peak: p.em_only_peak(),
+    })
+}
+
+/// Solves the problem across a set of duty cycles (Fig. 2), one thread
+/// per point; results come back in input order, bit-identical to
+/// [`duty_cycle_sweep_serial`].
 ///
 /// # Errors
 ///
@@ -38,15 +57,25 @@ pub fn duty_cycle_sweep(
     duty_cycles: &[f64],
 ) -> Result<Vec<SweepPoint>, CoreError> {
     duty_cycles
+        .par_iter()
+        .map(|&r| solve_point(problem, r))
+        .collect()
+}
+
+/// The single-threaded reference implementation of [`duty_cycle_sweep`],
+/// kept public so determinism tests (and debugging sessions) can compare
+/// against the parallel path.
+///
+/// # Errors
+///
+/// Identical to [`duty_cycle_sweep`].
+pub fn duty_cycle_sweep_serial(
+    problem: &SelfConsistentProblem,
+    duty_cycles: &[f64],
+) -> Result<Vec<SweepPoint>, CoreError> {
+    duty_cycles
         .iter()
-        .map(|&r| {
-            let p = problem.with_duty_cycle(r)?;
-            Ok(SweepPoint {
-                duty_cycle: r,
-                solution: p.solve()?,
-                em_only_peak: p.em_only_peak(),
-            })
-        })
+        .map(|&r| solve_point(problem, r))
         .collect()
 }
 
@@ -79,7 +108,9 @@ pub struct J0Series {
     pub points: Vec<SweepPoint>,
 }
 
-/// Sweeps both j₀ and the duty cycle (Fig. 3).
+/// Sweeps both j₀ and the duty cycle (Fig. 3). The full j₀ × r product
+/// is flattened into one parallel fan-out (rather than parallelizing
+/// only the inner sweep), then regrouped per series in input order.
 ///
 /// # Errors
 ///
@@ -89,16 +120,22 @@ pub fn j0_sweep(
     j0_values: &[CurrentDensity],
     duty_cycles: &[f64],
 ) -> Result<Vec<J0Series>, CoreError> {
-    j0_values
+    let cells: Vec<(CurrentDensity, f64)> = j0_values
         .iter()
-        .map(|&j0| {
-            let p = problem.with_design_rule_j0(j0);
-            Ok(J0Series {
-                j0,
-                points: duty_cycle_sweep(&p, duty_cycles)?,
-            })
+        .flat_map(|&j0| duty_cycles.iter().map(move |&r| (j0, r)))
+        .collect();
+    let solved: Vec<SweepPoint> = cells
+        .par_iter()
+        .map(|&(j0, r)| solve_point(&problem.with_design_rule_j0(j0), r))
+        .collect::<Result<_, CoreError>>()?;
+    let mut solved = solved.into_iter();
+    Ok(j0_values
+        .iter()
+        .map(|&j0| J0Series {
+            j0,
+            points: solved.by_ref().take(duty_cycles.len()).collect(),
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -114,10 +151,7 @@ mod tests {
 
     fn fig2_problem() -> SelfConsistentProblem {
         SelfConsistentProblem::builder()
-            .metal(
-                Metal::copper()
-                    .with_design_rule_j0(CurrentDensity::from_amps_per_cm2(6.0e5)),
-            )
+            .metal(Metal::copper().with_design_rule_j0(CurrentDensity::from_amps_per_cm2(6.0e5)))
             .line(LineGeometry::new(um(3.0), um(0.5), um(1000.0)).unwrap())
             .stack(InsulatorStack::single(um(3.0), &Dielectric::oxide()))
             .phi(QUASI_1D_PHI)

@@ -124,12 +124,13 @@ impl BlackModel {
     #[must_use]
     pub fn ttf(&self, j_avg: CurrentDensity, temperature: Kelvin) -> Seconds {
         debug_assert!(j_avg.value() > 0.0, "TTF of zero stress is unbounded");
-        self.lifetime_goal * self.lifetime_ratio(
-            j_avg,
-            temperature,
-            self.params.design_rule_j0,
-            self.anchor_temperature,
-        )
+        self.lifetime_goal
+            * self.lifetime_ratio(
+                j_avg,
+                temperature,
+                self.params.design_rule_j0,
+                self.anchor_temperature,
+            )
     }
 
     /// The lifetime ratio `TTF(j_a, T_a) / TTF(j_b, T_b)` — prefactor-free:

@@ -59,9 +59,7 @@ pub fn bipolar_effective_density(
 ) -> Result<CurrentDensity, EmError> {
     if !(0.0..=1.0).contains(&recovery_efficiency) {
         return Err(EmError::InvalidParameter {
-            message: format!(
-                "recovery efficiency must be in [0, 1], got {recovery_efficiency}"
-            ),
+            message: format!("recovery efficiency must be in [0, 1], got {recovery_efficiency}"),
         });
     }
     let times = waveform.times();

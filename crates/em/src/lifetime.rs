@@ -298,7 +298,11 @@ mod tests {
         let d = LognormalLifetime::from_quantile(years(10.0), 1.0e-3, 0.5).unwrap();
         let t = d.time_to_fraction(1.0e-3).unwrap();
         assert!((t.value() - years(10.0).value()).abs() / t.value() < 1e-9);
-        assert!(d.median() > years(40.0), "median = {} y", d.median().value() / years(1.0).value());
+        assert!(
+            d.median() > years(40.0),
+            "median = {} y",
+            d.median().value() / years(1.0).value()
+        );
     }
 
     #[test]

@@ -211,9 +211,7 @@ impl SampledWaveform {
                 });
             }
         }
-        if times.iter().any(|t| !t.is_finite())
-            || densities.iter().any(|j| !j.is_finite())
-        {
+        if times.iter().any(|t| !t.is_finite()) || densities.iter().any(|j| !j.is_finite()) {
             return Err(EmError::InvalidSamples {
                 message: "samples must be finite".to_owned(),
             });
@@ -522,10 +520,8 @@ mod tests {
         // Sparse: one toggle pair in 32 bits.
         let mut idle = vec![false; 32];
         idle[16] = true;
-        let w_busy =
-            SampledWaveform::from_bit_stream(period, &busy, 0.3, peak, 64).unwrap();
-        let w_idle =
-            SampledWaveform::from_bit_stream(period, &idle, 0.3, peak, 64).unwrap();
+        let w_busy = SampledWaveform::from_bit_stream(period, &busy, 0.3, peak, 64).unwrap();
+        let w_idle = SampledWaveform::from_bit_stream(period, &idle, 0.3, peak, 64).unwrap();
         let r_busy = w_busy.stats().effective_duty_cycle();
         let r_idle = w_idle.stats().effective_duty_cycle();
         assert!(
@@ -544,14 +540,11 @@ mod tests {
         let period = Seconds::from_nanos(1.0);
         let j = ma(1.0);
         assert!(SampledWaveform::from_bit_stream(period, &[true], 0.3, j, 64).is_err());
-        assert!(SampledWaveform::from_bit_stream(Seconds::ZERO, &[true, false], 0.3, j, 64)
-            .is_err());
         assert!(
-            SampledWaveform::from_bit_stream(period, &[true, false], 0.0, j, 64).is_err()
+            SampledWaveform::from_bit_stream(Seconds::ZERO, &[true, false], 0.3, j, 64).is_err()
         );
-        assert!(
-            SampledWaveform::from_bit_stream(period, &[true, false], 1.5, j, 64).is_err()
-        );
+        assert!(SampledWaveform::from_bit_stream(period, &[true, false], 0.0, j, 64).is_err());
+        assert!(SampledWaveform::from_bit_stream(period, &[true, false], 1.5, j, 64).is_err());
         assert!(SampledWaveform::from_bit_stream(period, &[true, false], 0.3, j, 4).is_err());
         assert!(SampledWaveform::from_bit_stream(
             period,

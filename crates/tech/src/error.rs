@@ -70,9 +70,16 @@ mod tests {
             TechError::LayerIndexOutOfRange { index: 8, len: 6 }.to_string(),
             "layer index 8 out of range for 6-level stack"
         );
-        assert_eq!(TechError::EmptyStack.to_string(), "technology has no metal layers");
         assert_eq!(
-            TechError::Parse { line: 3, message: "bad token".into() }.to_string(),
+            TechError::EmptyStack.to_string(),
+            "technology has no metal layers"
+        );
+        assert_eq!(
+            TechError::Parse {
+                line: 3,
+                message: "bad token".into()
+            }
+            .to_string(),
             "tech file parse error at line 3: bad token"
         );
     }

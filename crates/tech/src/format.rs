@@ -321,9 +321,7 @@ fn parse_metal(line: usize, rest: &[&str]) -> Result<Metal, TechError> {
                     )?),
                     current_exponent: get_kv(line, &kv, "n")?,
                     design_rule_j0: hotwire_units::CurrentDensity::from_amps_per_cm2(get_kv(
-                        line,
-                        &kv,
-                        "j0_a_cm2",
+                        line, &kv, "j0_a_cm2",
                     )?),
                 },
             ))
@@ -339,32 +337,26 @@ fn parse_dielectric(line: usize, rest: &[&str]) -> Result<(DielectricSlot, Diele
     let slot = match rest.first() {
         Some(&"inter") => DielectricSlot::Inter,
         Some(&"intra") => DielectricSlot::Intra,
-        _ => {
-            return Err(parse_err(
-                line,
-                "expected `dielectric inter|intra <name>`",
-            ))
-        }
+        _ => return Err(parse_err(line, "expected `dielectric inter|intra <name>`")),
     };
-    let d = match &rest[1..] {
-        [name] => Dielectric::builtin(name).ok_or_else(|| TechError::UnknownMaterial {
-            name: (*name).to_owned(),
-        })?,
-        ["custom", name, kv @ ..] => {
-            let kv = parse_kv(line, kv)?;
-            Dielectric::new(
-                *name,
-                get_kv(line, &kv, "er")?,
-                hotwire_units::ThermalConductivity::new(get_kv(line, &kv, "kth")?),
-            )
-        }
-        _ => {
-            return Err(parse_err(
+    let d =
+        match &rest[1..] {
+            [name] => Dielectric::builtin(name).ok_or_else(|| TechError::UnknownMaterial {
+                name: (*name).to_owned(),
+            })?,
+            ["custom", name, kv @ ..] => {
+                let kv = parse_kv(line, kv)?;
+                Dielectric::new(
+                    *name,
+                    get_kv(line, &kv, "er")?,
+                    hotwire_units::ThermalConductivity::new(get_kv(line, &kv, "kth")?),
+                )
+            }
+            _ => return Err(parse_err(
                 line,
                 "expected `dielectric inter|intra <builtin>` or `... custom <name> er <v> kth <v>`",
-            ))
-        }
-    };
+            )),
+        };
     Ok((slot, d))
 }
 
@@ -424,9 +416,8 @@ mod tests {
     fn round_trip_custom_materials() {
         let tech = presets::ntrs_250nm()
             .with_metal(
-                Metal::copper().with_design_rule_j0(
-                    hotwire_units::CurrentDensity::from_amps_per_cm2(6.0e5),
-                ),
+                Metal::copper()
+                    .with_design_rule_j0(hotwire_units::CurrentDensity::from_amps_per_cm2(6.0e5)),
             )
             .with_intra_level_dielectric(Dielectric::new(
                 "xerogel",
@@ -439,9 +430,7 @@ mod tests {
         assert!(text.contains("dielectric intra custom xerogel"));
         let parsed = parse(&text).unwrap();
         assert_tech_close(&parsed, &tech);
-        assert!(
-            (parsed.metal().em().design_rule_j0.to_amps_per_cm2() - 6.0e5).abs() < 1.0
-        );
+        assert!((parsed.metal().em().design_rule_j0.to_amps_per_cm2() - 6.0e5).abs() < 1.0);
         assert!((parsed.intra_level_dielectric().relative_permittivity() - 1.8).abs() < 1e-12);
     }
 
@@ -543,10 +532,7 @@ pub fn read_file(path: impl AsRef<std::path::Path>) -> Result<Technology, TechEr
 ///
 /// I/O failures are reported as [`TechError::Parse`] at line 0 with the
 /// underlying message.
-pub fn write_file(
-    tech: &Technology,
-    path: impl AsRef<std::path::Path>,
-) -> Result<(), TechError> {
+pub fn write_file(tech: &Technology, path: impl AsRef<std::path::Path>) -> Result<(), TechError> {
     std::fs::write(path.as_ref(), serialize(tech)).map_err(|e| TechError::Parse {
         line: 0,
         message: format!("cannot write {}: {e}", path.as_ref().display()),

@@ -76,9 +76,7 @@ impl MetalLayer {
         }
         if pitch < width {
             return Err(TechError::InvalidGeometry {
-                what: format!(
-                    "layer `{name}` pitch {pitch} is smaller than width {width}"
-                ),
+                what: format!("layer `{name}` pitch {pitch} is smaller than width {width}"),
             });
         }
         Ok(Self {

@@ -9,8 +9,8 @@
 //! current density `j₀`, exactly as the paper's Table 3 does).
 
 use hotwire_units::{
-    CurrentDensity, Density, ElectronVolts, Kelvin, Resistivity, SpecificHeat,
-    ThermalConductivity, VolumetricHeatCapacity,
+    CurrentDensity, Density, ElectronVolts, Kelvin, Resistivity, SpecificHeat, ThermalConductivity,
+    VolumetricHeatCapacity,
 };
 use serde::{Deserialize, Serialize};
 

@@ -378,8 +378,9 @@ impl TechnologyBuilder {
         ild_below: Length,
     ) -> Result<Self, TechError> {
         let index = self.layers.len();
-        self.layers
-            .push(MetalLayer::new(name, index, width, pitch, thickness, ild_below)?);
+        self.layers.push(MetalLayer::new(
+            name, index, width, pitch, thickness, ild_below,
+        )?);
         Ok(self)
     }
 

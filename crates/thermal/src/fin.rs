@@ -118,8 +118,14 @@ impl FinProfile {
         stack: &InsulatorStack,
         phi: f64,
     ) -> Result<Self, ThermalError> {
-        let dt_inf =
-            crate::impedance::self_heating_rise(j_rms, metal, reference_temperature, line, stack, phi)?;
+        let dt_inf = crate::impedance::self_heating_rise(
+            j_rms,
+            metal,
+            reference_temperature,
+            line,
+            stack,
+            phi,
+        )?;
         let lambda = healing_length(metal, line, stack, phi)?;
         Self::new(dt_inf, lambda, line.length())
     }
@@ -155,8 +161,8 @@ impl FinProfile {
         // cosh(u)/cosh(v) = exp(|u|−v)·(1+e^{−2|u|})/(1+e^{−2v}) for v ≥ |u|
         let u = (x - half) / lam;
         let v = half / lam;
-        let ratio = ((u.abs() - v).exp()) * (1.0 + (-2.0 * u.abs()).exp())
-            / (1.0 + (-2.0 * v).exp());
+        let ratio =
+            ((u.abs() - v).exp()) * (1.0 + (-2.0 * u.abs()).exp()) / (1.0 + (-2.0 * v).exp());
         self.delta_t_inf * (1.0 - ratio)
     }
 

@@ -411,7 +411,10 @@ impl Field {
     /// Panics for out-of-range indices.
     #[must_use]
     pub fn cell_rise(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.mesh.nx() && j < self.mesh.ny(), "cell ({i},{j}) out of range");
+        assert!(
+            i < self.mesh.nx() && j < self.mesh.ny(),
+            "cell ({i},{j}) out of range"
+        );
         self.t[j * self.mesh.nx() + i]
     }
 
@@ -970,8 +973,8 @@ impl WireSolution {
     /// `W_eff = (t_ox/k_under)/(θ·L)`.
     #[must_use]
     pub fn effective_width(&self) -> Length {
-        let series = self.structure.t_ox.value()
-            / self.structure.under.thermal_conductivity().value();
+        let series =
+            self.structure.t_ox.value() / self.structure.under.thermal_conductivity().value();
         Length::new(series / self.rise_per_watt_per_meter)
     }
 

@@ -169,10 +169,7 @@ impl InsulatorStack {
     /// factor.
     #[must_use]
     pub fn series_resistance_thickness(&self) -> f64 {
-        self.layers
-            .iter()
-            .map(|(t, k)| t.value() / k.value())
-            .sum()
+        self.layers.iter().map(|(t, k)| t.value() / k.value()).sum()
     }
 
     /// The *effective* uniform conductivity `k_eff = b / Σ(tᵢ/kᵢ)` of the
@@ -382,9 +379,7 @@ mod tests {
         let b = InsulatorStack::new()
             .with_layer(um(2.0), &Dielectric::oxide())
             .with_layer(um(1.0), &Dielectric::hsq());
-        assert!(
-            (a.series_resistance_thickness() - b.series_resistance_thickness()).abs() < 1e-18
-        );
+        assert!((a.series_resistance_thickness() - b.series_resistance_thickness()).abs() < 1e-18);
     }
 
     #[test]

@@ -239,9 +239,8 @@ impl TransientLine {
         let cv = self.metal.volumetric_heat_capacity().value();
         let rho_ref = self.metal.resistivity(self.reference_temperature).value();
         let rho_melt = self.metal.resistivity(self.metal.melting_point()).value();
-        let beta_eff = self.metal.temperature_coefficient()
-            * self.metal.resistivity_ref().value()
-            / rho_ref;
+        let beta_eff =
+            self.metal.temperature_coefficient() * self.metal.resistivity_ref().value() / rho_ref;
         let j2 = j.value() * j.value();
         let sensible = cv / (j2 * rho_ref * beta_eff) * (rho_melt / rho_ref).ln();
         let latent_vol = self.metal.latent_heat_fusion() * self.metal.mass_density().value();
@@ -408,7 +407,10 @@ mod tests {
         let j50 = line.adiabatic_critical_density(Seconds::from_nanos(50.0));
         let j200 = line.adiabatic_critical_density(Seconds::from_nanos(200.0));
         let ratio = j50.value() / j200.value();
-        assert!((ratio - 2.0).abs() < 1e-9, "adiabatic law is exactly t^-1/2");
+        assert!(
+            (ratio - 2.0).abs() < 1e-9,
+            "adiabatic law is exactly t^-1/2"
+        );
     }
 
     #[test]
@@ -503,10 +505,18 @@ mod tests {
     fn validation_errors() {
         let line = alcu_line();
         assert!(line
-            .simulate(|_| CurrentDensity::ZERO, Seconds::new(0.0), Seconds::new(1e-9))
+            .simulate(
+                |_| CurrentDensity::ZERO,
+                Seconds::new(0.0),
+                Seconds::new(1e-9)
+            )
             .is_err());
         assert!(line
-            .simulate(|_| CurrentDensity::ZERO, Seconds::new(1e-6), Seconds::new(0.0))
+            .simulate(
+                |_| CurrentDensity::ZERO,
+                Seconds::new(1e-6),
+                Seconds::new(0.0)
+            )
             .is_err());
         assert!(line
             .simulate_square_pulse(

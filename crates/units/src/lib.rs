@@ -97,10 +97,7 @@ impl std::fmt::Display for QuantityError {
 
 impl std::error::Error for QuantityError {}
 
-pub(crate) fn check_non_negative(
-    quantity: &'static str,
-    value: f64,
-) -> Result<f64, QuantityError> {
+pub(crate) fn check_non_negative(quantity: &'static str, value: f64) -> Result<f64, QuantityError> {
     if !value.is_finite() {
         return Err(QuantityError::NotFinite { quantity });
     }

@@ -24,11 +24,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("HBM 4 kV", EsdStress::human_body(4000.0)),
         ("MM 200 V", EsdStress::machine(200.0)),
         ("CDM 5 A", EsdStress::charged_device(5.0)),
-        ("TLP 1.5 A / 150 ns", EsdStress::tlp(1.5, Seconds::from_nanos(150.0))),
+        (
+            "TLP 1.5 A / 150 ns",
+            EsdStress::tlp(1.5, Seconds::from_nanos(150.0)),
+        ),
     ];
     for metal in [Metal::alcu(), Metal::copper()] {
-        println!("=== {} I/O bus, t_m = {:.2} µm ===", metal.name(), m1.thickness().to_micrometers());
-        println!("{:<20}{:>10}{:>14}{:>16}{:>12}", "stress", "W [µm]", "T_peak [°C]", "j_peak [MA/cm²]", "outcome");
+        println!(
+            "=== {} I/O bus, t_m = {:.2} µm ===",
+            metal.name(),
+            m1.thickness().to_micrometers()
+        );
+        println!(
+            "{:<20}{:>10}{:>14}{:>16}{:>12}",
+            "stress", "W [µm]", "T_peak [°C]", "j_peak [MA/cm²]", "outcome"
+        );
         for (name, stress) in &stresses {
             for w in [2.0, 5.0, 10.0] {
                 let line = LineGeometry::new(um(w), m1.thickness(), um(150.0))?;

@@ -76,7 +76,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             worst.from,
             worst.to,
             violations.len(),
-            if report.meets_rule(j_limit) { "SIGN-OFF" } else { "FIX PADS" },
+            if report.meets_rule(j_limit) {
+                "SIGN-OFF"
+            } else {
+                "FIX PADS"
+            },
         );
         let _ = CurrentDensity::ZERO;
     }

@@ -29,8 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Length::from_micrometers(1000.0),
     )?;
 
-    println!("\n{:<12}{:>10}{:>16}{:>18}{:>12}", "dielectric", "duty r", "T_m [°C]", "j_peak [MA/cm²]", "EM-only ×");
-    for dielectric in [Dielectric::oxide(), Dielectric::hsq(), Dielectric::polyimide()] {
+    println!(
+        "\n{:<12}{:>10}{:>16}{:>18}{:>12}",
+        "dielectric", "duty r", "T_m [°C]", "j_peak [MA/cm²]", "EM-only ×"
+    );
+    for dielectric in [
+        Dielectric::oxide(),
+        Dielectric::hsq(),
+        Dielectric::polyimide(),
+    ] {
         for r in [1.0, 0.1, 0.01] {
             let problem = SelfConsistentProblem::builder()
                 .metal(tech.metal().clone())

@@ -22,15 +22,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stack = layer_stack(&tech, m4.index(), &Dielectric::hsq())?;
     let sigma = 0.5; // measured lognormal deviation of the metallization
 
-    println!("Net reliability budget — {} / {} with HSQ gap fill\n", tech.name(), m4.name());
+    println!(
+        "Net reliability budget — {} / {} with HSQ gap fill\n",
+        tech.name(),
+        m4.name()
+    );
 
     // 1. Operating point of a long net at its allowed density vs an
     //    aggressive use 20 % above it.
     let line = LineGeometry::new(m4.width(), m4.thickness(), Length::from_micrometers(2000.0))?;
     let problem = SelfConsistentProblem::builder()
-        .metal(tech.metal().clone().with_design_rule_j0(
-            CurrentDensity::from_amps_per_cm2(6.0e5),
-        ))
+        .metal(
+            tech.metal()
+                .clone()
+                .with_design_rule_j0(CurrentDensity::from_amps_per_cm2(6.0e5)),
+        )
         .line(line)
         .stack(stack.clone())
         .phi(QUASI_2D_PHI)
@@ -44,9 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. Population statistics: the 10-year goal is a 0.1 % quantile.
-    let black = BlackModel::for_metal(problem.metal()).with_design_rule_j0(
-        CurrentDensity::from_amps_per_cm2(6.0e5),
-    );
+    let black = BlackModel::for_metal(problem.metal())
+        .with_design_rule_j0(CurrentDensity::from_amps_per_cm2(6.0e5));
     let at_rule = LognormalLifetime::from_quantile(hotwire::em::TEN_YEARS, 1.0e-3, sigma)?;
     println!(
         "at the design rule: median life {:.0} y, 0.1 % fail at {:.0} y, 1 % at {:.1} y",
@@ -57,7 +62,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Overdrive by 20 %: Black's law gives the median shift, the
     // distribution shape is unchanged.
     let j_over = sol.j_avg * 1.2;
-    let ratio = black.lifetime_ratio(j_over, sol.metal_temperature, sol.j_avg, sol.metal_temperature);
+    let ratio = black.lifetime_ratio(
+        j_over,
+        sol.metal_temperature,
+        sol.j_avg,
+        sol.metal_temperature,
+    );
     let overdriven = at_rule.scaled(ratio)?;
     println!(
         "overdriven 20 %: 0.1 % fail already at {:.1} y (lifetime ratio {:.2})",
@@ -68,7 +78,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Short-net relaxation — honest extra margin for λ-scale stubs.
     let stub = SelfConsistentProblem::builder()
         .metal(problem.metal().clone())
-        .line(LineGeometry::new(m4.width(), m4.thickness(), Length::from_micrometers(25.0))?)
+        .line(LineGeometry::new(
+            m4.width(),
+            m4.thickness(),
+            Length::from_micrometers(25.0),
+        )?)
         .stack(stack.clone())
         .phi(QUASI_2D_PHI)
         .duty_cycle(0.1)
@@ -80,7 +94,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         short.healing_length.to_micrometers(),
         short.solution.j_peak.to_mega_amps_per_cm2(),
         (short.solution.j_peak.value() / sol.j_peak.value() - 1.0) * 100.0,
-        if short.thermally_long { " [thermally long]" } else { "" }
+        if short.thermally_long {
+            " [thermally long]"
+        } else {
+            ""
+        }
     );
 
     // 4. One near-miss ESD event: latent damage derates the whole

@@ -9,7 +9,10 @@ use hotwire::core::rules::{layer_stack, DesignRuleSpec, DesignRuleTable};
 use hotwire::tech::{presets, Dielectric, Technology};
 use hotwire::units::CurrentDensity;
 
-fn check_technology(tech: &Technology, dielectric: &Dielectric) -> Result<(), Box<dyn std::error::Error>> {
+fn check_technology(
+    tech: &Technology,
+    dielectric: &Dielectric,
+) -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "=== {} with {} gap fill ===",
         tech.name(),
@@ -24,7 +27,14 @@ fn check_technology(tech: &Technology, dielectric: &Dielectric) -> Result<(), Bo
 
     println!(
         "{:<7}{:>12}{:>9}{:>12}{:>14}{:>16}{:>16}{:>9}",
-        "layer", "l_opt [mm]", "s_opt", "r_eff", "slew (10-90)", "j_peak [MA/cm²]", "limit [MA/cm²]", "verdict"
+        "layer",
+        "l_opt [mm]",
+        "s_opt",
+        "r_eff",
+        "slew (10-90)",
+        "j_peak [MA/cm²]",
+        "limit [MA/cm²]",
+        "verdict"
     );
     let n = tech.layers().len();
     for index in [n - 2, n - 1] {

@@ -55,16 +55,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{}",
         heat_map(&field, structure.width(), structure.height(), 72, 16)
     );
-    println!("peak rise {:.2} K per W/m of line power\n", field.max_rise());
+    println!(
+        "peak rise {:.2} K per W/m of line power\n",
+        field.max_rise()
+    );
 
     // 2. The Fig. 8 dense array: every line hot, one pitch shown.
     println!("dense 4-level array (all lines hot) — thermal coupling in action:\n");
     let array = ArrayStructure {
         levels: vec![
-            ArrayLevel { width: um(0.4), pitch: um(0.8), thickness: um(0.6), ild_below: um(0.8) },
-            ArrayLevel { width: um(0.4), pitch: um(0.8), thickness: um(0.6), ild_below: um(0.7) },
-            ArrayLevel { width: um(0.6), pitch: um(1.2), thickness: um(0.8), ild_below: um(0.7) },
-            ArrayLevel { width: um(1.0), pitch: um(2.0), thickness: um(1.0), ild_below: um(0.8) },
+            ArrayLevel {
+                width: um(0.4),
+                pitch: um(0.8),
+                thickness: um(0.6),
+                ild_below: um(0.8),
+            },
+            ArrayLevel {
+                width: um(0.4),
+                pitch: um(0.8),
+                thickness: um(0.6),
+                ild_below: um(0.7),
+            },
+            ArrayLevel {
+                width: um(0.6),
+                pitch: um(1.2),
+                thickness: um(0.8),
+                ild_below: um(0.7),
+            },
+            ArrayLevel {
+                width: um(1.0),
+                pitch: um(2.0),
+                thickness: um(1.0),
+                ild_below: um(0.8),
+            },
         ],
         dielectric: Dielectric::oxide(),
         cap_thickness: um(1.0),

@@ -1,0 +1,301 @@
+//! Value-generation strategies (subset of `proptest::strategy`).
+
+use crate::test_runner::TestRng;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: std::fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start() + (self.end() - self.start()) * rng.unit_f64()
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(usize, u64, u32, u16, u8, i64, i32);
+
+/// Types with a canonical strategy (subset of `proptest::arbitrary`).
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Draws one arbitrary value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric, spanning many magnitudes.
+        let mag = (-30.0 + 60.0 * rng.unit_f64()) * std::f64::consts::LN_10;
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * mag.exp()
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_int!(usize, u64, u32, u16, u8, i64, i32);
+
+/// The canonical strategy of an [`Arbitrary`] type.
+#[derive(Debug, Clone)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// String strategies from a regex-like pattern (subset: char classes,
+/// `\PC`, literals; quantifiers `* + ? {m} {m,n}`).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[derive(Debug)]
+enum Atom {
+    /// Any printable char (`\PC`): ASCII graphic, space, or a small
+    /// sample of non-ASCII printables to keep parsers honest.
+    Printable,
+    /// An explicit class of chars (expanded from `[...]`).
+    Class(Vec<char>),
+    /// A literal char.
+    Literal(char),
+}
+
+fn printable(rng: &mut TestRng) -> char {
+    // Mostly ASCII printable, occasionally some non-ASCII printables.
+    const EXOTIC: &[char] = &['é', 'Ω', '☃', '中', '\u{200B}', 'ß', '¿'];
+    if rng.below(8) == 0 {
+        EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+    } else {
+        char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap_or(' ')
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom.
+        let atom = match chars[i] {
+            '\\' if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') => {
+                i += 3;
+                Atom::Printable
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Atom::Literal(chars[i - 1])
+            }
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map_or(chars.len(), |p| i + 1 + p);
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        for c in lo..=hi {
+                            if let Some(c) = char::from_u32(c) {
+                                set.push(c);
+                            }
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                Atom::Class(set)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Parse an optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0_u64, 32_u64)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 32)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map_or(chars.len(), |p| i + 1 + p);
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                let parts: Vec<&str> = body.splitn(2, ',').collect();
+                let lo: u64 = parts[0].trim().parse().unwrap_or(0);
+                let hi: u64 = parts.get(1).map_or(lo, |s| s.trim().parse().unwrap_or(lo));
+                (lo, hi)
+            }
+            _ => (1, 1),
+        };
+        let count = min + rng.below(max - min + 1);
+        for _ in 0..count {
+            match &atom {
+                Atom::Printable => out.push(printable(rng)),
+                Atom::Class(set) if !set.is_empty() => {
+                    out.push(set[rng.below(set.len() as u64) as usize]);
+                }
+                Atom::Class(_) => {}
+                Atom::Literal(c) => out.push(*c),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::Config;
+
+    fn rng() -> TestRng {
+        // Any fixed name works for unit tests.
+        let cfg = Config::with_cases(1);
+        let mut out = None;
+        crate::test_runner::run_cases(&cfg, "strategy_unit", |r| {
+            out = Some(r.clone());
+            (String::new(), Ok(()))
+        });
+        out.unwrap()
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let x = (2.5_f64..7.5).generate(&mut r);
+            assert!((2.5..7.5).contains(&x));
+            let n = (3_usize..9).generate(&mut r);
+            assert!((3..9).contains(&n));
+        }
+    }
+
+    #[test]
+    fn class_pattern_respects_length_and_alphabet() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z]{3,12}".generate(&mut r);
+            assert!((3..=12).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_star_generates_varied_strings() {
+        let mut r = rng();
+        let mut lengths = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let s = "\\PC*".generate(&mut r);
+            assert!(
+                s.chars().all(|c| !c.is_control() || c == '\u{200B}'),
+                "{s:?}"
+            );
+            lengths.insert(s.chars().count());
+        }
+        assert!(lengths.len() > 3, "should vary in length");
+    }
+}

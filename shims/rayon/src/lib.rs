@@ -1,0 +1,256 @@
+//! Offline stand-in for `rayon` built on `std::thread::scope`.
+//!
+//! Covers the data-parallel slice this workspace uses: `par_iter()` /
+//! `into_par_iter()` on slices, `Vec`s, and `Range<usize>`, followed by
+//! `map(...)` and an order-preserving `collect()` (into `Vec<T>` or
+//! `Result<Vec<T>, E>`), plus `join` and `current_num_threads`.
+//!
+//! Semantics that callers may rely on:
+//!
+//! * **Deterministic ordering** — `collect()` returns results in input
+//!   order regardless of thread interleaving (same guarantee as rayon's
+//!   indexed parallel iterators).
+//! * **Eager evaluation** — `map` runs when `collect` is called; a
+//!   `Result` collect does not short-circuit remaining items (unlike
+//!   rayon), it just returns the first error in input order.
+//! * **Panic propagation** — a panicking closure panics the caller.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` or
+//! `available_parallelism()`; with one thread everything runs inline on
+//! the calling thread with identical results.
+//!
+//! Swap the workspace dependency back to crates.io `rayon` when network
+//! access is available.
+
+/// The number of worker threads parallel operations will use.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-shim: joined closure panicked"))
+    })
+}
+
+fn parallel_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let len = items.len();
+    let chunk_size = len.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_size));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(len);
+        for h in handles {
+            out.extend(h.join().expect("rayon-shim: worker panicked"));
+        }
+        out
+    })
+}
+
+/// An in-flight parallel iterator (materialized item list).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` (runs in parallel at `collect`).
+    pub fn map<U: Send, F: Fn(T) -> U + Sync + Send>(self, f: F) -> MapParIter<T, U, F> {
+        MapParIter {
+            items: self.items,
+            f,
+            _out: std::marker::PhantomData,
+        }
+    }
+
+    /// Accepted for rayon API parity; chunking is automatic here.
+    #[must_use]
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+
+    /// Collects the items (no-op map).
+    pub fn collect<C: FromParIter<T>>(self) -> C {
+        C::from_ordered(self.items)
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct MapParIter<T, U, F> {
+    items: Vec<T>,
+    f: F,
+    _out: std::marker::PhantomData<fn() -> U>,
+}
+
+impl<T: Send, U: Send, F: Fn(T) -> U + Sync + Send> MapParIter<T, U, F> {
+    /// Accepted for rayon API parity; chunking is automatic here.
+    #[must_use]
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+
+    /// Executes the map across worker threads and collects in input
+    /// order.
+    pub fn collect<C: FromParIter<U>>(self) -> C {
+        C::from_ordered(parallel_map(self.items, self.f))
+    }
+}
+
+/// Conversion from an ordered item list (mirror of
+/// `rayon::iter::FromParallelIterator`).
+pub trait FromParIter<T> {
+    /// Builds the collection from items already in input order.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParIter<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromParIter<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// Types convertible into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Types whose references iterate in parallel (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed element type.
+    type Item: Send + 'a;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordering_is_preserved() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 3).collect();
+        let expected: Vec<u64> = (0..1000).map(|x| x * 3).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn ordering_with_forced_threads() {
+        // The chunk-stitch path must preserve order even when the work per
+        // item is skewed.
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let out: Vec<usize> = (0..503)
+            .into_par_iter()
+            .map(|i| {
+                if i % 97 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                i * 2
+            })
+            .collect();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(out, (0..503).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn result_collect_takes_first_error_in_order() {
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let out: Result<Vec<u32>, String> = (0..100)
+            .into_par_iter()
+            .map(|i| {
+                if i % 30 == 29 {
+                    Err(format!("e{i}"))
+                } else {
+                    Ok(i as u32)
+                }
+            })
+            .collect();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(out, Err("e29".to_owned()));
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! This build environment has no network access and no crates.io cache, so
+//! the workspace points `serde` at this shim. The repository only uses
+//! serde for `#[derive(Serialize, Deserialize)]` markers (no code actually
+//! serializes through serde yet — the tech-file format is hand-written
+//! text), so the traits are empty and blanket-implemented and the derives
+//! are no-ops. Swap the workspace dependency back to the real crates.io
+//! `serde` when network access is available; no call-site changes needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>` (blanket-implemented).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,22 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//!
+//! The real derives generate `Serialize`/`Deserialize` impls; here the
+//! traits (in the sibling `serde` shim) are blanket-implemented for every
+//! type, so the derives only need to *exist* and accept the `#[serde(...)]`
+//! helper attributes.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` attributes; emits
+/// nothing (the shim `serde::Serialize` trait is blanket-implemented).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` attributes; emits
+/// nothing (the shim `serde::Deserialize` trait is blanket-implemented).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -143,7 +143,10 @@ fn pick_dielectric(opts: &Flags) -> Result<Dielectric, String> {
     Dielectric::builtin(name).ok_or_else(|| format!("unknown dielectric `{name}`"))
 }
 
-fn build_problem(opts: &Flags, tech: &Technology) -> Result<(SelfConsistentProblem, String), String> {
+fn build_problem(
+    opts: &Flags,
+    tech: &Technology,
+) -> Result<(SelfConsistentProblem, String), String> {
     let layer_name = flag(opts, "layer")?;
     let layer = tech
         .layer(layer_name)
@@ -186,8 +189,14 @@ fn cmd_solve(opts: &Flags) -> Result<(), String> {
         sol.j_peak.to_mega_amps_per_cm2(),
         problem.em_only_peak().to_mega_amps_per_cm2()
     );
-    println!("  j_rms    = {:.3} MA/cm²", sol.j_rms.to_mega_amps_per_cm2());
-    println!("  j_avg    = {:.3} MA/cm²", sol.j_avg.to_mega_amps_per_cm2());
+    println!(
+        "  j_rms    = {:.3} MA/cm²",
+        sol.j_rms.to_mega_amps_per_cm2()
+    );
+    println!(
+        "  j_avg    = {:.3} MA/cm²",
+        sol.j_avg.to_mega_amps_per_cm2()
+    );
     Ok(())
 }
 
@@ -346,8 +355,7 @@ fn parse_nets_csv(text: &str) -> Result<Vec<NetSpec>, String> {
 fn cmd_signoff(opts: &Flags) -> Result<(), String> {
     let tech = load_tech(opts)?;
     let path = flag(opts, "nets")?;
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let nets = parse_nets_csv(&text)?;
     let mut config = SignoffConfig {
         intra_dielectric: pick_dielectric(opts)?,
@@ -393,10 +401,8 @@ fn cmd_signoff(opts: &Flags) -> Result<(), String> {
 
 fn cmd_simulate(opts: &Flags) -> Result<(), String> {
     let path = flag(opts, "netlist")?;
-    let deck =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let parsed =
-        hotwire::circuit::parser::parse_netlist(&deck).map_err(|e| e.to_string())?;
+    let deck = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let parsed = hotwire::circuit::parser::parse_netlist(&deck).map_err(|e| e.to_string())?;
     let t_stop = flag(opts, "tstop")?
         .parse::<f64>()
         .map_err(|_| "--tstop must be a number in seconds".to_owned())?;

@@ -30,7 +30,15 @@ fn help_lists_commands() {
 #[test]
 fn solve_reports_the_operating_point() {
     let (ok, stdout, _) = hotwire(&[
-        "solve", "--tech", "ntrs-250", "--layer", "M6", "--dielectric", "HSQ", "--r", "0.1",
+        "solve",
+        "--tech",
+        "ntrs-250",
+        "--layer",
+        "M6",
+        "--dielectric",
+        "HSQ",
+        "--r",
+        "0.1",
     ]);
     assert!(ok);
     assert!(stdout.contains("M6/HSQ"));
@@ -54,7 +62,10 @@ fn sweep_emits_csv() {
     ]);
     assert!(ok);
     let lines: Vec<&str> = stdout.trim().lines().collect();
-    assert_eq!(lines[0], "r,metal_temperature_c,j_peak_ma_cm2,em_only_peak_ma_cm2");
+    assert_eq!(
+        lines[0],
+        "r,metal_temperature_c,j_peak_ma_cm2,em_only_peak_ma_cm2"
+    );
     assert_eq!(lines.len(), 6, "header + 5 points");
     for line in &lines[1..] {
         assert_eq!(line.split(',').count(), 4);
@@ -64,12 +75,24 @@ fn sweep_emits_csv() {
 #[test]
 fn esd_classifies_a_narrow_line_as_failing() {
     let (ok, stdout, _) = hotwire(&[
-        "esd", "--stress", "hbm:2000", "--width-um", "0.5", "--metal", "alcu",
+        "esd",
+        "--stress",
+        "hbm:2000",
+        "--width-um",
+        "0.5",
+        "--metal",
+        "alcu",
     ]);
     assert!(ok);
     assert!(stdout.contains("OpenCircuit"), "{stdout}");
     let (ok, stdout, _) = hotwire(&[
-        "esd", "--stress", "hbm:2000", "--width-um", "20", "--metal", "alcu",
+        "esd",
+        "--stress",
+        "hbm:2000",
+        "--width-um",
+        "20",
+        "--metal",
+        "alcu",
     ]);
     assert!(ok);
     assert!(stdout.contains("Pass"), "{stdout}");
@@ -181,11 +204,7 @@ fn simulate_runs_a_netlist_deck() {
     let dir = std::env::temp_dir().join(format!("hotwire-sim-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("deck.sp");
-    std::fs::write(
-        &path,
-        "V1 in 0 DC 1.0\nR1 in out 1k\nC1 out 0 1n\n",
-    )
-    .unwrap();
+    std::fs::write(&path, "V1 in 0 DC 1.0\nR1 in out 1k\nC1 out 0 1n\n").unwrap();
     let (ok, stdout, stderr) = hotwire(&[
         "simulate",
         "--netlist",
@@ -199,7 +218,14 @@ fn simulate_runs_a_netlist_deck() {
     let lines: Vec<&str> = stdout.trim().lines().collect();
     assert_eq!(lines[0], "time_s,out");
     // final sample settles to the rail
-    let last: f64 = lines.last().unwrap().split(',').nth(1).unwrap().parse().unwrap();
+    let last: f64 = lines
+        .last()
+        .unwrap()
+        .split(',')
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
     assert!((last - 1.0).abs() < 1e-2, "settled to {last}");
     // unknown probe is an error
     let (ok, _, stderr) = hotwire(&[

@@ -9,9 +9,7 @@ use hotwire::tech::{Dielectric, Metal};
 use hotwire::thermal::grid2d::{
     ArrayLevel, ArrayStructure, MeshControl, SingleWireStructure, SolveOptions,
 };
-use hotwire::thermal::impedance::{
-    thermal_impedance, InsulatorStack, LineGeometry, QUASI_1D_PHI,
-};
+use hotwire::thermal::impedance::{thermal_impedance, InsulatorStack, LineGeometry, QUASI_1D_PHI};
 use hotwire::units::{CurrentDensity, Length};
 
 fn um(v: f64) -> Length {
@@ -60,7 +58,11 @@ fn extracted_phi_generalizes_across_widths() {
 fn quasi_1d_is_pessimistic_for_narrow_lines() {
     let narrow = SingleWireStructure::all_oxide(um(0.35), um(0.55), um(1.2));
     let sol = narrow
-        .solve(um(6.0), MeshControl::resolving(um(0.08), 1), SolveOptions::default())
+        .solve(
+            um(6.0),
+            MeshControl::resolving(um(0.08), 1),
+            SolveOptions::default(),
+        )
         .unwrap();
     let line = LineGeometry::new(um(0.35), um(0.55), um(1000.0)).unwrap();
     let stack = InsulatorStack::single(um(1.2), &Dielectric::oxide());
@@ -79,10 +81,30 @@ fn quasi_1d_is_pessimistic_for_narrow_lines() {
 fn dense_array_reduces_allowed_peak_like_table7() {
     let array = ArrayStructure {
         levels: vec![
-            ArrayLevel { width: um(0.4), pitch: um(0.8), thickness: um(0.6), ild_below: um(0.8) },
-            ArrayLevel { width: um(0.4), pitch: um(0.8), thickness: um(0.6), ild_below: um(0.7) },
-            ArrayLevel { width: um(0.6), pitch: um(1.2), thickness: um(0.8), ild_below: um(0.7) },
-            ArrayLevel { width: um(1.0), pitch: um(2.0), thickness: um(1.0), ild_below: um(0.8) },
+            ArrayLevel {
+                width: um(0.4),
+                pitch: um(0.8),
+                thickness: um(0.6),
+                ild_below: um(0.8),
+            },
+            ArrayLevel {
+                width: um(0.4),
+                pitch: um(0.8),
+                thickness: um(0.6),
+                ild_below: um(0.7),
+            },
+            ArrayLevel {
+                width: um(0.6),
+                pitch: um(1.2),
+                thickness: um(0.8),
+                ild_below: um(0.7),
+            },
+            ArrayLevel {
+                width: um(1.0),
+                pitch: um(2.0),
+                thickness: um(1.0),
+                ild_below: um(0.8),
+            },
         ],
         dielectric: Dielectric::oxide(),
         cap_thickness: um(1.0),
@@ -92,14 +114,16 @@ fn dense_array_reduces_allowed_peak_like_table7() {
     let control = MeshControl::resolving(um(0.1), 1);
     let options = SolveOptions::default();
     let heated = vec![true; 4];
-    let rise_dense = array.solve_rise(&heated, true, 3, control, options).unwrap();
-    let rise_isolated = array.solve_rise(&heated, false, 3, control, options).unwrap();
+    let rise_dense = array
+        .solve_rise(&heated, true, 3, control, options)
+        .unwrap();
+    let rise_isolated = array
+        .solve_rise(&heated, false, 3, control, options)
+        .unwrap();
     assert!(rise_dense > rise_isolated);
 
     let problem = SelfConsistentProblem::builder()
-        .metal(Metal::copper().with_design_rule_j0(
-            CurrentDensity::from_mega_amps_per_cm2(1.8),
-        ))
+        .metal(Metal::copper().with_design_rule_j0(CurrentDensity::from_mega_amps_per_cm2(1.8)))
         .line(LineGeometry::new(um(1.0), um(1.0), um(1000.0)).unwrap())
         .heating_constant(1.0) // overridden by array_comparison
         .duty_cycle(0.1)
@@ -108,7 +132,8 @@ fn dense_array_reduces_allowed_peak_like_table7() {
     let cmp = array_comparison(&problem, rise_dense, rise_isolated).unwrap();
     assert!(
         cmp.reduction > 0.10 && cmp.reduction < 0.70,
-        "Table 7-scale reduction expected, got {:.2}", cmp.reduction
+        "Table 7-scale reduction expected, got {:.2}",
+        cmp.reduction
     );
     // magnitudes comparable to Table 7's 6.4 / 10.6 MA/cm² row
     assert!(cmp.j_peak_isolated.to_mega_amps_per_cm2() > 2.0);
@@ -124,10 +149,7 @@ fn direct_and_sor_solvers_agree() {
     let sor = sw.solve(um(4.0), control, SolveOptions::sor()).unwrap();
     let a = direct.rise_per_line_power();
     let b = sor.rise_per_line_power();
-    assert!(
-        (a - b).abs() / a < 1e-4,
-        "direct {a} vs SOR {b}"
-    );
+    assert!((a - b).abs() / a < 1e-4, "direct {a} vs SOR {b}");
 }
 
 /// Mesh refinement converges the simulated thermal impedance.
@@ -135,15 +157,27 @@ fn direct_and_sor_solvers_agree() {
 fn mesh_refinement_converges() {
     let sw = SingleWireStructure::all_oxide(um(0.5), um(0.55), um(1.2));
     let coarse = sw
-        .solve(um(5.0), MeshControl::resolving(um(0.25), 1), SolveOptions::default())
+        .solve(
+            um(5.0),
+            MeshControl::resolving(um(0.25), 1),
+            SolveOptions::default(),
+        )
         .unwrap()
         .rise_per_line_power();
     let medium = sw
-        .solve(um(5.0), MeshControl::resolving(um(0.12), 1), SolveOptions::default())
+        .solve(
+            um(5.0),
+            MeshControl::resolving(um(0.12), 1),
+            SolveOptions::default(),
+        )
         .unwrap()
         .rise_per_line_power();
     let fine = sw
-        .solve(um(5.0), MeshControl::resolving(um(0.05), 1), SolveOptions::default())
+        .solve(
+            um(5.0),
+            MeshControl::resolving(um(0.05), 1),
+            SolveOptions::default(),
+        )
         .unwrap()
         .rise_per_line_power();
     let d_coarse = (coarse - fine).abs();

@@ -107,12 +107,8 @@ fn global_lines_are_thermally_long() {
     assert!(profile.is_thermally_long(5.0));
     assert!(profile.short_line_correction() > 0.9);
     // …while a λ-scale inter-block wire runs much cooler.
-    let short = FinProfile::new(
-        hotwire::units::TemperatureDelta::new(30.0),
-        lambda,
-        lambda,
-    )
-    .unwrap();
+    let short =
+        FinProfile::new(hotwire::units::TemperatureDelta::new(30.0), lambda, lambda).unwrap();
     assert!(short.midpoint_rise().value() < 0.5 * 30.0);
 }
 
@@ -250,7 +246,5 @@ fn bipolar_healing_makes_unipolar_rules_lower_bounds() {
     );
     // conservative form equals the rectified average the rules use
     let stats = report.waveform.stats();
-    assert!(
-        (conservative.value() - stats.average.value()).abs() < 1e-6 * stats.average.value()
-    );
+    assert!((conservative.value() - stats.average.value()).abs() < 1e-6 * stats.average.value());
 }

@@ -23,7 +23,11 @@ fn random_tech(
     let mut b = TechnologyBuilder::new("randtech", um(0.25))
         .vdd(Voltage::new(2.5))
         .clock(Frequency::from_megahertz(750.0))
-        .metal(if use_alcu { Metal::alcu() } else { Metal::copper() })
+        .metal(if use_alcu {
+            Metal::alcu()
+        } else {
+            Metal::copper()
+        })
         .dielectrics(Dielectric::oxide(), Dielectric::oxide())
         .driver(DriverParams::new(
             Resistance::new(10.0e3),

@@ -23,15 +23,12 @@ fn problem(
     phi: f64,
 ) -> SelfConsistentProblem {
     SelfConsistentProblem::builder()
-        .metal(
-            Metal::copper()
-                .with_design_rule_j0(CurrentDensity::from_mega_amps_per_cm2(j0_ma)),
-        )
+        .metal(Metal::copper().with_design_rule_j0(CurrentDensity::from_mega_amps_per_cm2(j0_ma)))
         .line(LineGeometry::new(um(w_um), um(tm_um), um(1000.0)).unwrap())
-        .stack(InsulatorStack::new().with_raw_layer(
-            um(tox_um),
-            hotwire::units::ThermalConductivity::new(k_th),
-        ))
+        .stack(
+            InsulatorStack::new()
+                .with_raw_layer(um(tox_um), hotwire::units::ThermalConductivity::new(k_th)),
+        )
         .phi(phi)
         .duty_cycle(r)
         .build()

@@ -149,6 +149,9 @@ fn time_step_refinement_converges() {
         let t = sim.failed_at.expect("melts").value();
         errors.push((t - t_ref.value()).abs() / t_ref.value());
     }
-    assert!(errors[2] <= errors[0], "refinement reduces error: {errors:?}");
+    assert!(
+        errors[2] <= errors[0],
+        "refinement reduces error: {errors:?}"
+    );
     assert!(errors[2] < 0.02, "fine step within 2 %: {errors:?}");
 }
