@@ -1,0 +1,185 @@
+//! Measures the coupled EM–IR–thermal fixed-point loop and writes the
+//! machine-readable baseline `BENCH_coupled.json`.
+//!
+//! ```text
+//! cargo run --release -p hotwire-bench --bin coupled_baseline
+//! cargo run --release -p hotwire-bench --bin coupled_baseline -- --out BENCH_coupled.json
+//! ```
+//!
+//! The headline number is the factorization-reuse ratio: iteration 1
+//! pays the full sparse LU of the grid's MNA matrix, while iterations
+//! 2+ restamp the same sparsity pattern and `refactor()` along the
+//! cached pivot order. The file records both times per grid size so a
+//! regression in either shows up as a ratio shift.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use hotwire_circuit::power_grid::{PowerGrid, PowerGridSpec};
+use hotwire_coupled::{CoupledEngine, CoupledGridSpec, CoupledOptions};
+use hotwire_units::{Area, Current, Resistance};
+
+/// Grid edges reported in the baseline file.
+const SIZES: [usize; 2] = [50, 100];
+
+/// Timing repetitions per grid size (medians are reported).
+const REPS: usize = 3;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+struct Row {
+    grid: usize,
+    unknowns: usize,
+    iterations: usize,
+    first_iter_ms: f64,
+    later_iter_ms: f64,
+    total_ms: f64,
+}
+
+/// One converged run, timed per iteration. Returns
+/// `(iterations, first_ms, median_later_ms, total_ms)`.
+fn timed_run(n: usize) -> (usize, f64, f64, f64) {
+    let mut engine = CoupledEngine::new(CoupledGridSpec::demo(n, n), CoupledOptions::default())
+        .expect("valid demo spec");
+    let start = Instant::now();
+    let mut iter_ms = Vec::new();
+    while !engine.converged() {
+        let t0 = Instant::now();
+        engine.step().expect("demo grid converges");
+        iter_ms.push(t0.elapsed().as_secs_f64() * 1.0e3);
+        assert!(iter_ms.len() <= 200, "demo grid failed to converge");
+    }
+    let total_ms = start.elapsed().as_secs_f64() * 1.0e3;
+    let first = iter_ms[0];
+    let later = median(iter_ms[1..].to_vec());
+    (iter_ms.len(), first, later, total_ms)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_coupled.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" | "-o" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+                out_path.clone_from(&args[i + 1]);
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: coupled_baseline [--out <path>]\n\
+                     times the coupled electro-thermal fixed-point loop on square\n\
+                     power grids (iterations to converge, first vs later iteration\n\
+                     cost showing factorization reuse) and writes a JSON baseline\n\
+                     (default: BENCH_coupled.json in the current directory)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Sanity anchor: at a negligible load the coupled loop's electrical
+    // state must agree with the seed-era transient grid solve (behind
+    // the circuit crate's `bench-baselines` feature) — heating is then
+    // ~µK and resistivity effectively constant.
+    {
+        let n = 10;
+        let spec = CoupledGridSpec {
+            sink_per_node: Current::from_milliamps(0.01),
+            ..CoupledGridSpec::demo(n, n)
+        };
+        let rho = spec.metal.resistivity(spec.reference_temperature).value();
+        let area = spec.strap_width.value() * spec.strap_thickness.value();
+        let seg_r = rho * spec.pitch.value() / area;
+        let seed = PowerGrid::build(&PowerGridSpec {
+            rows: n,
+            cols: n,
+            segment_resistance: Resistance::new(seg_r),
+            strap_cross_section: Area::new(area),
+            vdd: spec.vdd,
+            sink_per_node: spec.sink_per_node,
+            pads: spec.pads.clone(),
+        })
+        .expect("valid seed spec")
+        .analyze_via_transient()
+        .expect("seed path solves 10x10")
+        .worst_ir_drop
+        .value();
+        let mut engine =
+            CoupledEngine::new(spec.clone(), CoupledOptions::default()).expect("valid anchor spec");
+        engine.run().expect("anchor grid converges");
+        let coupled = spec.vdd.value()
+            - engine
+                .node_voltages()
+                .iter()
+                .fold(f64::INFINITY, |m, &v| m.min(v));
+        assert!(
+            (seed - coupled).abs() < 1.0e-6,
+            "seed transient drop ({seed}) and coupled drop ({coupled}) disagree; refusing to benchmark"
+        );
+    }
+
+    let mut rows = Vec::new();
+    for n in SIZES {
+        let runs: Vec<(usize, f64, f64, f64)> = (0..REPS).map(|_| timed_run(n)).collect();
+        let iterations = runs[0].0;
+        assert!(
+            runs.iter().all(|r| r.0 == iterations),
+            "iteration count must be deterministic"
+        );
+        let first_iter_ms = median(runs.iter().map(|r| r.1).collect());
+        let later_iter_ms = median(runs.iter().map(|r| r.2).collect());
+        let total_ms = median(runs.iter().map(|r| r.3).collect());
+        eprintln!(
+            "{n:>4}x{n:<4} {iterations:>3} iterations   first {first_iter_ms:>9.3} ms   later {later_iter_ms:>9.3} ms   total {total_ms:>10.3} ms"
+        );
+        rows.push(Row {
+            grid: n,
+            unknowns: n * n - 4,
+            iterations,
+            first_iter_ms,
+            later_iter_ms,
+            total_ms,
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"coupled EM-IR-thermal fixed point (CoupledGridSpec::demo, damped Picard, tol 0.05 K)\",\n");
+    json.push_str("  \"first_vs_later\": \"iteration 1 pays the full sparse LU; iterations 2+ restamp and refactor() along the cached pivot order — the ratio is the factorization-reuse payoff\",\n");
+    json.push_str("  \"machine\": \"container, medians of 3 runs\",\n");
+    json.push_str("  \"sizes\": [\n");
+    for (k, r) in rows.iter().enumerate() {
+        let speedup = r.first_iter_ms / r.later_iter_ms;
+        json.push_str(&format!(
+            "    {{\"grid\": \"{n}x{n}\", \"unknowns\": {u}, \"iterations\": {it}, \"first_iter_ms\": {f:.3}, \"later_iter_ms\": {l:.3}, \"refactor_speedup\": {sp:.1}, \"total_ms\": {t:.3}}}{comma}\n",
+            n = r.grid,
+            u = r.unknowns,
+            it = r.iterations,
+            f = r.first_iter_ms,
+            l = r.later_iter_ms,
+            sp = speedup,
+            t = r.total_ms,
+            comma = if k + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

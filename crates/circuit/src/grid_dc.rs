@@ -1,0 +1,416 @@
+//! Reusable DC solver for resistive grids: Dirichlet-pinned nodes,
+//! per-node sink currents, per-branch conductances — and cheap repeated
+//! solves when only the conductances change.
+//!
+//! This is the electrical half of the coupled electro-thermal loop: the
+//! topology (which nodes exist, which are pinned to a supply, which
+//! branches connect them) is fixed once, while branch conductances are
+//! restamped every iteration as each strap's resistivity tracks its
+//! local temperature. The solver eliminates pinned nodes from the
+//! system (no voltage-source branches), stamps the reduced conductance
+//! matrix through the dense/sparse [`MnaMatrix::auto`] crossover, and
+//! keeps the [`MnaFactorization`] alive across solves so iteration 2+
+//! pays only a numeric [`MnaFactorization::refactor`], not the symbolic
+//! analysis.
+//!
+//! ```
+//! use hotwire_circuit::grid_dc::DcGridSolver;
+//!
+//! // A 3-node chain: node 0 pinned at 1 V, 1 A drawn from node 2.
+//! let mut solver = DcGridSolver::new(3, vec![(0, 1), (1, 2)], &[(0, 1.0)], 1e-12)?;
+//! solver.set_sink(2, 1.0);
+//! solver.solve(&[2.0, 2.0])?; // two 0.5 Ω branches
+//! let v = solver.node_voltages();
+//! assert!((v[2] - 0.0).abs() < 1e-6, "1 V − 1 A·1 Ω ⇒ ≈0 V at the load");
+//! let i = solver.branch_currents();
+//! assert!((i[0] - 1.0).abs() < 1e-6, "current flows 0 → 2");
+//! # Ok::<(), hotwire_circuit::CircuitError>(())
+//! ```
+
+use crate::solver::{MnaFactorization, MnaMatrix};
+use crate::CircuitError;
+
+/// A resistive-grid DC solver with a fixed topology and restampable
+/// branch conductances.
+///
+/// Create once per topology with [`DcGridSolver::new`], then call
+/// [`DcGridSolver::solve`] as many times as needed with updated
+/// conductance vectors. The first solve factors the reduced matrix;
+/// later solves reuse the factorization's symbolic structure via
+/// [`MnaFactorization::refactor`].
+#[derive(Debug, Clone)]
+pub struct DcGridSolver {
+    n_nodes: usize,
+    branches: Vec<(usize, usize)>,
+    pinned_v: Vec<Option<f64>>,
+    unknown_of: Vec<usize>,
+    n_unknowns: usize,
+    gmin: f64,
+    sinks: Vec<f64>,
+    matrix: MnaMatrix,
+    factorization: Option<MnaFactorization>,
+    rhs: Vec<f64>,
+    reduced: Vec<f64>,
+    node_v: Vec<f64>,
+    branch_i: Vec<f64>,
+    solves: usize,
+}
+
+impl DcGridSolver {
+    /// Builds a solver for `n_nodes` nodes connected by `branches`
+    /// (pairs of node indices), with the given nodes pinned to fixed
+    /// voltages and a `gmin` leak from every free node to ground (so
+    /// disconnected islands droop instead of going singular).
+    ///
+    /// Duplicate pins on the same node are allowed; the last value wins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidDevice`] when there are no nodes,
+    /// no branches, no pinned nodes, an index is out of range, a branch
+    /// is a self-loop, or `gmin` is negative or non-finite.
+    pub fn new(
+        n_nodes: usize,
+        branches: Vec<(usize, usize)>,
+        pinned: &[(usize, f64)],
+        gmin: f64,
+    ) -> Result<Self, CircuitError> {
+        if n_nodes == 0 {
+            return Err(CircuitError::InvalidDevice {
+                message: "DC grid needs at least one node".to_owned(),
+            });
+        }
+        if branches.is_empty() {
+            return Err(CircuitError::InvalidDevice {
+                message: "DC grid needs at least one branch".to_owned(),
+            });
+        }
+        if pinned.is_empty() {
+            return Err(CircuitError::InvalidDevice {
+                message: "DC grid needs at least one pinned node".to_owned(),
+            });
+        }
+        if !(gmin >= 0.0) || !gmin.is_finite() {
+            return Err(CircuitError::InvalidDevice {
+                message: format!("gmin must be finite and non-negative, got {gmin}"),
+            });
+        }
+        for &(a, b) in &branches {
+            if a >= n_nodes || b >= n_nodes {
+                return Err(CircuitError::InvalidDevice {
+                    message: format!("branch ({a}, {b}) outside {n_nodes} nodes"),
+                });
+            }
+            if a == b {
+                return Err(CircuitError::InvalidDevice {
+                    message: format!("branch ({a}, {b}) is a self-loop"),
+                });
+            }
+        }
+        let mut pinned_v = vec![None; n_nodes];
+        for &(node, v) in pinned {
+            if node >= n_nodes {
+                return Err(CircuitError::InvalidDevice {
+                    message: format!("pinned node {node} outside {n_nodes} nodes"),
+                });
+            }
+            if !v.is_finite() {
+                return Err(CircuitError::InvalidDevice {
+                    message: format!("pinned voltage {v} at node {node} is not finite"),
+                });
+            }
+            pinned_v[node] = Some(v);
+        }
+        let mut unknown_of = vec![usize::MAX; n_nodes];
+        let mut n_unknowns = 0;
+        for (node, u) in unknown_of.iter_mut().enumerate() {
+            if pinned_v[node].is_none() {
+                *u = n_unknowns;
+                n_unknowns += 1;
+            }
+        }
+        let n_branches = branches.len();
+        Ok(Self {
+            n_nodes,
+            branches,
+            pinned_v,
+            unknown_of,
+            n_unknowns,
+            gmin,
+            sinks: vec![0.0; n_nodes],
+            matrix: MnaMatrix::auto(n_unknowns.max(1)),
+            factorization: None,
+            rhs: vec![0.0; n_unknowns],
+            reduced: Vec::new(),
+            node_v: vec![0.0; n_nodes],
+            branch_i: vec![0.0; n_branches],
+            solves: 0,
+        })
+    }
+
+    /// Sets the DC current drawn from `node` to ground (a logic load).
+    ///
+    /// Sinks on pinned nodes are legal but inert: the pad supplies them
+    /// directly without flowing through any branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_sink(&mut self, node: usize, amps: f64) {
+        self.sinks[node] = amps;
+    }
+
+    /// Solves the grid for the given per-branch conductances (S), in
+    /// branch order as passed to [`DcGridSolver::new`].
+    ///
+    /// The first call factors the reduced matrix; later calls restamp
+    /// and [`MnaFactorization::refactor`], reusing the symbolic
+    /// structure. Results land in [`DcGridSolver::node_voltages`] and
+    /// [`DcGridSolver::branch_currents`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidDevice`] on a conductance-count
+    /// mismatch or a non-positive/non-finite conductance, and
+    /// [`CircuitError::Singular`] when the stamped system cannot be
+    /// factored.
+    pub fn solve(&mut self, branch_conductance: &[f64]) -> Result<(), CircuitError> {
+        if branch_conductance.len() != self.branches.len() {
+            return Err(CircuitError::InvalidDevice {
+                message: format!(
+                    "expected {} branch conductances, got {}",
+                    self.branches.len(),
+                    branch_conductance.len()
+                ),
+            });
+        }
+        for (k, &g) in branch_conductance.iter().enumerate() {
+            if !(g > 0.0) || !g.is_finite() {
+                return Err(CircuitError::InvalidDevice {
+                    message: format!("branch {k} conductance must be positive, got {g}"),
+                });
+            }
+        }
+
+        if self.n_unknowns > 0 {
+            self.matrix.clear();
+            self.rhs.iter_mut().for_each(|r| *r = 0.0);
+            // Stamp in a fixed order so every solve produces the same
+            // sparsity pattern (a refactor() precondition) and the same
+            // floating-point sums as a fresh assembly.
+            for (&(a, b), &g) in self.branches.iter().zip(branch_conductance) {
+                match (self.pinned_v[a], self.pinned_v[b]) {
+                    (None, None) => {
+                        let (ua, ub) = (self.unknown_of[a], self.unknown_of[b]);
+                        self.matrix.add(ua, ua, g);
+                        self.matrix.add(ub, ub, g);
+                        self.matrix.add(ua, ub, -g);
+                        self.matrix.add(ub, ua, -g);
+                    }
+                    (Some(va), None) => {
+                        let ub = self.unknown_of[b];
+                        self.matrix.add(ub, ub, g);
+                        self.rhs[ub] += g * va;
+                    }
+                    (None, Some(vb)) => {
+                        let ua = self.unknown_of[a];
+                        self.matrix.add(ua, ua, g);
+                        self.rhs[ua] += g * vb;
+                    }
+                    (Some(_), Some(_)) => {} // both ends pinned: no unknown
+                }
+            }
+            for node in 0..self.n_nodes {
+                if self.pinned_v[node].is_none() {
+                    let u = self.unknown_of[node];
+                    self.matrix.add(u, u, self.gmin);
+                    self.rhs[u] -= self.sinks[node];
+                }
+            }
+            match &mut self.factorization {
+                Some(f) => f.refactor(&self.matrix)?,
+                None => self.factorization = Some(self.matrix.factor()?),
+            }
+            let f = self
+                .factorization
+                .as_ref()
+                .expect("factorization installed above");
+            f.solve_into(&self.rhs, &mut self.reduced);
+        }
+        for node in 0..self.n_nodes {
+            self.node_v[node] = match self.pinned_v[node] {
+                Some(v) => v,
+                None => self.reduced[self.unknown_of[node]],
+            };
+        }
+        for (k, (&(a, b), &g)) in self.branches.iter().zip(branch_conductance).enumerate() {
+            self.branch_i[k] = (self.node_v[a] - self.node_v[b]) * g;
+        }
+        self.solves += 1;
+        Ok(())
+    }
+
+    /// Per-node voltages from the most recent solve (zeros before any).
+    #[must_use]
+    pub fn node_voltages(&self) -> &[f64] {
+        &self.node_v
+    }
+
+    /// Signed per-branch currents from the most recent solve, positive
+    /// when flowing from the branch's first node to its second.
+    #[must_use]
+    pub fn branch_currents(&self) -> &[f64] {
+        &self.branch_i
+    }
+
+    /// Number of free (non-pinned) nodes — the reduced system size.
+    #[must_use]
+    pub fn unknown_count(&self) -> usize {
+        self.n_unknowns
+    }
+
+    /// Number of branches.
+    #[must_use]
+    pub fn branch_count(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// How many solves have completed (the first pays a full
+    /// factorization; the rest refactor).
+    #[must_use]
+    pub fn solve_count(&self) -> usize {
+        self.solves
+    }
+
+    /// `true` when the reduced matrix uses the sparse backend.
+    #[must_use]
+    pub fn is_sparse(&self) -> bool {
+        self.matrix.is_sparse()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// rows×cols mesh with unit spacing; returns (branches, index fn).
+    fn mesh(rows: usize, cols: usize) -> Vec<(usize, usize)> {
+        let mut branches = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    branches.push((r * cols + c, r * cols + c + 1));
+                }
+                if r + 1 < rows {
+                    branches.push((r * cols + c, (r + 1) * cols + c));
+                }
+            }
+        }
+        branches
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_inputs() {
+        assert!(DcGridSolver::new(0, vec![(0, 1)], &[(0, 1.0)], 0.0).is_err());
+        assert!(DcGridSolver::new(2, vec![], &[(0, 1.0)], 0.0).is_err());
+        assert!(DcGridSolver::new(2, vec![(0, 1)], &[], 0.0).is_err());
+        assert!(DcGridSolver::new(2, vec![(0, 2)], &[(0, 1.0)], 0.0).is_err());
+        assert!(DcGridSolver::new(2, vec![(1, 1)], &[(0, 1.0)], 0.0).is_err());
+        assert!(DcGridSolver::new(2, vec![(0, 1)], &[(5, 1.0)], 0.0).is_err());
+        assert!(DcGridSolver::new(2, vec![(0, 1)], &[(0, f64::NAN)], 0.0).is_err());
+        assert!(DcGridSolver::new(2, vec![(0, 1)], &[(0, 1.0)], -1.0).is_err());
+    }
+
+    #[test]
+    fn chain_divider_solves_exactly() {
+        let mut s = DcGridSolver::new(3, vec![(0, 1), (1, 2)], &[(0, 2.0)], 0.0).unwrap();
+        s.set_sink(2, 0.5);
+        s.solve(&[1.0, 4.0]).unwrap(); // 1 Ω + 0.25 Ω in series
+        let v = s.node_voltages();
+        assert!((v[0] - 2.0).abs() < 1e-12);
+        assert!((v[1] - 1.5).abs() < 1e-12);
+        assert!((v[2] - 1.375).abs() < 1e-12);
+        let i = s.branch_currents();
+        assert!((i[0] - 0.5).abs() < 1e-12);
+        assert!((i[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branch_current_sign_follows_orientation() {
+        // Pin the SECOND endpoint high: current flows b → a, so the
+        // signed from→to current must be negative.
+        let mut s = DcGridSolver::new(2, vec![(0, 1)], &[(1, 1.0)], 0.0).unwrap();
+        s.set_sink(0, 1.0);
+        s.solve(&[2.0]).unwrap();
+        assert!((s.branch_currents()[0] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restamped_solve_matches_fresh_solver() {
+        // Solve a mesh twice with different non-uniform conductances via
+        // restamp+refactor; a fresh solver on the second set must agree
+        // to solver precision.
+        let (rows, cols) = (6, 7);
+        let branches = mesh(rows, cols);
+        let nb = branches.len();
+        let pinned = [(0usize, 1.8f64), (rows * cols - 1, 1.8)];
+        let g1: Vec<f64> = (0..nb).map(|k| 1.0 + 0.1 * (k % 7) as f64).collect();
+        let g2: Vec<f64> = (0..nb).map(|k| 2.0 + 0.05 * (k % 5) as f64).collect();
+
+        let mut reused = DcGridSolver::new(rows * cols, branches.clone(), &pinned, 1e-12).unwrap();
+        for node in 0..rows * cols {
+            reused.set_sink(node, 1e-3);
+        }
+        reused.solve(&g1).unwrap();
+        reused.solve(&g2).unwrap();
+        assert_eq!(reused.solve_count(), 2);
+
+        let mut fresh = DcGridSolver::new(rows * cols, branches, &pinned, 1e-12).unwrap();
+        for node in 0..rows * cols {
+            fresh.set_sink(node, 1e-3);
+        }
+        fresh.solve(&g2).unwrap();
+
+        for (a, b) in reused.node_voltages().iter().zip(fresh.node_voltages()) {
+            assert!((a - b).abs() < 1e-10, "restamped {a} vs fresh {b}");
+        }
+        for (a, b) in reused.branch_currents().iter().zip(fresh.branch_currents()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn sparse_backend_engages_on_large_grids() {
+        let (rows, cols) = (15, 15); // 225 unknowns > SPARSE_THRESHOLD
+        let branches = mesh(rows, cols);
+        let nb = branches.len();
+        let mut s = DcGridSolver::new(rows * cols, branches, &[(0, 1.0)], 1e-12).unwrap();
+        assert!(s.is_sparse());
+        for node in 0..rows * cols {
+            s.set_sink(node, 1e-4);
+        }
+        s.solve(&vec![2.0; nb]).unwrap();
+        let worst = s
+            .node_voltages()
+            .iter()
+            .fold(f64::INFINITY, |m, &v| m.min(v));
+        assert!(worst < 1.0 && worst > 0.0, "droop exists but is bounded");
+    }
+
+    #[test]
+    fn rejects_bad_conductances() {
+        let mut s = DcGridSolver::new(2, vec![(0, 1)], &[(0, 1.0)], 0.0).unwrap();
+        assert!(s.solve(&[]).is_err());
+        assert!(s.solve(&[0.0]).is_err());
+        assert!(s.solve(&[-1.0]).is_err());
+        assert!(s.solve(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn all_nodes_pinned_is_trivial() {
+        let mut s = DcGridSolver::new(2, vec![(0, 1)], &[(0, 1.0), (1, 0.5)], 0.0).unwrap();
+        s.solve(&[4.0]).unwrap();
+        assert_eq!(s.unknown_count(), 0);
+        assert!((s.branch_currents()[0] - 2.0).abs() < 1e-12);
+    }
+}

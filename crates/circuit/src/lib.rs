@@ -49,6 +49,7 @@
 
 mod error;
 pub mod extract;
+pub mod grid_dc;
 pub mod linalg;
 pub mod netlist;
 pub mod parser;

@@ -32,10 +32,10 @@
 use hotwire_units::{Area, Current, CurrentDensity, Resistance, Voltage};
 use serde::{Deserialize, Serialize};
 
+use crate::grid_dc::DcGridSolver;
 use crate::netlist::{Circuit, NodeId};
-use crate::solver::MnaMatrix;
 use crate::sources::SourceWaveform;
-use crate::transient::{simulate, TransientOptions};
+use crate::transient::TransientOptions;
 use crate::CircuitError;
 
 /// Specification of a rectangular power grid.
@@ -217,17 +217,61 @@ impl PowerGrid {
         &self.circuit
     }
 
+    /// The netlist node backing intersection `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the intersection is outside the grid.
+    #[must_use]
+    pub fn node_id(&self, row: usize, col: usize) -> NodeId {
+        assert!(row < self.spec.rows && col < self.spec.cols);
+        self.nodes[row * self.spec.cols + col]
+    }
+
+    /// Builds a [`DcGridSolver`] over this grid's topology: pads pinned
+    /// at `vdd`, every intersection's sink installed, segment branches
+    /// in segment order. This is the restampable surface the coupled
+    /// electro-thermal loop iterates on — per-segment conductances can
+    /// differ and change between solves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidDevice`] if the topology is
+    /// degenerate (cannot happen for a grid that passed
+    /// [`PowerGrid::build`]).
+    pub fn dc_solver(&self) -> Result<DcGridSolver, CircuitError> {
+        let cols = self.spec.cols;
+        let n_cells = self.spec.rows * cols;
+        let branches: Vec<(usize, usize)> = self
+            .segments
+            .iter()
+            .map(|&(_, from, to)| (from.0 * cols + from.1, to.0 * cols + to.1))
+            .collect();
+        let pinned: Vec<(usize, f64)> = self
+            .spec
+            .pads
+            .iter()
+            .map(|&(r, c)| (r * cols + c, self.spec.vdd.value()))
+            .collect();
+        // Same node-to-ground leak the transient path uses, so islands
+        // droop identically instead of going singular.
+        let mut solver =
+            DcGridSolver::new(n_cells, branches, &pinned, TransientOptions::default().gmin)?;
+        for cell in 0..n_cells {
+            solver.set_sink(cell, self.spec.sink_per_node.value());
+        }
+        Ok(solver)
+    }
+
     /// Solves the DC operating point and reports droop and per-segment
     /// densities.
     ///
     /// The solve is a **direct DC formulation**: pad intersections are
     /// Dirichlet nodes held at `vdd` and eliminated from the system, so
     /// only the free intersections are unknowns — no voltage-source
-    /// branches and no timestepping (the seed implementation ran a
-    /// one-step transient; that path survives as
-    /// [`PowerGrid::analyze_via_transient`] for cross-checking). The
-    /// reduced conductance matrix goes through the dense/sparse
-    /// [`MnaMatrix::auto`] crossover, so wide grids use the sparse LU.
+    /// branches and no timestepping. The reduced conductance matrix goes
+    /// through the dense/sparse `MnaMatrix::auto` crossover (via
+    /// [`DcGridSolver`]), so wide grids use the sparse LU.
     ///
     /// # Errors
     ///
@@ -235,80 +279,27 @@ impl PowerGrid {
     /// be singular only without `g_min`; with it, islands simply droop to
     /// zero and show up as massive IR drop).
     pub fn analyze(&self) -> Result<PowerGridReport, CircuitError> {
-        let (rows, cols) = (self.spec.rows, self.spec.cols);
-        let n_cells = rows * cols;
-        let vdd = self.spec.vdd.value();
         let g = 1.0 / self.spec.segment_resistance.value();
-        // Same node-to-ground leak the transient path uses, so islands
-        // droop identically instead of going singular.
-        let gmin = TransientOptions::default().gmin;
-
-        let mut is_pad = vec![false; n_cells];
-        for &(r, c) in &self.spec.pads {
-            is_pad[r * cols + c] = true;
-        }
-        let mut unknown_of = vec![usize::MAX; n_cells];
-        let mut n_unknowns = 0;
-        for (cell, u) in unknown_of.iter_mut().enumerate() {
-            if !is_pad[cell] {
-                *u = n_unknowns;
-                n_unknowns += 1;
-            }
-        }
-
-        let mut node_v = vec![vdd; n_cells];
-        if n_unknowns > 0 {
-            let mut m = MnaMatrix::auto(n_unknowns);
-            let mut rhs = vec![0.0; n_unknowns];
-            for &(_, from, to) in &self.segments {
-                let a = from.0 * cols + from.1;
-                let b = to.0 * cols + to.1;
-                match (is_pad[a], is_pad[b]) {
-                    (false, false) => {
-                        m.add(unknown_of[a], unknown_of[a], g);
-                        m.add(unknown_of[b], unknown_of[b], g);
-                        m.add(unknown_of[a], unknown_of[b], -g);
-                        m.add(unknown_of[b], unknown_of[a], -g);
-                    }
-                    (true, false) => {
-                        m.add(unknown_of[b], unknown_of[b], g);
-                        rhs[unknown_of[b]] += g * vdd;
-                    }
-                    (false, true) => {
-                        m.add(unknown_of[a], unknown_of[a], g);
-                        rhs[unknown_of[a]] += g * vdd;
-                    }
-                    (true, true) => {} // both ends pinned: carries no unknown
-                }
-            }
-            let sink = self.spec.sink_per_node.value();
-            for (cell, &u) in unknown_of.iter().enumerate() {
-                if !is_pad[cell] {
-                    m.add(u, u, gmin);
-                    rhs[u] -= sink;
-                }
-            }
-            let solution = m.solve(&rhs)?;
-            for (cell, &u) in unknown_of.iter().enumerate() {
-                if !is_pad[cell] {
-                    node_v[cell] = solution[u];
-                }
-            }
-        }
-        Ok(self.report_from_voltages(&node_v))
+        let mut solver = self.dc_solver()?;
+        solver.solve(&vec![g; self.segments.len()])?;
+        Ok(self.report_from_voltages(solver.node_voltages()))
     }
 
     /// The seed's DC solve — one short transient step over the full MNA
-    /// system (voltage-source branches included). Retained as a
-    /// reference/regression path: it must agree with [`PowerGrid::analyze`]
-    /// to solver precision, and the criterion benches compare the two.
+    /// system (voltage-source branches included). Superseded by the
+    /// direct formulation in [`PowerGrid::analyze`]; kept compiled only
+    /// for tests and for benchmark cross-checks behind the
+    /// `bench-baselines` feature, so the public API has one blessed
+    /// analyze path.
     ///
     /// # Errors
     ///
     /// Propagates solver failures exactly as [`PowerGrid::analyze`] does.
+    #[cfg(any(test, feature = "bench-baselines"))]
+    #[doc(hidden)]
     pub fn analyze_via_transient(&self) -> Result<PowerGridReport, CircuitError> {
         // Purely resistive: one short "transient" step is the DC solve.
-        let result = simulate(
+        let result = crate::transient::simulate(
             &self.circuit,
             1.0e-9,
             TransientOptions {

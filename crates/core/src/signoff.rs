@@ -55,6 +55,19 @@ pub enum GoverningRule {
     BlechImmortal,
 }
 
+impl GoverningRule {
+    /// A short fixed-width label for report tables, shared by every
+    /// signoff front-end (`hotwire signoff`, `hotwire coupled-signoff`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::SelfConsistent => "self-consistent",
+            Self::ThermallyShort => "thermally-short",
+            Self::BlechImmortal => "blech-immortal",
+        }
+    }
+}
+
 /// The per-net verdict.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetVerdict {
@@ -76,6 +89,15 @@ impl NetVerdict {
     pub fn passes(&self) -> bool {
         self.utilization <= 1.0
     }
+}
+
+/// The failing verdicts of a batch, most over-stressed first — the
+/// ranking every signoff report (CLI, coupled engine) presents.
+#[must_use]
+pub fn ranked_violations(verdicts: &[NetVerdict]) -> Vec<&NetVerdict> {
+    let mut v: Vec<&NetVerdict> = verdicts.iter().filter(|v| !v.passes()).collect();
+    v.sort_by(|a, b| b.utilization.total_cmp(&a.utilization));
+    v
 }
 
 /// Sign-off configuration.
@@ -314,5 +336,21 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn ranked_violations_sorts_failing_nets_only() {
+        let mk = |name: &str, utilization: f64| NetVerdict {
+            net: name.to_owned(),
+            allowed_j_peak: CurrentDensity::from_mega_amps_per_cm2(1.0),
+            governing: GoverningRule::SelfConsistent,
+            utilization,
+            metal_temperature: hotwire_units::Kelvin::new(400.0),
+        };
+        let verdicts = vec![mk("ok", 0.7), mk("worst", 2.5), mk("bad", 1.2)];
+        let ranked = ranked_violations(&verdicts);
+        let names: Vec<&str> = ranked.iter().map(|v| v.net.as_str()).collect();
+        assert_eq!(names, ["worst", "bad"]);
+        assert_eq!(GoverningRule::BlechImmortal.label(), "blech-immortal");
     }
 }

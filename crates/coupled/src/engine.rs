@@ -1,0 +1,687 @@
+//! The coupled fixed-point engine: IR drop ⇄ Joule heating ⇄
+//! temperature-dependent resistivity, then an EM rollup on the
+//! converged state.
+//!
+//! One iteration of the damped Picard loop:
+//!
+//! 1. stamp every branch's conductance from its current temperature,
+//!    `g_b = A / (ρ(T_b)·ℓ)`, and DC-solve the grid — the first solve
+//!    factors the reduced sparse matrix, later solves reuse its
+//!    symbolic structure via `refactor()`;
+//! 2. convert branch currents to Joule powers `P_b = I_b²/g_b`, split
+//!    them onto the end nodes, and solve the chip thermal map (factored
+//!    once — thermal conductances never change);
+//! 3. update every branch temperature toward the substrate-referenced
+//!    field with damping `α`, clamping the *resistivity lookup* into
+//!    the metal fit's validity window so an overshooting iterate can
+//!    never stamp a non-physical resistance.
+//!
+//! Convergence is declared when the max |ΔT| update falls under the
+//! tolerance; growth over consecutive iterations raises
+//! [`CoupledError::Diverged`] naming the offending branches, and a
+//! converged state still pinned at the validity limit raises
+//! [`CoupledError::BeyondResistivityRange`].
+
+use hotwire_circuit::grid_dc::DcGridSolver;
+use hotwire_circuit::transient::TransientOptions;
+use hotwire_core::signoff::{GoverningRule, NetVerdict};
+use hotwire_em::blech::BlechModel;
+use hotwire_em::lifetime::{LognormalLifetime, WeakestLinkPopulation};
+use hotwire_em::BlackModel;
+use hotwire_tech::{Dielectric, Metal};
+use hotwire_thermal::chip::ChipThermalModel;
+use hotwire_thermal::impedance::{effective_width, InsulatorStack, QUASI_2D_PHI};
+use hotwire_units::{Current, CurrentDensity, Kelvin, Length, Seconds, Voltage};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{BranchHotspot, CoupledError};
+
+/// How many offending branches an error report names.
+const ERROR_REPORT_BRANCHES: usize = 8;
+
+/// A strap between two grid intersections, `((row, col), (row, col))`.
+pub type GridBranch = ((usize, usize), (usize, usize));
+
+/// Specification of a power grid for coupled electro-thermal signoff.
+///
+/// Unlike the purely electrical
+/// [`PowerGridSpec`](hotwire_circuit::power_grid::PowerGridSpec), this
+/// carries the full physical picture: strap geometry, the inter-layer
+/// dielectric under the straps, the metal's material model, and the
+/// substrate reference temperature. `1 × N` chains are allowed — that
+/// degenerate grid is the paper's single-wire limit and the anchor for
+/// the eq. 13 regression test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoupledGridSpec {
+    /// Number of strap intersections vertically.
+    pub rows: usize,
+    /// Number of strap intersections horizontally.
+    pub cols: usize,
+    /// Distance between adjacent intersections.
+    pub pitch: Length,
+    /// Strap width.
+    pub strap_width: Length,
+    /// Strap metal thickness.
+    pub strap_thickness: Length,
+    /// Thickness of the dielectric between the straps and the substrate.
+    pub dielectric_thickness: Length,
+    /// That dielectric's material.
+    pub dielectric: Dielectric,
+    /// Heat-spreading parameter φ (eq. 14; 2.45 for quasi-2D lines).
+    pub phi: f64,
+    /// The strap metal (resistivity fit, thermal conductivity, EM).
+    pub metal: Metal,
+    /// Supply voltage at the pads.
+    pub vdd: Voltage,
+    /// DC current drawn by the logic under each intersection.
+    pub sink_per_node: Current,
+    /// `(row, col)` intersections bonded to ideal supply pads.
+    pub pads: Vec<(usize, usize)>,
+    /// Substrate (chip reference) temperature.
+    pub reference_temperature: Kelvin,
+}
+
+impl CoupledGridSpec {
+    /// A representative deep-sub-micron Cu grid for demos and benches:
+    /// 100 µm pitch, 2 × 0.8 µm straps over 1 µm of oxide, 2.5 V pads
+    /// at the four corners, 0.2 mA per intersection, 100 °C substrate.
+    #[must_use]
+    pub fn demo(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            pitch: Length::from_micrometers(100.0),
+            strap_width: Length::from_micrometers(2.0),
+            strap_thickness: Length::from_micrometers(0.8),
+            dielectric_thickness: Length::from_micrometers(1.0),
+            dielectric: Dielectric::oxide(),
+            phi: QUASI_2D_PHI,
+            metal: Metal::copper(),
+            vdd: Voltage::new(2.5),
+            sink_per_node: Current::from_milliamps(0.2),
+            pads: vec![
+                (0, 0),
+                (0, cols.saturating_sub(1)),
+                (rows.saturating_sub(1), 0),
+                (rows.saturating_sub(1), cols.saturating_sub(1)),
+            ],
+            reference_temperature: hotwire_units::Celsius::new(100.0).into(),
+        }
+    }
+}
+
+/// Knobs of the fixed-point iteration and the EM rollup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoupledOptions {
+    /// Convergence tolerance on the max per-branch |ΔT| update (K).
+    pub tolerance: f64,
+    /// Iteration cap before [`CoupledError::NotConverged`].
+    pub max_iterations: usize,
+    /// Damping factor α ∈ (0, 1] of the Picard update
+    /// `T ← T + α·(T_new − T)`.
+    pub damping: f64,
+    /// Initial branch-temperature guess; defaults to the substrate
+    /// reference.
+    pub initial_temperature: Option<Kelvin>,
+    /// Lognormal shape parameter σ of each strap's TTF distribution.
+    pub sigma: f64,
+    /// Cumulative failure fraction the TTF is quoted at (the paper uses
+    /// 0.1 %).
+    pub failure_quantile: f64,
+    /// Blech immortality filter (None disables it).
+    pub blech: Option<BlechModel>,
+}
+
+impl Default for CoupledOptions {
+    fn default() -> Self {
+        Self {
+            tolerance: 0.05,
+            max_iterations: 100,
+            damping: 0.7,
+            initial_temperature: None,
+            sigma: 0.5,
+            failure_quantile: 1.0e-3,
+            blech: Some(BlechModel::copper()),
+        }
+    }
+}
+
+/// One strap's converged operating point plus its EM verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BranchAssessment {
+    /// Tail intersection `(row, col)`.
+    pub from: (usize, usize),
+    /// Head intersection `(row, col)`.
+    pub to: (usize, usize),
+    /// Magnitude of the DC current through the strap.
+    pub current: Current,
+    /// The corresponding (average = RMS = peak, r = 1) density.
+    pub density: CurrentDensity,
+    /// The strap's converged metal temperature.
+    pub temperature: Kelvin,
+    /// The signoff verdict, in `core::signoff` style.
+    pub verdict: NetVerdict,
+    /// Black TTF at the local stress (`None` for immortal or idle
+    /// straps, which cannot fail by EM).
+    pub ttf: Option<Seconds>,
+}
+
+/// The converged chip-level result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoupledReport {
+    /// Picard iterations to convergence.
+    pub iterations: usize,
+    /// Max |ΔT| update of every iteration (K), in order.
+    pub iteration_deltas: Vec<f64>,
+    /// Largest supply droop anywhere on the grid.
+    pub worst_ir_drop: Voltage,
+    /// The intersection with the largest droop.
+    pub worst_node: (usize, usize),
+    /// The hottest strap's metal temperature.
+    pub peak_temperature: Kelvin,
+    /// Every strap's assessment, in grid order.
+    pub branches: Vec<BranchAssessment>,
+    /// Weakest-link failure distribution over every mortal strap
+    /// (`None` when the whole grid is immortal or idle).
+    pub chip_failure: Option<WeakestLinkPopulation>,
+    /// The chip TTF at the configured failure quantile.
+    pub chip_ttf: Option<Seconds>,
+}
+
+impl CoupledReport {
+    /// The failing straps, most over-stressed first (mirrors
+    /// [`hotwire_core::signoff::ranked_violations`]).
+    #[must_use]
+    pub fn violations(&self) -> Vec<&BranchAssessment> {
+        let mut v: Vec<&BranchAssessment> = self
+            .branches
+            .iter()
+            .filter(|b| !b.verdict.passes())
+            .collect();
+        v.sort_by(|a, b| b.verdict.utilization.total_cmp(&a.verdict.utilization));
+        v
+    }
+
+    /// `true` when every strap meets its rule.
+    #[must_use]
+    pub fn passes(&self) -> bool {
+        self.branches.iter().all(|b| b.verdict.passes())
+    }
+}
+
+/// The coupled engine: owns the DC solver (with its reusable
+/// factorization), the factored chip thermal map, and the temperature
+/// state.
+#[derive(Debug, Clone)]
+pub struct CoupledEngine {
+    spec: CoupledGridSpec,
+    options: CoupledOptions,
+    branches: Vec<GridBranch>,
+    solver: DcGridSolver,
+    thermal: ChipThermalModel,
+    cross_section: f64,
+    branch_t: Vec<f64>,
+    branch_g: Vec<f64>,
+    node_power: Vec<f64>,
+    node_rise: Vec<f64>,
+    deltas: Vec<f64>,
+    converged: bool,
+}
+
+impl CoupledEngine {
+    /// Validates the spec and builds both factorizable systems (the
+    /// thermal one is factored here, once).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoupledError::InvalidSpec`] for degenerate geometry,
+    /// an empty or out-of-range pad list, or bad options.
+    pub fn new(spec: CoupledGridSpec, options: CoupledOptions) -> Result<Self, CoupledError> {
+        let invalid = |message: String| CoupledError::InvalidSpec { message };
+        if spec.rows == 0 || spec.cols == 0 || spec.rows * spec.cols < 2 {
+            return Err(invalid(format!(
+                "grid needs at least 2 intersections, got {}×{}",
+                spec.rows, spec.cols
+            )));
+        }
+        for (what, v) in [
+            ("pitch", spec.pitch.value()),
+            ("strap width", spec.strap_width.value()),
+            ("strap thickness", spec.strap_thickness.value()),
+            ("dielectric thickness", spec.dielectric_thickness.value()),
+        ] {
+            if !(v > 0.0) || !v.is_finite() {
+                return Err(invalid(format!("{what} must be positive, got {v} m")));
+            }
+        }
+        if !(spec.phi >= 0.0) || !spec.phi.is_finite() {
+            return Err(invalid(format!("phi must be ≥ 0, got {}", spec.phi)));
+        }
+        if !(spec.sink_per_node.value() >= 0.0) {
+            return Err(invalid(format!(
+                "sink per node must be ≥ 0, got {}",
+                spec.sink_per_node
+            )));
+        }
+        if !(spec.reference_temperature.value() > 0.0) {
+            return Err(invalid(format!(
+                "reference temperature must be positive, got {}",
+                spec.reference_temperature
+            )));
+        }
+        if spec.pads.is_empty() {
+            return Err(invalid("grid needs at least one pad".to_owned()));
+        }
+        for &(r, c) in &spec.pads {
+            if r >= spec.rows || c >= spec.cols {
+                return Err(invalid(format!(
+                    "pad ({r}, {c}) outside the {}×{} grid",
+                    spec.rows, spec.cols
+                )));
+            }
+        }
+        if !(options.tolerance > 0.0) || !options.tolerance.is_finite() {
+            return Err(invalid(format!(
+                "tolerance must be positive, got {} K",
+                options.tolerance
+            )));
+        }
+        if options.max_iterations == 0 {
+            return Err(invalid("max_iterations must be at least 1".to_owned()));
+        }
+        if !(options.damping > 0.0 && options.damping <= 1.0) {
+            return Err(invalid(format!(
+                "damping must be in (0, 1], got {}",
+                options.damping
+            )));
+        }
+        if !(options.sigma > 0.0) || !options.sigma.is_finite() {
+            return Err(invalid(format!(
+                "lognormal sigma must be positive, got {}",
+                options.sigma
+            )));
+        }
+        if !(options.failure_quantile > 0.0 && options.failure_quantile < 1.0) {
+            return Err(invalid(format!(
+                "failure quantile must be in (0, 1), got {}",
+                options.failure_quantile
+            )));
+        }
+        let (lo, hi) = spec.metal.resistivity_validity_range();
+        let t0 = options
+            .initial_temperature
+            .unwrap_or(spec.reference_temperature);
+        if !(t0.value() >= lo.value() && t0.value() <= hi.value()) {
+            return Err(invalid(format!(
+                "initial temperature {} outside the resistivity fit's validity window [{:.1} K, {:.1} K]",
+                t0,
+                lo.value(),
+                hi.value()
+            )));
+        }
+
+        let (rows, cols) = (spec.rows, spec.cols);
+        let mut branches = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    branches.push(((r, c), (r, c + 1)));
+                }
+                if r + 1 < rows {
+                    branches.push(((r, c), (r + 1, c)));
+                }
+            }
+        }
+        let node_branches: Vec<(usize, usize)> = branches
+            .iter()
+            .map(|&((r0, c0), (r1, c1))| (r0 * cols + c0, r1 * cols + c1))
+            .collect();
+        let pinned: Vec<(usize, f64)> = spec
+            .pads
+            .iter()
+            .map(|&(r, c)| (r * cols + c, spec.vdd.value()))
+            .collect();
+        let mut solver = DcGridSolver::new(
+            rows * cols,
+            node_branches,
+            &pinned,
+            TransientOptions::default().gmin,
+        )?;
+        for cell in 0..rows * cols {
+            solver.set_sink(cell, spec.sink_per_node.value());
+        }
+
+        // Thermal conductances (W/K): axial metal conduction per branch
+        // and per-half-segment vertical conduction through the ILD into
+        // the substrate, with eq. 14's effective-width spreading.
+        let area = spec.strap_width.value() * spec.strap_thickness.value();
+        let pitch = spec.pitch.value();
+        let stack = InsulatorStack::single(spec.dielectric_thickness, &spec.dielectric);
+        let srt = stack.series_resistance_thickness();
+        let w_eff = effective_width(spec.strap_width, spec.dielectric_thickness, spec.phi);
+        let g_lateral = spec.metal.thermal_conductivity().value() * area / pitch;
+        let g_half = w_eff.value() * (0.5 * pitch) / srt;
+        let thermal = ChipThermalModel::new(rows, cols, g_lateral, g_half)?;
+
+        let n_branches = branches.len();
+        Ok(Self {
+            spec,
+            options,
+            branches,
+            solver,
+            thermal,
+            cross_section: area,
+            branch_t: vec![t0.value(); n_branches],
+            branch_g: vec![0.0; n_branches],
+            node_power: vec![0.0; rows * cols],
+            node_rise: Vec::new(),
+            deltas: Vec::new(),
+            converged: false,
+        })
+    }
+
+    /// One damped Picard iteration; returns the max |ΔT| update (K).
+    ///
+    /// # Errors
+    ///
+    /// Propagates electrical ([`CoupledError::Circuit`]) and thermal
+    /// ([`CoupledError::Thermal`]) solve failures.
+    pub fn step(&mut self) -> Result<f64, CoupledError> {
+        let metal = &self.spec.metal;
+        let pitch = self.spec.pitch.value();
+        let area = self.cross_section;
+        // 1. Electrical: restamp ρ(T) and solve (refactor after the
+        //    first iteration).
+        for (g, &t) in self.branch_g.iter_mut().zip(&self.branch_t) {
+            let (rho, _) = metal.resistivity_clamped(Kelvin::new(t));
+            *g = area / (rho.value() * pitch);
+        }
+        self.solver.solve(&self.branch_g)?;
+        // 2. Thermal: branch Joule powers onto end nodes, one banded
+        //    substitution for the whole chip.
+        self.node_power.iter_mut().for_each(|p| *p = 0.0);
+        let cols = self.spec.cols;
+        for (k, &((r0, c0), (r1, c1))) in self.branches.iter().enumerate() {
+            let i = self.solver.branch_currents()[k];
+            let p = i * i / self.branch_g[k];
+            self.node_power[r0 * cols + c0] += 0.5 * p;
+            self.node_power[r1 * cols + c1] += 0.5 * p;
+        }
+        self.thermal
+            .solve_into(&self.node_power, &mut self.node_rise)?;
+        // 3. Damped update toward the substrate-referenced field.
+        let t_ref = self.spec.reference_temperature.value();
+        let alpha = self.options.damping;
+        let mut delta = 0.0_f64;
+        for (k, &((r0, c0), (r1, c1))) in self.branches.iter().enumerate() {
+            let rise = 0.5 * (self.node_rise[r0 * cols + c0] + self.node_rise[r1 * cols + c1]);
+            let target = t_ref + rise;
+            let change = alpha * (target - self.branch_t[k]);
+            self.branch_t[k] += change;
+            delta = delta.max(change.abs());
+        }
+        self.deltas.push(delta);
+        self.converged = delta <= self.options.tolerance;
+        Ok(delta)
+    }
+
+    /// Runs [`CoupledEngine::step`] to convergence.
+    ///
+    /// # Errors
+    ///
+    /// [`CoupledError::Diverged`] when the update keeps growing,
+    /// [`CoupledError::NotConverged`] at the iteration cap, and
+    /// [`CoupledError::BeyondResistivityRange`] when the settled state
+    /// is pinned at the metal fit's validity limit.
+    pub fn run(&mut self) -> Result<(), CoupledError> {
+        while !self.converged {
+            if self.deltas.len() >= self.options.max_iterations {
+                return Err(CoupledError::NotConverged {
+                    iterations: self.deltas.len(),
+                    last_delta: self.deltas.last().copied().unwrap_or(f64::INFINITY),
+                    hottest: self.hotspots_by(|_, &t| t),
+                });
+            }
+            let delta = self.step()?;
+            let n = self.deltas.len();
+            let growing = n >= 3
+                && self.deltas[n - 1] > self.deltas[n - 2]
+                && self.deltas[n - 2] > self.deltas[n - 3];
+            if !delta.is_finite() || (growing && delta > 100.0 * self.options.tolerance) {
+                return Err(CoupledError::Diverged {
+                    iterations: n,
+                    delta,
+                    offending: self.hotspots_by(|_, &t| t),
+                });
+            }
+        }
+        let (_, hi) = self.spec.metal.resistivity_validity_range();
+        let beyond: Vec<usize> = (0..self.branches.len())
+            .filter(|&k| self.branch_t[k] >= hi.value())
+            .collect();
+        if !beyond.is_empty() {
+            let mut offending: Vec<BranchHotspot> = beyond
+                .iter()
+                .map(|&k| BranchHotspot {
+                    from: self.branches[k].0,
+                    to: self.branches[k].1,
+                    temperature: Kelvin::new(self.branch_t[k]),
+                })
+                .collect();
+            offending.sort_by(|a, b| b.temperature.value().total_cmp(&a.temperature.value()));
+            offending.truncate(ERROR_REPORT_BRANCHES);
+            return Err(CoupledError::BeyondResistivityRange {
+                limit: hi,
+                offending,
+            });
+        }
+        Ok(())
+    }
+
+    /// The worst branches by a score function, for error reports.
+    fn hotspots_by(&self, score: impl Fn(usize, &f64) -> f64) -> Vec<BranchHotspot> {
+        let mut scored: Vec<(f64, usize)> = self
+            .branch_t
+            .iter()
+            .enumerate()
+            .map(|(k, t)| (score(k, t), k))
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+        scored
+            .iter()
+            .take(ERROR_REPORT_BRANCHES)
+            .map(|&(_, k)| BranchHotspot {
+                from: self.branches[k].0,
+                to: self.branches[k].1,
+                temperature: Kelvin::new(self.branch_t[k]),
+            })
+            .collect()
+    }
+
+    /// Iterations performed so far.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// `true` once the temperature field has settled under tolerance.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Per-branch metal temperatures (K), in grid order.
+    #[must_use]
+    pub fn branch_temperatures(&self) -> &[f64] {
+        &self.branch_t
+    }
+
+    /// Per-node voltages of the latest electrical solve, row-major.
+    #[must_use]
+    pub fn node_voltages(&self) -> &[f64] {
+        self.solver.node_voltages()
+    }
+
+    /// The branch list, `((row, col), (row, col))` per strap.
+    #[must_use]
+    pub fn branches(&self) -> &[GridBranch] {
+        &self.branches
+    }
+
+    /// Size of the reduced electrical system.
+    #[must_use]
+    pub fn unknown_count(&self) -> usize {
+        self.solver.unknown_count()
+    }
+
+    /// Evaluates the per-branch EM stage on the converged state and
+    /// rolls it up into the chip-level report. The per-branch verdicts
+    /// run on a rayon pool in an order-preserving fan-out, so the
+    /// result is byte-identical to [`CoupledEngine::assess_serial`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoupledError::InvalidSpec`] when called before convergence;
+    /// [`CoupledError::Em`] if the statistics stage rejects a TTF.
+    pub fn assess(&self) -> Result<CoupledReport, CoupledError> {
+        self.assess_impl(true)
+    }
+
+    /// Serial twin of [`CoupledEngine::assess`] (determinism reference).
+    ///
+    /// # Errors
+    ///
+    /// As [`CoupledEngine::assess`].
+    pub fn assess_serial(&self) -> Result<CoupledReport, CoupledError> {
+        self.assess_impl(false)
+    }
+
+    fn assess_impl(&self, parallel: bool) -> Result<CoupledReport, CoupledError> {
+        if !self.converged {
+            return Err(CoupledError::InvalidSpec {
+                message: "assess() requires a converged engine; call run() first".to_owned(),
+            });
+        }
+        let black = BlackModel::for_metal(&self.spec.metal);
+        let blech = self.options.blech;
+        let pitch = self.spec.pitch;
+        let area = self.cross_section;
+        let eval = |k: usize| -> (BranchAssessment, Option<(CurrentDensity, Kelvin)>) {
+            let (from, to) = self.branches[k];
+            let i = self.solver.branch_currents()[k].abs();
+            let j = i / area;
+            let t = Kelvin::new(self.branch_t[k]);
+            let allowed_wearout = black.allowed_average_density(t);
+            let blech_floor = blech.as_ref().map(|b| b.immortality_density(pitch));
+            let (allowed, governing) = match blech_floor {
+                Some(floor) if floor > allowed_wearout => (floor, GoverningRule::BlechImmortal),
+                _ => (allowed_wearout, GoverningRule::SelfConsistent),
+            };
+            let immortal = j <= 0.0
+                || blech
+                    .as_ref()
+                    .is_some_and(|b| b.is_immortal(CurrentDensity::new(j), pitch));
+            let verdict = NetVerdict {
+                net: format!("strap ({},{})->({},{})", from.0, from.1, to.0, to.1),
+                allowed_j_peak: allowed,
+                governing,
+                utilization: j / allowed.value(),
+                metal_temperature: t,
+            };
+            let stress = (!immortal).then_some((CurrentDensity::new(j), t));
+            (
+                BranchAssessment {
+                    from,
+                    to,
+                    current: Current::new(i),
+                    density: CurrentDensity::new(j),
+                    temperature: t,
+                    verdict,
+                    ttf: None, // filled from the batch TTF below
+                },
+                stress,
+            )
+        };
+        let mut assessed: Vec<(BranchAssessment, Option<(CurrentDensity, Kelvin)>)> = if parallel {
+            (0..self.branches.len()).into_par_iter().map(eval).collect()
+        } else {
+            (0..self.branches.len()).map(eval).collect()
+        };
+        // Batch TTF over the mortal straps, then the weakest-link rollup.
+        let stresses: Vec<(CurrentDensity, Kelvin)> =
+            assessed.iter().filter_map(|(_, s)| *s).collect();
+        let ttfs = black.batch_ttf(&stresses);
+        let mut members = Vec::with_capacity(ttfs.len());
+        let mut ttf_iter = ttfs.iter();
+        for (branch, stress) in &mut assessed {
+            if stress.is_some() {
+                let ttf = *ttf_iter.next().expect("one TTF per mortal stress");
+                branch.ttf = Some(ttf);
+                members.push(
+                    LognormalLifetime::from_quantile(
+                        ttf,
+                        self.options.failure_quantile,
+                        self.options.sigma,
+                    )
+                    .map_err(CoupledError::Em)?,
+                );
+            }
+        }
+        let chip_failure = if members.is_empty() {
+            None
+        } else {
+            Some(WeakestLinkPopulation::new(members).map_err(CoupledError::Em)?)
+        };
+        let chip_ttf = match &chip_failure {
+            Some(pop) => Some(
+                pop.time_to_fraction(self.options.failure_quantile)
+                    .map_err(CoupledError::Em)?,
+            ),
+            None => None,
+        };
+
+        let vdd = self.spec.vdd.value();
+        let cols = self.spec.cols;
+        let mut worst_drop = 0.0_f64;
+        let mut worst_node = (0, 0);
+        for r in 0..self.spec.rows {
+            for c in 0..cols {
+                let drop = vdd - self.solver.node_voltages()[r * cols + c];
+                if drop > worst_drop {
+                    worst_drop = drop;
+                    worst_node = (r, c);
+                }
+            }
+        }
+        let peak = self
+            .branch_t
+            .iter()
+            .fold(f64::NEG_INFINITY, |m, &t| m.max(t));
+        Ok(CoupledReport {
+            iterations: self.deltas.len(),
+            iteration_deltas: self.deltas.clone(),
+            worst_ir_drop: Voltage::new(worst_drop),
+            worst_node,
+            peak_temperature: Kelvin::new(peak),
+            branches: assessed.into_iter().map(|(b, _)| b).collect(),
+            chip_failure,
+            chip_ttf,
+        })
+    }
+}
+
+/// One-call convenience: build, iterate to the fixed point, assess.
+///
+/// # Errors
+///
+/// As [`CoupledEngine::new`], [`CoupledEngine::run`], and
+/// [`CoupledEngine::assess`].
+pub fn coupled_signoff(
+    spec: CoupledGridSpec,
+    options: CoupledOptions,
+) -> Result<CoupledReport, CoupledError> {
+    let mut engine = CoupledEngine::new(spec, options)?;
+    engine.run()?;
+    engine.assess()
+}

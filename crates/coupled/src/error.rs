@@ -1,0 +1,159 @@
+//! Typed errors of the coupled electro-thermal engine.
+
+use std::fmt;
+
+use hotwire_circuit::CircuitError;
+use hotwire_em::EmError;
+use hotwire_thermal::ThermalError;
+use hotwire_units::Kelvin;
+
+/// A branch named by its grid intersections with the temperature that
+/// put it on an error report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchHotspot {
+    /// Tail intersection `(row, col)`.
+    pub from: (usize, usize),
+    /// Head intersection `(row, col)`.
+    pub to: (usize, usize),
+    /// The branch's metal temperature when the error was raised.
+    pub temperature: Kelvin,
+}
+
+impl fmt::Display for BranchHotspot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "strap ({},{})->({},{}) at {:.1} K",
+            self.from.0,
+            self.from.1,
+            self.to.0,
+            self.to.1,
+            self.temperature.value()
+        )
+    }
+}
+
+/// Everything that can go wrong in a coupled signoff run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoupledError {
+    /// The grid specification or options are unusable.
+    InvalidSpec {
+        /// What was wrong.
+        message: String,
+    },
+    /// The electrical solve failed.
+    Circuit(CircuitError),
+    /// The thermal solve failed.
+    Thermal(ThermalError),
+    /// The EM statistics stage failed.
+    Em(EmError),
+    /// The Picard iteration hit its cap before the temperature field
+    /// settled.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// The last max |ΔT| change (K), still above tolerance.
+        last_delta: f64,
+        /// The branches still moving the most, hottest change first.
+        hottest: Vec<BranchHotspot>,
+    },
+    /// The temperature updates grew instead of settling — runaway
+    /// feedback between Joule heating and resistivity.
+    Diverged {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// The last max |ΔT| change (K).
+        delta: f64,
+        /// The branches driving the growth, largest change first.
+        offending: Vec<BranchHotspot>,
+    },
+    /// The converged state left the resistivity fit's validity window —
+    /// some branch sits at or beyond the metal's melting point, so the
+    /// clamped answer is not physical.
+    BeyondResistivityRange {
+        /// The validity window's upper bound (the melting point).
+        limit: Kelvin,
+        /// The branches beyond it, hottest first.
+        offending: Vec<BranchHotspot>,
+    },
+}
+
+impl fmt::Display for CoupledError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidSpec { message } => write!(f, "invalid coupled spec: {message}"),
+            Self::Circuit(e) => write!(f, "electrical solve failed: {e}"),
+            Self::Thermal(e) => write!(f, "thermal solve failed: {e}"),
+            Self::Em(e) => write!(f, "EM statistics failed: {e}"),
+            Self::NotConverged {
+                iterations,
+                last_delta,
+                hottest,
+            } => {
+                write!(
+                    f,
+                    "no fixed point after {iterations} iterations (last max |dT| = {last_delta:.3e} K)"
+                )?;
+                if let Some(h) = hottest.first() {
+                    write!(f, "; still moving: {h}")?;
+                }
+                Ok(())
+            }
+            Self::Diverged {
+                iterations,
+                delta,
+                offending,
+            } => {
+                write!(
+                    f,
+                    "electro-thermal runaway after {iterations} iterations (max |dT| grew to {delta:.3e} K)"
+                )?;
+                if let Some(h) = offending.first() {
+                    write!(f, "; worst: {h}")?;
+                }
+                Ok(())
+            }
+            Self::BeyondResistivityRange { limit, offending } => {
+                write!(
+                    f,
+                    "{} branch(es) beyond the resistivity fit's validity limit ({:.1} K)",
+                    offending.len(),
+                    limit.value()
+                )?;
+                if let Some(h) = offending.first() {
+                    write!(f, "; hottest: {h}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoupledError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Circuit(e) => Some(e),
+            Self::Thermal(e) => Some(e),
+            Self::Em(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for CoupledError {
+    fn from(e: CircuitError) -> Self {
+        Self::Circuit(e)
+    }
+}
+
+impl From<ThermalError> for CoupledError {
+    fn from(e: ThermalError) -> Self {
+        Self::Thermal(e)
+    }
+}
+
+impl From<EmError> for CoupledError {
+    fn from(e: EmError) -> Self {
+        Self::Em(e)
+    }
+}

@@ -1,0 +1,270 @@
+//! Behavioural tests of the coupled fixed-point engine: the paper's
+//! single-wire limit (eq. 13), initial-guess independence of the fixed
+//! point, typed failure modes, and parallel/serial determinism.
+
+use hotwire_core::SelfConsistentProblem;
+use hotwire_coupled::{
+    coupled_signoff, CoupledEngine, CoupledError, CoupledGridSpec, CoupledOptions,
+};
+use hotwire_thermal::impedance::{InsulatorStack, LineGeometry};
+use hotwire_units::{Current, Kelvin, Length};
+use proptest::prelude::*;
+
+fn um(v: f64) -> Length {
+    Length::from_micrometers(v)
+}
+
+/// A `1 × 2` chain is a single wire fed from one pad: the chip-level
+/// fixed point must land on eq. 13's self-consistent metal temperature.
+///
+/// Construction: the core solver gives the *allowed* `j_peak` and the
+/// metal temperature `T_m` it self-heats to. Driving the chain's one
+/// strap at exactly that density (sink `I = j_peak·A`) makes the Picard
+/// fixed point solve the identical heating balance `T = T_ref +
+/// j²·ρ(T)·κ`, because the half-segment node construction reduces the
+/// chip map's node rise to exactly `j²ρκ` for a lone strap.
+#[test]
+fn single_wire_fixed_point_matches_eq13() {
+    let spec = CoupledGridSpec {
+        pads: vec![(0, 0)], // feed from one end only, so the strap carries the sink
+        ..CoupledGridSpec::demo(1, 2)
+    };
+    let area = spec.strap_width.value() * spec.strap_thickness.value();
+
+    let problem = SelfConsistentProblem::builder()
+        .metal(spec.metal.clone())
+        .line(LineGeometry::new(spec.strap_width, spec.strap_thickness, spec.pitch).unwrap())
+        .stack(InsulatorStack::single(
+            spec.dielectric_thickness,
+            &spec.dielectric,
+        ))
+        .phi(spec.phi)
+        .duty_cycle(1.0)
+        .reference_temperature(spec.reference_temperature)
+        .build()
+        .unwrap();
+    let eq13 = problem.solve().unwrap();
+
+    let spec = CoupledGridSpec {
+        sink_per_node: Current::new(eq13.j_peak.value() * area),
+        ..spec
+    };
+    let options = CoupledOptions {
+        tolerance: 1.0e-3,
+        ..CoupledOptions::default()
+    };
+    let report = coupled_signoff(spec, options).unwrap();
+
+    assert_eq!(report.branches.len(), 1);
+    let strap = &report.branches[0];
+    let err = (strap.temperature.value() - eq13.metal_temperature.value()).abs();
+    assert!(
+        err < 0.5,
+        "chip fixed point {} vs eq. 13 {} (err {err:.3} K)",
+        strap.temperature,
+        eq13.metal_temperature
+    );
+    // Driven exactly at the allowed density, the strap sits at the edge
+    // of its rule (utilization ≈ 1) when wearout governs; the Blech
+    // floor can only relax it further.
+    assert!(
+        strap.verdict.utilization <= 1.0 + 1.0e-6,
+        "utilization {} should not exceed 1 at the allowed density",
+        strap.verdict.utilization
+    );
+}
+
+/// The converged report is byte-identical whether the per-branch EM
+/// stage fans out on rayon or runs serially.
+#[test]
+fn parallel_and_serial_assessments_agree() {
+    let mut engine =
+        CoupledEngine::new(CoupledGridSpec::demo(20, 20), CoupledOptions::default()).unwrap();
+    engine.run().unwrap();
+    assert_eq!(engine.assess().unwrap(), engine.assess_serial().unwrap());
+}
+
+/// A hot 50×50 grid converges with violations and a finite chip TTF.
+#[test]
+fn dense_grid_converges_with_violations() {
+    let spec = CoupledGridSpec::demo(50, 50);
+    let report = coupled_signoff(spec, CoupledOptions::default()).unwrap();
+    assert!(report.iterations >= 3, "strong feedback should iterate");
+    assert!(!report.passes(), "the 50×50 demo is deliberately stressed");
+    let violations = report.violations();
+    assert!(!violations.is_empty());
+    // Ranked: non-increasing utilization.
+    for pair in violations.windows(2) {
+        assert!(pair[0].verdict.utilization >= pair[1].verdict.utilization);
+    }
+    let ttf = report.chip_ttf.expect("stressed grid has mortal straps");
+    assert!(ttf.value().is_finite() && ttf.value() > 0.0);
+    // The chip fails no later than its weakest strap.
+    let weakest = report
+        .branches
+        .iter()
+        .filter_map(|b| b.ttf)
+        .fold(f64::INFINITY, |m, t| m.min(t.value()));
+    assert!(ttf.value() <= weakest);
+    // Monotone convergence trace: the last delta is under tolerance.
+    assert!(report.iteration_deltas.last().unwrap() <= &0.05);
+}
+
+/// Pushing the grid hard enough that the settled state pins at the
+/// metal's validity limit is a typed error naming the hottest straps,
+/// not a silent clamp or a panic.
+#[test]
+fn runaway_heating_reports_beyond_validity_range() {
+    let spec = CoupledGridSpec {
+        sink_per_node: Current::from_milliamps(3.0),
+        ..CoupledGridSpec::demo(50, 50)
+    };
+    match coupled_signoff(spec, CoupledOptions::default()) {
+        Err(CoupledError::BeyondResistivityRange { limit, offending }) => {
+            assert!(!offending.is_empty());
+            assert!(offending[0].temperature.value() >= limit.value());
+            // Hottest first.
+            for pair in offending.windows(2) {
+                assert!(pair[0].temperature.value() >= pair[1].temperature.value());
+            }
+        }
+        Err(CoupledError::Diverged { .. }) => {} // also acceptable physics
+        other => panic!("expected a thermal-runaway error, got {other:?}"),
+    }
+}
+
+/// An unreachable tolerance under a small iteration cap is a typed
+/// `NotConverged` carrying the convergence state.
+#[test]
+fn iteration_cap_reports_not_converged() {
+    let options = CoupledOptions {
+        tolerance: 1.0e-12,
+        max_iterations: 3,
+        ..CoupledOptions::default()
+    };
+    match coupled_signoff(CoupledGridSpec::demo(30, 30), options) {
+        Err(CoupledError::NotConverged {
+            iterations,
+            last_delta,
+            hottest,
+        }) => {
+            assert_eq!(iterations, 3);
+            assert!(last_delta > 1.0e-12);
+            assert!(!hottest.is_empty());
+        }
+        other => panic!("expected NotConverged, got {other:?}"),
+    }
+}
+
+/// Degenerate specs and options are rejected up front.
+#[test]
+fn invalid_specs_are_rejected() {
+    let demo = CoupledGridSpec::demo(4, 4);
+    let cases: Vec<CoupledGridSpec> = vec![
+        CoupledGridSpec {
+            rows: 1,
+            cols: 1,
+            pads: vec![(0, 0)],
+            ..demo.clone()
+        },
+        CoupledGridSpec {
+            pitch: um(0.0),
+            ..demo.clone()
+        },
+        CoupledGridSpec {
+            pads: vec![],
+            ..demo.clone()
+        },
+        CoupledGridSpec {
+            pads: vec![(4, 0)],
+            ..demo.clone()
+        },
+        CoupledGridSpec {
+            phi: f64::NAN,
+            ..demo.clone()
+        },
+    ];
+    for spec in cases {
+        assert!(matches!(
+            CoupledEngine::new(spec, CoupledOptions::default()),
+            Err(CoupledError::InvalidSpec { .. })
+        ));
+    }
+    for options in [
+        CoupledOptions {
+            tolerance: 0.0,
+            ..CoupledOptions::default()
+        },
+        CoupledOptions {
+            damping: 1.5,
+            ..CoupledOptions::default()
+        },
+        CoupledOptions {
+            max_iterations: 0,
+            ..CoupledOptions::default()
+        },
+        CoupledOptions {
+            failure_quantile: 1.0,
+            ..CoupledOptions::default()
+        },
+    ] {
+        assert!(matches!(
+            CoupledEngine::new(demo.clone(), options),
+            Err(CoupledError::InvalidSpec { .. })
+        ));
+    }
+}
+
+/// Asking for the EM rollup before the loop has settled is an error,
+/// not a report built on a transient state.
+#[test]
+fn assess_requires_convergence() {
+    let engine =
+        CoupledEngine::new(CoupledGridSpec::demo(10, 10), CoupledOptions::default()).unwrap();
+    assert!(matches!(
+        engine.assess(),
+        Err(CoupledError::InvalidSpec { .. })
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The fixed point is a property of the grid, not of the starting
+    /// guess: seeding the Picard loop at the substrate temperature and
+    /// 150 K above it must settle onto the same branch-temperature
+    /// field (to a few tolerances of slack).
+    #[test]
+    fn fixed_point_is_independent_of_initial_guess(
+        rows in 2_usize..6,
+        cols in 2_usize..6,
+        sink_ma in 0.05_f64..0.6,
+    ) {
+        let spec = CoupledGridSpec {
+            sink_per_node: Current::from_milliamps(sink_ma),
+            ..CoupledGridSpec::demo(rows, cols)
+        };
+        let tolerance = 0.01;
+        let cold = CoupledOptions {
+            tolerance,
+            ..CoupledOptions::default()
+        };
+        let hot = CoupledOptions {
+            tolerance,
+            initial_temperature: Some(Kelvin::new(
+                spec.reference_temperature.value() + 150.0,
+            )),
+            ..cold.clone()
+        };
+        let mut a = CoupledEngine::new(spec.clone(), cold).unwrap();
+        let mut b = CoupledEngine::new(spec, hot).unwrap();
+        a.run().unwrap();
+        b.run().unwrap();
+        for (ta, tb) in a.branch_temperatures().iter().zip(b.branch_temperatures()) {
+            prop_assert!(
+                (ta - tb).abs() < 4.0 * tolerance,
+                "cold start {ta} K vs hot start {tb} K"
+            );
+        }
+    }
+}

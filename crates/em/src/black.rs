@@ -133,6 +133,35 @@ impl BlackModel {
             )
     }
 
+    /// Batch [`BlackModel::ttf`] over many `(j_avg, T)` stress points —
+    /// the per-branch EM stage of a chip-level signoff, where every
+    /// strap sees its own current and its own local temperature. The
+    /// Arrhenius constant `Q/k_B` and the density reference are hoisted
+    /// out of the loop; results are in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds for a non-positive `j`, as
+    /// [`BlackModel::ttf`] does.
+    #[must_use]
+    pub fn batch_ttf(&self, stresses: &[(CurrentDensity, Kelvin)]) -> Vec<Seconds> {
+        let q_over_kb =
+            self.params.activation_energy.value() / hotwire_units::consts::BOLTZMANN_EV_PER_K;
+        let n = self.params.current_exponent;
+        let j0 = self.params.design_rule_j0.value();
+        let inv_t_ref = 1.0 / self.anchor_temperature.value();
+        let goal = self.lifetime_goal.value();
+        stresses
+            .iter()
+            .map(|&(j, t)| {
+                debug_assert!(j.value() > 0.0, "TTF of zero stress is unbounded");
+                let density_term = (j0 / j.value()).powf(n);
+                let arrhenius = (q_over_kb * (1.0 / t.value() - inv_t_ref)).exp();
+                Seconds::new(goal * density_term * arrhenius)
+            })
+            .collect()
+    }
+
     /// The lifetime ratio `TTF(j_a, T_a) / TTF(j_b, T_b)` — prefactor-free:
     ///
     /// `ratio = (j_b/j_a)ⁿ · exp[(Q/k_B)·(1/T_a − 1/T_b)]`
@@ -291,5 +320,20 @@ mod tests {
         let r = b.lifetime_ratio(ma(1.3), t_c(140.0), ma(0.8), t_c(100.0));
         let r_inv = b.lifetime_ratio(ma(0.8), t_c(100.0), ma(1.3), t_c(140.0));
         assert!((r * r_inv - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_ttf_matches_pointwise() {
+        let b = BlackModel::for_metal(&Metal::copper()).with_design_rule_j0(ma(0.6));
+        let stresses: Vec<_> = (1..20)
+            .map(|k| (ma(0.2 + 0.1 * f64::from(k)), t_c(80.0 + 5.0 * f64::from(k))))
+            .collect();
+        let batch = b.batch_ttf(&stresses);
+        assert_eq!(batch.len(), stresses.len());
+        for (&(j, t), &got) in stresses.iter().zip(&batch) {
+            let want = b.ttf(j, t);
+            let rel = (got.value() - want.value()).abs() / want.value();
+            assert!(rel < 1e-12, "({j}, {t}): {got} vs {want}");
+        }
     }
 }

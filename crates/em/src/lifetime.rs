@@ -144,6 +144,114 @@ impl LognormalLifetime {
     }
 }
 
+/// Weakest-link (series system) failure statistics of a population of
+/// independently failing members, e.g. every mortal strap of a power
+/// grid: the chip fails when its *first* member fails, so
+/// `F_chip(t) = 1 − Π(1 − F_i(t))`.
+///
+/// ```
+/// use hotwire_em::lifetime::{LognormalLifetime, WeakestLinkPopulation};
+/// use hotwire_units::Seconds;
+///
+/// let member = LognormalLifetime::new(Seconds::new(1.0e9), 0.5)?;
+/// let chip = WeakestLinkPopulation::new(vec![member; 100])?;
+/// // 100 identical links fail (to a fraction) sooner than one.
+/// let alone = member.time_to_fraction(1.0e-3)?;
+/// let chained = chip.time_to_fraction(1.0e-3)?;
+/// assert!(chained < alone);
+/// # Ok::<(), hotwire_em::EmError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeakestLinkPopulation {
+    members: Vec<LognormalLifetime>,
+}
+
+impl WeakestLinkPopulation {
+    /// Builds the series system from its members' distributions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmError::InvalidParameter`] for an empty population.
+    pub fn new(members: Vec<LognormalLifetime>) -> Result<Self, EmError> {
+        if members.is_empty() {
+            return Err(EmError::InvalidParameter {
+                message: "weakest-link population needs at least one member".to_owned(),
+            });
+        }
+        Ok(Self { members })
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Always `false`: construction rejects empty populations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member distributions.
+    #[must_use]
+    pub fn members(&self) -> &[LognormalLifetime] {
+        &self.members
+    }
+
+    /// The system's cumulative failure fraction at `time`:
+    /// `1 − Π(1 − F_i)`, accumulated in log space (`ln(1−F)`) so a
+    /// thousand tiny per-member fractions don't round to zero.
+    #[must_use]
+    pub fn failure_fraction_at(&self, time: Seconds) -> f64 {
+        let log_survival: f64 = self
+            .members
+            .iter()
+            .map(|m| (-m.failure_fraction_at(time)).ln_1p())
+            .sum();
+        -log_survival.exp_m1()
+    }
+
+    /// The time at which the *system* reaches a cumulative failure
+    /// fraction, found by bisection (the mixture has no closed form).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmError::InvalidParameter`] unless `0 < fraction < 1`.
+    pub fn time_to_fraction(&self, fraction: f64) -> Result<Seconds, EmError> {
+        if !(fraction > 0.0 && fraction < 1.0) {
+            return Err(EmError::InvalidParameter {
+                message: format!("fraction must be in (0, 1), got {fraction}"),
+            });
+        }
+        // The system fails no later than its weakest member at the same
+        // fraction: that member alone already contributes F ≥ fraction.
+        let mut hi = f64::INFINITY;
+        for m in &self.members {
+            hi = hi.min(m.time_to_fraction(fraction)?.value());
+        }
+        let mut lo = hi;
+        while self.failure_fraction_at(Seconds::new(lo)) > fraction {
+            lo /= 2.0;
+            if lo < f64::MIN_POSITIVE {
+                return Ok(Seconds::ZERO);
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.failure_fraction_at(Seconds::new(mid)) > fraction {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+            if hi - lo <= 1e-12 * hi {
+                break;
+            }
+        }
+        Ok(Seconds::new(0.5 * (lo + hi)))
+    }
+}
+
 /// The standard normal CDF Φ, via `erfc`:
 /// `Φ(z) = erfc(−z/√2)/2`.
 #[must_use]
@@ -344,5 +452,61 @@ mod tests {
             assert!(f >= prev);
             prev = f;
         }
+    }
+
+    #[test]
+    fn weakest_link_single_member_is_identity() {
+        let m = LognormalLifetime::new(years(25.0), 0.5).unwrap();
+        let pop = WeakestLinkPopulation::new(vec![m]).unwrap();
+        for f in [1e-4, 1e-3, 0.1, 0.5] {
+            let alone = m.time_to_fraction(f).unwrap().value();
+            let sys = pop.time_to_fraction(f).unwrap().value();
+            assert!(
+                (alone - sys).abs() < 1e-6 * alone,
+                "f={f}: {alone} vs {sys}"
+            );
+        }
+    }
+
+    #[test]
+    fn weakest_link_identical_members_follow_survival_product() {
+        // n identical members: F_sys(t) = 1 − (1 − F(t))ⁿ exactly.
+        let m = LognormalLifetime::new(years(25.0), 0.5).unwrap();
+        let n = 64;
+        let pop = WeakestLinkPopulation::new(vec![m; n]).unwrap();
+        let t = years(10.0);
+        let f1 = m.failure_fraction_at(t);
+        let want = 1.0 - (1.0 - f1).powi(n as i32);
+        let got = pop.failure_fraction_at(t);
+        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        // And the quantile inverts the CDF.
+        let tq = pop.time_to_fraction(want).unwrap();
+        assert!((tq.value() - t.value()).abs() < 1e-6 * t.value());
+    }
+
+    #[test]
+    fn weakest_link_dominated_by_weakest_member() {
+        let strong = LognormalLifetime::new(years(1000.0), 0.4).unwrap();
+        let weak = LognormalLifetime::new(years(5.0), 0.4).unwrap();
+        let mut members = vec![strong; 50];
+        members.push(weak);
+        let pop = WeakestLinkPopulation::new(members).unwrap();
+        let sys = pop.time_to_fraction(1e-3).unwrap();
+        let weak_alone = weak.time_to_fraction(1e-3).unwrap();
+        // The system tracks the weak member closely (strong ones barely
+        // contribute) but fails no later than it.
+        assert!(sys <= weak_alone);
+        assert!(sys.value() > 0.9 * weak_alone.value());
+    }
+
+    #[test]
+    fn weakest_link_validation() {
+        assert!(WeakestLinkPopulation::new(vec![]).is_err());
+        let m = LognormalLifetime::new(years(1.0), 0.5).unwrap();
+        let pop = WeakestLinkPopulation::new(vec![m]).unwrap();
+        assert!(pop.time_to_fraction(0.0).is_err());
+        assert!(pop.time_to_fraction(1.0).is_err());
+        assert_eq!(pop.len(), 1);
+        assert!(!pop.is_empty());
     }
 }

@@ -221,6 +221,36 @@ impl Metal {
         self.temperature_coefficient
     }
 
+    /// The temperature window `(lo, hi)` over which the linear
+    /// resistivity fit is trusted.
+    ///
+    /// The upper bound is the melting point: past it the solid-metal
+    /// fit is meaningless. The lower bound is where the extrapolated
+    /// fit has fallen to half its reference value, `T_ref − 1/(2β)`
+    /// (clamped at 0 K): far below the anchor the true ρ(T) curves away
+    /// from the linear fit toward the residual resistivity, and by the
+    /// time the fit has shed half of ρ_ref it is no longer predictive —
+    /// and on its way to the unphysical ρ ≤ 0 at `T_ref − 1/β`.
+    /// Iterative electro-thermal solvers clamp into this window (see
+    /// [`Metal::resistivity_clamped`]) so an intermediate iterate can
+    /// never stamp a vanishing or negative resistance.
+    #[must_use]
+    pub fn resistivity_validity_range(&self) -> (Kelvin, Kelvin) {
+        let lo = (self.resistivity_ref_temperature.value() - 0.5 / self.temperature_coefficient)
+            .max(0.0);
+        (Kelvin::new(lo), self.melting_point)
+    }
+
+    /// [`Metal::resistivity`] evaluated with the temperature clamped
+    /// into [`Metal::resistivity_validity_range`]; the second element
+    /// reports whether clamping occurred.
+    #[must_use]
+    pub fn resistivity_clamped(&self, temperature: Kelvin) -> (Resistivity, bool) {
+        let (lo, hi) = self.resistivity_validity_range();
+        let t = temperature.value().clamp(lo.value(), hi.value());
+        (self.resistivity(Kelvin::new(t)), t != temperature.value())
+    }
+
     /// Thermal conductivity of the bulk metal.
     #[must_use]
     pub fn thermal_conductivity(&self) -> ThermalConductivity {
@@ -475,5 +505,38 @@ mod tests {
         let cu = Metal::copper();
         let cu2 = cu.clone();
         assert_eq!(cu, cu2);
+    }
+
+    #[test]
+    fn resistivity_validity_range_brackets_the_fit() {
+        for metal in [Metal::copper(), Metal::alcu()] {
+            let (lo, hi) = metal.resistivity_validity_range();
+            assert!(lo < hi);
+            assert_eq!(hi, metal.melting_point());
+            // Inside the window the fit stays positive.
+            assert!(metal.resistivity(lo).value() > 0.0);
+            assert!(metal.resistivity(hi).value() > 0.0);
+            // ρ = 0 happens strictly below the window.
+            let t_zero =
+                metal.resistivity_ref_temperature().value() - 1.0 / metal.temperature_coefficient();
+            assert!(t_zero < lo.value());
+        }
+    }
+
+    #[test]
+    fn resistivity_clamped_flags_and_bounds() {
+        let cu = Metal::copper();
+        let (lo, hi) = cu.resistivity_validity_range();
+        let mid = Kelvin::new(0.5 * (lo.value() + hi.value()));
+        let (rho, clamped) = cu.resistivity_clamped(mid);
+        assert!(!clamped);
+        assert_eq!(rho, cu.resistivity(mid));
+        let (rho_hot, clamped_hot) = cu.resistivity_clamped(Kelvin::new(hi.value() + 500.0));
+        assert!(clamped_hot);
+        assert_eq!(rho_hot, cu.resistivity(hi));
+        let (rho_cold, clamped_cold) = cu.resistivity_clamped(Kelvin::new(0.0));
+        assert!(clamped_cold);
+        assert_eq!(rho_cold, cu.resistivity(lo));
+        assert!(rho_cold.value() > 0.0);
     }
 }

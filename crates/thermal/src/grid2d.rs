@@ -26,6 +26,7 @@ use hotwire_tech::Dielectric;
 use hotwire_units::Length;
 use serde::{Deserialize, Serialize};
 
+use crate::band::BandedSpd;
 use crate::ThermalError;
 
 /// An axis-aligned rectangle in cross-section coordinates (meters);
@@ -608,14 +609,10 @@ fn cholesky_banded_solve(
             i * ny + j
         }
     };
-    // Banded lower storage: ab[r*(bw+1) + (c - (r - bw))] = A[r][c] for
-    // c ∈ [r-bw, r].
-    let w = bw + 1;
-    let mut ab = vec![0.0_f64; n * w];
+    let mut ab = BandedSpd::new(n, bw)?;
     let mut rhs = vec![0.0_f64; n];
-    let set = |r: usize, c: usize, v: f64, ab: &mut [f64]| {
-        debug_assert!(c <= r && r - c <= bw);
-        ab[r * w + (c + bw - r)] += v;
+    let set = |r: usize, c: usize, v: f64, ab: &mut BandedSpd| {
+        ab.add(r, c, v);
     };
     for j in 0..ny {
         for i in 0..nx {
@@ -662,48 +659,7 @@ fn cholesky_banded_solve(
             set(r, r, diag, &mut ab);
         }
     }
-    // In-place banded Cholesky: A = L·Lᵀ.
-    for r in 0..n {
-        let c_lo = r.saturating_sub(bw);
-        for c in c_lo..=r {
-            let mut sum = ab[r * w + (c + bw - r)];
-            let k_lo = c_lo.max(c.saturating_sub(bw));
-            for k in k_lo..c {
-                sum -= ab[r * w + (k + bw - r)] * ab[c * w + (k + bw - c)];
-            }
-            if c == r {
-                if sum <= 0.0 {
-                    return Err(ThermalError::NoConvergence {
-                        iterations: r,
-                        residual: sum,
-                    });
-                }
-                ab[r * w + bw] = sum.sqrt();
-            } else {
-                ab[r * w + (c + bw - r)] = sum / ab[c * w + bw];
-            }
-        }
-    }
-    // Forward substitution L·y = rhs.
-    let mut y = rhs;
-    for r in 0..n {
-        let c_lo = r.saturating_sub(bw);
-        let mut sum = y[r];
-        for c in c_lo..r {
-            sum -= ab[r * w + (c + bw - r)] * y[c];
-        }
-        y[r] = sum / ab[r * w + bw];
-    }
-    // Back substitution Lᵀ·t = y.
-    let mut sol = y;
-    for r in (0..n).rev() {
-        let mut sum = sol[r];
-        let hi = (r + bw).min(n - 1);
-        for c in (r + 1)..=hi {
-            sum -= ab[c * w + (r + bw - c)] * sol[c];
-        }
-        sol[r] = sum / ab[r * w + bw];
-    }
+    let sol = ab.factor()?.solve(&rhs);
     // Reorder back to cell-major (j*nx + i) if we solved transposed.
     if x_fast {
         Ok(sol)

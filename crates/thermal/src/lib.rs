@@ -15,6 +15,9 @@
 //!   Table 7, for densely packed 3-D arrays).
 //! * [`transient`] — lumped transient Joule heating with melt detection,
 //!   the engine behind the ESD (short-pulse failure) analysis of §6.
+//! * [`chip`] — a chip-scale strap-intersection thermal map (factored
+//!   once, solved per coupled-loop iteration), built on the banded SPD
+//!   Cholesky in [`band`] that also powers [`grid2d`]'s direct method.
 //!
 //! # Examples
 //!
@@ -37,6 +40,8 @@
 // `x <= 0.0` it also rejects NaN, which must never enter a solver.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod band;
+pub mod chip;
 mod error;
 pub mod fin;
 pub mod grid2d;

@@ -18,9 +18,10 @@ use std::process::ExitCode;
 
 use hotwire::circuit::repeater::{optimal_design, simulate_repeater, RepeaterSimOptions};
 use hotwire::core::rules::{layer_stack, DesignRuleSpec, DesignRuleTable};
-use hotwire::core::signoff::{signoff, NetSpec, SignoffConfig};
+use hotwire::core::signoff::{ranked_violations, signoff, NetSpec, SignoffConfig};
 use hotwire::core::sweep::{duty_cycle_sweep, log_spaced};
 use hotwire::core::SelfConsistentProblem;
+use hotwire::coupled::{coupled_signoff, CoupledGridSpec, CoupledOptions};
 use hotwire::esd::{check_robustness, EsdStress};
 use hotwire::tech::{format as techformat, presets, Dielectric, Metal, Technology};
 use hotwire::thermal::impedance::{InsulatorStack, LineGeometry, QUASI_2D_PHI};
@@ -50,6 +51,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "repeater" => cmd_repeater(&opts),
         "esd" => cmd_esd(&opts),
         "signoff" => cmd_signoff(&opts),
+        "coupled-signoff" => cmd_coupled_signoff(&opts),
         "simulate" => cmd_simulate(&opts),
         "techfile" => cmd_techfile(&opts),
         "help" | "--help" | "-h" => {
@@ -81,6 +83,13 @@ fn print_help() {
            signoff   composite rule check of a net list (CSV)\n\
                      --tech <preset|path> --nets <csv>\n\
                      (columns: name,layer,width_um,length_um,duty_cycle,j_peak_ma_cm2)\n\
+           coupled-signoff\n\
+                     chip-level coupled IR-thermal-EM power-grid signoff\n\
+                     [--rows <n>] [--cols <n>] [--pitch-um <p>] [--width-um <W>]\n\
+                     [--thickness-um <t>] [--tox-um <t>] [--dielectric <name>]\n\
+                     [--metal cu|alcu] [--vdd <V>] [--sink-ma <I>] [--ref-c <T>]\n\
+                     [--pads r:c,r:c,...] [--tol <K>] [--max-iters <n>]\n\
+                     [--damping <a>] [--sigma <s>] [--quantile <f>]\n\
            simulate  transient-simulate a SPICE-subset netlist\n\
                      --netlist <path> --tstop <seconds> [--dt <seconds>]\n\
                      [--probe <node>[,<node>...]] (CSV on stdout)\n\
@@ -372,30 +381,135 @@ fn cmd_signoff(opts: &Flags) -> Result<(), String> {
         "{:<16}{:>8}{:>18}{:>14}{:>18}{:>10}",
         "net", "layer", "allowed [MA/cm²]", "utilization", "governing", "verdict"
     );
-    let mut failures = 0usize;
     for (v, n) in verdicts.iter().zip(&nets) {
-        if !v.passes() {
-            failures += 1;
-        }
         println!(
             "{:<16}{:>8}{:>18.2}{:>14.2}{:>18}{:>10}",
             v.net,
             n.layer,
             v.allowed_j_peak.to_mega_amps_per_cm2(),
             v.utilization,
-            match v.governing {
-                hotwire::core::signoff::GoverningRule::SelfConsistent => "self-consistent",
-                hotwire::core::signoff::GoverningRule::ThermallyShort => "thermally-short",
-                hotwire::core::signoff::GoverningRule::BlechImmortal => "Blech-immortal",
-            },
+            v.governing.label(),
             if v.passes() { "pass" } else { "VIOLATION" },
         );
     }
-    if failures > 0 {
-        Err(format!("{failures} net(s) violate their rules"))
-    } else {
+    let violations = ranked_violations(&verdicts);
+    if violations.is_empty() {
         println!("all {} nets pass", verdicts.len());
         Ok(())
+    } else {
+        println!(
+            "worst offender: {} ({:.2}×)",
+            violations[0].net, violations[0].utilization
+        );
+        Err(format!("{} net(s) violate their rules", violations.len()))
+    }
+}
+
+fn parse_pads(spec: &str, rows: usize, cols: usize) -> Result<Vec<(usize, usize)>, String> {
+    let mut pads = Vec::new();
+    for part in spec.split(',') {
+        let (r, c) = part
+            .split_once(':')
+            .ok_or_else(|| format!("bad pad `{part}` (expected row:col)"))?;
+        let parse = |s: &str| -> Result<usize, String> {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad pad index `{s}` in `{part}`"))
+        };
+        let (r, c) = (parse(r)?, parse(c)?);
+        if r >= rows || c >= cols {
+            return Err(format!("pad {r}:{c} outside the {rows}×{cols} grid"));
+        }
+        pads.push((r, c));
+    }
+    Ok(pads)
+}
+
+fn cmd_coupled_signoff(opts: &Flags) -> Result<(), String> {
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let (rows, cols) = (
+        parse_f64(opts, "rows", 50.0)? as usize,
+        parse_f64(opts, "cols", 50.0)? as usize,
+    );
+    let metal_name = flag_or(opts, "metal", "cu");
+    let metal =
+        Metal::builtin(metal_name).ok_or_else(|| format!("unknown metal `{metal_name}`"))?;
+    let mut spec = CoupledGridSpec {
+        metal,
+        dielectric: pick_dielectric(opts)?,
+        ..CoupledGridSpec::demo(rows, cols)
+    };
+    spec.pitch = Length::from_micrometers(parse_f64(opts, "pitch-um", 100.0)?);
+    spec.strap_width = Length::from_micrometers(parse_f64(opts, "width-um", 2.0)?);
+    spec.strap_thickness = Length::from_micrometers(parse_f64(opts, "thickness-um", 0.8)?);
+    spec.dielectric_thickness = Length::from_micrometers(parse_f64(opts, "tox-um", 1.0)?);
+    spec.phi = parse_f64(opts, "phi", QUASI_2D_PHI)?;
+    spec.vdd = hotwire::units::Voltage::new(parse_f64(opts, "vdd", 2.5)?);
+    spec.sink_per_node = hotwire::units::Current::from_milliamps(parse_f64(opts, "sink-ma", 0.2)?);
+    spec.reference_temperature = Celsius::new(parse_f64(opts, "ref-c", 100.0)?).to_kelvin();
+    if let Some(pads) = opts.get("pads") {
+        spec.pads = parse_pads(pads, rows, cols)?;
+    }
+    let options_quantile = parse_f64(opts, "quantile", 1.0e-3)?;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let options = CoupledOptions {
+        tolerance: parse_f64(opts, "tol", 0.05)?,
+        max_iterations: parse_f64(opts, "max-iters", 100.0)? as usize,
+        damping: parse_f64(opts, "damping", 0.7)?,
+        sigma: parse_f64(opts, "sigma", 0.5)?,
+        failure_quantile: options_quantile,
+        ..CoupledOptions::default()
+    };
+    let report = coupled_signoff(spec, options).map_err(|e| e.to_string())?;
+    println!(
+        "{rows}×{cols} grid: fixed point in {} iterations (last max |dT| = {:.3e} K)",
+        report.iterations,
+        report.iteration_deltas.last().copied().unwrap_or(0.0)
+    );
+    println!(
+        "  worst IR drop  = {:.1} mV at node ({}, {})",
+        report.worst_ir_drop.value() * 1e3,
+        report.worst_node.0,
+        report.worst_node.1
+    );
+    println!(
+        "  peak strap T   = {:.2} ({:.2})",
+        report.peak_temperature.to_celsius(),
+        report.peak_temperature
+    );
+    match report.chip_ttf {
+        Some(ttf) => println!(
+            "  chip TTF       = {:.2e} h at the {:.0e} failure quantile ({} mortal straps)",
+            ttf.value() / 3600.0,
+            options_quantile,
+            report
+                .chip_failure
+                .as_ref()
+                .map_or(0, hotwire::em::lifetime::WeakestLinkPopulation::len)
+        ),
+        None => println!("  chip TTF       = unbounded (every strap Blech-immortal or idle)"),
+    }
+    let violations = report.violations();
+    if violations.is_empty() {
+        println!("all {} straps pass", report.branches.len());
+        Ok(())
+    } else {
+        println!("\ntop violations (of {}):", violations.len());
+        println!(
+            "{:<26}{:>14}{:>16}{:>12}{:>18}",
+            "strap", "T_m [°C]", "j [MA/cm²]", "util", "governing"
+        );
+        for v in violations.iter().take(10) {
+            println!(
+                "{:<26}{:>14.1}{:>16.2}{:>12.2}{:>18}",
+                v.verdict.net,
+                v.temperature.to_celsius().value(),
+                v.density.to_mega_amps_per_cm2(),
+                v.verdict.utilization,
+                v.verdict.governing.label(),
+            );
+        }
+        Err(format!("{} strap(s) violate their rules", violations.len()))
     }
 }
 

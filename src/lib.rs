@@ -15,6 +15,7 @@
 //! | [`thermal`] | `hotwire-thermal` | θ models, fin solutions, 2-D finite volumes, transients |
 //! | [`core`] | `hotwire-core` | the self-consistent solver + design-rule tables |
 //! | [`circuit`] | `hotwire-circuit` | MNA transient simulation, extraction, repeaters |
+//! | [`coupled`] | `hotwire-coupled` | chip-level coupled EM–IR–thermal signoff |
 //! | [`esd`] | `hotwire-esd` | ESD stress models and robustness rules |
 //!
 //! # Quickstart
@@ -64,6 +65,7 @@
 
 pub use hotwire_circuit as circuit;
 pub use hotwire_core as core;
+pub use hotwire_coupled as coupled;
 pub use hotwire_em as em;
 pub use hotwire_esd as esd;
 pub use hotwire_tech as tech;

@@ -159,7 +159,7 @@ fn signoff_reports_violations_with_nonzero_exit() {
         path.to_str().unwrap(),
     ]);
     assert!(!ok, "the strap violates its rule");
-    assert!(stdout.contains("Blech-immortal"), "{stdout}");
+    assert!(stdout.contains("blech-immortal"), "{stdout}");
     assert!(stdout.contains("VIOLATION"), "{stdout}");
     assert!(stderr.contains("violate"), "{stderr}");
 
@@ -240,4 +240,37 @@ fn simulate_runs_a_netlist_deck() {
     assert!(!ok);
     assert!(stderr.contains("missing"));
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn coupled_signoff_passes_lightly_loaded_grids() {
+    let (ok, stdout, _) = hotwire(&[
+        "coupled-signoff",
+        "--rows",
+        "15",
+        "--cols",
+        "15",
+        "--sink-ma",
+        "0.1",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("fixed point in"), "{stdout}");
+    assert!(stdout.contains("straps pass"), "{stdout}");
+}
+
+#[test]
+fn coupled_signoff_flags_overstressed_grids() {
+    let (ok, stdout, stderr) = hotwire(&[
+        "coupled-signoff",
+        "--rows",
+        "30",
+        "--cols",
+        "30",
+        "--sink-ma",
+        "0.5",
+    ]);
+    assert!(!ok, "a hot 30x30 grid must violate: {stdout}");
+    assert!(stdout.contains("top violations"), "{stdout}");
+    assert!(stdout.contains("self-consistent"), "{stdout}");
+    assert!(stderr.contains("violate"), "{stderr}");
 }
