@@ -1,0 +1,58 @@
+//! Criterion benchmarks for the coupled EM–IR–thermal fixed point —
+//! including the telemetry-overhead check promised in
+//! `docs/OBSERVABILITY.md`.
+//!
+//! Run twice to measure the instrumentation cost:
+//!
+//! ```text
+//! cargo bench -p hotwire-bench --bench coupled
+//! cargo bench -p hotwire-bench --bench coupled --no-default-features
+//! ```
+//!
+//! The `coupled_step/100` numbers from the two runs bound the overhead
+//! of the counters/timers on the hot loop (acceptance bar: < 2%). With
+//! telemetry compiled out the registry types are zero-sized and every
+//! call site folds to nothing, so the second run *is* the uninstrumented
+//! baseline, not an approximation of it.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hotwire_coupled::{CoupledEngine, CoupledGridSpec, CoupledOptions};
+
+fn engine(n: usize) -> CoupledEngine {
+    CoupledEngine::new(CoupledGridSpec::demo(n, n), CoupledOptions::default())
+        .expect("valid demo spec")
+}
+
+/// One Picard iteration at the converged operating point: restamp +
+/// refactor + grid solve + thermal update. This is the hot loop the
+/// instrumentation rides on, so it is the telemetry-overhead vehicle.
+fn bench_coupled_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coupled_step");
+    group.sample_size(10);
+    for n in [50usize, 100] {
+        let mut eng = engine(n);
+        eng.run().expect("demo grid converges");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(eng.step().expect("step at fixed point")));
+        });
+    }
+    group.finish();
+}
+
+/// Full cold run to convergence plus the EM assessment — what one
+/// `hotwire coupled-signoff` invocation pays.
+fn bench_coupled_signoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coupled_signoff");
+    group.sample_size(10);
+    group.bench_function("50x50", |b| {
+        b.iter(|| {
+            let mut eng = engine(50);
+            eng.run().expect("demo grid converges");
+            black_box(eng.assess().expect("assessment succeeds"))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coupled_step, bench_coupled_signoff);
+criterion_main!(benches);

@@ -17,6 +17,7 @@ use std::time::Instant;
 
 use hotwire_circuit::power_grid::{PowerGrid, PowerGridSpec};
 use hotwire_coupled::{CoupledEngine, CoupledGridSpec, CoupledOptions};
+use hotwire_obs::metrics;
 use hotwire_units::{Area, Current, Resistance};
 
 /// Grid edges reported in the baseline file.
@@ -61,6 +62,7 @@ fn timed_run(n: usize) -> (usize, f64, f64, f64) {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = String::from("BENCH_coupled.json");
+    let mut metrics_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -72,13 +74,23 @@ fn main() -> ExitCode {
                 out_path.clone_from(&args[i + 1]);
                 i += 2;
             }
+            "--metrics-out" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--metrics-out needs a path");
+                    return ExitCode::FAILURE;
+                }
+                metrics_out = Some(args[i + 1].clone());
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: coupled_baseline [--out <path>]\n\
+                    "usage: coupled_baseline [--out <path>] [--metrics-out <path>]\n\
                      times the coupled electro-thermal fixed-point loop on square\n\
                      power grids (iterations to converge, first vs later iteration\n\
                      cost showing factorization reuse) and writes a JSON baseline\n\
-                     (default: BENCH_coupled.json in the current directory)"
+                     (default: BENCH_coupled.json in the current directory); the\n\
+                     baseline embeds a `metrics` registry snapshot, and\n\
+                     --metrics-out additionally writes it standalone"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -174,12 +186,26 @@ fn main() -> ExitCode {
             comma = if k + 1 == rows.len() { "" } else { "," },
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    // Registry totals over every run above: factor vs refactor counts
+    // corroborate the first-vs-later timing story from the inside.
+    let snapshot = metrics::snapshot();
+    json.push_str(&format!("  \"metrics\": {}\n", snapshot.to_json()));
+    json.push_str("}\n");
 
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
     }
     println!("wrote {out_path}");
+    if let Some(path) = metrics_out {
+        let mut pretty = snapshot.to_json().to_pretty_string();
+        pretty.push('\n');
+        if let Err(e) = std::fs::write(&path, pretty) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
     ExitCode::SUCCESS
 }

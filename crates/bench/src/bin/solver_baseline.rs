@@ -18,6 +18,7 @@ use std::time::Instant;
 
 use hotwire_bench::baseline;
 use hotwire_circuit::power_grid::{PowerGrid, PowerGridSpec};
+use hotwire_obs::metrics;
 use hotwire_units::{Area, Current, Resistance, Voltage};
 
 /// Largest grid edge where the seed path is timed rather than modeled.
@@ -64,6 +65,7 @@ struct Row {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = String::from("BENCH_solver.json");
+    let mut metrics_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -75,12 +77,22 @@ fn main() -> ExitCode {
                 out_path.clone_from(&args[i + 1]);
                 i += 2;
             }
+            "--metrics-out" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--metrics-out needs a path");
+                    return ExitCode::FAILURE;
+                }
+                metrics_out = Some(args[i + 1].clone());
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: solver_baseline [--out <path>]\n\
+                    "usage: solver_baseline [--out <path>] [--metrics-out <path>]\n\
                      times the seed dense DC path vs the direct sparse path on\n\
                      square power grids and writes a JSON baseline (default:\n\
-                     BENCH_solver.json in the current directory)"
+                     BENCH_solver.json in the current directory); the baseline\n\
+                     embeds a `metrics` registry snapshot, and --metrics-out\n\
+                     additionally writes it standalone"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -188,12 +200,26 @@ fn main() -> ExitCode {
             comma = if k + 1 == rows.len() { "" } else { "," },
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    // Registry totals over every run above: `solver.factor` counts how
+    // many full LU passes the whole comparison actually paid for.
+    let snapshot = metrics::snapshot();
+    json.push_str(&format!("  \"metrics\": {}\n", snapshot.to_json()));
+    json.push_str("}\n");
 
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
     }
     println!("wrote {out_path}");
+    if let Some(path) = metrics_out {
+        let mut pretty = snapshot.to_json().to_pretty_string();
+        pretty.push('\n');
+        if let Err(e) = std::fs::write(&path, pretty) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
     ExitCode::SUCCESS
 }

@@ -29,6 +29,7 @@
 
 use crate::solver::{MnaFactorization, MnaMatrix};
 use crate::CircuitError;
+use hotwire_obs::metrics;
 
 /// A resistive-grid DC solver with a fixed topology and restampable
 /// branch conductances.
@@ -192,6 +193,10 @@ impl DcGridSolver {
             }
         }
 
+        metrics::counter("grid_dc.solves").inc();
+        #[allow(clippy::cast_precision_loss)]
+        metrics::gauge("grid_dc.unknowns").set(self.n_unknowns as f64);
+        let _t = metrics::timer("grid_dc.solve_time").start();
         if self.n_unknowns > 0 {
             self.matrix.clear();
             self.rhs.iter_mut().for_each(|r| *r = 0.0);

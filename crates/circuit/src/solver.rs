@@ -12,6 +12,7 @@
 use crate::linalg::Matrix;
 use crate::sparse::{Factorization as SparseFactorization, SparseMatrix};
 use crate::CircuitError;
+use hotwire_obs::metrics;
 
 /// Unknown count at and above which [`MnaMatrix::auto`] picks the sparse
 /// backend.
@@ -97,13 +98,20 @@ impl MnaMatrix {
     /// Returns [`CircuitError::Singular`] when the system has no unique
     /// solution.
     pub fn factor(&self) -> Result<MnaFactorization, CircuitError> {
+        metrics::counter("solver.factor").inc();
+        let _t = metrics::timer("solver.factor_time").start();
         match self {
             Self::Dense(m) => {
                 let mut lu = m.clone();
                 lu.factor()?;
                 Ok(MnaFactorization::Dense(lu))
             }
-            Self::Sparse(m) => Ok(MnaFactorization::Sparse(m.factor()?)),
+            Self::Sparse(m) => {
+                let f = m.factor()?;
+                #[allow(clippy::cast_precision_loss)]
+                metrics::gauge("solver.sparse.fill_nnz").set(f.nnz() as f64);
+                Ok(MnaFactorization::Sparse(f))
+            }
         }
     }
 
@@ -170,6 +178,8 @@ impl MnaFactorization {
     /// Panics when the backend kind or dimension differs from the
     /// factored one.
     pub fn refactor(&mut self, matrix: &MnaMatrix) -> Result<(), CircuitError> {
+        metrics::counter("solver.refactor").inc();
+        let _t = metrics::timer("solver.refactor_time").start();
         match (self, matrix) {
             (Self::Dense(lu), MnaMatrix::Dense(m)) => {
                 *lu = m.clone();
@@ -178,6 +188,7 @@ impl MnaFactorization {
             (Self::Sparse(f), MnaMatrix::Sparse(m)) => {
                 if f.refactor(m).is_err() {
                     // Pivot order went stale for the new values; re-pivot.
+                    metrics::counter("solver.refactor_fallback").inc();
                     *f = m.factor()?;
                 }
                 Ok(())

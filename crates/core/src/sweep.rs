@@ -8,6 +8,7 @@
 //! ([`duty_cycle_sweep_serial`]) — verified by the determinism tests in
 //! `tests/parallel_determinism.rs`.
 
+use hotwire_obs::metrics;
 use hotwire_units::CurrentDensity;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -36,12 +37,61 @@ impl SweepPoint {
 }
 
 fn solve_point(problem: &SelfConsistentProblem, r: f64) -> Result<SweepPoint, CoreError> {
+    // Counter and timer live here, in the path shared by the serial and
+    // parallel sweeps, so `sweep.points` and the `sweep.point_time`
+    // count are identical however the fan-out is scheduled.
+    metrics::counter("sweep.points").inc();
+    let _t = metrics::timer("sweep.point_time").start();
     let p = problem.with_duty_cycle(r)?;
     Ok(SweepPoint {
         duty_cycle: r,
         solution: p.solve()?,
         em_only_peak: p.em_only_peak(),
     })
+}
+
+/// Times one sweep fan-out and publishes throughput gauges
+/// (`sweep.points_per_sec`, `sweep.workers`, `sweep.utilization`).
+/// Compiles down to a plain call without the `telemetry` feature.
+fn with_batch_metrics<T>(points: usize, parallel: bool, f: impl FnOnce() -> T) -> T {
+    #[cfg(feature = "telemetry")]
+    {
+        let busy_before_ms = metrics::snapshot()
+            .timers
+            .get("sweep.point_time")
+            .map_or(0.0, |t| t.total_ms);
+        let start = std::time::Instant::now();
+        let out = f();
+        let wall = start.elapsed();
+        metrics::timer("sweep.batch_time").observe(wall);
+        let busy_s = (metrics::snapshot()
+            .timers
+            .get("sweep.point_time")
+            .map_or(0.0, |t| t.total_ms)
+            - busy_before_ms)
+            / 1e3;
+        let workers = if parallel {
+            rayon::current_num_threads().max(1)
+        } else {
+            1
+        };
+        #[allow(clippy::cast_precision_loss)]
+        let workers_f = workers as f64;
+        metrics::gauge("sweep.workers").set(workers_f);
+        let wall_s = wall.as_secs_f64();
+        if wall_s > 0.0 {
+            #[allow(clippy::cast_precision_loss)]
+            metrics::gauge("sweep.points_per_sec").set(points as f64 / wall_s);
+            metrics::gauge("sweep.utilization")
+                .set((busy_s / (wall_s * workers_f)).clamp(0.0, 1.0));
+        }
+        out
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = (points, parallel);
+        f()
+    }
 }
 
 /// Solves the problem across a set of duty cycles (Fig. 2), one thread
@@ -56,10 +106,12 @@ pub fn duty_cycle_sweep(
     problem: &SelfConsistentProblem,
     duty_cycles: &[f64],
 ) -> Result<Vec<SweepPoint>, CoreError> {
-    duty_cycles
-        .par_iter()
-        .map(|&r| solve_point(problem, r))
-        .collect()
+    with_batch_metrics(duty_cycles.len(), true, || {
+        duty_cycles
+            .par_iter()
+            .map(|&r| solve_point(problem, r))
+            .collect()
+    })
 }
 
 /// The single-threaded reference implementation of [`duty_cycle_sweep`],
@@ -73,10 +125,12 @@ pub fn duty_cycle_sweep_serial(
     problem: &SelfConsistentProblem,
     duty_cycles: &[f64],
 ) -> Result<Vec<SweepPoint>, CoreError> {
-    duty_cycles
-        .iter()
-        .map(|&r| solve_point(problem, r))
-        .collect()
+    with_batch_metrics(duty_cycles.len(), false, || {
+        duty_cycles
+            .iter()
+            .map(|&r| solve_point(problem, r))
+            .collect()
+    })
 }
 
 /// Logarithmically spaced duty cycles over `[lo, hi]` — the paper's
@@ -124,10 +178,12 @@ pub fn j0_sweep(
         .iter()
         .flat_map(|&j0| duty_cycles.iter().map(move |&r| (j0, r)))
         .collect();
-    let solved: Vec<SweepPoint> = cells
-        .par_iter()
-        .map(|&(j0, r)| solve_point(&problem.with_design_rule_j0(j0), r))
-        .collect::<Result<_, CoreError>>()?;
+    let solved: Vec<SweepPoint> = with_batch_metrics(cells.len(), true, || {
+        cells
+            .par_iter()
+            .map(|&(j0, r)| solve_point(&problem.with_design_rule_j0(j0), r))
+            .collect::<Result<_, CoreError>>()
+    })?;
     let mut solved = solved.into_iter();
     Ok(j0_values
         .iter()

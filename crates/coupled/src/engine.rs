@@ -28,6 +28,8 @@ use hotwire_core::signoff::{GoverningRule, NetVerdict};
 use hotwire_em::blech::BlechModel;
 use hotwire_em::lifetime::{LognormalLifetime, WeakestLinkPopulation};
 use hotwire_em::BlackModel;
+use hotwire_obs::trace::FieldValue;
+use hotwire_obs::{metrics, trace as obs_trace};
 use hotwire_tech::{Dielectric, Metal};
 use hotwire_thermal::chip::ChipThermalModel;
 use hotwire_thermal::impedance::{effective_width, InsulatorStack, QUASI_2D_PHI};
@@ -36,6 +38,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::error::{BranchHotspot, CoupledError};
+use crate::trace::{ConvergenceTrace, IterationRecord};
 
 /// How many offending branches an error report names.
 const ERROR_REPORT_BRANCHES: usize = 8;
@@ -180,6 +183,10 @@ pub struct CoupledReport {
     pub worst_node: (usize, usize),
     /// The hottest strap's metal temperature.
     pub peak_temperature: Kelvin,
+    /// The full per-iteration residual history (what
+    /// `coupled-signoff --trace-out` writes; superset of
+    /// [`CoupledReport::iteration_deltas`]).
+    pub trace: ConvergenceTrace,
     /// Every strap's assessment, in grid order.
     pub branches: Vec<BranchAssessment>,
     /// Weakest-link failure distribution over every mortal strap
@@ -226,6 +233,7 @@ pub struct CoupledEngine {
     node_power: Vec<f64>,
     node_rise: Vec<f64>,
     deltas: Vec<f64>,
+    records: Vec<IterationRecord>,
     converged: bool,
 }
 
@@ -377,6 +385,7 @@ impl CoupledEngine {
             node_power: vec![0.0; rows * cols],
             node_rise: Vec::new(),
             deltas: Vec::new(),
+            records: Vec::new(),
             converged: false,
         })
     }
@@ -388,18 +397,25 @@ impl CoupledEngine {
     /// Propagates electrical ([`CoupledError::Circuit`]) and thermal
     /// ([`CoupledError::Thermal`]) solve failures.
     pub fn step(&mut self) -> Result<f64, CoupledError> {
+        metrics::counter("coupled.iterations").inc();
         let metal = &self.spec.metal;
         let pitch = self.spec.pitch.value();
         let area = self.cross_section;
         // 1. Electrical: restamp ρ(T) and solve (refactor after the
         //    first iteration).
-        for (g, &t) in self.branch_g.iter_mut().zip(&self.branch_t) {
-            let (rho, _) = metal.resistivity_clamped(Kelvin::new(t));
-            *g = area / (rho.value() * pitch);
+        let electrical_start = std::time::Instant::now();
+        {
+            let _t = metrics::timer("coupled.stamp_time").start();
+            for (g, &t) in self.branch_g.iter_mut().zip(&self.branch_t) {
+                let (rho, _) = metal.resistivity_clamped(Kelvin::new(t));
+                *g = area / (rho.value() * pitch);
+            }
         }
-        self.solver.solve(&self.branch_g)?;
+        metrics::timer("coupled.electrical_time").time(|| self.solver.solve(&self.branch_g))?;
+        let electrical = electrical_start.elapsed();
         // 2. Thermal: branch Joule powers onto end nodes, one banded
         //    substitution for the whole chip.
+        let thermal_start = std::time::Instant::now();
         self.node_power.iter_mut().for_each(|p| *p = 0.0);
         let cols = self.spec.cols;
         for (k, &((r0, c0), (r1, c1))) in self.branches.iter().enumerate() {
@@ -408,21 +424,55 @@ impl CoupledEngine {
             self.node_power[r0 * cols + c0] += 0.5 * p;
             self.node_power[r1 * cols + c1] += 0.5 * p;
         }
-        self.thermal
-            .solve_into(&self.node_power, &mut self.node_rise)?;
+        metrics::timer("coupled.thermal_time").time(|| {
+            self.thermal
+                .solve_into(&self.node_power, &mut self.node_rise)
+        })?;
+        let thermal = thermal_start.elapsed();
         // 3. Damped update toward the substrate-referenced field.
+        let _t_update = metrics::timer("coupled.update_time").start();
         let t_ref = self.spec.reference_temperature.value();
         let alpha = self.options.damping;
         let mut delta = 0.0_f64;
+        let mut peak = f64::NEG_INFINITY;
         for (k, &((r0, c0), (r1, c1))) in self.branches.iter().enumerate() {
             let rise = 0.5 * (self.node_rise[r0 * cols + c0] + self.node_rise[r1 * cols + c1]);
             let target = t_ref + rise;
             let change = alpha * (target - self.branch_t[k]);
             self.branch_t[k] += change;
             delta = delta.max(change.abs());
+            peak = peak.max(self.branch_t[k]);
         }
         self.deltas.push(delta);
         self.converged = delta <= self.options.tolerance;
+        let worst_drop = self.spec.vdd.value()
+            - self
+                .solver
+                .node_voltages()
+                .iter()
+                .fold(f64::INFINITY, |m, &v| m.min(v));
+        self.records.push(IterationRecord {
+            iteration: self.deltas.len(),
+            max_delta_t: delta,
+            peak_temperature: peak,
+            worst_ir_drop: worst_drop,
+            electrical_ms: electrical.as_secs_f64() * 1e3,
+            thermal_ms: thermal.as_secs_f64() * 1e3,
+        });
+        metrics::gauge("coupled.residual").set(delta);
+        metrics::gauge("coupled.peak_t_k").set(peak);
+        if obs_trace::enabled(obs_trace::Level::Debug) {
+            obs_trace::debug(
+                "coupled",
+                "iteration",
+                &[
+                    ("iteration", FieldValue::U64(self.deltas.len() as u64)),
+                    ("max_delta_t_k", FieldValue::F64(delta)),
+                    ("peak_t_k", FieldValue::F64(peak)),
+                    ("worst_ir_drop_v", FieldValue::F64(worst_drop)),
+                ],
+            );
+        }
         Ok(delta)
     }
 
@@ -435,11 +485,13 @@ impl CoupledEngine {
     /// [`CoupledError::BeyondResistivityRange`] when the settled state
     /// is pinned at the metal fit's validity limit.
     pub fn run(&mut self) -> Result<(), CoupledError> {
+        let _run_span = obs_trace::span("coupled.run");
         while !self.converged {
             if self.deltas.len() >= self.options.max_iterations {
                 return Err(CoupledError::NotConverged {
                     iterations: self.deltas.len(),
                     last_delta: self.deltas.last().copied().unwrap_or(f64::INFINITY),
+                    history: self.deltas.clone(),
                     hottest: self.hotspots_by(|_, &t| t),
                 });
             }
@@ -476,6 +528,19 @@ impl CoupledEngine {
                 offending,
             });
         }
+        if obs_trace::enabled(obs_trace::Level::Info) {
+            obs_trace::info(
+                "coupled",
+                "converged",
+                &[
+                    ("iterations", FieldValue::U64(self.deltas.len() as u64)),
+                    (
+                        "last_delta_k",
+                        FieldValue::F64(self.deltas.last().copied().unwrap_or(0.0)),
+                    ),
+                ],
+            );
+        }
         Ok(())
     }
 
@@ -503,6 +568,19 @@ impl CoupledEngine {
     #[must_use]
     pub fn iterations(&self) -> usize {
         self.deltas.len()
+    }
+
+    /// The convergence trace accumulated so far — available even when
+    /// [`CoupledEngine::run`] fails, so a `--trace-out` post-mortem can
+    /// see the residual history that led to the error.
+    #[must_use]
+    pub fn trace(&self) -> ConvergenceTrace {
+        ConvergenceTrace {
+            records: self.records.clone(),
+            converged: self.converged,
+            tolerance: self.options.tolerance,
+            damping: self.options.damping,
+        }
     }
 
     /// `true` once the temperature field has settled under tolerance.
@@ -563,6 +641,7 @@ impl CoupledEngine {
                 message: "assess() requires a converged engine; call run() first".to_owned(),
             });
         }
+        let _assess_span = obs_trace::span("coupled.assess");
         let black = BlackModel::for_metal(&self.spec.metal);
         let blech = self.options.blech;
         let pitch = self.spec.pitch;
@@ -589,6 +668,13 @@ impl CoupledEngine {
                 utilization: j / allowed.value(),
                 metal_temperature: t,
             };
+            // Atomic counters, so the serial and parallel fan-outs
+            // agree on the totals.
+            if immortal {
+                metrics::counter("coupled.em.immortal_straps").inc();
+            } else {
+                metrics::counter("coupled.em.mortal_straps").inc();
+            }
             let stress = (!immortal).then_some((CurrentDensity::new(j), t));
             (
                 BranchAssessment {
@@ -661,6 +747,7 @@ impl CoupledEngine {
         Ok(CoupledReport {
             iterations: self.deltas.len(),
             iteration_deltas: self.deltas.clone(),
+            trace: self.trace(),
             worst_ir_drop: Voltage::new(worst_drop),
             worst_node,
             peak_temperature: Kelvin::new(peak),

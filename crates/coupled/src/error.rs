@@ -54,6 +54,10 @@ pub enum CoupledError {
         iterations: usize,
         /// The last max |ΔT| change (K), still above tolerance.
         last_delta: f64,
+        /// The max |ΔT| of every iteration, in order — distinguishes a
+        /// residual that stalled just above tolerance from one that
+        /// oscillated, without re-running the loop.
+        history: Vec<f64>,
         /// The branches still moving the most, hottest change first.
         hottest: Vec<BranchHotspot>,
     },
@@ -88,12 +92,16 @@ impl fmt::Display for CoupledError {
             Self::NotConverged {
                 iterations,
                 last_delta,
+                history,
                 hottest,
             } => {
                 write!(
                     f,
                     "no fixed point after {iterations} iterations (last max |dT| = {last_delta:.3e} K)"
                 )?;
+                if let Some(first) = history.first() {
+                    write!(f, "; residual went {first:.3e} -> {last_delta:.3e} K")?;
+                }
                 if let Some(h) = hottest.first() {
                     write!(f, "; still moving: {h}")?;
                 }

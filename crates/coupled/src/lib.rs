@@ -31,9 +31,11 @@
 
 pub mod engine;
 pub mod error;
+pub mod trace;
 
 pub use engine::{
     coupled_signoff, BranchAssessment, CoupledEngine, CoupledGridSpec, CoupledOptions,
     CoupledReport, GridBranch,
 };
 pub use error::{BranchHotspot, CoupledError};
+pub use trace::{ConvergenceTrace, IterationRecord};

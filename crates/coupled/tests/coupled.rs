@@ -146,11 +146,18 @@ fn iteration_cap_reports_not_converged() {
         Err(CoupledError::NotConverged {
             iterations,
             last_delta,
+            history,
             hottest,
         }) => {
             assert_eq!(iterations, 3);
             assert!(last_delta > 1.0e-12);
             assert!(!hottest.is_empty());
+            // Regression: the error must carry the full residual
+            // history, one entry per iteration, ending at last_delta,
+            // every entry still above the unreachable tolerance.
+            assert_eq!(history.len(), iterations);
+            assert_eq!(*history.last().unwrap(), last_delta);
+            assert!(history.iter().all(|&d| d > 1.0e-12));
         }
         other => panic!("expected NotConverged, got {other:?}"),
     }

@@ -1,0 +1,46 @@
+//! Observability for the hotwire workspace: metrics, tracing, JSON.
+//!
+//! The solver stack (sparse MNA factorizations, sweep fan-outs, the
+//! coupled Picard loop) is the hot path of the repository; this crate
+//! makes it inspectable without making it slower:
+//!
+//! * [`metrics`] — a process-global, rayon-safe registry of atomic
+//!   counters, gauges, and wall-time histograms. Recording is lock-free
+//!   (`fetch_add` on pre-registered cells); [`metrics::snapshot`]
+//!   freezes everything into a serializable [`metrics::MetricsSnapshot`].
+//! * [`trace`] — structured spans and events with a text or JSONL sink
+//!   on stderr, levelled like conventional loggers (`error` … `trace`).
+//!   Span entry/exit feeds the metrics timers, so `--metrics-out` and
+//!   `--log-format json` describe the same execution.
+//! * [`json`] — a small dependency-free JSON value type with a writer
+//!   and parser. The workspace's `serde` is an offline no-op shim
+//!   (see `shims/README.md`), so report files, snapshots, and the
+//!   convergence traces serialize through this module instead.
+//!
+//! Everything that records is behind the default-on `telemetry`
+//! feature; compiled without it, the recording API collapses to empty
+//! inline functions and zero-sized guard types, so instrumented crates
+//! keep a single call-site style with no runtime cost. The [`json`]
+//! module is feature-independent.
+//!
+//! ```
+//! let solves = hotwire_obs::metrics::counter("doc.solves");
+//! solves.inc();
+//! let snap = hotwire_obs::metrics::snapshot();
+//! # #[cfg(feature = "telemetry")]
+//! assert!(snap.counters.get("doc.solves").copied().unwrap_or(0) >= 1);
+//! let text = snap.to_json().to_string();
+//! let back = hotwire_obs::json::parse(&text).unwrap();
+//! assert_eq!(snap, hotwire_obs::metrics::MetricsSnapshot::from_json(&back).unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use json::Json;
+pub use metrics::MetricsSnapshot;
+pub use trace::{FieldValue, Level, LogConfig, LogFormat};

@@ -1,0 +1,520 @@
+//! A process-global, rayon-safe metrics registry.
+//!
+//! Three metric kinds cover what the solver stack needs:
+//!
+//! * **Counters** — monotone event counts (`solver.factor`,
+//!   `sweep.points`). Atomic `fetch_add`, so totals are identical no
+//!   matter how a rayon fan-out interleaves — the determinism tests
+//!   compare serial and parallel snapshots for equality.
+//! * **Gauges** — last-written values (`solver.sparse.fill_nnz`,
+//!   `sweep.points_per_sec`). Not deterministic under parallelism by
+//!   nature; use for descriptive, not asserted, quantities.
+//! * **Timers** — wall-time accumulators (count / total / min / max)
+//!   fed by [`Timer::observe`] or a [`TimerGuard`]. Counts are
+//!   deterministic; durations obviously are not.
+//!
+//! Handles are cheap clones of `Arc`ed atomic cells; look one up once
+//! (`metrics::counter("name")` takes a short registry lock) and record
+//! lock-free afterwards. [`snapshot`] freezes the registry into a
+//! [`MetricsSnapshot`] that serializes through [`crate::json`] (the
+//! workspace serde is a no-op shim), and [`reset`] clears it — tests
+//! bracket measured regions with `reset()` … `snapshot()`.
+//!
+//! With the `telemetry` feature off every recording call is an empty
+//! inline function, handles are zero-sized, and [`snapshot`] returns
+//! `enabled: false` with empty maps.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::json::Json;
+
+#[cfg(feature = "telemetry")]
+mod imp {
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, LazyLock, Mutex};
+
+    /// Timer accumulator cell (nanosecond resolution).
+    #[derive(Debug)]
+    pub struct TimerCell {
+        pub count: AtomicU64,
+        pub total_ns: AtomicU64,
+        pub min_ns: AtomicU64,
+        pub max_ns: AtomicU64,
+    }
+
+    impl Default for TimerCell {
+        fn default() -> Self {
+            Self {
+                count: AtomicU64::new(0),
+                total_ns: AtomicU64::new(0),
+                // fetch_min seed: the first observation always wins.
+                min_ns: AtomicU64::new(u64::MAX),
+                max_ns: AtomicU64::new(0),
+            }
+        }
+    }
+
+    #[derive(Debug, Default)]
+    pub struct Registry {
+        pub counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+        pub gauges: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+        pub timers: Mutex<BTreeMap<&'static str, Arc<TimerCell>>>,
+    }
+
+    pub static REGISTRY: LazyLock<Registry> = LazyLock::new(Registry::default);
+
+    pub fn intern<T: Default>(
+        map: &Mutex<BTreeMap<&'static str, Arc<T>>>,
+        name: &'static str,
+    ) -> Arc<T> {
+        Arc::clone(
+            map.lock()
+                .expect("metrics registry poisoned")
+                .entry(name)
+                .or_default(),
+        )
+    }
+
+    pub const RELAXED: Ordering = Ordering::Relaxed;
+}
+
+/// A monotone event counter.
+///
+/// Increments are atomic and order-independent, so totals are
+/// deterministic under rayon fan-outs.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    #[cfg(feature = "telemetry")]
+    cell: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[allow(unused_variables)]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "telemetry")]
+        self.cell.fetch_add(n, imp::RELAXED);
+    }
+}
+
+/// A last-value-wins gauge.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    #[cfg(feature = "telemetry")]
+    cell: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl Gauge {
+    /// Stores `value` (last write wins).
+    #[allow(unused_variables)]
+    pub fn set(&self, value: f64) {
+        #[cfg(feature = "telemetry")]
+        self.cell.store(value.to_bits(), imp::RELAXED);
+    }
+}
+
+/// A wall-time accumulator (count / total / min / max).
+#[derive(Debug, Clone)]
+pub struct Timer {
+    #[cfg(feature = "telemetry")]
+    cell: std::sync::Arc<imp::TimerCell>,
+}
+
+impl Timer {
+    /// Records one observation.
+    #[allow(unused_variables)]
+    pub fn observe(&self, elapsed: Duration) {
+        #[cfg(feature = "telemetry")]
+        {
+            let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+            self.cell.count.fetch_add(1, imp::RELAXED);
+            self.cell.total_ns.fetch_add(ns, imp::RELAXED);
+            self.cell.min_ns.fetch_min(ns, imp::RELAXED);
+            self.cell.max_ns.fetch_max(ns, imp::RELAXED);
+        }
+    }
+
+    /// Starts a guard that records the elapsed wall time when dropped.
+    pub fn start(&self) -> TimerGuard {
+        TimerGuard {
+            #[cfg(feature = "telemetry")]
+            timer: self.clone(),
+            #[cfg(feature = "telemetry")]
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Times one closure, recording its wall time.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _guard = self.start();
+        f()
+    }
+}
+
+/// RAII guard from [`Timer::start`]; records on drop.
+#[derive(Debug)]
+#[must_use = "a dropped TimerGuard records immediately; bind it with `let _guard = ...`"]
+pub struct TimerGuard {
+    #[cfg(feature = "telemetry")]
+    timer: Timer,
+    #[cfg(feature = "telemetry")]
+    start: std::time::Instant,
+}
+
+impl Drop for TimerGuard {
+    fn drop(&mut self) {
+        #[cfg(feature = "telemetry")]
+        self.timer.observe(self.start.elapsed());
+    }
+}
+
+/// Looks up (or registers) the counter `name`.
+#[allow(unused_variables)]
+#[must_use]
+pub fn counter(name: &'static str) -> Counter {
+    Counter {
+        #[cfg(feature = "telemetry")]
+        cell: imp::intern(&imp::REGISTRY.counters, name),
+    }
+}
+
+/// Looks up (or registers) the gauge `name`.
+#[allow(unused_variables)]
+#[must_use]
+pub fn gauge(name: &'static str) -> Gauge {
+    Gauge {
+        #[cfg(feature = "telemetry")]
+        cell: imp::intern(&imp::REGISTRY.gauges, name),
+    }
+}
+
+/// Looks up (or registers) the timer `name`.
+#[allow(unused_variables)]
+#[must_use]
+pub fn timer(name: &'static str) -> Timer {
+    Timer {
+        #[cfg(feature = "telemetry")]
+        cell: imp::intern(&imp::REGISTRY.timers, name),
+    }
+}
+
+/// Frozen statistics of one timer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimerStats {
+    /// Observations recorded.
+    pub count: u64,
+    /// Summed wall time, milliseconds.
+    pub total_ms: f64,
+    /// Shortest observation, milliseconds (0 when `count == 0`).
+    pub min_ms: f64,
+    /// Longest observation, milliseconds (0 when `count == 0`).
+    pub max_ms: f64,
+}
+
+/// A point-in-time copy of the whole registry.
+///
+/// Serializes to the schema documented in `docs/OBSERVABILITY.md`:
+///
+/// ```json
+/// {
+///   "telemetry": true,
+///   "counters": {"solver.factor": 1},
+///   "gauges": {"solver.sparse.fill_nnz": 1234},
+///   "timers": {"grid_dc.solve_time": {"count": 5, "total_ms": 1.2, "min_ms": 0.1, "max_ms": 0.9}}
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// `false` when the workspace was compiled without `telemetry` —
+    /// the maps are then empty by construction, not because nothing ran.
+    pub enabled: bool,
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Timer statistics by name.
+    pub timers: BTreeMap<String, TimerStats>,
+}
+
+impl MetricsSnapshot {
+    /// Shorthand counter lookup (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Serializes to a [`Json`] object (names sorted, schema above).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::from(v)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::from(v)))
+            .collect();
+        let timers = self
+            .timers
+            .iter()
+            .map(|(k, t)| {
+                (
+                    k.clone(),
+                    Json::object([
+                        ("count", Json::from(t.count)),
+                        ("total_ms", Json::from(t.total_ms)),
+                        ("min_ms", Json::from(t.min_ms)),
+                        ("max_ms", Json::from(t.max_ms)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::object([
+            ("telemetry", Json::from(self.enabled)),
+            ("counters", Json::Obj(counters)),
+            ("gauges", Json::Obj(gauges)),
+            ("timers", Json::Obj(timers)),
+        ])
+    }
+
+    /// Rebuilds a snapshot from [`MetricsSnapshot::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first schema violation.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let enabled = v
+            .get("telemetry")
+            .and_then(Json::as_bool)
+            .ok_or("missing boolean `telemetry`")?;
+        let obj = |key: &str| -> Result<&[(String, Json)], String> {
+            v.get(key)
+                .and_then(Json::as_object)
+                .ok_or(format!("missing object `{key}`"))
+        };
+        let mut counters = BTreeMap::new();
+        for (k, val) in obj("counters")? {
+            counters.insert(
+                k.clone(),
+                val.as_u64().ok_or(format!("counter `{k}` not a count"))?,
+            );
+        }
+        let mut gauges = BTreeMap::new();
+        for (k, val) in obj("gauges")? {
+            gauges.insert(
+                k.clone(),
+                val.as_f64().ok_or(format!("gauge `{k}` not a number"))?,
+            );
+        }
+        let mut timers = BTreeMap::new();
+        for (k, val) in obj("timers")? {
+            let field = |f: &str| -> Result<f64, String> {
+                val.get(f)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("timer `{k}` missing `{f}`"))
+            };
+            timers.insert(
+                k.clone(),
+                TimerStats {
+                    count: val
+                        .get("count")
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("timer `{k}` missing `count`"))?,
+                    total_ms: field("total_ms")?,
+                    min_ms: field("min_ms")?,
+                    max_ms: field("max_ms")?,
+                },
+            );
+        }
+        Ok(Self {
+            enabled,
+            counters,
+            gauges,
+            timers,
+        })
+    }
+}
+
+/// Copies the registry into a [`MetricsSnapshot`].
+#[must_use]
+pub fn snapshot() -> MetricsSnapshot {
+    #[cfg(feature = "telemetry")]
+    {
+        const NS_PER_MS: f64 = 1.0e6;
+        #[allow(clippy::cast_precision_loss)]
+        let ms = |ns: u64| ns as f64 / NS_PER_MS;
+        let counters = imp::REGISTRY
+            .counters
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(&k, v)| (k.to_owned(), v.load(imp::RELAXED)))
+            .collect();
+        let gauges = imp::REGISTRY
+            .gauges
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(&k, v)| (k.to_owned(), f64::from_bits(v.load(imp::RELAXED))))
+            .collect();
+        let timers = imp::REGISTRY
+            .timers
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(&k, t)| {
+                let count = t.count.load(imp::RELAXED);
+                (
+                    k.to_owned(),
+                    TimerStats {
+                        count,
+                        total_ms: ms(t.total_ns.load(imp::RELAXED)),
+                        min_ms: if count == 0 {
+                            0.0
+                        } else {
+                            ms(t.min_ns.load(imp::RELAXED))
+                        },
+                        max_ms: ms(t.max_ns.load(imp::RELAXED)),
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot {
+            enabled: true,
+            counters,
+            gauges,
+            timers,
+        }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    MetricsSnapshot::default()
+}
+
+/// Empties the registry (counters, gauges, and timers all forgotten).
+///
+/// Handles interned before a reset keep recording into cells that are
+/// no longer in the registry; re-intern after resetting. Intended for
+/// tests and for bracketing a measured region in a benchmark binary.
+pub fn reset() {
+    #[cfg(feature = "telemetry")]
+    {
+        imp::REGISTRY
+            .counters
+            .lock()
+            .expect("metrics registry poisoned")
+            .clear();
+        imp::REGISTRY
+            .gauges
+            .lock()
+            .expect("metrics registry poisoned")
+            .clear();
+        imp::REGISTRY
+            .timers
+            .lock()
+            .expect("metrics registry poisoned")
+            .clear();
+    }
+}
+
+/// The registry is process-global; every test touching it serializes on
+/// this lock (shared with the `trace` module's tests).
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::sync::{Mutex, MutexGuard};
+
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn lock() -> MutexGuard<'static, ()> {
+        TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::lock;
+    use super::*;
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let _guard = lock();
+        reset();
+        counter("t.counter").add(7);
+        gauge("t.gauge").set(-2.5e-3);
+        timer("t.timer").observe(Duration::from_micros(1500));
+        let snap = snapshot();
+        let text = snap.to_json().to_pretty_string();
+        let back = MetricsSnapshot::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(snap, back);
+        reset();
+    }
+
+    #[test]
+    fn from_json_rejects_schema_violations() {
+        for text in [
+            "{}",
+            r#"{"telemetry": true, "counters": {}, "gauges": {}}"#,
+            r#"{"telemetry": true, "counters": {"a": -1}, "gauges": {}, "timers": {}}"#,
+            r#"{"telemetry": true, "counters": {}, "gauges": {}, "timers": {"t": {}}}"#,
+        ] {
+            let v = crate::json::parse(text).unwrap();
+            assert!(MetricsSnapshot::from_json(&v).is_err(), "{text}");
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn counters_sum_across_threads() {
+        let _guard = lock();
+        reset();
+        let c = counter("t.parallel");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(snapshot().counter("t.parallel"), 4000);
+        reset();
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn timer_stats_accumulate() {
+        let _guard = lock();
+        reset();
+        let t = timer("t.accum");
+        t.observe(Duration::from_millis(2));
+        t.observe(Duration::from_millis(6));
+        t.time(|| std::hint::black_box(3 + 4));
+        let stats = snapshot().timers["t.accum"];
+        assert_eq!(stats.count, 3);
+        assert!(stats.total_ms >= 8.0);
+        assert!(stats.min_ms <= 2.0 && stats.max_ms >= 6.0);
+        assert!(stats.min_ms <= stats.max_ms);
+        reset();
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn disabled_snapshot_is_empty() {
+        counter("t.ignored").inc();
+        let snap = snapshot();
+        assert!(!snap.enabled);
+        assert!(snap.counters.is_empty());
+    }
+}

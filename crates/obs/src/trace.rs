@@ -1,0 +1,469 @@
+//! Structured tracing: levelled events and RAII spans with a text or
+//! JSONL sink on stderr.
+//!
+//! The design follows the `tracing` crate's span/event split scaled to
+//! what this workspace needs, with no external dependency:
+//!
+//! * an **event** is one structured record — a level, a target (dotted
+//!   module-ish name), a message, and typed key/value fields;
+//! * a **span** is a named region of work ([`span`] returns a guard).
+//!   Every span records its wall time into the metrics timer of the
+//!   same name (so spans are visible in `--metrics-out` even when the
+//!   log sink is quiet), maintains a thread-local stack that stamps
+//!   events with their enclosing span path, and emits an exit event at
+//!   [`Level::Trace`].
+//!
+//! Nothing is written until [`init`] installs a [`LogConfig`]; the
+//! `hotwire` CLI does this from `--log-level` / `--log-format`. The
+//! JSONL format emits exactly one JSON object per line on stderr —
+//! machine-parseable with the schema in `docs/OBSERVABILITY.md`. With
+//! the `telemetry` feature off the whole module is inert: [`init`] is a
+//! no-op and no event can ever be emitted.
+
+use std::fmt;
+use std::str::FromStr;
+
+#[cfg(feature = "telemetry")]
+use crate::json::Json;
+
+/// Event severity, conventional ordering (`Error` most severe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The operation failed.
+    Error,
+    /// Something surprising that does not stop the run.
+    Warn,
+    /// High-level progress (one line per stage, not per iteration).
+    Info,
+    /// Per-iteration diagnostics (convergence residuals, stage times).
+    Debug,
+    /// Per-span-exit firehose.
+    Trace,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Self::Error => "error",
+            Self::Warn => "warn",
+            Self::Info => "info",
+            Self::Debug => "debug",
+            Self::Trace => "trace",
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn as_u8(self) -> u8 {
+        match self {
+            Self::Error => 0,
+            Self::Warn => 1,
+            Self::Info => 2,
+            Self::Debug => 3,
+            Self::Trace => 4,
+        }
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "error" => Ok(Self::Error),
+            "warn" | "warning" => Ok(Self::Warn),
+            "info" => Ok(Self::Info),
+            "debug" => Ok(Self::Debug),
+            "trace" => Ok(Self::Trace),
+            other => Err(format!(
+                "unknown log level `{other}` (expected error|warn|info|debug|trace)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How emitted events are rendered on stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogFormat {
+    /// `[level] target: message key=value …` — for people.
+    #[default]
+    Text,
+    /// One JSON object per line — for machines (JSONL).
+    Json,
+}
+
+impl FromStr for LogFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "text" => Ok(Self::Text),
+            "json" | "jsonl" => Ok(Self::Json),
+            other => Err(format!("unknown log format `{other}` (expected text|json)")),
+        }
+    }
+}
+
+/// Sink configuration installed by [`init`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogConfig {
+    /// Most verbose level that is emitted.
+    pub level: Level,
+    /// Output rendering.
+    pub format: LogFormat,
+}
+
+impl Default for LogConfig {
+    /// Warnings and errors, as text — quiet on a healthy run.
+    fn default() -> Self {
+        Self {
+            level: Level::Warn,
+            format: LogFormat::Text,
+        }
+    }
+}
+
+/// A typed field value attached to an event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FieldValue<'a> {
+    /// An unsigned count or index.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point quantity.
+    F64(f64),
+    /// A borrowed string.
+    Str(&'a str),
+    /// A flag.
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue<'_> {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue<'_> {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue<'_> {
+    fn from(v: i64) -> Self {
+        Self::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue<'_> {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+
+impl<'a> From<&'a str> for FieldValue<'a> {
+    fn from(v: &'a str) -> Self {
+        Self::Str(v)
+    }
+}
+
+impl From<bool> for FieldValue<'_> {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+
+#[cfg(feature = "telemetry")]
+impl FieldValue<'_> {
+    fn to_json(self) -> Json {
+        match self {
+            Self::U64(v) => Json::from(v),
+            #[allow(clippy::cast_precision_loss)]
+            Self::I64(v) => Json::Num(v as f64),
+            Self::F64(v) => Json::Num(v),
+            Self::Str(v) => Json::from(v),
+            Self::Bool(v) => Json::from(v),
+        }
+    }
+}
+
+impl fmt::Display for FieldValue<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::U64(v) => write!(f, "{v}"),
+            Self::I64(v) => write!(f, "{v}"),
+            Self::F64(v) => write!(f, "{v}"),
+            Self::Str(v) => write!(f, "{v}"),
+            Self::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Event fields: ordered `(name, value)` pairs.
+pub type Fields<'a> = &'a [(&'a str, FieldValue<'a>)];
+
+#[cfg(feature = "telemetry")]
+mod imp {
+    use super::{Fields, Json, Level, LogConfig, LogFormat};
+    use std::cell::RefCell;
+    use std::io::Write;
+    use std::sync::atomic::{AtomicU8, Ordering};
+    use std::sync::Mutex;
+
+    /// 255 = no subscriber installed.
+    pub static LEVEL: AtomicU8 = AtomicU8::new(255);
+    pub static FORMAT: AtomicU8 = AtomicU8::new(0);
+    static WRITE: Mutex<()> = Mutex::new(());
+
+    thread_local! {
+        pub static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub fn install(config: LogConfig) {
+        FORMAT.store(
+            match config.format {
+                LogFormat::Text => 0,
+                LogFormat::Json => 1,
+            },
+            Ordering::Relaxed,
+        );
+        LEVEL.store(config.level.as_u8(), Ordering::Relaxed);
+    }
+
+    pub fn enabled(level: Level) -> bool {
+        let current = LEVEL.load(Ordering::Relaxed);
+        current != 255 && level.as_u8() <= current
+    }
+
+    pub fn span_path() -> Option<String> {
+        SPAN_STACK.with(|stack| {
+            let stack = stack.borrow();
+            if stack.is_empty() {
+                None
+            } else {
+                Some(stack.join("/"))
+            }
+        })
+    }
+
+    pub fn emit(level: Level, target: &str, message: &str, fields: Fields<'_>) {
+        let line = render(level, target, message, fields);
+        let _lock = WRITE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = writeln!(std::io::stderr(), "{line}");
+    }
+
+    pub fn render(level: Level, target: &str, message: &str, fields: Fields<'_>) -> String {
+        let span = span_path();
+        if FORMAT.load(Ordering::Relaxed) == 1 {
+            let ts = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0.0, |d| d.as_secs_f64());
+            let mut pairs = vec![
+                ("ts".to_owned(), Json::Num(ts)),
+                ("level".to_owned(), Json::from(level.as_str())),
+                ("target".to_owned(), Json::from(target)),
+                ("msg".to_owned(), Json::from(message)),
+            ];
+            if let Some(path) = span {
+                pairs.push(("span".to_owned(), Json::from(path)));
+            }
+            for &(k, v) in fields {
+                pairs.push((k.to_owned(), v.to_json()));
+            }
+            Json::Obj(pairs).to_string()
+        } else {
+            use std::fmt::Write;
+            let mut line = format!("[{level}] {target}: {message}");
+            if let Some(path) = span {
+                write!(line, " span={path}").expect("string write cannot fail");
+            }
+            for &(k, v) in fields {
+                write!(line, " {k}={v}").expect("string write cannot fail");
+            }
+            line
+        }
+    }
+}
+
+/// Installs the stderr sink. Until this is called nothing is emitted.
+///
+/// Safe to call again (e.g. per test); the latest configuration wins.
+#[allow(unused_variables)]
+pub fn init(config: LogConfig) {
+    #[cfg(feature = "telemetry")]
+    imp::install(config);
+}
+
+/// `true` when an event at `level` would currently be emitted.
+#[allow(unused_variables)]
+#[must_use]
+pub fn enabled(level: Level) -> bool {
+    #[cfg(feature = "telemetry")]
+    {
+        imp::enabled(level)
+    }
+    #[cfg(not(feature = "telemetry"))]
+    false
+}
+
+/// Emits one structured event.
+#[allow(unused_variables)]
+pub fn event(level: Level, target: &str, message: &str, fields: Fields<'_>) {
+    #[cfg(feature = "telemetry")]
+    if imp::enabled(level) {
+        imp::emit(level, target, message, fields);
+    }
+}
+
+/// [`Level::Error`] event.
+pub fn error(target: &str, message: &str, fields: Fields<'_>) {
+    event(Level::Error, target, message, fields);
+}
+
+/// [`Level::Warn`] event.
+pub fn warn(target: &str, message: &str, fields: Fields<'_>) {
+    event(Level::Warn, target, message, fields);
+}
+
+/// [`Level::Info`] event.
+pub fn info(target: &str, message: &str, fields: Fields<'_>) {
+    event(Level::Info, target, message, fields);
+}
+
+/// [`Level::Debug`] event.
+pub fn debug(target: &str, message: &str, fields: Fields<'_>) {
+    event(Level::Debug, target, message, fields);
+}
+
+/// A named region of work; see [`span`].
+#[derive(Debug)]
+#[must_use = "a dropped Span closes immediately; bind it with `let _span = ...`"]
+pub struct Span {
+    #[cfg(feature = "telemetry")]
+    name: &'static str,
+    #[cfg(feature = "telemetry")]
+    start: std::time::Instant,
+}
+
+/// Opens a span named `name` (dotted, e.g. `"coupled.step"`).
+///
+/// On drop the span records its wall time into the metrics timer of the
+/// same name, pops itself from the thread-local span stack, and emits a
+/// `close` event at [`Level::Trace`] with `elapsed_ms`.
+#[allow(unused_variables)]
+pub fn span(name: &'static str) -> Span {
+    #[cfg(feature = "telemetry")]
+    imp::SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
+    Span {
+        #[cfg(feature = "telemetry")]
+        name,
+        #[cfg(feature = "telemetry")]
+        start: std::time::Instant::now(),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        #[cfg(feature = "telemetry")]
+        {
+            let elapsed = self.start.elapsed();
+            crate::metrics::timer(self.name).observe(elapsed);
+            if imp::enabled(Level::Trace) {
+                imp::emit(
+                    Level::Trace,
+                    self.name,
+                    "close",
+                    &[("elapsed_ms", FieldValue::F64(elapsed.as_secs_f64() * 1e3))],
+                );
+            }
+            imp::SPAN_STACK.with(|stack| {
+                let popped = stack.borrow_mut().pop();
+                debug_assert_eq!(popped, Some(self.name), "span stack out of order");
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_and_format_parse() {
+        assert_eq!("debug".parse::<Level>(), Ok(Level::Debug));
+        assert!("loud".parse::<Level>().is_err());
+        assert_eq!("json".parse::<LogFormat>(), Ok(LogFormat::Json));
+        assert!("xml".parse::<LogFormat>().is_err());
+        assert!(Level::Error < Level::Trace);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn rendering_both_formats() {
+        init(LogConfig {
+            level: Level::Info,
+            format: LogFormat::Text,
+        });
+        let fields: &[(&str, FieldValue<'_>)] = &[
+            ("iter", 3usize.into()),
+            ("dt", 0.5f64.into()),
+            ("tag", "x".into()),
+        ];
+        let text = imp::render(Level::Info, "coupled", "iteration", fields);
+        assert_eq!(text, "[info] coupled: iteration iter=3 dt=0.5 tag=x");
+
+        init(LogConfig {
+            level: Level::Info,
+            format: LogFormat::Json,
+        });
+        let line = imp::render(Level::Warn, "cli", "bad \"flag\"", fields);
+        let v = crate::json::parse(&line).expect("JSONL line parses");
+        assert_eq!(
+            v.get("level").and_then(crate::json::Json::as_str),
+            Some("warn")
+        );
+        assert_eq!(
+            v.get("msg").and_then(crate::json::Json::as_str),
+            Some("bad \"flag\"")
+        );
+        assert_eq!(v.get("iter").and_then(crate::json::Json::as_u64), Some(3));
+        // Leave the sink quiet for other tests.
+        init(LogConfig {
+            level: Level::Error,
+            format: LogFormat::Text,
+        });
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn spans_feed_timers_and_stack() {
+        let _guard = crate::metrics::testutil::lock();
+        crate::metrics::reset();
+        {
+            let _outer = span("t.outer");
+            let _inner = span("t.inner");
+            assert_eq!(imp::span_path().as_deref(), Some("t.outer/t.inner"));
+        }
+        assert_eq!(imp::span_path(), None);
+        let snap = crate::metrics::snapshot();
+        assert_eq!(snap.timers["t.outer"].count, 1);
+        assert_eq!(snap.timers["t.inner"].count, 1);
+        crate::metrics::reset();
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn disabled_module_is_inert() {
+        init(LogConfig::default());
+        assert!(!enabled(Level::Error));
+        let _span = span("t.noop");
+    }
+}

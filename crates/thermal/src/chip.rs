@@ -34,6 +34,7 @@
 
 use crate::band::{BandedCholesky, BandedSpd};
 use crate::error::ThermalError;
+use hotwire_obs::metrics;
 
 /// A factored chip thermal model over a `rows × cols` grid of strap
 /// intersections.
@@ -141,11 +142,13 @@ impl ChipThermalModel {
                 a.add(here, here, diag);
             }
         }
+        metrics::counter("thermal.chip.factor").inc();
+        let factor = metrics::timer("thermal.chip.factor_time").time(|| a.factor())?;
         Ok(Self {
             rows,
             cols,
             vertical_g,
-            factor: a.factor()?,
+            factor,
             x_fast,
         })
     }
@@ -191,6 +194,8 @@ impl ChipThermalModel {
                 });
             }
         }
+        metrics::counter("thermal.chip.solves").inc();
+        let _t = metrics::timer("thermal.chip.solve_time").start();
         if self.x_fast {
             self.factor.solve_into(node_power, rise);
         } else {

@@ -12,8 +12,19 @@
 //!
 //! `--tech` accepts the built-in presets (`ntrs-250`, `ntrs-100`,
 //! `ntrs-250-alcu`, `ntrs-100-alcu`) or a path to a tech file.
+//!
+//! Every command additionally understands the observability flags
+//! (`docs/OBSERVABILITY.md`): `--log-level error|warn|info|debug|trace`
+//! and `--log-format text|json` control diagnostic events on stderr,
+//! and `--metrics-out <path>` dumps the process-wide metrics snapshot
+//! as JSON after the command runs. `coupled-signoff` also takes
+//! `--trace-out <path>` for the per-iteration convergence trace.
+//!
+//! Exit codes: 0 success, 1 internal/solver failure, 2 usage error,
+//! 3 signoff violation.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::process::ExitCode;
 
 use hotwire::circuit::repeater::{optimal_design, simulate_repeater, RepeaterSimOptions};
@@ -21,30 +32,185 @@ use hotwire::core::rules::{layer_stack, DesignRuleSpec, DesignRuleTable};
 use hotwire::core::signoff::{ranked_violations, signoff, NetSpec, SignoffConfig};
 use hotwire::core::sweep::{duty_cycle_sweep, log_spaced};
 use hotwire::core::SelfConsistentProblem;
-use hotwire::coupled::{coupled_signoff, CoupledGridSpec, CoupledOptions};
+use hotwire::coupled::{CoupledEngine, CoupledError, CoupledGridSpec, CoupledOptions};
 use hotwire::esd::{check_robustness, EsdStress};
+use hotwire::obs::json::Json;
+use hotwire::obs::{LogConfig, LogFormat};
 use hotwire::tech::{format as techformat, presets, Dielectric, Metal, Technology};
 use hotwire::thermal::impedance::{InsulatorStack, LineGeometry, QUASI_2D_PHI};
 use hotwire::units::{Celsius, CurrentDensity, Length, Seconds};
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+/// Exit code of a usage error (bad flags, unknown command).
+const EXIT_USAGE: u8 = 2;
+/// Exit code when the analysis ran but the design fails its rules.
+const EXIT_VIOLATION: u8 = 3;
+/// Exit code of an internal/solver failure.
+const EXIT_INTERNAL: u8 = 1;
+
+/// A classified CLI failure, so scripts can tell "you typed it wrong"
+/// (exit 2) from "the design fails signoff" (exit 3) from "the engine
+/// could not produce an answer" (exit 1).
+#[derive(Debug)]
+enum CliError {
+    /// Bad invocation: unknown command, missing/unparsable flag.
+    Usage(String),
+    /// The command ran to completion and the design violates its rules.
+    Violation(String),
+    /// The engine failed; carries the typed error so the full
+    /// `source()` chain reaches the error report.
+    Internal(Box<dyn std::error::Error>),
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        Self::Usage(message.into())
+    }
+
+    fn violation(message: impl Into<String>) -> Self {
+        Self::Violation(message.into())
+    }
+
+    fn internal(e: impl std::error::Error + 'static) -> Self {
+        Self::Internal(Box::new(e))
+    }
+
+    /// Wraps `e` with a context line while keeping it as `source()`.
+    fn context(message: impl Into<String>, e: impl std::error::Error + 'static) -> Self {
+        Self::Internal(Box::new(ContextError {
+            context: message.into(),
+            source: Box::new(e),
+        }))
+    }
+
+    fn exit_code(&self) -> u8 {
+        match self {
+            Self::Usage(_) => EXIT_USAGE,
+            Self::Violation(_) => EXIT_VIOLATION,
+            Self::Internal(_) => EXIT_INTERNAL,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Self::Usage(_) => "usage",
+            Self::Violation(_) => "violation",
+            Self::Internal(_) => "internal",
+        }
+    }
+
+    /// The `source()` chain below the top-level message, outermost
+    /// first (empty for usage/violation errors).
+    fn causes(&self) -> Vec<String> {
+        let mut chain = Vec::new();
+        if let Self::Internal(e) = self {
+            let mut cursor = e.source();
+            while let Some(cause) = cursor {
+                chain.push(cause.to_string());
+                cursor = cause.source();
+            }
+        }
+        chain
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Usage(m) | Self::Violation(m) => f.write_str(m),
+            Self::Internal(e) => write!(f, "{e}"),
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+/// An error wrapped with a human context line; the wrapped error stays
+/// reachable through `source()` for the caused-by report.
+#[derive(Debug)]
+struct ContextError {
+    context: String,
+    source: Box<dyn std::error::Error>,
+}
+
+impl fmt::Display for ContextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.context)
+    }
+}
+
+impl std::error::Error for ContextError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(self.source.as_ref())
+    }
+}
+
+/// Renders a failure on stderr: classic `error:` lines (plus the
+/// `caused by:` chain) in text mode, one structured JSONL event in
+/// json mode.
+fn report_error(err: &CliError, format: LogFormat) {
+    let causes = err.causes();
+    match format {
+        LogFormat::Text => {
+            eprintln!("error: {err}");
+            for cause in &causes {
+                eprintln!("  caused by: {cause}");
+            }
+        }
+        LogFormat::Json => {
+            let event = Json::object([
+                ("level", Json::from("error")),
+                ("target", Json::from("hotwire")),
+                ("msg", Json::from(err.to_string())),
+                ("kind", Json::from(err.kind())),
+                (
+                    "cause",
+                    Json::Arr(causes.into_iter().map(Json::from).collect()),
+                ),
+            ]);
+            eprintln!("{event}");
+        }
+    }
+}
+
+/// Extracts `--log-level` / `--log-format` from the raw argument list
+/// (they ride in the same `--flag value` stream as everything else, but
+/// the subscriber must be installed before the command dispatches).
+fn log_config(args: &[String]) -> Result<LogConfig, CliError> {
+    let mut config = LogConfig::default();
+    for pair in args.windows(2) {
+        match pair[0].as_str() {
+            "--log-level" => config.level = pair[1].parse().map_err(CliError::Usage)?,
+            "--log-format" => config.format = pair[1].parse().map_err(CliError::Usage)?,
+            _ => {}
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match log_config(&args) {
+        Ok(config) => config,
+        Err(e) => {
+            report_error(&e, LogFormat::Text);
+            return ExitCode::from(e.exit_code());
+        }
+    };
+    hotwire::obs::trace::init(config);
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            report_error(&e, config.format);
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
         print_help();
         return Ok(());
     };
     let opts = parse_flags(&args[1..])?;
-    match command.as_str() {
+    let result = match command.as_str() {
         "solve" => cmd_solve(&opts),
         "rules" => cmd_rules(&opts),
         "sweep" => cmd_sweep(&opts),
@@ -58,8 +224,24 @@ fn run(args: &[String]) -> Result<(), String> {
             print_help();
             Ok(())
         }
-        other => Err(format!("unknown command `{other}` (try `hotwire help`)")),
-    }
+        other => Err(CliError::usage(format!(
+            "unknown command `{other}` (try `hotwire help`)"
+        ))),
+    };
+    // The metrics snapshot is a post-mortem artifact: write it whenever
+    // the command actually ran, violations and solver failures
+    // included. Only a usage error (nothing executed) skips it.
+    let metrics = match (&result, opts.get("metrics-out")) {
+        (Err(CliError::Usage(_)), _) | (_, None) => Ok(()),
+        (_, Some(path)) => write_json_file(path, &hotwire::obs::metrics::snapshot().to_json()),
+    };
+    result.and(metrics)
+}
+
+/// Writes pretty-printed JSON (with a trailing newline) to `path`.
+fn write_json_file(path: &str, json: &Json) -> Result<(), CliError> {
+    std::fs::write(path, format!("{}\n", json.to_pretty_string()))
+        .map_err(|e| CliError::context(format!("cannot write {path}"), e))
 }
 
 fn print_help() {
@@ -90,76 +272,83 @@ fn print_help() {
                      [--metal cu|alcu] [--vdd <V>] [--sink-ma <I>] [--ref-c <T>]\n\
                      [--pads r:c,r:c,...] [--tol <K>] [--max-iters <n>]\n\
                      [--damping <a>] [--sigma <s>] [--quantile <f>]\n\
+                     [--trace-out <path>]  per-iteration convergence trace (JSON)\n\
            simulate  transient-simulate a SPICE-subset netlist\n\
                      --netlist <path> --tstop <seconds> [--dt <seconds>]\n\
                      [--probe <node>[,<node>...]] (CSV on stdout)\n\
            techfile  dump a technology as a tech file\n\
                      --tech <preset|path>\n\n\
+         observability (any command):\n\
+           --log-level error|warn|info|debug|trace   stderr event threshold\n\
+           --log-format text|json                    event rendering (JSONL)\n\
+           --metrics-out <path>                      metrics snapshot (JSON)\n\n\
+         exit codes: 0 ok, 1 internal failure, 2 usage, 3 signoff violation\n\n\
          presets: ntrs-250, ntrs-100, ntrs-250-alcu, ntrs-100-alcu"
     );
 }
 
 type Flags = HashMap<String, String>;
 
-fn parse_flags(args: &[String]) -> Result<Flags, String> {
+fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
     let mut map = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         let key = args[i]
             .strip_prefix("--")
-            .ok_or_else(|| format!("expected a --flag, got `{}`", args[i]))?;
+            .ok_or_else(|| CliError::usage(format!("expected a --flag, got `{}`", args[i])))?;
         let value = args
             .get(i + 1)
-            .ok_or_else(|| format!("--{key} needs a value"))?;
+            .ok_or_else(|| CliError::usage(format!("--{key} needs a value")))?;
         map.insert(key.to_owned(), value.clone());
         i += 2;
     }
     Ok(map)
 }
 
-fn flag<'a>(opts: &'a Flags, key: &str) -> Result<&'a str, String> {
+fn flag<'a>(opts: &'a Flags, key: &str) -> Result<&'a str, CliError> {
     opts.get(key)
         .map(String::as_str)
-        .ok_or_else(|| format!("missing required flag --{key}"))
+        .ok_or_else(|| CliError::usage(format!("missing required flag --{key}")))
 }
 
 fn flag_or<'a>(opts: &'a Flags, key: &str, default: &'a str) -> &'a str {
     opts.get(key).map_or(default, String::as_str)
 }
 
-fn parse_f64(opts: &Flags, key: &str, default: f64) -> Result<f64, String> {
+fn parse_f64(opts: &Flags, key: &str, default: f64) -> Result<f64, CliError> {
     match opts.get(key) {
         None => Ok(default),
         Some(v) => v
             .parse::<f64>()
-            .map_err(|_| format!("--{key}: `{v}` is not a number")),
+            .map_err(|_| CliError::usage(format!("--{key}: `{v}` is not a number"))),
     }
 }
 
-fn load_tech(opts: &Flags) -> Result<Technology, String> {
+fn load_tech(opts: &Flags) -> Result<Technology, CliError> {
     let spec = flag(opts, "tech")?;
     match spec {
         "ntrs-250" | "ntrs-0.25um" => Ok(presets::ntrs_250nm()),
         "ntrs-100" | "ntrs-0.1um" => Ok(presets::ntrs_100nm()),
         "ntrs-250-alcu" => Ok(presets::ntrs_250nm_alcu()),
         "ntrs-100-alcu" => Ok(presets::ntrs_100nm_alcu()),
-        path => techformat::read_file(path).map_err(|e| e.to_string()),
+        path => techformat::read_file(path)
+            .map_err(|e| CliError::context(format!("cannot load tech file {path}"), e)),
     }
 }
 
-fn pick_dielectric(opts: &Flags) -> Result<Dielectric, String> {
+fn pick_dielectric(opts: &Flags) -> Result<Dielectric, CliError> {
     let name = flag_or(opts, "dielectric", "oxide");
-    Dielectric::builtin(name).ok_or_else(|| format!("unknown dielectric `{name}`"))
+    Dielectric::builtin(name).ok_or_else(|| CliError::usage(format!("unknown dielectric `{name}`")))
 }
 
 fn build_problem(
     opts: &Flags,
     tech: &Technology,
-) -> Result<(SelfConsistentProblem, String), String> {
+) -> Result<(SelfConsistentProblem, String), CliError> {
     let layer_name = flag(opts, "layer")?;
     let layer = tech
         .layer(layer_name)
-        .ok_or_else(|| format!("technology has no layer `{layer_name}`"))?;
+        .ok_or_else(|| CliError::usage(format!("technology has no layer `{layer_name}`")))?;
     let dielectric = pick_dielectric(opts)?;
     let r = parse_f64(opts, "r", 0.1)?;
     let length = Length::from_micrometers(parse_f64(opts, "length-um", 1000.0)?);
@@ -168,28 +357,28 @@ fn build_problem(
     if let Some(j0) = opts.get("j0") {
         let v = j0
             .parse::<f64>()
-            .map_err(|_| format!("--j0: `{j0}` is not a number"))?;
+            .map_err(|_| CliError::usage(format!("--j0: `{j0}` is not a number")))?;
         metal = metal.with_design_rule_j0(CurrentDensity::from_amps_per_cm2(v));
     }
     let problem = SelfConsistentProblem::builder()
         .metal(metal)
         .line(
             LineGeometry::new(layer.width(), layer.thickness(), length)
-                .map_err(|e| e.to_string())?,
+                .map_err(CliError::internal)?,
         )
-        .stack(layer_stack(tech, layer.index(), &dielectric).map_err(|e| e.to_string())?)
+        .stack(layer_stack(tech, layer.index(), &dielectric).map_err(CliError::internal)?)
         .phi(phi)
         .duty_cycle(r)
         .reference_temperature(tech.reference_temperature())
         .build()
-        .map_err(|e| e.to_string())?;
+        .map_err(CliError::internal)?;
     Ok((problem, format!("{layer_name}/{}", dielectric.name())))
 }
 
-fn cmd_solve(opts: &Flags) -> Result<(), String> {
+fn cmd_solve(opts: &Flags) -> Result<(), CliError> {
     let tech = load_tech(opts)?;
     let (problem, label) = build_problem(opts, &tech)?;
-    let sol = problem.solve().map_err(|e| e.to_string())?;
+    let sol = problem.solve().map_err(CliError::internal)?;
     println!("{} {label} @ r = {}", tech.name(), problem.duty_cycle());
     println!("  T_m      = {:.2}", sol.metal_temperature.to_celsius());
     println!("  ΔT       = {:.2}", sol.temperature_rise);
@@ -209,13 +398,13 @@ fn cmd_solve(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_rules(opts: &Flags) -> Result<(), String> {
+fn cmd_rules(opts: &Flags) -> Result<(), CliError> {
     let tech = load_tech(opts)?;
     let j0 = CurrentDensity::from_amps_per_cm2(parse_f64(opts, "j0", 6.0e5)?);
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let levels = parse_f64(opts, "levels", 2.0)? as usize;
     let spec = DesignRuleSpec::paper_defaults(&tech, levels, j0);
-    let table = DesignRuleTable::generate(&spec).map_err(|e| e.to_string())?;
+    let table = DesignRuleTable::generate(&spec).map_err(CliError::internal)?;
     println!(
         "{} — max allowed j_peak [MA/cm²], j0 = {:.2e} A/cm²\n",
         tech.name(),
@@ -225,13 +414,13 @@ fn cmd_rules(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sweep(opts: &Flags) -> Result<(), String> {
+fn cmd_sweep(opts: &Flags) -> Result<(), CliError> {
     let tech = load_tech(opts)?;
     let (problem, _) = build_problem(opts, &tech)?;
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let points = parse_f64(opts, "points", 17.0)? as usize;
     let rs = log_spaced(1.0e-4, 1.0, points.max(2));
-    let sweep = duty_cycle_sweep(&problem, &rs).map_err(|e| e.to_string())?;
+    let sweep = duty_cycle_sweep(&problem, &rs).map_err(CliError::internal)?;
     println!("r,metal_temperature_c,j_peak_ma_cm2,em_only_peak_ma_cm2");
     for p in sweep {
         println!(
@@ -245,13 +434,13 @@ fn cmd_sweep(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_repeater(opts: &Flags) -> Result<(), String> {
+fn cmd_repeater(opts: &Flags) -> Result<(), CliError> {
     let tech = load_tech(opts)?;
     let layer_name = flag(opts, "layer")?;
     let layer = tech
         .layer(layer_name)
-        .ok_or_else(|| format!("technology has no layer `{layer_name}`"))?;
-    let design = optimal_design(&tech, layer.index()).map_err(|e| e.to_string())?;
+        .ok_or_else(|| CliError::usage(format!("technology has no layer `{layer_name}`")))?;
+    let design = optimal_design(&tech, layer.index()).map_err(CliError::internal)?;
     println!("{} {layer_name} — delay-optimal buffering:", tech.name());
     println!(
         "  l_opt = {:.2} mm, s_opt = {:.0}×min, est. stage delay {:.1} ps",
@@ -260,7 +449,7 @@ fn cmd_repeater(opts: &Flags) -> Result<(), String> {
         design.stage_delay * 1e12
     );
     let report = simulate_repeater(&tech, layer.index(), RepeaterSimOptions::default())
-        .map_err(|e| e.to_string())?;
+        .map_err(CliError::internal)?;
     println!(
         "  simulated: j_peak {:.2} MA/cm², j_rms {:.2} MA/cm², r_eff {:.3}, slew {:.3}",
         report.j_peak().to_mega_amps_per_cm2(),
@@ -271,32 +460,32 @@ fn cmd_repeater(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_stress(spec: &str) -> Result<EsdStress, String> {
+fn parse_stress(spec: &str) -> Result<EsdStress, CliError> {
     let parts: Vec<&str> = spec.split(':').collect();
-    let num = |s: &str| -> Result<f64, String> {
+    let num = |s: &str| -> Result<f64, CliError> {
         s.parse::<f64>()
-            .map_err(|_| format!("`{s}` is not a number in stress spec `{spec}`"))
+            .map_err(|_| CliError::usage(format!("`{s}` is not a number in stress spec `{spec}`")))
     };
     match parts.as_slice() {
         ["hbm", v] => Ok(EsdStress::human_body(num(v)?)),
         ["mm", v] => Ok(EsdStress::machine(num(v)?)),
         ["cdm", a] => Ok(EsdStress::charged_device(num(a)?)),
         ["tlp", a, ns] => Ok(EsdStress::tlp(num(a)?, Seconds::from_nanos(num(ns)?))),
-        _ => Err(format!(
+        _ => Err(CliError::usage(format!(
             "bad stress `{spec}` (expected hbm:<V>, mm:<V>, cdm:<A>, tlp:<A>:<ns>)"
-        )),
+        ))),
     }
 }
 
-fn cmd_esd(opts: &Flags) -> Result<(), String> {
+fn cmd_esd(opts: &Flags) -> Result<(), CliError> {
     let stress = parse_stress(flag(opts, "stress")?)?;
     let width = Length::from_micrometers(parse_f64(opts, "width-um", 3.0)?);
     let thickness = Length::from_micrometers(parse_f64(opts, "thickness-um", 0.55)?);
     let metal_name = flag_or(opts, "metal", "alcu");
-    let metal =
-        Metal::builtin(metal_name).ok_or_else(|| format!("unknown metal `{metal_name}`"))?;
+    let metal = Metal::builtin(metal_name)
+        .ok_or_else(|| CliError::usage(format!("unknown metal `{metal_name}`")))?;
     let line = LineGeometry::new(width, thickness, Length::from_micrometers(150.0))
-        .map_err(|e| e.to_string())?;
+        .map_err(CliError::internal)?;
     let stack = InsulatorStack::single(
         Length::from_micrometers(parse_f64(opts, "tox-um", 1.2)?),
         &Dielectric::oxide(),
@@ -309,7 +498,7 @@ fn cmd_esd(opts: &Flags) -> Result<(), String> {
         Celsius::new(parse_f64(opts, "ambient-c", 25.0)?).to_kelvin(),
         &stress,
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(CliError::internal)?;
     println!(
         "{} line {:.2} × {:.2} µm under {stress:?}:",
         metal.name(),
@@ -326,7 +515,7 @@ fn cmd_esd(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_nets_csv(text: &str) -> Result<Vec<NetSpec>, String> {
+fn parse_nets_csv(text: &str) -> Result<Vec<NetSpec>, CliError> {
     let mut nets = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
         let line = raw.trim();
@@ -335,16 +524,20 @@ fn parse_nets_csv(text: &str) -> Result<Vec<NetSpec>, String> {
         }
         let cols: Vec<&str> = line.split(',').map(str::trim).collect();
         if cols.len() != 6 {
-            return Err(format!(
+            return Err(CliError::usage(format!(
                 "nets csv line {}: expected 6 columns, got {}",
                 idx + 1,
                 cols.len()
-            ));
+            )));
         }
-        let num = |k: usize| -> Result<f64, String> {
-            cols[k]
-                .parse::<f64>()
-                .map_err(|_| format!("nets csv line {}: `{}` is not a number", idx + 1, cols[k]))
+        let num = |k: usize| -> Result<f64, CliError> {
+            cols[k].parse::<f64>().map_err(|_| {
+                CliError::usage(format!(
+                    "nets csv line {}: `{}` is not a number",
+                    idx + 1,
+                    cols[k]
+                ))
+            })
         };
         nets.push(NetSpec {
             name: cols[0].to_owned(),
@@ -356,15 +549,16 @@ fn parse_nets_csv(text: &str) -> Result<Vec<NetSpec>, String> {
         });
     }
     if nets.is_empty() {
-        return Err("nets csv contains no nets".to_owned());
+        return Err(CliError::usage("nets csv contains no nets"));
     }
     Ok(nets)
 }
 
-fn cmd_signoff(opts: &Flags) -> Result<(), String> {
+fn cmd_signoff(opts: &Flags) -> Result<(), CliError> {
     let tech = load_tech(opts)?;
     let path = flag(opts, "nets")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::context(format!("cannot read {path}"), e))?;
     let nets = parse_nets_csv(&text)?;
     let mut config = SignoffConfig {
         intra_dielectric: pick_dielectric(opts)?,
@@ -373,10 +567,10 @@ fn cmd_signoff(opts: &Flags) -> Result<(), String> {
     if let Some(j0) = opts.get("j0") {
         let v = j0
             .parse::<f64>()
-            .map_err(|_| format!("--j0: `{j0}` is not a number"))?;
+            .map_err(|_| CliError::usage(format!("--j0: `{j0}` is not a number")))?;
         config.j0 = CurrentDensity::from_amps_per_cm2(v);
     }
-    let verdicts = signoff(&tech, &config, &nets).map_err(|e| e.to_string())?;
+    let verdicts = signoff(&tech, &config, &nets).map_err(CliError::internal)?;
     println!(
         "{:<16}{:>8}{:>18}{:>14}{:>18}{:>10}",
         "net", "layer", "allowed [MA/cm²]", "utilization", "governing", "verdict"
@@ -401,39 +595,53 @@ fn cmd_signoff(opts: &Flags) -> Result<(), String> {
             "worst offender: {} ({:.2}×)",
             violations[0].net, violations[0].utilization
         );
-        Err(format!("{} net(s) violate their rules", violations.len()))
+        Err(CliError::violation(format!(
+            "{} net(s) violate their rules",
+            violations.len()
+        )))
     }
 }
 
-fn parse_pads(spec: &str, rows: usize, cols: usize) -> Result<Vec<(usize, usize)>, String> {
+fn parse_pads(spec: &str, rows: usize, cols: usize) -> Result<Vec<(usize, usize)>, CliError> {
     let mut pads = Vec::new();
     for part in spec.split(',') {
         let (r, c) = part
             .split_once(':')
-            .ok_or_else(|| format!("bad pad `{part}` (expected row:col)"))?;
-        let parse = |s: &str| -> Result<usize, String> {
+            .ok_or_else(|| CliError::usage(format!("bad pad `{part}` (expected row:col)")))?;
+        let parse = |s: &str| -> Result<usize, CliError> {
             s.trim()
                 .parse::<usize>()
-                .map_err(|_| format!("bad pad index `{s}` in `{part}`"))
+                .map_err(|_| CliError::usage(format!("bad pad index `{s}` in `{part}`")))
         };
         let (r, c) = (parse(r)?, parse(c)?);
         if r >= rows || c >= cols {
-            return Err(format!("pad {r}:{c} outside the {rows}×{cols} grid"));
+            return Err(CliError::usage(format!(
+                "pad {r}:{c} outside the {rows}×{cols} grid"
+            )));
         }
         pads.push((r, c));
     }
     Ok(pads)
 }
 
-fn cmd_coupled_signoff(opts: &Flags) -> Result<(), String> {
+/// Maps a coupled-engine failure: a rejected spec is the user's input
+/// (usage), everything else is the solver's problem (internal).
+fn coupled_error(e: CoupledError) -> CliError {
+    match e {
+        CoupledError::InvalidSpec { message } => CliError::usage(message),
+        other => CliError::internal(other),
+    }
+}
+
+fn cmd_coupled_signoff(opts: &Flags) -> Result<(), CliError> {
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let (rows, cols) = (
         parse_f64(opts, "rows", 50.0)? as usize,
         parse_f64(opts, "cols", 50.0)? as usize,
     );
     let metal_name = flag_or(opts, "metal", "cu");
-    let metal =
-        Metal::builtin(metal_name).ok_or_else(|| format!("unknown metal `{metal_name}`"))?;
+    let metal = Metal::builtin(metal_name)
+        .ok_or_else(|| CliError::usage(format!("unknown metal `{metal_name}`")))?;
     let mut spec = CoupledGridSpec {
         metal,
         dielectric: pick_dielectric(opts)?,
@@ -460,7 +668,16 @@ fn cmd_coupled_signoff(opts: &Flags) -> Result<(), String> {
         failure_quantile: options_quantile,
         ..CoupledOptions::default()
     };
-    let report = coupled_signoff(spec, options).map_err(|e| e.to_string())?;
+    let mut engine = CoupledEngine::new(spec, options).map_err(coupled_error)?;
+    let run_result = engine.run();
+    // The convergence trace is most valuable exactly when run() failed —
+    // write it before propagating, so a NotConverged/Diverged post-mortem
+    // still has the residual history on disk.
+    if let Some(path) = opts.get("trace-out") {
+        write_json_file(path, &engine.trace().to_json())?;
+    }
+    run_result.map_err(coupled_error)?;
+    let report = engine.assess().map_err(coupled_error)?;
     println!(
         "{rows}×{cols} grid: fixed point in {} iterations (last max |dT| = {:.3e} K)",
         report.iterations,
@@ -509,22 +726,26 @@ fn cmd_coupled_signoff(opts: &Flags) -> Result<(), String> {
                 v.verdict.governing.label(),
             );
         }
-        Err(format!("{} strap(s) violate their rules", violations.len()))
+        Err(CliError::violation(format!(
+            "{} strap(s) violate their rules",
+            violations.len()
+        )))
     }
 }
 
-fn cmd_simulate(opts: &Flags) -> Result<(), String> {
+fn cmd_simulate(opts: &Flags) -> Result<(), CliError> {
     let path = flag(opts, "netlist")?;
-    let deck = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let parsed = hotwire::circuit::parser::parse_netlist(&deck).map_err(|e| e.to_string())?;
+    let deck = std::fs::read_to_string(path)
+        .map_err(|e| CliError::context(format!("cannot read {path}"), e))?;
+    let parsed = hotwire::circuit::parser::parse_netlist(&deck).map_err(CliError::internal)?;
     let t_stop = flag(opts, "tstop")?
         .parse::<f64>()
-        .map_err(|_| "--tstop must be a number in seconds".to_owned())?;
+        .map_err(|_| CliError::usage("--tstop must be a number in seconds"))?;
     let dt = match opts.get("dt") {
         None => None,
         Some(v) => Some(
             v.parse::<f64>()
-                .map_err(|_| "--dt must be a number in seconds".to_owned())?,
+                .map_err(|_| CliError::usage("--dt must be a number in seconds"))?,
         ),
     };
     let probes: Vec<String> = match opts.get("probe") {
@@ -535,7 +756,7 @@ fn cmd_simulate(opts: &Flags) -> Result<(), String> {
     for name in &probes {
         let id = parsed
             .node(name)
-            .ok_or_else(|| format!("netlist has no node `{name}`"))?;
+            .ok_or_else(|| CliError::usage(format!("netlist has no node `{name}`")))?;
         probe_ids.push(id);
     }
     let result = hotwire::circuit::transient::simulate(
@@ -546,7 +767,7 @@ fn cmd_simulate(opts: &Flags) -> Result<(), String> {
             ..hotwire::circuit::transient::TransientOptions::default()
         },
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(CliError::internal)?;
     println!("time_s,{}", probes.join(","));
     for (k, t) in result.times.iter().enumerate() {
         let mut row = format!("{t:.6e}");
@@ -558,7 +779,7 @@ fn cmd_simulate(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_techfile(opts: &Flags) -> Result<(), String> {
+fn cmd_techfile(opts: &Flags) -> Result<(), CliError> {
     let tech = load_tech(opts)?;
     print!("{}", techformat::serialize(&tech));
     Ok(())

@@ -17,6 +17,7 @@
 //! | [`circuit`] | `hotwire-circuit` | MNA transient simulation, extraction, repeaters |
 //! | [`coupled`] | `hotwire-coupled` | chip-level coupled EM–IR–thermal signoff |
 //! | [`esd`] | `hotwire-esd` | ESD stress models and robustness rules |
+//! | [`obs`] | `hotwire-obs` | metrics registry, tracing events, JSON (see `docs/OBSERVABILITY.md`) |
 //!
 //! # Quickstart
 //!
@@ -68,6 +69,7 @@ pub use hotwire_core as core;
 pub use hotwire_coupled as coupled;
 pub use hotwire_em as em;
 pub use hotwire_esd as esd;
+pub use hotwire_obs as obs;
 pub use hotwire_tech as tech;
 pub use hotwire_thermal as thermal;
 pub use hotwire_units as units;

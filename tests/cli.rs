@@ -3,12 +3,19 @@
 use std::process::Command;
 
 fn hotwire(args: &[&str]) -> (bool, String, String) {
+    let (code, stdout, stderr) = hotwire_status(args);
+    (code == Some(0), stdout, stderr)
+}
+
+/// As [`hotwire`], but exposing the raw exit code for the tests of the
+/// usage/violation/internal classification.
+fn hotwire_status(args: &[&str]) -> (Option<i32>, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_hotwire"))
         .args(args)
         .output()
         .expect("binary runs");
     (
-        out.status.success(),
+        out.status.code(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
     )
@@ -273,4 +280,130 @@ fn coupled_signoff_flags_overstressed_grids() {
     assert!(stdout.contains("top violations"), "{stdout}");
     assert!(stdout.contains("self-consistent"), "{stdout}");
     assert!(stderr.contains("violate"), "{stderr}");
+}
+
+#[test]
+fn exit_codes_distinguish_failure_classes() {
+    // Usage errors exit 2: missing flag, unknown command, bad value.
+    let (code, _, _) = hotwire_status(&["solve", "--tech", "ntrs-250"]);
+    assert_eq!(code, Some(2), "missing --layer is a usage error");
+    let (code, _, _) = hotwire_status(&["bogus"]);
+    assert_eq!(code, Some(2), "unknown command is a usage error");
+    let (code, _, _) = hotwire_status(&["coupled-signoff", "--rows", "abc"]);
+    assert_eq!(code, Some(2), "non-numeric --rows is a usage error");
+    // Signoff violations exit 3: the analysis ran, the design fails.
+    let (code, _, stderr) = hotwire_status(&[
+        "coupled-signoff",
+        "--rows",
+        "30",
+        "--cols",
+        "30",
+        "--sink-ma",
+        "0.5",
+    ]);
+    assert_eq!(code, Some(3), "violations exit 3: {stderr}");
+    // Internal failures exit 1: the engine could not produce an answer.
+    let (code, _, stderr) = hotwire_status(&[
+        "signoff",
+        "--tech",
+        "ntrs-250",
+        "--nets",
+        "/no/such/nets.csv",
+    ]);
+    assert_eq!(code, Some(1), "unreadable input is internal: {stderr}");
+    assert!(stderr.contains("caused by"), "chain reported: {stderr}");
+}
+
+#[test]
+fn log_format_json_emits_a_structured_error_event() {
+    let (code, _, stderr) = hotwire_status(&[
+        "signoff",
+        "--tech",
+        "ntrs-250",
+        "--nets",
+        "/no/such/nets.csv",
+        "--log-format",
+        "json",
+    ]);
+    assert_eq!(code, Some(1));
+    let event = hotwire::obs::json::parse(stderr.trim()).expect("stderr is one JSON event");
+    assert_eq!(
+        event.get("level").and_then(|v| v.as_str()),
+        Some("error"),
+        "{stderr}"
+    );
+    assert_eq!(event.get("kind").and_then(|v| v.as_str()), Some("internal"));
+    let cause = event.get("cause").and_then(|v| v.as_array()).unwrap();
+    assert!(!cause.is_empty(), "io error arrives as the cause chain");
+    // And a bad --log-level is itself a usage error.
+    let (code, _, stderr) = hotwire_status(&["help", "--log-level", "loud"]);
+    assert_eq!(code, Some(2), "{stderr}");
+}
+
+#[test]
+fn metrics_and_trace_out_write_parsable_json() {
+    let dir = std::env::temp_dir().join(format!("hotwire-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics_path = dir.join("metrics.json");
+    let trace_path = dir.join("trace.json");
+    // 20×20 at the demo load needs >1 Picard iteration, so the second
+    // electrical solve must hit the factorization-reuse path.
+    let (ok, stdout, stderr) = hotwire(&[
+        "coupled-signoff",
+        "--rows",
+        "20",
+        "--cols",
+        "20",
+        "--metrics-out",
+        metrics_path.to_str().unwrap(),
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+
+    let metrics = hotwire::obs::json::parse(&std::fs::read_to_string(&metrics_path).unwrap())
+        .expect("metrics file is valid JSON");
+    let counter = |name: &str| {
+        metrics
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(hotwire::obs::json::Json::as_u64)
+    };
+    if metrics
+        .get("telemetry")
+        .and_then(hotwire::obs::json::Json::as_bool)
+        == Some(true)
+    {
+        assert_eq!(counter("solver.factor"), Some(1), "one symbolic factor");
+        assert!(
+            counter("solver.refactor").unwrap_or(0) >= 1,
+            "iteration 2+ must reuse the factorization: {metrics}"
+        );
+        let iterations = counter("coupled.iterations").unwrap();
+        assert!(iterations >= 2, "demo 20×20 iterates at least twice");
+        assert_eq!(counter("grid_dc.solves"), Some(iterations));
+        let timers = metrics.get("timers").unwrap();
+        for stage in ["coupled.electrical_time", "coupled.thermal_time"] {
+            let total = timers
+                .get(stage)
+                .and_then(|t| t.get("total_ms"))
+                .and_then(hotwire::obs::json::Json::as_f64)
+                .unwrap();
+            assert!(total >= 0.0, "{stage} records wall time");
+        }
+    }
+
+    let trace = hotwire::obs::json::parse(&std::fs::read_to_string(&trace_path).unwrap())
+        .expect("trace file is valid JSON");
+    assert_eq!(trace.get("converged").and_then(|v| v.as_bool()), Some(true));
+    let records = trace.get("records").and_then(|v| v.as_array()).unwrap();
+    assert!(records.len() >= 2, "one record per Picard iteration");
+    let last = records.last().unwrap();
+    let residual = last.get("max_delta_t_k").and_then(|v| v.as_f64()).unwrap();
+    let tolerance = trace.get("tolerance_k").and_then(|v| v.as_f64()).unwrap();
+    assert!(
+        residual <= tolerance,
+        "converged trace ends under tolerance"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,163 @@
+//! Cross-crate observability invariants: the metrics registry must
+//! report identical counters whether work ran serially or across the
+//! rayon pool (the determinism contract of `docs/OBSERVABILITY.md`),
+//! and a snapshot must survive the JSON round trip byte-exactly.
+//!
+//! The registry is process-global, so every test here serializes on one
+//! mutex and resets the registry before measuring.
+
+use std::sync::{Mutex, MutexGuard};
+
+use hotwire::core::sweep::{duty_cycle_sweep, duty_cycle_sweep_serial, log_spaced};
+use hotwire::core::SelfConsistentProblem;
+use hotwire::coupled::{CoupledEngine, CoupledGridSpec, CoupledOptions};
+use hotwire::obs::metrics::{self, MetricsSnapshot};
+use hotwire::obs::Json;
+use hotwire::tech::{Dielectric, Metal};
+use hotwire::thermal::impedance::{InsulatorStack, LineGeometry, QUASI_1D_PHI};
+use hotwire::units::{CurrentDensity, Length};
+
+static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn registry_lock() -> MutexGuard<'static, ()> {
+    REGISTRY_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn sweep_problem() -> SelfConsistentProblem {
+    SelfConsistentProblem::builder()
+        .metal(Metal::copper().with_design_rule_j0(CurrentDensity::from_amps_per_cm2(6.0e5)))
+        .line(
+            LineGeometry::new(
+                Length::from_micrometers(3.0),
+                Length::from_micrometers(0.5),
+                Length::from_micrometers(1000.0),
+            )
+            .unwrap(),
+        )
+        .stack(InsulatorStack::single(
+            Length::from_micrometers(3.0),
+            &Dielectric::oxide(),
+        ))
+        .phi(QUASI_1D_PHI)
+        .duty_cycle(0.1)
+        .build()
+        .unwrap()
+}
+
+/// `sweep.points` (and every other counter) must not depend on how the
+/// fan-out was scheduled: the counters live in the per-point path shared
+/// by both variants, and atomic increments commute.
+#[test]
+fn sweep_counters_match_between_serial_and_parallel() {
+    let _guard = registry_lock();
+    let problem = sweep_problem();
+    let rs = log_spaced(1.0e-4, 1.0, 9);
+
+    metrics::reset();
+    let serial_points = duty_cycle_sweep_serial(&problem, &rs).unwrap();
+    let serial = metrics::snapshot();
+
+    metrics::reset();
+    let parallel_points = duty_cycle_sweep(&problem, &rs).unwrap();
+    let parallel = metrics::snapshot();
+
+    assert_eq!(serial_points, parallel_points, "results are bit-identical");
+    assert_eq!(
+        serial.counters, parallel.counters,
+        "counters are schedule-independent"
+    );
+    // Timer *counts* are deterministic too; durations of course differ.
+    let timer_counts = |s: &MetricsSnapshot| -> Vec<(String, u64)> {
+        s.timers.iter().map(|(k, t)| (k.clone(), t.count)).collect()
+    };
+    assert_eq!(timer_counts(&serial), timer_counts(&parallel));
+    if cfg!(feature = "telemetry") {
+        assert_eq!(serial.counter("sweep.points"), rs.len() as u64);
+    } else {
+        assert!(serial.counters.is_empty(), "no registry without telemetry");
+    }
+}
+
+/// The per-strap EM counters increment inside the fan-out closure, so
+/// `assess()` and `assess_serial()` must agree on mortal/immortal totals.
+#[test]
+fn coupled_assess_counters_match_between_serial_and_parallel() {
+    let _guard = registry_lock();
+    let mut engine =
+        CoupledEngine::new(CoupledGridSpec::demo(12, 12), CoupledOptions::default()).unwrap();
+    engine.run().unwrap();
+
+    metrics::reset();
+    let parallel_report = engine.assess().unwrap();
+    let parallel = metrics::snapshot();
+
+    metrics::reset();
+    let serial_report = engine.assess_serial().unwrap();
+    let serial = metrics::snapshot();
+
+    assert_eq!(parallel_report, serial_report, "reports are bit-identical");
+    assert_eq!(serial.counters, parallel.counters);
+    if cfg!(feature = "telemetry") {
+        let straps = engine.branches().len() as u64;
+        assert_eq!(
+            serial.counter("coupled.em.mortal_straps")
+                + serial.counter("coupled.em.immortal_straps"),
+            straps,
+            "every strap is classified exactly once"
+        );
+    }
+}
+
+/// A populated snapshot must survive snapshot → JSON → text → JSON →
+/// snapshot without losing a counter, gauge bit-pattern, or timer stat.
+#[test]
+fn snapshot_round_trips_through_json() {
+    let _guard = registry_lock();
+    metrics::reset();
+    metrics::counter("roundtrip.events").add(42);
+    metrics::gauge("roundtrip.level").set(0.1 + 0.2); // not representable "nicely"
+    metrics::timer("roundtrip.stage").observe(std::time::Duration::from_micros(1_234));
+    metrics::timer("roundtrip.stage").observe(std::time::Duration::from_micros(17));
+    let snapshot = metrics::snapshot();
+
+    let text = snapshot.to_json().to_pretty_string();
+    let reparsed = hotwire::obs::json::parse(&text).expect("pretty output parses");
+    let restored = MetricsSnapshot::from_json(&reparsed).expect("schema round-trips");
+    assert_eq!(snapshot, restored);
+
+    // Compact rendering round-trips identically.
+    let compact = hotwire::obs::json::parse(&snapshot.to_json().to_string()).unwrap();
+    assert_eq!(MetricsSnapshot::from_json(&compact).unwrap(), snapshot);
+
+    if cfg!(feature = "telemetry") {
+        assert_eq!(restored.counter("roundtrip.events"), 42);
+        assert_eq!(restored.timers["roundtrip.stage"].count, 2);
+        assert_eq!(restored.gauges["roundtrip.level"], 0.1 + 0.2);
+    } else {
+        assert!(!restored.enabled);
+    }
+}
+
+/// The convergence trace rides on the report and matches the scalar
+/// fields the report already carried.
+#[test]
+fn report_trace_is_consistent_with_iteration_deltas() {
+    let mut engine =
+        CoupledEngine::new(CoupledGridSpec::demo(10, 10), CoupledOptions::default()).unwrap();
+    engine.run().unwrap();
+    let report = engine.assess().unwrap();
+    assert!(report.trace.converged);
+    assert_eq!(report.trace.records.len(), report.iterations);
+    for (record, delta) in report.trace.records.iter().zip(&report.iteration_deltas) {
+        assert_eq!(record.max_delta_t, *delta);
+    }
+    let last = report.trace.records.last().unwrap();
+    assert_eq!(last.peak_temperature, report.peak_temperature.value());
+    let json = report.trace.to_json();
+    assert_eq!(
+        json.get("iterations").and_then(Json::as_u64),
+        Some(report.iterations as u64)
+    );
+}
