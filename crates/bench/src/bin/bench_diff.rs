@@ -1,0 +1,303 @@
+//! Compares a freshly measured `BENCH_solver.json` / `BENCH_coupled.json`
+//! against a committed baseline and fails on perf regressions.
+//!
+//! ```text
+//! cargo run --release -p hotwire-bench --bin solver_baseline -- \
+//!     --sizes 10,20 --out /tmp/fresh.json
+//! cargo run --release -p hotwire-bench --bin bench_diff -- \
+//!     --baseline BENCH_solver.json --current /tmp/fresh.json
+//! ```
+//!
+//! The comparison walks the `sizes` arrays of both files, matches
+//! entries by their `grid` label, and checks every shared `*_ms` field.
+//! A field regresses when `current > baseline × tolerance` (default
+//! 1.5×, so an injected 2× slowdown trips it) **and** both readings are
+//! above the `--min-ms` noise floor (default 1 ms — container timers
+//! jitter far more than that relatively, below it). Grids present in
+//! only one file are reported but never fatal, so the CI job can run a
+//! small subset of the committed sizes.
+//!
+//! Exit codes: 0 no regression, 1 at least one field regressed,
+//! 2 usage/parse error (including an empty comparison — a gate that
+//! compared nothing must not pass silently).
+
+use std::process::ExitCode;
+
+use hotwire_obs::json::{self, Json};
+
+/// Default regression threshold: fail when current exceeds baseline by
+/// more than this factor.
+const DEFAULT_TOLERANCE: f64 = 1.5;
+
+/// Default noise floor (ms): fields where either reading is below this
+/// are skipped — sub-millisecond medians are timer jitter, not signal.
+const DEFAULT_MIN_MS: f64 = 1.0;
+
+/// One compared field of one grid entry.
+#[derive(Debug, Clone, PartialEq)]
+struct Comparison {
+    grid: String,
+    field: String,
+    baseline_ms: f64,
+    current_ms: f64,
+    /// `current / baseline`.
+    ratio: f64,
+    verdict: Verdict,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    Ok,
+    /// Under the noise floor; informational only.
+    Skipped,
+    Regression,
+}
+
+/// One `sizes` entry: its grid label and every `*_ms` field.
+type SizeRow = (String, Vec<(String, f64)>);
+
+/// Extracts `sizes` as `(grid_label, [(field, ms)])` rows.
+fn size_rows(doc: &Json, what: &str) -> Result<Vec<SizeRow>, String> {
+    let sizes = doc
+        .get("sizes")
+        .and_then(Json::as_array)
+        .ok_or(format!("{what}: missing `sizes` array"))?;
+    let mut rows = Vec::new();
+    for entry in sizes {
+        let grid = entry
+            .get("grid")
+            .and_then(Json::as_str)
+            .ok_or(format!("{what}: a sizes entry has no `grid` label"))?;
+        let fields = entry
+            .as_object()
+            .ok_or(format!("{what}: sizes entry `{grid}` is not an object"))?
+            .iter()
+            .filter(|(k, _)| k.ends_with("_ms"))
+            .filter_map(|(k, v)| v.as_f64().map(|ms| (k.clone(), ms)))
+            .collect();
+        rows.push((grid.to_owned(), fields));
+    }
+    Ok(rows)
+}
+
+/// The whole comparison: shared grids × shared `*_ms` fields.
+fn compare(
+    baseline: &Json,
+    current: &Json,
+    tolerance: f64,
+    min_ms: f64,
+) -> Result<Vec<Comparison>, String> {
+    let base_rows = size_rows(baseline, "baseline")?;
+    let cur_rows = size_rows(current, "current")?;
+    let mut out = Vec::new();
+    for (grid, cur_fields) in &cur_rows {
+        let Some((_, base_fields)) = base_rows.iter().find(|(g, _)| g == grid) else {
+            continue; // fresh run measured a size the baseline lacks
+        };
+        for (field, &current_ms) in cur_fields.iter().map(|(f, ms)| (f, ms)) {
+            let Some(&(_, baseline_ms)) = base_fields.iter().find(|(f, _)| f == field) else {
+                continue;
+            };
+            let ratio = if baseline_ms > 0.0 {
+                current_ms / baseline_ms
+            } else {
+                f64::INFINITY
+            };
+            let verdict = if baseline_ms < min_ms || current_ms < min_ms {
+                Verdict::Skipped
+            } else if ratio > tolerance {
+                Verdict::Regression
+            } else {
+                Verdict::Ok
+            };
+            out.push(Comparison {
+                grid: grid.clone(),
+                field: field.clone(),
+                baseline_ms,
+                current_ms,
+                ratio,
+                verdict,
+            });
+        }
+    }
+    Ok(out)
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path: Option<String> = None;
+    let mut current_path: Option<String> = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut min_ms = DEFAULT_MIN_MS;
+    let mut i = 0;
+    let usage = || {
+        eprintln!(
+            "usage: bench_diff --baseline <committed.json> --current <fresh.json>\n\
+             \x20                [--tolerance <factor>] [--min-ms <floor>]\n\
+             compares the `sizes` timing fields of two baseline files; exits 1\n\
+             when any shared field regresses beyond tolerance (default {DEFAULT_TOLERANCE}x),\n\
+             skipping readings under the noise floor (default {DEFAULT_MIN_MS} ms)"
+        );
+        ExitCode::from(2)
+    };
+    while i < args.len() {
+        let Some(value) = args.get(i + 1) else {
+            return usage();
+        };
+        match args[i].as_str() {
+            "--baseline" => baseline_path = Some(value.clone()),
+            "--current" => current_path = Some(value.clone()),
+            "--tolerance" => match value.parse::<f64>() {
+                Ok(t) if t >= 1.0 => tolerance = t,
+                _ => {
+                    eprintln!("--tolerance: `{value}` must be a factor >= 1");
+                    return ExitCode::from(2);
+                }
+            },
+            "--min-ms" => match value.parse::<f64>() {
+                Ok(m) if m >= 0.0 => min_ms = m,
+                _ => {
+                    eprintln!("--min-ms: `{value}` must be a non-negative number");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => return usage(),
+        }
+        i += 2;
+    }
+    let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
+        return usage();
+    };
+    let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let comparisons = match compare(&baseline, &current, tolerance, min_ms) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let compared = comparisons
+        .iter()
+        .filter(|c| c.verdict != Verdict::Skipped)
+        .count();
+    if compared == 0 {
+        eprintln!(
+            "error: no field of {current_path} was comparable against {baseline_path} \
+             (no shared grid sizes above the {min_ms} ms floor) — an empty gate must not pass"
+        );
+        return ExitCode::from(2);
+    }
+    println!(
+        "{:<10} {:<16} {:>12} {:>12} {:>8}  verdict",
+        "grid", "field", "baseline_ms", "current_ms", "ratio"
+    );
+    let mut regressions = 0;
+    for c in &comparisons {
+        let verdict = match c.verdict {
+            Verdict::Ok => "ok",
+            Verdict::Skipped => "skipped (noise floor)",
+            Verdict::Regression => {
+                regressions += 1;
+                "REGRESSION"
+            }
+        };
+        println!(
+            "{:<10} {:<16} {:>12.3} {:>12.3} {:>8.2}  {verdict}",
+            c.grid, c.field, c.baseline_ms, c.current_ms, c.ratio
+        );
+    }
+    if regressions > 0 {
+        eprintln!(
+            "{regressions} field(s) regressed beyond {tolerance}x over {baseline_path} \
+             ({compared} compared)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("no regression across {compared} compared field(s) (tolerance {tolerance}x)");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(entries: &[(&str, &[(&str, f64)])]) -> Json {
+        let sizes: Vec<Json> = entries
+            .iter()
+            .map(|(grid, fields)| {
+                let mut pairs = vec![("grid".to_owned(), Json::from(*grid))];
+                for (k, v) in *fields {
+                    pairs.push(((*k).to_owned(), Json::from(*v)));
+                }
+                Json::Obj(pairs)
+            })
+            .collect();
+        Json::object([("sizes", Json::Arr(sizes))])
+    }
+
+    #[test]
+    fn identical_inputs_have_no_regression() {
+        let d = doc(&[("20x20", &[("total_ms", 10.0), ("first_iter_ms", 2.0)])]);
+        let cmp = compare(&d, &d, 1.5, 1.0).unwrap();
+        assert_eq!(cmp.len(), 2);
+        assert!(cmp.iter().all(|c| c.verdict == Verdict::Ok));
+    }
+
+    #[test]
+    fn two_x_slowdown_regresses() {
+        let base = doc(&[("20x20", &[("total_ms", 10.0)])]);
+        let cur = doc(&[("20x20", &[("total_ms", 20.0)])]);
+        let cmp = compare(&base, &cur, 1.5, 1.0).unwrap();
+        assert_eq!(cmp[0].verdict, Verdict::Regression);
+        assert!((cmp[0].ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_floor_skips_tiny_fields() {
+        let base = doc(&[("20x20", &[("total_ms", 0.05)])]);
+        let cur = doc(&[("20x20", &[("total_ms", 0.4)])]);
+        let cmp = compare(&base, &cur, 1.5, 1.0).unwrap();
+        assert_eq!(
+            cmp[0].verdict,
+            Verdict::Skipped,
+            "8x under the floor is noise"
+        );
+    }
+
+    #[test]
+    fn unshared_grids_and_fields_are_ignored() {
+        let base = doc(&[
+            ("20x20", &[("total_ms", 10.0)]),
+            ("100x100", &[("total_ms", 500.0)]),
+        ]);
+        let cur = doc(&[("20x20", &[("total_ms", 11.0), ("extra_ms", 3.0)])]);
+        let cmp = compare(&base, &cur, 1.5, 1.0).unwrap();
+        assert_eq!(cmp.len(), 1, "only the shared grid+field pair");
+        assert_eq!(cmp[0].verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn non_ms_fields_are_not_compared() {
+        let d = doc(&[("20x20", &[("refactor_speedup", 4.0), ("total_ms", 10.0)])]);
+        let cmp = compare(&d, &d, 1.5, 1.0).unwrap();
+        assert_eq!(cmp.len(), 1);
+        assert_eq!(cmp[0].field, "total_ms");
+    }
+
+    #[test]
+    fn missing_sizes_is_an_error() {
+        let empty = Json::Obj(Vec::new());
+        assert!(compare(&empty, &empty.clone(), 1.5, 1.0).is_err());
+    }
+}

@@ -66,6 +66,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = String::from("BENCH_solver.json");
     let mut metrics_out: Option<String> = None;
+    let mut sizes: Vec<usize> = SIZES.to_vec();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -85,14 +86,34 @@ fn main() -> ExitCode {
                 metrics_out = Some(args[i + 1].clone());
                 i += 2;
             }
+            "--sizes" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--sizes needs a comma-separated list (e.g. 10,20)");
+                    return ExitCode::FAILURE;
+                }
+                match args[i + 1]
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<usize>, _>>()
+                {
+                    Ok(list) if !list.is_empty() && list.iter().all(|&n| n >= 3) => sizes = list,
+                    _ => {
+                        eprintln!("--sizes: `{}` is not a list of grid edges ≥ 3", args[i + 1]);
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: solver_baseline [--out <path>] [--metrics-out <path>]\n\
+                    "usage: solver_baseline [--out <path>] [--metrics-out <path>] [--sizes n,n,...]\n\
                      times the seed dense DC path vs the direct sparse path on\n\
                      square power grids and writes a JSON baseline (default:\n\
                      BENCH_solver.json in the current directory); the baseline\n\
-                     embeds a `metrics` registry snapshot, and --metrics-out\n\
-                     additionally writes it standalone"
+                     embeds a `metrics` registry snapshot, --metrics-out\n\
+                     additionally writes it standalone, and --sizes restricts the\n\
+                     grid edges (default: 10,20,50,100,200) — CI uses the small\n\
+                     sizes (the 30x30 anchor row is always measured)"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -143,7 +164,10 @@ fn main() -> ExitCode {
         seed_ms
     };
 
-    for n in SIZES {
+    for n in sizes {
+        if n == SEED_MEASURE_CAP {
+            continue; // the anchor row above already covers this size
+        }
         let grid = power_grid(n);
         let unknowns = n * n - 4; // pad corners are eliminated
         let reps = if n >= 100 { 3 } else { 5 };

@@ -398,6 +398,7 @@ impl CoupledEngine {
     /// ([`CoupledError::Thermal`]) solve failures.
     pub fn step(&mut self) -> Result<f64, CoupledError> {
         metrics::counter("coupled.iterations").inc();
+        let step_start = std::time::Instant::now();
         let metal = &self.spec.metal;
         let pitch = self.spec.pitch.value();
         let area = self.cross_section;
@@ -458,6 +459,7 @@ impl CoupledEngine {
             worst_ir_drop: worst_drop,
             electrical_ms: electrical.as_secs_f64() * 1e3,
             thermal_ms: thermal.as_secs_f64() * 1e3,
+            total_ms: step_start.elapsed().as_secs_f64() * 1e3,
         });
         metrics::gauge("coupled.residual").set(delta);
         metrics::gauge("coupled.peak_t_k").set(peak);

@@ -9,6 +9,12 @@
 //! fixed point settle, did the residual stall before the cap, and which
 //! stage (electrical refactor+solve vs banded thermal substitution)
 //! dominated each iteration.
+//!
+//! The registry view is complementary: the `coupled.residual` gauge
+//! keeps only the *last* residual but its snapshot carries the min/max
+//! envelope of every write, so an oscillating loop that happens to end
+//! on a small residual is still visible post-hoc — compare the gauge's
+//! `max` against the per-iteration `max_delta_t` series here.
 
 use hotwire_obs::json::Json;
 use serde::{Deserialize, Serialize};
@@ -28,6 +34,11 @@ pub struct IterationRecord {
     pub electrical_ms: f64,
     /// Wall time of the chip thermal substitution (ms).
     pub thermal_ms: f64,
+    /// Wall time of the whole iteration (ms) — electrical + thermal +
+    /// the damped update. Strictly ≥ `electrical_ms + thermal_ms`, and
+    /// the `coupled.run` registry timer is in turn ≥ the sum of these
+    /// over a run, since its RAII span encloses the full Picard loop.
+    pub total_ms: f64,
 }
 
 /// The full residual history of one [`run`](crate::CoupledEngine::run).
@@ -59,6 +70,7 @@ impl ConvergenceTrace {
                     ("worst_ir_drop_v", Json::from(r.worst_ir_drop)),
                     ("electrical_ms", Json::from(r.electrical_ms)),
                     ("thermal_ms", Json::from(r.thermal_ms)),
+                    ("total_ms", Json::from(r.total_ms)),
                 ])
             })
             .collect();
@@ -87,6 +99,7 @@ mod tests {
                     worst_ir_drop: 0.11,
                     electrical_ms: 3.0,
                     thermal_ms: 1.0,
+                    total_ms: 4.2,
                 },
                 IterationRecord {
                     iteration: 2,
@@ -95,6 +108,7 @@ mod tests {
                     worst_ir_drop: 0.112,
                     electrical_ms: 2.0,
                     thermal_ms: 1.0,
+                    total_ms: 3.1,
                 },
             ],
             converged: true,

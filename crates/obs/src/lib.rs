@@ -8,6 +8,11 @@
 //!   counters, gauges, and wall-time histograms. Recording is lock-free
 //!   (`fetch_add` on pre-registered cells); [`metrics::snapshot`]
 //!   freezes everything into a serializable [`metrics::MetricsSnapshot`].
+//! * [`histogram`] — the log-linear (HDR-style) bucketing behind every
+//!   timer: lock-free recording, count-exact merging, and p50/p90/p99
+//!   quantile estimates with a documented `1/32` relative-error bound.
+//! * [`prom`] — Prometheus text-exposition (version 0.0.4) rendering of
+//!   a snapshot, for `hotwire serve` and anything else that scrapes.
 //! * [`trace`] — structured spans and events with a text or JSONL sink
 //!   on stderr, levelled like conventional loggers (`error` … `trace`).
 //!   Span entry/exit feeds the metrics timers, so `--metrics-out` and
@@ -37,8 +42,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod histogram;
 pub mod json;
 pub mod metrics;
+pub mod prom;
 pub mod trace;
 
 pub use json::Json;

@@ -7,11 +7,17 @@
 //!   matter how a rayon fan-out interleaves — the determinism tests
 //!   compare serial and parallel snapshots for equality.
 //! * **Gauges** — last-written values (`solver.sparse.fill_nnz`,
-//!   `sweep.points_per_sec`). Not deterministic under parallelism by
-//!   nature; use for descriptive, not asserted, quantities.
+//!   `sweep.points_per_sec`) that also track the min/max ever written,
+//!   so an oscillating quantity (the Picard residual, say) is visible
+//!   post-hoc even though only the final value survives. Not
+//!   deterministic under parallelism by nature; use for descriptive,
+//!   not asserted, quantities.
 //! * **Timers** — wall-time accumulators (count / total / min / max)
-//!   fed by [`Timer::observe`] or a [`TimerGuard`]. Counts are
-//!   deterministic; durations obviously are not.
+//!   fed by [`Timer::observe`] or a [`TimerGuard`]. Every observation
+//!   also lands in a lock-free log-linear histogram
+//!   ([`crate::histogram`]), so snapshots carry p50/p90/p99 within a
+//!   documented relative-error bound. Counts are deterministic;
+//!   durations obviously are not.
 //!
 //! Handles are cheap clones of `Arc`ed atomic cells; look one up once
 //! (`metrics::counter("name")` takes a short registry lock) and record
@@ -35,13 +41,17 @@ mod imp {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::{Arc, LazyLock, Mutex};
 
-    /// Timer accumulator cell (nanosecond resolution).
+    use crate::histogram::AtomicHistogram;
+
+    /// Timer accumulator cell (nanosecond resolution) plus the
+    /// log-linear distribution of every observation.
     #[derive(Debug)]
     pub struct TimerCell {
         pub count: AtomicU64,
         pub total_ns: AtomicU64,
         pub min_ns: AtomicU64,
         pub max_ns: AtomicU64,
+        pub hist: AtomicHistogram,
     }
 
     impl Default for TimerCell {
@@ -52,14 +62,60 @@ mod imp {
                 // fetch_min seed: the first observation always wins.
                 min_ns: AtomicU64::new(u64::MAX),
                 max_ns: AtomicU64::new(0),
+                hist: AtomicHistogram::default(),
             }
         }
+    }
+
+    /// Gauge cell: last-write value plus running min/max over every
+    /// write (`sets == 0` means never written).
+    ///
+    /// min/max use an order-preserving bijection from `f64` to `u64`
+    /// ([`ordered_bits`]) so `fetch_min`/`fetch_max` work lock-free.
+    #[derive(Debug)]
+    pub struct GaugeCell {
+        pub value: AtomicU64,
+        pub min: AtomicU64,
+        pub max: AtomicU64,
+        pub sets: AtomicU64,
+    }
+
+    impl Default for GaugeCell {
+        fn default() -> Self {
+            Self {
+                value: AtomicU64::new(0.0_f64.to_bits()),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(u64::MIN),
+                sets: AtomicU64::new(0),
+            }
+        }
+    }
+
+    /// Maps `f64` onto `u64` preserving the total order of finite
+    /// values (the standard sign-flip trick), so atomic integer
+    /// min/max implement float min/max.
+    pub fn ordered_bits(v: f64) -> u64 {
+        let bits = v.to_bits();
+        if bits >> 63 == 1 {
+            !bits
+        } else {
+            bits | (1 << 63)
+        }
+    }
+
+    /// Inverse of [`ordered_bits`].
+    pub fn from_ordered_bits(bits: u64) -> f64 {
+        f64::from_bits(if bits >> 63 == 1 {
+            bits & !(1 << 63)
+        } else {
+            !bits
+        })
     }
 
     #[derive(Debug, Default)]
     pub struct Registry {
         pub counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
-        pub gauges: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+        pub gauges: Mutex<BTreeMap<&'static str, Arc<GaugeCell>>>,
         pub timers: Mutex<BTreeMap<&'static str, Arc<TimerCell>>>,
     }
 
@@ -104,19 +160,26 @@ impl Counter {
     }
 }
 
-/// A last-value-wins gauge.
+/// A last-value-wins gauge that also tracks the min/max ever written.
 #[derive(Debug, Clone)]
 pub struct Gauge {
     #[cfg(feature = "telemetry")]
-    cell: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    cell: std::sync::Arc<imp::GaugeCell>,
 }
 
 impl Gauge {
-    /// Stores `value` (last write wins).
+    /// Stores `value` (last write wins) and folds it into the running
+    /// min/max, so an oscillating series leaves a visible envelope.
     #[allow(unused_variables)]
     pub fn set(&self, value: f64) {
         #[cfg(feature = "telemetry")]
-        self.cell.store(value.to_bits(), imp::RELAXED);
+        {
+            self.cell.value.store(value.to_bits(), imp::RELAXED);
+            let ordered = imp::ordered_bits(value);
+            self.cell.min.fetch_min(ordered, imp::RELAXED);
+            self.cell.max.fetch_max(ordered, imp::RELAXED);
+            self.cell.sets.fetch_add(1, imp::RELAXED);
+        }
     }
 }
 
@@ -138,6 +201,7 @@ impl Timer {
             self.cell.total_ns.fetch_add(ns, imp::RELAXED);
             self.cell.min_ns.fetch_min(ns, imp::RELAXED);
             self.cell.max_ns.fetch_max(ns, imp::RELAXED);
+            self.cell.hist.record(ns);
         }
     }
 
@@ -206,6 +270,10 @@ pub fn timer(name: &'static str) -> Timer {
 }
 
 /// Frozen statistics of one timer.
+///
+/// The quantiles come from the timer's log-linear histogram
+/// ([`crate::histogram`]) and are accurate to within its documented
+/// relative-error bound (`1/32`), not exact order statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimerStats {
     /// Observations recorded.
@@ -216,6 +284,39 @@ pub struct TimerStats {
     pub min_ms: f64,
     /// Longest observation, milliseconds (0 when `count == 0`).
     pub max_ms: f64,
+    /// Median observation, milliseconds (histogram estimate).
+    pub p50_ms: f64,
+    /// 90th-percentile observation, milliseconds (histogram estimate).
+    pub p90_ms: f64,
+    /// 99th-percentile observation, milliseconds (histogram estimate).
+    pub p99_ms: f64,
+}
+
+/// Frozen statistics of one gauge: the last value written plus the
+/// envelope of every write, so an oscillating series (`coupled.residual`
+/// bouncing between iterations, say) cannot hide behind its final value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaugeStats {
+    /// The last value written.
+    pub value: f64,
+    /// Smallest value ever written (`value` when written once, 0 when
+    /// never written).
+    pub min: f64,
+    /// Largest value ever written (same conventions as `min`).
+    pub max: f64,
+}
+
+impl GaugeStats {
+    /// Stats of a gauge written exactly once (min = max = value) —
+    /// also the parse of a legacy bare-number gauge.
+    #[must_use]
+    pub fn single(value: f64) -> Self {
+        Self {
+            value,
+            min: value,
+            max: value,
+        }
+    }
 }
 
 /// A point-in-time copy of the whole registry.
@@ -226,8 +327,9 @@ pub struct TimerStats {
 /// {
 ///   "telemetry": true,
 ///   "counters": {"solver.factor": 1},
-///   "gauges": {"solver.sparse.fill_nnz": 1234},
-///   "timers": {"grid_dc.solve_time": {"count": 5, "total_ms": 1.2, "min_ms": 0.1, "max_ms": 0.9}}
+///   "gauges": {"solver.sparse.fill_nnz": {"value": 1234.0, "min": 980.0, "max": 1234.0}},
+///   "timers": {"grid_dc.solve_time": {"count": 5, "total_ms": 1.2, "min_ms": 0.1,
+///              "max_ms": 0.9, "p50_ms": 0.2, "p90_ms": 0.8, "p99_ms": 0.9}}
 /// }
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -237,8 +339,8 @@ pub struct MetricsSnapshot {
     pub enabled: bool,
     /// Counter totals by name.
     pub counters: BTreeMap<String, u64>,
-    /// Gauge values by name.
-    pub gauges: BTreeMap<String, f64>,
+    /// Gauge statistics (last value + min/max envelope) by name.
+    pub gauges: BTreeMap<String, GaugeStats>,
     /// Timer statistics by name.
     pub timers: BTreeMap<String, TimerStats>,
 }
@@ -261,7 +363,16 @@ impl MetricsSnapshot {
         let gauges = self
             .gauges
             .iter()
-            .map(|(k, &v)| (k.clone(), Json::from(v)))
+            .map(|(k, g)| {
+                (
+                    k.clone(),
+                    Json::object([
+                        ("value", Json::from(g.value)),
+                        ("min", Json::from(g.min)),
+                        ("max", Json::from(g.max)),
+                    ]),
+                )
+            })
             .collect();
         let timers = self
             .timers
@@ -274,6 +385,9 @@ impl MetricsSnapshot {
                         ("total_ms", Json::from(t.total_ms)),
                         ("min_ms", Json::from(t.min_ms)),
                         ("max_ms", Json::from(t.max_ms)),
+                        ("p50_ms", Json::from(t.p50_ms)),
+                        ("p90_ms", Json::from(t.p90_ms)),
+                        ("p99_ms", Json::from(t.p99_ms)),
                     ]),
                 )
             })
@@ -310,10 +424,25 @@ impl MetricsSnapshot {
         }
         let mut gauges = BTreeMap::new();
         for (k, val) in obj("gauges")? {
-            gauges.insert(
-                k.clone(),
-                val.as_f64().ok_or(format!("gauge `{k}` not a number"))?,
-            );
+            // A bare number is the pre-histogram schema (no envelope
+            // was tracked); parse it as a single write so old
+            // BENCH_*.json baselines stay readable.
+            let stats = match val.as_f64() {
+                Some(v) => GaugeStats::single(v),
+                None => {
+                    let field = |f: &str| -> Result<f64, String> {
+                        val.get(f)
+                            .and_then(Json::as_f64)
+                            .ok_or(format!("gauge `{k}` missing `{f}`"))
+                    };
+                    GaugeStats {
+                        value: field("value")?,
+                        min: field("min")?,
+                        max: field("max")?,
+                    }
+                }
+            };
+            gauges.insert(k.clone(), stats);
         }
         let mut timers = BTreeMap::new();
         for (k, val) in obj("timers")? {
@@ -321,6 +450,14 @@ impl MetricsSnapshot {
                 val.get(f)
                     .and_then(Json::as_f64)
                     .ok_or(format!("timer `{k}` missing `{f}`"))
+            };
+            // Quantiles default to 0 when absent, so pre-histogram
+            // snapshots parse (their emitters never wrote p50/p90/p99).
+            let quantile = |f: &str| -> Result<f64, String> {
+                match val.get(f) {
+                    None => Ok(0.0),
+                    Some(v) => v.as_f64().ok_or(format!("timer `{k}` bad `{f}`")),
+                }
             };
             timers.insert(
                 k.clone(),
@@ -332,6 +469,9 @@ impl MetricsSnapshot {
                     total_ms: field("total_ms")?,
                     min_ms: field("min_ms")?,
                     max_ms: field("max_ms")?,
+                    p50_ms: quantile("p50_ms")?,
+                    p90_ms: quantile("p90_ms")?,
+                    p99_ms: quantile("p99_ms")?,
                 },
             );
         }
@@ -364,7 +504,23 @@ pub fn snapshot() -> MetricsSnapshot {
             .lock()
             .expect("metrics registry poisoned")
             .iter()
-            .map(|(&k, v)| (k.to_owned(), f64::from_bits(v.load(imp::RELAXED))))
+            .map(|(&k, g)| {
+                let value = f64::from_bits(g.value.load(imp::RELAXED));
+                let stats = if g.sets.load(imp::RELAXED) == 0 {
+                    GaugeStats {
+                        value,
+                        min: 0.0,
+                        max: 0.0,
+                    }
+                } else {
+                    GaugeStats {
+                        value,
+                        min: imp::from_ordered_bits(g.min.load(imp::RELAXED)),
+                        max: imp::from_ordered_bits(g.max.load(imp::RELAXED)),
+                    }
+                };
+                (k.to_owned(), stats)
+            })
             .collect();
         let timers = imp::REGISTRY
             .timers
@@ -373,6 +529,7 @@ pub fn snapshot() -> MetricsSnapshot {
             .iter()
             .map(|(&k, t)| {
                 let count = t.count.load(imp::RELAXED);
+                let hist = t.hist.snapshot();
                 (
                     k.to_owned(),
                     TimerStats {
@@ -384,6 +541,9 @@ pub fn snapshot() -> MetricsSnapshot {
                             ms(t.min_ns.load(imp::RELAXED))
                         },
                         max_ms: ms(t.max_ns.load(imp::RELAXED)),
+                        p50_ms: hist.quantile(0.5) / NS_PER_MS,
+                        p90_ms: hist.quantile(0.9) / NS_PER_MS,
+                        p99_ms: hist.quantile(0.99) / NS_PER_MS,
                     },
                 )
             })
@@ -506,7 +666,40 @@ mod tests {
         assert!(stats.total_ms >= 8.0);
         assert!(stats.min_ms <= 2.0 && stats.max_ms >= 6.0);
         assert!(stats.min_ms <= stats.max_ms);
+        // Histogram quantiles are monotone and bracketed by min/max
+        // (up to the documented 1/32 relative error).
+        let slack = 1.0 + crate::histogram::RELATIVE_ERROR_BOUND;
+        assert!(stats.p50_ms <= stats.p90_ms && stats.p90_ms <= stats.p99_ms);
+        assert!(stats.p99_ms <= stats.max_ms * slack, "{stats:?}");
+        assert!(stats.p50_ms * slack >= stats.min_ms, "{stats:?}");
         reset();
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn gauges_track_their_envelope() {
+        let _guard = lock();
+        reset();
+        let g = gauge("t.envelope");
+        for v in [3.0, -2.5, 10.0, 0.5] {
+            g.set(v);
+        }
+        let stats = snapshot().gauges["t.envelope"];
+        assert_eq!(stats.value, 0.5, "last write wins");
+        assert_eq!(stats.min, -2.5, "the dip is not forgotten");
+        assert_eq!(stats.max, 10.0, "nor the spike");
+        reset();
+    }
+
+    #[test]
+    fn legacy_bare_number_gauges_parse() {
+        let text = r#"{"telemetry": true, "counters": {},
+                       "gauges": {"old.gauge": 4.5},
+                       "timers": {"old.timer": {"count": 1, "total_ms": 2.0,
+                                  "min_ms": 2.0, "max_ms": 2.0}}}"#;
+        let snap = MetricsSnapshot::from_json(&crate::json::parse(text).unwrap()).unwrap();
+        assert_eq!(snap.gauges["old.gauge"], GaugeStats::single(4.5));
+        assert_eq!(snap.timers["old.timer"].p99_ms, 0.0, "quantiles default");
     }
 
     #[cfg(not(feature = "telemetry"))]

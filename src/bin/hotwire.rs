@@ -8,6 +8,7 @@
 //! hotwire repeater --tech ntrs-250 --layer M6
 //! hotwire esd      --stress hbm:2000 --width-um 3 --metal alcu
 //! hotwire techfile --tech ntrs-250                               # dump
+//! hotwire serve    --addr 127.0.0.1:9184                         # HTTP
 //! ```
 //!
 //! `--tech` accepts the built-in presets (`ntrs-250`, `ntrs-100`,
@@ -39,6 +40,48 @@ use hotwire::obs::{LogConfig, LogFormat};
 use hotwire::tech::{format as techformat, presets, Dielectric, Metal, Technology};
 use hotwire::thermal::impedance::{InsulatorStack, LineGeometry, QUASI_2D_PHI};
 use hotwire::units::{Celsius, CurrentDensity, Length, Seconds};
+
+/// Graceful-shutdown plumbing for `hotwire serve`: SIGINT/SIGTERM set a
+/// flag the accept loop polls, so the process drains in-flight requests
+/// and exits 0 instead of dying mid-response.
+///
+/// Installed with the raw C `signal(2)` — the workspace has no `libc`
+/// crate (offline build), and the two constants below are part of the
+/// Linux/POSIX ABI this binary targets. This is the only unsafe in the
+/// workspace; every library crate stays `#![forbid(unsafe_code)]`.
+mod shutdown {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::sync::OnceLock;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    fn flag_cell() -> &'static Arc<AtomicBool> {
+        static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+        FLAG.get_or_init(|| Arc::new(AtomicBool::new(false)))
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only the async-signal-safe store; everything else reacts to it.
+        flag_cell().store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the handlers (idempotent) and returns the shared flag.
+    pub fn install() -> Arc<AtomicBool> {
+        let flag = Arc::clone(flag_cell());
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+        flag
+    }
+}
 
 /// Exit code of a usage error (bad flags, unknown command).
 const EXIT_USAGE: u8 = 2;
@@ -218,6 +261,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "esd" => cmd_esd(&opts),
         "signoff" => cmd_signoff(&opts),
         "coupled-signoff" => cmd_coupled_signoff(&opts),
+        "serve" => cmd_serve(&opts),
         "simulate" => cmd_simulate(&opts),
         "techfile" => cmd_techfile(&opts),
         "help" | "--help" | "-h" => {
@@ -273,6 +317,11 @@ fn print_help() {
                      [--pads r:c,r:c,...] [--tol <K>] [--max-iters <n>]\n\
                      [--damping <a>] [--sigma <s>] [--quantile <f>]\n\
                      [--trace-out <path>]  per-iteration convergence trace (JSON)\n\
+           serve     HTTP observability endpoint (blocks until SIGTERM/ctrl-c)\n\
+                     [--addr <ip:port>] [--threads <n>] plus the\n\
+                     coupled-signoff grid flags (template for POST /signoff);\n\
+                     serves GET /metrics (Prometheus 0.0.4), GET /healthz,\n\
+                     POST /signoff (optional JSON body {{\"rows\": n, \"cols\": n}})\n\
            simulate  transient-simulate a SPICE-subset netlist\n\
                      --netlist <path> --tstop <seconds> [--dt <seconds>]\n\
                      [--probe <node>[,<node>...]] (CSV on stdout)\n\
@@ -633,11 +682,17 @@ fn coupled_error(e: CoupledError) -> CliError {
     }
 }
 
-fn cmd_coupled_signoff(opts: &Flags) -> Result<(), CliError> {
+/// Builds the coupled grid spec + solver options from the shared flag
+/// set (`coupled-signoff` and `serve` accept the same grid flags, with
+/// per-command defaults for the grid size).
+fn coupled_setup(
+    opts: &Flags,
+    default_edge: f64,
+) -> Result<(CoupledGridSpec, CoupledOptions), CliError> {
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let (rows, cols) = (
-        parse_f64(opts, "rows", 50.0)? as usize,
-        parse_f64(opts, "cols", 50.0)? as usize,
+        parse_f64(opts, "rows", default_edge)? as usize,
+        parse_f64(opts, "cols", default_edge)? as usize,
     );
     let metal_name = flag_or(opts, "metal", "cu");
     let metal = Metal::builtin(metal_name)
@@ -658,16 +713,22 @@ fn cmd_coupled_signoff(opts: &Flags) -> Result<(), CliError> {
     if let Some(pads) = opts.get("pads") {
         spec.pads = parse_pads(pads, rows, cols)?;
     }
-    let options_quantile = parse_f64(opts, "quantile", 1.0e-3)?;
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let options = CoupledOptions {
         tolerance: parse_f64(opts, "tol", 0.05)?,
         max_iterations: parse_f64(opts, "max-iters", 100.0)? as usize,
         damping: parse_f64(opts, "damping", 0.7)?,
         sigma: parse_f64(opts, "sigma", 0.5)?,
-        failure_quantile: options_quantile,
+        failure_quantile: parse_f64(opts, "quantile", 1.0e-3)?,
         ..CoupledOptions::default()
     };
+    Ok((spec, options))
+}
+
+fn cmd_coupled_signoff(opts: &Flags) -> Result<(), CliError> {
+    let (spec, options) = coupled_setup(opts, 50.0)?;
+    let (rows, cols) = (spec.rows, spec.cols);
+    let options_quantile = options.failure_quantile;
     let mut engine = CoupledEngine::new(spec, options).map_err(coupled_error)?;
     let run_result = engine.run();
     // The convergence trace is most valuable exactly when run() failed —
@@ -731,6 +792,35 @@ fn cmd_coupled_signoff(opts: &Flags) -> Result<(), CliError> {
             violations.len()
         )))
     }
+}
+
+fn cmd_serve(opts: &Flags) -> Result<(), CliError> {
+    let addr = flag_or(opts, "addr", "127.0.0.1:9184");
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let threads = parse_f64(opts, "threads", 4.0)? as usize;
+    // The per-request signoff grid defaults small (20×20) so a scrape
+    // burst cannot wedge the server behind multi-second solves.
+    let (spec, options) = coupled_setup(opts, 20.0)?;
+    let config = hotwire::serve::ServeConfig {
+        threads,
+        spec,
+        options,
+    };
+    // Validate the template eagerly: a bad grid should fail at startup
+    // with a usage error, not 500 on the first POST.
+    CoupledEngine::new(config.spec.clone(), config.options.clone()).map_err(coupled_error)?;
+    let server = hotwire::serve::Server::bind(addr)
+        .map_err(|e| CliError::context(format!("cannot bind {addr}"), e))?;
+    let bound = server
+        .local_addr()
+        .map_err(|e| CliError::context("cannot read bound address", e))?;
+    let stop = shutdown::install();
+    // On stdout (not a trace event) so scripts and the e2e test can
+    // scrape the ephemeral port without parsing log formats.
+    println!("listening on http://{bound} (/metrics /healthz POST /signoff)");
+    server
+        .run(&config, &stop)
+        .map_err(|e| CliError::context("server failed", e))
 }
 
 fn cmd_simulate(opts: &Flags) -> Result<(), CliError> {

@@ -18,6 +18,7 @@
 //! | [`coupled`] | `hotwire-coupled` | chip-level coupled EM–IR–thermal signoff |
 //! | [`esd`] | `hotwire-esd` | ESD stress models and robustness rules |
 //! | [`obs`] | `hotwire-obs` | metrics registry, tracing events, JSON (see `docs/OBSERVABILITY.md`) |
+//! | [`serve`] | — | the `hotwire serve` HTTP layer: `/metrics`, `/healthz`, `POST /signoff` |
 //!
 //! # Quickstart
 //!
@@ -63,6 +64,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod serve;
 
 pub use hotwire_circuit as circuit;
 pub use hotwire_core as core;

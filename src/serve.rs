@@ -1,0 +1,471 @@
+//! The `hotwire serve` HTTP layer: a dependency-free blocking listener
+//! that makes the metrics registry scrapeable and the coupled signoff
+//! engine callable while the process stays up.
+//!
+//! Endpoints:
+//!
+//! * `GET /metrics` — the process-wide registry in Prometheus
+//!   text-exposition format 0.0.4 ([`hotwire_obs::prom`]).
+//! * `GET /healthz` — liveness; `200 ok` whenever the accept loop runs.
+//! * `POST /signoff` — runs one coupled EM–IR–thermal signoff on the
+//!   server's template grid (optionally overridden by a JSON body with
+//!   `rows`/`cols`) and returns a JSON verdict. Each request exercises
+//!   the real engine, so scraping `/metrics` during a load burst shows
+//!   the solver's latency distribution, not synthetic numbers.
+//!
+//! The implementation is std-only: a nonblocking [`TcpListener`] accept
+//! loop that polls a shutdown flag (so SIGTERM/ctrl-c can stop it
+//! between accepts) and hands connections to a small fixed thread pool
+//! over an [`mpsc`] channel. HTTP support is the minimal correct subset:
+//! one request per connection, `Connection: close` semantics, bodies up
+//! to [`MAX_REQUEST_BYTES`].
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use hotwire_coupled::{CoupledEngine, CoupledGridSpec, CoupledOptions};
+use hotwire_obs::json::Json;
+use hotwire_obs::{metrics, prom};
+
+/// Hard cap on a request (start line + headers + body); larger
+/// requests are answered `413` and the connection dropped.
+pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// How long the accept loop sleeps when no connection is pending
+/// before re-checking the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Per-connection socket read timeout, so a stalled client cannot pin
+/// a worker forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// What the server needs besides a socket: worker count and the
+/// signoff template a `POST /signoff` instantiates.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads handling accepted connections.
+    pub threads: usize,
+    /// Grid template for per-request signoffs.
+    pub spec: CoupledGridSpec,
+    /// Solver options for per-request signoffs.
+    pub options: CoupledOptions,
+}
+
+impl ServeConfig {
+    /// A small default: 4 workers, the demo 20×20 grid.
+    #[must_use]
+    pub fn demo() -> Self {
+        Self {
+            threads: 4,
+            spec: CoupledGridSpec::demo(20, 20),
+            options: CoupledOptions::default(),
+        }
+    }
+}
+
+/// A bound-but-not-yet-serving listener, so callers (and the e2e test)
+/// can learn the ephemeral port before the accept loop starts.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`, or port `0` for ephemeral).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (port taken, privileged port, …).
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self { listener })
+    }
+
+    /// The actual bound address (resolves port `0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket introspection failure.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until `shutdown` becomes `true`, then drains the worker
+    /// pool and returns. The flag is polled between accepts (every
+    /// [`ACCEPT_POLL`] at the latest), so a signal handler that only
+    /// sets the flag produces a graceful exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error that made the listener unusable; per-connection
+    /// I/O failures are counted (`serve.errors`) and do not stop the
+    /// loop.
+    pub fn run(self, config: &ServeConfig, shutdown: &Arc<AtomicBool>) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::new();
+        for _ in 0..config.threads.max(1) {
+            let rx = Arc::clone(&rx);
+            let config = config.clone();
+            workers.push(std::thread::spawn(move || loop {
+                // Holding the lock only for recv keeps hand-off fair.
+                let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                match next {
+                    Ok(stream) => handle_connection(stream, &config),
+                    Err(_) => break, // sender dropped: shutting down
+                }
+            }));
+        }
+        while !shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    drop(tx);
+                    for w in workers {
+                        let _ = w.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        drop(tx); // workers drain queued connections, then exit
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// A parsed-enough HTTP request: method, path, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased by the parser).
+    pub method: String,
+    /// Path without query string.
+    pub path: String,
+    /// Raw body bytes (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+/// A response ready to serialize: status, content type, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    fn json(status: u16, body: &Json) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: format!("{}\n", body.to_pretty_string()).into_bytes(),
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            _ => "Internal Server Error",
+        }
+    }
+}
+
+/// Routes one request. Pure (no I/O beyond the signoff engine), so the
+/// unit tests exercise every endpoint without opening sockets.
+#[must_use]
+pub fn route(request: &Request, config: &ServeConfig) -> Response {
+    metrics::counter("serve.requests").inc();
+    let _timer = metrics::timer("serve.request").start();
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/metrics") => Response {
+            status: 200,
+            // The exposition-format content type, version pinned.
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: prom::render(&metrics::snapshot()).into_bytes(),
+        },
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("POST", "/signoff") => signoff_response(&request.body, config),
+        (_, "/metrics" | "/healthz" | "/signoff") => Response::text(405, "method not allowed\n"),
+        _ => Response::text(404, "not found\n"),
+    }
+}
+
+/// Runs one coupled signoff from the template (body may override
+/// `rows`/`cols`) and renders the verdict as JSON.
+fn signoff_response(body: &[u8], config: &ServeConfig) -> Response {
+    let mut spec = config.spec.clone();
+    if !body.is_empty() {
+        let Ok(text) = std::str::from_utf8(body) else {
+            return Response::text(400, "body is not UTF-8\n");
+        };
+        let parsed = match hotwire_obs::json::parse(text) {
+            Ok(v) => v,
+            Err(e) => return Response::text(400, format!("bad JSON body: {e}\n")),
+        };
+        let dim = |key: &str, default: usize| -> Result<usize, Response> {
+            match parsed.get(key) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_u64()
+                    .and_then(|n| usize::try_from(n).ok())
+                    .filter(|&n| (2..=500).contains(&n))
+                    .ok_or_else(|| {
+                        Response::text(400, format!("`{key}` must be an integer in [2, 500]\n"))
+                    }),
+            }
+        };
+        match (dim("rows", spec.rows), dim("cols", spec.cols)) {
+            (Ok(rows), Ok(cols)) => {
+                spec.rows = rows;
+                spec.cols = cols;
+                // The demo pad layout is the four corners; keep it
+                // valid for the overridden dimensions.
+                spec.pads = vec![(0, 0), (0, cols - 1), (rows - 1, 0), (rows - 1, cols - 1)];
+            }
+            (Err(r), _) | (_, Err(r)) => return r,
+        }
+    }
+    metrics::counter("serve.signoffs").inc();
+    let _timer = metrics::timer("serve.signoff").start();
+    let result = CoupledEngine::new(spec, config.options.clone())
+        .and_then(|mut engine| engine.run().map(|()| engine))
+        .and_then(|engine| engine.assess());
+    match result {
+        Ok(report) => {
+            let violations = report.violations().len();
+            Response::json(
+                200,
+                &Json::object([
+                    ("ok", Json::from(report.passes())),
+                    (
+                        "iterations",
+                        Json::from(u64::try_from(report.iterations).unwrap_or(0)),
+                    ),
+                    (
+                        "worst_ir_drop_mv",
+                        Json::from(report.worst_ir_drop.value() * 1e3),
+                    ),
+                    (
+                        "peak_temperature_c",
+                        Json::from(report.peak_temperature.to_celsius().value()),
+                    ),
+                    (
+                        "straps",
+                        Json::from(u64::try_from(report.branches.len()).unwrap_or(0)),
+                    ),
+                    (
+                        "violations",
+                        Json::from(u64::try_from(violations).unwrap_or(0)),
+                    ),
+                    (
+                        "chip_ttf_hours",
+                        report
+                            .chip_ttf
+                            .map_or(Json::Null, |t| Json::from(t.value() / 3600.0)),
+                    ),
+                ]),
+            )
+        }
+        Err(e) => {
+            metrics::counter("serve.errors").inc();
+            Response::json(500, &Json::object([("error", Json::from(e.to_string()))]))
+        }
+    }
+}
+
+/// Reads one request off the stream, routes it, writes the response,
+/// closes. Any protocol or I/O failure just counts an error — a broken
+/// client must not take the server down.
+fn handle_connection(stream: TcpStream, config: &ServeConfig) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut stream = stream;
+    let response = match read_request(&mut stream) {
+        Ok(request) => route(&request, config),
+        Err(status) => {
+            metrics::counter("serve.errors").inc();
+            Response::text(status, "bad request\n")
+        }
+    };
+    let header = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.reason(),
+        response.content_type,
+        response.body.len()
+    );
+    let _ = stream
+        .write_all(header.as_bytes())
+        .and_then(|()| stream.write_all(&response.body))
+        .and_then(|()| stream.flush());
+}
+
+/// Reads start line + headers + `Content-Length` body. Returns the
+/// HTTP status to answer with on failure.
+fn read_request(stream: &mut TcpStream) -> Result<Request, u16> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0_u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            return Err(413);
+        }
+        let n = stream.read(&mut chunk).map_err(|_| 400_u16)?;
+        if n == 0 {
+            return Err(400);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..header_end]).map_err(|_| 400_u16)?;
+    let mut lines = head.split("\r\n");
+    let start = lines.next().ok_or(400_u16)?;
+    let mut parts = start.split_whitespace();
+    let method = parts.next().ok_or(400_u16)?.to_uppercase();
+    let target = parts.next().ok_or(400_u16)?;
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+    let mut content_length = 0_usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| 400_u16)?;
+            }
+        }
+    }
+    if content_length > MAX_REQUEST_BYTES {
+        return Err(413);
+    }
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|_| 400_u16)?;
+        if n == 0 {
+            return Err(400);
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request { method, path, body })
+}
+
+/// Byte offset of the `\r\n\r\n` header terminator, if present.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".to_owned(),
+            path: path.to_owned(),
+            body: Vec::new(),
+        }
+    }
+
+    fn small_config() -> ServeConfig {
+        ServeConfig {
+            threads: 1,
+            spec: CoupledGridSpec::demo(6, 6),
+            options: CoupledOptions::default(),
+        }
+    }
+
+    #[test]
+    fn healthz_is_200() {
+        let r = route(&get("/healthz"), &small_config());
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, b"ok\n");
+    }
+
+    #[test]
+    fn metrics_render_exposition() {
+        let r = route(&get("/metrics"), &small_config());
+        assert_eq!(r.status, 200);
+        assert!(r.content_type.contains("version=0.0.4"));
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.contains("hotwire_telemetry_enabled"));
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_wrong_method_405() {
+        assert_eq!(route(&get("/nope"), &small_config()).status, 404);
+        let r = route(
+            &Request {
+                method: "DELETE".to_owned(),
+                path: "/metrics".to_owned(),
+                body: Vec::new(),
+            },
+            &small_config(),
+        );
+        assert_eq!(r.status, 405);
+    }
+
+    #[test]
+    fn signoff_runs_the_engine() {
+        let r = route(
+            &Request {
+                method: "POST".to_owned(),
+                path: "/signoff".to_owned(),
+                body: Vec::new(),
+            },
+            &small_config(),
+        );
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        let json = hotwire_obs::json::parse(std::str::from_utf8(&r.body).unwrap()).unwrap();
+        assert!(json.get("iterations").and_then(Json::as_u64).unwrap() > 0);
+        assert_eq!(json.get("straps").and_then(Json::as_u64).unwrap(), 60);
+    }
+
+    #[test]
+    fn signoff_rejects_bad_overrides() {
+        for body in [&b"not json"[..], br#"{"rows": 1}"#, br#"{"cols": 100000}"#] {
+            let r = route(
+                &Request {
+                    method: "POST".to_owned(),
+                    path: "/signoff".to_owned(),
+                    body: body.to_vec(),
+                },
+                &small_config(),
+            );
+            assert_eq!(r.status, 400, "{:?}", String::from_utf8_lossy(body));
+        }
+    }
+
+    #[test]
+    fn header_terminator_is_found() {
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_header_end(b"partial\r\n"), None);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for the log-linear histogram behind every timer:
+//! merging per-worker histograms must be *count-exact* (identical
+//! buckets to a serial histogram fed the same stream), and quantile
+//! estimates must honor the documented relative-error bound against
+//! the true order statistic.
+
+use hotwire::obs::histogram::{HistogramSnapshot, RELATIVE_ERROR_BOUND};
+use proptest::prelude::*;
+
+/// The true `q`-quantile of `values` under the same rank convention the
+/// histogram uses (`rank = ceil(q · n)`, clamped to `[1, n]`).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    #[allow(
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss,
+        clippy::cast_precision_loss
+    )]
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    /// Any partition of the input stream across any number of workers
+    /// merges back to exactly the serial histogram — same buckets, same
+    /// total, therefore identical quantiles.
+    #[test]
+    fn merged_worker_histograms_equal_serial(
+        values in prop::collection::vec(0_u64..(1 << 44), 0..800),
+        workers in 1_usize..8,
+    ) {
+        let mut serial = HistogramSnapshot::new();
+        let mut shards = vec![HistogramSnapshot::new(); workers];
+        for (i, &v) in values.iter().enumerate() {
+            serial.record(v);
+            // Deterministic but uneven partition.
+            shards[(i * 7 + v as usize % 3) % workers].record(v);
+        }
+        let mut merged = HistogramSnapshot::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        prop_assert_eq!(&merged, &serial);
+        prop_assert_eq!(merged.count(), values.len() as u64);
+    }
+
+    /// Every reported quantile is within the documented relative-error
+    /// bound of the true order statistic of the recorded values.
+    #[test]
+    fn quantiles_stay_within_the_documented_bound(
+        values in prop::collection::vec(0_u64..(1 << 40), 1..600),
+    ) {
+        let mut h = HistogramSnapshot::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let est = h.quantile(q);
+            #[allow(clippy::cast_precision_loss)]
+            let truth = exact_quantile(&sorted, q) as f64;
+            let err = (est - truth).abs();
+            prop_assert!(
+                err <= truth * RELATIVE_ERROR_BOUND || err < 1.0,
+                "p{}: estimate {} vs true {} (err {})",
+                q, est, truth, err
+            );
+        }
+        // max() is the top bucket's midpoint: same bound vs the true max.
+        #[allow(clippy::cast_precision_loss)]
+        let top = sorted[sorted.len() - 1] as f64;
+        let err = (h.max() - top).abs();
+        prop_assert!(err <= top * RELATIVE_ERROR_BOUND || err < 1.0);
+    }
+}
