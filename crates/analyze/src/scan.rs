@@ -1,0 +1,390 @@
+//! A line-oriented Rust scanner: enough lexing for invariant lints.
+//!
+//! The upstream plan of record for this pass is a `syn` AST walk; this
+//! build environment is offline (see `shims/README.md`), so the scanner
+//! hand-rolls the fraction of lexing the lints in [`crate::lints`]
+//! actually need, which is deliberately token-shaped rather than
+//! grammar-shaped:
+//!
+//! * comments, string/char literals, and raw strings are recognized and
+//!   **blanked** out of the code channel (replaced by spaces, so byte
+//!   columns survive for diagnostics) — a `panic!` inside a string or a
+//!   doc example can never fire a lint;
+//! * comment *text* is kept per line, because HW004's
+//!   `// SAFETY(ordering):` justifications and the
+//!   `ANALYZE-ALLOW(HWxxx)` escape hatch live in comments;
+//! * `#[cfg(test)]` / `#[test]` items are tracked by brace depth so
+//!   test code is exempt from the panic-free rule (HW001) without
+//!   moving tests out of library files.
+//!
+//! The scanner is intentionally forgiving: on input it cannot make
+//! sense of it degrades to treating bytes as code, which can only
+//! produce a false *positive* (surfaced, reviewed, then allowed or
+//! fixed) — never a silent false negative from a skipped region.
+
+/// One scanned source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Source text with comments and literal contents blanked to
+    /// spaces. Byte columns match the original line.
+    pub code: String,
+    /// Concatenated comment text on this line (both `//` and `/* */`).
+    pub comment: String,
+    /// `true` when the line is inside a `#[cfg(test)]` or `#[test]`
+    /// item (including the attribute lines themselves).
+    pub in_test: bool,
+}
+
+impl Line {
+    /// `true` when the line carries no code tokens (blank or
+    /// comment-only).
+    #[must_use]
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+}
+
+/// A scanned file: per-line code/comment channels plus test marking.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// The scanned lines, in order.
+    pub lines: Vec<Line>,
+}
+
+/// Scans `source` into per-line code and comment channels and marks
+/// test regions.
+#[must_use]
+pub fn scan(source: &str) -> SourceFile {
+    let mut lines = split_channels(source);
+    mark_test_regions(&mut lines);
+    SourceFile { lines }
+}
+
+/// Lexer state for [`split_channels`].
+enum State {
+    Code,
+    LineComment,
+    /// Nestable `/* */`; the value is the nesting depth.
+    BlockComment(u32),
+    /// Inside `"…"`; `true` right after a `\`.
+    Str(bool),
+    /// Inside `r#*"…"#*`; the value is the hash count.
+    RawStr(u32),
+    /// Inside `'…'`; `true` right after a `\`.
+    Char(bool),
+}
+
+#[allow(clippy::too_many_lines)]
+fn split_channels(source: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    // Tracks the identifier immediately before the cursor, to tell a
+    // raw-string sigil (`r"`, `br#"`) from an identifier ending in `r`,
+    // and a lifetime (`'a`) from a char literal (`'a'`).
+    let mut ident_start: Option<usize> = None;
+
+    macro_rules! flush_line {
+        () => {
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test: false,
+            });
+        };
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            flush_line!();
+            if let State::LineComment = state {
+                state = State::Code;
+            }
+            ident_start = None;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let rest = &bytes[i..];
+                if rest.starts_with(b"//") {
+                    state = State::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if rest.starts_with(b"/*") {
+                    state = State::BlockComment(1);
+                    code.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                let is_ident_byte = b.is_ascii_alphanumeric() || b == b'_';
+                if b == b'"' {
+                    // Raw string if the preceding identifier is exactly
+                    // `r`/`br`/`rb` or `r`+hashes handled below.
+                    let raw = matches!(prev_ident(bytes, ident_start, i), Some("r" | "br"));
+                    code.push('"');
+                    state = if raw {
+                        State::RawStr(0)
+                    } else {
+                        State::Str(false)
+                    };
+                    ident_start = None;
+                    i += 1;
+                    continue;
+                }
+                if b == b'#' {
+                    // `r#"`, `br##"` … : hashes between the sigil and
+                    // the quote.
+                    if let Some("r" | "br") = prev_ident(bytes, ident_start, i) {
+                        let mut hashes = 0;
+                        while i + hashes < bytes.len() && bytes[i + hashes] == b'#' {
+                            hashes += 1;
+                        }
+                        if bytes.get(i + hashes) == Some(&b'"') {
+                            for _ in 0..=hashes {
+                                code.push(' ');
+                            }
+                            #[allow(clippy::cast_possible_truncation)]
+                            {
+                                state = State::RawStr(hashes as u32);
+                            }
+                            ident_start = None;
+                            i += hashes + 1;
+                            continue;
+                        }
+                    }
+                    code.push('#');
+                    ident_start = None;
+                    i += 1;
+                    continue;
+                }
+                if b == b'\'' {
+                    // Lifetime (`'a`, `'static`) vs char literal
+                    // (`'a'`, `'\n'`): a lifetime is `'` + ident with
+                    // no closing quote right after one character.
+                    let next = bytes.get(i + 1).copied();
+                    let after = bytes.get(i + 2).copied();
+                    let lifetime = matches!(next, Some(c) if c.is_ascii_alphabetic() || c == b'_')
+                        && after != Some(b'\'');
+                    code.push('\'');
+                    if !lifetime {
+                        state = State::Char(false);
+                    }
+                    ident_start = None;
+                    i += 1;
+                    continue;
+                }
+                if is_ident_byte {
+                    if ident_start.is_none() {
+                        ident_start = Some(i);
+                    }
+                } else {
+                    ident_start = None;
+                }
+                code.push(b as char);
+                i += 1;
+            }
+            State::LineComment => {
+                comment.push(b as char);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let rest = &bytes[i..];
+                if rest.starts_with(b"*/") {
+                    state = if depth == 1 {
+                        code.push_str("  ");
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    if depth > 1 {
+                        comment.push_str("*/");
+                    }
+                    i += 2;
+                } else if rest.starts_with(b"/*") {
+                    state = State::BlockComment(depth + 1);
+                    comment.push_str("/*");
+                    i += 2;
+                } else {
+                    comment.push(b as char);
+                    i += 1;
+                }
+            }
+            State::Str(escaped) => {
+                if escaped {
+                    state = State::Str(false);
+                } else if b == b'\\' {
+                    state = State::Str(true);
+                } else if b == b'"' {
+                    code.push('"');
+                    state = State::Code;
+                    i += 1;
+                    continue;
+                }
+                code.push(' ');
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' {
+                    let h = hashes as usize;
+                    if bytes[i + 1..].len() >= h
+                        && bytes[i + 1..i + 1 + h].iter().all(|&c| c == b'#')
+                    {
+                        code.push('"');
+                        for _ in 0..h {
+                            code.push(' ');
+                        }
+                        state = State::Code;
+                        i += 1 + h;
+                        continue;
+                    }
+                }
+                code.push(' ');
+                i += 1;
+            }
+            State::Char(escaped) => {
+                if escaped {
+                    state = State::Char(false);
+                } else if b == b'\\' {
+                    state = State::Char(true);
+                } else if b == b'\'' {
+                    code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                    continue;
+                }
+                code.push(' ');
+                i += 1;
+            }
+        }
+    }
+    flush_line!();
+    lines
+}
+
+/// The identifier ending exactly at byte `end` (exclusive), if any.
+fn prev_ident(bytes: &[u8], ident_start: Option<usize>, end: usize) -> Option<&str> {
+    let start = ident_start?;
+    std::str::from_utf8(&bytes[start..end]).ok()
+}
+
+/// Marks lines inside `#[cfg(test)]` / `#[test]` items by tracking
+/// brace depth in the blanked code channel.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    // Depth at which a test attribute is waiting for its item's `{`.
+    let mut pending: Option<i64> = None;
+    // Depths of currently-open test items (nested test mods are fine).
+    let mut open: Vec<i64> = Vec::new();
+    for line in lines.iter_mut() {
+        let has_test_attr = line.code.contains("#[cfg(test)")
+            || line.code.contains("#[test]")
+            || line.code.contains("#[cfg(all(test");
+        if has_test_attr {
+            pending = Some(depth);
+            line.in_test = true;
+        }
+        if !open.is_empty() || pending.is_some() {
+            line.in_test = true;
+        }
+        for ch in line.code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if let Some(d) = pending {
+                        if depth == d + 1 {
+                            open.push(d);
+                            pending = None;
+                            line.in_test = true;
+                        }
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if open.last() == Some(&depth) {
+                        open.pop();
+                    }
+                }
+                // `#[cfg(test)] use …;` — attribute consumed by a
+                // braceless item.
+                ';' if pending == Some(depth) => pending = None,
+                _ => {}
+            }
+        }
+        if !open.is_empty() {
+            line.in_test = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let f = scan("let x = \"panic!()\"; // unwrap() here\nlet y = 'a';\n");
+        assert!(!f.lines[0].code.contains("panic"));
+        assert!(f.lines[0].comment.contains("unwrap()"));
+        assert!(f.lines[0].code.contains("let x ="));
+        assert!(f.lines[1].code.contains("let y ="));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let f = scan("let s = r#\"unwrap() \"# ;\nfn f<'a>(x: &'a str) {}\nlet c = '\\'';\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].code.trim_end().ends_with(';'));
+        assert!(f.lines[1].code.contains("&'a str"));
+        assert!(f.lines[2].code.starts_with("let c ="));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let f = scan("a /* one /* two */ still */ b\n/* open\n unwrap() \n*/ c\n");
+        assert_eq!(f.lines[0].code.replace(' ', ""), "ab");
+        assert!(f.lines[2].code.trim().is_empty());
+        assert!(f.lines[2].comment.contains("unwrap"));
+        assert_eq!(f.lines[3].code.trim(), "c");
+    }
+
+    #[test]
+    fn test_regions_are_marked() {
+        let src = "\
+fn lib() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { y.unwrap(); }
+}
+fn lib2() {}
+";
+        let f = scan(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test, "attribute line");
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(f.lines[5].in_test, "closing brace");
+        assert!(!f.lines[6].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_does_not_leak() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() {}\n";
+        let f = scan(src);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn columns_are_preserved() {
+        let src = "let s = \"xx\"; foo.unwrap();\n";
+        let f = scan(src);
+        let col = f.lines[0].code.find("unwrap").expect("kept");
+        assert_eq!(&src[col..col + 6], "unwrap");
+    }
+}

@@ -2,6 +2,7 @@
 
 /// Errors produced by circuit construction and simulation.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CircuitError {
     /// A device parameter was non-physical (negative R, C, etc.).
     InvalidDevice {

@@ -62,3 +62,4 @@ pub mod sparse;
 pub mod transient;
 
 pub use error::CircuitError;
+pub use parser::ParseError;

@@ -24,6 +24,11 @@
 //! * Device kinds are selected by the first letter of the element name:
 //!   `R`, `C`, `V`, `I`, `M`.
 //!
+//! Parse failures come back as a typed [`ParseError`] carrying the
+//! 1-based line and column of the offending token, so a CLI (or an
+//! editor integration) can point at the deck rather than merely quote
+//! it.
+//!
 //! ```
 //! use hotwire_circuit::parser::parse_netlist;
 //! use hotwire_circuit::transient::{simulate, TransientOptions};
@@ -46,6 +51,175 @@ use std::collections::HashMap;
 use crate::netlist::{Circuit, MosParams, MosPolarity, NodeId};
 use crate::sources::SourceWaveform;
 use crate::CircuitError;
+
+/// A netlist parse failure, pointing at the offending token.
+///
+/// Every variant carries `line` and `column` (both 1-based; the column
+/// is a byte offset into the raw deck line), so diagnostics can be
+/// rendered `deck.sp:12:7`-style.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// A token where a numeric value was expected does not parse as
+    /// one (bad digits or an unknown magnitude suffix).
+    BadValue {
+        /// 1-based deck line.
+        line: usize,
+        /// 1-based byte column of the token.
+        column: usize,
+        /// The offending token, verbatim.
+        token: String,
+    },
+    /// An element line has the wrong number of tokens for its kind.
+    WrongArity {
+        /// 1-based deck line.
+        line: usize,
+        /// 1-based byte column of the element name.
+        column: usize,
+        /// What the element kind expects, human-readable.
+        expected: &'static str,
+    },
+    /// The element name starts with a letter no device kind claims.
+    UnsupportedElement {
+        /// 1-based deck line.
+        line: usize,
+        /// 1-based byte column of the element name.
+        column: usize,
+        /// The unrecognized leading letter.
+        kind: char,
+    },
+    /// A MOSFET references a model other than `NMOS`/`PMOS`.
+    UnknownModel {
+        /// 1-based deck line.
+        line: usize,
+        /// 1-based byte column of the model token.
+        column: usize,
+        /// The unrecognized model name.
+        model: String,
+    },
+    /// A MOSFET `KEY=value` parameter key is not recognized.
+    UnknownParameter {
+        /// 1-based deck line.
+        line: usize,
+        /// 1-based byte column of the parameter token.
+        column: usize,
+        /// The unrecognized key.
+        parameter: String,
+    },
+    /// A source specification is neither `DC`, `PULSE`, nor a bare
+    /// value.
+    UnknownSourceSpec {
+        /// 1-based deck line.
+        line: usize,
+        /// 1-based byte column of the spec token.
+        column: usize,
+        /// The unrecognized specification keyword.
+        spec: String,
+    },
+    /// A MOSFET parameter token is not of the form `KEY=value`.
+    ExpectedKeyValue {
+        /// 1-based deck line.
+        line: usize,
+        /// 1-based byte column of the token.
+        column: usize,
+        /// The malformed token, verbatim.
+        token: String,
+    },
+    /// Two elements share a name (names are case-insensitive).
+    DuplicateElement {
+        /// 1-based deck line of the *second* occurrence.
+        line: usize,
+        /// 1-based byte column of the element name.
+        column: usize,
+        /// The duplicated name (uppercased).
+        name: String,
+    },
+    /// The parsed values were rejected by device construction
+    /// (negative resistance, non-physical MOSFET parameters, …).
+    Device {
+        /// 1-based deck line.
+        line: usize,
+        /// 1-based byte column of the element name.
+        column: usize,
+        /// The device-level complaint.
+        message: String,
+    },
+}
+
+impl ParseError {
+    /// The 1-based deck line the error points at.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        match self {
+            Self::BadValue { line, .. }
+            | Self::WrongArity { line, .. }
+            | Self::UnsupportedElement { line, .. }
+            | Self::UnknownModel { line, .. }
+            | Self::UnknownParameter { line, .. }
+            | Self::UnknownSourceSpec { line, .. }
+            | Self::ExpectedKeyValue { line, .. }
+            | Self::DuplicateElement { line, .. }
+            | Self::Device { line, .. } => *line,
+        }
+    }
+
+    /// The 1-based byte column the error points at.
+    #[must_use]
+    pub fn column(&self) -> usize {
+        match self {
+            Self::BadValue { column, .. }
+            | Self::WrongArity { column, .. }
+            | Self::UnsupportedElement { column, .. }
+            | Self::UnknownModel { column, .. }
+            | Self::UnknownParameter { column, .. }
+            | Self::UnknownSourceSpec { column, .. }
+            | Self::ExpectedKeyValue { column, .. }
+            | Self::DuplicateElement { column, .. }
+            | Self::Device { column, .. } => *column,
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "netlist line {}, column {}: ",
+            self.line(),
+            self.column()
+        )?;
+        match self {
+            Self::BadValue { token, .. } => write!(f, "`{token}` is not a numeric value"),
+            Self::WrongArity { expected, .. } => f.write_str(expected),
+            Self::UnsupportedElement { kind, .. } => {
+                write!(
+                    f,
+                    "unsupported element type `{kind}` (supported: R C V I M)"
+                )
+            }
+            Self::UnknownModel { model, .. } => write!(f, "unknown model `{model}`"),
+            Self::UnknownParameter { parameter, .. } => {
+                write!(f, "unknown parameter `{parameter}`")
+            }
+            Self::UnknownSourceSpec { spec, .. } => write!(f, "unknown source spec `{spec}`"),
+            Self::ExpectedKeyValue { token, .. } => {
+                write!(f, "expected KEY=value, got `{token}`")
+            }
+            Self::DuplicateElement { name, .. } => write!(f, "duplicate element name `{name}`"),
+            Self::Device { message, .. } => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ParseError> for CircuitError {
+    fn from(e: ParseError) -> Self {
+        Self::InvalidDevice {
+            message: e.to_string(),
+        }
+    }
+}
 
 /// The result of parsing a netlist: the circuit plus name → node and
 /// name → device-index maps for probing.
@@ -88,18 +262,8 @@ fn is_ground(name: &str) -> bool {
     matches!(name.to_ascii_lowercase().as_str(), "0" | "gnd")
 }
 
-fn parse_err(line: usize, message: impl Into<String>) -> CircuitError {
-    CircuitError::InvalidDevice {
-        message: format!("netlist line {line}: {}", message.into()),
-    }
-}
-
-/// Parses a SPICE magnitude-suffixed value (`1k`, `10f`, `2.5`, `1meg`).
-///
-/// # Errors
-///
-/// Returns [`CircuitError::InvalidDevice`] for unparseable tokens.
-pub fn parse_value(token: &str) -> Result<f64, CircuitError> {
+/// The numeric value of a SPICE magnitude-suffixed token, if it is one.
+fn raw_value(token: &str) -> Option<f64> {
     let t = token.trim().to_ascii_lowercase();
     let (mult, digits) = if let Some(stripped) = t.strip_suffix("meg") {
         (1.0e6, stripped)
@@ -122,21 +286,68 @@ pub fn parse_value(token: &str) -> Result<f64, CircuitError> {
     } else {
         (1.0, t.as_str())
     };
-    digits
-        .parse::<f64>()
-        .map(|v| v * mult)
-        .map_err(|_| CircuitError::InvalidDevice {
-            message: format!("`{token}` is not a numeric value"),
+    digits.parse::<f64>().ok().map(|v| v * mult)
+}
+
+/// Parses a SPICE magnitude-suffixed value (`1k`, `10f`, `2.5`, `1meg`).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidDevice`] for unparseable tokens.
+pub fn parse_value(token: &str) -> Result<f64, CircuitError> {
+    raw_value(token).ok_or_else(|| CircuitError::InvalidDevice {
+        message: format!("`{token}` is not a numeric value"),
+    })
+}
+
+/// One deck token with its 1-based byte column in the raw line.
+struct Tok<'a> {
+    text: &'a str,
+    col: usize,
+}
+
+impl Tok<'_> {
+    /// The token's numeric value, or a positioned [`ParseError`].
+    fn value(&self, line: usize) -> Result<f64, ParseError> {
+        raw_value(self.text).ok_or_else(|| ParseError::BadValue {
+            line,
+            column: self.col,
+            token: self.text.to_owned(),
         })
+    }
+}
+
+/// Splits a normalized deck line into tokens with columns. Because
+/// normalization maps `(`, `)`, and `,` to single spaces, byte offsets
+/// in the normalized line equal offsets in the raw line.
+fn tokenize(normalized: &str) -> Vec<Tok<'_>> {
+    let mut out = Vec::new();
+    let bytes = normalized.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && !bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        out.push(Tok {
+            text: &normalized[start..i],
+            col: start + 1,
+        });
+    }
+    out
 }
 
 /// Parses a whole deck into a [`ParsedCircuit`].
 ///
 /// # Errors
 ///
-/// Returns [`CircuitError::InvalidDevice`] with a line number for any
-/// malformed element.
-pub fn parse_netlist(text: &str) -> Result<ParsedCircuit, CircuitError> {
+/// Returns a [`ParseError`] pointing (line, column) at any malformed
+/// element.
+pub fn parse_netlist(text: &str) -> Result<ParsedCircuit, ParseError> {
     let mut parsed = ParsedCircuit {
         circuit: Circuit::new(),
         ..ParsedCircuit::default()
@@ -154,11 +365,17 @@ pub fn parse_netlist(text: &str) -> Result<ParsedCircuit, CircuitError> {
             }
             continue;
         }
-        // Normalize PULSE(...) style argument lists into whitespace tokens.
-        let normalized = line.replace(['(', ')', ','], " ");
-        let tokens: Vec<&str> = normalized.split_whitespace().collect();
-        let name = tokens[0].to_ascii_uppercase();
-        let kind = name.chars().next().expect("non-empty token");
+        // Normalize PULSE(...) style argument lists into whitespace
+        // tokens; the raw (untrimmed) line keeps columns honest.
+        let normalized = raw.replace(['(', ')', ','], " ");
+        let tokens = tokenize(&normalized);
+        let Some(first) = tokens.first() else {
+            continue;
+        };
+        let name = first.text.to_ascii_uppercase();
+        let Some(kind) = name.chars().next() else {
+            continue;
+        };
         let device_index = match kind {
             'R' => parse_resistor(&mut parsed, lineno, &tokens)?,
             'C' => parse_capacitor(&mut parsed, lineno, &tokens)?,
@@ -166,17 +383,19 @@ pub fn parse_netlist(text: &str) -> Result<ParsedCircuit, CircuitError> {
             'I' => parse_source(&mut parsed, lineno, &tokens, false)?,
             'M' => parse_mosfet(&mut parsed, lineno, &tokens)?,
             other => {
-                return Err(parse_err(
-                    lineno,
-                    format!("unsupported element type `{other}` (supported: R C V I M)"),
-                ))
+                return Err(ParseError::UnsupportedElement {
+                    line: lineno,
+                    column: first.col,
+                    kind: other,
+                })
             }
         };
         if parsed.devices.insert(name.clone(), device_index).is_some() {
-            return Err(parse_err(
-                lineno,
-                format!("duplicate element name `{name}`"),
-            ));
+            return Err(ParseError::DuplicateElement {
+                line: lineno,
+                column: first.col,
+                name,
+            });
         }
     }
     Ok(parsed)
@@ -195,85 +414,108 @@ fn resolve_node(parsed: &mut ParsedCircuit, name: &str) -> NodeId {
     id
 }
 
+/// Wraps a device-construction failure with the element's position.
+fn device_err(lineno: usize, column: usize) -> impl FnOnce(CircuitError) -> ParseError {
+    move |e| ParseError::Device {
+        line: lineno,
+        column,
+        message: e.to_string(),
+    }
+}
+
 fn parse_resistor(
     parsed: &mut ParsedCircuit,
     lineno: usize,
-    tokens: &[&str],
-) -> Result<usize, CircuitError> {
-    if tokens.len() != 4 {
-        return Err(parse_err(lineno, "expected `Rname n1 n2 value`"));
-    }
-    let a = resolve_node(parsed, tokens[1]);
-    let b = resolve_node(parsed, tokens[2]);
-    let ohms = parse_value(tokens[3]).map_err(|e| parse_err(lineno, e.to_string()))?;
+    tokens: &[Tok<'_>],
+) -> Result<usize, ParseError> {
+    let [name, n1, n2, value] = tokens else {
+        return Err(ParseError::WrongArity {
+            line: lineno,
+            column: tokens[0].col,
+            expected: "expected `Rname n1 n2 value`",
+        });
+    };
+    let a = resolve_node(parsed, n1.text);
+    let b = resolve_node(parsed, n2.text);
+    let ohms = value.value(lineno)?;
     parsed
         .circuit
         .try_resistor(a, b, ohms)
-        .map_err(|e| parse_err(lineno, e.to_string()))
+        .map_err(device_err(lineno, name.col))
 }
 
 fn parse_capacitor(
     parsed: &mut ParsedCircuit,
     lineno: usize,
-    tokens: &[&str],
-) -> Result<usize, CircuitError> {
-    if tokens.len() != 4 {
-        return Err(parse_err(lineno, "expected `Cname n1 n2 value`"));
-    }
-    let a = resolve_node(parsed, tokens[1]);
-    let b = resolve_node(parsed, tokens[2]);
-    let farads = parse_value(tokens[3]).map_err(|e| parse_err(lineno, e.to_string()))?;
+    tokens: &[Tok<'_>],
+) -> Result<usize, ParseError> {
+    let [name, n1, n2, value] = tokens else {
+        return Err(ParseError::WrongArity {
+            line: lineno,
+            column: tokens[0].col,
+            expected: "expected `Cname n1 n2 value`",
+        });
+    };
+    let a = resolve_node(parsed, n1.text);
+    let b = resolve_node(parsed, n2.text);
+    let farads = value.value(lineno)?;
     parsed
         .circuit
         .try_capacitor(a, b, farads)
-        .map_err(|e| parse_err(lineno, e.to_string()))
+        .map_err(device_err(lineno, name.col))
 }
 
 fn parse_source(
     parsed: &mut ParsedCircuit,
     lineno: usize,
-    tokens: &[&str],
+    tokens: &[Tok<'_>],
     voltage: bool,
-) -> Result<usize, CircuitError> {
+) -> Result<usize, ParseError> {
     if tokens.len() < 4 {
-        return Err(parse_err(
-            lineno,
-            "expected `Vname n+ n- DC v` or `Vname n+ n- PULSE(v0 v1 td tr tf pw per)`",
-        ));
+        return Err(ParseError::WrongArity {
+            line: lineno,
+            column: tokens[0].col,
+            expected: "expected `Vname n+ n- DC v` or `Vname n+ n- PULSE(v0 v1 td tr tf pw per)`",
+        });
     }
-    let plus = resolve_node(parsed, tokens[1]);
-    let minus = resolve_node(parsed, tokens[2]);
-    let spec = tokens[3].to_ascii_uppercase();
+    let plus = resolve_node(parsed, tokens[1].text);
+    let minus = resolve_node(parsed, tokens[2].text);
+    let spec = tokens[3].text.to_ascii_uppercase();
     let waveform = match spec.as_str() {
         "DC" => {
             if tokens.len() != 5 {
-                return Err(parse_err(lineno, "DC source needs one value"));
+                return Err(ParseError::WrongArity {
+                    line: lineno,
+                    column: tokens[3].col,
+                    expected: "DC source needs one value",
+                });
             }
-            SourceWaveform::dc(
-                parse_value(tokens[4]).map_err(|e| parse_err(lineno, e.to_string()))?,
-            )
+            SourceWaveform::dc(tokens[4].value(lineno)?)
         }
         "PULSE" => {
             if tokens.len() != 11 {
-                return Err(parse_err(
-                    lineno,
-                    "PULSE needs 7 values: v0 v1 td tr tf pw per",
-                ));
+                return Err(ParseError::WrongArity {
+                    line: lineno,
+                    column: tokens[3].col,
+                    expected: "PULSE needs 7 values: v0 v1 td tr tf pw per",
+                });
             }
             let mut v = [0.0; 7];
             for (slot, tok) in v.iter_mut().zip(&tokens[4..11]) {
-                *slot = parse_value(tok).map_err(|e| parse_err(lineno, e.to_string()))?;
+                *slot = tok.value(lineno)?;
             }
             SourceWaveform::pulse(v[0], v[1], v[2], v[3], v[4], v[5], v[6])
         }
         _ => {
             // bare value shorthand: `V1 a 0 2.5`
             if tokens.len() != 4 {
-                return Err(parse_err(lineno, format!("unknown source spec `{spec}`")));
+                return Err(ParseError::UnknownSourceSpec {
+                    line: lineno,
+                    column: tokens[3].col,
+                    spec,
+                });
             }
-            SourceWaveform::dc(
-                parse_value(tokens[3]).map_err(|e| parse_err(lineno, e.to_string()))?,
-            )
+            SourceWaveform::dc(tokens[3].value(lineno)?)
         }
     };
     Ok(if voltage {
@@ -287,21 +529,28 @@ fn parse_source(
 fn parse_mosfet(
     parsed: &mut ParsedCircuit,
     lineno: usize,
-    tokens: &[&str],
-) -> Result<usize, CircuitError> {
+    tokens: &[Tok<'_>],
+) -> Result<usize, ParseError> {
     if tokens.len() < 5 {
-        return Err(parse_err(
-            lineno,
-            "expected `Mname d g s NMOS|PMOS [VT=..] [K=..] [LAMBDA=..]`",
-        ));
+        return Err(ParseError::WrongArity {
+            line: lineno,
+            column: tokens[0].col,
+            expected: "expected `Mname d g s NMOS|PMOS [VT=..] [K=..] [LAMBDA=..]`",
+        });
     }
-    let d = resolve_node(parsed, tokens[1]);
-    let g = resolve_node(parsed, tokens[2]);
-    let s = resolve_node(parsed, tokens[3]);
-    let polarity = match tokens[4].to_ascii_uppercase().as_str() {
+    let d = resolve_node(parsed, tokens[1].text);
+    let g = resolve_node(parsed, tokens[2].text);
+    let s = resolve_node(parsed, tokens[3].text);
+    let polarity = match tokens[4].text.to_ascii_uppercase().as_str() {
         "NMOS" => MosPolarity::Nmos,
         "PMOS" => MosPolarity::Pmos,
-        other => return Err(parse_err(lineno, format!("unknown model `{other}`"))),
+        other => {
+            return Err(ParseError::UnknownModel {
+                line: lineno,
+                column: tokens[4].col,
+                model: other.to_owned(),
+            })
+        }
     };
     let mut params = MosParams {
         vt: 0.5,
@@ -309,24 +558,35 @@ fn parse_mosfet(
         lambda: 0.0,
     };
     for tok in &tokens[5..] {
-        let Some((key, val)) = tok.split_once('=') else {
-            return Err(parse_err(
-                lineno,
-                format!("expected KEY=value, got `{tok}`"),
-            ));
+        let Some((key, val)) = tok.text.split_once('=') else {
+            return Err(ParseError::ExpectedKeyValue {
+                line: lineno,
+                column: tok.col,
+                token: tok.text.to_owned(),
+            });
         };
-        let v = parse_value(val).map_err(|e| parse_err(lineno, e.to_string()))?;
+        let v = raw_value(val).ok_or_else(|| ParseError::BadValue {
+            line: lineno,
+            column: tok.col + key.len() + 1,
+            token: val.to_owned(),
+        })?;
         match key.to_ascii_uppercase().as_str() {
             "VT" => params.vt = v,
             "K" => params.k = v,
             "LAMBDA" => params.lambda = v,
-            other => return Err(parse_err(lineno, format!("unknown parameter `{other}`"))),
+            other => {
+                return Err(ParseError::UnknownParameter {
+                    line: lineno,
+                    column: tok.col,
+                    parameter: other.to_owned(),
+                })
+            }
         }
     }
     parsed
         .circuit
         .try_mosfet(d, g, s, params, polarity)
-        .map_err(|e| parse_err(lineno, e.to_string()))
+        .map_err(device_err(lineno, tokens[0].col))
 }
 
 #[cfg(test)]
@@ -452,6 +712,45 @@ CL out 0 20f
                 "deck {deck:?}: got `{err}`, wanted `{needle}`"
             );
         }
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        // The bad value `1x` starts at byte 8 of line 2.
+        let err = parse_netlist("* lead\nR1 a b  1x\n").unwrap_err();
+        assert_eq!((err.line(), err.column()), (2, 9));
+        assert!(matches!(err, ParseError::BadValue { ref token, .. } if token == "1x"));
+
+        // The unknown model is the 5th token.
+        let err = parse_netlist("M1 a b c QMOS\n").unwrap_err();
+        assert_eq!((err.line(), err.column()), (1, 10));
+        assert!(matches!(err, ParseError::UnknownModel { ref model, .. } if model == "QMOS"));
+
+        // Duplicate names point at the second occurrence.
+        let err = parse_netlist("R1 a 0 1k\nR1 a 0 1k\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(matches!(err, ParseError::DuplicateElement { .. }));
+
+        // Device-level rejection keeps the element position.
+        let err = parse_netlist("R1 a 0 -5\n").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ParseError::Device {
+                    line: 1,
+                    column: 1,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn parse_error_converts_to_circuit_error() {
+        let err = parse_netlist("R1 a b\n").unwrap_err();
+        let circuit_err = CircuitError::from(err);
+        assert!(circuit_err.to_string().contains("line 1"));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use hotwire_thermal::ThermalError;
 
 /// Errors produced by the self-consistent solver and table generators.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CoreError {
     /// A builder field was missing or inconsistent.
     Incomplete {

@@ -50,6 +50,9 @@
 //! ```
 
 #![forbid(unsafe_code)]
+// HW001 is fully enforced here (zero baseline entries): keep it that way
+// at compile time, not just in `cargo xtask analyze`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 // `!(x > 0.0)` is used deliberately throughout validation code: unlike
 // `x <= 0.0` it also rejects NaN, which must never enter a solver.

@@ -60,7 +60,7 @@ fn with_batch_metrics<T>(points: usize, parallel: bool, f: impl FnOnce() -> T) -
             .timers
             .get("sweep.point_time")
             .map_or(0.0, |t| t.total_ms);
-        let start = std::time::Instant::now();
+        let start = hotwire_obs::Stopwatch::start();
         let out = f();
         let wall = start.elapsed();
         metrics::timer("sweep.batch_time").observe(wall);

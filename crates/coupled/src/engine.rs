@@ -398,13 +398,13 @@ impl CoupledEngine {
     /// ([`CoupledError::Thermal`]) solve failures.
     pub fn step(&mut self) -> Result<f64, CoupledError> {
         metrics::counter("coupled.iterations").inc();
-        let step_start = std::time::Instant::now();
+        let step_start = hotwire_obs::Stopwatch::start();
         let metal = &self.spec.metal;
         let pitch = self.spec.pitch.value();
         let area = self.cross_section;
         // 1. Electrical: restamp ρ(T) and solve (refactor after the
         //    first iteration).
-        let electrical_start = std::time::Instant::now();
+        let electrical_start = hotwire_obs::Stopwatch::start();
         {
             let _t = metrics::timer("coupled.stamp_time").start();
             for (g, &t) in self.branch_g.iter_mut().zip(&self.branch_t) {
@@ -416,7 +416,7 @@ impl CoupledEngine {
         let electrical = electrical_start.elapsed();
         // 2. Thermal: branch Joule powers onto end nodes, one banded
         //    substitution for the whole chip.
-        let thermal_start = std::time::Instant::now();
+        let thermal_start = hotwire_obs::Stopwatch::start();
         self.node_power.iter_mut().for_each(|p| *p = 0.0);
         let cols = self.spec.cols;
         for (k, &((r0, c0), (r1, c1))) in self.branches.iter().enumerate() {
@@ -701,20 +701,21 @@ impl CoupledEngine {
             assessed.iter().filter_map(|(_, s)| *s).collect();
         let ttfs = black.batch_ttf(&stresses);
         let mut members = Vec::with_capacity(ttfs.len());
-        let mut ttf_iter = ttfs.iter();
-        for (branch, stress) in &mut assessed {
-            if stress.is_some() {
-                let ttf = *ttf_iter.next().expect("one TTF per mortal stress");
-                branch.ttf = Some(ttf);
-                members.push(
-                    LognormalLifetime::from_quantile(
-                        ttf,
-                        self.options.failure_quantile,
-                        self.options.sigma,
-                    )
-                    .map_err(CoupledError::Em)?,
-                );
-            }
+        // `batch_ttf` yields one TTF per stress, and `stresses` holds
+        // one entry per mortal branch in order — zipping the mortal
+        // subset against the TTFs restores the pairing without an
+        // unreachable-panic path.
+        let mortal = assessed.iter_mut().filter(|(_, stress)| stress.is_some());
+        for ((branch, _), &ttf) in mortal.zip(&ttfs) {
+            branch.ttf = Some(ttf);
+            members.push(
+                LognormalLifetime::from_quantile(
+                    ttf,
+                    self.options.failure_quantile,
+                    self.options.sigma,
+                )
+                .map_err(CoupledError::Em)?,
+            );
         }
         let chip_failure = if members.is_empty() {
             None

@@ -35,6 +35,7 @@ impl fmt::Display for BranchHotspot {
 
 /// Everything that can go wrong in a coupled signoff run.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CoupledError {
     /// The grid specification or options are unusable.
     InvalidSpec {

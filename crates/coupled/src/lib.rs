@@ -26,6 +26,9 @@
 //! ```
 
 #![forbid(unsafe_code)]
+// HW001 is fully enforced here (zero baseline entries): keep it that way
+// at compile time, not just in `cargo xtask analyze`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 

@@ -2,6 +2,7 @@
 
 /// Errors produced by waveform construction and EM model evaluation.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum EmError {
     /// A duty cycle outside the half-open interval (0, 1].
     InvalidDutyCycle {

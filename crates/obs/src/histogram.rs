@@ -112,6 +112,7 @@ impl HistogramSnapshot {
     }
 
     /// Rebuilds from dense bucket counts (must be `BUCKETS` long).
+    #[cfg(feature = "telemetry")]
     #[must_use]
     pub(crate) fn from_counts(counts: Vec<u64>) -> Self {
         debug_assert_eq!(counts.len(), BUCKETS);
@@ -188,7 +189,7 @@ impl HistogramSnapshot {
 #[cfg(feature = "telemetry")]
 #[derive(Debug)]
 pub(crate) struct AtomicHistogram {
-    counts: Vec<std::sync::atomic::AtomicU64>,
+    counts: Vec<crate::sync::AtomicU64>,
 }
 
 #[cfg(feature = "telemetry")]
@@ -196,7 +197,7 @@ impl Default for AtomicHistogram {
     fn default() -> Self {
         Self {
             counts: (0..BUCKETS)
-                .map(|_| std::sync::atomic::AtomicU64::new(0))
+                .map(|_| crate::sync::AtomicU64::new(0))
                 .collect(),
         }
     }
@@ -205,14 +206,30 @@ impl Default for AtomicHistogram {
 #[cfg(feature = "telemetry")]
 impl AtomicHistogram {
     pub fn record(&self, value: u64) {
-        self.counts[bucket_index(value)].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // SAFETY(ordering): each bucket is an independent monotone
+        // counter; `fetch_add` is atomic per cell, so no increment is
+        // ever lost regardless of interleaving, and nothing reads a
+        // bucket to decide a write elsewhere — there is no cross-cell
+        // happens-before to establish. The loom model
+        // `timer_histogram_counts_are_exact` checks the no-lost-update
+        // claim under preempted schedules.
+        self.counts[bucket_index(value)].fetch_add(1, crate::sync::Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> HistogramSnapshot {
+        // SAFETY(ordering): relaxed per-bucket loads mean a snapshot
+        // concurrent with recording may split one logical observation
+        // set across buckets (count it in one bucket but miss a
+        // later-indexed one). Each bucket read is still atomic and
+        // monotone, so a snapshot never under-counts a bucket it has
+        // already passed, and a quiescent snapshot (all recorders
+        // joined) is exact — the property the loom and determinism
+        // tests assert; in-flight snapshots are documented as
+        // point-in-time approximations.
         HistogramSnapshot::from_counts(
             self.counts
                 .iter()
-                .map(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+                .map(|c| c.load(crate::sync::Ordering::Relaxed))
                 .collect(),
         )
     }

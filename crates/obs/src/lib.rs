@@ -46,8 +46,12 @@ pub mod histogram;
 pub mod json;
 pub mod metrics;
 pub mod prom;
+pub mod stopwatch;
+#[cfg(feature = "telemetry")]
+pub(crate) mod sync;
 pub mod trace;
 
 pub use json::Json;
 pub use metrics::MetricsSnapshot;
+pub use stopwatch::Stopwatch;
 pub use trace::{FieldValue, Level, LogConfig, LogFormat};

@@ -38,10 +38,10 @@ use crate::json::Json;
 #[cfg(feature = "telemetry")]
 mod imp {
     use std::collections::BTreeMap;
-    use std::sync::atomic::{AtomicU64, Ordering};
-    use std::sync::{Arc, LazyLock, Mutex};
+    use std::sync::{Arc, LazyLock, Mutex, PoisonError};
 
     use crate::histogram::AtomicHistogram;
+    use crate::sync::{AtomicU64, Ordering};
 
     /// Timer accumulator cell (nanosecond resolution) plus the
     /// log-linear distribution of every observation.
@@ -121,18 +121,32 @@ mod imp {
 
     pub static REGISTRY: LazyLock<Registry> = LazyLock::new(Registry::default);
 
+    /// Locks a registry map, recovering from poisoning: the maps hold
+    /// plain `Arc`s, so a panic mid-insert cannot leave them in a state
+    /// worse than missing one entry, and telemetry must never take the
+    /// process down with it.
+    pub fn lock_map<'a, T>(
+        map: &'a Mutex<BTreeMap<&'static str, Arc<T>>>,
+    ) -> std::sync::MutexGuard<'a, BTreeMap<&'static str, Arc<T>>> {
+        map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     pub fn intern<T: Default>(
         map: &Mutex<BTreeMap<&'static str, Arc<T>>>,
         name: &'static str,
     ) -> Arc<T> {
-        Arc::clone(
-            map.lock()
-                .expect("metrics registry poisoned")
-                .entry(name)
-                .or_default(),
-        )
+        Arc::clone(lock_map(map).entry(name).or_default())
     }
 
+    // SAFETY(ordering): every cell in this registry is an independent
+    // statistic (count, total, min, max, bucket) mutated only through
+    // RMW operations, and readers (`snapshot`) tolerate tearing
+    // *between* cells — a snapshot taken mid-update may pair a count
+    // with a slightly older total, which the schema documents as a
+    // point-in-time approximation. No cell's value is used to publish
+    // another memory location, so no acquire/release edge is needed;
+    // the loom models in tests/loom.rs stress exactness of the totals
+    // and monotonicity of concurrent snapshots.
     pub const RELAXED: Ordering = Ordering::Relaxed;
 }
 
@@ -143,7 +157,7 @@ mod imp {
 #[derive(Debug, Clone)]
 pub struct Counter {
     #[cfg(feature = "telemetry")]
-    cell: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    cell: std::sync::Arc<crate::sync::AtomicU64>,
 }
 
 impl Counter {
@@ -492,17 +506,11 @@ pub fn snapshot() -> MetricsSnapshot {
         const NS_PER_MS: f64 = 1.0e6;
         #[allow(clippy::cast_precision_loss)]
         let ms = |ns: u64| ns as f64 / NS_PER_MS;
-        let counters = imp::REGISTRY
-            .counters
-            .lock()
-            .expect("metrics registry poisoned")
+        let counters = imp::lock_map(&imp::REGISTRY.counters)
             .iter()
             .map(|(&k, v)| (k.to_owned(), v.load(imp::RELAXED)))
             .collect();
-        let gauges = imp::REGISTRY
-            .gauges
-            .lock()
-            .expect("metrics registry poisoned")
+        let gauges = imp::lock_map(&imp::REGISTRY.gauges)
             .iter()
             .map(|(&k, g)| {
                 let value = f64::from_bits(g.value.load(imp::RELAXED));
@@ -522,10 +530,7 @@ pub fn snapshot() -> MetricsSnapshot {
                 (k.to_owned(), stats)
             })
             .collect();
-        let timers = imp::REGISTRY
-            .timers
-            .lock()
-            .expect("metrics registry poisoned")
+        let timers = imp::lock_map(&imp::REGISTRY.timers)
             .iter()
             .map(|(&k, t)| {
                 let count = t.count.load(imp::RELAXED);
@@ -567,21 +572,9 @@ pub fn snapshot() -> MetricsSnapshot {
 pub fn reset() {
     #[cfg(feature = "telemetry")]
     {
-        imp::REGISTRY
-            .counters
-            .lock()
-            .expect("metrics registry poisoned")
-            .clear();
-        imp::REGISTRY
-            .gauges
-            .lock()
-            .expect("metrics registry poisoned")
-            .clear();
-        imp::REGISTRY
-            .timers
-            .lock()
-            .expect("metrics registry poisoned")
-            .clear();
+        imp::lock_map(&imp::REGISTRY.counters).clear();
+        imp::lock_map(&imp::REGISTRY.gauges).clear();
+        imp::lock_map(&imp::REGISTRY.timers).clear();
     }
 }
 

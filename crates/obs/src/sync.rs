@@ -1,0 +1,17 @@
+//! Atomic primitives facade: std by default, loom's instrumented types
+//! under `--cfg loom`.
+//!
+//! Everything lock-free in this crate (the registry's counter cells,
+//! the histogram buckets, the tracing level/format flags) goes through
+//! these re-exports, so building with `RUSTFLAGS="--cfg loom"` swaps
+//! the whole layer onto the model checker's atomics at once and the
+//! interleaving models in `tests/loom.rs` exercise the real recording
+//! paths, not parallel reimplementations. The workspace's `loom` is the
+//! offline stress-mode shim (`shims/loom`); its intentional deviations
+//! from the real crate are documented there.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};

@@ -211,9 +211,9 @@ pub type Fields<'a> = &'a [(&'a str, FieldValue<'a>)];
 #[cfg(feature = "telemetry")]
 mod imp {
     use super::{Fields, Json, Level, LogConfig, LogFormat};
+    use crate::sync::{AtomicU8, Ordering};
     use std::cell::RefCell;
     use std::io::Write;
-    use std::sync::atomic::{AtomicU8, Ordering};
     use std::sync::Mutex;
 
     /// 255 = no subscriber installed.
@@ -226,17 +226,30 @@ mod imp {
     }
 
     pub fn install(config: LogConfig) {
-        FORMAT.store(
-            match config.format {
-                LogFormat::Text => 0,
-                LogFormat::Json => 1,
-            },
-            Ordering::Relaxed,
-        );
+        let format = match config.format {
+            LogFormat::Text => 0,
+            LogFormat::Json => 1,
+        };
+        // SAFETY(ordering): LEVEL and FORMAT are independent one-byte
+        // configuration flags, each atomic on its own; no other memory
+        // is published through them, so there is no release edge to
+        // establish. A reader racing a reconfiguration may briefly
+        // combine the new format with the old level (or vice versa) —
+        // both fields are self-contained, every combination is a valid
+        // configuration, and `init` documents last-writer-wins. The
+        // loom model `trace_flags_never_tear` checks that each flag
+        // individually only ever reads an installed value.
+        FORMAT.store(format, Ordering::Relaxed);
+        // SAFETY(ordering): same argument as FORMAT above — a
+        // self-contained flag with last-writer-wins semantics.
         LEVEL.store(config.level.as_u8(), Ordering::Relaxed);
     }
 
     pub fn enabled(level: Level) -> bool {
+        // SAFETY(ordering): a stale LEVEL read merely routes one event
+        // through the previous verbosity setting — acceptable by the
+        // last-writer-wins contract above; no data is guarded by this
+        // flag.
         let current = LEVEL.load(Ordering::Relaxed);
         current != 255 && level.as_u8() <= current
     }
@@ -262,6 +275,9 @@ mod imp {
 
     pub fn render(level: Level, target: &str, message: &str, fields: Fields<'_>) -> String {
         let span = span_path();
+        // SAFETY(ordering): see `install` — FORMAT is a self-contained
+        // rendering flag; a stale read renders one line in the previous
+        // format, which last-writer-wins permits.
         if FORMAT.load(Ordering::Relaxed) == 1 {
             let ts = std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)
@@ -283,10 +299,10 @@ mod imp {
             use std::fmt::Write;
             let mut line = format!("[{level}] {target}: {message}");
             if let Some(path) = span {
-                write!(line, " span={path}").expect("string write cannot fail");
+                let _ = write!(line, " span={path}");
             }
             for &(k, v) in fields {
-                write!(line, " {k}={v}").expect("string write cannot fail");
+                let _ = write!(line, " {k}={v}");
             }
             line
         }

@@ -1,0 +1,203 @@
+//! Interleaving models for the lock-free observability layer.
+//!
+//! Build and run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p hotwire-obs --release --test loom
+//! ```
+//!
+//! Under `--cfg loom` the crate's atomics facade (`src/sync.rs`) routes
+//! every counter cell, histogram bucket, and tracing flag through the
+//! `loom` crate, so these models exercise the *real* recording paths.
+//! The workspace `loom` is the offline stress shim (`shims/loom`): it
+//! explores interleavings by seeded preemption injection rather than
+//! exhaustively, so a pass here is corroborating evidence for the
+//! `// SAFETY(ordering):` justifications in the source, not a proof.
+//! Each model states the invariant its justification relies on.
+#![cfg(loom)]
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use hotwire_obs::metrics;
+use hotwire_obs::trace::{self, Level, LogConfig, LogFormat};
+
+/// The registry and the tracing flags are process-global; models must
+/// not interleave with each other (`reset` in one would corrupt the
+/// counts another is asserting on).
+static MODEL_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    MODEL_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// HW004 invariant for `Counter::add` (metrics.rs `RELAXED`): relaxed
+/// `fetch_add` loses no increment under any interleaving — quiescent
+/// totals are exact, which is what the serial-vs-parallel determinism
+/// tests assume.
+#[test]
+fn counter_increments_are_exact() {
+    let _guard = lock();
+    loom::model(|| {
+        let c = metrics::counter("loom.counter");
+        let before = metrics::snapshot().counter("loom.counter");
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let c = c.clone();
+                loom::thread::spawn(move || {
+                    for _ in 0..4 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("model thread panicked");
+        }
+        assert_eq!(
+            metrics::snapshot().counter("loom.counter"),
+            before + 12,
+            "a relaxed fetch_add dropped an increment"
+        );
+    });
+}
+
+/// In-flight snapshots are monotone: a counter read in one snapshot
+/// never exceeds the same counter in a later snapshot (per-cell atomic
+/// monotonicity is all the relaxed ordering must provide — the SAFETY
+/// comment on `RELAXED` documents that cross-cell tearing is allowed).
+#[test]
+fn concurrent_snapshots_are_monotone() {
+    let _guard = lock();
+    loom::model(|| {
+        let c = metrics::counter("loom.monotone");
+        let writer = {
+            let c = c.clone();
+            loom::thread::spawn(move || {
+                for _ in 0..8 {
+                    c.inc();
+                }
+            })
+        };
+        let mut last = metrics::snapshot().counter("loom.monotone");
+        for _ in 0..4 {
+            let now = metrics::snapshot().counter("loom.monotone");
+            assert!(now >= last, "snapshot went backwards: {now} < {last}");
+            last = now;
+        }
+        writer.join().expect("model thread panicked");
+    });
+}
+
+/// HW004 invariant for `AtomicHistogram::record`/`snapshot`
+/// (histogram.rs): concurrent recording into a timer's histogram is
+/// count-exact once quiescent — bucket totals equal the number of
+/// observations, and the quantile estimates stay bracketed by min/max.
+#[test]
+fn timer_histogram_counts_are_exact() {
+    let _guard = lock();
+    loom::model(|| {
+        let t = metrics::timer("loom.hist");
+        let before = metrics::snapshot()
+            .timers
+            .get("loom.hist")
+            .map_or(0, |s| s.count);
+        let handles: Vec<_> = (1..=3u64)
+            .map(|k| {
+                let t = t.clone();
+                loom::thread::spawn(move || {
+                    for i in 0..4u64 {
+                        t.observe(Duration::from_nanos(k * 1000 + i * 37));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("model thread panicked");
+        }
+        let stats = metrics::snapshot().timers["loom.hist"];
+        assert_eq!(stats.count, before + 12, "lost a timer observation");
+        assert!(
+            stats.p50_ms <= stats.p90_ms && stats.p90_ms <= stats.p99_ms,
+            "histogram quantiles out of order: {stats:?}"
+        );
+    });
+}
+
+/// Counter increments racing `metrics::reset` never panic and never
+/// manufacture counts: afterwards the counter reads at most the number
+/// of increments that ran (handles interned before the reset keep
+/// recording into detached cells, as the `reset` docs state).
+#[test]
+fn reset_during_increments_is_safe() {
+    let _guard = lock();
+    loom::model(|| {
+        metrics::reset();
+        let c = metrics::counter("loom.reset");
+        let writer = {
+            let c = c.clone();
+            loom::thread::spawn(move || {
+                for _ in 0..6 {
+                    c.inc();
+                }
+            })
+        };
+        metrics::reset();
+        writer.join().expect("model thread panicked");
+        let survived = metrics::snapshot().counter("loom.reset");
+        assert!(survived <= 6, "reset manufactured counts: {survived}");
+        // Re-interning after the reset observes a live cell again.
+        metrics::counter("loom.reset").inc();
+        let after = metrics::snapshot().counter("loom.reset");
+        assert!(
+            (1..=7).contains(&after),
+            "re-interned counter out of range: {after}"
+        );
+    });
+    metrics::reset();
+}
+
+/// HW004 invariant for the tracing flags (trace.rs `install`): LEVEL
+/// and FORMAT are each self-contained, so however `init` calls
+/// interleave with `enabled` reads, the level filter stays internally
+/// consistent (enabling a verbose level implies every severer one) and
+/// settles on the last writer once quiescent.
+#[test]
+fn trace_flags_never_tear() {
+    let _guard = lock();
+    loom::model(|| {
+        let a = loom::thread::spawn(|| {
+            trace::init(LogConfig {
+                level: Level::Debug,
+                format: LogFormat::Json,
+            });
+        });
+        let b = loom::thread::spawn(|| {
+            trace::init(LogConfig {
+                level: Level::Warn,
+                format: LogFormat::Text,
+            });
+        });
+        for _ in 0..4 {
+            // Whatever interleaving, the filter is monotone in severity.
+            if trace::enabled(Level::Debug) {
+                assert!(trace::enabled(Level::Warn) && trace::enabled(Level::Error));
+            }
+            if trace::enabled(Level::Warn) {
+                assert!(trace::enabled(Level::Error));
+            }
+        }
+        a.join().expect("model thread panicked");
+        b.join().expect("model thread panicked");
+        // Quiescent: last writer won; both installed configs enable Error.
+        assert!(trace::enabled(Level::Error));
+        assert!(!trace::enabled(Level::Trace));
+        // Leave the sink quiet for whatever runs next.
+        trace::init(LogConfig {
+            level: Level::Error,
+            format: LogFormat::Text,
+        });
+    });
+}

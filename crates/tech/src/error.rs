@@ -2,6 +2,7 @@
 
 /// Errors produced while building or parsing a [`crate::Technology`].
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum TechError {
     /// A referenced metal layer name does not exist in the stack.
     UnknownLayer {

@@ -2,6 +2,7 @@
 
 /// Errors produced by thermal model construction and solvers.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum ThermalError {
     /// A geometric or material input was non-physical.
     InvalidInput {

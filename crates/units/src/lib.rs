@@ -27,6 +27,9 @@
 //! `value()` accessor always returns the canonical-unit magnitude.
 
 #![forbid(unsafe_code)]
+// HW001 is fully enforced here (zero baseline entries): keep it that way
+// at compile time, not just in `cargo xtask analyze`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 // `!(x > 0.0)` is used deliberately throughout validation code: unlike
 // `x <= 0.0` it also rejects NaN, which must never enter a solver.
@@ -67,6 +70,7 @@ pub use time::{Frequency, Seconds};
 /// assert!(matches!(err, QuantityError::Negative { .. }));
 /// ```
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum QuantityError {
     /// The supplied magnitude was negative for a quantity that must be ≥ 0.
     Negative {

@@ -1,0 +1,243 @@
+//! Offline stand-in for the [`loom`](https://docs.rs/loom) concurrency
+//! model checker.
+//!
+//! The real loom runs a model closure under a controlled scheduler and
+//! *exhaustively* enumerates thread interleavings (and, with its
+//! C11-faithful atomics, weak-memory outcomes). This build environment
+//! has no network access, so this shim keeps loom's API surface — the
+//! slice `hotwire-obs` uses — but explores interleavings by **stress**:
+//! [`model`] re-runs the closure many times on real OS threads, and the
+//! shimmed atomic types inject pseudo-random `yield_now` preemptions
+//! (reseeded every run) before each operation to perturb the schedule.
+//!
+//! Intentional behavioral differences from the real crate:
+//!
+//! * **Not exhaustive.** A passing run raises confidence; it is not a
+//!   proof. The `// SAFETY(ordering):` justifications in `crates/obs`
+//!   therefore argue from the memory model directly and cite these
+//!   models as corroborating evidence, not as the proof itself.
+//! * **Orderings are executed, not modeled.** `Ordering::Relaxed` maps
+//!   onto the host's real relaxed operations (on x86-64 the hardware is
+//!   stronger than the model), so relaxed-memory reorderings that only
+//!   weaker hardware exhibits are not explored. The Miri CI job covers
+//!   part of that gap.
+//! * **Const-constructible atomics.** Real loom atomics cannot live in
+//!   `static`s without `loom::lazy_static!`; these wrappers keep std's
+//!   `const fn new`, so the facade in `crates/obs/src/sync.rs` swaps in
+//!   without restructuring the registry's statics.
+//!
+//! The iteration count defaults to 64 and can be raised with the
+//! `LOOM_ITERS` environment variable (the CI loom job uses a larger
+//! value than the local default).
+
+use std::sync::atomic::AtomicU64 as StdAtomicU64;
+use std::sync::atomic::Ordering as StdOrdering;
+
+/// Scheduler state: the current run's seed (0 = no model active, all
+/// yield injection disabled) and a global operation ticket.
+static SEED: StdAtomicU64 = StdAtomicU64::new(0);
+static TICKET: StdAtomicU64 = StdAtomicU64::new(0);
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Possibly preempts the calling thread; called before every shimmed
+/// atomic operation while a model is running.
+fn maybe_yield() {
+    let seed = SEED.load(StdOrdering::Relaxed);
+    if seed == 0 {
+        return;
+    }
+    let ticket = TICKET.fetch_add(1, StdOrdering::Relaxed);
+    // Yield on roughly a third of operations, in a pattern that differs
+    // every model iteration (the seed changes) and every operation.
+    if splitmix64(ticket ^ seed).is_multiple_of(3) {
+        std::thread::yield_now();
+    }
+}
+
+fn iterations() -> u64 {
+    std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// Runs `f` repeatedly under the stress scheduler (see the crate docs
+/// for how this differs from real loom's exhaustive exploration).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for iter in 1..=iterations() {
+        SEED.store(splitmix64(iter) | 1, StdOrdering::Relaxed);
+        f();
+    }
+    SEED.store(0, StdOrdering::Relaxed);
+}
+
+/// Threads participating in a model (thin wrappers over [`std::thread`]).
+pub mod thread {
+    pub use std::thread::{yield_now, JoinHandle};
+
+    /// Spawns a model thread (std spawn plus a scheduling perturbation).
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        super::maybe_yield();
+        std::thread::spawn(f)
+    }
+}
+
+/// Synchronization primitives usable inside a model.
+pub mod sync {
+    pub use std::sync::{Arc, Mutex, MutexGuard};
+
+    /// Atomic types that inject scheduler preemptions around every
+    /// operation. Memory orderings are passed through to std (executed,
+    /// not modeled — see the crate docs).
+    pub mod atomic {
+        pub use std::sync::atomic::{fence, Ordering};
+
+        macro_rules! atomic_shim {
+            ($(#[$meta:meta])* $name:ident, $std:ty, $int:ty) => {
+                $(#[$meta])*
+                #[derive(Debug, Default)]
+                pub struct $name($std);
+
+                impl $name {
+                    /// Creates a new atomic (const, unlike real loom).
+                    pub const fn new(v: $int) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    /// Atomic load with a scheduling perturbation.
+                    pub fn load(&self, order: Ordering) -> $int {
+                        crate::maybe_yield();
+                        self.0.load(order)
+                    }
+
+                    /// Atomic store with a scheduling perturbation.
+                    pub fn store(&self, v: $int, order: Ordering) {
+                        crate::maybe_yield();
+                        self.0.store(v, order);
+                    }
+
+                    /// Atomic add, returning the previous value.
+                    pub fn fetch_add(&self, v: $int, order: Ordering) -> $int {
+                        crate::maybe_yield();
+                        self.0.fetch_add(v, order)
+                    }
+
+                    /// Atomic min, returning the previous value.
+                    pub fn fetch_min(&self, v: $int, order: Ordering) -> $int {
+                        crate::maybe_yield();
+                        self.0.fetch_min(v, order)
+                    }
+
+                    /// Atomic max, returning the previous value.
+                    pub fn fetch_max(&self, v: $int, order: Ordering) -> $int {
+                        crate::maybe_yield();
+                        self.0.fetch_max(v, order)
+                    }
+
+                    /// Atomic compare-exchange.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $int,
+                        new: $int,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$int, $int> {
+                        crate::maybe_yield();
+                        self.0.compare_exchange(current, new, success, failure)
+                    }
+                }
+            };
+        }
+
+        atomic_shim!(
+            /// `u8` atomic with preemption injection.
+            AtomicU8,
+            std::sync::atomic::AtomicU8,
+            u8
+        );
+        atomic_shim!(
+            /// `u32` atomic with preemption injection.
+            AtomicU32,
+            std::sync::atomic::AtomicU32,
+            u32
+        );
+        atomic_shim!(
+            /// `u64` atomic with preemption injection.
+            AtomicU64,
+            std::sync::atomic::AtomicU64,
+            u64
+        );
+        atomic_shim!(
+            /// `usize` atomic with preemption injection.
+            AtomicUsize,
+            std::sync::atomic::AtomicUsize,
+            usize
+        );
+
+        /// `bool` atomic with preemption injection.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// Creates a new atomic (const, unlike real loom).
+            pub const fn new(v: bool) -> Self {
+                Self(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            /// Atomic load with a scheduling perturbation.
+            pub fn load(&self, order: Ordering) -> bool {
+                crate::maybe_yield();
+                self.0.load(order)
+            }
+
+            /// Atomic store with a scheduling perturbation.
+            pub fn store(&self, v: bool, order: Ordering) {
+                crate::maybe_yield();
+                self.0.store(v, order);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::*;
+
+    #[test]
+    fn model_runs_and_counts_exactly() {
+        static TOTAL: AtomicU64 = AtomicU64::new(0);
+        model(|| {
+            let before = TOTAL.load(Ordering::Relaxed);
+            let handles: Vec<_> = (0..4)
+                .map(|_| thread::spawn(|| TOTAL.fetch_add(1, Ordering::Relaxed)))
+                .collect();
+            for h in handles {
+                h.join().expect("model thread panicked");
+            }
+            assert_eq!(TOTAL.load(Ordering::Relaxed), before + 4);
+        });
+        assert!(TOTAL.load(Ordering::Relaxed) >= 4);
+    }
+
+    #[test]
+    fn seed_clears_after_model() {
+        model(|| {});
+        assert_eq!(SEED.load(StdOrdering::Relaxed), 0);
+    }
+}
