@@ -80,15 +80,31 @@ fn size_rows(doc: &Json, what: &str) -> Result<Vec<SizeRow>, String> {
     Ok(rows)
 }
 
+/// Everything `compare` learned: the field-by-field verdicts plus the
+/// grid labels each file had that the other lacked — named so the
+/// empty-gate error can say *which* sizes failed to line up.
+struct Diff {
+    comparisons: Vec<Comparison>,
+    /// Grid labels only the committed baseline has.
+    baseline_only: Vec<String>,
+    /// Grid labels only the fresh run has.
+    current_only: Vec<String>,
+}
+
 /// The whole comparison: shared grids × shared `*_ms` fields.
-fn compare(
-    baseline: &Json,
-    current: &Json,
-    tolerance: f64,
-    min_ms: f64,
-) -> Result<Vec<Comparison>, String> {
+fn compare(baseline: &Json, current: &Json, tolerance: f64, min_ms: f64) -> Result<Diff, String> {
     let base_rows = size_rows(baseline, "baseline")?;
     let cur_rows = size_rows(current, "current")?;
+    let baseline_only: Vec<String> = base_rows
+        .iter()
+        .filter(|(g, _)| !cur_rows.iter().any(|(c, _)| c == g))
+        .map(|(g, _)| g.clone())
+        .collect();
+    let current_only: Vec<String> = cur_rows
+        .iter()
+        .filter(|(g, _)| !base_rows.iter().any(|(b, _)| b == g))
+        .map(|(g, _)| g.clone())
+        .collect();
     let mut out = Vec::new();
     for (grid, cur_fields) in &cur_rows {
         let Some((_, base_fields)) = base_rows.iter().find(|(g, _)| g == grid) else {
@@ -120,7 +136,11 @@ fn compare(
             });
         }
     }
-    Ok(out)
+    Ok(Diff {
+        comparisons: out,
+        baseline_only,
+        current_only,
+    })
 }
 
 fn load(path: &str) -> Result<Json, String> {
@@ -180,21 +200,44 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let comparisons = match compare(&baseline, &current, tolerance, min_ms) {
-        Ok(c) => c,
+    let diff = match compare(&baseline, &current, tolerance, min_ms) {
+        Ok(d) => d,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
+    if !diff.baseline_only.is_empty() {
+        eprintln!(
+            "note: grid(s) only in {baseline_path}, not compared: {}",
+            diff.baseline_only.join(", ")
+        );
+    }
+    if !diff.current_only.is_empty() {
+        eprintln!(
+            "note: grid(s) only in {current_path}, not compared: {}",
+            diff.current_only.join(", ")
+        );
+    }
+    let comparisons = diff.comparisons;
     let compared = comparisons
         .iter()
         .filter(|c| c.verdict != Verdict::Skipped)
         .count();
     if compared == 0 {
+        let name = |list: &[String]| {
+            if list.is_empty() {
+                String::from("none")
+            } else {
+                list.join(", ")
+            }
+        };
         eprintln!(
             "error: no field of {current_path} was comparable against {baseline_path} \
-             (no shared grid sizes above the {min_ms} ms floor) — an empty gate must not pass"
+             (no shared grid sizes above the {min_ms} ms floor) — an empty gate must not \
+             pass. Unmatched grids: baseline only [{}], current only [{}]",
+            name(&diff.baseline_only),
+            name(&diff.current_only),
         );
         return ExitCode::from(2);
     }
@@ -249,7 +292,7 @@ mod tests {
     #[test]
     fn identical_inputs_have_no_regression() {
         let d = doc(&[("20x20", &[("total_ms", 10.0), ("first_iter_ms", 2.0)])]);
-        let cmp = compare(&d, &d, 1.5, 1.0).unwrap();
+        let cmp = compare(&d, &d, 1.5, 1.0).unwrap().comparisons;
         assert_eq!(cmp.len(), 2);
         assert!(cmp.iter().all(|c| c.verdict == Verdict::Ok));
     }
@@ -258,7 +301,7 @@ mod tests {
     fn two_x_slowdown_regresses() {
         let base = doc(&[("20x20", &[("total_ms", 10.0)])]);
         let cur = doc(&[("20x20", &[("total_ms", 20.0)])]);
-        let cmp = compare(&base, &cur, 1.5, 1.0).unwrap();
+        let cmp = compare(&base, &cur, 1.5, 1.0).unwrap().comparisons;
         assert_eq!(cmp[0].verdict, Verdict::Regression);
         assert!((cmp[0].ratio - 2.0).abs() < 1e-12);
     }
@@ -267,7 +310,7 @@ mod tests {
     fn noise_floor_skips_tiny_fields() {
         let base = doc(&[("20x20", &[("total_ms", 0.05)])]);
         let cur = doc(&[("20x20", &[("total_ms", 0.4)])]);
-        let cmp = compare(&base, &cur, 1.5, 1.0).unwrap();
+        let cmp = compare(&base, &cur, 1.5, 1.0).unwrap().comparisons;
         assert_eq!(
             cmp[0].verdict,
             Verdict::Skipped,
@@ -276,21 +319,35 @@ mod tests {
     }
 
     #[test]
-    fn unshared_grids_and_fields_are_ignored() {
+    fn unshared_grids_and_fields_are_ignored_but_named() {
         let base = doc(&[
             ("20x20", &[("total_ms", 10.0)]),
             ("100x100", &[("total_ms", 500.0)]),
         ]);
         let cur = doc(&[("20x20", &[("total_ms", 11.0), ("extra_ms", 3.0)])]);
-        let cmp = compare(&base, &cur, 1.5, 1.0).unwrap();
-        assert_eq!(cmp.len(), 1, "only the shared grid+field pair");
-        assert_eq!(cmp[0].verdict, Verdict::Ok);
+        let diff = compare(&base, &cur, 1.5, 1.0).unwrap();
+        assert_eq!(diff.comparisons.len(), 1, "only the shared grid+field pair");
+        assert_eq!(diff.comparisons[0].verdict, Verdict::Ok);
+        assert_eq!(diff.baseline_only, vec!["100x100".to_owned()]);
+        assert!(diff.current_only.is_empty());
+    }
+
+    #[test]
+    fn disjoint_grids_name_both_sides() {
+        // The exit-2 "empty gate" path: nothing shared — the caller gets
+        // the unmatched labels by name instead of a bare error.
+        let base = doc(&[("200x200", &[("total_ms", 100.0)])]);
+        let cur = doc(&[("500x500", &[("total_ms", 900.0)])]);
+        let diff = compare(&base, &cur, 1.5, 1.0).unwrap();
+        assert!(diff.comparisons.is_empty());
+        assert_eq!(diff.baseline_only, vec!["200x200".to_owned()]);
+        assert_eq!(diff.current_only, vec!["500x500".to_owned()]);
     }
 
     #[test]
     fn non_ms_fields_are_not_compared() {
         let d = doc(&[("20x20", &[("refactor_speedup", 4.0), ("total_ms", 10.0)])]);
-        let cmp = compare(&d, &d, 1.5, 1.0).unwrap();
+        let cmp = compare(&d, &d, 1.5, 1.0).unwrap().comparisons;
         assert_eq!(cmp.len(), 1);
         assert_eq!(cmp[0].field, "total_ms");
     }

@@ -40,26 +40,28 @@ struct Row {
     first_iter_ms: f64,
     later_iter_ms: f64,
     total_ms: f64,
+    path: &'static str,
 }
 
 /// One converged run, timed per iteration. Returns
-/// `(iterations, first_ms, median_later_ms, total_ms)`.
+/// `(iterations, first_ms, median_later_ms, total_ms, solver_path)`.
 ///
 /// Drives [`CoupledEngine::run`] (not `step()` in a hand-rolled loop)
 /// so the run-level `coupled.run` registry timer encloses exactly the
 /// work measured here — the embedded metrics snapshot and the `sizes`
 /// timings must describe the same execution. Per-iteration times come
 /// from the engine's own convergence trace.
-fn timed_run(n: usize) -> (usize, f64, f64, f64) {
+fn timed_run(n: usize) -> (usize, f64, f64, f64, &'static str) {
     let mut engine = CoupledEngine::new(CoupledGridSpec::demo(n, n), CoupledOptions::default())
         .expect("valid demo spec");
     let start = Instant::now();
     engine.run().expect("demo grid converges");
     let total_ms = start.elapsed().as_secs_f64() * 1.0e3;
+    let path = engine.solver_path().map_or("unknown", |p| p.label());
     let iter_ms: Vec<f64> = engine.trace().records.iter().map(|r| r.total_ms).collect();
     let first = iter_ms[0];
     let later = median(iter_ms[1..].to_vec());
-    (iter_ms.len(), first, later, total_ms)
+    (iter_ms.len(), first, later, total_ms, path)
 }
 
 fn main() -> ExitCode {
@@ -167,17 +169,19 @@ fn main() -> ExitCode {
 
     let mut rows = Vec::new();
     for n in sizes {
-        let runs: Vec<(usize, f64, f64, f64)> = (0..REPS).map(|_| timed_run(n)).collect();
+        let runs: Vec<(usize, f64, f64, f64, &'static str)> =
+            (0..REPS).map(|_| timed_run(n)).collect();
         let iterations = runs[0].0;
         assert!(
             runs.iter().all(|r| r.0 == iterations),
             "iteration count must be deterministic"
         );
+        let path = runs[0].4;
         let first_iter_ms = median(runs.iter().map(|r| r.1).collect());
         let later_iter_ms = median(runs.iter().map(|r| r.2).collect());
         let total_ms = median(runs.iter().map(|r| r.3).collect());
         eprintln!(
-            "{n:>4}x{n:<4} {iterations:>3} iterations   first {first_iter_ms:>9.3} ms   later {later_iter_ms:>9.3} ms   total {total_ms:>10.3} ms"
+            "{n:>4}x{n:<4} {iterations:>3} iterations   first {first_iter_ms:>9.3} ms   later {later_iter_ms:>9.3} ms   total {total_ms:>10.3} ms   ({path})"
         );
         rows.push(Row {
             grid: n,
@@ -186,19 +190,20 @@ fn main() -> ExitCode {
             first_iter_ms,
             later_iter_ms,
             total_ms,
+            path,
         });
     }
 
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"benchmark\": \"coupled EM-IR-thermal fixed point (CoupledGridSpec::demo, damped Picard, tol 0.05 K)\",\n");
-    json.push_str("  \"first_vs_later\": \"iteration 1 pays the full sparse LU; iterations 2+ restamp and refactor() along the cached pivot order — the ratio is the factorization-reuse payoff\",\n");
+    json.push_str("  \"first_vs_later\": \"iteration 1 pays the full sparse factorization (AMD-ordered LDL^T for the SPD grid stamps, sparse LU otherwise); iterations 2+ restamp and refactor() along the cached ordering — the ratio is the factorization-reuse payoff\",\n");
     json.push_str("  \"machine\": \"container, medians of 3 runs\",\n");
     json.push_str("  \"sizes\": [\n");
     for (k, r) in rows.iter().enumerate() {
         let speedup = r.first_iter_ms / r.later_iter_ms;
         json.push_str(&format!(
-            "    {{\"grid\": \"{n}x{n}\", \"unknowns\": {u}, \"iterations\": {it}, \"first_iter_ms\": {f:.3}, \"later_iter_ms\": {l:.3}, \"refactor_speedup\": {sp:.1}, \"total_ms\": {t:.3}}}{comma}\n",
+            "    {{\"grid\": \"{n}x{n}\", \"unknowns\": {u}, \"iterations\": {it}, \"first_iter_ms\": {f:.3}, \"later_iter_ms\": {l:.3}, \"refactor_speedup\": {sp:.1}, \"total_ms\": {t:.3}, \"path\": \"{p}\"}}{comma}\n",
             n = r.grid,
             u = r.unknowns,
             it = r.iterations,
@@ -206,6 +211,7 @@ fn main() -> ExitCode {
             l = r.later_iter_ms,
             sp = speedup,
             t = r.total_ms,
+            p = r.path,
             comma = if k + 1 == rows.len() { "" } else { "," },
         ));
     }

@@ -8,10 +8,15 @@
 //!
 //! "Seed" is the dense damped-Newton path replayed by
 //! [`hotwire_bench::baseline`]; "direct" is the current
-//! `PowerGrid::analyze`. The seed path is *measured* up to 30×30 and
-//! n⁶-extrapolated beyond (dense LU is cubic in the matrix dimension,
-//! and the matrix dimension is the squared grid edge) — each entry says
-//! which, so nobody mistakes a model for a measurement.
+//! `PowerGrid::analyze`, which routes SPD grid stamps to the
+//! AMD-ordered sparse LDLᵀ; "lu" forces the sparse-LU backend the
+//! direct path used before the Cholesky fast path existed. The seed
+//! path is *measured* up to 30×30 and n⁶-extrapolated beyond (dense LU
+//! is cubic in the matrix dimension, and the matrix dimension is the
+//! squared grid edge); the forced-LU path is measured up to 200×200 and
+//! n⁴-extrapolated beyond (grid LU cost grows as the 4th power of the
+//! edge) — each entry says which, so nobody mistakes a model for a
+//! measurement.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -24,8 +29,18 @@ use hotwire_units::{Area, Current, Resistance, Voltage};
 /// Largest grid edge where the seed path is timed rather than modeled.
 const SEED_MEASURE_CAP: usize = 30;
 
+/// Largest grid edge where the forced-LU path is timed rather than
+/// modeled. Beyond it the LU column scales the anchor measurement by
+/// `(n/200)^4` — the committed 50→100→200 LU measurements track that
+/// exponent to within a few percent.
+const LU_MEASURE_CAP: usize = 200;
+
 /// Grid sizes reported in the baseline file.
-const SIZES: [usize; 5] = [10, 20, 50, 100, 200];
+const SIZES: [usize; 7] = [10, 20, 50, 100, 200, 500, 1000];
+
+/// Segment conductance stamped by [`PowerGrid::analyze`] for the spec
+/// below (1 / segment_resistance).
+const SEGMENT_G: f64 = 1.0 / 0.5;
 
 fn power_grid(n: usize) -> PowerGrid {
     PowerGrid::build(&PowerGridSpec {
@@ -54,12 +69,52 @@ fn median_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     times[times.len() / 2]
 }
 
+/// Repetitions per timing at a given grid edge — the big factorizations
+/// are too expensive to run five times.
+fn reps_for(n: usize) -> usize {
+    if n >= 500 {
+        1
+    } else if n >= 100 {
+        3
+    } else {
+        5
+    }
+}
+
+/// Times the `DcGridSolver` solve with the Cholesky fast path kept out
+/// (dense below the crossover, sparse LU above — the pre-LDLᵀ behavior).
+fn lu_forced_ms(grid: &PowerGrid, reps: usize) -> f64 {
+    let branch_count = grid.dc_solver().expect("grid solver").branch_count();
+    let conductance = vec![SEGMENT_G; branch_count];
+    median_ms(reps, || {
+        let mut s = grid.dc_solver().expect("grid solver");
+        s.set_lu_only(true);
+        s.solve(&conductance).expect("forced-LU solve");
+        assert_eq!(
+            s.solver_path().map(|p| p.label()),
+            Some(if s.is_sparse() { "lu" } else { "dense" }),
+            "set_lu_only must keep the Cholesky path out"
+        );
+    })
+}
+
+/// One un-timed direct solve to observe which backend serves this size.
+fn observed_path(grid: &PowerGrid) -> &'static str {
+    let mut s = grid.dc_solver().expect("grid solver");
+    let conductance = vec![SEGMENT_G; s.branch_count()];
+    s.solve(&conductance).expect("direct solve");
+    s.solver_path().map_or("unknown", |p| p.label())
+}
+
 struct Row {
     grid: usize,
     unknowns: usize,
     seed_ms: f64,
     seed_source: &'static str,
+    lu_ms: f64,
+    lu_source: &'static str,
     direct_ms: f64,
+    path: &'static str,
 }
 
 fn main() -> ExitCode {
@@ -107,13 +162,14 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: solver_baseline [--out <path>] [--metrics-out <path>] [--sizes n,n,...]\n\
-                     times the seed dense DC path vs the direct sparse path on\n\
-                     square power grids and writes a JSON baseline (default:\n\
-                     BENCH_solver.json in the current directory); the baseline\n\
-                     embeds a `metrics` registry snapshot, --metrics-out\n\
-                     additionally writes it standalone, and --sizes restricts the\n\
-                     grid edges (default: 10,20,50,100,200) — CI uses the small\n\
-                     sizes (the 30x30 anchor row is always measured)"
+                     times the seed dense DC path, the forced sparse-LU path, and\n\
+                     the direct path (Cholesky on SPD stamps) on square power\n\
+                     grids and writes a JSON baseline (default: BENCH_solver.json\n\
+                     in the current directory); the baseline embeds a `metrics`\n\
+                     registry snapshot, --metrics-out additionally writes it\n\
+                     standalone, and --sizes restricts the grid edges (default:\n\
+                     10,20,50,100,200,500,1000) — CI uses the small sizes (the\n\
+                     30x30 anchor row is always measured)"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -141,9 +197,10 @@ fn main() -> ExitCode {
 
     let mut rows: Vec<Row> = Vec::new();
 
-    // The extrapolation anchor: largest grid where the seed path is still
-    // cheap enough to time. Measured first and included in the file even
-    // though SIZES skips it, so the anchor is visible next to the model.
+    // The seed-extrapolation anchor: largest grid where the seed path is
+    // still cheap enough to time. Measured first and included in the file
+    // even though SIZES skips it, so the anchor is visible next to the
+    // model.
     let anchor_ms = {
         let n = SEED_MEASURE_CAP;
         let grid = power_grid(n);
@@ -153,16 +210,25 @@ fn main() -> ExitCode {
         let direct_ms = median_ms(5, || {
             let _ = grid.analyze().expect("direct solve");
         });
-        eprintln!("{n:>4}x{n:<4} direct {direct_ms:>12.3} ms   seed {seed_ms:>14.1} ms (measured, anchor)");
+        let lu_ms = lu_forced_ms(&grid, 5);
+        let path = observed_path(&grid);
+        eprintln!("{n:>4}x{n:<4} direct {direct_ms:>12.3} ms ({path})  lu {lu_ms:>12.3} ms (measured)  seed {seed_ms:>14.1} ms (measured, anchor)");
         rows.push(Row {
             grid: n,
             unknowns: n * n - 4,
             seed_ms,
             seed_source: "measured",
+            lu_ms,
+            lu_source: "measured",
             direct_ms,
+            path,
         });
         seed_ms
     };
+
+    // The LU-extrapolation anchor, measured lazily: only sizes beyond the
+    // cap need it, and CI's small-size runs must not pay the 200x200 LU.
+    let mut lu_anchor_ms: Option<f64> = None;
 
     for n in sizes {
         if n == SEED_MEASURE_CAP {
@@ -170,10 +236,24 @@ fn main() -> ExitCode {
         }
         let grid = power_grid(n);
         let unknowns = n * n - 4; // pad corners are eliminated
-        let reps = if n >= 100 { 3 } else { 5 };
+        let reps = reps_for(n);
         let direct_ms = median_ms(reps, || {
             let _ = grid.analyze().expect("direct solve");
         });
+        let path = observed_path(&grid);
+        let (lu_ms, lu_source) = if n <= LU_MEASURE_CAP {
+            let ms = lu_forced_ms(&grid, reps);
+            if n == LU_MEASURE_CAP {
+                lu_anchor_ms = Some(ms);
+            }
+            (ms, "measured")
+        } else {
+            let anchor =
+                *lu_anchor_ms.get_or_insert_with(|| lu_forced_ms(&power_grid(LU_MEASURE_CAP), 3));
+            #[allow(clippy::cast_precision_loss)]
+            let scale = (n as f64 / LU_MEASURE_CAP as f64).powi(4);
+            (anchor * scale, "extrapolated_n4")
+        };
         let (seed_ms, seed_source) = if n <= SEED_MEASURE_CAP {
             let ms = median_ms(3, || {
                 let _ = baseline::seed_dense_dc_solve(&grid).expect("seed solve");
@@ -187,14 +267,17 @@ fn main() -> ExitCode {
             (anchor_ms * scale, "extrapolated_n6")
         };
         eprintln!(
-            "{n:>4}x{n:<4} direct {direct_ms:>12.3} ms   seed {seed_ms:>14.1} ms ({seed_source})"
+            "{n:>4}x{n:<4} direct {direct_ms:>12.3} ms ({path})  lu {lu_ms:>12.3} ms ({lu_source})  seed {seed_ms:>14.1} ms ({seed_source})"
         );
         rows.push(Row {
             grid: n,
             unknowns,
             seed_ms,
             seed_source,
+            lu_ms,
+            lu_source,
             direct_ms,
+            path,
         });
     }
     rows.sort_by_key(|r| r.grid);
@@ -205,28 +288,36 @@ fn main() -> ExitCode {
         "  \"benchmark\": \"PowerGrid::analyze (DC IR-drop solve, square grid, 4 corner pads)\",\n",
     );
     json.push_str("  \"before\": \"seed path: dense MNA with vsrc branches, full clone+pivot LU per damped-Newton iteration (hotwire_bench::baseline replica)\",\n");
-    json.push_str("  \"after\": \"direct DC solve, pads eliminated, sparse LU above 128 unknowns, single factorization\",\n");
-    json.push_str("  \"machine\": \"container, 1 CPU core; medians of 3-5 runs after warmup\",\n");
+    json.push_str("  \"after\": \"direct DC solve, pads eliminated, single factorization; SPD stamps route to AMD-ordered sparse LDL^T above 128 unknowns (sparse LU is the non-SPD fallback, forced here for the lu_ms column)\",\n");
+    json.push_str("  \"machine\": \"container, 1 CPU core; medians of 1-5 runs after warmup\",\n");
     json.push_str(&format!(
         "  \"seed_measure_cap\": {SEED_MEASURE_CAP},\n  \"seed_extrapolation\": \"sizes above the cap scale the last measured seed time by (n/{SEED_MEASURE_CAP})^6 (dense LU is cubic in the n^2 matrix dimension); they are a model, not a measurement\",\n"
+    ));
+    json.push_str(&format!(
+        "  \"lu_measure_cap\": {LU_MEASURE_CAP},\n  \"lu_extrapolation\": \"sizes above the cap scale the measured {LU_MEASURE_CAP}x{LU_MEASURE_CAP} forced-LU time by (n/{LU_MEASURE_CAP})^4 (grid LU cost grows as the 4th power of the edge); they are a model, not a measurement\",\n"
     ));
     json.push_str("  \"sizes\": [\n");
     for (k, r) in rows.iter().enumerate() {
         let speedup = r.seed_ms / r.direct_ms;
+        let speedup_vs_lu = r.lu_ms / r.direct_ms;
         json.push_str(&format!(
-            "    {{\"grid\": \"{n}x{n}\", \"unknowns\": {u}, \"seed_ms\": {s:.3}, \"seed_source\": \"{src}\", \"direct_ms\": {d:.3}, \"speedup\": {sp:.1}}}{comma}\n",
+            "    {{\"grid\": \"{n}x{n}\", \"unknowns\": {u}, \"seed_ms\": {s:.3}, \"seed_source\": \"{src}\", \"lu_ms\": {l:.3}, \"lu_source\": \"{lsrc}\", \"direct_ms\": {d:.3}, \"path\": \"{p}\", \"speedup\": {sp:.1}, \"speedup_vs_lu\": {spl:.1}}}{comma}\n",
             n = r.grid,
             u = r.unknowns,
             s = r.seed_ms,
             src = r.seed_source,
+            l = r.lu_ms,
+            lsrc = r.lu_source,
             d = r.direct_ms,
+            p = r.path,
             sp = speedup,
+            spl = speedup_vs_lu,
             comma = if k + 1 == rows.len() { "" } else { "," },
         ));
     }
     json.push_str("  ],\n");
     // Registry totals over every run above: `solver.factor` counts how
-    // many full LU passes the whole comparison actually paid for.
+    // many full factorizations the whole comparison actually paid for.
     let snapshot = metrics::snapshot();
     json.push_str(&format!("  \"metrics\": {}\n", snapshot.to_json()));
     json.push_str("}\n");

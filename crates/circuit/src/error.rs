@@ -19,6 +19,12 @@ pub enum CircuitError {
         /// The pivot row at which elimination failed.
         row: usize,
     },
+    /// An LDLᵀ pivot came out non-positive: the matrix is not positive
+    /// definite. Dispatch layers catch this and fall back to LU.
+    NotPositiveDefinite {
+        /// The pivot position (permuted order) at which `D` failed.
+        row: usize,
+    },
     /// Newton iteration failed to converge at a timestep.
     NewtonDiverged {
         /// Simulation time at which the failure occurred (seconds).
@@ -40,6 +46,9 @@ impl std::fmt::Display for CircuitError {
             CircuitError::UnknownNode { node } => write!(f, "unknown node {node}"),
             CircuitError::Singular { row } => {
                 write!(f, "singular MNA matrix at pivot row {row} (floating node?)")
+            }
+            CircuitError::NotPositiveDefinite { row } => {
+                write!(f, "matrix is not positive definite at pivot {row}")
             }
             CircuitError::NewtonDiverged {
                 at_seconds,

@@ -27,7 +27,7 @@
 //! # Ok::<(), hotwire_circuit::CircuitError>(())
 //! ```
 
-use crate::solver::{MnaFactorization, MnaMatrix};
+use crate::solver::{MnaFactorization, MnaMatrix, SolverPath};
 use crate::CircuitError;
 use hotwire_obs::metrics;
 
@@ -49,6 +49,7 @@ pub struct DcGridSolver {
     gmin: f64,
     sinks: Vec<f64>,
     matrix: MnaMatrix,
+    lu_only: bool,
     factorization: Option<MnaFactorization>,
     rhs: Vec<f64>,
     reduced: Vec<f64>,
@@ -140,6 +141,7 @@ impl DcGridSolver {
             gmin,
             sinks: vec![0.0; n_nodes],
             matrix: MnaMatrix::auto(n_unknowns.max(1)),
+            lu_only: false,
             factorization: None,
             rhs: vec![0.0; n_unknowns],
             reduced: Vec::new(),
@@ -234,6 +236,7 @@ impl DcGridSolver {
             }
             match &mut self.factorization {
                 Some(f) => f.refactor(&self.matrix)?,
+                None if self.lu_only => self.factorization = Some(self.matrix.factor_lu()?),
                 None => self.factorization = Some(self.matrix.factor()?),
             }
             let f = self
@@ -291,6 +294,23 @@ impl DcGridSolver {
     #[must_use]
     pub fn is_sparse(&self) -> bool {
         self.matrix.is_sparse()
+    }
+
+    /// Forces the general LU even though grid stamps are SPD — the
+    /// benchmarking/comparison escape hatch. Must be called before the
+    /// first [`DcGridSolver::solve`]; has no effect on an existing
+    /// factorization.
+    pub fn set_lu_only(&mut self, lu_only: bool) {
+        self.lu_only = lu_only;
+    }
+
+    /// The solver backend that served the most recent factorization
+    /// (`None` before the first solve). Grid stamps are SPD by
+    /// construction, so this reports [`SolverPath::SparseCholesky`] on
+    /// large grids unless [`DcGridSolver::set_lu_only`] was used.
+    #[must_use]
+    pub fn solver_path(&self) -> Option<SolverPath> {
+        self.factorization.as_ref().map(MnaFactorization::path)
     }
 }
 

@@ -47,11 +47,13 @@
 // `x <= 0.0` it also rejects NaN, which must never enter a solver.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod cholesky;
 mod error;
 pub mod extract;
 pub mod grid_dc;
 pub mod linalg;
 pub mod netlist;
+pub mod ordering;
 pub mod parser;
 pub mod power_grid;
 pub mod rcline;

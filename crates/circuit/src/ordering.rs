@@ -1,0 +1,765 @@
+//! Fill-reducing orderings and elimination-tree machinery for the SPD
+//! Cholesky path.
+//!
+//! The entry point is [`amd`], an approximate-minimum-degree ordering in
+//! the style of Amestoy, Davis and Duff (the quotient-graph formulation
+//! with element absorption, supervariable merging and approximate
+//! external degrees). The companion helpers — [`etree`], [`postorder`],
+//! [`subtree_sizes`] — build the elimination-tree scaffolding the
+//! symbolic and parallel numeric phases in [`crate::cholesky`] rest on.
+//!
+//! Everything here is deterministic: ties in the degree lists break by
+//! insertion order, supervariable merges pick the smallest surviving
+//! index, and no iteration order depends on hashing or allocation
+//! addresses. The parallel factorization's byte-identity guarantee
+//! (DESIGN.md §8, §12) starts with this property.
+
+/// Sentinel for "no node" in the u32 index arrays below.
+const NONE: u32 = u32::MAX;
+
+/// Computes an approximate-minimum-degree permutation for a symmetric
+/// sparsity pattern given in CSC form (`col_ptr`/`row_idx`, diagonal
+/// entries ignored). Returns `perm` with `perm[k]` = the original index
+/// eliminated at step `k`.
+///
+/// The pattern must be structurally symmetric; the ordering is still a
+/// valid permutation if it is not, but the fill prediction degrades.
+pub fn amd(n: usize, col_ptr: &[usize], row_idx: &[u32]) -> Vec<u32> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut g = Quotient::new(n, col_ptr, row_idx);
+    g.eliminate_all();
+    g.into_perm()
+}
+
+/// Node status in the quotient graph.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// A live supervariable (candidate pivot).
+    Alive,
+    /// Merged into another supervariable (follow `merge_parent`).
+    Merged,
+    /// Eliminated; the node id now names an element.
+    Eliminated,
+}
+
+/// The quotient-graph state for one AMD run.
+struct Quotient {
+    n: usize,
+    status: Vec<Status>,
+    /// Union-find parent for merged supervariables.
+    merge_parent: Vec<u32>,
+    /// Weight (number of original variables) of each supervariable root.
+    nv: Vec<usize>,
+    /// Live variable neighbors (may contain stale merged entries;
+    /// resolved through `find` on read).
+    adj_var: Vec<Vec<u32>>,
+    /// Adjacent element ids (may contain absorbed entries).
+    adj_el: Vec<Vec<u32>>,
+    /// Members of each element (valid only while un-absorbed).
+    el_members: Vec<Vec<u32>>,
+    el_absorbed: Vec<bool>,
+    /// Approximate external degree, weighted by `nv`.
+    degree: Vec<usize>,
+    // Doubly-linked degree buckets.
+    deg_head: Vec<u32>,
+    deg_next: Vec<u32>,
+    deg_prev: Vec<u32>,
+    cur_min: usize,
+    // Stamp workspaces (monotone u64 tags, never reset). `mark` holds
+    // the current pivot's Lp membership; `mark2` is a scratch dedup
+    // stamp that must never clobber `mark` mid-pivot.
+    mark: Vec<u64>,
+    mark2: Vec<u64>,
+    tag: u64,
+    /// Per-element external weight cache, valid when `w_stamp` equals
+    /// the current pivot's Lp tag.
+    w_val: Vec<usize>,
+    w_stamp: Vec<u64>,
+    /// Scratch dedup stamp for element lists.
+    el_mark: Vec<u64>,
+    // Supervariable group chains: originals output together.
+    group_head: Vec<u32>,
+    group_tail: Vec<u32>,
+    group_next: Vec<u32>,
+    /// Elimination order of supervariable roots.
+    elim_order: Vec<u32>,
+    // Scratch reused across pivots.
+    lp: Vec<u32>,
+    scratch: Vec<u32>,
+}
+
+impl Quotient {
+    fn new(n: usize, col_ptr: &[usize], row_idx: &[u32]) -> Self {
+        let mut adj_var = vec![Vec::new(); n];
+        for c in 0..n {
+            let lo = col_ptr[c];
+            let hi = col_ptr[c + 1];
+            for &r in &row_idx[lo..hi] {
+                if r as usize != c {
+                    adj_var[c].push(r);
+                }
+            }
+        }
+        let degree: Vec<usize> = adj_var.iter().map(Vec::len).collect();
+        let mut q = Quotient {
+            n,
+            status: vec![Status::Alive; n],
+            merge_parent: vec![NONE; n],
+            nv: vec![1; n],
+            adj_var,
+            adj_el: vec![Vec::new(); n],
+            el_members: vec![Vec::new(); n],
+            el_absorbed: vec![false; n],
+            degree,
+            deg_head: vec![NONE; n + 1],
+            deg_next: vec![NONE; n],
+            deg_prev: vec![NONE; n],
+            cur_min: 0,
+            mark: vec![0; n],
+            mark2: vec![0; n],
+            tag: 0,
+            w_val: vec![0; n],
+            w_stamp: vec![0; n],
+            el_mark: vec![0; n],
+            group_head: (0..n as u32).collect(),
+            group_tail: (0..n as u32).collect(),
+            group_next: vec![NONE; n],
+            elim_order: Vec::with_capacity(n),
+            lp: Vec::new(),
+            scratch: Vec::new(),
+        };
+        // Insert in reverse so bucket heads hold the smallest index —
+        // deterministic tie-breaking toward low indices.
+        for i in (0..n as u32).rev() {
+            q.bucket_insert(i);
+        }
+        q
+    }
+
+    /// Resolves a (possibly merged) supervariable to its live root,
+    /// with path compression.
+    fn find(&mut self, mut i: u32) -> u32 {
+        let mut root = i;
+        while self.merge_parent[root as usize] != NONE {
+            root = self.merge_parent[root as usize];
+        }
+        while self.merge_parent[i as usize] != NONE {
+            let next = self.merge_parent[i as usize];
+            self.merge_parent[i as usize] = root;
+            i = next;
+        }
+        root
+    }
+
+    fn bucket_insert(&mut self, i: u32) {
+        let d = self.degree[i as usize].min(self.n);
+        let head = self.deg_head[d];
+        self.deg_next[i as usize] = head;
+        self.deg_prev[i as usize] = NONE;
+        if head != NONE {
+            self.deg_prev[head as usize] = i;
+        }
+        self.deg_head[d] = i;
+        if d < self.cur_min {
+            self.cur_min = d;
+        }
+    }
+
+    fn bucket_remove(&mut self, i: u32) {
+        let d = self.degree[i as usize].min(self.n);
+        let prev = self.deg_prev[i as usize];
+        let next = self.deg_next[i as usize];
+        if prev != NONE {
+            self.deg_next[prev as usize] = next;
+        } else if self.deg_head[d] == i {
+            self.deg_head[d] = next;
+        }
+        if next != NONE {
+            self.deg_prev[next as usize] = prev;
+        }
+        self.deg_next[i as usize] = NONE;
+        self.deg_prev[i as usize] = NONE;
+    }
+
+    fn next_tag(&mut self) -> u64 {
+        self.tag += 1;
+        self.tag
+    }
+
+    fn eliminate_all(&mut self) {
+        let mut eliminated = 0usize;
+        while eliminated < self.n {
+            // Find the minimum-degree pivot.
+            while self.cur_min <= self.n && self.deg_head[self.cur_min] == NONE {
+                self.cur_min += 1;
+            }
+            let p = self.deg_head[self.cur_min.min(self.n)];
+            debug_assert!(p != NONE, "degree lists exhausted early");
+            self.bucket_remove(p);
+            eliminated += self.nv[p as usize];
+            self.eliminate(p);
+        }
+    }
+
+    /// Eliminates pivot `p`: forms element `p`, absorbs its adjacent
+    /// elements, updates degrees of the affected supervariables and
+    /// merges indistinguishable ones.
+    fn eliminate(&mut self, p: u32) {
+        // --- Build Lp: live supervariables adjacent to p (directly or
+        // through p's elements), marked with `tag`.
+        let tag = self.next_tag();
+        self.mark[p as usize] = tag;
+        let mut lp = std::mem::take(&mut self.lp);
+        lp.clear();
+        let vars = std::mem::take(&mut self.adj_var[p as usize]);
+        for &v in &vars {
+            let r = self.find(v);
+            if self.status[r as usize] == Status::Alive && self.mark[r as usize] != tag {
+                self.mark[r as usize] = tag;
+                lp.push(r);
+            }
+        }
+        let els = std::mem::take(&mut self.adj_el[p as usize]);
+        for &e in &els {
+            if self.el_absorbed[e as usize] {
+                continue;
+            }
+            let members = std::mem::take(&mut self.el_members[e as usize]);
+            for &v in &members {
+                let r = self.find(v);
+                if self.status[r as usize] == Status::Alive && self.mark[r as usize] != tag {
+                    self.mark[r as usize] = tag;
+                    lp.push(r);
+                }
+            }
+            self.el_members[e as usize] = members;
+        }
+        lp.sort_unstable();
+
+        // --- Absorb p's old elements into the new element p.
+        for &e in &els {
+            if !self.el_absorbed[e as usize] {
+                self.el_absorbed[e as usize] = true;
+                self.el_members[e as usize] = Vec::new();
+            }
+        }
+        self.status[p as usize] = Status::Eliminated;
+        self.elim_order.push(p);
+
+        let lp_weight: usize = lp.iter().map(|&i| self.nv[i as usize]).sum();
+
+        // --- Rebuild adjacency and recompute degrees for i in Lp.
+        for &i in &lp {
+            self.bucket_remove(i);
+
+            // Compact adj_var[i]: live roots outside Lp, deduped.
+            let dedup = self.next_tag();
+            let mut vlist = std::mem::take(&mut self.adj_var[i as usize]);
+            let mut kept = std::mem::take(&mut self.scratch);
+            kept.clear();
+            let mut var_weight = 0usize;
+            for &v in &vlist {
+                let r = self.find(v);
+                if self.status[r as usize] != Status::Alive {
+                    continue;
+                }
+                if self.mark[r as usize] == tag {
+                    continue; // covered by the new element p
+                }
+                if self.mark2[r as usize] == dedup {
+                    continue;
+                }
+                self.mark2[r as usize] = dedup;
+                kept.push(r);
+                var_weight += self.nv[r as usize];
+            }
+            vlist.clear();
+            vlist.extend_from_slice(&kept);
+            self.adj_var[i as usize] = vlist;
+
+            // Compact adj_el[i]: un-absorbed elements, deduped, plus p.
+            let eldedup = self.next_tag();
+            let mut elist = std::mem::take(&mut self.adj_el[i as usize]);
+            kept.clear();
+            let mut el_weight = 0usize;
+            for &e in &elist {
+                if self.el_absorbed[e as usize] || self.el_mark[e as usize] == eldedup {
+                    continue;
+                }
+                self.el_mark[e as usize] = eldedup;
+                kept.push(e);
+                el_weight += self.cached_external_weight(e, tag);
+            }
+            kept.push(p);
+            elist.clear();
+            elist.extend_from_slice(&kept);
+            self.adj_el[i as usize] = elist;
+            self.scratch = kept;
+
+            // Approximate external degree (Amestoy–Davis–Duff bound).
+            let d = var_weight + (lp_weight - self.nv[i as usize]) + el_weight;
+            self.degree[i as usize] = d.min(self.n - 1);
+        }
+
+        // --- Supervariable detection: merge indistinguishable members
+        // of Lp (equal adjacency sets). Hash, then confirm exactly.
+        self.merge_indistinguishable(&lp);
+
+        // --- Record the new element and reinsert survivors.
+        let mut members = Vec::with_capacity(lp.len());
+        for &i in &lp {
+            if self.status[i as usize] == Status::Alive {
+                members.push(i);
+                self.bucket_insert(i);
+            }
+        }
+        self.el_members[p as usize] = members;
+        self.lp = lp;
+    }
+
+    /// External weight of element `e` w.r.t. the current pivot's Lp,
+    /// computed once per pivot and cached in `w_val`/`w_stamp` (the
+    /// cache key is the Lp tag itself).
+    fn cached_external_weight(&mut self, e: u32, lp_tag: u64) -> usize {
+        if self.w_stamp[e as usize] == lp_tag {
+            return self.w_val[e as usize];
+        }
+        let w = self.element_external_weight(e, lp_tag);
+        self.w_stamp[e as usize] = lp_tag;
+        self.w_val[e as usize] = w;
+        w
+    }
+
+    /// External weight of element `e` w.r.t. the current pivot's Lp
+    /// (members marked with `lp_tag`); also compacts the member list to
+    /// live roots as a side effect.
+    fn element_external_weight(&mut self, e: u32, lp_tag: u64) -> usize {
+        let members = std::mem::take(&mut self.el_members[e as usize]);
+        let mut w = 0usize;
+        let dedup = self.next_tag();
+        let mut compact = Vec::with_capacity(members.len());
+        for &v in &members {
+            let r = self.find(v);
+            if self.status[r as usize] != Status::Alive {
+                continue;
+            }
+            if self.mark2[r as usize] == dedup {
+                continue;
+            }
+            self.mark2[r as usize] = dedup;
+            compact.push(r);
+            if self.mark[r as usize] != lp_tag {
+                w += self.nv[r as usize];
+            }
+        }
+        self.el_members[e as usize] = compact;
+        w
+    }
+
+    fn merge_indistinguishable(&mut self, lp: &[u32]) {
+        if lp.len() < 2 {
+            return;
+        }
+        // Cheap commutative hash of the adjacency sets.
+        let hash_of = |q: &Quotient, i: u32| -> u64 {
+            let mut h = 0u64;
+            for &v in &q.adj_var[i as usize] {
+                h = h.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(v) + 1));
+            }
+            for &e in &q.adj_el[i as usize] {
+                h = h.wrapping_add(0x85eb_ca6bu64.wrapping_mul(u64::from(e) + 7));
+            }
+            h
+        };
+        let mut hashes: Vec<(u64, u32)> = lp.iter().map(|&i| (hash_of(self, i), i)).collect();
+        hashes.sort_unstable();
+        let mut a = 0;
+        while a < hashes.len() {
+            let mut b = a + 1;
+            while b < hashes.len() && hashes[b].0 == hashes[a].0 {
+                b += 1;
+            }
+            if b - a > 1 {
+                self.merge_group(&hashes[a..b]);
+            }
+            a = b;
+        }
+    }
+
+    /// Confirms and applies merges within one hash-equal group.
+    fn merge_group(&mut self, group: &[(u64, u32)]) {
+        for x in 0..group.len() {
+            let i = group[x].1;
+            if self.status[i as usize] != Status::Alive {
+                continue;
+            }
+            for item in &group[x + 1..] {
+                let j = item.1;
+                if self.status[j as usize] != Status::Alive {
+                    continue;
+                }
+                if self.same_adjacency(i, j) {
+                    // Merge j into i (i < j by sort order).
+                    self.status[j as usize] = Status::Merged;
+                    self.merge_parent[j as usize] = i;
+                    self.nv[i as usize] += self.nv[j as usize];
+                    self.degree[i as usize] =
+                        self.degree[i as usize].saturating_sub(self.nv[j as usize]);
+                    // Splice j's group chain onto i's.
+                    let jt = self.group_head[j as usize];
+                    self.group_next[self.group_tail[i as usize] as usize] = jt;
+                    self.group_tail[i as usize] = self.group_tail[j as usize];
+                    self.adj_var[j as usize] = Vec::new();
+                    self.adj_el[j as usize] = Vec::new();
+                }
+            }
+        }
+    }
+
+    /// Exact set equality of the (just-compacted) adjacency lists,
+    /// ignoring i/j themselves.
+    fn same_adjacency(&mut self, i: u32, j: u32) -> bool {
+        let vi_len = self.adj_var[i as usize].len();
+        let vj_len = self.adj_var[j as usize].len();
+        let ei_len = self.adj_el[i as usize].len();
+        let ej_len = self.adj_el[j as usize].len();
+        if ei_len != ej_len {
+            return false;
+        }
+        // Variable lists may differ only by mutual entries (i lists j).
+        let t = self.next_tag();
+        let mut i_count = 0usize;
+        for idx in 0..vi_len {
+            let r = self.find(self.adj_var[i as usize][idx]);
+            if r == j {
+                continue;
+            }
+            if self.mark2[r as usize] != t {
+                self.mark2[r as usize] = t;
+                i_count += 1;
+            }
+        }
+        let mut j_count = 0usize;
+        for idx in 0..vj_len {
+            let r = self.find(self.adj_var[j as usize][idx]);
+            if r == i {
+                continue;
+            }
+            if self.mark2[r as usize] != t {
+                return false; // j has a neighbor i lacks
+            }
+            j_count += 1;
+        }
+        // j_count may count duplicates; require it to cover i's set.
+        if j_count < i_count {
+            return false;
+        }
+        let te = self.next_tag();
+        for idx in 0..ei_len {
+            let e = self.adj_el[i as usize][idx];
+            self.el_mark[e as usize] = te;
+        }
+        for idx in 0..ej_len {
+            let e = self.adj_el[j as usize][idx];
+            if self.el_mark[e as usize] != te {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Expands the supervariable elimination order into a full
+    /// permutation over original indices.
+    fn into_perm(self) -> Vec<u32> {
+        let mut perm = Vec::with_capacity(self.n);
+        for &root in &self.elim_order {
+            let mut v = self.group_head[root as usize];
+            while v != NONE {
+                perm.push(v);
+                v = self.group_next[v as usize];
+            }
+        }
+        debug_assert_eq!(perm.len(), self.n);
+        perm
+    }
+}
+
+/// Computes the elimination tree of a symmetric matrix given its upper
+/// triangle in CSC form (column `k` holds rows `i <= k`). Returns
+/// `parent[k]` (or [`u32::MAX`] for roots), using Liu's algorithm with
+/// path compression over an ancestor array.
+pub fn etree(n: usize, up_colptr: &[usize], up_rows: &[u32]) -> Vec<u32> {
+    let mut parent = vec![NONE; n];
+    let mut ancestor = vec![NONE; n];
+    for k in 0..n {
+        for &ri in &up_rows[up_colptr[k]..up_colptr[k + 1]] {
+            let mut i = ri as usize;
+            while i < k {
+                let next = ancestor[i];
+                ancestor[i] = k as u32;
+                if next == NONE {
+                    parent[i] = k as u32;
+                    break;
+                }
+                i = next as usize;
+            }
+        }
+    }
+    parent
+}
+
+/// Postorders an elimination forest given `parent`. Returns `post` with
+/// `post[k]` = the node visited k-th; children are visited in ascending
+/// node order (deterministic).
+pub fn postorder(parent: &[u32]) -> Vec<u32> {
+    let n = parent.len();
+    // Build child lists (ascending by construction).
+    let mut head = vec![NONE; n];
+    let mut next = vec![NONE; n];
+    for i in (0..n).rev() {
+        let p = parent[i];
+        if p != NONE {
+            next[i] = head[p as usize];
+            head[p as usize] = i as u32;
+        }
+    }
+    let mut post = Vec::with_capacity(n);
+    let mut stack: Vec<u32> = Vec::new();
+    for r in (0..n).rev() {
+        if parent[r] == NONE {
+            stack.push(r as u32);
+        }
+    }
+    // Iterative DFS emitting nodes after their children.
+    let mut state = vec![false; n]; // false = first visit
+    while let Some(&x) = stack.last() {
+        let xi = x as usize;
+        if !state[xi] {
+            state[xi] = true;
+            // Push children in reverse so the smallest pops first.
+            let mut kids: Vec<u32> = Vec::new();
+            let mut c = head[xi];
+            while c != NONE {
+                kids.push(c);
+                c = next[c as usize];
+            }
+            for &k in kids.iter().rev() {
+                stack.push(k);
+            }
+        } else {
+            stack.pop();
+            post.push(x);
+        }
+    }
+    post
+}
+
+/// Subtree sizes (in nodes, including the root) for an elimination
+/// forest in **postorder numbering** — i.e. `parent[k] > k` for every
+/// non-root. The subtree rooted at `r` is the contiguous index range
+/// `[r + 1 - size[r], r]`.
+pub fn subtree_sizes(parent: &[u32]) -> Vec<usize> {
+    let n = parent.len();
+    let mut size = vec![1usize; n];
+    for i in 0..n {
+        let p = parent[i];
+        if p != NONE {
+            let s = size[i];
+            size[p as usize] += s;
+        }
+    }
+    size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the symmetric CSC pattern (with diagonal) of a
+    /// rows×cols 5-point grid Laplacian.
+    fn grid_pattern(rows: usize, cols: usize) -> (usize, Vec<usize>, Vec<u32>) {
+        let n = rows * cols;
+        let idx = |r: usize, c: usize| (r * cols + c) as u32;
+        let mut cols_out: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for r in 0..rows {
+            for c in 0..cols {
+                let me = idx(r, c) as usize;
+                cols_out[me].push(me as u32);
+                if r > 0 {
+                    cols_out[me].push(idx(r - 1, c));
+                }
+                if r + 1 < rows {
+                    cols_out[me].push(idx(r + 1, c));
+                }
+                if c > 0 {
+                    cols_out[me].push(idx(r, c - 1));
+                }
+                if c + 1 < cols {
+                    cols_out[me].push(idx(r, c + 1));
+                }
+            }
+        }
+        let mut col_ptr = vec![0usize];
+        let mut row_idx = Vec::new();
+        for mut col in cols_out {
+            col.sort_unstable();
+            row_idx.extend_from_slice(&col);
+            col_ptr.push(row_idx.len());
+        }
+        (n, col_ptr, row_idx)
+    }
+
+    fn assert_is_perm(perm: &[u32], n: usize) {
+        assert_eq!(perm.len(), n);
+        let mut seen = vec![false; n];
+        for &p in perm {
+            assert!(!seen[p as usize], "duplicate in perm: {p}");
+            seen[p as usize] = true;
+        }
+    }
+
+    /// Exact fill count for a symmetric pattern under a permutation,
+    /// via the symbolic row-walk (sum of column counts of L).
+    fn fill_nnz(n: usize, col_ptr: &[usize], row_idx: &[u32], perm: &[u32]) -> usize {
+        let mut pinv = vec![0u32; n];
+        for (k, &p) in perm.iter().enumerate() {
+            pinv[p as usize] = k as u32;
+        }
+        // Upper triangle of the permuted pattern, by column.
+        let mut up: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for c in 0..n {
+            for &r in &row_idx[col_ptr[c]..col_ptr[c + 1]] {
+                let i = pinv[r as usize];
+                let k = pinv[c];
+                if i <= k {
+                    up[k as usize].push(i);
+                }
+            }
+        }
+        let mut up_colptr = vec![0usize];
+        let mut up_rows = Vec::new();
+        for col in &mut up {
+            col.sort_unstable();
+            up_rows.extend_from_slice(col);
+            up_colptr.push(up_rows.len());
+        }
+        let parent = etree(n, &up_colptr, &up_rows);
+        // Column counts via flagged etree walks.
+        let mut lnz = vec![0usize; n];
+        let mut flag = vec![u32::MAX; n];
+        for k in 0..n {
+            flag[k] = k as u32;
+            for &ri in &up_rows[up_colptr[k]..up_colptr[k + 1]] {
+                let mut i = ri as usize;
+                while flag[i] != k as u32 {
+                    flag[i] = k as u32;
+                    lnz[i] += 1;
+                    let p = parent[i];
+                    if p == NONE {
+                        break;
+                    }
+                    i = p as usize;
+                }
+            }
+        }
+        lnz.iter().sum::<usize>() + n // + diagonal
+    }
+
+    #[test]
+    fn amd_returns_valid_permutation() {
+        for (rows, cols) in [(1, 1), (2, 2), (3, 5), (8, 8), (16, 16)] {
+            let (n, cp, ri) = grid_pattern(rows, cols);
+            let perm = amd(n, &cp, &ri);
+            assert_is_perm(&perm, n);
+        }
+    }
+
+    #[test]
+    fn amd_handles_empty_and_diagonal_only() {
+        assert!(amd(0, &[0], &[]).is_empty());
+        // 4 isolated nodes (diagonal-only pattern).
+        let cp = vec![0, 1, 2, 3, 4];
+        let ri = vec![0u32, 1, 2, 3];
+        let perm = amd(4, &cp, &ri);
+        assert_is_perm(&perm, 4);
+    }
+
+    #[test]
+    fn amd_reduces_fill_versus_natural_on_grid() {
+        let (n, cp, ri) = grid_pattern(24, 24);
+        let natural: Vec<u32> = (0..n as u32).collect();
+        let perm = amd(n, &cp, &ri);
+        assert_is_perm(&perm, n);
+        let fill_nat = fill_nnz(n, &cp, &ri, &natural);
+        let fill_amd = fill_nnz(n, &cp, &ri, &perm);
+        // Natural ordering on a k×k grid fills ~n·k; AMD should cut it
+        // by a wide margin. Require at least 2x to be robust.
+        assert!(
+            fill_amd * 2 < fill_nat,
+            "AMD fill {fill_amd} not < half of natural fill {fill_nat}"
+        );
+    }
+
+    #[test]
+    fn etree_of_chain_is_chain() {
+        // Tridiagonal pattern: parent[k] = k+1.
+        let n = 6;
+        let mut cp = vec![0usize];
+        let mut ri = Vec::new();
+        for k in 0..n {
+            if k > 0 {
+                ri.push((k - 1) as u32);
+            }
+            ri.push(k as u32);
+            cp.push(ri.len());
+        }
+        let parent = etree(n, &cp, &ri);
+        for (k, &p) in parent.iter().enumerate().take(n - 1) {
+            assert_eq!(p, (k + 1) as u32);
+        }
+        assert_eq!(parent[n - 1], NONE);
+    }
+
+    #[test]
+    fn postorder_is_valid_and_sizes_are_contiguous() {
+        // Star: 0..4 all children of 5, plus a chain 6->7.
+        let parent = vec![5, 5, 5, 5, 5, NONE, 7, NONE];
+        let post = postorder(&parent);
+        assert_is_perm(&post, parent.len());
+        // Relabel and check parent[k] > k in the new numbering.
+        let mut pinv = vec![0u32; parent.len()];
+        for (k, &p) in post.iter().enumerate() {
+            pinv[p as usize] = k as u32;
+        }
+        let relabeled: Vec<u32> = post
+            .iter()
+            .map(|&old| {
+                let p = parent[old as usize];
+                if p == NONE {
+                    NONE
+                } else {
+                    pinv[p as usize]
+                }
+            })
+            .collect();
+        for (k, &p) in relabeled.iter().enumerate() {
+            if p != NONE {
+                assert!(p as usize > k, "postorder violated at {k}");
+            }
+        }
+        let sizes = subtree_sizes(&relabeled);
+        for (k, &p) in relabeled.iter().enumerate() {
+            if p == NONE {
+                continue;
+            }
+            // Subtree range is contiguous and inside the parent's.
+            let lo = k + 1 - sizes[k];
+            assert!(lo <= k);
+        }
+        // Root of the star subtree has size 6.
+        let star_root = pinv[5] as usize;
+        assert_eq!(sizes[star_root], 6);
+    }
+}

@@ -2,17 +2,54 @@
 //!
 //! Small systems (repeater testbenches, short RC ladders) are fastest
 //! through the cache-friendly dense LU in [`crate::linalg`]; large ones
-//! (power grids, long distributed lines) through the sparse LU in
-//! [`crate::sparse`], whose factor cost grows like O(n·b²) on banded
-//! grid matrices instead of O(n³). [`MnaMatrix::auto`] picks by unknown
-//! count at [`SPARSE_THRESHOLD`]; both backends expose the same stamping
-//! and factor-once/solve-many surface so assembly code is
-//! representation-agnostic.
+//! (power grids, long distributed lines) through the sparse backends,
+//! whose factor cost grows far slower than O(n³). [`MnaMatrix::auto`]
+//! picks dense vs sparse by unknown count at [`SPARSE_THRESHOLD`]; the
+//! sparse arm then routes SPD stamps (symmetric, positive diagonal —
+//! every power-grid and thermal-map matrix) to the AMD-ordered LDLᵀ in
+//! [`crate::cholesky`] and everything else to the pivoting LU in
+//! [`crate::sparse`], falling back to LU automatically when an LDLᵀ
+//! pivot fails. All backends expose the same stamping and
+//! factor-once/solve-many surface so assembly code is
+//! representation-agnostic; [`MnaFactorization::path`] reports which
+//! backend actually served a factorization.
 
+use crate::cholesky::CholeskyFactorization;
 use crate::linalg::Matrix;
 use crate::sparse::{Factorization as SparseFactorization, SparseMatrix};
 use crate::CircuitError;
 use hotwire_obs::metrics;
+
+/// Which concrete backend served a factorization — reported by
+/// [`MnaFactorization::path`] and recorded in the bench baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverPath {
+    /// Dense LU ([`crate::linalg`]).
+    Dense,
+    /// Sparse Gilbert–Peierls LU with partial pivoting
+    /// ([`crate::sparse`]).
+    SparseLu,
+    /// Sparse AMD-ordered LDLᵀ ([`crate::cholesky`]).
+    SparseCholesky,
+}
+
+impl SolverPath {
+    /// Stable lowercase label (used in bench JSON and logs).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Dense => "dense",
+            Self::SparseLu => "lu",
+            Self::SparseCholesky => "cholesky",
+        }
+    }
+}
+
+impl std::fmt::Display for SolverPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Unknown count at and above which [`MnaMatrix::auto`] picks the sparse
 /// backend.
@@ -100,6 +137,27 @@ impl MnaMatrix {
     pub fn factor(&self) -> Result<MnaFactorization, CircuitError> {
         metrics::counter("solver.factor").inc();
         let _t = metrics::timer("solver.factor_time").start();
+        self.factor_dispatch(false)
+    }
+
+    /// Factors through the general LU even when the stamps are SPD —
+    /// the benchmarking/comparison escape hatch
+    /// ([`crate::grid_dc::DcGridSolver::set_lu_only`] routes here).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::Singular`] when the system has no unique
+    /// solution.
+    pub fn factor_lu(&self) -> Result<MnaFactorization, CircuitError> {
+        metrics::counter("solver.factor").inc();
+        let _t = metrics::timer("solver.factor_time").start();
+        self.factor_dispatch(true)
+    }
+
+    /// Backend dispatch shared by [`MnaMatrix::factor`],
+    /// [`MnaMatrix::factor_lu`] and the refactor fallback (which must
+    /// not double-increment `solver.factor`).
+    fn factor_dispatch(&self, force_lu: bool) -> Result<MnaFactorization, CircuitError> {
         match self {
             Self::Dense(m) => {
                 let mut lu = m.clone();
@@ -107,6 +165,15 @@ impl MnaMatrix {
                 Ok(MnaFactorization::Dense(lu))
             }
             Self::Sparse(m) => {
+                // SPD fast path: symmetric stamps with a positive
+                // diagonal go through AMD + LDLᵀ; anything else — and
+                // any LDLᵀ pivot failure — falls back to pivoting LU.
+                if !force_lu {
+                    match m.factor_cholesky() {
+                        Ok(f) => return Ok(MnaFactorization::SparseCholesky(f)),
+                        Err(_) => metrics::counter("solver.chol.fallback").inc(),
+                    }
+                }
                 let f = m.factor()?;
                 #[allow(clippy::cast_precision_loss)]
                 metrics::gauge("solver.sparse.fill_nnz").set(f.nnz() as f64);
@@ -135,9 +202,21 @@ pub enum MnaFactorization {
     Dense(Matrix),
     /// Sparse LU factors.
     Sparse(SparseFactorization),
+    /// Sparse LDLᵀ factors (the SPD fast path).
+    SparseCholesky(CholeskyFactorization),
 }
 
 impl MnaFactorization {
+    /// The backend that served this factorization.
+    #[must_use]
+    pub fn path(&self) -> SolverPath {
+        match self {
+            Self::Dense(_) => SolverPath::Dense,
+            Self::Sparse(_) => SolverPath::SparseLu,
+            Self::SparseCholesky(_) => SolverPath::SparseCholesky,
+        }
+    }
+
     /// Solves `A·x = b`.
     ///
     /// # Panics
@@ -159,6 +238,7 @@ impl MnaFactorization {
         match self {
             Self::Dense(lu) => lu.solve_factored_into(b, x),
             Self::Sparse(f) => f.solve_into(b, x),
+            Self::SparseCholesky(f) => f.solve_into(b, x),
         }
     }
 
@@ -180,21 +260,34 @@ impl MnaFactorization {
     pub fn refactor(&mut self, matrix: &MnaMatrix) -> Result<(), CircuitError> {
         metrics::counter("solver.refactor").inc();
         let _t = metrics::timer("solver.refactor_time").start();
-        match (self, matrix) {
+        let in_place_ok = match (&mut *self, matrix) {
             (Self::Dense(lu), MnaMatrix::Dense(m)) => {
                 *lu = m.clone();
-                lu.factor()
+                lu.factor()?;
+                true
             }
             (Self::Sparse(f), MnaMatrix::Sparse(m)) => {
-                if f.refactor(m).is_err() {
-                    // Pivot order went stale for the new values; re-pivot.
-                    metrics::counter("solver.refactor_fallback").inc();
-                    *f = m.factor()?;
+                let ok = f.refactor(m).is_ok();
+                if ok {
+                    #[allow(clippy::cast_precision_loss)]
+                    metrics::gauge("solver.sparse.fill_nnz").set(f.nnz() as f64);
                 }
-                Ok(())
+                ok
             }
+            (Self::SparseCholesky(f), MnaMatrix::Sparse(m)) => f.refactor(m).is_ok(),
             _ => panic!("refactor backend mismatch"),
+        };
+        if !in_place_ok {
+            // Pivot order (LU) or definiteness (LDLᵀ) went stale for the
+            // new values; re-dispatch from scratch. A Cholesky backend
+            // may come back as LU (values no longer SPD); an LU backend
+            // stays LU — it was chosen either by dispatch (non-SPD
+            // candidate) or deliberately via `factor_lu`.
+            metrics::counter("solver.refactor_fallback").inc();
+            let keep_lu = matches!(&*self, Self::Sparse(_));
+            *self = matrix.factor_dispatch(keep_lu)?;
         }
+        Ok(())
     }
 }
 

@@ -101,8 +101,8 @@ impl SparseMatrix {
     }
 
     /// Compresses the triplets into column-major (CSC) form, summing
-    /// duplicates.
-    fn to_csc(&self) -> Csc {
+    /// duplicates. Shared with the SPD path in [`crate::cholesky`].
+    pub(crate) fn to_csc(&self) -> Csc {
         let n = self.n;
         let mut count = vec![0usize; n + 1];
         for &(_, c, _) in &self.triplets {
@@ -155,12 +155,13 @@ impl SparseMatrix {
     }
 }
 
-/// Compressed-sparse-column view used internally by the factorization.
+/// Compressed-sparse-column view used internally by the factorizations
+/// (both the LU here and the LDLᵀ in [`crate::cholesky`]).
 #[derive(Debug, Clone)]
-struct Csc {
-    col_ptr: Vec<usize>,
-    row_idx: Vec<u32>,
-    values: Vec<f64>,
+pub(crate) struct Csc {
+    pub(crate) col_ptr: Vec<usize>,
+    pub(crate) row_idx: Vec<u32>,
+    pub(crate) values: Vec<f64>,
 }
 
 /// A sparse LU factorization `P·A = L·U`.

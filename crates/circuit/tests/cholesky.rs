@@ -1,0 +1,183 @@
+//! Integration properties of the SPD Cholesky fast path: agreement with
+//! the LU reference on random grid stamps, backend dispatch (SPD →
+//! LDLᵀ, anything else → LU), and schedule-independent determinism.
+
+use hotwire_circuit::solver::{MnaMatrix, SolverPath};
+use hotwire_circuit::sparse::SparseMatrix;
+use proptest::prelude::*;
+
+/// Splitmix64 — a tiny deterministic generator so each case derives its
+/// whole random grid from one proptest-supplied seed.
+struct Mix(u64);
+
+impl Mix {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn in_range(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + (hi - lo) * u
+    }
+}
+
+/// Stamps the weighted 5-point Laplacian of a `rows × cols` grid plus a
+/// per-node leak to ground — exactly the shape `DcGridSolver` stamps,
+/// and SPD by construction (diagonally dominant with positive diagonal).
+fn random_spd_grid(rows: usize, cols: usize, mix: &mut Mix) -> SparseMatrix {
+    let n = rows * cols;
+    let mut m = SparseMatrix::zeros(n);
+    let branch = |m: &mut SparseMatrix, a: usize, b: usize, g: f64| {
+        m.add(a, a, g);
+        m.add(b, b, g);
+        m.add(a, b, -g);
+        m.add(b, a, -g);
+    };
+    for r in 0..rows {
+        for c in 0..cols {
+            let here = r * cols + c;
+            if c + 1 < cols {
+                branch(&mut m, here, here + 1, mix.in_range(0.1, 10.0));
+            }
+            if r + 1 < rows {
+                branch(&mut m, here, here + cols, mix.in_range(0.1, 10.0));
+            }
+            m.add(here, here, mix.in_range(1.0e-3, 1.0));
+        }
+    }
+    m
+}
+
+fn random_rhs(n: usize, mix: &mut Mix) -> Vec<f64> {
+    (0..n).map(|_| mix.in_range(-1.0, 1.0)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On any SPD grid stamp the LDLᵀ solution must agree with the
+    /// Gilbert–Peierls LU solution to 1e-9 relative.
+    #[test]
+    fn cholesky_agrees_with_lu_on_random_spd_grids(
+        rows in 2_usize..14,
+        cols in 2_usize..14,
+        seed in 0_u64..u64::MAX,
+    ) {
+        let mut mix = Mix(seed);
+        let m = random_spd_grid(rows, cols, &mut mix);
+        let b = random_rhs(rows * cols, &mut mix);
+        let chol = m.factor_cholesky().expect("grid stamp is SPD");
+        let lu = m.factor().expect("grid stamp is nonsingular");
+        let xc = chol.solve(&b);
+        let xl = lu.solve(&b);
+        let scale = xl.iter().fold(1.0_f64, |s, &v| s.max(v.abs()));
+        for (k, (&a, &r)) in xc.iter().zip(&xl).enumerate() {
+            prop_assert!(
+                (a - r).abs() <= 1.0e-9 * scale,
+                "node {k}: cholesky {a} vs lu {r} (scale {scale})"
+            );
+        }
+    }
+
+    /// The parallel subtree schedule must produce the factor the serial
+    /// elimination produces, bit for bit — same arithmetic, same order.
+    #[test]
+    fn parallel_factorization_is_bitwise_deterministic(
+        rows in 2_usize..16,
+        cols in 2_usize..16,
+        seed in 0_u64..u64::MAX,
+    ) {
+        let mut mix = Mix(seed);
+        let m = random_spd_grid(rows, cols, &mut mix);
+        let par = m.factor_cholesky().expect("parallel factor");
+        let ser = m.factor_cholesky_serial().expect("serial factor");
+        prop_assert_eq!(par.nnz(), ser.nnz());
+        for (a, b) in par.l_values().iter().zip(ser.l_values()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in par.diagonal().iter().zip(ser.diagonal()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Breaking symmetry (or definiteness) on an otherwise-SPD stamp
+    /// must route the `MnaMatrix` dispatch to sparse LU, and the LU
+    /// answer must still satisfy the system.
+    #[test]
+    fn non_spd_stamps_fall_back_to_lu(
+        rows in 6_usize..14,
+        cols in 6_usize..14,
+        seed in 0_u64..u64::MAX,
+        flip_sign in any::<bool>(),
+    ) {
+        let n = rows * cols;
+        let mut m = MnaMatrix::sparse(n);
+        stamp_grid_into(&mut m, rows, cols, &mut Mix(seed));
+        if flip_sign {
+            // Kill a diagonal: subtract more than the dominant entry.
+            m.add(0, 0, -1.0e6);
+        } else {
+            // Break symmetry.
+            m.add(0, 1, 17.0);
+        }
+        let f = m.factor().expect("LU fallback still factors");
+        prop_assert_eq!(f.path(), SolverPath::SparseLu);
+        let b = random_rhs(n, &mut Mix(seed ^ 0xabcd));
+        let x = f.solve(&b);
+        prop_assert!(x.iter().all(|v| v.is_finite()));
+    }
+}
+
+/// Stamps the same random grid as [`random_spd_grid`] into an
+/// [`MnaMatrix`], consuming the `Mix` stream identically.
+fn stamp_grid_into(m: &mut MnaMatrix, rows: usize, cols: usize, mix: &mut Mix) {
+    let branch = |m: &mut MnaMatrix, a: usize, b: usize, g: f64| {
+        m.add(a, a, g);
+        m.add(b, b, g);
+        m.add(a, b, -g);
+        m.add(b, a, -g);
+    };
+    for r in 0..rows {
+        for c in 0..cols {
+            let here = r * cols + c;
+            if c + 1 < cols {
+                branch(m, here, here + 1, mix.in_range(0.1, 10.0));
+            }
+            if r + 1 < rows {
+                branch(m, here, here + cols, mix.in_range(0.1, 10.0));
+            }
+            m.add(here, here, mix.in_range(1.0e-3, 1.0));
+        }
+    }
+}
+
+/// The dispatch-side positive control: the SPD stamp itself must come
+/// back on the Cholesky path (the fallback test above only proves the
+/// negative direction).
+#[test]
+fn spd_stamps_take_the_cholesky_path() {
+    let (rows, cols) = (12, 13);
+    let n = rows * cols;
+    let mut m = MnaMatrix::sparse(n);
+    stamp_grid_into(&mut m, rows, cols, &mut Mix(42));
+    let f = m.factor().expect("SPD stamp factors");
+    assert_eq!(f.path(), SolverPath::SparseCholesky);
+    // And the residual closes: rebuild the same matrix as SparseMatrix.
+    let mut mix = Mix(42);
+    let a = random_spd_grid(rows, cols, &mut mix);
+    let b = random_rhs(n, &mut mix);
+    let x = f.solve(&b);
+    let ax = a.mul_vec(&x);
+    let scale = b.iter().fold(1.0_f64, |s, &v| s.max(v.abs()));
+    for (k, (&lhs, &rhs)) in ax.iter().zip(&b).enumerate() {
+        assert!(
+            (lhs - rhs).abs() < 1.0e-9 * scale,
+            "residual at node {k}: {lhs} vs {rhs}"
+        );
+    }
+}

@@ -23,6 +23,7 @@
 //! [`CoupledError::BeyondResistivityRange`].
 
 use hotwire_circuit::grid_dc::DcGridSolver;
+use hotwire_circuit::solver::SolverPath;
 use hotwire_circuit::transient::TransientOptions;
 use hotwire_core::signoff::{GoverningRule, NetVerdict};
 use hotwire_em::blech::BlechModel;
@@ -613,6 +614,14 @@ impl CoupledEngine {
     #[must_use]
     pub fn unknown_count(&self) -> usize {
         self.solver.unknown_count()
+    }
+
+    /// Which linear-solver backend served the electrical solves, or
+    /// `None` before the first factorization. SPD grid stamps route to
+    /// sparse Cholesky; everything else takes LU.
+    #[must_use]
+    pub fn solver_path(&self) -> Option<SolverPath> {
+        self.solver.solver_path()
     }
 
     /// Evaluates the per-branch EM stage on the converged state and

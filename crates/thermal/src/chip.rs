@@ -26,15 +26,48 @@
 //! the single-wire limit the eq. 13 solver uses — which is what anchors
 //! the coupled loop's single-wire regression test.
 //!
-//! The conduction matrix is SPD and banded (half-bandwidth = shorter
-//! grid axis with that axis ordered fastest); it is factored **once**
-//! per topology because thermal conductances are independent of the
-//! metal temperature, so every Picard iteration pays only a banded
-//! substitution.
+//! The conduction matrix is SPD; it is factored **once** per topology
+//! because thermal conductances are independent of the metal
+//! temperature, so every Picard iteration pays only a substitution.
+//! Small grids use a dense-band Cholesky (half-bandwidth = shorter grid
+//! axis with that axis ordered fastest); once the half-bandwidth
+//! exceeds [`SPARSE_BANDWIDTH_THRESHOLD`] the model switches to the
+//! circuit crate's AMD-ordered sparse LDLᵀ, whose fill on a 2-D grid
+//! grows like O(n·log n) against the band's O(n·bw) storage and
+//! O(n·bw²) factor cost.
 
 use crate::band::{BandedCholesky, BandedSpd};
 use crate::error::ThermalError;
+use hotwire_circuit::cholesky::CholeskyFactorization;
+use hotwire_circuit::sparse::SparseMatrix;
+use hotwire_circuit::CircuitError;
 use hotwire_obs::metrics;
+
+/// Half-bandwidth above which [`ChipThermalModel`] abandons the
+/// dense-band Cholesky for the AMD-ordered sparse LDLᵀ. At bw = 64 the
+/// band factor already touches ~bw² = 4096 words per node while the
+/// sparse factor's per-node fill stays in the tens — the crossover is
+/// well before this, but staying banded below it keeps small-grid
+/// results bit-identical to the original implementation.
+const SPARSE_BANDWIDTH_THRESHOLD: usize = 64;
+
+/// The factored conduction system — which backend depends on grid size.
+#[derive(Debug, Clone)]
+enum ChipFactor {
+    /// Dense-band Cholesky with the shorter grid axis ordered fastest.
+    Banded {
+        /// The factored band.
+        factor: BandedCholesky,
+        /// Whether unknowns are stored row-major (`cols ≤ rows`);
+        /// otherwise solves permute row-major ↔ column-fast around the
+        /// band substitution.
+        x_fast: bool,
+    },
+    /// AMD-ordered sparse LDLᵀ over natural row-major unknowns — the
+    /// fill-reducing ordering happens inside the factorization, so no
+    /// axis permutation is needed here.
+    Sparse(Box<CholeskyFactorization>),
+}
 
 /// A factored chip thermal model over a `rows × cols` grid of strap
 /// intersections.
@@ -43,8 +76,7 @@ pub struct ChipThermalModel {
     rows: usize,
     cols: usize,
     vertical_g: Vec<f64>,
-    factor: BandedCholesky,
-    x_fast: bool,
+    factor: ChipFactor,
 }
 
 impl ChipThermalModel {
@@ -88,69 +120,123 @@ impl ChipThermalModel {
             });
         }
         let n = rows * cols;
-        // Order unknowns with the shorter axis fastest: bw = min(rows, cols).
-        let x_fast = cols <= rows;
         let bw = cols.min(rows);
-        let idx = |r: usize, c: usize| -> usize {
-            if x_fast {
-                r * cols + c
-            } else {
-                c * rows + r
-            }
-        };
         let mut vertical_g = vec![0.0; n];
-        let mut a = BandedSpd::new(n, bw)?;
         for r in 0..rows {
             for c in 0..cols {
-                let here = idx(r, c);
                 let incident = usize::from(c > 0)
                     + usize::from(c + 1 < cols)
                     + usize::from(r > 0)
                     + usize::from(r + 1 < rows);
-                let gv = incident as f64 * vertical_half_conductance;
-                vertical_g[r * cols + c] = gv;
-                let mut diag = gv;
-                // Stamp each lateral branch once, from its higher-indexed end.
-                if c > 0 {
-                    diag += lateral_conductance;
-                    let west = idx(r, c - 1);
-                    if west < here && lateral_conductance > 0.0 {
-                        a.add(here, west, -lateral_conductance);
-                    }
-                }
-                if c + 1 < cols {
-                    diag += lateral_conductance;
-                    let east = idx(r, c + 1);
-                    if east < here && lateral_conductance > 0.0 {
-                        a.add(here, east, -lateral_conductance);
-                    }
-                }
-                if r > 0 {
-                    diag += lateral_conductance;
-                    let north = idx(r - 1, c);
-                    if north < here && lateral_conductance > 0.0 {
-                        a.add(here, north, -lateral_conductance);
-                    }
-                }
-                if r + 1 < rows {
-                    diag += lateral_conductance;
-                    let south = idx(r + 1, c);
-                    if south < here && lateral_conductance > 0.0 {
-                        a.add(here, south, -lateral_conductance);
-                    }
-                }
-                a.add(here, here, diag);
+                vertical_g[r * cols + c] = incident as f64 * vertical_half_conductance;
             }
         }
         metrics::counter("thermal.chip.factor").inc();
-        let factor = metrics::timer("thermal.chip.factor_time").time(|| a.factor())?;
+        let factor = if bw > SPARSE_BANDWIDTH_THRESHOLD {
+            metrics::counter("thermal.chip.sparse_factor").inc();
+            let mut m = SparseMatrix::zeros(n);
+            for r in 0..rows {
+                for c in 0..cols {
+                    let here = r * cols + c;
+                    let mut diag = vertical_g[here];
+                    // Stamp each lateral branch from both endpoints — the
+                    // sparse path wants the full symmetric matrix.
+                    let mut couple = |nbr: usize| {
+                        diag += lateral_conductance;
+                        if lateral_conductance > 0.0 {
+                            m.add(here, nbr, -lateral_conductance);
+                        }
+                    };
+                    if c > 0 {
+                        couple(here - 1);
+                    }
+                    if c + 1 < cols {
+                        couple(here + 1);
+                    }
+                    if r > 0 {
+                        couple(here - cols);
+                    }
+                    if r + 1 < rows {
+                        couple(here + cols);
+                    }
+                    m.add(here, here, diag);
+                }
+            }
+            let f = metrics::timer("thermal.chip.factor_time")
+                .time(|| m.factor_cholesky())
+                .map_err(|e| match e {
+                    CircuitError::NotPositiveDefinite { row } => ThermalError::NoConvergence {
+                        iterations: row,
+                        residual: 0.0,
+                    },
+                    other => ThermalError::InvalidInput {
+                        message: format!("sparse thermal factorization failed: {other}"),
+                    },
+                })?;
+            ChipFactor::Sparse(Box::new(f))
+        } else {
+            // Order unknowns with the shorter axis fastest: bw = min(rows, cols).
+            let x_fast = cols <= rows;
+            let idx = |r: usize, c: usize| -> usize {
+                if x_fast {
+                    r * cols + c
+                } else {
+                    c * rows + r
+                }
+            };
+            let mut a = BandedSpd::new(n, bw)?;
+            for r in 0..rows {
+                for c in 0..cols {
+                    let here = idx(r, c);
+                    let mut diag = vertical_g[r * cols + c];
+                    // Stamp each lateral branch once, from its higher-indexed end.
+                    if c > 0 {
+                        diag += lateral_conductance;
+                        let west = idx(r, c - 1);
+                        if west < here && lateral_conductance > 0.0 {
+                            a.add(here, west, -lateral_conductance);
+                        }
+                    }
+                    if c + 1 < cols {
+                        diag += lateral_conductance;
+                        let east = idx(r, c + 1);
+                        if east < here && lateral_conductance > 0.0 {
+                            a.add(here, east, -lateral_conductance);
+                        }
+                    }
+                    if r > 0 {
+                        diag += lateral_conductance;
+                        let north = idx(r - 1, c);
+                        if north < here && lateral_conductance > 0.0 {
+                            a.add(here, north, -lateral_conductance);
+                        }
+                    }
+                    if r + 1 < rows {
+                        diag += lateral_conductance;
+                        let south = idx(r + 1, c);
+                        if south < here && lateral_conductance > 0.0 {
+                            a.add(here, south, -lateral_conductance);
+                        }
+                    }
+                    a.add(here, here, diag);
+                }
+            }
+            let factor = metrics::timer("thermal.chip.factor_time").time(|| a.factor())?;
+            ChipFactor::Banded { factor, x_fast }
+        };
         Ok(Self {
             rows,
             cols,
             vertical_g,
             factor,
-            x_fast,
         })
+    }
+
+    /// `true` when this model is served by the AMD-ordered sparse LDLᵀ
+    /// backend rather than the dense-band Cholesky.
+    #[must_use]
+    pub fn uses_sparse_backend(&self) -> bool {
+        matches!(self.factor, ChipFactor::Sparse(_))
     }
 
     /// Number of intersections.
@@ -196,23 +282,31 @@ impl ChipThermalModel {
         }
         metrics::counter("thermal.chip.solves").inc();
         let _t = metrics::timer("thermal.chip.solve_time").start();
-        if self.x_fast {
-            self.factor.solve_into(node_power, rise);
-        } else {
-            // Permute row-major → column-fast, solve, permute back.
-            let (rows, cols) = (self.rows, self.cols);
-            let mut rhs = vec![0.0; n];
-            for r in 0..rows {
-                for c in 0..cols {
-                    rhs[c * rows + r] = node_power[r * cols + c];
+        match &self.factor {
+            ChipFactor::Sparse(f) => f.solve_into(node_power, rise),
+            ChipFactor::Banded {
+                factor,
+                x_fast: true,
+            } => factor.solve_into(node_power, rise),
+            ChipFactor::Banded {
+                factor,
+                x_fast: false,
+            } => {
+                // Permute row-major → column-fast, solve, permute back.
+                let (rows, cols) = (self.rows, self.cols);
+                let mut rhs = vec![0.0; n];
+                for r in 0..rows {
+                    for c in 0..cols {
+                        rhs[c * rows + r] = node_power[r * cols + c];
+                    }
                 }
-            }
-            let sol = self.factor.solve(&rhs);
-            rise.clear();
-            rise.resize(n, 0.0);
-            for r in 0..rows {
-                for c in 0..cols {
-                    rise[r * cols + c] = sol[c * rows + r];
+                let sol = factor.solve(&rhs);
+                rise.clear();
+                rise.resize(n, 0.0);
+                for r in 0..rows {
+                    for c in 0..cols {
+                        rise[r * cols + c] = sol[c * rows + r];
+                    }
                 }
             }
         }
@@ -327,6 +421,47 @@ mod tests {
                 assert!((a - b).abs() < 1e-12, "({r},{c}): {a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn sparse_backend_engages_and_satisfies_the_stencil() {
+        // Past the bandwidth threshold the model must switch to the
+        // AMD-ordered sparse LDLᵀ and still solve the same physics:
+        // check the finite-volume stencil residual at every node.
+        let (rows, cols) = (66, 66);
+        let gl = 0.8;
+        let gh = 0.3;
+        let m = ChipThermalModel::new(rows, cols, gl, gh).unwrap();
+        assert!(m.uses_sparse_backend());
+        assert!(!ChipThermalModel::new(64, 64, gl, gh)
+            .unwrap()
+            .uses_sparse_backend());
+        let p: Vec<f64> = (0..rows * cols)
+            .map(|k| ((k * 7) % 11) as f64 * 0.02)
+            .collect();
+        let t = m.solve(&p).unwrap();
+        let mut worst = 0.0f64;
+        for r in 0..rows {
+            for c in 0..cols {
+                let k = r * cols + c;
+                let mut acc = m.vertical_conductance(r, c) * t[k];
+                let mut couple = |nk: usize| acc += gl * (t[k] - t[nk]);
+                if c > 0 {
+                    couple(k - 1);
+                }
+                if c + 1 < cols {
+                    couple(k + 1);
+                }
+                if r > 0 {
+                    couple(k - cols);
+                }
+                if r + 1 < rows {
+                    couple(k + cols);
+                }
+                worst = worst.max((acc - p[k]).abs());
+            }
+        }
+        assert!(worst < 1e-9, "stencil residual {worst}");
     }
 
     #[test]
