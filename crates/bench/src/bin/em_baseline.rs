@@ -1,0 +1,289 @@
+//! Measures the tree-EM stress stage and writes the machine-readable
+//! baseline `BENCH_em.json`.
+//!
+//! ```text
+//! cargo run --release -p hotwire-bench --bin em_baseline
+//! cargo run --release -p hotwire-bench --bin em_baseline -- --out BENCH_em.json
+//! ```
+//!
+//! The headline claim is the steady-state filter's linearity: the tree
+//! recurrence visits each segment a constant number of times, so the
+//! per-segment cost must stay flat as lines grow from 100 to 10 000
+//! segments (the binary refuses to write a baseline where it drifts by
+//! more than 2×). The transient rows time one implicit Korhonen window
+//! on the same lines — a factorization plus a fixed number of
+//! backsolves over the FV mesh.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use hotwire_obs::metrics;
+use hotwire_units::{CurrentDensity, Kelvin, Length, Seconds};
+
+/// Line lengths (in segments) reported in the baseline file. The small
+/// entry exists so the CI `bench-diff` job (which cannot afford the
+/// 10k line's transient) has a committed size to compare against.
+const SIZES: [usize; 3] = [100, 1000, 10_000];
+
+/// Timing repetitions per size (medians are reported).
+const REPS: usize = 3;
+
+/// Inner-loop batch target: enough steady solves per measurement to
+/// stay well above `bench_diff`'s 1 ms noise floor.
+const STEADY_BATCH_TARGET: usize = 1_000_000;
+
+/// Implicit steps in the timed transient window.
+const TRANSIENT_STEPS: usize = 32;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+struct Row {
+    segments: usize,
+    steady_reps: usize,
+    steady_batch_ms: f64,
+    per_segment_ns: f64,
+    transient_ms: f64,
+    transient_unknowns: usize,
+}
+
+fn line(segments: usize) -> hotwire_em_tree::tree::InterconnectTree {
+    // Modest drive at 110 °C: mortal in aggregate (long line, so the
+    // filter does the full recurrence + extrema scan) but far from any
+    // numerical edge.
+    hotwire_em_tree::tree::InterconnectTree::straight_line(
+        "bench",
+        segments,
+        Length::from_micrometers(10.0),
+        Length::from_micrometers(0.5),
+        Length::from_micrometers(0.5),
+        CurrentDensity::from_mega_amps_per_cm2(0.5),
+        Kelvin::new(383.15),
+    )
+    .expect("valid bench line")
+}
+
+fn timed_row(segments: usize, model: &hotwire_em_tree::model::KorhonenModel) -> Row {
+    let tree = line(segments);
+    let steady_reps = (STEADY_BATCH_TARGET / segments).max(1);
+    let mut batch_ms = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for _ in 0..steady_reps {
+            let s = hotwire_em_tree::steady::steady_state(&tree, model)
+                .expect("steady solve on a valid tree");
+            std::hint::black_box(s.max_tensile);
+        }
+        batch_ms.push(start.elapsed().as_secs_f64() * 1.0e3);
+    }
+    let steady_batch_ms = median(batch_ms);
+    let per_segment_ns = steady_batch_ms * 1.0e6 / (steady_reps as f64) / (segments as f64);
+
+    // One implicit window: factorization + TRANSIENT_STEPS backsolves
+    // over the FV mesh (segments × resolution unknowns).
+    let options = hotwire_em_tree::transient::TransientOptions::for_horizon(Seconds::new(1.0e7));
+    let mut trans_ms = Vec::with_capacity(REPS);
+    let mut unknowns = 0;
+    for _ in 0..REPS {
+        let mut solver = hotwire_em_tree::transient::KorhonenSolver::new(&tree, model, options)
+            .expect("valid solver");
+        unknowns = segments * options.resolution + 1;
+        let start = Instant::now();
+        solver
+            .advance(Seconds::new(1.0e5), TRANSIENT_STEPS)
+            .expect("transient window on a valid mesh");
+        trans_ms.push(start.elapsed().as_secs_f64() * 1.0e3);
+    }
+    Row {
+        segments,
+        steady_reps,
+        steady_batch_ms,
+        per_segment_ns,
+        transient_ms: median(trans_ms),
+        transient_unknowns: unknowns,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_em.json");
+    let mut metrics_out: Option<String> = None;
+    let mut sizes: Vec<usize> = SIZES.to_vec();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" | "-o" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+                out_path.clone_from(&args[i + 1]);
+                i += 2;
+            }
+            "--metrics-out" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--metrics-out needs a path");
+                    return ExitCode::FAILURE;
+                }
+                metrics_out = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--sizes" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--sizes needs a comma-separated list (e.g. 100,1000)");
+                    return ExitCode::FAILURE;
+                }
+                match args[i + 1]
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<usize>, _>>()
+                {
+                    Ok(list) if !list.is_empty() && list.iter().all(|&n| n >= 2) => sizes = list,
+                    _ => {
+                        eprintln!(
+                            "--sizes: `{}` is not a list of line lengths ≥ 2",
+                            args[i + 1]
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: em_baseline [--out <path>] [--metrics-out <path>] [--sizes n,n,...]\n\
+                     times the tree-EM stress stage on straight lines: the\n\
+                     linear-time steady-state immortality filter (per-segment\n\
+                     cost must stay flat with line length) and one implicit\n\
+                     Korhonen window over the FV mesh, and writes a JSON\n\
+                     baseline (default: BENCH_em.json in the current\n\
+                     directory); the baseline embeds a `metrics` registry\n\
+                     snapshot, --metrics-out additionally writes it\n\
+                     standalone, and --sizes restricts the line lengths\n\
+                     (default: 100,1000,10000) — CI uses the small sizes"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let model =
+        hotwire_em_tree::model::KorhonenModel::copper().expect("built-in copper Korhonen model");
+
+    // Sanity anchor: on an immortal short line the implicit integrator
+    // must relax to the analytic Korhonen steady state (linear stress
+    // ramp, peak eZρjL/2Ω at the cathode) before we trust its timings.
+    {
+        let tree = hotwire_em_tree::tree::InterconnectTree::straight_line(
+            "anchor",
+            4,
+            Length::from_micrometers(10.0),
+            Length::from_micrometers(0.5),
+            Length::from_micrometers(0.5),
+            CurrentDensity::from_mega_amps_per_cm2(0.4),
+            Kelvin::new(423.15),
+        )
+        .expect("valid anchor line");
+        let steady =
+            hotwire_em_tree::steady::steady_state(&tree, &model).expect("anchor steady solve");
+        assert!(steady.immortal, "anchor line must be Blech-immortal");
+        let total_l = tree.total_length().value();
+        let kappa = model.kappa(Kelvin::new(423.15));
+        let horizon = Seconds::new(50.0 * total_l * total_l / kappa);
+        let mut solver = hotwire_em_tree::transient::KorhonenSolver::new(
+            &tree,
+            &model,
+            hotwire_em_tree::transient::TransientOptions::for_horizon(horizon),
+        )
+        .expect("valid anchor solver");
+        solver.run_to_failure().expect("anchor transient");
+        let peak_t = solver
+            .node_stress()
+            .iter()
+            .fold(0.0_f64, |m, s| m.max(s.value()));
+        let peak_s = steady.max_tensile.value();
+        assert!(
+            (peak_t - peak_s).abs() / peak_s < 1.0e-2,
+            "transient peak ({peak_t}) and analytic steady peak ({peak_s}) disagree; refusing to benchmark"
+        );
+    }
+
+    let mut rows = Vec::new();
+    for n in sizes {
+        let row = timed_row(n, &model);
+        eprintln!(
+            "line-{n:<6} steady {reps:>6} reps {b:>9.3} ms   {ps:>7.1} ns/segment   transient(32 steps, {u} unknowns) {t:>9.3} ms",
+            reps = row.steady_reps,
+            b = row.steady_batch_ms,
+            ps = row.per_segment_ns,
+            u = row.transient_unknowns,
+            t = row.transient_ms,
+        );
+        rows.push(row);
+    }
+
+    // The linearity gate the baseline exists to document: per-segment
+    // steady-state cost flat within 2× across the measured sizes.
+    if rows.len() >= 2 {
+        let min = rows
+            .iter()
+            .map(|r| r.per_segment_ns)
+            .fold(f64::INFINITY, f64::min);
+        let max = rows
+            .iter()
+            .map(|r| r.per_segment_ns)
+            .fold(0.0_f64, f64::max);
+        assert!(
+            max <= 2.0 * min,
+            "per-segment steady cost drifts {:.2}x across sizes (max {max:.1} ns, min {min:.1} ns) — the filter is no longer linear-time",
+            max / min
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"tree-EM stress stage (straight Cu lines, 10 um segments, 0.5 MA/cm^2, 110 C)\",\n");
+    json.push_str("  \"linearity\": \"the steady-state immortality filter is one BFS recurrence + one extrema scan per tree; per_segment_ns must stay flat (within 2x) from 100 to 10000 segments, and the binary refuses to write a baseline where it does not\",\n");
+    json.push_str("  \"machine\": \"container, medians of 3 runs, steady times batched over `steady_reps` solves\",\n");
+    json.push_str("  \"sizes\": [\n");
+    for (k, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"grid\": \"line-{n}\", \"segments\": {n}, \"steady_reps\": {reps}, \"steady_batch_ms\": {b:.3}, \"per_segment_ns\": {ps:.1}, \"transient_ms\": {t:.3}, \"transient_unknowns\": {u}}}{comma}\n",
+            n = r.segments,
+            reps = r.steady_reps,
+            b = r.steady_batch_ms,
+            ps = r.per_segment_ns,
+            t = r.transient_ms,
+            u = r.transient_unknowns,
+            comma = if k + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n");
+    // Registry totals over every run above: solve/factorization counts
+    // corroborate the timing story from the inside.
+    let snapshot = metrics::snapshot();
+    json.push_str(&format!("  \"metrics\": {}\n", snapshot.to_json()));
+    json.push_str("}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    if let Some(path) = metrics_out {
+        let mut pretty = snapshot.to_json().to_pretty_string();
+        pretty.push('\n');
+        if let Err(e) = std::fs::write(&path, pretty) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -53,6 +53,13 @@ pub enum GoverningRule {
     ThermallyShort,
     /// The Blech immortality floor (the net cannot fail by EM at all).
     BlechImmortal,
+    /// The tree steady-state stress filter: peak tensile stress stays
+    /// below the void-nucleation threshold, so the whole tree is
+    /// immortal (generalizes `BlechImmortal` to junction trees).
+    StressImmortal,
+    /// The transient Korhonen wearout path: a void nucleates and the
+    /// growth-to-failure time governs.
+    StressWearout,
 }
 
 impl GoverningRule {
@@ -64,6 +71,8 @@ impl GoverningRule {
             Self::SelfConsistent => "self-consistent",
             Self::ThermallyShort => "thermally-short",
             Self::BlechImmortal => "blech-immortal",
+            Self::StressImmortal => "stress-immortal",
+            Self::StressWearout => "stress-wearout",
         }
     }
 }

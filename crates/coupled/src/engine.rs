@@ -231,6 +231,9 @@ pub struct CoupledEngine {
     cross_section: f64,
     branch_t: Vec<f64>,
     branch_g: Vec<f64>,
+    /// Per-branch resistance multipliers (≥ 1) back-annotated by the
+    /// tree-EM aging loop as voids grow under straps.
+    branch_r_mult: Vec<f64>,
     node_power: Vec<f64>,
     node_rise: Vec<f64>,
     deltas: Vec<f64>,
@@ -383,6 +386,7 @@ impl CoupledEngine {
             cross_section: area,
             branch_t: vec![t0.value(); n_branches],
             branch_g: vec![0.0; n_branches],
+            branch_r_mult: vec![1.0; n_branches],
             node_power: vec![0.0; rows * cols],
             node_rise: Vec::new(),
             deltas: Vec::new(),
@@ -408,9 +412,9 @@ impl CoupledEngine {
         let electrical_start = hotwire_obs::Stopwatch::start();
         {
             let _t = metrics::timer("coupled.stamp_time").start();
-            for (g, &t) in self.branch_g.iter_mut().zip(&self.branch_t) {
+            for (k, (g, &t)) in self.branch_g.iter_mut().zip(&self.branch_t).enumerate() {
                 let (rho, _) = metal.resistivity_clamped(Kelvin::new(t));
-                *g = area / (rho.value() * pitch);
+                *g = area / (rho.value() * pitch * self.branch_r_mult[k]);
             }
         }
         metrics::timer("coupled.electrical_time").time(|| self.solver.solve(&self.branch_g))?;
@@ -608,6 +612,71 @@ impl CoupledEngine {
     #[must_use]
     pub fn branches(&self) -> &[GridBranch] {
         &self.branches
+    }
+
+    /// Signed per-branch currents of the latest electrical solve
+    /// (positive = conventional current from the branch's first node to
+    /// its second), in grid order. The tree-EM layer consumes the sign
+    /// to orient electron wind along each segment.
+    #[must_use]
+    pub fn branch_currents(&self) -> &[f64] {
+        self.solver.branch_currents()
+    }
+
+    /// The grid spec the engine was built from.
+    #[must_use]
+    pub fn spec(&self) -> &CoupledGridSpec {
+        &self.spec
+    }
+
+    /// The options the engine was built with.
+    #[must_use]
+    pub fn options(&self) -> &CoupledOptions {
+        &self.options
+    }
+
+    /// Back-annotates per-branch resistance multipliers (≥ 1, one per
+    /// strap) — the aging loop's hook: as voids grow, the liner carries
+    /// the current at elevated resistance, which reshapes both the IR
+    /// drop and the Joule heat of the next coupled solve.
+    ///
+    /// Call [`CoupledEngine::reset_convergence`] afterwards to re-run
+    /// the fixed point with the new multipliers.
+    ///
+    /// # Errors
+    ///
+    /// [`CoupledError::InvalidSpec`] on a length mismatch or a
+    /// multiplier below 1 / non-finite.
+    pub fn set_branch_resistance_multipliers(
+        &mut self,
+        multipliers: &[f64],
+    ) -> Result<(), CoupledError> {
+        if multipliers.len() != self.branches.len() {
+            return Err(CoupledError::InvalidSpec {
+                message: format!(
+                    "{} resistance multipliers for {} branches",
+                    multipliers.len(),
+                    self.branches.len()
+                ),
+            });
+        }
+        if let Some(bad) = multipliers.iter().find(|m| !m.is_finite() || **m < 1.0) {
+            return Err(CoupledError::InvalidSpec {
+                message: format!("resistance multipliers must be finite and ≥ 1, got {bad}"),
+            });
+        }
+        self.branch_r_mult.copy_from_slice(multipliers);
+        Ok(())
+    }
+
+    /// Clears the convergence state (residual history and flag) while
+    /// keeping the warm temperature field and factorizations — the
+    /// aging loop calls this between epochs so each re-solve gets the
+    /// full iteration budget and converges fast from the warm start.
+    pub fn reset_convergence(&mut self) {
+        self.deltas.clear();
+        self.records.clear();
+        self.converged = false;
     }
 
     /// Size of the reduced electrical system.

@@ -48,6 +48,9 @@ pub enum CoupledError {
     Thermal(ThermalError),
     /// The EM statistics stage failed.
     Em(EmError),
+    /// The tree-EM stress stage failed (topology extraction or a
+    /// Korhonen solve).
+    TreeEm(hotwire_em_tree::TreeEmError),
     /// The Picard iteration hit its cap before the temperature field
     /// settled.
     NotConverged {
@@ -90,6 +93,7 @@ impl fmt::Display for CoupledError {
             Self::Circuit(e) => write!(f, "electrical solve failed: {e}"),
             Self::Thermal(e) => write!(f, "thermal solve failed: {e}"),
             Self::Em(e) => write!(f, "EM statistics failed: {e}"),
+            Self::TreeEm(e) => write!(f, "tree-EM stress stage failed: {e}"),
             Self::NotConverged {
                 iterations,
                 last_delta,
@@ -144,6 +148,7 @@ impl std::error::Error for CoupledError {
             Self::Circuit(e) => Some(e),
             Self::Thermal(e) => Some(e),
             Self::Em(e) => Some(e),
+            Self::TreeEm(e) => Some(e),
             _ => None,
         }
     }
@@ -164,5 +169,11 @@ impl From<ThermalError> for CoupledError {
 impl From<EmError> for CoupledError {
     fn from(e: EmError) -> Self {
         Self::Em(e)
+    }
+}
+
+impl From<hotwire_em_tree::TreeEmError> for CoupledError {
+    fn from(e: hotwire_em_tree::TreeEmError) -> Self {
+        Self::TreeEm(e)
     }
 }

@@ -35,6 +35,7 @@
 pub mod engine;
 pub mod error;
 pub mod trace;
+pub mod tree_em;
 
 pub use engine::{
     coupled_signoff, BranchAssessment, CoupledEngine, CoupledGridSpec, CoupledOptions,
@@ -42,3 +43,7 @@ pub use engine::{
 };
 pub use error::{BranchHotspot, CoupledError};
 pub use trace::{ConvergenceTrace, IterationRecord};
+pub use tree_em::{
+    age_with_tree_em, assess_trees, AgingOptions, AgingReport, EpochRecord, TreeAssessment,
+    TreeEmOptions, TreeEmReport,
+};

@@ -1,0 +1,60 @@
+//! Korhonen stress-evolution electromigration over interconnect trees.
+//!
+//! The per-strap Black/Blech model in [`hotwire_em`] treats every wire
+//! as an isolated two-terminal segment. Modern signoff instead follows
+//! the hydrostatic stress `σ(x, t)` over whole supply *trees* —
+//! multi-segment lines, junctions, reservoirs — where mass flowing out
+//! of one branch loads its neighbors. This crate provides that layer:
+//!
+//! * [`tree`] — validated interconnect-tree topology with per-segment
+//!   geometry, signed current density, and temperature; built directly
+//!   or extracted from SPICE netlists ([`netlist`]).
+//! * [`model`] — the Korhonen PDE parameters
+//!   (`∂σ/∂t = ∂/∂x[κ(∂σ/∂x + G)]`), with presets calibrated so a
+//!   single segment reproduces the classic Blech product exactly.
+//! * [`steady`] — the zero-flux steady state in **O(segments)** by two
+//!   tree traversals (no matrix), used as an immortality filter that
+//!   generalizes the Blech check to trees.
+//! * [`transient`] — an implicit finite-volume integrator with flux
+//!   continuity at junctions, void nucleation at `σ_crit`, and
+//!   growth-to-failure times that feed the existing
+//!   [`hotwire_em::lifetime::WeakestLinkPopulation`] chip rollup.
+//!
+//! ```
+//! use hotwire_em_tree::model::KorhonenModel;
+//! use hotwire_em_tree::steady::steady_state;
+//! use hotwire_em_tree::tree::InterconnectTree;
+//! use hotwire_units::{CurrentDensity, Kelvin, Length};
+//!
+//! let model = KorhonenModel::copper()?;
+//! // A 20 µm line at 1 MA/cm²: jL = 2000 A/cm < 3000 A/cm ⇒ immortal,
+//! // in exact agreement with the Blech filter it generalizes.
+//! let line = InterconnectTree::straight_line(
+//!     "m2_strap",
+//!     4,
+//!     Length::from_micrometers(5.0),
+//!     Length::from_micrometers(0.5),
+//!     Length::from_micrometers(0.5),
+//!     CurrentDensity::from_mega_amps_per_cm2(1.0),
+//!     Kelvin::new(373.15),
+//! )?;
+//! assert!(steady_state(&line, &model)?.immortal);
+//! # Ok::<(), hotwire_em_tree::TreeEmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+// HW001 holds with an empty baseline for this crate: enforce at
+// compile time as well, like units/core/coupled.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![warn(missing_docs)]
+// `!(x > 0.0)` deliberately rejects NaN alongside non-positives.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+mod error;
+pub mod model;
+pub mod netlist;
+pub mod steady;
+pub mod transient;
+pub mod tree;
+
+pub use error::TreeEmError;

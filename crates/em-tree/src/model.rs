@@ -1,0 +1,318 @@
+//! Physical parameters of the Korhonen stress-evolution model.
+//!
+//! Korhonen et al. (JAP 1993) reduce electromigration in a confined
+//! metal line to a single 1-D diffusion equation for the hydrostatic
+//! stress `σ(x, t)`:
+//!
+//! ```text
+//! ∂σ/∂t = ∂/∂x [ κ(T) · ( ∂σ/∂x + G ) ]
+//! κ(T) = D_a(T) · B · Ω / (k_B · T)          (stress diffusivity, m²/s)
+//! D_a(T) = D₀ · exp(−E_a / k_B T)            (atomic diffusivity)
+//! G = −e · Z* · ρ(T) · j / Ω                 (electron-wind term, Pa/m)
+//! ```
+//!
+//! with `j` the **conventional** current density signed along the local
+//! `x` axis. The sign convention makes the steady profile
+//! `∂σ/∂x = −G = +e·Z*·ρ·j/Ω`: tensile stress (positive) builds at the
+//! cathode end — the end the conventional current flows *into* — which
+//! is where voids nucleate.
+
+use hotwire_tech::Metal;
+use hotwire_units::consts::{BOLTZMANN_EV_PER_K, BOLTZMANN_J_PER_K, ELEMENTARY_CHARGE_C};
+use hotwire_units::{CurrentDensity, ElectronVolts, Kelvin, Length, Pascals, Volume};
+use serde::{Deserialize, Serialize};
+
+use crate::TreeEmError;
+
+/// Parameters of the Korhonen stress PDE for one metal system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KorhonenModel {
+    metal: Metal,
+    /// |Z*| — magnitude of the effective charge number.
+    effective_charge: f64,
+    /// Ω — atomic volume.
+    atomic_volume: Volume,
+    /// B — effective (confinement) bulk modulus.
+    effective_modulus: Pascals,
+    /// D₀ — atomic diffusivity prefactor, m²/s.
+    diffusivity_prefactor: f64,
+    /// E_a — activation energy of the dominant diffusion path.
+    activation_energy: ElectronVolts,
+    /// σ_crit — tensile stress at which a void nucleates.
+    critical_stress: Pascals,
+    /// Void length at which the segment is declared failed (the liner
+    /// carries current across smaller voids at elevated resistance).
+    critical_void_length: Length,
+}
+
+impl KorhonenModel {
+    /// Builds a model from its full parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeEmError::InvalidParameter`] when any magnitude is
+    /// non-positive or non-finite.
+    // One physical parameter per argument — a builder would add
+    // ceremony without removing any of them.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        metal: Metal,
+        effective_charge: f64,
+        atomic_volume: Volume,
+        effective_modulus: Pascals,
+        diffusivity_prefactor: f64,
+        activation_energy: ElectronVolts,
+        critical_stress: Pascals,
+        critical_void_length: Length,
+    ) -> Result<Self, TreeEmError> {
+        let positive = [
+            ("effective charge |Z*|", effective_charge),
+            ("atomic volume", atomic_volume.value()),
+            ("effective modulus", effective_modulus.value()),
+            ("diffusivity prefactor", diffusivity_prefactor),
+            ("activation energy", activation_energy.value()),
+            ("critical stress", critical_stress.value()),
+            ("critical void length", critical_void_length.value()),
+        ];
+        for (name, v) in positive {
+            if !(v > 0.0) || !v.is_finite() {
+                return Err(TreeEmError::InvalidParameter {
+                    message: format!("{name} must be positive and finite, got {v}"),
+                });
+            }
+        }
+        Ok(Self {
+            metal,
+            effective_charge,
+            atomic_volume,
+            effective_modulus,
+            diffusivity_prefactor,
+            activation_energy,
+            critical_stress,
+            critical_void_length,
+        })
+    }
+
+    /// Damascene copper, with `σ_crit` calibrated so that a single
+    /// two-terminal segment is immortal exactly below the
+    /// [`hotwire_em::blech::BlechModel::copper`] product at 100 °C
+    /// (see [`Self::calibrated_to_blech`]).
+    ///
+    /// |Z*| = 1, Ω = 1.18×10⁻²⁹ m³, B = 28 GPa (low-k confinement),
+    /// D₀ = 1.3×10⁻⁹ m²/s with E_a from
+    /// [`hotwire_tech::Metal::copper`]'s EM parameters (Cu/cap
+    /// interface diffusion), 25 nm critical void.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TreeEmError::InvalidParameter`] (unreachable for the
+    /// built-in constants, but the constructor stays checked).
+    pub fn copper() -> Result<Self, TreeEmError> {
+        let metal = Metal::copper();
+        let ea = metal.em().activation_energy;
+        Self::new(
+            metal,
+            1.0,
+            Volume::new(1.18e-29),
+            Pascals::from_gigapascals(28.0),
+            1.3e-9,
+            ea,
+            Pascals::from_megapascals(500.0),
+            Length::from_nanometers(25.0),
+        )?
+        .calibrated_to_blech(hotwire_em::blech::BlechModel::copper(), Kelvin::new(373.15))
+    }
+
+    /// AlCu between tungsten studs, calibrated to
+    /// [`hotwire_em::blech::BlechModel::alcu`] at 100 °C.
+    ///
+    /// |Z*| = 4, Ω = 1.66×10⁻²⁹ m³, B = 25 GPa, D₀ = 4.7×10⁻⁶ m²/s with
+    /// E_a from [`hotwire_tech::Metal::alcu`] (grain-boundary
+    /// diffusion), 50 nm critical void.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TreeEmError::InvalidParameter`] (unreachable for the
+    /// built-in constants).
+    pub fn alcu() -> Result<Self, TreeEmError> {
+        let metal = Metal::alcu();
+        let ea = metal.em().activation_energy;
+        Self::new(
+            metal,
+            4.0,
+            Volume::new(1.66e-29),
+            Pascals::from_gigapascals(25.0),
+            4.7e-6,
+            ea,
+            Pascals::from_megapascals(400.0),
+            Length::from_nanometers(50.0),
+        )?
+        .calibrated_to_blech(hotwire_em::blech::BlechModel::alcu(), Kelvin::new(373.15))
+    }
+
+    /// Looks up the preset for a built-in metal by name
+    /// (`"copper"` / `"alcu"`, as [`hotwire_tech::Metal::builtin`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeEmError::InvalidParameter`] for unknown names.
+    pub fn for_metal_name(name: &str) -> Result<Self, TreeEmError> {
+        match name.to_ascii_lowercase().as_str() {
+            "copper" | "cu" => Self::copper(),
+            "alcu" | "al" | "aluminum" => Self::alcu(),
+            other => Err(TreeEmError::InvalidParameter {
+                message: format!("no Korhonen preset for metal '{other}'"),
+            }),
+        }
+    }
+
+    /// Replaces `σ_crit` so that on a single isolated segment the
+    /// steady-state immortality filter coincides *exactly* with the
+    /// given Blech product at the calibration temperature.
+    ///
+    /// On an isolated line of length `L` at uniform density `j`, the
+    /// zero-flux steady state is linear with peak tensile stress
+    /// `σ_max = e·|Z*|·ρ(T)·j·L / (2Ω)`; setting
+    /// `σ_crit = e·|Z*|·ρ(T_cal)·(jL)_crit / (2Ω)` therefore reproduces
+    /// `j·L < (jL)_crit` verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeEmError::InvalidParameter`] if the resulting
+    /// threshold is non-positive (degenerate resistivity fit).
+    pub fn calibrated_to_blech(
+        self,
+        blech: hotwire_em::blech::BlechModel,
+        calibration_temperature: Kelvin,
+    ) -> Result<Self, TreeEmError> {
+        let jl_crit = blech.critical_product_amps_per_cm() * 100.0; // A/cm → A/m
+        let rho = self.metal.resistivity(calibration_temperature).value();
+        let sigma = ELEMENTARY_CHARGE_C * self.effective_charge * rho * jl_crit
+            / (2.0 * self.atomic_volume.value());
+        Self::new(
+            self.metal,
+            self.effective_charge,
+            self.atomic_volume,
+            self.effective_modulus,
+            self.diffusivity_prefactor,
+            self.activation_energy,
+            Pascals::new(sigma),
+            self.critical_void_length,
+        )
+    }
+
+    /// The underlying metal (resistivity fit, EM parameters).
+    #[must_use]
+    pub fn metal(&self) -> &Metal {
+        &self.metal
+    }
+
+    /// σ_crit — the tensile void-nucleation threshold.
+    #[must_use]
+    pub fn critical_stress(&self) -> Pascals {
+        self.critical_stress
+    }
+
+    /// The void length at which a segment is declared failed.
+    #[must_use]
+    pub fn critical_void_length(&self) -> Length {
+        self.critical_void_length
+    }
+
+    /// B — the effective confinement modulus.
+    #[must_use]
+    pub fn effective_modulus(&self) -> Pascals {
+        self.effective_modulus
+    }
+
+    /// Stress diffusivity `κ(T) = D₀·exp(−E_a/k_B T)·B·Ω/(k_B·T)` in
+    /// m²/s.
+    #[must_use]
+    pub fn kappa(&self, temperature: Kelvin) -> f64 {
+        let t = temperature.value();
+        let d_a = self.diffusivity_prefactor
+            * (-self.activation_energy.value() / (BOLTZMANN_EV_PER_K * t)).exp();
+        d_a * self.effective_modulus.value() * self.atomic_volume.value() / (BOLTZMANN_J_PER_K * t)
+    }
+
+    /// Electron-wind term `G = −e·|Z*|·ρ(T)·j/Ω` in Pa/m, with `j` the
+    /// conventional current density signed along the segment axis. The
+    /// steady-state stress slope is `−G` (tensile toward the node the
+    /// conventional current flows into).
+    #[must_use]
+    pub fn wind_term(&self, density: CurrentDensity, temperature: Kelvin) -> f64 {
+        let rho = self.metal.resistivity(temperature).value();
+        -ELEMENTARY_CHARGE_C * self.effective_charge * rho * density.value()
+            / self.atomic_volume.value()
+    }
+
+    /// The single-segment critical `j·L` product implied by `σ_crit` at
+    /// the given temperature: `(jL)_crit = 2·σ_crit·Ω/(e·|Z*|·ρ(T))`,
+    /// in A/m. Inverse of [`Self::calibrated_to_blech`].
+    #[must_use]
+    pub fn implied_blech_product(&self, temperature: Kelvin) -> f64 {
+        let rho = self.metal.resistivity(temperature).value();
+        2.0 * self.critical_stress.value() * self.atomic_volume.value()
+            / (ELEMENTARY_CHARGE_C * self.effective_charge * rho)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid_and_distinct() {
+        let cu = KorhonenModel::copper().unwrap();
+        let al = KorhonenModel::alcu().unwrap();
+        assert!(cu.critical_stress().value() > 0.0);
+        assert!(al.critical_stress().value() > 0.0);
+        assert!(cu.kappa(Kelvin::new(373.15)) > 0.0);
+        // AlCu diffuses much faster at equal temperature.
+        assert!(al.kappa(Kelvin::new(373.15)) > cu.kappa(Kelvin::new(373.15)));
+    }
+
+    #[test]
+    fn blech_calibration_round_trips() {
+        let t = Kelvin::new(373.15);
+        let cu = KorhonenModel::copper().unwrap();
+        let implied = cu.implied_blech_product(t) / 100.0; // A/m → A/cm
+        let quoted = hotwire_em::blech::BlechModel::copper().critical_product_amps_per_cm();
+        assert!(
+            ((implied - quoted) / quoted).abs() < 1e-12,
+            "implied {implied} A/cm vs quoted {quoted} A/cm"
+        );
+    }
+
+    #[test]
+    fn wind_term_sign_tracks_current() {
+        let cu = KorhonenModel::copper().unwrap();
+        let t = Kelvin::new(373.15);
+        let j = CurrentDensity::from_mega_amps_per_cm2(1.0);
+        // Positive conventional j ⇒ negative G ⇒ positive steady slope.
+        assert!(cu.wind_term(j, t) < 0.0);
+        assert!(cu.wind_term(-j, t) > 0.0);
+    }
+
+    #[test]
+    fn kappa_grows_with_temperature() {
+        let cu = KorhonenModel::copper().unwrap();
+        assert!(cu.kappa(Kelvin::new(423.15)) > cu.kappa(Kelvin::new(373.15)));
+    }
+
+    #[test]
+    fn validation_rejects_nonpositive() {
+        let metal = Metal::copper();
+        let r = KorhonenModel::new(
+            metal,
+            0.0,
+            Volume::new(1.0e-29),
+            Pascals::from_gigapascals(28.0),
+            1.0e-9,
+            ElectronVolts::new(0.8),
+            Pascals::from_megapascals(500.0),
+            Length::from_nanometers(25.0),
+        );
+        assert!(matches!(r, Err(TreeEmError::InvalidParameter { .. })));
+    }
+}

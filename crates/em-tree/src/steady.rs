@@ -1,0 +1,267 @@
+//! Linear-time steady-state stress over a tree — the immortality
+//! filter.
+//!
+//! At steady state the atomic flux vanishes on every branch, so the
+//! stress profile is piecewise linear with slope `−G_b` along each
+//! branch and continuous at junctions (continuity of the chemical
+//! potential). Two tree traversals therefore solve the PDE exactly,
+//! with no matrix factorization (Shohel/Chhabria/Sapatnekar,
+//! arXiv:2112.13451):
+//!
+//! 1. a BFS from node 0 propagates relative offsets
+//!    `σ̂(to) = σ̂(from) − G_b·L_b`;
+//! 2. conservation of atoms fixes the free constant: with metal volume
+//!    weight `w_b = A_b·L_b` and the branch average
+//!    `(σ̂(from)+σ̂(to))/2`, the volume-weighted mean stress must stay
+//!    zero, so `σ₀ = −Σ w_b·(σ̂_u+σ̂_v)/2 / Σ w_b`.
+//!
+//! A tree whose peak tensile stress stays below `σ_crit` can never
+//! nucleate a void — it is *immortal*, generalizing the per-strap Blech
+//! product to junction trees where a reservoir branch can buy slack for
+//! a hot neighbor.
+
+use hotwire_obs::metrics;
+use hotwire_units::Pascals;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::model::KorhonenModel;
+use crate::tree::InterconnectTree;
+use crate::TreeEmError;
+
+/// Zero-flux steady-state stress of one tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SteadyStateStress {
+    /// Stress at each tree node (the per-branch profile is linear
+    /// between them, so node values carry the extrema).
+    pub node_stress: Vec<Pascals>,
+    /// Peak tensile stress over the tree.
+    pub max_tensile: Pascals,
+    /// Peak compressive (most negative) stress — hillock risk.
+    pub max_compressive: Pascals,
+    /// Node index at which the peak tensile stress occurs (the
+    /// void-nucleation site if the tree is mortal).
+    pub critical_node: usize,
+    /// `true` when `max_tensile < σ_crit`: the tree can never nucleate
+    /// a void at these operating conditions.
+    pub immortal: bool,
+}
+
+/// Solves the zero-flux steady state in `O(segments)`.
+///
+/// # Errors
+///
+/// Currently infallible for a validated [`InterconnectTree`], but kept
+/// fallible so the signature survives richer models (stress-dependent
+/// diffusivity needs an iteration that can fail).
+pub fn steady_state(
+    tree: &InterconnectTree,
+    model: &KorhonenModel,
+) -> Result<SteadyStateStress, TreeEmError> {
+    let _t = metrics::timer("em.stress.steady_time").start();
+    metrics::counter("em.stress.steady_solves").inc();
+    metrics::counter("em.tree.segments").add(tree.segments().len() as u64);
+
+    let n = tree.node_count();
+    let adj = tree.adjacency();
+    let segs = tree.segments();
+
+    // Pass 1: relative offsets by BFS (explicit queue — 10k-segment
+    // chains would overflow a recursive stack).
+    let mut offset = vec![f64::NAN; n];
+    offset[0] = 0.0;
+    let mut queue = std::collections::VecDeque::with_capacity(n);
+    queue.push_back(0usize);
+    while let Some(u) = queue.pop_front() {
+        for &(e, v) in &adj[u] {
+            if !offset[v].is_nan() {
+                continue;
+            }
+            let s = &segs[e];
+            let g = model.wind_term(s.current_density, s.temperature);
+            let drop = g * s.length.value();
+            // σ(to) = σ(from) − G·L, applied in the edge's own
+            // orientation regardless of traversal direction.
+            offset[v] = if s.from == u {
+                offset[u] - drop
+            } else {
+                offset[u] + drop
+            };
+            queue.push_back(v);
+        }
+    }
+
+    // Pass 2: atom conservation pins the free constant — the
+    // volume-weighted mean of the linear profile must vanish.
+    let mut weighted = 0.0;
+    let mut total_w = 0.0;
+    for s in segs {
+        let w = s.area().value() * s.length.value();
+        weighted += w * 0.5 * (offset[s.from] + offset[s.to]);
+        total_w += w;
+    }
+    let sigma0 = -weighted / total_w;
+
+    let mut max_tensile = f64::NEG_INFINITY;
+    let mut max_compressive = f64::INFINITY;
+    let mut critical_node = 0usize;
+    let node_stress: Vec<Pascals> = offset
+        .iter()
+        .enumerate()
+        .map(|(i, &off)| {
+            let sigma = off + sigma0;
+            if sigma > max_tensile {
+                max_tensile = sigma;
+                critical_node = i;
+            }
+            max_compressive = max_compressive.min(sigma);
+            Pascals::new(sigma)
+        })
+        .collect();
+
+    let immortal = max_tensile < model.critical_stress().value();
+    if immortal {
+        metrics::counter("em.tree.immortal").inc();
+    } else {
+        metrics::counter("em.tree.mortal").inc();
+    }
+    Ok(SteadyStateStress {
+        node_stress,
+        max_tensile: Pascals::new(max_tensile),
+        max_compressive: Pascals::new(max_compressive),
+        critical_node,
+        immortal,
+    })
+}
+
+/// Steady-state filter over a batch of trees, optionally in parallel.
+///
+/// The parallel path is order-preserving and byte-identical to the
+/// serial one: each tree's solve touches only its own data, and results
+/// are collected back in input order (the same contract as the
+/// workspace's sweep suites).
+///
+/// # Errors
+///
+/// Propagates the first per-tree error in input order.
+pub fn batch_steady_state(
+    trees: &[InterconnectTree],
+    model: &KorhonenModel,
+    parallel: bool,
+) -> Result<Vec<SteadyStateStress>, TreeEmError> {
+    if parallel {
+        trees
+            .par_iter()
+            .map(|t| steady_state(t, model))
+            .collect::<Result<Vec<_>, _>>()
+    } else {
+        trees.iter().map(|t| steady_state(t, model)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeSegment;
+    use hotwire_units::{CurrentDensity, Kelvin, Length};
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    #[test]
+    fn single_line_matches_closed_form() {
+        // σ(x) = eZρj/Ω · (x − L/2); peak = eZρjL/(2Ω) at the cathode.
+        let model = KorhonenModel::copper().unwrap();
+        let t = Kelvin::new(373.15);
+        let j = CurrentDensity::from_mega_amps_per_cm2(1.0);
+        let line =
+            InterconnectTree::straight_line("l", 8, um(5.0), um(0.5), um(0.5), j, t).unwrap();
+        let s = steady_state(&line, &model).unwrap();
+        let g = model.wind_term(j, t);
+        let total = 8.0 * 5.0e-6;
+        let expect_peak = -g * total / 2.0;
+        assert!(
+            (s.max_tensile.value() - expect_peak).abs() / expect_peak < 1e-12,
+            "peak {} vs {}",
+            s.max_tensile.value(),
+            expect_peak
+        );
+        // Cathode = last node (conventional current flows into it).
+        assert_eq!(s.critical_node, 8);
+        // Anode end is equally compressive.
+        assert!((s.max_compressive.value() + expect_peak).abs() / expect_peak < 1e-12);
+    }
+
+    #[test]
+    fn reservoir_branch_buys_immortality() {
+        // A driven segment just above its solo Blech product becomes
+        // immortal when a zero-current reservoir hangs off its cathode:
+        // the reservoir's metal volume shifts the conserved mean, so
+        // the tensile peak never reaches σ_crit.
+        let model = KorhonenModel::copper().unwrap();
+        let t = Kelvin::new(373.15);
+        let jl_crit = model.implied_blech_product(t); // A/m
+        let len = 20.0e-6;
+        let j = CurrentDensity::new(jl_crit / len * 1.05); // 5 % mortal solo
+        let seg = |from, to, density: CurrentDensity| TreeSegment {
+            from,
+            to,
+            length: Length::new(len),
+            width: um(0.5),
+            thickness: um(0.5),
+            current_density: density,
+            temperature: t,
+        };
+        let solo = InterconnectTree::new("solo", 2, vec![seg(0, 1, j)]).unwrap();
+        assert!(!steady_state(&solo, &model).unwrap().immortal);
+
+        // Same driven segment 0→1 plus a quiet reservoir past the
+        // cathode (node 1), where the void would otherwise nucleate.
+        let with_res = InterconnectTree::new(
+            "res",
+            3,
+            vec![seg(0, 1, j), seg(1, 2, CurrentDensity::new(0.0))],
+        )
+        .unwrap();
+        let s = steady_state(&with_res, &model).unwrap();
+        assert!(
+            s.immortal,
+            "reservoir should shift the mean: peak {} vs crit {}",
+            s.max_tensile.value(),
+            model.critical_stress().value()
+        );
+    }
+
+    #[test]
+    fn batch_parallel_is_bit_identical_to_serial() {
+        let model = KorhonenModel::copper().unwrap();
+        let t = Kelvin::new(373.15);
+        let trees: Vec<_> = (1..20)
+            .map(|i| {
+                InterconnectTree::straight_line(
+                    format!("l{i}"),
+                    i,
+                    um(3.0 + i as f64),
+                    um(0.4),
+                    um(0.5),
+                    CurrentDensity::from_mega_amps_per_cm2(0.3 * i as f64),
+                    t,
+                )
+                .unwrap()
+            })
+            .collect();
+        let serial = batch_steady_state(&trees, &model, false).unwrap();
+        let par = batch_steady_state(&trees, &model, true).unwrap();
+        assert_eq!(serial.len(), par.len());
+        for (a, b) in serial.iter().zip(&par) {
+            assert_eq!(
+                a.max_tensile.value().to_bits(),
+                b.max_tensile.value().to_bits()
+            );
+            for (x, y) in a.node_stress.iter().zip(&b.node_stress) {
+                assert_eq!(x.value().to_bits(), y.value().to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Property tests for the tree-EM stress solvers.
+//!
+//! Three claims are pinned over randomized inputs: (1) on a single
+//! strap the linear-time steady-state filter is *the same predicate*
+//! as the classical Blech product check it was calibrated to; (2) on
+//! arbitrary random trees the BFS recurrence agrees with a dense
+//! direct solve of the zero-flux equations; (3) the batch drivers are
+//! byte-identical between their rayon and serial paths.
+
+use hotwire_circuit::linalg::Matrix;
+use hotwire_em::blech::BlechModel;
+use hotwire_em_tree::model::KorhonenModel;
+use hotwire_em_tree::steady::{batch_steady_state, steady_state};
+use hotwire_em_tree::transient::{KorhonenSolver, TransientOptions};
+use hotwire_em_tree::tree::{InterconnectTree, TreeSegment};
+use hotwire_units::{CurrentDensity, Kelvin, Length, Seconds};
+use proptest::prelude::*;
+
+const CALIBRATION_TEMPERATURE: f64 = 373.15;
+
+fn um(v: f64) -> Length {
+    Length::from_micrometers(v)
+}
+
+/// A random tree: node v ∈ 1..n hangs off a random earlier node, so
+/// every topology from a path to a star appears.
+fn random_tree(
+    parents: &[usize],
+    lengths: &[f64],
+    densities: &[f64],
+    temps: &[f64],
+) -> InterconnectTree {
+    let segments: Vec<TreeSegment> = parents
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| TreeSegment {
+            from: p % (k + 1), // any node already placed
+            to: k + 1,
+            length: um(lengths[k]),
+            width: um(0.4),
+            thickness: um(0.4),
+            current_density: CurrentDensity::from_mega_amps_per_cm2(densities[k]),
+            temperature: Kelvin::new(temps[k] + 273.15),
+        })
+        .collect();
+    InterconnectTree::new("prop", parents.len() + 1, segments).expect("valid random tree")
+}
+
+/// Dense cross-check: stamp the zero-flux equations
+/// `Σ w_ij(σ_i − σ_j) = Σ ±κAG` with σ_0 pinned, solve directly, then
+/// shift by the same atom-conservation constant the fast path uses.
+fn dense_node_stress(tree: &InterconnectTree, model: &KorhonenModel) -> Vec<f64> {
+    let n = tree.node_count();
+    let mut k_mat = Matrix::zeros(n - 1, n - 1);
+    let mut rhs = vec![0.0_f64; n - 1];
+    // Unknowns are nodes 1..n (node 0 pinned at 0); equation rows are
+    // the FV balances at those same nodes.
+    for seg in tree.segments() {
+        let area = seg.area().value();
+        let kappa = model.kappa(seg.temperature);
+        let w = kappa * area / seg.length.value();
+        let s = kappa * area * model.wind_term(seg.current_density, seg.temperature);
+        let (a, b) = (seg.from, seg.to);
+        if a > 0 {
+            k_mat.add(a - 1, a - 1, w);
+            rhs[a - 1] += s;
+        }
+        if b > 0 {
+            k_mat.add(b - 1, b - 1, w);
+            rhs[b - 1] -= s;
+        }
+        if a > 0 && b > 0 {
+            k_mat.add(a - 1, b - 1, -w);
+            k_mat.add(b - 1, a - 1, -w);
+        }
+    }
+    let x = k_mat.solve(&rhs).expect("grounded Laplacian is SPD");
+    let mut sigma = vec![0.0_f64];
+    sigma.extend(x);
+    // Atom conservation: ∫σ dx = 0 with σ linear along each segment.
+    let mut weighted = 0.0;
+    let mut total = 0.0;
+    for seg in tree.segments() {
+        let w_b = seg.area().value() * seg.length.value();
+        weighted += w_b * (sigma[seg.from] + sigma[seg.to]) / 2.0;
+        total += w_b;
+    }
+    let shift = -weighted / total;
+    for s in &mut sigma {
+        *s += shift;
+    }
+    sigma
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Satellite consistency claim: a single-segment tree and
+    /// `em::blech` are the same immortality predicate at the
+    /// calibration temperature — for any (j, L), including points
+    /// straddling the (jL)_crit threshold.
+    #[test]
+    fn single_strap_filter_is_exactly_blech(
+        j_ma in 0.01_f64..4.0,
+        length_um in 1.0_f64..400.0,
+    ) {
+        let blech = BlechModel::copper();
+        let model = KorhonenModel::copper().unwrap();
+        let j = CurrentDensity::from_mega_amps_per_cm2(j_ma);
+        let strap = InterconnectTree::straight_line(
+            "strap", 1, um(length_um), um(0.4), um(0.4), j,
+            Kelvin::new(CALIBRATION_TEMPERATURE),
+        ).unwrap();
+        let steady = steady_state(&strap, &model).unwrap();
+        prop_assert_eq!(steady.immortal, blech.is_immortal(j, um(length_um)));
+        // And the implied product inverts the calibration exactly.
+        let implied = model.implied_blech_product(Kelvin::new(CALIBRATION_TEMPERATURE));
+        let reference = blech.critical_product_amps_per_cm() * 100.0; // A/cm -> A/m
+        prop_assert!((implied - reference).abs() / reference < 1.0e-9);
+    }
+
+    /// The O(segments) BFS recurrence equals a dense direct solve of
+    /// the zero-flux system on arbitrary trees with per-segment
+    /// geometry, drive, and temperature.
+    #[test]
+    fn steady_state_matches_dense_direct_solve(
+        parents in prop::collection::vec(0_usize..64, 1..12),
+        lengths in prop::collection::vec(2.0_f64..80.0, 12),
+        densities in prop::collection::vec(-2.0_f64..2.0, 12),
+        temps in prop::collection::vec(40.0_f64..250.0, 12),
+    ) {
+        let tree = random_tree(&parents, &lengths, &densities, &temps);
+        let model = KorhonenModel::copper().unwrap();
+        let fast = steady_state(&tree, &model).unwrap();
+        let dense = dense_node_stress(&tree, &model);
+        let scale = dense.iter().fold(1.0_f64, |m, &s| m.max(s.abs()));
+        for (a, b) in fast.node_stress.iter().zip(&dense) {
+            prop_assert!(
+                (a.value() - b).abs() <= 1.0e-8 * scale,
+                "fast {} vs dense {} (scale {})", a.value(), b, scale
+            );
+        }
+    }
+
+    /// Per-tree sweeps must not depend on rayon scheduling: the
+    /// parallel batch is byte-identical to the serial one.
+    #[test]
+    fn parallel_steady_batch_is_bit_identical(
+        parents in prop::collection::vec(0_usize..64, 1..8),
+        lengths in prop::collection::vec(2.0_f64..80.0, 8),
+        densities in prop::collection::vec(-2.0_f64..2.0, 8),
+        temps in prop::collection::vec(40.0_f64..250.0, 8),
+        copies in 2_usize..6,
+    ) {
+        let tree = random_tree(&parents, &lengths, &densities, &temps);
+        // Perturb each copy so equal results cannot hide reordering.
+        let trees: Vec<InterconnectTree> = (0..copies)
+            .map(|i| {
+                let points: Vec<(CurrentDensity, Kelvin)> = tree
+                    .segments()
+                    .iter()
+                    .map(|s| {
+                        (
+                            CurrentDensity::new(s.current_density.value() * (1.0 + i as f64 * 0.1)),
+                            s.temperature,
+                        )
+                    })
+                    .collect();
+                tree.with_operating_points(&points).unwrap()
+            })
+            .collect();
+        let model = KorhonenModel::copper().unwrap();
+        let serial = batch_steady_state(&trees, &model, false).unwrap();
+        let parallel = batch_steady_state(&trees, &model, true).unwrap();
+        prop_assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(a.immortal, b.immortal);
+            prop_assert_eq!(a.max_tensile.value().to_bits(), b.max_tensile.value().to_bits());
+            for (x, y) in a.node_stress.iter().zip(&b.node_stress) {
+                prop_assert_eq!(x.value().to_bits(), y.value().to_bits());
+            }
+        }
+    }
+}
+
+proptest! {
+    // The transient cases integrate ~900 implicit steps each; a small
+    // case count keeps the suite in tier-1 time while still sweeping
+    // drive, length, and temperature.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Transient-vs-analytic: on any immortal line the Korhonen
+    /// integrator must relax to the closed-form linear stress ramp.
+    #[test]
+    fn transient_relaxes_to_the_analytic_ramp(
+        j_ma in 0.05_f64..0.4,
+        segment_um in 4.0_f64..12.0,
+        segments in 2_usize..5,
+        temp_c in 80.0_f64..140.0,
+    ) {
+        let model = KorhonenModel::copper().unwrap();
+        let line = InterconnectTree::straight_line(
+            "prop-line", segments, um(segment_um), um(0.4), um(0.4),
+            CurrentDensity::from_mega_amps_per_cm2(j_ma),
+            Kelvin::new(temp_c + 273.15),
+        ).unwrap();
+        let steady = steady_state(&line, &model).unwrap();
+        prop_assume!(steady.immortal); // mortal lines nucleate instead of relaxing
+        let total_l = line.total_length().value();
+        let kappa = model.kappa(Kelvin::new(temp_c + 273.15));
+        // ~50 diffusion times: the slowest mode has decayed by e^-50.
+        let horizon = Seconds::new(50.0 * total_l * total_l / kappa);
+        let mut solver = KorhonenSolver::new(
+            &line, &model, TransientOptions::for_horizon(horizon),
+        ).unwrap();
+        let out = solver.run_to_failure().unwrap();
+        prop_assert!(out.failure_time.is_none());
+        let peak = steady.max_tensile.value().abs().max(1.0);
+        for (t, s) in solver.node_stress().iter().zip(&steady.node_stress) {
+            prop_assert!(
+                (t.value() - s.value()).abs() < 5.0e-3 * peak,
+                "node stress {} vs analytic {}", t.value(), s.value()
+            );
+        }
+    }
+}

@@ -56,23 +56,21 @@ impl BlechModel {
     }
 
     /// Typical AlCu between tungsten studs: (j·L)_crit = 2000 A/cm.
-    ///
-    /// # Panics
-    ///
-    /// Never panics (the constant is valid).
     #[must_use]
-    pub fn alcu() -> Self {
-        Self::from_amps_per_cm(2000.0).expect("static constant")
+    pub const fn alcu() -> Self {
+        // 2000 A/cm → A/m; built directly so the constant constructor
+        // carries no panic path (HW001).
+        Self {
+            critical_product: 2000.0 * 100.0,
+        }
     }
 
     /// Typical damascene Cu: (j·L)_crit = 3000 A/cm.
-    ///
-    /// # Panics
-    ///
-    /// Never panics (the constant is valid).
     #[must_use]
-    pub fn copper() -> Self {
-        Self::from_amps_per_cm(3000.0).expect("static constant")
+    pub const fn copper() -> Self {
+        Self {
+            critical_product: 3000.0 * 100.0,
+        }
     }
 
     /// The critical product in A/cm.

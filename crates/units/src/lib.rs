@@ -39,6 +39,7 @@ pub mod consts;
 mod electrical;
 mod energy;
 mod length;
+mod pressure;
 mod temperature;
 mod thermal;
 mod time;
@@ -49,6 +50,7 @@ pub use electrical::{
 };
 pub use energy::{ElectronVolts, Energy};
 pub use length::{Area, Length, Micrometers, Volume};
+pub use pressure::Pascals;
 pub use temperature::{Celsius, Kelvin, TemperatureDelta};
 pub use thermal::{
     Density, Power, PowerDensity, SpecificHeat, ThermalConductivity, ThermalImpedance,

@@ -1,0 +1,66 @@
+//! Mechanical stress / pressure.
+//!
+//! The Korhonen electromigration model tracks hydrostatic stress in the
+//! metal: tensile stress (positive here) nucleates voids once it crosses
+//! a critical threshold, compressive stress (negative) extrudes
+//! hillocks. Literature values are quoted in MPa, hence the dedicated
+//! constructors.
+
+crate::quantity!(
+    /// Mechanical (hydrostatic) stress. Canonical unit: pascal (Pa).
+    ///
+    /// Sign convention throughout the workspace: **positive = tensile**
+    /// (void-nucleating), negative = compressive.
+    ///
+    /// ```
+    /// use hotwire_units::Pascals;
+    ///
+    /// let sigma = Pascals::from_megapascals(500.0);
+    /// assert!((sigma.value() - 5.0e8).abs() < 1e-3);
+    /// assert!((sigma.to_megapascals() - 500.0).abs() < 1e-12);
+    /// ```
+    Pascals,
+    "Pa",
+    "stress"
+);
+
+impl Pascals {
+    /// Creates a stress from megapascals.
+    #[must_use]
+    pub fn from_megapascals(mpa: f64) -> Self {
+        Self::new(mpa * 1.0e6)
+    }
+
+    /// The magnitude in megapascals.
+    #[must_use]
+    pub fn to_megapascals(self) -> f64 {
+        self.value() * 1.0e-6
+    }
+
+    /// Creates a stress from gigapascals (bulk moduli are quoted in GPa).
+    #[must_use]
+    pub fn from_gigapascals(gpa: f64) -> Self {
+        Self::new(gpa * 1.0e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let s = Pascals::from_megapascals(600.0);
+        assert!((s.to_megapascals() - 600.0).abs() < 1e-12);
+        let b = Pascals::from_gigapascals(28.0);
+        assert!((b.value() - 2.8e10).abs() < 1e-3);
+    }
+
+    #[test]
+    fn tensile_compressive_ordering() {
+        let tensile = Pascals::from_megapascals(400.0);
+        let compressive = -tensile;
+        assert!(compressive < Pascals::ZERO);
+        assert!(tensile.max(compressive) == tensile);
+    }
+}

@@ -40,6 +40,19 @@ impl Seconds {
     pub fn to_picos(self) -> f64 {
         self.value() * 1e12
     }
+
+    /// Creates a duration from Julian years (365.25 days) — lifetime
+    /// horizons.
+    #[must_use]
+    pub fn from_years(years: f64) -> Self {
+        Self::new(years * 31_557_600.0)
+    }
+
+    /// The magnitude in Julian years.
+    #[must_use]
+    pub fn to_years(self) -> f64 {
+        self.value() / 31_557_600.0
+    }
 }
 
 crate::quantity!(

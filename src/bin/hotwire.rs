@@ -261,6 +261,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "esd" => cmd_esd(&opts),
         "signoff" => cmd_signoff(&opts),
         "coupled-signoff" => cmd_coupled_signoff(&opts),
+        "tree-signoff" => cmd_tree_signoff(&opts),
         "serve" => cmd_serve(&opts),
         "simulate" => cmd_simulate(&opts),
         "techfile" => cmd_techfile(&opts),
@@ -317,6 +318,13 @@ fn print_help() {
                      [--pads r:c,r:c,...] [--tol <K>] [--max-iters <n>]\n\
                      [--damping <a>] [--sigma <s>] [--quantile <f>]\n\
                      [--trace-out <path>]  per-iteration convergence trace (JSON)\n\
+           tree-signoff\n\
+                     Korhonen stress-evolution EM signoff of supply trees\n\
+                     extracted from a SPICE-subset netlist (resistor trees\n\
+                     fed by V-sources, loads as I-sources)\n\
+                     --netlist <path> [--width-um <W>] [--thickness-um <t>]\n\
+                     [--metal cu|alcu] [--temp-c <T>] [--horizon-years <y>]\n\
+                     [--steady-only true] [--sigma <s>] [--quantile <f>]\n\
            serve     HTTP observability endpoint (blocks until SIGTERM/ctrl-c)\n\
                      [--addr <ip:port>] [--threads <n>] plus the\n\
                      coupled-signoff grid flags (template for POST /signoff);\n\
@@ -792,6 +800,151 @@ fn cmd_coupled_signoff(opts: &Flags) -> Result<(), CliError> {
             violations.len()
         )))
     }
+}
+
+/// Renders a lifetime in the unit a signoff reader expects — years
+/// when it is at least a month, hours below that (a grossly overdriven
+/// tree fails in hours, and "0.00 years" hides that).
+fn format_horizon_time(t: Seconds) -> String {
+    let years = t.to_years();
+    if years >= 0.1 {
+        format!("{years:.2} years")
+    } else {
+        format!("{:.2} hours", t.value() / 3600.0)
+    }
+}
+
+fn cmd_tree_signoff(opts: &Flags) -> Result<(), CliError> {
+    use hotwire::em_tree::model::KorhonenModel;
+    use hotwire::em_tree::netlist::{trees_from_netlist_text, NetlistTreeOptions};
+    use hotwire::em_tree::steady::batch_steady_state;
+    use hotwire::em_tree::transient::{batch_to_failure, TransientOptions};
+
+    let path = flag(opts, "netlist")?;
+    let deck = std::fs::read_to_string(path)
+        .map_err(|e| CliError::context(format!("cannot read {path}"), e))?;
+    let metal_name = flag_or(opts, "metal", "cu");
+    let metal = Metal::builtin(metal_name)
+        .ok_or_else(|| CliError::usage(format!("unknown metal `{metal_name}`")))?;
+    let model = KorhonenModel::for_metal_name(metal_name).map_err(CliError::internal)?;
+    let temperature = Celsius::new(parse_f64(opts, "temp-c", 100.0)?).to_kelvin();
+    let netlist_options = NetlistTreeOptions {
+        width: Length::from_micrometers(parse_f64(opts, "width-um", 0.5)?),
+        thickness: Length::from_micrometers(parse_f64(opts, "thickness-um", 0.5)?),
+        metal,
+        temperature,
+    };
+    let horizon = Seconds::from_years(parse_f64(opts, "horizon-years", 10.0)?);
+    let steady_only = flag_or(opts, "steady-only", "false") != "false";
+    let sigma = parse_f64(opts, "sigma", 0.5)?;
+    let quantile = parse_f64(opts, "quantile", 1e-3)?;
+
+    let extracted = trees_from_netlist_text(&deck, &netlist_options).map_err(CliError::internal)?;
+    if extracted.is_empty() {
+        return Err(CliError::usage(format!(
+            "{path} contains no resistor trees to assess"
+        )));
+    }
+    let trees: Vec<_> = extracted.iter().map(|e| e.tree.clone()).collect();
+    let steady = batch_steady_state(&trees, &model, true).map_err(CliError::internal)?;
+
+    let mortal: Vec<usize> = (0..trees.len()).filter(|&i| !steady[i].immortal).collect();
+    let mut outcomes = vec![None; trees.len()];
+    if !steady_only && !mortal.is_empty() {
+        let mortal_trees: Vec<_> = mortal.iter().map(|&i| trees[i].clone()).collect();
+        let runs = batch_to_failure(
+            &mortal_trees,
+            &model,
+            TransientOptions::for_horizon(horizon),
+            true,
+        )
+        .map_err(CliError::internal)?;
+        for (&i, o) in mortal.iter().zip(runs) {
+            outcomes[i] = Some(o);
+        }
+    }
+
+    println!(
+        "{} tree(s) from {path} at {:.1} ({} horizon: {:.1} years)",
+        trees.len(),
+        temperature.to_celsius(),
+        if steady_only {
+            "filter only;"
+        } else {
+            "signoff"
+        },
+        horizon.to_years()
+    );
+    println!(
+        "{:<16}{:>10}{:>16}{:>14}  {:>28}",
+        "tree", "segments", "peak σ [MPa]", "immortal", "outcome"
+    );
+    let sigma_crit = model.critical_stress();
+    let mut failures: Vec<Seconds> = Vec::new();
+    let mut mortal_unresolved = 0usize;
+    for ((e, s), o) in extracted.iter().zip(&steady).zip(&outcomes) {
+        let outcome = match (s.immortal, o) {
+            (true, _) => "below σ_crit forever".to_owned(),
+            (false, None) => {
+                mortal_unresolved += 1;
+                format!("σ would reach {:.0} MPa", s.max_tensile.value() * 1e-6)
+            }
+            (false, Some(out)) => match (out.failure_time, out.nucleation_time) {
+                (Some(t), _) => {
+                    failures.push(t);
+                    format!("fails at {}", format_horizon_time(t))
+                }
+                (None, Some(t)) => format!("void at {}, survives", format_horizon_time(t)),
+                (None, None) => "no void within horizon".to_owned(),
+            },
+        };
+        // Cathode = tree-local node where the steady tensile peak sits;
+        // name it in netlist terms so the report is actionable.
+        let peak_mpa = s.max_tensile.value() * 1e-6;
+        println!(
+            "{:<16}{:>10}{:>16.1}{:>14}  {:>28}",
+            e.tree.name(),
+            e.tree.segments().len(),
+            peak_mpa,
+            if s.immortal { "yes" } else { "no" },
+            outcome
+        );
+    }
+    println!(
+        "σ_crit = {:.0} MPa ({}, Blech-calibrated at 100 °C)",
+        sigma_crit.value() * 1e-6,
+        metal_name
+    );
+    if !failures.is_empty() {
+        let mut members = Vec::with_capacity(failures.len());
+        for &t in &failures {
+            members.push(
+                hotwire::em::lifetime::LognormalLifetime::from_quantile(t, quantile, sigma)
+                    .map_err(CliError::internal)?,
+            );
+        }
+        let pop = hotwire::em::lifetime::WeakestLinkPopulation::new(members)
+            .map_err(CliError::internal)?;
+        let ttf = pop.time_to_fraction(quantile).map_err(CliError::internal)?;
+        println!(
+            "chip TTF = {} at the {quantile:.0e} failure quantile ({} failing tree(s))",
+            format_horizon_time(ttf),
+            failures.len()
+        );
+        return Err(CliError::violation(format!(
+            "{} tree(s) fail within the {:.1}-year horizon",
+            failures.len(),
+            horizon.to_years()
+        )));
+    }
+    if steady_only && mortal_unresolved > 0 {
+        return Err(CliError::violation(format!(
+            "{mortal_unresolved} tree(s) exceed σ_crit in steady state (run without \
+             --steady-only for nucleation/growth times)"
+        )));
+    }
+    println!("all trees survive the horizon");
+    Ok(())
 }
 
 fn cmd_serve(opts: &Flags) -> Result<(), CliError> {

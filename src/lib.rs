@@ -12,6 +12,7 @@
 //! | [`units`] | `hotwire-units` | typed physical quantities |
 //! | [`tech`] | `hotwire-tech` | materials, metal stacks, NTRS presets, tech files |
 //! | [`em`] | `hotwire-em` | waveform statistics, Black's equation, deratings |
+//! | [`em_tree`] | `hotwire-em-tree` | Korhonen stress evolution on interconnect trees |
 //! | [`thermal`] | `hotwire-thermal` | θ models, fin solutions, 2-D finite volumes, transients |
 //! | [`core`] | `hotwire-core` | the self-consistent solver + design-rule tables |
 //! | [`circuit`] | `hotwire-circuit` | MNA transient simulation, extraction, repeaters |
@@ -71,6 +72,7 @@ pub use hotwire_circuit as circuit;
 pub use hotwire_core as core;
 pub use hotwire_coupled as coupled;
 pub use hotwire_em as em;
+pub use hotwire_em_tree as em_tree;
 pub use hotwire_esd as esd;
 pub use hotwire_obs as obs;
 pub use hotwire_tech as tech;
