@@ -14,9 +14,16 @@
 //! telemetry compiled out the registry types are zero-sized and every
 //! call site folds to nothing, so the second run *is* the uninstrumented
 //! baseline, not an approximation of it.
+//!
+//! `coupled_step_traced` reruns the same hot loop under a live span
+//! capture (record + drain per step) — compare against `coupled_step`
+//! at the same size to read the full `--trace-out` cost. The committed
+//! gate for that number lives in `bench_diff --trace-overhead`, which
+//! bounds the paired `NxN+trace` rows of `BENCH_coupled.json` at 5%.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use hotwire_coupled::{CoupledEngine, CoupledGridSpec, CoupledOptions};
+use hotwire_obs::spantree;
 
 fn engine(n: usize) -> CoupledEngine {
     CoupledEngine::new(CoupledGridSpec::demo(n, n), CoupledOptions::default())
@@ -39,6 +46,28 @@ fn bench_coupled_step(c: &mut Criterion) {
     group.finish();
 }
 
+/// The hot loop again, but with span capture live: each iteration
+/// records the full `coupled.*`/`solver.*`/`thermal.*` span tree and
+/// drains it, so the delta over `coupled_step` is the whole tracing
+/// bill — begin/end timestamps, buffer pushes, and the drain.
+fn bench_coupled_step_traced(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coupled_step_traced");
+    group.sample_size(10);
+    for n in [50usize, 100] {
+        let mut eng = engine(n);
+        eng.run().expect("demo grid converges");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                spantree::capture_start();
+                let step = eng.step().expect("step at fixed point");
+                black_box(spantree::capture_take());
+                black_box(step)
+            });
+        });
+    }
+    group.finish();
+}
+
 /// Full cold run to convergence plus the EM assessment — what one
 /// `hotwire coupled-signoff` invocation pays.
 fn bench_coupled_signoff(c: &mut Criterion) {
@@ -54,5 +83,10 @@ fn bench_coupled_signoff(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_coupled_step, bench_coupled_signoff);
+criterion_group!(
+    benches,
+    bench_coupled_step,
+    bench_coupled_step_traced,
+    bench_coupled_signoff
+);
 criterion_main!(benches);

@@ -17,6 +17,13 @@
 //! only one file are reported but never fatal, so the CI job can run a
 //! small subset of the committed sizes.
 //!
+//! Besides the cross-file diff, the gate audits the committed baseline
+//! *internally*: whenever it carries paired `NxN` / `NxN+trace` rows
+//! (as `coupled_baseline` emits), the traced `total_ms` must stay
+//! within `--trace-overhead` (default 5%) of the untraced one — the
+//! telemetry-overhead promise in `docs/OBSERVABILITY.md`, enforced on
+//! the checked-in numbers so it cannot drift silently.
+//!
 //! Exit codes: 0 no regression, 1 at least one field regressed,
 //! 2 usage/parse error (including an empty comparison — a gate that
 //! compared nothing must not pass silently).
@@ -32,6 +39,10 @@ const DEFAULT_TOLERANCE: f64 = 1.5;
 /// Default noise floor (ms): fields where either reading is below this
 /// are skipped — sub-millisecond medians are timer jitter, not signal.
 const DEFAULT_MIN_MS: f64 = 1.0;
+
+/// Default bound on span-capture cost: a `NxN+trace` total may exceed
+/// its paired `NxN` total by at most this fraction.
+const DEFAULT_TRACE_OVERHEAD: f64 = 0.05;
 
 /// One compared field of one grid entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -143,6 +154,49 @@ fn compare(baseline: &Json, current: &Json, tolerance: f64, min_ms: f64) -> Resu
     })
 }
 
+/// Pairs every `NxN+trace` row with its plain `NxN` sibling inside one
+/// file and bounds the traced `total_ms`. Reuses [`Comparison`] with the
+/// plain row as "baseline" and the traced row as "current", so the
+/// verdict/ratio semantics (and the noise floor) match the main diff.
+fn trace_overhead(rows: &[SizeRow], allowed: f64, min_ms: f64) -> Vec<Comparison> {
+    let mut out = Vec::new();
+    for (grid, traced_fields) in rows {
+        let Some(plain_label) = grid.strip_suffix("+trace") else {
+            continue;
+        };
+        let Some((_, plain_fields)) = rows.iter().find(|(g, _)| g == plain_label) else {
+            continue; // a traced row without its plain sibling
+        };
+        let (Some(&(_, traced_ms)), Some(&(_, plain_ms))) = (
+            traced_fields.iter().find(|(f, _)| f == "total_ms"),
+            plain_fields.iter().find(|(f, _)| f == "total_ms"),
+        ) else {
+            continue;
+        };
+        let ratio = if plain_ms > 0.0 {
+            traced_ms / plain_ms
+        } else {
+            f64::INFINITY
+        };
+        let verdict = if plain_ms < min_ms || traced_ms < min_ms {
+            Verdict::Skipped
+        } else if ratio > 1.0 + allowed {
+            Verdict::Regression
+        } else {
+            Verdict::Ok
+        };
+        out.push(Comparison {
+            grid: plain_label.to_owned(),
+            field: "total_ms+trace".to_owned(),
+            baseline_ms: plain_ms,
+            current_ms: traced_ms,
+            ratio,
+            verdict,
+        });
+    }
+    out
+}
+
 fn load(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
@@ -154,14 +208,19 @@ fn main() -> ExitCode {
     let mut current_path: Option<String> = None;
     let mut tolerance = DEFAULT_TOLERANCE;
     let mut min_ms = DEFAULT_MIN_MS;
+    let mut trace_allowed = DEFAULT_TRACE_OVERHEAD;
     let mut i = 0;
     let usage = || {
         eprintln!(
             "usage: bench_diff --baseline <committed.json> --current <fresh.json>\n\
              \x20                [--tolerance <factor>] [--min-ms <floor>]\n\
+             \x20                [--trace-overhead <fraction>]\n\
              compares the `sizes` timing fields of two baseline files; exits 1\n\
              when any shared field regresses beyond tolerance (default {DEFAULT_TOLERANCE}x),\n\
-             skipping readings under the noise floor (default {DEFAULT_MIN_MS} ms)"
+             skipping readings under the noise floor (default {DEFAULT_MIN_MS} ms).\n\
+             When the committed baseline carries paired NxN / NxN+trace rows, the\n\
+             traced total must stay within --trace-overhead (default\n\
+             {DEFAULT_TRACE_OVERHEAD}) of the plain one"
         );
         ExitCode::from(2)
     };
@@ -183,6 +242,13 @@ fn main() -> ExitCode {
                 Ok(m) if m >= 0.0 => min_ms = m,
                 _ => {
                     eprintln!("--min-ms: `{value}` must be a non-negative number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--trace-overhead" => match value.parse::<f64>() {
+                Ok(f) if f >= 0.0 => trace_allowed = f,
+                _ => {
+                    eprintln!("--trace-overhead: `{value}` must be a non-negative fraction");
                     return ExitCode::from(2);
                 }
             },
@@ -260,11 +326,49 @@ fn main() -> ExitCode {
             c.grid, c.field, c.baseline_ms, c.current_ms, c.ratio
         );
     }
+    // Telemetry-overhead audit of the committed file itself: paired
+    // NxN / NxN+trace rows must agree to within the allowed fraction.
+    let baseline_rows = size_rows(&baseline, "baseline").unwrap_or_default();
+    let overhead = trace_overhead(&baseline_rows, trace_allowed, min_ms);
+    let mut overhead_breaches = 0;
+    if overhead.is_empty() {
+        println!(
+            "note: {baseline_path} has no paired NxN+trace rows; trace-overhead check skipped"
+        );
+    } else {
+        println!(
+            "trace overhead on {baseline_path} (bound: +{:.1}%):",
+            trace_allowed * 100.0
+        );
+        for c in &overhead {
+            let verdict = match c.verdict {
+                Verdict::Ok => "ok",
+                Verdict::Skipped => "skipped (noise floor)",
+                Verdict::Regression => {
+                    overhead_breaches += 1;
+                    "OVER BUDGET"
+                }
+            };
+            println!(
+                "{:<10} {:<16} {:>12.3} {:>12.3} {:>8.2}  {verdict}",
+                c.grid, "total_ms", c.baseline_ms, c.current_ms, c.ratio
+            );
+        }
+    }
+    if overhead_breaches > 0 {
+        eprintln!(
+            "{overhead_breaches} grid(s) exceed the {:.1}% span-capture overhead budget in \
+             {baseline_path}",
+            trace_allowed * 100.0
+        );
+    }
     if regressions > 0 {
         eprintln!(
             "{regressions} field(s) regressed beyond {tolerance}x over {baseline_path} \
              ({compared} compared)"
         );
+    }
+    if regressions > 0 || overhead_breaches > 0 {
         return ExitCode::FAILURE;
     }
     println!("no regression across {compared} compared field(s) (tolerance {tolerance}x)");
@@ -356,5 +460,67 @@ mod tests {
     fn missing_sizes_is_an_error() {
         let empty = Json::Obj(Vec::new());
         assert!(compare(&empty, &empty.clone(), 1.5, 1.0).is_err());
+    }
+
+    fn rows(entries: &[(&str, &[(&str, f64)])]) -> Vec<SizeRow> {
+        size_rows(&doc(entries), "test").unwrap()
+    }
+
+    #[test]
+    fn trace_within_budget_is_ok() {
+        let checks = trace_overhead(
+            &rows(&[
+                ("20x20", &[("total_ms", 100.0)]),
+                ("20x20+trace", &[("total_ms", 104.0)]),
+            ]),
+            0.05,
+            1.0,
+        );
+        assert_eq!(checks.len(), 1);
+        assert_eq!(checks[0].verdict, Verdict::Ok);
+        assert!((checks[0].ratio - 1.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_over_budget_regresses() {
+        let checks = trace_overhead(
+            &rows(&[
+                ("50x50", &[("total_ms", 100.0)]),
+                ("50x50+trace", &[("total_ms", 106.0)]),
+            ]),
+            0.05,
+            1.0,
+        );
+        assert_eq!(checks[0].verdict, Verdict::Regression);
+        assert_eq!(checks[0].grid, "50x50");
+        assert_eq!(checks[0].field, "total_ms+trace");
+    }
+
+    #[test]
+    fn trace_rows_under_the_noise_floor_are_skipped() {
+        let checks = trace_overhead(
+            &rows(&[
+                ("6x6", &[("total_ms", 0.4)]),
+                ("6x6+trace", &[("total_ms", 0.9)]),
+            ]),
+            0.05,
+            1.0,
+        );
+        assert_eq!(checks[0].verdict, Verdict::Skipped);
+    }
+
+    #[test]
+    fn unpaired_trace_rows_produce_no_check() {
+        // A +trace row without a plain sibling (and vice versa) is not
+        // an overhead comparison — the main diff still sees both rows.
+        let checks = trace_overhead(
+            &rows(&[
+                ("20x20+trace", &[("total_ms", 10.0)]),
+                ("50x50", &[("total_ms", 20.0)]),
+            ]),
+            0.05,
+            1.0,
+        );
+        assert!(checks.is_empty());
     }
 }

@@ -11,13 +11,19 @@
 //! 2+ restamp the same sparsity pattern and `refactor()` along the
 //! cached pivot order. The file records both times per grid size so a
 //! regression in either shows up as a ratio shift.
+//!
+//! Every grid size is measured twice: once plain and once with span
+//! capture live (`spantree::capture_start`), the latter reported under
+//! a `NxN+trace` label. The paired rows let `bench_diff
+//! --trace-overhead` assert that full tracing stays within its bound of
+//! the untraced run on the committed baseline.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use hotwire_circuit::power_grid::{PowerGrid, PowerGridSpec};
 use hotwire_coupled::{CoupledEngine, CoupledGridSpec, CoupledOptions};
-use hotwire_obs::metrics;
+use hotwire_obs::{metrics, spantree};
 use hotwire_units::{Area, Current, Resistance};
 
 /// Grid edges reported in the baseline file. The 20×20 entry exists so
@@ -34,7 +40,7 @@ fn median(mut xs: Vec<f64>) -> f64 {
 }
 
 struct Row {
-    grid: usize,
+    grid: String,
     unknowns: usize,
     iterations: usize,
     first_iter_ms: f64,
@@ -51,12 +57,26 @@ struct Row {
 /// work measured here — the embedded metrics snapshot and the `sizes`
 /// timings must describe the same execution. Per-iteration times come
 /// from the engine's own convergence trace.
-fn timed_run(n: usize) -> (usize, f64, f64, f64, &'static str) {
+///
+/// With `traced` the run executes under a live span capture, so the
+/// timings include every `trace::span` record the engine emits; the
+/// captured tree is drained (outside the timed window) and discarded.
+fn timed_run(n: usize, traced: bool) -> (usize, f64, f64, f64, &'static str) {
     let mut engine = CoupledEngine::new(CoupledGridSpec::demo(n, n), CoupledOptions::default())
         .expect("valid demo spec");
+    if traced {
+        spantree::capture_start();
+    }
     let start = Instant::now();
     engine.run().expect("demo grid converges");
     let total_ms = start.elapsed().as_secs_f64() * 1.0e3;
+    if traced {
+        let captured = spantree::capture_take();
+        assert!(
+            !captured.telemetry || !captured.spans.is_empty(),
+            "a traced run recorded no spans — the overhead row would measure nothing"
+        );
+    }
     let path = engine.solver_path().map_or("unknown", |p| p.label());
     let iter_ms: Vec<f64> = engine.trace().records.iter().map(|r| r.total_ms).collect();
     let first = iter_ms[0];
@@ -115,7 +135,9 @@ fn main() -> ExitCode {
                      (default: BENCH_coupled.json in the current directory); the\n\
                      baseline embeds a `metrics` registry snapshot, --metrics-out\n\
                      additionally writes it standalone, and --sizes restricts the\n\
-                     grid edges (default: 20,50,100) — CI uses the small sizes"
+                     grid edges (default: 20,50,100) — CI uses the small sizes;\n\
+                     every size is also rerun under a live span capture and\n\
+                     reported as `NxN+trace` for the bench_diff overhead gate"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -169,29 +191,32 @@ fn main() -> ExitCode {
 
     let mut rows = Vec::new();
     for n in sizes {
-        let runs: Vec<(usize, f64, f64, f64, &'static str)> =
-            (0..REPS).map(|_| timed_run(n)).collect();
-        let iterations = runs[0].0;
-        assert!(
-            runs.iter().all(|r| r.0 == iterations),
-            "iteration count must be deterministic"
-        );
-        let path = runs[0].4;
-        let first_iter_ms = median(runs.iter().map(|r| r.1).collect());
-        let later_iter_ms = median(runs.iter().map(|r| r.2).collect());
-        let total_ms = median(runs.iter().map(|r| r.3).collect());
-        eprintln!(
-            "{n:>4}x{n:<4} {iterations:>3} iterations   first {first_iter_ms:>9.3} ms   later {later_iter_ms:>9.3} ms   total {total_ms:>10.3} ms   ({path})"
-        );
-        rows.push(Row {
-            grid: n,
-            unknowns: n * n - 4,
-            iterations,
-            first_iter_ms,
-            later_iter_ms,
-            total_ms,
-            path,
-        });
+        for traced in [false, true] {
+            let runs: Vec<(usize, f64, f64, f64, &'static str)> =
+                (0..REPS).map(|_| timed_run(n, traced)).collect();
+            let iterations = runs[0].0;
+            assert!(
+                runs.iter().all(|r| r.0 == iterations),
+                "iteration count must be deterministic"
+            );
+            let path = runs[0].4;
+            let first_iter_ms = median(runs.iter().map(|r| r.1).collect());
+            let later_iter_ms = median(runs.iter().map(|r| r.2).collect());
+            let total_ms = median(runs.iter().map(|r| r.3).collect());
+            let label = format!("{n}x{n}{}", if traced { "+trace" } else { "" });
+            eprintln!(
+                "{label:>15} {iterations:>3} iterations   first {first_iter_ms:>9.3} ms   later {later_iter_ms:>9.3} ms   total {total_ms:>10.3} ms   ({path})"
+            );
+            rows.push(Row {
+                grid: label,
+                unknowns: n * n - 4,
+                iterations,
+                first_iter_ms,
+                later_iter_ms,
+                total_ms,
+                path,
+            });
+        }
     }
 
     let mut json = String::new();
@@ -199,11 +224,12 @@ fn main() -> ExitCode {
     json.push_str("  \"benchmark\": \"coupled EM-IR-thermal fixed point (CoupledGridSpec::demo, damped Picard, tol 0.05 K)\",\n");
     json.push_str("  \"first_vs_later\": \"iteration 1 pays the full sparse factorization (AMD-ordered LDL^T for the SPD grid stamps, sparse LU otherwise); iterations 2+ restamp and refactor() along the cached ordering — the ratio is the factorization-reuse payoff\",\n");
     json.push_str("  \"machine\": \"container, medians of 3 runs\",\n");
+    json.push_str("  \"trace_rows\": \"grids labeled NxN+trace rerun the same workload under a live span capture (hotwire_obs::spantree); bench_diff --trace-overhead pairs them with the plain rows and bounds the tracing cost\",\n");
     json.push_str("  \"sizes\": [\n");
     for (k, r) in rows.iter().enumerate() {
         let speedup = r.first_iter_ms / r.later_iter_ms;
         json.push_str(&format!(
-            "    {{\"grid\": \"{n}x{n}\", \"unknowns\": {u}, \"iterations\": {it}, \"first_iter_ms\": {f:.3}, \"later_iter_ms\": {l:.3}, \"refactor_speedup\": {sp:.1}, \"total_ms\": {t:.3}, \"path\": \"{p}\"}}{comma}\n",
+            "    {{\"grid\": \"{n}\", \"unknowns\": {u}, \"iterations\": {it}, \"first_iter_ms\": {f:.3}, \"later_iter_ms\": {l:.3}, \"refactor_speedup\": {sp:.1}, \"total_ms\": {t:.3}, \"path\": \"{p}\"}}{comma}\n",
             n = r.grid,
             u = r.unknowns,
             it = r.iterations,

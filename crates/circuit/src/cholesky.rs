@@ -108,11 +108,11 @@ impl SparseMatrix {
             return Err(CircuitError::NotPositiveDefinite { row: 0 });
         }
         metrics::counter("solver.chol.factor").inc();
-        let _t = metrics::timer("solver.chol.factor_time").start();
+        let _t = hotwire_obs::trace::span("solver.chol.factor_time");
 
         // ---- ordering + symbolic phase (once per sparsity pattern) ----
         let (perm, pinv, au, parent, l_colptr) = {
-            let _o = metrics::timer("solver.chol.ordering_time").start();
+            let _o = hotwire_obs::trace::span("solver.chol.ordering_time");
             // AMD on the full symmetric pattern, then postorder the
             // elimination tree so subtrees are contiguous index ranges.
             let perm0 = amd(n, &a.col_ptr, &a.row_idx);
@@ -272,7 +272,7 @@ impl CholeskyFactorization {
     pub fn refactor(&mut self, matrix: &SparseMatrix) -> Result<(), CircuitError> {
         assert_eq!(matrix.n(), self.n, "refactor dimension mismatch");
         metrics::counter("solver.chol.refactor").inc();
-        let _t = metrics::timer("solver.chol.refactor_time").start();
+        let _t = hotwire_obs::trace::span("solver.chol.refactor_time");
         let a = matrix.to_csc();
         let au = permuted_upper(self.n, &a, &self.pinv);
         self.numeric(&au)?;
@@ -289,10 +289,15 @@ impl CholeskyFactorization {
         let nnz = self.l_colptr[n];
         let (parent, l_colptr) = (&self.parent, &self.l_colptr);
 
+        // Snap the logical context so each subtree task's span parents
+        // under the enclosing factor/refactor span even on a worker.
+        let ctx = hotwire_obs::trace::context();
         let segments: Result<Vec<Segment>, CircuitError> = self
             .ranges
             .par_iter()
             .map(|&(lo, hi)| {
+                let _ctx = ctx.adopt();
+                let _task_span = hotwire_obs::trace::span("solver.chol.subtree");
                 let (lo, hi) = (lo as usize, hi as usize);
                 let width = hi - lo;
                 let seg_nnz = l_colptr[hi] - l_colptr[lo];

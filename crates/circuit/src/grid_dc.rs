@@ -198,7 +198,7 @@ impl DcGridSolver {
         metrics::counter("grid_dc.solves").inc();
         #[allow(clippy::cast_precision_loss)]
         metrics::gauge("grid_dc.unknowns").set(self.n_unknowns as f64);
-        let _t = metrics::timer("grid_dc.solve_time").start();
+        let _t = hotwire_obs::trace::span("grid_dc.solve_time");
         if self.n_unknowns > 0 {
             self.matrix.clear();
             self.rhs.iter_mut().for_each(|r| *r = 0.0);

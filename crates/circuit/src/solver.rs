@@ -136,7 +136,7 @@ impl MnaMatrix {
     /// solution.
     pub fn factor(&self) -> Result<MnaFactorization, CircuitError> {
         metrics::counter("solver.factor").inc();
-        let _t = metrics::timer("solver.factor_time").start();
+        let _t = hotwire_obs::trace::span("solver.factor_time");
         self.factor_dispatch(false)
     }
 
@@ -150,7 +150,7 @@ impl MnaMatrix {
     /// solution.
     pub fn factor_lu(&self) -> Result<MnaFactorization, CircuitError> {
         metrics::counter("solver.factor").inc();
-        let _t = metrics::timer("solver.factor_time").start();
+        let _t = hotwire_obs::trace::span("solver.factor_time");
         self.factor_dispatch(true)
     }
 
@@ -259,7 +259,7 @@ impl MnaFactorization {
     /// factored one.
     pub fn refactor(&mut self, matrix: &MnaMatrix) -> Result<(), CircuitError> {
         metrics::counter("solver.refactor").inc();
-        let _t = metrics::timer("solver.refactor_time").start();
+        let _t = hotwire_obs::trace::span("solver.refactor_time");
         let in_place_ok = match (&mut *self, matrix) {
             (Self::Dense(lu), MnaMatrix::Dense(m)) => {
                 *lu = m.clone();

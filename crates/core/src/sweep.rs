@@ -9,6 +9,7 @@
 //! `tests/parallel_determinism.rs`.
 
 use hotwire_obs::metrics;
+use hotwire_obs::trace as obs_trace;
 use hotwire_units::CurrentDensity;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -36,12 +37,19 @@ impl SweepPoint {
     }
 }
 
-fn solve_point(problem: &SelfConsistentProblem, r: f64) -> Result<SweepPoint, CoreError> {
-    // Counter and timer live here, in the path shared by the serial and
+fn solve_point(
+    problem: &SelfConsistentProblem,
+    r: f64,
+    ctx: obs_trace::TraceContext,
+) -> Result<SweepPoint, CoreError> {
+    // Counter and span live here, in the path shared by the serial and
     // parallel sweeps, so `sweep.points` and the `sweep.point_time`
-    // count are identical however the fan-out is scheduled.
+    // count are identical however the fan-out is scheduled. Adopting
+    // the batch context parents this point's span under the enclosing
+    // `sweep.batch_time` span even on a rayon worker.
+    let _ctx = ctx.adopt();
     metrics::counter("sweep.points").inc();
-    let _t = metrics::timer("sweep.point_time").start();
+    let _t = obs_trace::span("sweep.point_time");
     let p = problem.with_duty_cycle(r)?;
     Ok(SweepPoint {
         duty_cycle: r,
@@ -50,20 +58,29 @@ fn solve_point(problem: &SelfConsistentProblem, r: f64) -> Result<SweepPoint, Co
     })
 }
 
-/// Times one sweep fan-out and publishes throughput gauges
-/// (`sweep.points_per_sec`, `sweep.workers`, `sweep.utilization`).
-/// Compiles down to a plain call without the `telemetry` feature.
-fn with_batch_metrics<T>(points: usize, parallel: bool, f: impl FnOnce() -> T) -> T {
+/// Times one sweep fan-out (the `sweep.batch_time` span) and publishes
+/// throughput gauges (`sweep.points_per_sec`, `sweep.workers`,
+/// `sweep.utilization`). The batch's [`obs_trace::TraceContext`] is
+/// handed to `f` so the per-point spans parent under the batch span
+/// across the rayon fan-out. Compiles down to a plain call without the
+/// `telemetry` feature.
+fn with_batch_metrics<T>(
+    points: usize,
+    parallel: bool,
+    f: impl FnOnce(obs_trace::TraceContext) -> T,
+) -> T {
     #[cfg(feature = "telemetry")]
     {
         let busy_before_ms = metrics::snapshot()
             .timers
             .get("sweep.point_time")
             .map_or(0.0, |t| t.total_ms);
+        let batch_span = obs_trace::span("sweep.batch_time");
+        let ctx = obs_trace::context();
         let start = hotwire_obs::Stopwatch::start();
-        let out = f();
+        let out = f(ctx);
         let wall = start.elapsed();
-        metrics::timer("sweep.batch_time").observe(wall);
+        drop(batch_span);
         let busy_s = (metrics::snapshot()
             .timers
             .get("sweep.point_time")
@@ -90,7 +107,7 @@ fn with_batch_metrics<T>(points: usize, parallel: bool, f: impl FnOnce() -> T) -
     #[cfg(not(feature = "telemetry"))]
     {
         let _ = (points, parallel);
-        f()
+        f(obs_trace::context())
     }
 }
 
@@ -106,10 +123,10 @@ pub fn duty_cycle_sweep(
     problem: &SelfConsistentProblem,
     duty_cycles: &[f64],
 ) -> Result<Vec<SweepPoint>, CoreError> {
-    with_batch_metrics(duty_cycles.len(), true, || {
+    with_batch_metrics(duty_cycles.len(), true, |ctx| {
         duty_cycles
             .par_iter()
-            .map(|&r| solve_point(problem, r))
+            .map(|&r| solve_point(problem, r, ctx))
             .collect()
     })
 }
@@ -125,10 +142,10 @@ pub fn duty_cycle_sweep_serial(
     problem: &SelfConsistentProblem,
     duty_cycles: &[f64],
 ) -> Result<Vec<SweepPoint>, CoreError> {
-    with_batch_metrics(duty_cycles.len(), false, || {
+    with_batch_metrics(duty_cycles.len(), false, |ctx| {
         duty_cycles
             .iter()
-            .map(|&r| solve_point(problem, r))
+            .map(|&r| solve_point(problem, r, ctx))
             .collect()
     })
 }
@@ -178,10 +195,10 @@ pub fn j0_sweep(
         .iter()
         .flat_map(|&j0| duty_cycles.iter().map(move |&r| (j0, r)))
         .collect();
-    let solved: Vec<SweepPoint> = with_batch_metrics(cells.len(), true, || {
+    let solved: Vec<SweepPoint> = with_batch_metrics(cells.len(), true, |ctx| {
         cells
             .par_iter()
-            .map(|&(j0, r)| solve_point(&problem.with_design_rule_j0(j0), r))
+            .map(|&(j0, r)| solve_point(&problem.with_design_rule_j0(j0), r, ctx))
             .collect::<Result<_, CoreError>>()
     })?;
     let mut solved = solved.into_iter();

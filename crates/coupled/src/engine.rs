@@ -403,6 +403,13 @@ impl CoupledEngine {
     /// ([`CoupledError::Thermal`]) solve failures.
     pub fn step(&mut self) -> Result<f64, CoupledError> {
         metrics::counter("coupled.iterations").inc();
+        // The per-iteration span carries the 1-based iteration index as
+        // an attribute, so `hotwire trace` can key its critical-path
+        // extraction on it; the stage spans below nest underneath.
+        let _iter_span = obs_trace::span_with(
+            "coupled.iteration",
+            &[("iteration", FieldValue::U64(self.deltas.len() as u64 + 1))],
+        );
         let step_start = hotwire_obs::Stopwatch::start();
         let metal = &self.spec.metal;
         let pitch = self.spec.pitch.value();
@@ -411,13 +418,16 @@ impl CoupledEngine {
         //    first iteration).
         let electrical_start = hotwire_obs::Stopwatch::start();
         {
-            let _t = metrics::timer("coupled.stamp_time").start();
+            let _t = obs_trace::span("coupled.stamp_time");
             for (k, (g, &t)) in self.branch_g.iter_mut().zip(&self.branch_t).enumerate() {
                 let (rho, _) = metal.resistivity_clamped(Kelvin::new(t));
                 *g = area / (rho.value() * pitch * self.branch_r_mult[k]);
             }
         }
-        metrics::timer("coupled.electrical_time").time(|| self.solver.solve(&self.branch_g))?;
+        {
+            let _t = obs_trace::span("coupled.electrical_time");
+            self.solver.solve(&self.branch_g)?;
+        }
         let electrical = electrical_start.elapsed();
         // 2. Thermal: branch Joule powers onto end nodes, one banded
         //    substitution for the whole chip.
@@ -430,13 +440,14 @@ impl CoupledEngine {
             self.node_power[r0 * cols + c0] += 0.5 * p;
             self.node_power[r1 * cols + c1] += 0.5 * p;
         }
-        metrics::timer("coupled.thermal_time").time(|| {
+        {
+            let _t = obs_trace::span("coupled.thermal_time");
             self.thermal
-                .solve_into(&self.node_power, &mut self.node_rise)
-        })?;
+                .solve_into(&self.node_power, &mut self.node_rise)?;
+        }
         let thermal = thermal_start.elapsed();
         // 3. Damped update toward the substrate-referenced field.
-        let _t_update = metrics::timer("coupled.update_time").start();
+        let _t_update = obs_trace::span("coupled.update_time");
         let t_ref = self.spec.reference_temperature.value();
         let alpha = self.options.damping;
         let mut delta = 0.0_f64;
@@ -726,7 +737,12 @@ impl CoupledEngine {
         let blech = self.options.blech;
         let pitch = self.spec.pitch;
         let area = self.cross_section;
+        // Snap the logical context before the fan-out so the per-strap
+        // spans on rayon workers parent under `coupled.assess`.
+        let ctx = obs_trace::context();
         let eval = |k: usize| -> (BranchAssessment, Option<(CurrentDensity, Kelvin)>) {
+            let _ctx = ctx.adopt();
+            let _strap_span = obs_trace::span("coupled.em.strap");
             let (from, to) = self.branches[k];
             let i = self.solver.branch_currents()[k].abs();
             let j = i / area;

@@ -394,7 +394,7 @@ pub fn age_with_tree_em(
             message: "aging needs epochs ≥ 1, steps ≥ 1, liner factor ≥ 1".to_owned(),
         });
     }
-    let _span = metrics::timer("em.stress.aging_time").start();
+    let _span = hotwire_obs::trace::span("em.stress.aging_time");
     if !engine.converged() {
         engine.run()?;
     }

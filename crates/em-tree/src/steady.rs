@@ -58,7 +58,7 @@ pub fn steady_state(
     tree: &InterconnectTree,
     model: &KorhonenModel,
 ) -> Result<SteadyStateStress, TreeEmError> {
-    let _t = metrics::timer("em.stress.steady_time").start();
+    let _t = hotwire_obs::trace::span("em.stress.steady_time");
     metrics::counter("em.stress.steady_solves").inc();
     metrics::counter("em.tree.segments").add(tree.segments().len() as u64);
 

@@ -498,7 +498,7 @@ impl KorhonenSolver {
     ///
     /// Propagates FV solve failures ([`TreeEmError::Circuit`]).
     pub fn run_to_failure(&mut self) -> Result<TransientOutcome, TreeEmError> {
-        let _t = metrics::timer("em.stress.transient_time").start();
+        let _t = hotwire_obs::trace::span("em.stress.transient_time");
         let b = self.options.blocks;
         let s = self.options.steps_per_block;
         // Σ s·dt0·2^k over blocks = horizon ⇒ dt0:
@@ -533,7 +533,7 @@ impl KorhonenSolver {
                 message: format!("advance needs positive window and steps, got {window}, {steps}"),
             });
         }
-        let _t = metrics::timer("em.stress.transient_time").start();
+        let _t = hotwire_obs::trace::span("em.stress.transient_time");
         let dt = window.value() / steps as f64;
         let mut nucleation = None;
         let mut failure = None;

@@ -16,7 +16,15 @@
 //! * [`trace`] — structured spans and events with a text or JSONL sink
 //!   on stderr, levelled like conventional loggers (`error` … `trace`).
 //!   Span entry/exit feeds the metrics timers, so `--metrics-out` and
-//!   `--log-format json` describe the same execution.
+//!   `--log-format json` describe the same execution. [`trace::context`]
+//!   / [`TraceContext::adopt`] carry the logical span across rayon
+//!   thread boundaries.
+//! * [`spantree`] — parallelism-aware span-tree capture: while a
+//!   capture is active every span records begin/end events (ID, logical
+//!   parent, thread index) into per-thread buffers, drained into a
+//!   [`SpanTrace`] with JSONL and Chrome Trace Event (Perfetto)
+//!   exports plus self-time, folded-stack, and critical-path analysis
+//!   for the `hotwire trace` subcommand.
 //! * [`json`] — a small dependency-free JSON value type with a writer
 //!   and parser. The workspace's `serde` is an offline no-op shim
 //!   (see `shims/README.md`), so report files, snapshots, and the
@@ -46,6 +54,7 @@ pub mod histogram;
 pub mod json;
 pub mod metrics;
 pub mod prom;
+pub mod spantree;
 pub mod stopwatch;
 #[cfg(feature = "telemetry")]
 pub(crate) mod sync;
@@ -53,5 +62,6 @@ pub mod trace;
 
 pub use json::Json;
 pub use metrics::MetricsSnapshot;
+pub use spantree::{SpanRecord, SpanTrace};
 pub use stopwatch::Stopwatch;
-pub use trace::{FieldValue, Level, LogConfig, LogFormat};
+pub use trace::{FieldValue, Level, LogConfig, LogFormat, TraceContext};

@@ -13,12 +13,33 @@
 //!   events with their enclosing span path, and emits an exit event at
 //!   [`Level::Trace`].
 //!
+//! While a [`crate::spantree`] capture is active, every span
+//! additionally records a begin/end event pair with a process-unique
+//! span ID and a *logical parent* link — the enclosing span on this
+//! thread, or, on a rayon worker, the span adopted through a
+//! [`TraceContext`]. The capture path is independent of the stderr
+//! sink: the level filter decides what is *printed*, never what the
+//! retained trace *keeps*, so `--trace-out` files are identical at
+//! `--log-level error` and `--log-level trace`.
+//!
+//! Crossing a thread boundary (a `par_iter`, a worker pool) snaps the
+//! context explicitly:
+//!
+//! ```
+//! let _outer = hotwire_obs::trace::span("doc.batch");
+//! let ctx = hotwire_obs::trace::context();   // before the fan-out
+//! // inside each worker closure:
+//! let _adopt = ctx.adopt();                  // re-parents this thread
+//! let _inner = hotwire_obs::trace::span("doc.item");
+//! ```
+//!
 //! Nothing is written until [`init`] installs a [`LogConfig`]; the
 //! `hotwire` CLI does this from `--log-level` / `--log-format`. The
 //! JSONL format emits exactly one JSON object per line on stderr —
 //! machine-parseable with the schema in `docs/OBSERVABILITY.md`. With
 //! the `telemetry` feature off the whole module is inert: [`init`] is a
-//! no-op and no event can ever be emitted.
+//! no-op, no event can ever be emitted, and the span/context guards
+//! are zero-sized.
 
 use std::fmt;
 use std::str::FromStr;
@@ -221,8 +242,26 @@ mod imp {
     pub static FORMAT: AtomicU8 = AtomicU8::new(0);
     static WRITE: Mutex<()> = Mutex::new(());
 
+    /// One entry per open span on this thread. `id` is `Some` only for
+    /// spans opened while a [`crate::spantree`] capture was recording.
+    pub struct Frame {
+        pub name: &'static str,
+        pub id: Option<u64>,
+    }
+
     thread_local! {
-        pub static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+        pub static SPAN_STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+        /// Parents adopted from another thread via [`super::TraceContext::adopt`].
+        pub static ADOPTED: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// The logical parent for a span opened now on this thread: the
+    /// nearest enclosing *captured* span, else the innermost adopted
+    /// cross-thread context.
+    pub fn current_parent() -> Option<u64> {
+        SPAN_STACK
+            .with(|stack| stack.borrow().iter().rev().find_map(|f| f.id))
+            .or_else(|| ADOPTED.with(|adopted| adopted.borrow().last().copied()))
     }
 
     pub fn install(config: LogConfig) {
@@ -260,7 +299,13 @@ mod imp {
             if stack.is_empty() {
                 None
             } else {
-                Some(stack.join("/"))
+                Some(
+                    stack
+                        .iter()
+                        .map(|f| f.name)
+                        .collect::<Vec<&'static str>>()
+                        .join("/"),
+                )
             }
         })
     }
@@ -366,23 +411,65 @@ pub struct Span {
     #[cfg(feature = "telemetry")]
     name: &'static str,
     #[cfg(feature = "telemetry")]
+    id: Option<u64>,
+    #[cfg(feature = "telemetry")]
     start: std::time::Instant,
+}
+
+impl Span {
+    /// The capture-assigned span ID — `Some` only when a
+    /// [`crate::spantree`] capture was recording when the span opened.
+    #[must_use]
+    pub fn id(&self) -> Option<u64> {
+        #[cfg(feature = "telemetry")]
+        {
+            self.id
+        }
+        #[cfg(not(feature = "telemetry"))]
+        None
+    }
 }
 
 /// Opens a span named `name` (dotted, e.g. `"coupled.step"`).
 ///
 /// On drop the span records its wall time into the metrics timer of the
 /// same name, pops itself from the thread-local span stack, and emits a
-/// `close` event at [`Level::Trace`] with `elapsed_ms`.
-#[allow(unused_variables)]
+/// `close` event at [`Level::Trace`] with `elapsed_ms`. While a
+/// [`crate::spantree`] capture is active it also records a begin/end
+/// pair into the span tree, parented per [`context`].
 pub fn span(name: &'static str) -> Span {
+    span_with(name, &[])
+}
+
+/// Like [`span`], with attributes retained in the captured span tree
+/// (e.g. the Picard iteration index). The attributes do not reach the
+/// metrics timer or the stderr sink; outside a capture they are not
+/// even converted.
+#[allow(unused_variables)]
+pub fn span_with(name: &'static str, fields: Fields<'_>) -> Span {
     #[cfg(feature = "telemetry")]
-    imp::SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
+    let (id, start) = {
+        let start = std::time::Instant::now();
+        let id = if crate::spantree::capture_active() {
+            let parent = imp::current_parent();
+            let args = fields
+                .iter()
+                .map(|&(key, value)| (key.to_owned(), value.to_json()))
+                .collect();
+            Some(crate::spantree::cap::begin(name, parent, args, start))
+        } else {
+            None
+        };
+        imp::SPAN_STACK.with(|stack| stack.borrow_mut().push(imp::Frame { name, id }));
+        (id, start)
+    };
     Span {
         #[cfg(feature = "telemetry")]
         name,
         #[cfg(feature = "telemetry")]
-        start: std::time::Instant::now(),
+        id,
+        #[cfg(feature = "telemetry")]
+        start,
     }
 }
 
@@ -390,7 +477,14 @@ impl Drop for Span {
     fn drop(&mut self) {
         #[cfg(feature = "telemetry")]
         {
-            let elapsed = self.start.elapsed();
+            let end_at = std::time::Instant::now();
+            let elapsed = end_at.saturating_duration_since(self.start);
+            if let Some(id) = self.id {
+                // Unconditional once the span holds an ID: if the
+                // capture was drained mid-span, this end is an orphan
+                // the next assembly discards — never a torn pair.
+                crate::spantree::cap::end(id, end_at);
+            }
             crate::metrics::timer(self.name).observe(elapsed);
             if imp::enabled(Level::Trace) {
                 imp::emit(
@@ -402,7 +496,83 @@ impl Drop for Span {
             }
             imp::SPAN_STACK.with(|stack| {
                 let popped = stack.borrow_mut().pop();
-                debug_assert_eq!(popped, Some(self.name), "span stack out of order");
+                debug_assert_eq!(
+                    popped.map(|f| f.name),
+                    Some(self.name),
+                    "span stack out of order"
+                );
+            });
+        }
+    }
+}
+
+/// A snapshot of the current logical span, for re-parenting work that
+/// crosses a thread boundary (rayon `par_iter` closures, worker
+/// pools). `Copy`, and zero-sized without `telemetry`.
+///
+/// Capture it *before* the fan-out with [`context`], then [`adopt`] it
+/// inside each worker closure; spans the worker opens record the
+/// originating span as their logical parent even though it lives on a
+/// different OS thread. Outside a capture the context is empty and
+/// adoption is free.
+///
+/// [`adopt`]: TraceContext::adopt
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceContext {
+    #[cfg(feature = "telemetry")]
+    parent: Option<u64>,
+}
+
+/// Captures the current logical span context on this thread. Empty
+/// (and nearly free) unless a [`crate::spantree`] capture is active.
+#[must_use]
+pub fn context() -> TraceContext {
+    TraceContext {
+        #[cfg(feature = "telemetry")]
+        parent: if crate::spantree::capture_active() {
+            imp::current_parent()
+        } else {
+            None
+        },
+    }
+}
+
+impl TraceContext {
+    /// Adopts this context on the current thread until the returned
+    /// guard drops: spans opened meanwhile (with no captured local
+    /// ancestor) parent to the context's span. Nesting adoptions is
+    /// fine; the innermost wins.
+    pub fn adopt(&self) -> ContextGuard {
+        #[cfg(feature = "telemetry")]
+        {
+            let pushed = match self.parent {
+                Some(parent) => {
+                    imp::ADOPTED.with(|adopted| adopted.borrow_mut().push(parent));
+                    true
+                }
+                None => false,
+            };
+            ContextGuard { pushed }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        ContextGuard {}
+    }
+}
+
+/// RAII guard from [`TraceContext::adopt`]; un-adopts on drop.
+#[derive(Debug)]
+#[must_use = "a dropped ContextGuard un-adopts immediately; bind it with `let _ctx = ...`"]
+pub struct ContextGuard {
+    #[cfg(feature = "telemetry")]
+    pushed: bool,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        #[cfg(feature = "telemetry")]
+        if self.pushed {
+            imp::ADOPTED.with(|adopted| {
+                adopted.borrow_mut().pop();
             });
         }
     }

@@ -21,6 +21,7 @@ use std::time::Duration;
 
 use hotwire_obs::metrics;
 use hotwire_obs::trace::{self, Level, LogConfig, LogFormat};
+use hotwire_obs::{spantree, SpanTrace};
 
 /// The registry and the tracing flags are process-global; models must
 /// not interleave with each other (`reset` in one would corrupt the
@@ -157,6 +158,90 @@ fn reset_during_increments_is_safe() {
         );
     });
     metrics::reset();
+}
+
+/// HW004 invariant for the span-capture gate (spantree.rs `RECORDING`,
+/// `NEXT_SPAN_ID`, `NEXT_TID` — all relaxed): recorder threads racing a
+/// drain never corrupt the trace. Every drained trace must be
+/// well-formed on its own (unique IDs, non-negative durations, a Chrome
+/// stream that parses back balanced), IDs never repeat across
+/// consecutive drains, and a drain taken while quiescent is complete —
+/// exactly the guarantees the SAFETY comments on those atomics claim.
+#[test]
+fn trace_capture_drain_is_complete_and_balanced() {
+    let _guard = lock();
+
+    fn assert_well_formed(t: &SpanTrace) -> Vec<u64> {
+        let mut ids = Vec::new();
+        for s in &t.spans {
+            assert!(s.dur_us >= 0.0, "negative duration: {s:?}");
+            ids.push(s.id);
+        }
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "duplicate span IDs in one drain");
+        // The Chrome writer must emit a balanced, exactly-invertible
+        // stream for whatever the racing drain assembled.
+        let back = SpanTrace::from_chrome(&t.to_chrome()).expect("chrome stream parses back");
+        assert_eq!(&back, t, "chrome round trip changed the drained trace");
+        ids
+    }
+
+    loom::model(|| {
+        spantree::capture_start();
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                loom::thread::spawn(|| {
+                    for _ in 0..3 {
+                        let _outer = trace::span("loom.capture.outer");
+                        let _inner = trace::span("loom.capture.inner");
+                    }
+                })
+            })
+            .collect();
+        // Drain while the recorders are mid-span, then restart: spans
+        // cut in half by the race must be auto-closed in the first
+        // drain and their late end events discarded by the second.
+        let racing = spantree::capture_take();
+        spantree::capture_start();
+        for h in workers {
+            h.join().expect("model thread panicked");
+        }
+        let rest = spantree::capture_take();
+
+        let mut ids = assert_well_formed(&racing);
+        ids.extend(assert_well_formed(&rest));
+        let unique: std::collections::BTreeSet<u64> = ids.iter().copied().collect();
+        assert_eq!(unique.len(), ids.len(), "a span ID leaked across drains");
+        assert!(
+            ids.len() <= 12,
+            "two drains manufactured spans: {} > 12 begun",
+            ids.len()
+        );
+
+        // Quiescent drain is complete: with no racing recorder, the
+        // capture holds exactly what was opened, correctly nested.
+        spantree::capture_start();
+        {
+            let _outer = trace::span("loom.capture.outer");
+            let _inner = trace::span("loom.capture.inner");
+        }
+        let quiet = spantree::capture_take();
+        assert_eq!(quiet.spans.len(), 2, "quiescent drain lost a span");
+        let outer = quiet
+            .spans
+            .iter()
+            .find(|s| s.name == "loom.capture.outer")
+            .expect("outer span drained");
+        let inner = quiet
+            .spans
+            .iter()
+            .find(|s| s.name == "loom.capture.inner")
+            .expect("inner span drained");
+        assert_eq!(inner.parent, Some(outer.id), "nesting lost in the drain");
+        assert_eq!(outer.parent, None);
+    });
 }
 
 /// HW004 invariant for the tracing flags (trace.rs `install`): LEVEL

@@ -162,17 +162,19 @@ impl ChipThermalModel {
                     m.add(here, here, diag);
                 }
             }
-            let f = metrics::timer("thermal.chip.factor_time")
-                .time(|| m.factor_cholesky())
-                .map_err(|e| match e {
-                    CircuitError::NotPositiveDefinite { row } => ThermalError::NoConvergence {
-                        iterations: row,
-                        residual: 0.0,
-                    },
-                    other => ThermalError::InvalidInput {
-                        message: format!("sparse thermal factorization failed: {other}"),
-                    },
-                })?;
+            let f = {
+                let _t = hotwire_obs::trace::span("thermal.chip.factor_time");
+                m.factor_cholesky()
+            }
+            .map_err(|e| match e {
+                CircuitError::NotPositiveDefinite { row } => ThermalError::NoConvergence {
+                    iterations: row,
+                    residual: 0.0,
+                },
+                other => ThermalError::InvalidInput {
+                    message: format!("sparse thermal factorization failed: {other}"),
+                },
+            })?;
             ChipFactor::Sparse(Box::new(f))
         } else {
             // Order unknowns with the shorter axis fastest: bw = min(rows, cols).
@@ -221,7 +223,10 @@ impl ChipThermalModel {
                     a.add(here, here, diag);
                 }
             }
-            let factor = metrics::timer("thermal.chip.factor_time").time(|| a.factor())?;
+            let factor = {
+                let _t = hotwire_obs::trace::span("thermal.chip.factor_time");
+                a.factor()?
+            };
             ChipFactor::Banded { factor, x_fast }
         };
         Ok(Self {
@@ -281,7 +286,7 @@ impl ChipThermalModel {
             }
         }
         metrics::counter("thermal.chip.solves").inc();
-        let _t = metrics::timer("thermal.chip.solve_time").start();
+        let _t = hotwire_obs::trace::span("thermal.chip.solve_time");
         match &self.factor {
             ChipFactor::Sparse(f) => f.solve_into(node_power, rise),
             ChipFactor::Banded {

@@ -18,8 +18,17 @@
 //! (`docs/OBSERVABILITY.md`): `--log-level error|warn|info|debug|trace`
 //! and `--log-format text|json` control diagnostic events on stderr,
 //! and `--metrics-out <path>` dumps the process-wide metrics snapshot
-//! as JSON after the command runs. `coupled-signoff` also takes
-//! `--trace-out <path>` for the per-iteration convergence trace.
+//! as JSON after the command runs. `--trace-out <path>` captures the
+//! span tree of the run: `--trace-format jsonl` (retained span records,
+//! the default everywhere but `coupled-signoff`) or `chrome` (Trace
+//! Event JSON loadable in Perfetto / `chrome://tracing`). On
+//! `coupled-signoff` the historical default `--trace-format
+//! convergence` writes the per-iteration convergence trace instead.
+//! `hotwire trace <capture>` analyzes a captured span tree: self-time
+//! per span name, slowest-child critical paths, and folded stacks for
+//! flamegraph tools. The span capture is independent of `--log-level`;
+//! the level filter decides what is printed on stderr, never what the
+//! retained trace keeps.
 //!
 //! Exit codes: 0 success, 1 internal/solver failure, 2 usage error,
 //! 3 signoff violation.
@@ -247,12 +256,57 @@ fn main() -> ExitCode {
     }
 }
 
+/// What `--trace-out` writes. `convergence` is the historical
+/// per-iteration residual trace of `coupled-signoff`; the span formats
+/// dump the captured span tree of the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    /// `coupled-signoff` per-iteration convergence records (JSON).
+    Convergence,
+    /// Retained span records, one JSON object per line.
+    Jsonl,
+    /// Chrome Trace Event JSON, loadable in Perfetto.
+    Chrome,
+}
+
+/// Resolves `--trace-format`, defaulting to the back-compatible
+/// convergence trace on `coupled-signoff` and span JSONL elsewhere.
+fn trace_format(opts: &Flags, command: &str) -> Result<TraceFormat, CliError> {
+    match opts.get("trace-format").map(String::as_str) {
+        None => Ok(if command == "coupled-signoff" {
+            TraceFormat::Convergence
+        } else {
+            TraceFormat::Jsonl
+        }),
+        Some("convergence") if command == "coupled-signoff" => Ok(TraceFormat::Convergence),
+        Some("convergence") => Err(CliError::usage(
+            "--trace-format convergence is only available on coupled-signoff \
+             (use jsonl or chrome for span traces)",
+        )),
+        Some("jsonl") => Ok(TraceFormat::Jsonl),
+        Some("chrome") => Ok(TraceFormat::Chrome),
+        Some(other) => Err(CliError::usage(format!(
+            "--trace-format: unknown format `{other}` (convergence|jsonl|chrome)"
+        ))),
+    }
+}
+
 fn run(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
         print_help();
         return Ok(());
     };
+    // `trace` takes a positional capture file, which the strict
+    // `--flag value` parser below would reject — dispatch it first.
+    if command == "trace" {
+        return cmd_trace(&args[1..]);
+    }
     let opts = parse_flags(&args[1..])?;
+    let format = trace_format(&opts, command)?;
+    let capture_spans = opts.contains_key("trace-out") && format != TraceFormat::Convergence;
+    if capture_spans {
+        hotwire::obs::spantree::capture_start();
+    }
     let result = match command.as_str() {
         "solve" => cmd_solve(&opts),
         "rules" => cmd_rules(&opts),
@@ -260,7 +314,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "repeater" => cmd_repeater(&opts),
         "esd" => cmd_esd(&opts),
         "signoff" => cmd_signoff(&opts),
-        "coupled-signoff" => cmd_coupled_signoff(&opts),
+        "coupled-signoff" => cmd_coupled_signoff(&opts, format),
         "tree-signoff" => cmd_tree_signoff(&opts),
         "serve" => cmd_serve(&opts),
         "simulate" => cmd_simulate(&opts),
@@ -280,7 +334,22 @@ fn run(args: &[String]) -> Result<(), CliError> {
         (Err(CliError::Usage(_)), _) | (_, None) => Ok(()),
         (_, Some(path)) => write_json_file(path, &hotwire::obs::metrics::snapshot().to_json()),
     };
-    result.and(metrics)
+    // Same policy for the span trace: a failed signoff is exactly when
+    // the profile matters, so only a usage error skips the write.
+    let trace = match (&result, opts.get("trace-out")) {
+        (Err(CliError::Usage(_)), _) | (_, None) => Ok(()),
+        (_, Some(path)) if capture_spans => {
+            let captured = hotwire::obs::spantree::capture_take();
+            match format {
+                TraceFormat::Chrome => write_json_file(path, &captured.to_chrome()),
+                _ => std::fs::write(path, captured.to_jsonl())
+                    .map_err(|e| CliError::context(format!("cannot write {path}"), e)),
+            }
+        }
+        // Convergence format: cmd_coupled_signoff wrote it already.
+        (_, Some(_)) => Ok(()),
+    };
+    result.and(metrics).and(trace)
 }
 
 /// Writes pretty-printed JSON (with a trailing newline) to `path`.
@@ -317,7 +386,8 @@ fn print_help() {
                      [--metal cu|alcu] [--vdd <V>] [--sink-ma <I>] [--ref-c <T>]\n\
                      [--pads r:c,r:c,...] [--tol <K>] [--max-iters <n>]\n\
                      [--damping <a>] [--sigma <s>] [--quantile <f>]\n\
-                     [--trace-out <path>]  per-iteration convergence trace (JSON)\n\
+                     (--trace-out defaults to the per-iteration convergence\n\
+                     trace here; pass --trace-format jsonl|chrome for spans)\n\
            tree-signoff\n\
                      Korhonen stress-evolution EM signoff of supply trees\n\
                      extracted from a SPICE-subset netlist (resistor trees\n\
@@ -334,11 +404,19 @@ fn print_help() {
                      --netlist <path> --tstop <seconds> [--dt <seconds>]\n\
                      [--probe <node>[,<node>...]] (CSV on stdout)\n\
            techfile  dump a technology as a tech file\n\
-                     --tech <preset|path>\n\n\
+                     --tech <preset|path>\n\
+           trace     analyze a span trace captured with --trace-out\n\
+                     <capture> [--folded] [--critical-path <name>]\n\
+                     (self-time table + critical paths + folded stacks;\n\
+                     --folded emits only inferno/speedscope folded lines)\n\n\
          observability (any command):\n\
            --log-level error|warn|info|debug|trace   stderr event threshold\n\
            --log-format text|json                    event rendering (JSONL)\n\
-           --metrics-out <path>                      metrics snapshot (JSON)\n\n\
+           --metrics-out <path>                      metrics snapshot (JSON)\n\
+           --trace-out <path>                        span tree of the run\n\
+           --trace-format jsonl|chrome|convergence   span records (default),\n\
+                     Perfetto-loadable Chrome Trace Event JSON, or (on\n\
+                     coupled-signoff only, its default) the convergence trace\n\n\
          exit codes: 0 ok, 1 internal failure, 2 usage, 3 signoff violation\n\n\
          presets: ntrs-250, ntrs-100, ntrs-250-alcu, ntrs-100-alcu"
     );
@@ -733,7 +811,7 @@ fn coupled_setup(
     Ok((spec, options))
 }
 
-fn cmd_coupled_signoff(opts: &Flags) -> Result<(), CliError> {
+fn cmd_coupled_signoff(opts: &Flags, format: TraceFormat) -> Result<(), CliError> {
     let (spec, options) = coupled_setup(opts, 50.0)?;
     let (rows, cols) = (spec.rows, spec.cols);
     let options_quantile = options.failure_quantile;
@@ -741,9 +819,12 @@ fn cmd_coupled_signoff(opts: &Flags) -> Result<(), CliError> {
     let run_result = engine.run();
     // The convergence trace is most valuable exactly when run() failed —
     // write it before propagating, so a NotConverged/Diverged post-mortem
-    // still has the residual history on disk.
-    if let Some(path) = opts.get("trace-out") {
-        write_json_file(path, &engine.trace().to_json())?;
+    // still has the residual history on disk. (Span formats are written
+    // by `run()` after the command returns, covering the whole process.)
+    if format == TraceFormat::Convergence {
+        if let Some(path) = opts.get("trace-out") {
+            write_json_file(path, &engine.trace().to_json())?;
+        }
     }
     run_result.map_err(coupled_error)?;
     let report = engine.assess().map_err(coupled_error)?;
@@ -1025,5 +1106,133 @@ fn cmd_simulate(opts: &Flags) -> Result<(), CliError> {
 fn cmd_techfile(opts: &Flags) -> Result<(), CliError> {
     let tech = load_tech(opts)?;
     print!("{}", techformat::serialize(&tech));
+    Ok(())
+}
+
+/// `hotwire trace <capture>`: offline analyzer for a span trace
+/// captured with `--trace-out` (either JSONL or Chrome format; the
+/// parser auto-detects). Prints a self-time table, the slowest-child
+/// critical path under each root span, and folded stacks; `--folded`
+/// restricts the output to the folded lines so it pipes straight into
+/// `inferno-flamegraph` / speedscope.
+fn cmd_trace(args: &[String]) -> Result<(), CliError> {
+    use hotwire::obs::spantree::SpanTrace;
+
+    let mut file: Option<&str> = None;
+    let mut folded_only = false;
+    let mut root = "coupled.iteration";
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--folded" => {
+                folded_only = true;
+                i += 1;
+            }
+            "--critical-path" => {
+                root = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::usage("--critical-path needs a span name"))?;
+                i += 2;
+            }
+            // Already consumed by the subscriber setup in main().
+            "--log-level" | "--log-format" => i += 2,
+            other if other.starts_with("--") => {
+                return Err(CliError::usage(format!(
+                    "unknown flag `{other}` (trace takes --folded, --critical-path <name>)"
+                )));
+            }
+            other => {
+                if file.is_some() {
+                    return Err(CliError::usage("trace takes exactly one capture file"));
+                }
+                file = Some(other);
+                i += 1;
+            }
+        }
+    }
+    let path = file.ok_or_else(|| {
+        CliError::usage("usage: hotwire trace <capture> [--folded] [--critical-path <name>]")
+    })?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::context(format!("cannot read {path}"), e))?;
+    let trace = SpanTrace::parse(&text)
+        .map_err(|e| CliError::usage(format!("{path} is not a span trace: {e}")))?;
+
+    if folded_only {
+        for (stack, us) in trace.folded() {
+            println!("{stack} {us}");
+        }
+        return Ok(());
+    }
+
+    if !trace.telemetry {
+        println!("(captured by a no-telemetry build: no spans recorded)");
+    }
+    let threads = {
+        let mut tids: Vec<u64> = trace.spans.iter().map(|s| s.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        tids.len()
+    };
+    let wall_us = trace
+        .spans
+        .iter()
+        .map(|s| s.start_us + s.dur_us)
+        .fold(0.0_f64, f64::max);
+    println!(
+        "{}: {} span(s) on {} thread(s), {:.2} ms wall",
+        path,
+        trace.spans.len(),
+        threads,
+        wall_us / 1e3
+    );
+
+    let summary = trace.self_time();
+    if !summary.is_empty() {
+        println!(
+            "\n{:<34}{:>8}{:>14}{:>14}{:>8}",
+            "span", "count", "total [ms]", "self [ms]", "self %"
+        );
+        let grand_self: f64 = summary.iter().map(|r| r.self_us).sum();
+        for r in &summary {
+            println!(
+                "{:<34}{:>8}{:>14.3}{:>14.3}{:>8.1}",
+                r.name,
+                r.count,
+                r.total_us / 1e3,
+                r.self_us / 1e3,
+                if grand_self > 0.0 {
+                    100.0 * r.self_us / grand_self
+                } else {
+                    0.0
+                }
+            );
+        }
+    }
+
+    let paths = trace.critical_paths(root);
+    if paths.is_empty() {
+        println!("\nno `{root}` spans for critical-path extraction");
+    } else {
+        println!("\ncritical path per `{root}` span (slowest child chain):");
+        for p in &paths {
+            let mut line = format!("  {} {:.3} ms", p.root.name, p.root.dur_us / 1e3);
+            for (k, v) in &p.root.args {
+                line.push_str(&format!(" [{k}={v}]"));
+            }
+            for s in &p.steps {
+                line.push_str(&format!(" -> {} {:.3} ms", s.name, s.dur_us / 1e3));
+            }
+            println!("{line}");
+        }
+    }
+
+    let folded = trace.folded();
+    if !folded.is_empty() {
+        println!("\nfolded stacks (pipe `hotwire trace <capture> --folded` into inferno):");
+        for (stack, us) in folded {
+            println!("{stack} {us}");
+        }
+    }
     Ok(())
 }

@@ -19,16 +19,23 @@
 //! over an [`mpsc`] channel. HTTP support is the minimal correct subset:
 //! one request per connection, `Connection: close` semantics, bodies up
 //! to [`MAX_REQUEST_BYTES`].
+//!
+//! Every response carries a process-unique `X-Hotwire-Request-Id`
+//! header. The same ID tags the request's root `serve.request` span
+//! (whose latency histogram is scrapeable on `/metrics`) and any
+//! structured error event the handler emits, so a failing client call
+//! can be matched to the server-side diagnostics it produced.
 
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use hotwire_coupled::{CoupledEngine, CoupledGridSpec, CoupledOptions};
 use hotwire_obs::json::Json;
+use hotwire_obs::trace::{self, FieldValue, Level};
 use hotwire_obs::{metrics, prom};
 
 /// Hard cap on a request (start line + headers + body); larger
@@ -160,7 +167,8 @@ pub struct Request {
     pub body: Vec<u8>,
 }
 
-/// A response ready to serialize: status, content type, body.
+/// A response ready to serialize: status, content type, body, and the
+/// request ID echoed back as `X-Hotwire-Request-Id`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
@@ -169,6 +177,11 @@ pub struct Response {
     pub content_type: &'static str,
     /// Body bytes.
     pub body: Vec<u8>,
+    /// Server-assigned request ID (`req-xxxxxxxx`), sent back in the
+    /// `X-Hotwire-Request-Id` header so a client-observed failure can
+    /// be matched to the server's structured error events and the
+    /// captured `serve.request` span.
+    pub request_id: Option<String>,
 }
 
 impl Response {
@@ -177,6 +190,7 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: body.into().into_bytes(),
+            request_id: None,
         }
     }
 
@@ -185,6 +199,7 @@ impl Response {
             status,
             content_type: "application/json",
             body: format!("{}\n", body.to_pretty_string()).into_bytes(),
+            request_id: None,
         }
     }
 
@@ -200,29 +215,56 @@ impl Response {
     }
 }
 
+/// Process-wide allocator behind every `X-Hotwire-Request-Id`.
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates the next request ID in its rendered `req-xxxxxxxx` form.
+// SAFETY(ordering): a pure ID allocator — uniqueness is the only
+// requirement, which `fetch_add` guarantees at any ordering.
+fn next_request_id() -> String {
+    format!(
+        "req-{:08x}",
+        NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
 /// Routes one request. Pure (no I/O beyond the signoff engine), so the
 /// unit tests exercise every endpoint without opening sockets.
+///
+/// Every request gets a process-unique ID: it roots the request-scoped
+/// `serve.request` span (feeding the latency histogram of the same
+/// name on `/metrics`), tags any structured error event the handler
+/// emits, and is echoed to the client via [`Response::request_id`].
 #[must_use]
 pub fn route(request: &Request, config: &ServeConfig) -> Response {
     metrics::counter("serve.requests").inc();
-    let _timer = metrics::timer("serve.request").start();
-    match (request.method.as_str(), request.path.as_str()) {
+    let request_id = next_request_id();
+    let _span = trace::span_with(
+        "serve.request",
+        &[("request_id", FieldValue::Str(&request_id))],
+    );
+    let mut response = match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/metrics") => Response {
             status: 200,
             // The exposition-format content type, version pinned.
             content_type: "text/plain; version=0.0.4; charset=utf-8",
             body: prom::render(&metrics::snapshot()).into_bytes(),
+            request_id: None,
         },
         ("GET", "/healthz") => Response::text(200, "ok\n"),
-        ("POST", "/signoff") => signoff_response(&request.body, config),
+        ("POST", "/signoff") => signoff_response(&request.body, config, &request_id),
         (_, "/metrics" | "/healthz" | "/signoff") => Response::text(405, "method not allowed\n"),
         _ => Response::text(404, "not found\n"),
-    }
+    };
+    response.request_id = Some(request_id);
+    response
 }
 
 /// Runs one coupled signoff from the template (body may override
-/// `rows`/`cols`) and renders the verdict as JSON.
-fn signoff_response(body: &[u8], config: &ServeConfig) -> Response {
+/// `rows`/`cols`) and renders the verdict as JSON. Engine failures are
+/// logged as structured error events carrying `request_id`, and the
+/// same ID rides in the 500 body so the client can quote it.
+fn signoff_response(body: &[u8], config: &ServeConfig, request_id: &str) -> Response {
     let mut spec = config.spec.clone();
     if !body.is_empty() {
         let Ok(text) = std::str::from_utf8(body) else {
@@ -298,7 +340,23 @@ fn signoff_response(body: &[u8], config: &ServeConfig) -> Response {
         }
         Err(e) => {
             metrics::counter("serve.errors").inc();
-            Response::json(500, &Json::object([("error", Json::from(e.to_string()))]))
+            let message = e.to_string();
+            trace::event(
+                Level::Error,
+                "serve",
+                "signoff failed",
+                &[
+                    ("request_id", FieldValue::Str(request_id)),
+                    ("error", FieldValue::Str(&message)),
+                ],
+            );
+            Response::json(
+                500,
+                &Json::object([
+                    ("error", Json::from(message)),
+                    ("request_id", Json::from(request_id)),
+                ]),
+            )
         }
     }
 }
@@ -313,16 +371,32 @@ fn handle_connection(stream: TcpStream, config: &ServeConfig) {
         Ok(request) => route(&request, config),
         Err(status) => {
             metrics::counter("serve.errors").inc();
-            Response::text(status, "bad request\n")
+            let request_id = next_request_id();
+            trace::event(
+                Level::Error,
+                "serve",
+                "unreadable request",
+                &[
+                    ("request_id", FieldValue::Str(&request_id)),
+                    ("status", FieldValue::U64(u64::from(status))),
+                ],
+            );
+            let mut response = Response::text(status, "bad request\n");
+            response.request_id = Some(request_id);
+            response
         }
     };
-    let header = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut header = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         response.status,
         response.reason(),
         response.content_type,
         response.body.len()
     );
+    if let Some(id) = &response.request_id {
+        header.push_str(&format!("X-Hotwire-Request-Id: {id}\r\n"));
+    }
+    header.push_str("Connection: close\r\n\r\n");
     let _ = stream
         .write_all(header.as_bytes())
         .and_then(|()| stream.write_all(&response.body))
@@ -467,5 +541,35 @@ mod tests {
     fn header_terminator_is_found() {
         assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
         assert_eq!(find_header_end(b"partial\r\n"), None);
+    }
+
+    #[test]
+    fn every_response_carries_a_unique_request_id() {
+        let a = route(&get("/healthz"), &small_config());
+        let b = route(&get("/nope"), &small_config());
+        let id_a = a.request_id.expect("healthz response has a request id");
+        let id_b = b.request_id.expect("404 response has a request id");
+        assert!(id_a.starts_with("req-"), "{id_a}");
+        assert_ne!(id_a, id_b, "request ids must be process-unique");
+    }
+
+    #[test]
+    fn failed_signoff_quotes_the_request_id_in_the_body() {
+        // An unbuildable template (no pads) makes the engine fail, which
+        // must produce a 500 whose JSON body names the request id.
+        let mut config = small_config();
+        config.spec.pads.clear();
+        let r = route(
+            &Request {
+                method: "POST".to_owned(),
+                path: "/signoff".to_owned(),
+                body: Vec::new(),
+            },
+            &config,
+        );
+        assert_eq!(r.status, 500);
+        let json = hotwire_obs::json::parse(std::str::from_utf8(&r.body).unwrap()).unwrap();
+        let body_id = json.get("request_id").and_then(Json::as_str).unwrap();
+        assert_eq!(Some(body_id.to_owned()), r.request_id);
     }
 }

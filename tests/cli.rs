@@ -407,3 +407,145 @@ fn metrics_and_trace_out_write_parsable_json() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn trace_format_chrome_captures_a_span_tree_the_analyzer_reads() {
+    use hotwire::obs::spantree::SpanTrace;
+
+    let dir = std::env::temp_dir().join(format!("hotwire-chrome-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.chrome.json");
+    let (ok, stdout, stderr) = hotwire(&[
+        "coupled-signoff",
+        "--rows",
+        "20",
+        "--cols",
+        "20",
+        "--trace-out",
+        path.to_str().unwrap(),
+        "--trace-format",
+        "chrome",
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let trace = SpanTrace::parse(&text).expect("chrome trace parses back");
+    // The raw Trace Event stream must be balanced and well-formed: the
+    // `from_chrome` parser rejects unmatched B/E, so a successful parse
+    // is the balance assertion. Check the content beyond that.
+    if trace.telemetry {
+        let iterations = trace
+            .spans
+            .iter()
+            .filter(|s| s.name == "coupled.iteration")
+            .count();
+        assert!(iterations >= 2, "demo 20×20 iterates at least twice");
+        for s in trace.spans.iter().filter(|s| s.name == "coupled.iteration") {
+            assert!(
+                s.args.iter().any(|(k, _)| k == "iteration"),
+                "iteration spans carry their index: {s:?}"
+            );
+        }
+        assert!(
+            trace.spans.iter().any(|s| s.name == "coupled.em.strap"),
+            "per-strap EM spans captured"
+        );
+    }
+
+    // The analyzer consumes the same file: self-time table, critical
+    // path, folded stacks.
+    let (ok, stdout, stderr) = hotwire(&["trace", path.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    if trace.telemetry {
+        assert!(stdout.contains("self [ms]"), "{stdout}");
+        assert!(stdout.contains("coupled.iteration"), "{stdout}");
+        assert!(stdout.contains("critical path"), "{stdout}");
+        assert!(stdout.contains("folded stacks"), "{stdout}");
+    }
+
+    // `--folded` pipes bare `stack weight` lines for inferno/speedscope.
+    let (ok, folded, _) = hotwire(&["trace", path.to_str().unwrap(), "--folded"]);
+    assert!(ok);
+    if trace.telemetry {
+        assert!(!folded.trim().is_empty());
+        for line in folded.trim().lines() {
+            let (stack, weight) = line.rsplit_once(' ').expect("`stack weight` shape");
+            assert!(!stack.is_empty());
+            weight.parse::<u64>().expect("integer microsecond weight");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Regression test: the retained span capture must not depend on the
+/// stderr level filter — `--log-level error` and `--log-level trace`
+/// produce the same retained span-name multiset (the filter decides
+/// what is printed, never what the trace keeps).
+#[test]
+fn trace_out_is_independent_of_log_level() {
+    use hotwire::obs::spantree::SpanTrace;
+
+    let dir = std::env::temp_dir().join(format!("hotwire-lvl-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut multisets = Vec::new();
+    for level in ["error", "trace"] {
+        let path = dir.join(format!("{level}.jsonl"));
+        let (ok, stdout, stderr) = hotwire(&[
+            "coupled-signoff",
+            "--rows",
+            "12",
+            "--cols",
+            "12",
+            "--log-level",
+            level,
+            "--trace-out",
+            path.to_str().unwrap(),
+            "--trace-format",
+            "jsonl",
+        ]);
+        assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+        let trace = SpanTrace::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let mut names: Vec<String> = trace.spans.iter().map(|s| s.name.clone()).collect();
+        names.sort();
+        multisets.push((trace.telemetry, names));
+    }
+    assert_eq!(
+        multisets[0], multisets[1],
+        "the level filter must not leak into the retained trace"
+    );
+    if multisets[0].0 {
+        assert!(
+            multisets[0].1.iter().any(|n| n == "coupled.iteration"),
+            "{multisets:?}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_subcommand_rejects_bad_invocations() {
+    // No capture file: usage error, exit 2.
+    let (code, _, stderr) = hotwire_status(&["trace"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("usage"), "{stderr}");
+    // A malformed file: usage error naming the file.
+    let dir = std::env::temp_dir().join(format!("hotwire-badtrace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("not-a-trace.json");
+    std::fs::write(&path, "this is not a trace\n").unwrap();
+    let (code, _, stderr) = hotwire_status(&["trace", path.to_str().unwrap()]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("not a span trace"), "{stderr}");
+    // An unbalanced Chrome stream is rejected, not silently truncated.
+    let path = dir.join("unbalanced.json");
+    std::fs::write(
+        &path,
+        "{\"traceEvents\": [{\"ph\": \"B\", \"name\": \"x\", \"ts\": 0, \"pid\": 1, \
+         \"tid\": 0}, {\"ph\": \"E\", \"name\": \"x\", \"ts\": 5, \"pid\": 1, \"tid\": 0}, \
+         {\"ph\": \"E\", \"name\": \"x\", \"ts\": 9, \"pid\": 1, \"tid\": 0}]}\n",
+    )
+    .unwrap();
+    let (code, _, stderr) = hotwire_status(&["trace", path.to_str().unwrap()]);
+    assert_eq!(code, Some(2), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}

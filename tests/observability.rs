@@ -80,6 +80,81 @@ fn sweep_counters_match_between_serial_and_parallel() {
     }
 }
 
+/// The captured span tree must be schedule-independent too: the same
+/// sweep records the same span-name multiset whether the points ran on
+/// the rayon pool or serially, and every `sweep.point_time` span hangs
+/// off the `sweep.batch_time` span that spawned it (on workers via the
+/// adopted `TraceContext`, serially via the thread-local stack).
+#[test]
+fn sweep_span_multisets_match_between_serial_and_parallel() {
+    let _guard = registry_lock();
+    let problem = sweep_problem();
+    let rs = log_spaced(1.0e-4, 1.0, 9);
+    fn names(t: &hotwire::obs::SpanTrace) -> Vec<&str> {
+        let mut v: Vec<&str> = t.spans.iter().map(|s| s.name.as_str()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    hotwire::obs::spantree::capture_start();
+    duty_cycle_sweep_serial(&problem, &rs).unwrap();
+    let serial = hotwire::obs::spantree::capture_take();
+
+    hotwire::obs::spantree::capture_start();
+    duty_cycle_sweep(&problem, &rs).unwrap();
+    let parallel = hotwire::obs::spantree::capture_take();
+
+    if !cfg!(feature = "telemetry") {
+        assert!(serial.spans.is_empty() && parallel.spans.is_empty());
+        return;
+    }
+    assert_eq!(
+        names(&serial),
+        names(&parallel),
+        "span-name multisets are schedule-independent"
+    );
+    for trace in [&serial, &parallel] {
+        let batch = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "sweep.batch_time")
+            .expect("one batch span");
+        let points: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|s| s.name == "sweep.point_time")
+            .collect();
+        assert_eq!(points.len(), rs.len(), "one span per sweep point");
+        for p in &points {
+            assert_eq!(
+                p.parent,
+                Some(batch.id),
+                "point spans attach to the batch span on any thread"
+            );
+        }
+    }
+    // The parallel run used worker threads, so at least one point span
+    // must carry a different tid than the batch span — unless rayon
+    // collapsed to one thread (single-core runner), which is legal.
+    let batch_tid = parallel
+        .spans
+        .iter()
+        .find(|s| s.name == "sweep.batch_time")
+        .unwrap()
+        .tid;
+    let cross_thread = parallel
+        .spans
+        .iter()
+        .filter(|s| s.name == "sweep.point_time")
+        .any(|s| s.tid != batch_tid);
+    if std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) > 1 {
+        assert!(
+            cross_thread,
+            "a multi-core rayon sweep records worker-thread spans"
+        );
+    }
+}
+
 /// The per-strap EM counters increment inside the fan-out closure, so
 /// `assess()` and `assess_serial()` must agree on mortal/immortal totals.
 #[test]

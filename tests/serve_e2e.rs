@@ -166,8 +166,9 @@ fn serve_scrapes_signs_off_and_shuts_down_gracefully() {
         assert!(requests_before >= 1.0, "the scrape itself is counted");
     }
 
-    // POST /signoff runs a real coupled solve and reports its verdict.
-    let (status, _, body) = http(
+    // POST /signoff runs a real coupled solve and reports its verdict,
+    // echoing the server-assigned request ID in a response header.
+    let (status, head, body) = http(
         &addr,
         &format!(
             "POST /signoff HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 0\r\n\
@@ -176,10 +177,21 @@ fn serve_scrapes_signs_off_and_shuts_down_gracefully() {
     );
     assert_eq!(status, 200, "signoff failed: {body}");
     assert!(body.contains("\"iterations\""), "{body}");
+    let request_id = head
+        .lines()
+        .find_map(|l| l.strip_prefix("X-Hotwire-Request-Id: "))
+        .unwrap_or_else(|| panic!("no X-Hotwire-Request-Id header in: {head}"));
+    assert!(request_id.starts_with("req-"), "{request_id}");
 
-    // Unknown path → 404; the server keeps running.
-    let (status, _, _) = get(&addr, "/nope");
+    // Unknown path → 404; the server keeps running, and every response
+    // (this one included) carries a distinct request ID.
+    let (status, head, _) = get(&addr, "/nope");
     assert_eq!(status, 404);
+    let other_id = head
+        .lines()
+        .find_map(|l| l.strip_prefix("X-Hotwire-Request-Id: "))
+        .expect("404 responses carry a request id too");
+    assert_ne!(other_id, request_id, "ids are per-request");
 
     // Counters are monotone across scrapes, and the signoff timers now
     // carry observations.
@@ -192,6 +204,12 @@ fn serve_scrapes_signs_off_and_shuts_down_gracefully() {
         );
         assert!(counter_value(&text2, "hotwire_serve_signoffs_total") >= 1.0);
         assert!(counter_value(&text2, "hotwire_coupled_run_seconds_count") >= 1.0);
+        // The per-request latency histogram (fed by the request-scoped
+        // `serve.request` span) is scrapeable.
+        assert!(
+            counter_value(&text2, "hotwire_serve_request_seconds_count") >= 1.0,
+            "serve.request histogram missing from:\n{text2}"
+        );
     }
 
     // SIGTERM → graceful drain → exit 0.
