@@ -313,12 +313,15 @@ fn main() -> ExitCode {
     );
     let mut regressions = 0;
     for c in &comparisons {
+        // A violation row names the committed baseline file, not just
+        // the grid label — the CI log line alone says which file to
+        // open (or re-measure).
         let verdict = match c.verdict {
-            Verdict::Ok => "ok",
-            Verdict::Skipped => "skipped (noise floor)",
+            Verdict::Ok => "ok".to_owned(),
+            Verdict::Skipped => "skipped (noise floor)".to_owned(),
             Verdict::Regression => {
                 regressions += 1;
-                "REGRESSION"
+                format!("REGRESSION vs {baseline_path}")
             }
         };
         println!(
@@ -342,11 +345,11 @@ fn main() -> ExitCode {
         );
         for c in &overhead {
             let verdict = match c.verdict {
-                Verdict::Ok => "ok",
-                Verdict::Skipped => "skipped (noise floor)",
+                Verdict::Ok => "ok".to_owned(),
+                Verdict::Skipped => "skipped (noise floor)".to_owned(),
                 Verdict::Regression => {
                     overhead_breaches += 1;
-                    "OVER BUDGET"
+                    format!("OVER BUDGET in {baseline_path}")
                 }
             };
             println!(

@@ -166,6 +166,7 @@ impl SparseMatrix {
             d: Vec::new(),
             ranges,
             top_rows,
+            anorm_1: a.norm_1(),
         };
         f.numeric(&au)?;
         #[allow(clippy::cast_precision_loss)]
@@ -201,6 +202,9 @@ pub struct CholeskyFactorization {
     /// Rows not owned by any subtree task (shared ancestors), ascending,
     /// processed serially after the tasks are merged.
     top_rows: Vec<u32>,
+    /// ‖A‖₁ of the matrix behind the current numeric values, refreshed
+    /// by [`CholeskyFactorization::refactor`] (condition-estimate input).
+    anorm_1: f64,
 }
 
 /// One parallel task's slice of the factor: columns `[lo, hi)` by value.
@@ -254,6 +258,21 @@ impl CholeskyFactorization {
         &self.d
     }
 
+    /// ‖A‖₁ of the matrix behind the current numeric values (refreshed
+    /// on [`CholeskyFactorization::refactor`]).
+    #[must_use]
+    pub fn anorm_1(&self) -> f64 {
+        self.anorm_1
+    }
+
+    /// Smallest |dₖ| of the LDLᵀ diagonal — the SPD path's pivot-health
+    /// analog: a collapse toward zero means the grid is drifting toward
+    /// singular (floating nodes, vanishing conductances).
+    #[must_use]
+    pub fn min_pivot(&self) -> f64 {
+        self.d.iter().map(|v| v.abs()).fold(f64::INFINITY, f64::min)
+    }
+
     /// Recomputes the numeric factor from a matrix with the **same
     /// sparsity pattern** (same stamping structure): no ordering, no
     /// symbolic work, no schedule rebuild. This is the Picard/Newton
@@ -275,6 +294,7 @@ impl CholeskyFactorization {
         let _t = hotwire_obs::trace::span("solver.chol.refactor_time");
         let a = matrix.to_csc();
         let au = permuted_upper(self.n, &a, &self.pinv);
+        self.anorm_1 = a.norm_1();
         self.numeric(&au)?;
         #[allow(clippy::cast_precision_loss)]
         metrics::gauge("solver.chol.fill_nnz").set(self.nnz() as f64);

@@ -29,7 +29,21 @@
 
 use crate::solver::{MnaFactorization, MnaMatrix, SolverPath};
 use crate::CircuitError;
-use hotwire_obs::metrics;
+use hotwire_obs::{health, metrics, recorder};
+
+/// Refactors between condition-estimate resamples: the estimate is
+/// cached per sparsity pattern and refreshed every this-many numeric
+/// refactors, so its few extra solves amortize to well under a percent
+/// of the solve budget while conditioning drift (a strap burning out,
+/// a grid drifting toward floating) still surfaces within one Picard
+/// window.
+pub const COND_RESAMPLE_INTERVAL: usize = 32;
+
+/// Default relative-residual warn threshold: ‖Ax−b‖∞/‖b‖∞ beyond this
+/// increments `health.residual_warn` and logs a warning. Direct sparse
+/// solves on well-conditioned grids land near machine epsilon; 1e-8
+/// leaves orders of headroom before flagging.
+pub const DEFAULT_RESIDUAL_WARN: f64 = 1e-8;
 
 /// A resistive-grid DC solver with a fixed topology and restampable
 /// branch conductances.
@@ -56,6 +70,10 @@ pub struct DcGridSolver {
     node_v: Vec<f64>,
     branch_i: Vec<f64>,
     solves: usize,
+    residual_warn: f64,
+    last_residual: Option<f64>,
+    cond_est: Option<f64>,
+    refactors_since_cond: usize,
 }
 
 impl DcGridSolver {
@@ -148,6 +166,10 @@ impl DcGridSolver {
             node_v: vec![0.0; n_nodes],
             branch_i: vec![0.0; n_branches],
             solves: 0,
+            residual_warn: DEFAULT_RESIDUAL_WARN,
+            last_residual: None,
+            cond_est: None,
+            refactors_since_cond: 0,
         })
     }
 
@@ -234,16 +256,40 @@ impl DcGridSolver {
                     self.rhs[u] -= self.sinks[node];
                 }
             }
+            let mut sample_cond = false;
             match &mut self.factorization {
-                Some(f) => f.refactor(&self.matrix)?,
-                None if self.lu_only => self.factorization = Some(self.matrix.factor_lu()?),
-                None => self.factorization = Some(self.matrix.factor()?),
+                Some(f) => {
+                    f.refactor(&self.matrix)?;
+                    self.refactors_since_cond += 1;
+                    if self.refactors_since_cond >= COND_RESAMPLE_INTERVAL {
+                        sample_cond = true;
+                    }
+                }
+                None => {
+                    self.factorization = Some(if self.lu_only {
+                        self.matrix.factor_lu()?
+                    } else {
+                        self.matrix.factor()?
+                    });
+                    sample_cond = true;
+                }
             }
             let f = self
                 .factorization
                 .as_ref()
                 .expect("factorization installed above");
             f.solve_into(&self.rhs, &mut self.reduced);
+            if sample_cond {
+                // First factorization of a pattern, or every
+                // COND_RESAMPLE_INTERVAL-th refactor: refresh the cached
+                // Hager/Higham estimate (a handful of extra triangular
+                // solves against the factorization already in hand).
+                if let Some(kappa) = f.condition_estimate() {
+                    self.cond_est = Some(kappa);
+                }
+                self.refactors_since_cond = 0;
+            }
+            self.check_residual();
         }
         for node in 0..self.n_nodes {
             self.node_v[node] = match self.pinned_v[node] {
@@ -256,6 +302,118 @@ impl DcGridSolver {
         }
         self.solves += 1;
         Ok(())
+    }
+
+    /// Post-solve relative residual ‖Ax−b‖∞/‖b‖∞ against the stamps and
+    /// RHS still in place from [`DcGridSolver::solve`]. Cheap (one
+    /// sparse mat-vec) and always on; publishes `health.residual_rel`
+    /// and flags `health.residual_warn` past the threshold.
+    fn check_residual(&mut self) {
+        let ax = self.matrix.mul_vec(&self.reduced);
+        let mut err = 0.0f64;
+        let mut bnorm = 0.0f64;
+        for (axi, bi) in ax.iter().zip(&self.rhs) {
+            err = err.max((axi - bi).abs());
+            bnorm = bnorm.max(bi.abs());
+        }
+        let rel = if bnorm > 0.0 { err / bnorm } else { err };
+        self.last_residual = Some(rel);
+        metrics::gauge(health::names::RESIDUAL_REL).set(rel);
+        if rel.is_nan() || rel > self.residual_warn {
+            metrics::counter(health::names::RESIDUAL_WARN).inc();
+            recorder::record(
+                "health.residual_warn",
+                format_args!(
+                    "relative residual {rel:.3e} exceeds threshold {:.3e} on {} unknowns",
+                    self.residual_warn, self.n_unknowns
+                ),
+            );
+        }
+    }
+
+    /// Audits Kirchhoff's current law at every free node of the most
+    /// recent solve: the signed branch outflows, the sink draw, and the
+    /// `gmin` leak must cancel. Returns the worst imbalance relative to
+    /// the total sink magnitude (falling back to the largest branch
+    /// current, then to 1 A, so a sink-free grid still gets a sane
+    /// scale). Publishes `health.kcl_imbalance_rel` and counts
+    /// `health.kcl_warn` when the imbalance clears the residual-warn
+    /// threshold.
+    ///
+    /// Returns 0.0 before the first solve or when every node is pinned.
+    #[must_use]
+    pub fn kcl_audit(&self) -> f64 {
+        if self.solves == 0 || self.n_unknowns == 0 {
+            return 0.0;
+        }
+        let mut imbalance = vec![0.0f64; self.n_nodes];
+        for (&(a, b), &i) in self.branches.iter().zip(&self.branch_i) {
+            imbalance[a] += i; // outflow at the from-node
+            imbalance[b] -= i; // inflow at the to-node
+        }
+        let mut worst = 0.0f64;
+        for (node, &net_out) in imbalance.iter().enumerate() {
+            if self.pinned_v[node].is_none() {
+                let residual = net_out + self.sinks[node] + self.gmin * self.node_v[node];
+                worst = worst.max(residual.abs());
+            }
+        }
+        let mut scale: f64 = self.sinks.iter().map(|s| s.abs()).sum();
+        if scale <= 0.0 {
+            scale = self.branch_i.iter().fold(0.0f64, |m, i| m.max(i.abs()));
+        }
+        if scale <= 0.0 {
+            scale = 1.0;
+        }
+        let rel = worst / scale;
+        metrics::gauge(health::names::KCL_IMBALANCE_REL).set(rel);
+        if rel.is_nan() || rel > self.residual_warn {
+            metrics::counter(health::names::KCL_WARN).inc();
+            recorder::record(
+                "health.kcl_warn",
+                format_args!(
+                    "KCL imbalance {rel:.3e} across {} free nodes",
+                    self.n_unknowns
+                ),
+            );
+        }
+        rel
+    }
+
+    /// The cached Hager/Higham 1-norm condition estimate of the reduced
+    /// matrix, sampled on the first factorization of a pattern and every
+    /// [`COND_RESAMPLE_INTERVAL`]-th refactor. `None` before the first
+    /// solve or on the dense backend.
+    #[must_use]
+    pub fn condition_estimate(&self) -> Option<f64> {
+        self.cond_est
+    }
+
+    /// Relative residual ‖Ax−b‖∞/‖b‖∞ from the most recent solve
+    /// (`None` before the first, or when every node is pinned).
+    #[must_use]
+    pub fn last_residual_rel(&self) -> Option<f64> {
+        self.last_residual
+    }
+
+    /// LU pivot growth of the current factorization (`None` before the
+    /// first solve or on the dense/Cholesky backends — grid stamps are
+    /// SPD, so this reports only under [`DcGridSolver::set_lu_only`] or
+    /// after a Cholesky→LU fallback).
+    #[must_use]
+    pub fn pivot_growth(&self) -> Option<f64> {
+        self.factorization
+            .as_ref()
+            .and_then(MnaFactorization::pivot_growth)
+    }
+
+    /// Overrides the relative-residual warn threshold
+    /// ([`DEFAULT_RESIDUAL_WARN`] until set). Non-finite or non-positive
+    /// values are ignored.
+    pub fn set_residual_warn_threshold(&mut self, threshold: f64) {
+        if threshold.is_finite() && threshold > 0.0 {
+            self.residual_warn = threshold;
+        }
     }
 
     /// Per-node voltages from the most recent solve (zeros before any).
@@ -429,6 +587,80 @@ mod tests {
         assert!(s.solve(&[0.0]).is_err());
         assert!(s.solve(&[-1.0]).is_err());
         assert!(s.solve(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn health_monitors_report_after_solve() {
+        let (rows, cols) = (15, 15);
+        let branches = mesh(rows, cols);
+        let nb = branches.len();
+        let mut s = DcGridSolver::new(rows * cols, branches, &[(0, 1.0)], 1e-9).unwrap();
+        for node in 0..rows * cols {
+            s.set_sink(node, 1e-4);
+        }
+        s.solve(&vec![2.0; nb]).unwrap();
+        let res = s.last_residual_rel().expect("residual computed");
+        assert!(
+            res < 1e-10,
+            "direct solve residual should be tiny, got {res}"
+        );
+        let kappa = s.condition_estimate().expect("sampled on first factor");
+        assert!(kappa.is_finite() && kappa >= 1.0, "kappa = {kappa}");
+        let kcl = s.kcl_audit();
+        assert!(
+            kcl < 1e-9,
+            "KCL must balance on a converged grid, got {kcl}"
+        );
+    }
+
+    #[test]
+    fn condition_estimate_resamples_on_schedule() {
+        // A chain long enough for the sparse backend (dense reports no
+        // estimate): 131 nodes, node 0 pinned, sink at the far end.
+        let n = 131;
+        let branches: Vec<_> = (0..n - 1).map(|k| (k, k + 1)).collect();
+        let mut s = DcGridSolver::new(n, branches, &[(0, 1.0)], 0.0).unwrap();
+        assert!(s.is_sparse());
+        s.set_sink(n - 1, 0.1);
+        let uniform = vec![1.0; n - 1];
+        let mut weak_tail = uniform.clone();
+        weak_tail[n - 2] = 1e-9; // near-floating end node
+        s.solve(&uniform).unwrap();
+        let first = s.condition_estimate();
+        assert!(first.is_some(), "sampled on the first factorization");
+        // Refactors 1..COND_RESAMPLE_INTERVAL-1 keep the cached value
+        // even as the matrix changes; the interval-th refresh sees the
+        // new, much more spread conductances.
+        for _ in 0..COND_RESAMPLE_INTERVAL - 1 {
+            s.solve(&weak_tail).unwrap();
+            assert_eq!(s.condition_estimate(), first, "cached between samples");
+        }
+        s.solve(&weak_tail).unwrap();
+        let resampled = s.condition_estimate().unwrap();
+        assert!(
+            resampled > first.unwrap() * 100.0,
+            "resample must see the spread: {resampled} vs {first:?}"
+        );
+    }
+
+    #[test]
+    fn residual_threshold_setter_ignores_garbage() {
+        let mut s = DcGridSolver::new(2, vec![(0, 1)], &[(0, 1.0)], 0.0).unwrap();
+        s.set_residual_warn_threshold(f64::NAN);
+        s.set_residual_warn_threshold(-1.0);
+        s.set_residual_warn_threshold(0.0);
+        assert!((s.residual_warn - DEFAULT_RESIDUAL_WARN).abs() < 1e-30);
+        s.set_residual_warn_threshold(1e-6);
+        assert!((s.residual_warn - 1e-6).abs() < 1e-30);
+    }
+
+    #[test]
+    fn kcl_audit_is_zero_before_solve_and_when_all_pinned() {
+        let s = DcGridSolver::new(2, vec![(0, 1)], &[(0, 1.0)], 0.0).unwrap();
+        assert_eq!(s.kcl_audit(), 0.0);
+        let mut pinned = DcGridSolver::new(2, vec![(0, 1)], &[(0, 1.0), (1, 0.5)], 0.0).unwrap();
+        pinned.solve(&[4.0]).unwrap();
+        assert_eq!(pinned.kcl_audit(), 0.0);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::cholesky::CholeskyFactorization;
 use crate::linalg::Matrix;
 use crate::sparse::{Factorization as SparseFactorization, SparseMatrix};
 use crate::CircuitError;
+use hotwire_obs::health;
 use hotwire_obs::metrics;
 
 /// Which concrete backend served a factorization — reported by
@@ -170,15 +171,33 @@ impl MnaMatrix {
                 // any LDLᵀ pivot failure — falls back to pivoting LU.
                 if !force_lu {
                     match m.factor_cholesky() {
-                        Ok(f) => return Ok(MnaFactorization::SparseCholesky(f)),
+                        Ok(f) => {
+                            metrics::gauge(health::names::CHOL_MIN_PIVOT).set(f.min_pivot());
+                            return Ok(MnaFactorization::SparseCholesky(f));
+                        }
                         Err(_) => metrics::counter("solver.chol.fallback").inc(),
                     }
                 }
                 let f = m.factor()?;
                 #[allow(clippy::cast_precision_loss)]
                 metrics::gauge("solver.sparse.fill_nnz").set(f.nnz() as f64);
+                metrics::gauge(health::names::PIVOT_GROWTH).set(f.pivot_growth());
                 Ok(MnaFactorization::Sparse(f))
             }
+        }
+    }
+
+    /// Matrix–vector product `A·v` against the current stamps (residual
+    /// checks; not a hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch.
+    #[must_use]
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        match self {
+            Self::Dense(m) => m.mul_vec(v),
+            Self::Sparse(m) => m.mul_vec(v),
         }
     }
 
@@ -242,6 +261,71 @@ impl MnaFactorization {
         }
     }
 
+    /// Hager/Higham 1-norm condition estimate κ₁(A) of the factored
+    /// system, reusing the stored factors (a handful of solves, no
+    /// refactorization).
+    ///
+    /// `None` on the dense backend (small testbench systems; the
+    /// monitors target the grid-scale sparse paths). The estimate is a
+    /// lower bound on the true κ₁, typically within a small factor
+    /// (see [`hotwire_obs::health::CONDEST_UNDERESTIMATE_FACTOR`]);
+    /// `f64::INFINITY` means numerically singular. Each call records
+    /// one `health.cond_est` gauge sample — callers decide the
+    /// sampling cadence (e.g. [`crate::grid_dc::DcGridSolver`] samples
+    /// the first factorization of a pattern and every
+    /// [`crate::grid_dc::COND_RESAMPLE_INTERVAL`]-th refactor).
+    #[must_use]
+    pub fn condition_estimate(&self) -> Option<f64> {
+        let kappa = match self {
+            Self::Dense(_) => return None,
+            Self::Sparse(f) => {
+                let mut buf = Vec::new();
+                let mut buf_t = Vec::new();
+                health::condest_1norm(
+                    f.n(),
+                    f.anorm_1(),
+                    |b, x| {
+                        f.solve_into(b, &mut buf);
+                        x.copy_from_slice(&buf);
+                    },
+                    |b, x| {
+                        f.solve_transposed_into(b, &mut buf_t);
+                        x.copy_from_slice(&buf_t);
+                    },
+                )
+            }
+            Self::SparseCholesky(f) => {
+                // LDLᵀ is symmetric: A = Aᵀ, one solve serves both.
+                let mut buf = Vec::new();
+                let solve = |b: &[f64], x: &mut [f64]| {
+                    f.solve_into(b, &mut buf);
+                    x.copy_from_slice(&buf);
+                };
+                let mut buf2 = Vec::new();
+                let solve_t = |b: &[f64], x: &mut [f64]| {
+                    f.solve_into(b, &mut buf2);
+                    x.copy_from_slice(&buf2);
+                };
+                health::condest_1norm(f.n(), f.anorm_1(), solve, solve_t)
+            }
+        };
+        metrics::gauge(health::names::COND_EST).set(kappa);
+        metrics::counter(health::names::COND_SAMPLES).inc();
+        Some(kappa)
+    }
+
+    /// LU pivot-growth factor `max|U| / max|A|` of the stored factors —
+    /// a large value signals element growth eating precision. `None`
+    /// on the dense and Cholesky backends (Cholesky health is tracked
+    /// through its smallest pivot instead).
+    #[must_use]
+    pub fn pivot_growth(&self) -> Option<f64> {
+        match self {
+            Self::Sparse(f) => Some(f.pivot_growth()),
+            Self::Dense(_) | Self::SparseCholesky(_) => None,
+        }
+    }
+
     /// Refreshes the numeric factors from a matrix with the same
     /// dimension (and, for the sparse backend, the same sparsity
     /// pattern). The sparse path reuses the pivot order and elimination
@@ -271,10 +355,17 @@ impl MnaFactorization {
                 if ok {
                     #[allow(clippy::cast_precision_loss)]
                     metrics::gauge("solver.sparse.fill_nnz").set(f.nnz() as f64);
+                    metrics::gauge(health::names::PIVOT_GROWTH).set(f.pivot_growth());
                 }
                 ok
             }
-            (Self::SparseCholesky(f), MnaMatrix::Sparse(m)) => f.refactor(m).is_ok(),
+            (Self::SparseCholesky(f), MnaMatrix::Sparse(m)) => {
+                let ok = f.refactor(m).is_ok();
+                if ok {
+                    metrics::gauge(health::names::CHOL_MIN_PIVOT).set(f.min_pivot());
+                }
+                ok
+            }
             _ => panic!("refactor backend mismatch"),
         };
         if !in_place_ok {
@@ -349,6 +440,24 @@ mod tests {
                 assert!((a - b).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn condition_estimate_tracks_the_diagonal_spread() {
+        // Diagonal systems have κ₁ = max/min exactly, and exercise both
+        // sparse backends (SPD → LDLᵀ, forced LU via factor_lu).
+        let mut m = MnaMatrix::sparse(3);
+        m.add(0, 0, 100.0);
+        m.add(1, 1, 1.0);
+        m.add(2, 2, 10.0);
+        for f in [m.factor().unwrap(), m.factor_lu().unwrap()] {
+            let est = f.condition_estimate().unwrap();
+            assert!((est - 100.0).abs() < 1e-9, "{:?}: {est}", f.path());
+        }
+        let mut d = MnaMatrix::dense(2);
+        d.add(0, 0, 1.0);
+        d.add(1, 1, 1.0);
+        assert!(d.factor().unwrap().condition_estimate().is_none());
     }
 
     #[test]

@@ -29,8 +29,9 @@ use hotwire_core::signoff::{GoverningRule, NetVerdict};
 use hotwire_em::blech::BlechModel;
 use hotwire_em::lifetime::{LognormalLifetime, WeakestLinkPopulation};
 use hotwire_em::BlackModel;
+use hotwire_obs::health::{self, ConvergenceClass, HealthReport};
 use hotwire_obs::trace::FieldValue;
-use hotwire_obs::{metrics, trace as obs_trace};
+use hotwire_obs::{metrics, recorder, trace as obs_trace};
 use hotwire_tech::{Dielectric, Metal};
 use hotwire_thermal::chip::ChipThermalModel;
 use hotwire_thermal::impedance::{effective_width, InsulatorStack, QUASI_2D_PHI};
@@ -195,6 +196,10 @@ pub struct CoupledReport {
     pub chip_failure: Option<WeakestLinkPopulation>,
     /// The chip TTF at the configured failure quantile.
     pub chip_ttf: Option<Seconds>,
+    /// Numerical-health summary of the run: Picard rate fit, condition
+    /// estimate, post-solve residual, and KCL audit (what a diagnostic
+    /// bundle embeds and `hotwire doctor` renders).
+    pub health: HealthReport,
 }
 
 impl CoupledReport {
@@ -479,6 +484,37 @@ impl CoupledEngine {
         });
         metrics::gauge("coupled.residual").set(delta);
         metrics::gauge("coupled.peak_t_k").set(peak);
+        // Rate fit + early classification on the delta history so far;
+        // the class counters let dashboards alarm on a sick loop long
+        // before the iteration cap fires.
+        let rate = health::picard_rate(&self.deltas, self.options.tolerance);
+        metrics::gauge(health::names::PICARD_CONTRACTION).set(rate.contraction);
+        if let Some(n) = rate.predicted_iterations {
+            #[allow(clippy::cast_precision_loss)]
+            metrics::gauge(health::names::PICARD_PREDICTED).set(n as f64);
+        }
+        match rate.class {
+            ConvergenceClass::Stagnated => {
+                metrics::counter(health::names::PICARD_STAGNATED).inc();
+            }
+            ConvergenceClass::Oscillating => {
+                metrics::counter(health::names::PICARD_OSCILLATING).inc();
+            }
+            ConvergenceClass::Diverging => {
+                metrics::counter(health::names::PICARD_DIVERGING).inc();
+            }
+            _ => {}
+        }
+        recorder::record(
+            "coupled.iteration",
+            format_args!(
+                "iter {} delta {delta:.4e} K peak {peak:.2} K drop {worst_drop:.4} V \
+                 contraction {:.3} class {}",
+                self.deltas.len(),
+                rate.contraction,
+                rate.class.label()
+            ),
+        );
         if obs_trace::enabled(obs_trace::Level::Debug) {
             obs_trace::debug(
                 "coupled",
@@ -504,11 +540,30 @@ impl CoupledEngine {
     /// is pinned at the metal fit's validity limit.
     pub fn run(&mut self) -> Result<(), CoupledError> {
         let _run_span = obs_trace::span("coupled.run");
+        recorder::record(
+            "coupled.run",
+            format_args!(
+                "start: {}x{} grid, tol {:.2e} K, damping {}, max {} iters",
+                self.spec.rows,
+                self.spec.cols,
+                self.options.tolerance,
+                self.options.damping,
+                self.options.max_iterations
+            ),
+        );
         while !self.converged {
             if self.deltas.len() >= self.options.max_iterations {
+                let last_delta = self.deltas.last().copied().unwrap_or(f64::INFINITY);
+                recorder::record(
+                    "coupled.not_converged",
+                    format_args!(
+                        "iteration cap {} hit with delta {last_delta:.4e} K (tol {:.2e} K)",
+                        self.options.max_iterations, self.options.tolerance
+                    ),
+                );
                 return Err(CoupledError::NotConverged {
                     iterations: self.deltas.len(),
-                    last_delta: self.deltas.last().copied().unwrap_or(f64::INFINITY),
+                    last_delta,
                     history: self.deltas.clone(),
                     hottest: self.hotspots_by(|_, &t| t),
                 });
@@ -519,6 +574,10 @@ impl CoupledEngine {
                 && self.deltas[n - 1] > self.deltas[n - 2]
                 && self.deltas[n - 2] > self.deltas[n - 3];
             if !delta.is_finite() || (growing && delta > 100.0 * self.options.tolerance) {
+                recorder::record(
+                    "coupled.diverged",
+                    format_args!("delta {delta:.4e} K growing at iteration {n}"),
+                );
                 return Err(CoupledError::Diverged {
                     iterations: n,
                     delta,
@@ -526,6 +585,16 @@ impl CoupledEngine {
                 });
             }
         }
+        // Converged: audit current conservation on the settled grid.
+        let kcl = self.solver.kcl_audit();
+        recorder::record(
+            "coupled.converged",
+            format_args!(
+                "{} iterations, last delta {:.4e} K, KCL imbalance {kcl:.3e}",
+                self.deltas.len(),
+                self.deltas.last().copied().unwrap_or(0.0)
+            ),
+        );
         let (_, hi) = self.spec.metal.resistivity_validity_range();
         let beyond: Vec<usize> = (0..self.branches.len())
             .filter(|&k| self.branch_t[k] >= hi.value())
@@ -605,6 +674,30 @@ impl CoupledEngine {
     #[must_use]
     pub fn converged(&self) -> bool {
         self.converged
+    }
+
+    /// Numerical-health summary of the run so far: the Picard rate fit
+    /// over the delta history plus whatever the electrical solver's
+    /// monitors have sampled. Available mid-run and after a failed
+    /// [`CoupledEngine::run`] — the error-path diagnostic bundles lean
+    /// on exactly that.
+    #[must_use]
+    pub fn health_report(&self) -> HealthReport {
+        let kcl = if self.converged && self.solver.solve_count() > 0 {
+            Some(self.solver.kcl_audit())
+        } else {
+            None
+        };
+        HealthReport {
+            picard: health::picard_rate(&self.deltas, self.options.tolerance),
+            iterations: self.deltas.len() as u64,
+            last_delta: self.deltas.last().copied().unwrap_or(0.0),
+            tolerance: self.options.tolerance,
+            condition_estimate: self.solver.condition_estimate(),
+            residual_rel: self.solver.last_residual_rel(),
+            kcl_imbalance_rel: kcl,
+            pivot_growth: self.solver.pivot_growth(),
+        }
     }
 
     /// Per-branch metal temperatures (K), in grid order.
@@ -851,6 +944,7 @@ impl CoupledEngine {
             branches: assessed.into_iter().map(|(b, _)| b).collect(),
             chip_failure,
             chip_ttf,
+            health: self.health_report(),
         })
     }
 }

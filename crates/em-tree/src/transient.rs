@@ -32,7 +32,7 @@
 //! when the void spans [`crate::model::KorhonenModel::critical_void_length`].
 
 use hotwire_circuit::solver::{MnaFactorization, MnaMatrix};
-use hotwire_obs::metrics;
+use hotwire_obs::{metrics, recorder};
 use hotwire_units::{CurrentDensity, Kelvin, Length, Pascals, Seconds};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -457,6 +457,14 @@ impl KorhonenSolver {
                 self.stress[at] = 0.0;
                 self.factored = None; // pattern changed: refactor lazily
                 metrics::counter("em.stress.nucleations").inc();
+                recorder::record(
+                    "em.nucleation",
+                    format_args!(
+                        "tree {} voided at mesh node {at} (t = {:.3e} s)",
+                        self.tree.name(),
+                        self.time
+                    ),
+                );
             } else if let Some(mut v) = self.void.take() {
                 let outflow = self.void_outflow(&v);
                 v.volume = (v.volume + dt * outflow).max(0.0);
@@ -471,6 +479,15 @@ impl KorhonenSolver {
                     };
                     *failure = Some(self.time - dt + frac * dt);
                     metrics::counter("em.stress.failures").inc();
+                    recorder::record(
+                        "em.failure",
+                        format_args!(
+                            "tree {} open-circuited: void {cur_len:.3e} m ≥ critical \
+                             {len_crit:.3e} m (t = {:.3e} s)",
+                            self.tree.name(),
+                            self.time
+                        ),
+                    );
                     return Ok(true);
                 }
             }

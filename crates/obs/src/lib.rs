@@ -25,6 +25,16 @@
 //!   [`SpanTrace`] with JSONL and Chrome Trace Event (Perfetto)
 //!   exports plus self-time, folded-stack, and critical-path analysis
 //!   for the `hotwire trace` subcommand.
+//! * [`health`] — numerical-health math: Hager/Higham 1-norm
+//!   condition estimation against an existing factorization, the
+//!   Picard convergence-rate fit and early classification
+//!   (converging / stagnated / oscillating / diverging), the
+//!   [`HealthReport`] summary, and the `health.*` metric-name catalog.
+//! * [`recorder`] — the flight recorder: a fixed-memory ring of recent
+//!   structured events (stage transitions, residuals, health samples,
+//!   per-request lines) that is always on at bounded cost, frozen into
+//!   a diagnostic bundle ([`recorder::bundle`]) on error exits, panics,
+//!   or SIGUSR1 for offline analysis by `hotwire doctor`.
 //! * [`json`] — a small dependency-free JSON value type with a writer
 //!   and parser. The workspace's `serde` is an offline no-op shim
 //!   (see `shims/README.md`), so report files, snapshots, and the
@@ -50,18 +60,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod health;
 pub mod histogram;
 pub mod json;
 pub mod metrics;
 pub mod prom;
+pub mod recorder;
 pub mod spantree;
 pub mod stopwatch;
 #[cfg(feature = "telemetry")]
 pub(crate) mod sync;
 pub mod trace;
 
+pub use health::{ConvergenceClass, HealthReport, PicardHealth};
 pub use json::Json;
 pub use metrics::MetricsSnapshot;
+pub use recorder::FlightEvent;
 pub use spantree::{SpanRecord, SpanTrace};
 pub use stopwatch::Stopwatch;
 pub use trace::{FieldValue, Level, LogConfig, LogFormat, TraceContext};

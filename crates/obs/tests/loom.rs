@@ -19,8 +19,8 @@
 use std::sync::Mutex;
 use std::time::Duration;
 
-use hotwire_obs::metrics;
 use hotwire_obs::trace::{self, Level, LogConfig, LogFormat};
+use hotwire_obs::{metrics, recorder};
 use hotwire_obs::{spantree, SpanTrace};
 
 /// The registry and the tracing flags are process-global; models must
@@ -284,5 +284,72 @@ fn trace_flags_never_tear() {
             level: Level::Error,
             format: LogFormat::Text,
         });
+    });
+}
+
+/// SAFETY(ordering) invariant for the flight recorder's head counter
+/// (recorder.rs `RELAXED`): the single `fetch_add` hands out *unique*
+/// sequence numbers under any interleaving, and since the payload is
+/// published through each slot's Mutex, a drain after the writers join
+/// observes every completed write exactly once, in sequence order.
+#[test]
+fn recorder_ring_writes_are_unique_and_fully_drained() {
+    let _guard = lock();
+    loom::model(|| {
+        recorder::clear();
+        let handles: Vec<_> = (0..3)
+            .map(|w| {
+                loom::thread::spawn(move || {
+                    for i in 0..4 {
+                        recorder::record("loom.ring", format_args!("writer {w} event {i}"));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("model thread panicked");
+        }
+        assert_eq!(recorder::recorded(), 12, "an increment was lost");
+        // 12 « CAPACITY, so nothing wrapped: the drain must hold every
+        // completed write exactly once.
+        let events = recorder::snapshot_events();
+        let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        let distinct = seqs.len();
+        seqs.dedup();
+        assert_eq!(seqs.len(), distinct, "duplicate sequence numbers");
+        assert_eq!(distinct, 12, "a completed write is missing from the drain");
+        assert!(
+            events.windows(2).all(|w| w[0].seq < w[1].seq),
+            "drain is not in sequence order"
+        );
+        recorder::clear();
+    });
+}
+
+/// A drain racing live writers must only see fully-published events:
+/// the slot Mutex is the happens-before edge, so no snapshot can
+/// observe a torn payload or a sequence number without its detail.
+#[test]
+fn recorder_drain_races_with_writers_without_tearing() {
+    let _guard = lock();
+    loom::model(|| {
+        recorder::clear();
+        let writer = loom::thread::spawn(|| {
+            for i in 0..6 {
+                recorder::record("loom.race", format_args!("event {i}"));
+            }
+        });
+        // Drain mid-flight: whatever subset is visible is well-formed.
+        let seen = recorder::snapshot_events();
+        for e in &seen {
+            assert_eq!(e.kind, "loom.race", "foreign event in a cleared ring");
+            assert!(
+                e.detail.starts_with("event "),
+                "torn or partial payload: {e:?}"
+            );
+        }
+        writer.join().expect("model thread panicked");
+        assert_eq!(recorder::snapshot_events().len(), 6);
+        recorder::clear();
     });
 }

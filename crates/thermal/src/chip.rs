@@ -41,7 +41,7 @@ use crate::error::ThermalError;
 use hotwire_circuit::cholesky::CholeskyFactorization;
 use hotwire_circuit::sparse::SparseMatrix;
 use hotwire_circuit::CircuitError;
-use hotwire_obs::metrics;
+use hotwire_obs::{metrics, recorder};
 
 /// Half-bandwidth above which [`ChipThermalModel`] abandons the
 /// dense-band Cholesky for the AMD-ordered sparse LDLᵀ. At bw = 64 the
@@ -132,6 +132,10 @@ impl ChipThermalModel {
             }
         }
         metrics::counter("thermal.chip.factor").inc();
+        recorder::record(
+            "thermal.factor",
+            format_args!("chip thermal map {rows}x{cols} (bandwidth {bw})"),
+        );
         let factor = if bw > SPARSE_BANDWIDTH_THRESHOLD {
             metrics::counter("thermal.chip.sparse_factor").inc();
             let mut m = SparseMatrix::zeros(n);

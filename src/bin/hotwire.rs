@@ -65,6 +65,7 @@ mod shutdown {
 
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    const SIGUSR1: i32 = 10;
 
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
@@ -80,6 +81,12 @@ mod shutdown {
         flag_cell().store(true, Ordering::SeqCst);
     }
 
+    extern "C" fn on_usr1(_signum: i32) {
+        // Again only an atomic store: the serve accept loop polls this
+        // flag and writes the diagnostic bundle outside the handler.
+        hotwire::serve::dump_flag().store(true, Ordering::SeqCst);
+    }
+
     /// Installs the handlers (idempotent) and returns the shared flag.
     pub fn install() -> Arc<AtomicBool> {
         let flag = Arc::clone(flag_cell());
@@ -90,6 +97,52 @@ mod shutdown {
         }
         flag
     }
+
+    /// Installs the SIGUSR1 → bundle-dump handler (`hotwire serve`).
+    pub fn install_usr1() {
+        let handler = on_usr1 as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGUSR1, handler);
+        }
+    }
+}
+
+/// Cross-cutting bundle state: the last numerical-health report a
+/// command produced, so the error-exit bundle writer in [`run`] can
+/// embed it without every command threading it back explicitly.
+mod bundle_state {
+    use std::sync::Mutex;
+
+    use hotwire::obs::json::Json;
+
+    static LAST_HEALTH: Mutex<Option<Json>> = Mutex::new(None);
+
+    /// Stores the most recent health report (overwrites the previous).
+    pub fn set_health(health: Json) {
+        if let Ok(mut guard) = LAST_HEALTH.lock() {
+            *guard = Some(health);
+        }
+    }
+
+    /// Takes the stored report, leaving `None`.
+    pub fn take_health() -> Option<Json> {
+        LAST_HEALTH.lock().ok().and_then(|mut g| g.take())
+    }
+}
+
+/// FNV-1a fingerprint of the resolved invocation (command + flags), so
+/// bundles from different workloads are tellable apart at a glance.
+fn spec_hash(args: &[String]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for arg in args {
+        for b in arg.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash ^= 0x1f; // unit separator between args
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("fnv-{hash:016x}")
 }
 
 /// Exit code of a usage error (bad flags, unknown command).
@@ -237,6 +290,14 @@ fn log_config(args: &[String]) -> Result<LogConfig, CliError> {
     Ok(config)
 }
 
+/// The `--bundle-dir` value, pulled from the raw argument stream (the
+/// panic hook must know it before the flag parser runs).
+fn bundle_dir(args: &[String]) -> Option<String> {
+    args.windows(2)
+        .find(|pair| pair[0] == "--bundle-dir")
+        .map(|pair| pair[1].clone())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let config = match log_config(&args) {
@@ -247,6 +308,20 @@ fn main() -> ExitCode {
         }
     };
     hotwire::obs::trace::init(config);
+    if let Some(dir) = bundle_dir(&args) {
+        // A panic is the one failure the error-exit writer in run()
+        // cannot see — freeze the flight recorder from the hook itself.
+        let hash = spec_hash(&args);
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let detail = info.to_string();
+            match hotwire::obs::recorder::write_bundle(&dir, "panic", &detail, None, Some(&hash)) {
+                Ok(path) => eprintln!("diagnostic bundle: {path}"),
+                Err(e) => eprintln!("error: cannot write panic bundle: {e}"),
+            }
+            default_hook(info);
+        }));
+    }
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -296,10 +371,13 @@ fn run(args: &[String]) -> Result<(), CliError> {
         print_help();
         return Ok(());
     };
-    // `trace` takes a positional capture file, which the strict
-    // `--flag value` parser below would reject — dispatch it first.
+    // `trace` and `doctor` take positional files, which the strict
+    // `--flag value` parser below would reject — dispatch them first.
     if command == "trace" {
         return cmd_trace(&args[1..]);
+    }
+    if command == "doctor" {
+        return cmd_doctor(&args[1..]);
     }
     let opts = parse_flags(&args[1..])?;
     let format = trace_format(&opts, command)?;
@@ -349,7 +427,28 @@ fn run(args: &[String]) -> Result<(), CliError> {
         // Convergence format: cmd_coupled_signoff wrote it already.
         (_, Some(_)) => Ok(()),
     };
-    result.and(metrics).and(trace)
+    let outcome = result.and(metrics).and(trace);
+    // Error-path exits (internal failure or signoff violation) freeze
+    // the flight recorder into a diagnostic bundle when the operator
+    // gave us somewhere to put it. A usage error recorded nothing worth
+    // bundling.
+    if let (Err(e), Some(dir)) = (&outcome, opts.get("bundle-dir")) {
+        if !matches!(e, CliError::Usage(_)) {
+            let health = bundle_state::take_health();
+            let hash = spec_hash(args);
+            match hotwire::obs::recorder::write_bundle(
+                dir,
+                e.kind(),
+                &e.to_string(),
+                health.as_ref(),
+                Some(&hash),
+            ) {
+                Ok(path) => eprintln!("diagnostic bundle: {path}"),
+                Err(we) => eprintln!("error: cannot write bundle to {dir}: {we}"),
+            }
+        }
+    }
+    outcome
 }
 
 /// Writes pretty-printed JSON (with a trailing newline) to `path`.
@@ -408,7 +507,10 @@ fn print_help() {
            trace     analyze a span trace captured with --trace-out\n\
                      <capture> [--folded] [--critical-path <name>]\n\
                      (self-time table + critical paths + folded stacks;\n\
-                     --folded emits only inferno/speedscope folded lines)\n\n\
+                     --folded emits only inferno/speedscope folded lines)\n\
+           doctor    analyze a diagnostic bundle written by --bundle-dir\n\
+                     <bundle.json> (timeline + health summary + failure\n\
+                     classification + remediation hints)\n\n\
          observability (any command):\n\
            --log-level error|warn|info|debug|trace   stderr event threshold\n\
            --log-format text|json                    event rendering (JSONL)\n\
@@ -416,7 +518,11 @@ fn print_help() {
            --trace-out <path>                        span tree of the run\n\
            --trace-format jsonl|chrome|convergence   span records (default),\n\
                      Perfetto-loadable Chrome Trace Event JSON, or (on\n\
-                     coupled-signoff only, its default) the convergence trace\n\n\
+                     coupled-signoff only, its default) the convergence trace\n\
+           --bundle-dir <dir>                        on error exit, panic, a\n\
+                     serve 500, or SIGUSR1 (serve), freeze the flight\n\
+                     recorder + metrics + health into a diagnostic bundle\n\
+                     JSON there (analyze with `hotwire doctor`)\n\n\
          exit codes: 0 ok, 1 internal failure, 2 usage, 3 signoff violation\n\n\
          presets: ntrs-250, ntrs-100, ntrs-250-alcu, ntrs-100-alcu"
     );
@@ -764,6 +870,10 @@ fn parse_pads(spec: &str, rows: usize, cols: usize) -> Result<Vec<(usize, usize)
 fn coupled_error(e: CoupledError) -> CliError {
     match e {
         CoupledError::InvalidSpec { message } => CliError::usage(message),
+        // The iteration cap is a verdict, not an engine failure: the
+        // analysis ran and the design failed to settle within budget —
+        // exit 3, like any other failed signoff.
+        e @ CoupledError::NotConverged { .. } => CliError::violation(e.to_string()),
         other => CliError::internal(other),
     }
 }
@@ -817,6 +927,9 @@ fn cmd_coupled_signoff(opts: &Flags, format: TraceFormat) -> Result<(), CliError
     let options_quantile = options.failure_quantile;
     let mut engine = CoupledEngine::new(spec, options).map_err(coupled_error)?;
     let run_result = engine.run();
+    // Whatever happens next, the health report (Picard rate fit,
+    // condition estimate, residuals) is ready for an error-exit bundle.
+    bundle_state::set_health(engine.health_report().to_json());
     // The convergence trace is most valuable exactly when run() failed —
     // write it before propagating, so a NotConverged/Diverged post-mortem
     // still has the residual history on disk. (Span formats are written
@@ -1039,6 +1152,7 @@ fn cmd_serve(opts: &Flags) -> Result<(), CliError> {
         threads,
         spec,
         options,
+        bundle_dir: opts.get("bundle-dir").cloned(),
     };
     // Validate the template eagerly: a bad grid should fail at startup
     // with a usage error, not 500 on the first POST.
@@ -1049,6 +1163,7 @@ fn cmd_serve(opts: &Flags) -> Result<(), CliError> {
         .local_addr()
         .map_err(|e| CliError::context("cannot read bound address", e))?;
     let stop = shutdown::install();
+    shutdown::install_usr1();
     // On stdout (not a trace event) so scripts and the e2e test can
     // scrape the ephemeral port without parsing log formats.
     println!("listening on http://{bound} (/metrics /healthz POST /signoff)");
@@ -1157,6 +1272,16 @@ fn cmd_trace(args: &[String]) -> Result<(), CliError> {
         .map_err(|e| CliError::context(format!("cannot read {path}"), e))?;
     let trace = SpanTrace::parse(&text)
         .map_err(|e| CliError::usage(format!("{path} is not a span trace: {e}")))?;
+    if trace.spans.is_empty() {
+        return Err(CliError::usage(format!(
+            "{path}: no spans captured{} — nothing to analyze",
+            if trace.telemetry {
+                ""
+            } else {
+                " (written by a no-telemetry build)"
+            }
+        )));
+    }
 
     if folded_only {
         for (stack, us) in trace.folded() {
@@ -1233,6 +1358,217 @@ fn cmd_trace(args: &[String]) -> Result<(), CliError> {
         for (stack, us) in folded {
             println!("{stack} {us}");
         }
+    }
+    Ok(())
+}
+
+/// `hotwire doctor <bundle>`: renders a diagnostic bundle written by
+/// `--bundle-dir` (error exits, panics, serve 500s, SIGUSR1 snapshots)
+/// as a human-readable post-mortem — header, health summary, event
+/// timeline, failure classification, remediation hints.
+fn cmd_doctor(args: &[String]) -> Result<(), CliError> {
+    use hotwire::obs::health::ConvergenceClass;
+    use hotwire::obs::HealthReport;
+
+    let mut file: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            // Already consumed by the subscriber setup in main().
+            "--log-level" | "--log-format" => i += 2,
+            other if other.starts_with("--") => {
+                return Err(CliError::usage(format!(
+                    "unknown flag `{other}` (doctor takes one bundle file)"
+                )));
+            }
+            other => {
+                if file.is_some() {
+                    return Err(CliError::usage("doctor takes exactly one bundle file"));
+                }
+                file = Some(other);
+                i += 1;
+            }
+        }
+    }
+    let path = file.ok_or_else(|| CliError::usage("usage: hotwire doctor <bundle.json>"))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::context(format!("cannot read {path}"), e))?;
+    let doc = hotwire::obs::json::parse(&text)
+        .map_err(|e| CliError::usage(format!("{path} is not a diagnostic bundle: {e}")))?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != hotwire::obs::recorder::BUNDLE_SCHEMA {
+        return Err(CliError::usage(format!(
+            "{path}: schema `{schema}` is not `{}` — not a hotwire diagnostic bundle",
+            hotwire::obs::recorder::BUNDLE_SCHEMA
+        )));
+    }
+
+    let str_of = |key: &str| doc.get(key).and_then(Json::as_str).unwrap_or("?");
+    let reason = str_of("reason");
+    let detail = str_of("detail");
+    println!("{path}: diagnostic bundle ({schema})");
+    println!("  version:   hotwire {}", str_of("version"));
+    println!("  reason:    {reason} — {detail}");
+    if let Some(hash) = doc.get("spec_hash").and_then(Json::as_str) {
+        println!("  spec hash: {hash}");
+    }
+    if let Some(ms) = doc.get("generated_unix_ms").and_then(Json::as_f64) {
+        println!("  generated: {:.0} (unix ms)", ms);
+    }
+    let events = doc
+        .get("events")
+        .and_then(Json::as_array)
+        .unwrap_or_default();
+    let recorded = doc
+        .get("recorded_events")
+        .and_then(Json::as_u64)
+        .unwrap_or(events.len() as u64);
+    if recorded > events.len() as u64 {
+        println!(
+            "  events:    {} retained of {recorded} recorded (ring wrapped)",
+            events.len()
+        );
+    } else {
+        println!("  events:    {} recorded", events.len());
+    }
+
+    // The embedded health report, when the failing layer produced one.
+    let health = doc
+        .get("health")
+        .and_then(|h| HealthReport::from_json(h).ok());
+    if let Some(h) = &health {
+        let opt = |v: Option<f64>| v.map_or_else(|| "—".to_owned(), |x| format!("{x:.3e}"));
+        println!("\nnumerical health:");
+        println!(
+            "  picard:        {} (contraction {:.3}, {} iteration(s), last delta {:.3e} vs tolerance {:.3e})",
+            h.picard.class.label(),
+            h.picard.contraction,
+            h.iterations,
+            h.last_delta,
+            h.tolerance
+        );
+        if let Some(n) = h.picard.predicted_iterations {
+            println!("  predicted:     ~{n} more iteration(s) to converge at the fitted rate");
+        }
+        println!("  cond estimate: {}", opt(h.condition_estimate));
+        println!("  residual:      {}", opt(h.residual_rel));
+        println!("  kcl imbalance: {}", opt(h.kcl_imbalance_rel));
+        println!("  pivot growth:  {}", opt(h.pivot_growth));
+    }
+
+    if !events.is_empty() {
+        println!("\ntimeline (ms since first recorded event):");
+        for e in events {
+            let t = e.get("t_ms").and_then(Json::as_f64).unwrap_or(0.0);
+            let kind = e.get("kind").and_then(Json::as_str).unwrap_or("?");
+            let d = e.get("detail").and_then(Json::as_str).unwrap_or("");
+            println!("  [{t:>10.3}] {kind:<22} {d}");
+        }
+    }
+
+    // Classification, most-specific signal first: a violation caused by
+    // a diverging loop is a divergence, not "violation".
+    let serve_errors = doc
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get("serve.errors"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let class = health.as_ref().map(|h| h.picard.class);
+    let ill_conditioned = health.as_ref().is_some_and(|h| {
+        h.condition_estimate.is_some_and(|k| k > 1e12)
+            || h.pivot_growth.is_some_and(|g| g > 1e8)
+            || h.residual_rel.is_some_and(|r| r.is_nan() || r > 1e-6)
+    });
+    let (diagnosis, hints): (&str, Vec<String>) = if class == Some(ConvergenceClass::Diverging) {
+        (
+            "diverged",
+            vec![
+                "the Picard loop is moving away from its fixed point — the \
+                 electro-thermal feedback is too strong for the current update"
+                    .into(),
+                "strengthen the damping: lower --damping (e.g. halve it) and rerun".into(),
+                "if divergence persists at heavy damping, the operating point \
+                 may be past thermal runaway — reduce --sink-ma or widen the grid"
+                    .into(),
+            ],
+        )
+    } else if ill_conditioned {
+        (
+            "ill-conditioned",
+            vec![
+                "the electrical system is near-singular: the condition estimate, \
+                 pivot growth, or post-solve residual is far beyond healthy"
+                    .into(),
+                "grid is near-singular: check for floating nodes (sinks with no \
+                 path to a pad) and zero-width straps"
+                    .into(),
+                "raise the gmin regularization or pin additional pads".into(),
+            ],
+        )
+    } else if class == Some(ConvergenceClass::Oscillating) {
+        (
+            "oscillating",
+            vec![
+                "deltas alternate growth/shrink — the classic overshoot signature".into(),
+                "lower --damping to suppress the overshoot".into(),
+            ],
+        )
+    } else if class == Some(ConvergenceClass::Stagnated) {
+        (
+            "stagnated",
+            vec![
+                "deltas are flat; more iterations will not reach tolerance".into(),
+                "relax --tol, or adjust --damping so the update makes progress".into(),
+            ],
+        )
+    } else if reason == "violation" {
+        let mut hints = vec![
+            "the solve converged cleanly; the design itself fails its rules".into(),
+            "this is a signoff result, not a numerical failure — see the \
+             violation detail above"
+                .into(),
+        ];
+        if let Some(h) = &health {
+            if h.picard.class == ConvergenceClass::Converging {
+                if let Some(n) = h.picard.predicted_iterations {
+                    hints.push(format!(
+                        "if the violation is `not converged`: raise --max-iters \
+                         by at least {n} (the fitted rate predicts convergence)"
+                    ));
+                }
+            }
+        }
+        ("signoff-violation", hints)
+    } else if serve_errors > 0 && (reason == "sigusr1" || reason == "request-error") {
+        (
+            "load-shed",
+            vec![
+                format!("serve dropped or failed {serve_errors} request(s)"),
+                "raise --threads, or slow the client; check the request \
+                 timeline above for the failing endpoints"
+                    .into(),
+            ],
+        )
+    } else if reason == "sigusr1" {
+        (
+            "healthy-snapshot",
+            vec!["operator-requested snapshot; no failure signal in the bundle".into()],
+        )
+    } else {
+        (
+            "internal",
+            vec![
+                "no numerical-health signal explains the failure".into(),
+                "rerun with --log-level debug --log-format json and compare the \
+                 stderr events against the timeline above"
+                    .into(),
+            ],
+        )
+    };
+    println!("\ndiagnosis: {diagnosis}");
+    for hint in &hints {
+        println!("  - {hint}");
     }
     Ok(())
 }

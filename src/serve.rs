@@ -33,10 +33,10 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use hotwire_coupled::{CoupledEngine, CoupledGridSpec, CoupledOptions};
+use hotwire_coupled::{CoupledEngine, CoupledError, CoupledGridSpec, CoupledOptions};
 use hotwire_obs::json::Json;
 use hotwire_obs::trace::{self, FieldValue, Level};
-use hotwire_obs::{metrics, prom};
+use hotwire_obs::{metrics, prom, recorder};
 
 /// Hard cap on a request (start line + headers + body); larger
 /// requests are answered `413` and the connection dropped.
@@ -60,18 +60,35 @@ pub struct ServeConfig {
     pub spec: CoupledGridSpec,
     /// Solver options for per-request signoffs.
     pub options: CoupledOptions,
+    /// Where diagnostic bundles land (failed signoffs, SIGUSR1
+    /// snapshots). `None` disables bundle writing.
+    pub bundle_dir: Option<String>,
 }
 
 impl ServeConfig {
-    /// A small default: 4 workers, the demo 20×20 grid.
+    /// A small default: 4 workers, the demo 20×20 grid, no bundles.
     #[must_use]
     pub fn demo() -> Self {
         Self {
             threads: 4,
             spec: CoupledGridSpec::demo(20, 20),
             options: CoupledOptions::default(),
+            bundle_dir: None,
         }
     }
+}
+
+/// Operator-requested bundle-dump flag: the CLI's SIGUSR1 handler sets
+/// it (an atomic store is async-signal-safe), and the accept loop polls
+/// it between accepts — the dump itself runs on the server thread, not
+/// in the handler.
+static DUMP_REQUEST: AtomicBool = AtomicBool::new(false);
+
+/// The flag a SIGUSR1 handler should set to request a diagnostic
+/// bundle from a running [`Server`].
+#[must_use]
+pub fn dump_flag() -> &'static AtomicBool {
+    &DUMP_REQUEST
 }
 
 /// A bound-but-not-yet-serving listener, so callers (and the e2e test)
@@ -129,6 +146,26 @@ impl Server {
             }));
         }
         while !shutdown.load(Ordering::SeqCst) {
+            // SAFETY(ordering): swap is the whole protocol — the handler
+            // stores true, exactly one poll observes and clears it.
+            if DUMP_REQUEST.swap(false, Ordering::SeqCst) {
+                match &config.bundle_dir {
+                    Some(dir) => match recorder::write_bundle(
+                        dir,
+                        "sigusr1",
+                        "operator-requested snapshot (SIGUSR1)",
+                        None,
+                        None,
+                    ) {
+                        Ok(path) => println!("diagnostic bundle: {path}"),
+                        Err(_) => metrics::counter("serve.errors").inc(),
+                    },
+                    None => recorder::record(
+                        "error",
+                        format_args!("SIGUSR1 received but no --bundle-dir configured"),
+                    ),
+                }
+            }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     if tx.send(stream).is_err() {
@@ -256,6 +293,13 @@ pub fn route(request: &Request, config: &ServeConfig) -> Response {
         (_, "/metrics" | "/healthz" | "/signoff") => Response::text(405, "method not allowed\n"),
         _ => Response::text(404, "not found\n"),
     };
+    recorder::record(
+        "request",
+        format_args!(
+            "{request_id} {} {} -> {}",
+            request.method, request.path, response.status
+        ),
+    );
     response.request_id = Some(request_id);
     response
 }
@@ -299,9 +343,19 @@ fn signoff_response(body: &[u8], config: &ServeConfig, request_id: &str) -> Resp
     }
     metrics::counter("serve.signoffs").inc();
     let _timer = metrics::timer("serve.signoff").start();
-    let result = CoupledEngine::new(spec, config.options.clone())
-        .and_then(|mut engine| engine.run().map(|()| engine))
-        .and_then(|engine| engine.assess());
+    // Keep the engine reachable on failure: its health report (Picard
+    // rate fit, condition estimate, residuals) goes into the bundle.
+    let result: Result<_, (CoupledError, Option<Json>)> =
+        match CoupledEngine::new(spec, config.options.clone()) {
+            Err(e) => Err((e, None)),
+            Ok(mut engine) => match engine.run().and_then(|()| engine.assess()) {
+                Ok(report) => Ok(report),
+                Err(e) => {
+                    let health = engine.health_report().to_json();
+                    Err((e, Some(health)))
+                }
+            },
+        };
     match result {
         Ok(report) => {
             let violations = report.violations().len();
@@ -338,7 +392,7 @@ fn signoff_response(body: &[u8], config: &ServeConfig, request_id: &str) -> Resp
                 ]),
             )
         }
-        Err(e) => {
+        Err((e, health)) => {
             metrics::counter("serve.errors").inc();
             let message = e.to_string();
             trace::event(
@@ -350,11 +404,30 @@ fn signoff_response(body: &[u8], config: &ServeConfig, request_id: &str) -> Resp
                     ("error", FieldValue::Str(&message)),
                 ],
             );
+            recorder::record(
+                "error",
+                format_args!("{request_id} signoff failed: {message}"),
+            );
+            // A failed request is exactly when the flight recorder pays
+            // off: freeze it into a bundle and quote the path next to
+            // the request ID, so `hotwire doctor <bundle>` picks up
+            // where the 500 left off.
+            let bundle_path = config.bundle_dir.as_deref().and_then(|dir| {
+                recorder::write_bundle(
+                    dir,
+                    "request-error",
+                    &format!("{request_id}: {message}"),
+                    health.as_ref(),
+                    None,
+                )
+                .ok()
+            });
             Response::json(
                 500,
                 &Json::object([
                     ("error", Json::from(message)),
                     ("request_id", Json::from(request_id)),
+                    ("bundle", bundle_path.map_or(Json::Null, Json::from)),
                 ]),
             )
         }
@@ -473,6 +546,7 @@ mod tests {
             threads: 1,
             spec: CoupledGridSpec::demo(6, 6),
             options: CoupledOptions::default(),
+            bundle_dir: None,
         }
     }
 
@@ -571,5 +645,42 @@ mod tests {
         let json = hotwire_obs::json::parse(std::str::from_utf8(&r.body).unwrap()).unwrap();
         let body_id = json.get("request_id").and_then(Json::as_str).unwrap();
         assert_eq!(Some(body_id.to_owned()), r.request_id);
+        // No --bundle-dir configured: the field is present but null.
+        assert_eq!(json.get("bundle"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn failed_signoff_writes_a_bundle_when_a_dir_is_configured() {
+        let dir = std::env::temp_dir().join(format!("hotwire-serve-bundle-{}", std::process::id()));
+        let mut config = small_config();
+        config.spec.pads.clear();
+        config.bundle_dir = Some(dir.to_string_lossy().into_owned());
+        let r = route(
+            &Request {
+                method: "POST".to_owned(),
+                path: "/signoff".to_owned(),
+                body: Vec::new(),
+            },
+            &config,
+        );
+        assert_eq!(r.status, 500);
+        let json = hotwire_obs::json::parse(std::str::from_utf8(&r.body).unwrap()).unwrap();
+        let bundle_path = json
+            .get("bundle")
+            .and_then(Json::as_str)
+            .expect("500 body quotes the bundle path")
+            .to_owned();
+        let text = std::fs::read_to_string(&bundle_path).expect("bundle file exists");
+        let bundle = hotwire_obs::json::parse(&text).unwrap();
+        assert_eq!(
+            bundle.get("schema").and_then(Json::as_str),
+            Some(hotwire_obs::recorder::BUNDLE_SCHEMA)
+        );
+        assert_eq!(
+            bundle.get("reason").and_then(Json::as_str),
+            Some("request-error")
+        );
+        let _ = std::fs::remove_file(&bundle_path);
+        let _ = std::fs::remove_dir(&dir);
     }
 }

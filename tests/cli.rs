@@ -25,7 +25,9 @@ fn hotwire_status(args: &[&str]) -> (Option<i32>, String, String) {
 fn help_lists_commands() {
     let (ok, stdout, _) = hotwire(&["help"]);
     assert!(ok);
-    for cmd in ["solve", "rules", "sweep", "repeater", "esd", "techfile"] {
+    for cmd in [
+        "solve", "rules", "sweep", "repeater", "esd", "techfile", "trace", "doctor",
+    ] {
         assert!(stdout.contains(cmd), "help must mention {cmd}");
     }
     // no args behaves like help
@@ -453,26 +455,33 @@ fn trace_format_chrome_captures_a_span_tree_the_analyzer_reads() {
     }
 
     // The analyzer consumes the same file: self-time table, critical
-    // path, folded stacks.
+    // path, folded stacks. A no-telemetry capture holds zero spans, and
+    // the analyzer refuses it with a usage error instead of printing an
+    // empty report.
     let (ok, stdout, stderr) = hotwire(&["trace", path.to_str().unwrap()]);
-    assert!(ok, "{stderr}");
     if trace.telemetry {
+        assert!(ok, "{stderr}");
         assert!(stdout.contains("self [ms]"), "{stdout}");
         assert!(stdout.contains("coupled.iteration"), "{stdout}");
         assert!(stdout.contains("critical path"), "{stdout}");
         assert!(stdout.contains("folded stacks"), "{stdout}");
+    } else {
+        assert!(!ok, "empty captures must not analyze cleanly");
+        assert!(stderr.contains("no spans captured"), "{stderr}");
     }
 
     // `--folded` pipes bare `stack weight` lines for inferno/speedscope.
     let (ok, folded, _) = hotwire(&["trace", path.to_str().unwrap(), "--folded"]);
-    assert!(ok);
     if trace.telemetry {
+        assert!(ok);
         assert!(!folded.trim().is_empty());
         for line in folded.trim().lines() {
             let (stack, weight) = line.rsplit_once(' ').expect("`stack weight` shape");
             assert!(!stack.is_empty());
             weight.parse::<u64>().expect("integer microsecond weight");
         }
+    } else {
+        assert!(!ok);
     }
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -546,6 +555,137 @@ fn trace_subcommand_rejects_bad_invocations() {
     )
     .unwrap();
     let (code, _, stderr) = hotwire_status(&["trace", path.to_str().unwrap()]);
+    assert_eq!(code, Some(2), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite regression: a header-only capture (what a no-telemetry
+/// build writes) exits 2 with a clear message instead of an empty
+/// report.
+#[test]
+fn trace_rejects_an_empty_capture() {
+    let dir = std::env::temp_dir().join(format!("hotwire-emptytrace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("empty.jsonl");
+    std::fs::write(
+        &path,
+        "{\"schema\": \"hotwire.spans/v1\", \"telemetry\": true}\n",
+    )
+    .unwrap();
+    let (code, _, stderr) = hotwire_status(&["trace", path.to_str().unwrap()]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("no spans captured"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The tentpole end-to-end: force a non-converging coupled run with
+/// heavy damping and a tiny iteration cap — the iteration cap is a
+/// verdict (exit 3), the flight recorder freezes into a diagnostic
+/// bundle, and `hotwire doctor` renders and classifies it.
+#[test]
+fn forced_non_convergence_writes_a_bundle_doctor_reads() {
+    let dir = std::env::temp_dir().join(format!("hotwire-bundle-cli-{}", std::process::id()));
+    let bundles = dir.join("bundles");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (code, _, stderr) = hotwire_status(&[
+        "coupled-signoff",
+        "--rows",
+        "20",
+        "--cols",
+        "20",
+        "--damping",
+        "0.05",
+        "--tol",
+        "1e-9",
+        "--max-iters",
+        "3",
+        "--bundle-dir",
+        bundles.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(3), "the iteration cap is a verdict: {stderr}");
+    assert!(stderr.contains("diagnostic bundle:"), "{stderr}");
+
+    let entries: Vec<_> = std::fs::read_dir(&bundles)
+        .expect("bundle dir was created")
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(entries.len(), 1, "exactly one bundle: {entries:?}");
+    let text = std::fs::read_to_string(&entries[0]).unwrap();
+    let doc = hotwire::obs::json::parse(&text).expect("bundle is valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("hotwire.bundle/v1"),
+        "{text}"
+    );
+    assert_eq!(
+        doc.get("reason").and_then(|v| v.as_str()),
+        Some("violation")
+    );
+    assert!(
+        doc.get("spec_hash")
+            .and_then(|v| v.as_str())
+            .is_some_and(|h| h.starts_with("fnv-")),
+        "{text}"
+    );
+    let health = doc.get("health").expect("health embedded");
+    let report =
+        hotwire::obs::HealthReport::from_json(health).expect("embedded health report parses");
+    assert_eq!(report.iterations, 3, "capped exactly at --max-iters");
+    assert!(
+        report.last_delta > report.tolerance,
+        "still above tolerance"
+    );
+
+    // `doctor` renders the bundle: header, timeline, diagnosis, hints.
+    let (ok, stdout, stderr) = hotwire(&["doctor", entries[0].to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("diagnostic bundle"), "{stdout}");
+    assert!(stdout.contains("reason:    violation"), "{stdout}");
+    assert!(stdout.contains("numerical health:"), "{stdout}");
+    assert!(stdout.contains("diagnosis:"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A clean exit must not write a bundle — the recorder only freezes on
+/// failure (or an explicit SIGUSR1).
+#[test]
+fn successful_runs_do_not_write_bundles() {
+    let dir = std::env::temp_dir().join(format!("hotwire-nobundle-{}", std::process::id()));
+    let bundles = dir.join("bundles");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (ok, _, stderr) = hotwire(&[
+        "solve",
+        "--tech",
+        "ntrs-250",
+        "--layer",
+        "M6",
+        "--bundle-dir",
+        bundles.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(!bundles.exists(), "no bundle dir on success");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn doctor_rejects_bad_invocations() {
+    // No bundle file: usage error, exit 2.
+    let (code, _, stderr) = hotwire_status(&["doctor"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("usage"), "{stderr}");
+    // Valid JSON that is not a bundle: exit 2 naming the schema.
+    let dir = std::env::temp_dir().join(format!("hotwire-baddoctor-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("not-a-bundle.json");
+    std::fs::write(&path, "{\"schema\": \"something/else\"}\n").unwrap();
+    let (code, _, stderr) = hotwire_status(&["doctor", path.to_str().unwrap()]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(
+        stderr.contains("not a hotwire diagnostic bundle"),
+        "{stderr}"
+    );
+    // Unknown flags are rejected.
+    let (code, _, stderr) = hotwire_status(&["doctor", "--bogus", "x"]);
     assert_eq!(code, Some(2), "{stderr}");
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,170 @@
+//! Property tests for the Hager/Higham 1-norm condition estimator:
+//! on random grid-shaped MNA systems (SPD and deliberately
+//! unsymmetric), [`condest_1norm`] must be a true lower bound on the
+//! exact dense κ₁ = ‖A‖₁‖A⁻¹‖₁ and must stay within the documented
+//! [`CONDEST_UNDERESTIMATE_FACTOR`] of it — that factor is a public
+//! promise (`hotwire doctor` classifies "ill-conditioned" from the
+//! estimate), so it is pinned here, not just stated in the docs.
+
+use hotwire_circuit::linalg::Matrix;
+use hotwire_circuit::sparse::SparseMatrix;
+use hotwire_obs::health::{condest_1norm, CONDEST_UNDERESTIMATE_FACTOR};
+use proptest::prelude::*;
+
+/// Stamps a `rows × cols` 5-point mesh with per-edge conductances from
+/// `gs` and diagonal ground ties from `ties` into both representations.
+/// `skew` adds a one-sided off-diagonal perturbation (`skew * g` onto
+/// the (a, b) entry only), turning the SPD stamp into an unsymmetric
+/// matrix without losing invertibility; `0.0` keeps it symmetric.
+fn stamp_grid(
+    rows: usize,
+    cols: usize,
+    gs: &[f64],
+    ties: &[f64],
+    skew: f64,
+) -> (Matrix, SparseMatrix) {
+    let n = rows * cols;
+    let mut dense = Matrix::zeros(n, n);
+    let mut sparse = SparseMatrix::zeros(n);
+    let at = |r: usize, c: usize| r * cols + c;
+    let mut edge = 0usize;
+    let mut couple = |a: usize, b: usize, g: f64| {
+        for (r, c, v) in [(a, a, g), (b, b, g), (a, b, -g), (b, a, -g)] {
+            dense.add(r, c, v);
+            sparse.add(r, c, v);
+        }
+        if skew != 0.0 {
+            dense.add(a, b, -skew * g);
+            sparse.add(a, b, -skew * g);
+        }
+    };
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                couple(at(r, c), at(r, c + 1), gs[edge % gs.len()]);
+                edge += 1;
+            }
+            if r + 1 < rows {
+                couple(at(r, c), at(r + 1, c), gs[edge % gs.len()]);
+                edge += 1;
+            }
+        }
+    }
+    for i in 0..n {
+        dense.add(i, i, ties[i % ties.len()]);
+        sparse.add(i, i, ties[i % ties.len()]);
+    }
+    (dense, sparse)
+}
+
+/// Exact κ₁ by brute force: dense-solve every unit vector to build the
+/// columns of A⁻¹, then take max column absolute sums of both A and
+/// A⁻¹. Affordable because the property grids stay tiny.
+fn exact_kappa_1(dense: &Matrix, n: usize) -> f64 {
+    let mut lu = dense.clone();
+    lu.factor().expect("property grids are invertible");
+    let mut inv_norm = 0.0_f64;
+    let mut col = Vec::new();
+    for j in 0..n {
+        let mut e = vec![0.0; n];
+        e[j] = 1.0;
+        lu.solve_factored_into(&e, &mut col);
+        inv_norm = inv_norm.max(col.iter().map(|v| v.abs()).sum());
+    }
+    let anorm = (0..n)
+        .map(|j| (0..n).map(|i| dense[(i, j)].abs()).sum::<f64>())
+        .fold(0.0, f64::max);
+    anorm * inv_norm
+}
+
+/// Runs the estimator against the sparse factorization exactly the way
+/// `MnaFactorization::condition_estimate` does: reusing factored
+/// solves, never re-factoring.
+fn estimate(sparse: &SparseMatrix, n: usize) -> f64 {
+    let f = sparse.factor().expect("property grids are invertible");
+    condest_1norm(
+        n,
+        sparse.norm_1(),
+        |b, x| x.copy_from_slice(&f.solve(b)),
+        |b, x| x.copy_from_slice(&f.solve_transposed(b)),
+    )
+}
+
+proptest! {
+    #[test]
+    fn condest_brackets_exact_kappa_on_spd_grids(
+        rows in 2usize..7,
+        cols in 2usize..7,
+        gs in prop::collection::vec(0.05f64..20.0, 16),
+        ties in prop::collection::vec(1e-3f64..2.0, 8),
+    ) {
+        let (dense, sparse) = stamp_grid(rows, cols, &gs, &ties, 0.0);
+        let n = rows * cols;
+        let est = estimate(&sparse, n);
+        let exact = exact_kappa_1(&dense, n);
+        prop_assert!(
+            est <= exact * (1.0 + 1e-8),
+            "a lower bound must not exceed the exact value: est {est} vs κ₁ {exact}"
+        );
+        prop_assert!(
+            est >= exact / CONDEST_UNDERESTIMATE_FACTOR,
+            "estimate {est} more than {CONDEST_UNDERESTIMATE_FACTOR}x under κ₁ {exact}"
+        );
+    }
+
+    #[test]
+    fn condest_brackets_exact_kappa_on_unsymmetric_grids(
+        rows in 2usize..6,
+        cols in 2usize..6,
+        gs in prop::collection::vec(0.1f64..10.0, 12),
+        ties in prop::collection::vec(1e-2f64..1.0, 6),
+        skew in 0.01f64..0.45,
+    ) {
+        // The transpose solve is only exercised when A ≠ Aᵀ — this is
+        // the case that would catch a solve/solve_transposed mixup.
+        let (dense, sparse) = stamp_grid(rows, cols, &gs, &ties, skew);
+        let n = rows * cols;
+        let est = estimate(&sparse, n);
+        let exact = exact_kappa_1(&dense, n);
+        prop_assert!(est <= exact * (1.0 + 1e-8), "est {est} vs κ₁ {exact}");
+        prop_assert!(
+            est >= exact / CONDEST_UNDERESTIMATE_FACTOR,
+            "estimate {est} more than {CONDEST_UNDERESTIMATE_FACTOR}x under κ₁ {exact}"
+        );
+    }
+
+    #[test]
+    fn condest_tracks_deliberate_ill_conditioning(
+        weak_exp in 3.0f64..9.0,
+        n in 4usize..12,
+    ) {
+        // A resistor chain with one link weakened by 10^-weak_exp: κ₁
+        // grows like the conductance ratio, and the estimate must grow
+        // with it (this is the signal `hotwire doctor` classifies on).
+        let weak = 10f64.powf(-weak_exp);
+        let mut dense = Matrix::zeros(n, n);
+        let mut sparse = SparseMatrix::zeros(n);
+        for i in 0..n - 1 {
+            let g = if i == n / 2 { weak } else { 1.0 };
+            for (r, c, v) in [(i, i, g), (i + 1, i + 1, g), (i, i + 1, -g), (i + 1, i, -g)] {
+                dense.add(r, c, v);
+                sparse.add(r, c, v);
+            }
+        }
+        for i in 0..n {
+            dense.add(i, i, 1e-9); // gmin-style tie keeps it invertible
+            sparse.add(i, i, 1e-9);
+        }
+        let est = estimate(&sparse, n);
+        let exact = exact_kappa_1(&dense, n);
+        prop_assert!(est <= exact * (1.0 + 1e-6), "est {est} vs κ₁ {exact}");
+        prop_assert!(
+            est >= exact / CONDEST_UNDERESTIMATE_FACTOR,
+            "estimate {est} more than {CONDEST_UNDERESTIMATE_FACTOR}x under κ₁ {exact}"
+        );
+        prop_assert!(
+            est > 1.0 / weak / 100.0,
+            "κ must reflect the weak link: est {est}, weak {weak}"
+        );
+    }
+}
