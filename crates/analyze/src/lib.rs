@@ -1,27 +1,42 @@
 //! `hotwire-analyze`: workspace static analysis for project invariants.
 //!
-//! The pass walks every `.rs` file under `crates/*/src`, scans it with a
-//! dependency-free lexer ([`scan`]), applies the HW001–HW005 lints
-//! ([`lints`]), and diffs the result against the committed
+//! The pass walks every `.rs` file under `crates/*/src` **and the root
+//! crate's `src/`** (the `hotwire` CLI + serve layer), scans each with
+//! a dependency-free lexer ([`scan`]), lifts an item-level parse on
+//! top ([`parser`]), applies the HW001–HW009 lints ([`lints`] and the
+//! semantic-pass modules), and diffs the result against the committed
 //! `analyze-baseline.toml` ratchet ([`baseline`]). See
 //! `docs/STATIC_ANALYSIS.md` for the lint catalog and workflow, and
 //! `cargo xtask analyze --help` for the CLI.
 //!
+//! HW007 is cross-artifact: the workspace's `docs/OBSERVABILITY.md`
+//! metric catalog is parsed alongside the sources, and drift in either
+//! direction (undocumented registration, stale catalog row) is a
+//! violation. A workspace without that file simply has no catalog to
+//! drift from, and HW007 stays quiet.
+//!
 //! Two crates are out of scope by construction: `bench` (a harness
-//! binary, not library surface) and `analyze` itself (the tool). Two
+//! binary, not library surface) and `analyze` itself (the tool). Three
 //! targeted exemptions encode ownership: `obs` is exempt from HW003
 //! (it is the designated owner of wall-clock reads and the
-//! stdout/stderr trace sink), and `units` is exempt from HW002 (its
-//! constructors are the raw-`f64` boundary the newtypes exist to
-//! wrap).
+//! stdout/stderr trace sink), the root `hotwire` crate is exempt from
+//! HW003's print arm for the same reason (the CLI's stdout is its
+//! product), and `units` is exempt from HW002 (its constructors are
+//! the raw-`f64` boundary the newtypes exist to wrap).
 
 pub mod baseline;
+pub mod casts;
+pub mod exit_codes;
 pub mod lints;
+pub mod metric_names;
+pub mod parser;
 pub mod scan;
+pub mod telemetry_parity;
 
 use std::path::{Path, PathBuf};
 
 use lints::Violation;
+use metric_names::Catalog;
 
 /// Crates excluded from analysis entirely.
 const SKIP_CRATES: [&str; 2] = ["bench", "analyze"];
@@ -109,7 +124,31 @@ pub fn discover_crates(root: &Path) -> Result<Vec<CrateDir>, AnalyzeError> {
     if out.is_empty() {
         return Err(AnalyzeError::NotAWorkspace(root.to_owned()));
     }
+    // The root crate (CLI binaries + serve layer) is analyzable surface
+    // too — exit codes (HW009), metric registrations (HW007), and
+    // atomics (HW004) all live there.
+    let root_src = root.join("src");
+    if root.join("Cargo.toml").is_file() && root_src.is_dir() {
+        out.push(CrateDir {
+            name: "hotwire".to_owned(),
+            src: root_src,
+        });
+    }
     Ok(out)
+}
+
+/// The repo-relative path of the metric catalog HW007 checks against.
+pub const CATALOG_PATH: &str = "docs/OBSERVABILITY.md";
+
+/// Loads and parses the workspace's metric catalog; `None` when the
+/// file does not exist (HW007 then has nothing to check).
+pub fn load_catalog(root: &Path) -> Result<Option<Catalog>, AnalyzeError> {
+    let path = root.join(CATALOG_PATH);
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Ok(Some(Catalog::parse(CATALOG_PATH, &text))),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(source) => Err(AnalyzeError::Io { path, source }),
+    }
 }
 
 /// Recursively collects the `.rs` files under `dir`, sorted.
@@ -142,7 +181,9 @@ fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, AnalyzeError> {
 /// come back sorted by (file, line, column, lint) with repo-relative
 /// paths.
 pub fn analyze_workspace(root: &Path) -> Result<Vec<Violation>, AnalyzeError> {
+    let catalog = load_catalog(root)?;
     let mut all = Vec::new();
+    let mut regs = Vec::new();
     for krate in discover_crates(root)? {
         let mut files = Vec::new();
         for path in rust_files(&krate.src)? {
@@ -157,7 +198,14 @@ pub fn analyze_workspace(root: &Path) -> Result<Vec<Violation>, AnalyzeError> {
                 .replace('\\', "/");
             files.push((rel, text));
         }
-        all.extend(lints::analyze_crate(&krate.name, &files));
+        let report = lints::analyze_crate_full(&krate.name, &files, catalog.as_ref());
+        all.extend(report.violations);
+        regs.extend(report.metric_regs);
+    }
+    // HW007's docs → code direction needs every crate's registrations,
+    // so it runs once here rather than per crate.
+    if let Some(catalog) = &catalog {
+        all.extend(metric_names::stale_rows(catalog, &regs));
     }
     all.sort_by(|a, b| {
         (&a.file, a.line, a.column, a.lint.id()).cmp(&(&b.file, b.line, b.column, b.lint.id()))

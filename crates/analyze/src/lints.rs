@@ -1,12 +1,19 @@
-//! The project-invariant lints, HW001–HW005.
+//! The project-invariant lints, HW001–HW009.
 //!
 //! Each lint is named, documented, and greppable; `docs/STATIC_ANALYSIS.md`
-//! is the user-facing catalog. All lints skip test code (`#[cfg(test)]`
-//! items, `#[test]` functions — see [`crate::scan`]) and honor the
-//! `// ANALYZE-ALLOW(HWxxx): <reason>` escape hatch on the flagged line
-//! or the line above; an allow without a reason is itself a violation.
+//! is the user-facing catalog. HW001–HW005 work straight off the
+//! scanner's token channels; the semantic passes HW006–HW009 ride the
+//! item-level parser ([`crate::parser`]) and live in their own modules
+//! ([`crate::casts`], [`crate::metric_names`],
+//! [`crate::telemetry_parity`], [`crate::exit_codes`]). All lints skip
+//! test code (`#[cfg(test)]` items, `#[test]` functions — see
+//! [`crate::scan`]) and honor the `// ANALYZE-ALLOW(HWxxx): <reason>`
+//! escape hatch on the flagged line or the line above; an allow without
+//! a reason is itself a violation.
 
+use crate::metric_names::{Catalog, MetricReg};
 use crate::scan::{self, SourceFile};
+use crate::{casts, exit_codes, metric_names, parser, telemetry_parity};
 
 /// A named project invariant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -26,15 +33,31 @@ pub enum Lint {
     /// Public error enums are `#[non_exhaustive]` and implement
     /// `std::error::Error`.
     Hw005ErrorHygiene,
+    /// Narrowing `as` casts in the numeric kernel crates need a
+    /// `// CAST(reason):` justification.
+    Hw006NarrowingCast,
+    /// Every dotted metric/span name registered via `obs` appears in
+    /// docs/OBSERVABILITY.md, and every catalog row is live.
+    Hw007MetricCatalog,
+    /// Public `obs` items gated on `feature = "telemetry"` have a
+    /// signature-identical no-op twin in the disabled branch.
+    Hw008TelemetryParity,
+    /// Exit statuses flow through the central EXIT_* consts — no bare
+    /// `process::exit(n)` / `ExitCode::from(<literal>)`.
+    Hw009ExitCodeContract,
 }
 
 /// All lints, in catalog order.
-pub const ALL_LINTS: [Lint; 5] = [
+pub const ALL_LINTS: [Lint; 9] = [
     Lint::Hw001PanicFree,
     Lint::Hw002RawDimension,
     Lint::Hw003ClockAndSink,
     Lint::Hw004OrderingJustified,
     Lint::Hw005ErrorHygiene,
+    Lint::Hw006NarrowingCast,
+    Lint::Hw007MetricCatalog,
+    Lint::Hw008TelemetryParity,
+    Lint::Hw009ExitCodeContract,
 ];
 
 impl Lint {
@@ -47,6 +70,10 @@ impl Lint {
             Self::Hw003ClockAndSink => "HW003",
             Self::Hw004OrderingJustified => "HW004",
             Self::Hw005ErrorHygiene => "HW005",
+            Self::Hw006NarrowingCast => "HW006",
+            Self::Hw007MetricCatalog => "HW007",
+            Self::Hw008TelemetryParity => "HW008",
+            Self::Hw009ExitCodeContract => "HW009",
         }
     }
 
@@ -68,6 +95,18 @@ impl Lint {
             }
             Self::Hw005ErrorHygiene => {
                 "public error enums are #[non_exhaustive] and implement std::error::Error"
+            }
+            Self::Hw006NarrowingCast => {
+                "narrowing `as` casts in solver/thermal/EM kernels carry a // CAST(reason): justification"
+            }
+            Self::Hw007MetricCatalog => {
+                "dotted metric/span names registered via obs match the docs/OBSERVABILITY.md catalog both ways"
+            }
+            Self::Hw008TelemetryParity => {
+                "pub obs items gated on feature=\"telemetry\" have a signature-identical no-op twin when disabled"
+            }
+            Self::Hw009ExitCodeContract => {
+                "exit statuses go through the central EXIT_* consts, never bare process::exit/ExitCode::from(n)"
             }
         }
     }
@@ -108,17 +147,33 @@ impl std::fmt::Display for Violation {
     }
 }
 
+/// The result of analyzing one crate: its violations plus the metric
+/// registrations HW007's workspace-level staleness check needs.
+#[derive(Debug, Clone, Default)]
+pub struct CrateReport {
+    /// Sorted violations.
+    pub violations: Vec<Violation>,
+    /// Every dotted metric/span name this crate registers.
+    pub metric_regs: Vec<MetricReg>,
+}
+
 /// Analyzes every file of one crate (HW005 needs crate-level context:
 /// the `impl std::error::Error` may live in a different file than the
-/// enum). `files` is `(repo-relative path, source)`.
+/// enum). `files` is `(repo-relative path, source)`. `catalog` is the
+/// parsed docs/OBSERVABILITY.md; `None` disables HW007 entirely (the
+/// workspace has no catalog to drift from).
 #[must_use]
-pub fn analyze_crate(crate_name: &str, files: &[(String, String)]) -> Vec<Violation> {
+pub fn analyze_crate_full(
+    crate_name: &str,
+    files: &[(String, String)],
+    catalog: Option<&Catalog>,
+) -> CrateReport {
     let scanned: Vec<(usize, SourceFile)> = files
         .iter()
         .enumerate()
         .map(|(k, (_, src))| (k, scan::scan(src)))
         .collect();
-    let mut out = Vec::new();
+    let mut report = CrateReport::default();
     // Crate-wide list of `impl … Error for X` targets, for HW005.
     let mut error_impls: Vec<String> = Vec::new();
     for (_, sf) in &scanned {
@@ -126,16 +181,22 @@ pub fn analyze_crate(crate_name: &str, files: &[(String, String)]) -> Vec<Violat
     }
     for (k, sf) in &scanned {
         let path = &files[*k].0;
-        check_file(crate_name, path, sf, &error_impls, &mut out);
+        check_file(crate_name, path, sf, &error_impls, catalog, &mut report);
     }
-    out.sort_by(|a, b| {
+    report.violations.sort_by(|a, b| {
         (&a.file, a.line, a.column, a.lint.id()).cmp(&(&b.file, b.line, b.column, b.lint.id()))
     });
-    out
+    report
+}
+
+/// Back-compat wrapper returning only the violations (HW007 disabled).
+#[must_use]
+pub fn analyze_crate(crate_name: &str, files: &[(String, String)]) -> Vec<Violation> {
+    analyze_crate_full(crate_name, files, None).violations
 }
 
 /// Analyzes one lone source text (self-test convenience); HW005's
-/// `impl Error` lookup sees only this file.
+/// `impl Error` lookup sees only this file, and HW007 is disabled.
 #[must_use]
 pub fn analyze_source(crate_name: &str, path: &str, source: &str) -> Vec<Violation> {
     analyze_crate(crate_name, &[(path.to_owned(), source.to_owned())])
@@ -146,7 +207,8 @@ fn check_file(
     path: &str,
     sf: &SourceFile,
     error_impls: &[String],
-    out: &mut Vec<Violation>,
+    catalog: Option<&Catalog>,
+    report: &mut CrateReport,
 ) {
     let mut file_out = Vec::new();
     hw001_panic_free(sf, path, &mut file_out);
@@ -157,18 +219,36 @@ fn check_file(
         hw002_raw_dimension(sf, path, &mut file_out);
     }
     // The obs crate is the designated owner of wall-clock reads and
-    // the stdout/stderr trace sink.
-    if crate_name != "obs" {
+    // the stdout/stderr trace sink; the root `hotwire` crate is the
+    // CLI, whose stdout *is* its product.
+    if crate_name != "obs" && crate_name != "hotwire" {
         hw003_clock_and_sink(sf, path, &mut file_out);
     }
     hw004_ordering_justified(sf, path, &mut file_out);
     hw005_error_hygiene(sf, path, error_impls, &mut file_out);
+
+    // Semantic passes over the item-level parse (HW006–HW009).
+    let tokens = parser::tokenize(sf);
+    if casts::KERNEL_CRATES.contains(&crate_name) {
+        casts::check(sf, &tokens, path, &mut file_out);
+    }
+    let regs = metric_names::collect_registrations(sf, &tokens, path, crate_name == "obs");
+    if let Some(catalog) = catalog {
+        metric_names::check_registrations(&regs, catalog, &mut file_out);
+    }
+    report.metric_regs.extend(regs);
+    if crate_name == "obs" {
+        let items = parser::parse_items(&tokens);
+        telemetry_parity::check(&items, path, &mut file_out);
+    }
+    exit_codes::check(sf, &tokens, path, &mut file_out);
+
     // Apply ANALYZE-ALLOW suppression (and flag reasonless allows).
     for v in file_out {
         match allow_state(sf, v.line, v.lint) {
-            AllowState::None => out.push(v),
+            AllowState::None => report.violations.push(v),
             AllowState::Justified => {}
-            AllowState::MissingReason => out.push(Violation {
+            AllowState::MissingReason => report.violations.push(Violation {
                 message: format!(
                     "{} (the ANALYZE-ALLOW comment needs a non-empty reason after the colon)",
                     v.message

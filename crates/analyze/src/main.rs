@@ -30,6 +30,10 @@ LINTS:
     HW003  no Instant::now/SystemTime/println!/eprintln! outside crates/obs
     HW004  every Ordering:: use carries a // SAFETY(ordering): justification
     HW005  public error enums are #[non_exhaustive] and implement Error
+    HW006  narrowing `as` casts in kernel crates carry a // CAST(reason): comment
+    HW007  metric/span names match the docs/OBSERVABILITY.md catalog both ways
+    HW008  telemetry-gated pub obs items have signature-identical no-op twins
+    HW009  exit codes flow through the central EXIT_* consts, never literals
 
 The baseline is a ratchet: per-file counts may only decrease. Suppress a
 single finding with `// ANALYZE-ALLOW(HWxxx): <reason>` on or above the
@@ -115,9 +119,27 @@ fn report_json(violations: &[Violation], report: &RatchetReport) -> Json {
             ])
         })
         .collect();
+    let tolerated = violations.len()
+        - report
+            .regressions
+            .iter()
+            .map(|r| r.violations.len())
+            .sum::<usize>();
+    let lints = Json::Arr(
+        ALL_LINTS
+            .map(|l| {
+                Json::object([
+                    ("id", Json::from(l.id())),
+                    ("summary", Json::from(l.summary())),
+                ])
+            })
+            .to_vec(),
+    );
     Json::object([
         ("clean", Json::Bool(report.is_clean())),
+        ("lints", lints),
         ("totals", totals),
+        ("tolerated", Json::from(tolerated as f64)),
         ("new_violations", Json::Arr(new_violations)),
         ("slack", Json::Arr(slack)),
         (
@@ -194,8 +216,34 @@ fn run() -> Result<ExitCode, String> {
     let violations = hotwire_analyze::analyze_workspace(&opts.root).map_err(|e| e.to_string())?;
 
     if opts.write_baseline {
-        let text = Baseline::from_violations(&violations).render();
-        std::fs::write(&baseline_path, text)
+        // Load the previous baseline first: entries that vanish from
+        // the rewrite (typically because their file was renamed or
+        // deleted) used to disappear silently — report each one so a
+        // rename doesn't quietly launder tolerated violations out of
+        // the ratchet's history.
+        let previous = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => Some(Baseline::parse(&text).map_err(|e| e.to_string())?),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(format!("reading {}: {e}", baseline_path.display())),
+        };
+        let next = Baseline::from_violations(&violations);
+        if let Some(previous) = &previous {
+            for (lint, file, count) in previous.entries() {
+                if next.allowed(lint, file) > 0 {
+                    continue;
+                }
+                let fate = if opts.root.join(file).is_file() {
+                    "file is now clean"
+                } else {
+                    "file no longer exists (renamed or deleted?)"
+                };
+                eprintln!(
+                    "analyze: dropping baseline entry {} {file} ({count} tolerated) — {fate}",
+                    lint.id()
+                );
+            }
+        }
+        std::fs::write(&baseline_path, next.render())
             .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
         eprintln!(
             "analyze: wrote {} ({} violation(s) baselined)",
@@ -224,12 +272,16 @@ fn run() -> Result<ExitCode, String> {
     })
 }
 
+/// Usage/I-O error exit status (the tool practices HW009's preaching
+/// even though it exempts itself from scanning).
+const EXIT_USAGE: u8 = 2;
+
 fn main() -> ExitCode {
     match run() {
         Ok(code) => code,
         Err(message) => {
             eprintln!("analyze: error: {message}");
-            ExitCode::from(2)
+            ExitCode::from(EXIT_USAGE)
         }
     }
 }

@@ -1,0 +1,918 @@
+//! A lightweight item-level parser over the blanked token stream.
+//!
+//! [`crate::scan`] gives the lints a per-line *code channel* with
+//! comments and literal contents blanked to spaces; that is enough for
+//! token-shaped lints (HW001–HW005) but not for the semantic passes,
+//! which need to know *what item* a token belongs to, which `#[cfg]`
+//! gates sit on it, and what a `pub fn`'s signature is. This module is
+//! the missing middle layer: a positioned tokenizer plus a
+//! recursive-descent item extractor — still zero external dependencies,
+//! still no `syn`.
+//!
+//! Scope, deliberately: the parser recognizes item *headers* (`fn`,
+//! `struct`, `enum`, `mod`, `impl`, `trait`, `const`, `static`, `type`,
+//! `use`, macro invocations) with their attributes and visibility, and
+//! **skips bodies** — it recurses only into `mod` and `impl` blocks,
+//! whose children are themselves items. Statement-level constructs
+//! (including statement-level `#[cfg]`, the dominant telemetry-gating
+//! idiom in `crates/obs`) are invisible by design: HW008 cares about
+//! *item-level* feature gates, where a missing disabled twin changes
+//! the public API surface.
+//!
+//! Like the scanner, the parser is forgiving: any token sequence it
+//! cannot shape into an item is skipped token-by-token, never panicking
+//! and always making progress. A property test in
+//! `tests/parser_properties.rs` drives arbitrary token soup through it
+//! to hold that line.
+
+use crate::scan::SourceFile;
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal (integers/floats, suffixes kept).
+    Num(String),
+    /// String literal; the value is the raw literal text recovered
+    /// from [`SourceFile::strings`].
+    Str(String),
+    /// Lifetime (`'a`, `'static`), without the quote.
+    Lifetime(String),
+    /// Any other single non-space character.
+    Punct(char),
+}
+
+/// One positioned token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+}
+
+impl Token {
+    /// The identifier text, when this token is one.
+    #[must_use]
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `true` for `Punct(c)`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+
+    /// Rendered text, for signature/attr normalization.
+    #[must_use]
+    pub fn text(&self) -> String {
+        match &self.tok {
+            Tok::Ident(s) | Tok::Num(s) => s.clone(),
+            Tok::Str(s) => format!("\"{s}\""),
+            Tok::Lifetime(s) => format!("'{s}"),
+            Tok::Punct(c) => c.to_string(),
+        }
+    }
+}
+
+/// Tokenizes the blanked code channel of `sf`, resolving string
+/// literals back to their captured values.
+///
+/// String literals appear in the code channel as `"` + blanks + `"`;
+/// they are emitted as single [`Tok::Str`] tokens whose value comes
+/// from [`SourceFile::strings`] (paired in source order). Char
+/// literals are dropped (nothing semantic reads them); lifetimes are
+/// kept so signatures normalize faithfully.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn tokenize(sf: &SourceFile) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut strs = sf.strings.iter();
+    // One explicit (line, column) cursor: multi-line constructs
+    // (blanked string bodies) advance `li` mid-line, so the line's
+    // bytes are re-fetched on every step.
+    let mut li = 0;
+    let mut ci = 0;
+    // Advances the cursor past the next `delim` byte (the closing quote
+    // of a blanked literal), crossing lines; returns false at EOF.
+    let skip_past = |li: &mut usize, ci: &mut usize, delim: u8| -> bool {
+        loop {
+            if *li >= sf.lines.len() {
+                return false;
+            }
+            let lb = sf.lines[*li].code.as_bytes();
+            match lb
+                .get(*ci..)
+                .and_then(|s| s.iter().position(|&c| c == delim))
+            {
+                Some(rel) => {
+                    *ci += rel + 1;
+                    return true;
+                }
+                None => {
+                    *li += 1;
+                    *ci = 0;
+                }
+            }
+        }
+    };
+    while li < sf.lines.len() {
+        let code = &sf.lines[li].code;
+        let bytes = code.as_bytes();
+        if ci >= bytes.len() {
+            li += 1;
+            ci = 0;
+            continue;
+        }
+        let b = bytes[ci];
+        if b == b' ' || b == b'\t' || b == b'\r' {
+            ci += 1;
+            continue;
+        }
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let start = ci;
+            while ci < bytes.len() && (bytes[ci].is_ascii_alphanumeric() || bytes[ci] == b'_') {
+                ci += 1;
+            }
+            out.push(Token {
+                tok: Tok::Ident(code[start..ci].to_owned()),
+                line: li + 1,
+                col: start + 1,
+            });
+            continue;
+        }
+        if b.is_ascii_digit() {
+            let start = ci;
+            while ci < bytes.len() && (bytes[ci].is_ascii_alphanumeric() || bytes[ci] == b'_') {
+                ci += 1;
+            }
+            // A fractional part: `1.5` but not `0..n` or `1.method()`.
+            if ci + 1 < bytes.len() && bytes[ci] == b'.' && bytes[ci + 1].is_ascii_digit() {
+                ci += 1;
+                while ci < bytes.len() && (bytes[ci].is_ascii_alphanumeric() || bytes[ci] == b'_') {
+                    ci += 1;
+                }
+            }
+            out.push(Token {
+                tok: Tok::Num(code[start..ci].to_owned()),
+                line: li + 1,
+                col: start + 1,
+            });
+            continue;
+        }
+        if b == b'"' {
+            // Pair with the next captured literal; skip the blanked
+            // body to the closing quote (possibly on a later line).
+            let value = strs.next().map(|s| s.value.clone()).unwrap_or_default();
+            out.push(Token {
+                tok: Tok::Str(value),
+                line: li + 1,
+                col: ci + 1,
+            });
+            ci += 1;
+            if !skip_past(&mut li, &mut ci, b'"') {
+                return out;
+            }
+            continue;
+        }
+        if b == b'\'' {
+            let next = bytes.get(ci + 1).copied();
+            if matches!(next, Some(c) if c.is_ascii_alphabetic() || c == b'_') {
+                // Lifetime: quote + identifier, no closing quote.
+                let start = ci + 1;
+                let mut end = start;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Lifetime(code[start..end].to_owned()),
+                    line: li + 1,
+                    col: ci + 1,
+                });
+                ci = end;
+                continue;
+            }
+            // Blanked char literal: `'` + blanks + `'`. Skip it.
+            ci += 1;
+            if !skip_past(&mut li, &mut ci, b'\'') {
+                return out;
+            }
+            continue;
+        }
+        out.push(Token {
+            tok: Tok::Punct(b as char),
+            line: li + 1,
+            col: ci + 1,
+        });
+        ci += 1;
+    }
+    out
+}
+
+/// One attribute (`#[…]` / `#![…]`), with its bracket contents
+/// rendered to a canonical text form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attr {
+    /// Normalized text inside the brackets, e.g.
+    /// `cfg(feature = "telemetry")`.
+    pub text: String,
+    /// 1-based line of the `#`.
+    pub line: usize,
+    /// `true` for inner attributes (`#![…]`).
+    pub inner: bool,
+}
+
+impl Attr {
+    /// The attribute text with every space removed — the form the
+    /// semantic passes compare against.
+    #[must_use]
+    pub fn compact(&self) -> String {
+        self.text.replace(' ', "")
+    }
+
+    /// `true` for `#[cfg(feature = "telemetry")]`.
+    #[must_use]
+    pub fn gates_telemetry_on(&self) -> bool {
+        self.compact() == "cfg(feature=\"telemetry\")"
+    }
+
+    /// `true` for `#[cfg(not(feature = "telemetry"))]`.
+    #[must_use]
+    pub fn gates_telemetry_off(&self) -> bool {
+        self.compact() == "cfg(not(feature=\"telemetry\"))"
+    }
+}
+
+/// The kind of a parsed item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `fn`, including qualified forms (`pub const unsafe fn …`).
+    Fn,
+    /// `struct` / `union`.
+    Struct,
+    /// `enum`.
+    Enum,
+    /// `mod name { … }` or `mod name;`.
+    Mod,
+    /// `impl … { … }`.
+    Impl,
+    /// `trait … { … }`.
+    Trait,
+    /// `const NAME: …` / `static NAME: …` item (not a fn qualifier).
+    Const,
+    /// `type Alias = …;`.
+    TypeAlias,
+    /// `use …;` / `extern crate …;`.
+    Use,
+    /// A top-level macro invocation (`macro_rules! x { … }`,
+    /// `thread_local! { … }`).
+    MacroCall,
+}
+
+/// Item visibility, as far as the passes care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visibility {
+    /// Plain `pub` — true public API.
+    Pub,
+    /// `pub(crate)` / `pub(super)` / `pub(in …)`.
+    Restricted,
+    /// No `pub`.
+    Private,
+}
+
+/// One parsed item: header only, body skipped (or recursed for
+/// `mod`/`impl`).
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// What it is.
+    pub kind: ItemKind,
+    /// Its name (`fn` name, type name, `mod` name…). For `impl` blocks
+    /// this is the normalized header (`impl Foo` / `impl Trait for
+    /// Foo`); for `use` and macro calls it is the leading path.
+    pub name: String,
+    /// Visibility.
+    pub vis: Visibility,
+    /// Attributes directly above the item.
+    pub attrs: Vec<Attr>,
+    /// 1-based line of the defining keyword.
+    pub line: usize,
+    /// Normalized header text: for fns, everything from `fn` up to the
+    /// body/semicolon (signature); for other kinds, a best-effort
+    /// header. Tokens joined with single spaces.
+    pub signature: String,
+    /// Child items, for `mod`/`impl` blocks.
+    pub children: Vec<Item>,
+}
+
+/// Parses the token stream into a tree of items.
+///
+/// Never panics; unrecognized token runs are skipped. `tokens` should
+/// come from [`tokenize`].
+#[must_use]
+pub fn parse_items(tokens: &[Token]) -> Vec<Item> {
+    let mut p = Parser { tokens, pos: 0 };
+    p.items(0)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+/// Keywords that may sit between visibility and the defining keyword.
+const FN_QUALIFIERS: &[&str] = &["const", "async", "unsafe", "extern", "default"];
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips a balanced `open`…`close` group, assuming the cursor sits
+    /// on `open`. Robust to truncation: stops at end of input.
+    fn skip_group(&mut self, open: char, close: char) {
+        let mut depth = 0usize;
+        while let Some(t) = self.bump() {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Parses items until end of input (`stop_depth == 0`) or the `}`
+    /// closing the current block.
+    #[allow(clippy::too_many_lines)]
+    fn items(&mut self, nesting: usize) -> Vec<Item> {
+        let mut out = Vec::new();
+        // A hard cap on nesting guards against pathological inputs
+        // (the proptest fuzzer found none, but recursion depth is the
+        // one resource a forgiving parser can still exhaust).
+        if nesting > 64 {
+            return out;
+        }
+        loop {
+            // Collect attributes.
+            let mut attrs = Vec::new();
+            loop {
+                let Some(t) = self.peek() else {
+                    return out;
+                };
+                if t.is_punct('}') {
+                    // End of the enclosing block: the caller consumes it.
+                    return out;
+                }
+                if !t.is_punct('#') {
+                    break;
+                }
+                let hash_line = t.line;
+                self.pos += 1;
+                let inner = self.peek().is_some_and(|t| t.is_punct('!'));
+                if inner {
+                    self.pos += 1;
+                }
+                if self.peek().is_some_and(|t| t.is_punct('[')) {
+                    let start = self.pos + 1;
+                    self.skip_group('[', ']');
+                    let end = self.pos.saturating_sub(1).max(start);
+                    attrs.push(Attr {
+                        text: render(&self.tokens[start..end]),
+                        line: hash_line,
+                        inner,
+                    });
+                } // A lone `#` (e.g. from a degenerate raw string): drop it.
+            }
+            // Visibility.
+            let mut vis = Visibility::Private;
+            if self.peek().is_some_and(|t| t.ident() == Some("pub")) {
+                self.pos += 1;
+                if self.peek().is_some_and(|t| t.is_punct('(')) {
+                    vis = Visibility::Restricted;
+                    self.skip_group('(', ')');
+                } else {
+                    vis = Visibility::Pub;
+                }
+            }
+            // Qualifiers before `fn` (const/async/unsafe/extern "C").
+            // `const` doubles as an item keyword (`const NAME: …`), so
+            // it only counts as a qualifier when a further qualifier or
+            // `fn` follows.
+            let mut saw_extern = false;
+            while let Some(t) = self.peek() {
+                match t.ident() {
+                    Some("const")
+                        if !self.tokens.get(self.pos + 1).is_some_and(|n| {
+                            matches!(n.ident(), Some("fn" | "async" | "unsafe" | "extern"))
+                        }) =>
+                    {
+                        break;
+                    }
+                    Some(q) if FN_QUALIFIERS.contains(&q) => {
+                        saw_extern |= q == "extern";
+                        self.pos += 1;
+                        // The ABI string of `extern "C"`.
+                        if let Some(Tok::Str(_)) = self.peek().map(|t| &t.tok) {
+                            self.pos += 1;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let Some(t) = self.peek() else {
+                return out;
+            };
+            let line = t.line;
+            let kw = t.ident().map(str::to_owned);
+            match kw.as_deref() {
+                Some("fn") => {
+                    let sig_start = self.pos;
+                    self.pos += 1;
+                    let name = self.take_ident().unwrap_or_default();
+                    let sig_end = self.scan_to_body();
+                    out.push(Item {
+                        kind: ItemKind::Fn,
+                        name,
+                        vis,
+                        attrs,
+                        line,
+                        signature: render(&self.tokens[sig_start..sig_end]),
+                        children: Vec::new(),
+                    });
+                }
+                Some("const" | "static") => {
+                    self.pos += 1;
+                    // `static mut NAME` / `const _:` — skip `mut`.
+                    if self.peek().is_some_and(|t| t.ident() == Some("mut")) {
+                        self.pos += 1;
+                    }
+                    let name = self.take_ident().unwrap_or_default();
+                    let hdr_start = self.pos;
+                    self.skip_to_semicolon();
+                    out.push(Item {
+                        kind: ItemKind::Const,
+                        name,
+                        vis,
+                        attrs,
+                        line,
+                        signature: render(&self.tokens[hdr_start..self.pos]),
+                        children: Vec::new(),
+                    });
+                }
+                Some("struct" | "union" | "enum" | "trait") => {
+                    let kind = match kw.as_deref() {
+                        Some("enum") => ItemKind::Enum,
+                        Some("trait") => ItemKind::Trait,
+                        _ => ItemKind::Struct,
+                    };
+                    let sig_start = self.pos;
+                    self.pos += 1;
+                    let name = self.take_ident().unwrap_or_default();
+                    let sig_end = self.scan_to_body();
+                    out.push(Item {
+                        kind,
+                        name,
+                        vis,
+                        attrs,
+                        line,
+                        signature: render(&self.tokens[sig_start..sig_end]),
+                        children: Vec::new(),
+                    });
+                }
+                Some("mod") => {
+                    self.pos += 1;
+                    let name = self.take_ident().unwrap_or_default();
+                    let mut children = Vec::new();
+                    match self.peek() {
+                        Some(t) if t.is_punct('{') => {
+                            self.pos += 1;
+                            children = self.items(nesting + 1);
+                            // Consume the closing `}` our children
+                            // stopped at.
+                            if self.peek().is_some_and(|t| t.is_punct('}')) {
+                                self.pos += 1;
+                            }
+                        }
+                        _ => self.skip_to_semicolon(),
+                    }
+                    out.push(Item {
+                        kind: ItemKind::Mod,
+                        name: name.clone(),
+                        vis,
+                        attrs,
+                        line,
+                        signature: format!("mod {name}"),
+                        children,
+                    });
+                }
+                Some("impl") => {
+                    let sig_start = self.pos;
+                    self.pos += 1;
+                    let sig_end = self.scan_to_body();
+                    let signature = render(&self.tokens[sig_start..sig_end]);
+                    let mut children = Vec::new();
+                    if self.peek().is_some_and(|t| t.is_punct('{')) {
+                        self.pos += 1;
+                        children = self.items(nesting + 1);
+                        if self.peek().is_some_and(|t| t.is_punct('}')) {
+                            self.pos += 1;
+                        }
+                    }
+                    out.push(Item {
+                        kind: ItemKind::Impl,
+                        name: signature.clone(),
+                        vis,
+                        attrs,
+                        line,
+                        signature,
+                        children,
+                    });
+                }
+                Some("type") => {
+                    self.pos += 1;
+                    let name = self.take_ident().unwrap_or_default();
+                    let hdr_start = self.pos;
+                    self.skip_to_semicolon();
+                    out.push(Item {
+                        kind: ItemKind::TypeAlias,
+                        name,
+                        vis,
+                        attrs,
+                        line,
+                        signature: render(&self.tokens[hdr_start..self.pos]),
+                        children: Vec::new(),
+                    });
+                }
+                // `use path::to::Thing;` and `extern crate name;`.
+                Some("use" | "crate") => {
+                    self.pos += 1;
+                    let name = self.take_ident().unwrap_or_default();
+                    self.skip_to_semicolon();
+                    out.push(Item {
+                        kind: ItemKind::Use,
+                        name,
+                        vis,
+                        attrs,
+                        line,
+                        signature: String::new(),
+                        children: Vec::new(),
+                    });
+                }
+                Some(name_str) => {
+                    // `extern { … }` block, a macro invocation
+                    // (`ident! …`), or something we don't recognize.
+                    let name = name_str.to_owned();
+                    self.pos += 1;
+                    if self.peek().is_some_and(|t| t.is_punct('!')) {
+                        self.pos += 1;
+                        // Optional macro path tail / name before the
+                        // delimiter (e.g. `macro_rules! name { … }`).
+                        while self
+                            .peek()
+                            .is_some_and(|t| t.ident().is_some() || t.is_punct(':'))
+                        {
+                            self.pos += 1;
+                        }
+                        match self.peek().map(|t| t.tok.clone()) {
+                            Some(Tok::Punct('{')) => self.skip_group('{', '}'),
+                            Some(Tok::Punct('(')) => {
+                                self.skip_group('(', ')');
+                                self.skip_to_semicolon();
+                            }
+                            Some(Tok::Punct('[')) => {
+                                self.skip_group('[', ']');
+                                self.skip_to_semicolon();
+                            }
+                            _ => {}
+                        }
+                        out.push(Item {
+                            kind: ItemKind::MacroCall,
+                            name,
+                            vis,
+                            attrs,
+                            line,
+                            signature: String::new(),
+                            children: Vec::new(),
+                        });
+                    } else if saw_extern && self.peek().is_some_and(|t| t.is_punct('{')) {
+                        self.skip_group('{', '}');
+                    }
+                    // else: error recovery — we already advanced one
+                    // token, so the loop makes progress.
+                }
+                None => {
+                    // Punct where an item should start: an `extern { … }`
+                    // block, or a stray token from a construct we skipped
+                    // imperfectly. Swallow braces as balanced groups so
+                    // an unrecognized block can't close our enclosing
+                    // `mod`/`impl` early; drop anything else one token
+                    // at a time.
+                    if self.peek().is_some_and(|t| t.is_punct('{')) {
+                        self.skip_group('{', '}');
+                    } else {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn take_ident(&mut self) -> Option<String> {
+        let name = self.peek().and_then(|t| t.ident()).map(str::to_owned)?;
+        self.pos += 1;
+        Some(name)
+    }
+
+    /// Advances past an item header to its body or terminator: stops
+    /// *on* `{` (leaving it to the caller) after skipping it as a
+    /// balanced group for non-recursed kinds, or past `;`. Returns the
+    /// token index one past the header (exclusive of `{`/`;`).
+    fn scan_to_body(&mut self) -> usize {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            if depth == 0 && t.is_punct('{') {
+                let end = self.pos;
+                self.skip_body_unless_recursed();
+                return end;
+            }
+            if depth == 0 && t.is_punct(';') {
+                let end = self.pos;
+                self.pos += 1;
+                return end;
+            }
+            match &t.tok {
+                Tok::Punct('(' | '[') => depth += 1,
+                Tok::Punct(')' | ']') => depth = depth.saturating_sub(1),
+                Tok::Punct('}') if depth == 0 => return self.pos,
+                Tok::Punct('}') => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        self.pos
+    }
+
+    /// After [`scan_to_body`] stopped on `{`: fn/struct/enum/trait
+    /// bodies are skipped outright; `mod`/`impl` callers never reach
+    /// here (they recurse instead).
+    fn skip_body_unless_recursed(&mut self) {
+        // Peeked token is `{` — callers that recurse (mod/impl) check
+        // for it themselves *before* calling scan_to_body… except they
+        // don't: impl calls scan_to_body then recurses. So only skip
+        // when the caller asked. Kept simple: scan_to_body is used by
+        // Fn/Struct/Enum/Trait (skip) and Impl (recurse). Impl's
+        // recursion checks `peek() == '{'`, so here we must NOT consume
+        // for impl. The flag is threaded via `self.recurse_next`.
+        if self.recurse_next() {
+            return;
+        }
+        self.skip_group('{', '}');
+    }
+
+    /// Whether the pending `{` belongs to a block the caller recurses
+    /// into. `impl` sets this by leaving the decision to `items()`:
+    /// the parser distinguishes by the token *before* the header —
+    /// instead of real state, we look back for `impl` at the header
+    /// start. Cheap and local.
+    fn recurse_next(&self) -> bool {
+        // Walk back from the current `{` to the start of the header:
+        // the previous `fn`/`struct`/`enum`/`trait`/`impl` keyword at
+        // group depth zero decides.
+        let mut depth = 0i32;
+        let mut k = self.pos;
+        while k > 0 {
+            k -= 1;
+            let t = &self.tokens[k];
+            match &t.tok {
+                Tok::Punct(')' | ']') => depth += 1,
+                Tok::Punct('(' | '[') => depth -= 1,
+                Tok::Punct('{' | '}' | ';') if depth == 0 => return false,
+                Tok::Ident(s) if depth <= 0 => match s.as_str() {
+                    "impl" => return true,
+                    "fn" | "struct" | "union" | "enum" | "trait" => return false,
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Skips to just past the next `;` at group depth zero (or a `}`
+    /// closing the enclosing block, left unconsumed).
+    fn skip_to_semicolon(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            match &t.tok {
+                Tok::Punct('(' | '[' | '{') => depth += 1,
+                Tok::Punct(')' | ']') => depth = depth.saturating_sub(1),
+                Tok::Punct('}') => {
+                    if depth == 0 {
+                        return;
+                    }
+                    depth -= 1;
+                }
+                Tok::Punct(';') if depth == 0 => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+/// Renders a token slice to a canonical single-spaced string.
+#[must_use]
+pub fn render(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    for t in tokens {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&t.text());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn parse(src: &str) -> Vec<Item> {
+        parse_items(&tokenize(&scan(src)))
+    }
+
+    #[test]
+    fn tokenizer_resolves_strings_and_skips_chars() {
+        let sf = scan("let a = \"solver.factor\"; let c = 'x'; let l: &'a str;\n");
+        let toks = tokenize(&sf);
+        assert!(toks
+            .iter()
+            .any(|t| t.tok == Tok::Str("solver.factor".to_owned())));
+        assert!(toks.iter().any(|t| t.tok == Tok::Lifetime("a".to_owned())));
+        // The char literal vanished.
+        assert!(!toks.iter().any(|t| t.is_punct('\'')));
+    }
+
+    #[test]
+    fn multi_line_strings_do_not_derail_the_cursor() {
+        // Regression: the body of a literal spanning lines used to leave
+        // the tokenizer reading a stale line's bytes (out-of-range panic)
+        // — tokens after the closing quote must still come through.
+        let src = "let msg = \"first line\n  second line\n  third\"; let after = done;\n\
+                   pub fn tail() {}\n";
+        let sf = scan(src);
+        let toks = tokenize(&sf);
+        assert!(toks.iter().any(|t| t.ident() == Some("after")));
+        let items = parse_items(&toks);
+        assert!(
+            items
+                .iter()
+                .any(|i| i.kind == ItemKind::Fn && i.name == "tail"),
+            "{items:?}"
+        );
+    }
+
+    #[test]
+    fn parses_fn_signatures_and_visibility() {
+        let items = parse(
+            "pub fn solve(a: &Grid, t: Kelvin) -> Result<Vec<f64>, SolveError> { body(); }\n\
+             pub(crate) fn helper() {}\n\
+             fn private(x: u32) -> u32 { x }\n",
+        );
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].kind, ItemKind::Fn);
+        assert_eq!(items[0].name, "solve");
+        assert_eq!(items[0].vis, Visibility::Pub);
+        assert!(
+            items[0].signature.contains("- > Result < Vec < f64 >"),
+            "{}",
+            items[0].signature
+        );
+        assert_eq!(items[1].vis, Visibility::Restricted);
+        assert_eq!(items[2].vis, Visibility::Private);
+    }
+
+    #[test]
+    fn multi_line_signatures_normalize() {
+        let one = parse("pub fn f(a: usize, b: &str) -> bool { true }\n");
+        let two = parse("pub fn f(\n    a: usize,\n    b: &str,\n) -> bool {\n    true\n}\n");
+        // Up to the trailing comma rustfmt adds, the signatures match.
+        assert_eq!(
+            one[0].signature.replace(" ,", ""),
+            two[0].signature.replace(" ,", "")
+        );
+    }
+
+    #[test]
+    fn attrs_capture_cfg_gates_with_string_values() {
+        let items = parse(
+            "#[cfg(feature = \"telemetry\")]\npub fn start() -> Timer { Timer }\n\
+             #[cfg(not(feature = \"telemetry\"))]\npub fn start() -> Timer { Timer }\n",
+        );
+        assert_eq!(items.len(), 2);
+        assert!(items[0].attrs[0].gates_telemetry_on());
+        assert!(items[1].attrs[0].gates_telemetry_off());
+        assert_eq!(items[0].signature, items[1].signature);
+    }
+
+    #[test]
+    fn cfg_attr_is_captured_but_not_a_gate() {
+        let items =
+            parse("#[cfg_attr(docsrs, doc(cfg(feature = \"telemetry\")))]\npub struct S;\n");
+        assert_eq!(items.len(), 1);
+        assert!(items[0].attrs[0].text.starts_with("cfg_attr"));
+        assert!(!items[0].attrs[0].gates_telemetry_on());
+    }
+
+    #[test]
+    fn mods_and_impls_recurse_and_bodies_are_skipped() {
+        let items = parse(
+            "pub mod names {\n    pub const A: &str = \"health.a\";\n}\n\
+             impl Foo {\n    pub fn method(&self) -> u32 { let x = \"not an item\"; 0 }\n    fn private(&self) {}\n}\n\
+             pub struct Bar { field: u32 }\n",
+        );
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].kind, ItemKind::Mod);
+        assert_eq!(items[0].children.len(), 1);
+        assert_eq!(items[0].children[0].kind, ItemKind::Const);
+        assert_eq!(items[0].children[0].name, "A");
+        assert_eq!(items[1].kind, ItemKind::Impl);
+        assert_eq!(items[1].children.len(), 2);
+        assert_eq!(items[1].children[0].name, "method");
+        assert_eq!(items[1].children[0].vis, Visibility::Pub);
+        assert_eq!(items[2].kind, ItemKind::Struct);
+        assert!(items[2].children.is_empty());
+    }
+
+    #[test]
+    fn nested_generics_do_not_derail_the_header_scan() {
+        let items = parse(
+            "pub fn nested<T: Into<Vec<Box<dyn Fn(usize) -> Result<T, E>>>>>(x: T) -> T { x }\n\
+             pub fn after() {}\n",
+        );
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].name, "nested");
+        assert_eq!(items[1].name, "after");
+    }
+
+    #[test]
+    fn raw_strings_in_bodies_do_not_confuse_items() {
+        let items =
+            parse("pub fn f() -> &'static str { r#\"fn not_an_item() {\"# }\npub fn g() {}\n");
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[1].name, "g");
+    }
+
+    #[test]
+    fn macro_calls_and_uses_are_items() {
+        let items = parse(
+            "use std::sync::Arc;\nmacro_rules! m { () => {}; }\nthread_local! { static X: u32 = 0; }\n",
+        );
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].kind, ItemKind::Use);
+        assert_eq!(items[1].kind, ItemKind::MacroCall);
+        assert_eq!(items[1].name, "macro_rules");
+        assert_eq!(items[2].kind, ItemKind::MacroCall);
+    }
+
+    #[test]
+    fn garbage_never_panics_and_terminates() {
+        for src in [
+            "}}}}",
+            "pub pub pub",
+            "fn",
+            "#[",
+            "#[cfg(",
+            "impl {",
+            "mod m { fn",
+            "\"unterminated",
+            "pub fn f(",
+            "const",
+        ] {
+            let _ = parse(src);
+        }
+    }
+}

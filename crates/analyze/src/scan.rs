@@ -44,20 +44,42 @@ impl Line {
     }
 }
 
+/// One string literal lifted out of the code channel, with provenance.
+///
+/// The code channel blanks literal *contents* to spaces (keeping the
+/// delimiting quotes), so token-level lints can't read them; semantic
+/// passes that care about the text — HW007's metric-name catalog check
+/// above all — get it here instead. `value` is the raw source text
+/// between the delimiters (escape sequences unprocessed, embedded
+/// newlines kept), which is exact for the dotted metric names the
+/// passes match on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrLit {
+    /// 1-based line of the opening delimiter.
+    pub line: usize,
+    /// 1-based byte column of the opening delimiter (the `r`/`br`
+    /// sigil for raw strings).
+    pub column: usize,
+    /// Raw text between the delimiters.
+    pub value: String,
+}
+
 /// A scanned file: per-line code/comment channels plus test marking.
 #[derive(Debug, Clone)]
 pub struct SourceFile {
     /// The scanned lines, in order.
     pub lines: Vec<Line>,
+    /// Every string literal, in source order (see [`StrLit`]).
+    pub strings: Vec<StrLit>,
 }
 
 /// Scans `source` into per-line code and comment channels and marks
 /// test regions.
 #[must_use]
 pub fn scan(source: &str) -> SourceFile {
-    let mut lines = split_channels(source);
+    let (mut lines, strings) = split_channels(source);
     mark_test_regions(&mut lines);
-    SourceFile { lines }
+    SourceFile { lines, strings }
 }
 
 /// Lexer state for [`split_channels`].
@@ -75,8 +97,9 @@ enum State {
 }
 
 #[allow(clippy::too_many_lines)]
-fn split_channels(source: &str) -> Vec<Line> {
+fn split_channels(source: &str) -> (Vec<Line>, Vec<StrLit>) {
     let mut lines = Vec::new();
+    let mut strings = Vec::new();
     let mut code = String::new();
     let mut comment = String::new();
     let mut state = State::Code;
@@ -86,6 +109,9 @@ fn split_channels(source: &str) -> Vec<Line> {
     // raw-string sigil (`r"`, `br#"`) from an identifier ending in `r`,
     // and a lifetime (`'a`) from a char literal (`'a'`).
     let mut ident_start: Option<usize> = None;
+    // The string literal currently being captured: (line index, column,
+    // accumulated raw text).
+    let mut cur_str: Option<(usize, usize, String)> = None;
 
     macro_rules! flush_line {
         () => {
@@ -103,6 +129,9 @@ fn split_channels(source: &str) -> Vec<Line> {
             flush_line!();
             if let State::LineComment = state {
                 state = State::Code;
+            }
+            if let Some((_, _, value)) = cur_str.as_mut() {
+                value.push('\n');
             }
             ident_start = None;
             i += 1;
@@ -126,7 +155,14 @@ fn split_channels(source: &str) -> Vec<Line> {
                 if b == b'"' {
                     // Raw string if the preceding identifier is exactly
                     // `r`/`br`/`rb` or `r`+hashes handled below.
-                    let raw = matches!(prev_ident(bytes, ident_start, i), Some("r" | "br"));
+                    let sigil = prev_ident(bytes, ident_start, i);
+                    let raw = matches!(sigil, Some("r" | "br"));
+                    let col = if raw {
+                        code.len() - sigil.map_or(0, str::len)
+                    } else {
+                        code.len()
+                    };
+                    cur_str = Some((lines.len(), col + 1, String::new()));
                     code.push('"');
                     state = if raw {
                         State::RawStr(0)
@@ -140,15 +176,21 @@ fn split_channels(source: &str) -> Vec<Line> {
                 if b == b'#' {
                     // `r#"`, `br##"` … : hashes between the sigil and
                     // the quote.
-                    if let Some("r" | "br") = prev_ident(bytes, ident_start, i) {
+                    if let Some(sigil @ ("r" | "br")) = prev_ident(bytes, ident_start, i) {
                         let mut hashes = 0;
                         while i + hashes < bytes.len() && bytes[i + hashes] == b'#' {
                             hashes += 1;
                         }
                         if bytes.get(i + hashes) == Some(&b'"') {
-                            for _ in 0..=hashes {
+                            cur_str =
+                                Some((lines.len(), code.len() - sigil.len() + 1, String::new()));
+                            // Blank the hashes but keep the quote, so
+                            // the code channel always renders a string
+                            // literal as `"…"` for downstream tokenizing.
+                            for _ in 0..hashes {
                                 code.push(' ');
                             }
+                            code.push('"');
                             #[allow(clippy::cast_possible_truncation)]
                             {
                                 state = State::RawStr(hashes as u32);
@@ -221,10 +263,20 @@ fn split_channels(source: &str) -> Vec<Line> {
                 } else if b == b'\\' {
                     state = State::Str(true);
                 } else if b == b'"' {
+                    if let Some((line, col, value)) = cur_str.take() {
+                        strings.push(StrLit {
+                            line: line + 1,
+                            column: col,
+                            value,
+                        });
+                    }
                     code.push('"');
                     state = State::Code;
                     i += 1;
                     continue;
+                }
+                if let Some((_, _, value)) = cur_str.as_mut() {
+                    value.push(b as char);
                 }
                 code.push(' ');
                 i += 1;
@@ -235,6 +287,13 @@ fn split_channels(source: &str) -> Vec<Line> {
                     if bytes[i + 1..].len() >= h
                         && bytes[i + 1..i + 1 + h].iter().all(|&c| c == b'#')
                     {
+                        if let Some((line, col, value)) = cur_str.take() {
+                            strings.push(StrLit {
+                                line: line + 1,
+                                column: col,
+                                value,
+                            });
+                        }
                         code.push('"');
                         for _ in 0..h {
                             code.push(' ');
@@ -243,6 +302,9 @@ fn split_channels(source: &str) -> Vec<Line> {
                         i += 1 + h;
                         continue;
                     }
+                }
+                if let Some((_, _, value)) = cur_str.as_mut() {
+                    value.push(b as char);
                 }
                 code.push(' ');
                 i += 1;
@@ -264,7 +326,10 @@ fn split_channels(source: &str) -> Vec<Line> {
         }
     }
     flush_line!();
-    lines
+    // An unterminated literal at EOF is simply dropped: the code
+    // channel already degraded to blanks, which is the forgiving
+    // direction (see module docs).
+    (lines, strings)
 }
 
 /// The identifier ending exactly at byte `end` (exclusive), if any.
@@ -378,6 +443,28 @@ fn lib2() {}
         let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() {}\n";
         let f = scan(src);
         assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn string_literals_are_captured_with_provenance() {
+        let f = scan("let a = \"solver.factor\";\nlet b = r#\"raw \"quoted\" text\"#;\n");
+        assert_eq!(f.strings.len(), 2);
+        assert_eq!(f.strings[0].value, "solver.factor");
+        assert_eq!(f.strings[0].line, 1);
+        assert_eq!(f.strings[0].column, 9, "column of the opening quote");
+        assert_eq!(f.strings[1].value, "raw \"quoted\" text");
+        assert_eq!(f.strings[1].line, 2);
+        // The code channel renders every literal as `"…"` even for
+        // `r#"…"#`, so a tokenizer can pair the quotes.
+        assert_eq!(f.lines[1].code.matches('"').count(), 2);
+    }
+
+    #[test]
+    fn multiline_and_escaped_strings_capture_raw_text() {
+        let f = scan("let s = \"a\\\"b\";\nlet m = \"one\ntwo\";\n");
+        assert_eq!(f.strings[0].value, "a\\\"b", "escapes kept verbatim");
+        assert_eq!(f.strings[1].value, "one\ntwo");
+        assert_eq!(f.strings[1].line, 2);
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! HW008 — telemetry no-op parity in `crates/obs`.
+//!
+//! The whole obs layer compiles away under `--no-default-features`;
+//! that only holds if every *public* item gated on
+//! `#[cfg(feature = "telemetry")]` has a twin under
+//! `#[cfg(not(feature = "telemetry"))]` with the same kind, name and —
+//! for functions — a whitespace-identical signature. A missing or
+//! mismatched twin means the disabled build has a different public API,
+//! which the no-telemetry CI leg only discovers for code paths it
+//! happens to compile; this pass catches it statically for all of them.
+//!
+//! Scope: item-level gates on `pub` items, recursively through `mod`
+//! and `impl` blocks. The dominant obs idiom — statement-level `#[cfg]`
+//! *inside* an unconditionally-compiled `pub fn` — is invisible to the
+//! item parser and intentionally fine: the signature is shared by
+//! construction there.
+
+use crate::lints::{Lint, Violation};
+use crate::parser::{Item, Visibility};
+
+/// Runs the pass over one file's parsed item tree.
+pub fn check(items: &[Item], path: &str, out: &mut Vec<Violation>) {
+    check_siblings(items, path, out);
+}
+
+fn check_siblings(siblings: &[Item], path: &str, out: &mut Vec<Violation>) {
+    for item in siblings {
+        if item.vis == Visibility::Pub {
+            let on = item
+                .attrs
+                .iter()
+                .any(super::parser::Attr::gates_telemetry_on);
+            let off = item
+                .attrs
+                .iter()
+                .any(super::parser::Attr::gates_telemetry_off);
+            if on {
+                match find_twin(siblings, item, false) {
+                    None => out.push(violation(
+                        item,
+                        path,
+                        format!(
+                            "pub {} `{}` is gated on `feature = \"telemetry\"` but has no \
+                             `#[cfg(not(feature = \"telemetry\"))]` no-op twin",
+                            kind_word(item),
+                            item.name
+                        ),
+                    )),
+                    Some(twin) => {
+                        if item.kind == crate::parser::ItemKind::Fn
+                            && twin.signature != item.signature
+                        {
+                            out.push(violation(
+                                item,
+                                path,
+                                format!(
+                                    "pub fn `{}`: the disabled-branch twin's signature differs \
+                                     (`{}` vs `{}`)",
+                                    item.name, item.signature, twin.signature
+                                ),
+                            ));
+                        }
+                    }
+                }
+            } else if off && find_twin(siblings, item, true).is_none() {
+                out.push(violation(
+                    item,
+                    path,
+                    format!(
+                        "pub {} `{}` exists only with telemetry disabled — the enabled branch \
+                         has no matching item",
+                        kind_word(item),
+                        item.name
+                    ),
+                ));
+            }
+        }
+        check_siblings(&item.children, path, out);
+    }
+}
+
+/// Finds the sibling twin of `item` on the other side of the feature
+/// gate (`want_on` selects which side to look for).
+fn find_twin<'a>(siblings: &'a [Item], item: &Item, want_on: bool) -> Option<&'a Item> {
+    siblings.iter().find(|s| {
+        !std::ptr::eq(*s, item)
+            && s.kind == item.kind
+            && s.name == item.name
+            && s.attrs.iter().any(|a| {
+                if want_on {
+                    a.gates_telemetry_on()
+                } else {
+                    a.gates_telemetry_off()
+                }
+            })
+    })
+}
+
+fn kind_word(item: &Item) -> &'static str {
+    use crate::parser::ItemKind;
+    match item.kind {
+        ItemKind::Fn => "fn",
+        ItemKind::Struct => "struct",
+        ItemKind::Enum => "enum",
+        ItemKind::Mod => "mod",
+        ItemKind::Impl => "impl",
+        ItemKind::Trait => "trait",
+        ItemKind::Const => "const",
+        ItemKind::TypeAlias => "type",
+        ItemKind::Use => "use",
+        ItemKind::MacroCall => "macro",
+    }
+}
+
+fn violation(item: &Item, path: &str, message: String) -> Violation {
+    Violation {
+        lint: Lint::Hw008TelemetryParity,
+        file: path.to_owned(),
+        line: item.line,
+        column: 1,
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lints::analyze_source;
+
+    #[test]
+    fn missing_twin_is_flagged_in_obs_only() {
+        let src = "#[cfg(feature = \"telemetry\")]\npub fn start() -> u32 { 1 }\n";
+        let v = analyze_source("obs", "demo.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].lint.id(), "HW008");
+        assert!(v[0].message.contains("no-op twin"), "{}", v[0].message);
+        // Other crates are out of scope.
+        assert!(analyze_source("core", "demo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn matching_twin_passes_and_signature_drift_fails() {
+        let good = "\
+#[cfg(feature = \"telemetry\")]
+pub fn start(name: &'static str) -> Timer { Timer::real(name) }
+#[cfg(not(feature = \"telemetry\"))]
+pub fn start(name: &'static str) -> Timer { let _ = name; Timer }
+";
+        assert!(analyze_source("obs", "demo.rs", good).is_empty());
+        let drift = "\
+#[cfg(feature = \"telemetry\")]
+pub fn start(name: &'static str) -> Timer { Timer::real(name) }
+#[cfg(not(feature = \"telemetry\"))]
+pub fn start(name: &str) -> Timer { let _ = name; Timer }
+";
+        let v = analyze_source("obs", "demo.rs", drift);
+        assert_eq!(v.len(), 1);
+        assert!(
+            v[0].message.contains("signature differs"),
+            "{}",
+            v[0].message
+        );
+    }
+
+    #[test]
+    fn private_items_and_statement_level_cfg_are_fine() {
+        let src = "\
+#[cfg(feature = \"telemetry\")]
+mod imp { pub fn real() {} }
+#[cfg(feature = \"telemetry\")]
+pub(crate) struct Inner;
+pub fn outer() {
+    #[cfg(feature = \"telemetry\")]
+    imp::real();
+}
+";
+        assert!(analyze_source("obs", "demo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn orphaned_disabled_twin_is_flagged() {
+        let src = "#[cfg(not(feature = \"telemetry\"))]\npub struct Timer;\n";
+        let v = analyze_source("obs", "demo.rs", src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("enabled branch"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn twins_inside_impl_blocks_are_matched_as_siblings() {
+        let src = "\
+impl Timer {
+    #[cfg(feature = \"telemetry\")]
+    pub fn observe(&self, d: Duration) { self.real(d) }
+    #[cfg(not(feature = \"telemetry\"))]
+    pub fn observe(&self, d: Duration) { let _ = d; }
+}
+";
+        assert!(analyze_source("obs", "demo.rs", src).is_empty());
+    }
+}

@@ -137,9 +137,138 @@ fn help_prints_the_lint_catalog() {
         .expect("spawn hotwire-analyze");
     assert_eq!(out.status.code(), Some(0), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for id in ["HW001", "HW002", "HW003", "HW004", "HW005"] {
+    for id in [
+        "HW001", "HW002", "HW003", "HW004", "HW005", "HW006", "HW007", "HW008", "HW009",
+    ] {
         assert!(stdout.contains(id), "--help missing {id}");
     }
+}
+
+#[test]
+fn write_baseline_reports_dropped_entries_on_rename() {
+    let root = fake_workspace("rename", DIRTY);
+    let out = run(&root, &["--write-baseline"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // Rename the file: its baseline entry no longer matches anything.
+    // The rewrite must say so out loud instead of silently dropping the
+    // tolerated count from the ratchet's history.
+    std::fs::rename(
+        root.join("crates/demo/src/lib.rs"),
+        root.join("crates/demo/src/renamed.rs"),
+    )
+    .expect("rename source file");
+    std::fs::write(root.join("crates/demo/src/lib.rs"), "mod renamed;\n").expect("write lib.rs");
+    let out = run(&root, &["--write-baseline"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("dropping baseline entry HW001 crates/demo/src/lib.rs"),
+        "{stderr}"
+    );
+    assert!(
+        stderr.contains("file is now clean"),
+        "lib.rs still exists (the violation moved): {stderr}"
+    );
+
+    // Second flavor: the file vanishes entirely.
+    let out = run(&root, &["--write-baseline"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    std::fs::remove_file(root.join("crates/demo/src/renamed.rs")).expect("rm renamed.rs");
+    let out = run(&root, &["--write-baseline"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("dropping baseline entry HW001 crates/demo/src/renamed.rs"),
+        "{stderr}"
+    );
+    assert!(
+        stderr.contains("no longer exists (renamed or deleted?)"),
+        "{stderr}"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn metric_catalog_drift_fails_in_both_directions() {
+    // A registration with no catalog row (code → docs)…
+    let root = fake_workspace(
+        "catalog",
+        "pub fn f() { counter(\"demo.widgets\").inc(); }\n",
+    );
+    std::fs::create_dir_all(root.join("docs")).expect("mkdir docs");
+    let catalog = "\
+# Metrics
+
+| Name | Kind | Meaning |
+|---|---|---|
+| `demo.gadgets` | counter | gadgets processed |
+";
+    std::fs::write(root.join("docs/OBSERVABILITY.md"), catalog).expect("write catalog");
+    let out = run(&root, &[]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // …fails, and so does the stale row (docs → code).
+    assert!(
+        stdout.contains("HW007") && stdout.contains("demo.widgets"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("demo.gadgets") && stdout.contains("matches no registration"),
+        "{stdout}"
+    );
+
+    // Documenting the registration and allow-listing the aspirational
+    // row makes the tree clean.
+    let catalog = "\
+# Metrics
+
+| Name | Kind | Meaning |
+|---|---|---|
+| `demo.widgets` | counter | widgets processed |
+| `demo.gadgets` | counter | future gadget counter <!-- ANALYZE-ALLOW(HW007): planned for the next milestone --> |
+";
+    std::fs::write(root.join("docs/OBSERVABILITY.md"), catalog).expect("write catalog");
+    let out = run(&root, &[]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn telemetry_parity_drift_is_caught_in_an_obs_crate() {
+    // HW008 only audits the obs crate: a telemetry-gated pub fn with no
+    // no-op twin under the same name must fail.
+    let root = fake_workspace("parity", CLEAN);
+    let obs_src = root.join("crates/obs/src");
+    std::fs::create_dir_all(&obs_src).expect("mkdir obs");
+    std::fs::write(
+        root.join("crates/obs/Cargo.toml"),
+        "[package]\nname = \"obs\"\nversion = \"0.0.0\"\n",
+    )
+    .expect("write obs Cargo.toml");
+    std::fs::write(
+        obs_src.join("lib.rs"),
+        "#[cfg(feature = \"telemetry\")]\npub fn start() -> u32 { 1 }\n",
+    )
+    .expect("write obs lib.rs");
+    let out = run(&root, &[]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("HW008") && stdout.contains("no-op twin"),
+        "{stdout}"
+    );
+
+    // Adding the disabled twin restores parity.
+    std::fs::write(
+        obs_src.join("lib.rs"),
+        "#[cfg(feature = \"telemetry\")]\npub fn start() -> u32 { 1 }\n\
+         #[cfg(not(feature = \"telemetry\"))]\npub fn start() -> u32 { 0 }\n",
+    )
+    .expect("rewrite obs lib.rs");
+    let out = run(&root, &[]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    std::fs::remove_dir_all(&root).ok();
 }
 
 #[test]

@@ -81,6 +81,8 @@ impl SparseMatrix {
     /// Panics if the indices are out of bounds.
     pub fn add(&mut self, r: usize, c: usize, v: f64) {
         assert!(r < self.n && c < self.n, "index ({r},{c}) out of bounds");
+        // CAST(row/col indices are < n, asserted above, and grid sizes
+        // stay far below u32::MAX): compact triplet storage.
         #[allow(clippy::cast_possible_truncation)]
         self.triplets.push((r as u32, c as u32, v));
     }
@@ -257,6 +259,8 @@ impl Factorization {
         for j in 0..n {
             // ---- symbolic: topo = Reach_L(pattern(A[:,j])) ----
             topo.clear();
+            // CAST(column index j < n fits u32 — matrix dimensions are
+            // bounded by the u32 index representation): mark-array tag.
             #[allow(clippy::cast_possible_truncation)]
             let ju = j as u32;
             for &r in &a.row_idx[a.col_ptr[j]..a.col_ptr[j + 1]] {
@@ -336,6 +340,8 @@ impl Factorization {
             }
             #[allow(clippy::cast_possible_truncation)]
             {
+                // CAST(pivot position j < n fits u32 — same bound as the
+                // row indices it inverts): pinv stores positions compactly.
                 f.pinv[pivot_row as usize] = j as u32;
             }
             let pivot_val = x[pivot_row as usize];

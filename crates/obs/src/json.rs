@@ -150,10 +150,7 @@ impl Json {
                 pad(out, depth);
                 out.push('}');
             }
-            other => {
-                use fmt::Write;
-                write!(out, "{other}").expect("string write cannot fail");
-            }
+            other => out.push_str(&other.to_string()),
         }
     }
 }
@@ -206,8 +203,7 @@ fn write_escaped(out: &mut String, s: &str) {
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
-                use fmt::Write;
-                write!(out, "\\u{:04x}", c as u32).expect("string write cannot fail");
+                out.push_str(&format!("\\u{:04x}", c as u32));
             }
             c => out.push(c),
         }
@@ -313,7 +309,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+    fn consume(&mut self, byte: u8) -> Result<(), JsonError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -345,7 +341,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.consume(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -368,7 +364,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.consume(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -379,7 +375,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.consume(b':')?;
             self.skip_ws();
             let value = self.value()?;
             pairs.push((key, value));
@@ -396,7 +392,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.consume(b'"')?;
         let mut out = String::new();
         loop {
             let Some(c) = self.peek() else {
@@ -425,7 +421,7 @@ impl Parser<'_> {
                                 // High surrogate: a \uXXXX low half must follow.
                                 if self.peek() == Some(b'\\') {
                                     self.pos += 1;
-                                    self.expect(b'u')?;
+                                    self.consume(b'u')?;
                                     let low = self.hex4()?;
                                     if !(0xDC00..0xE000).contains(&low) {
                                         return Err(self.err("invalid low surrogate"));
@@ -456,7 +452,10 @@ impl Parser<'_> {
                             message: "invalid UTF-8".to_owned(),
                             offset: start,
                         })?;
-                    let ch = rest.chars().next().expect("non-empty by construction");
+                    let ch = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unexpected end of input"))?;
                     out.push(ch);
                     self.pos = start + ch.len_utf8();
                 }
@@ -505,7 +504,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("malformed number"))?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.err("malformed number"))

@@ -78,12 +78,17 @@ mod shutdown {
 
     extern "C" fn on_signal(_signum: i32) {
         // Only the async-signal-safe store; everything else reacts to it.
+        // SAFETY(ordering): SeqCst store from a signal handler — the
+        // polling loop must observe it, and handlers run rarely enough
+        // that the fence cost is irrelevant.
         flag_cell().store(true, Ordering::SeqCst);
     }
 
     extern "C" fn on_usr1(_signum: i32) {
         // Again only an atomic store: the serve accept loop polls this
         // flag and writes the diagnostic bundle outside the handler.
+        // SAFETY(ordering): same as on_signal — SeqCst store, polled
+        // outside the handler, no surrounding data to order against.
         hotwire::serve::dump_flag().store(true, Ordering::SeqCst);
     }
 

@@ -145,6 +145,9 @@ impl Server {
                 }
             }));
         }
+        // SAFETY(ordering): SeqCst load pairing with the signal
+        // handler's SeqCst store; the loop only needs to eventually
+        // observe the flag, and stronger-than-needed is fine here.
         while !shutdown.load(Ordering::SeqCst) {
             // SAFETY(ordering): swap is the whole protocol — the handler
             // stores true, exactly one poll observes and clears it.
@@ -256,11 +259,11 @@ impl Response {
 static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Allocates the next request ID in its rendered `req-xxxxxxxx` form.
-// SAFETY(ordering): a pure ID allocator — uniqueness is the only
-// requirement, which `fetch_add` guarantees at any ordering.
 fn next_request_id() -> String {
     format!(
         "req-{:08x}",
+        // SAFETY(ordering): pure ID allocator — uniqueness is the only
+        // requirement, which fetch_add guarantees at any ordering.
         NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
     )
 }
